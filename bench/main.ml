@@ -1,0 +1,123 @@
+(* Benchmark harness.
+
+   Two layers:
+   1. Reproduction: prints every table and figure of the paper (plus the
+      ablations) — `main.exe` runs all of them, `main.exe table1 fig5 ...`
+      a subset, `main.exe --list` enumerates them.
+   2. Micro-benchmarks: one Bechamel Test.make per experiment, timing the
+      computational kernel that regenerates it (skip with --no-bechamel). *)
+
+open Bechamel
+
+let kernel_costs = Analysis.Costs.vkernel
+
+let one_sim_transfer suite packets () =
+  ignore
+    (Simnet.Driver.run ~suite ~config:(Protocol.Config.make ~total_packets:packets ()) ())
+
+let one_mc_sample strategy pn () =
+  ignore
+    (Montecarlo.Runner.sample
+       ~sampler:(fun rng -> Montecarlo.Runner.iid rng ~loss:pn)
+       ~timing:
+         (Montecarlo.Runner.blast_timing kernel_costs
+            ~tr:(Analysis.Error_free.blast kernel_costs ~packets:64))
+       ~suite:(Protocol.Suite.Blast strategy) ~packets:64 ~trials:20 ~seed:1 ())
+
+let analytic_sweep () =
+  List.iter
+    (fun pn ->
+      ignore
+        (Analysis.Expected_time.blast
+           ~t0:(Analysis.Error_free.blast kernel_costs ~packets:64)
+           ~tr:173.0 ~pn ~packets:64))
+    Workload.Sizes.pn_ladder
+
+let tests =
+  [
+    Test.make ~name:"table1:sim-64KiB-blast" (Staged.stage (one_sim_transfer (Protocol.Suite.Blast Protocol.Blast.Go_back_n) 64));
+    Test.make ~name:"table1:sim-64KiB-saw" (Staged.stage (one_sim_transfer Protocol.Suite.Stop_and_wait 64));
+    Test.make ~name:"table1:sim-64KiB-sw"
+      (Staged.stage (one_sim_transfer (Protocol.Suite.Sliding_window { window = max_int }) 64));
+    Test.make ~name:"table2:sim-1KiB-exchange"
+      (Staged.stage (one_sim_transfer (Protocol.Suite.Blast Protocol.Blast.Go_back_n) 1));
+    Test.make ~name:"table3:sim-64KiB-kernel"
+      (Staged.stage (fun () ->
+           ignore
+             (Simnet.Driver.run ~params:Netmodel.Params.vkernel
+                ~suite:(Protocol.Suite.Blast Protocol.Blast.Go_back_n)
+                ~config:(Protocol.Config.make ~total_packets:64 ())
+                ())));
+    Test.make ~name:"fig4:analytic-curves"
+      (Staged.stage (fun () ->
+           for n = 1 to 64 do
+             ignore (Analysis.Error_free.blast Analysis.Costs.standalone ~packets:n)
+           done));
+    Test.make ~name:"fig5:analytic-sweep" (Staged.stage analytic_sweep);
+    Test.make ~name:"fig5:mc-full-retransmit" (Staged.stage (one_mc_sample Protocol.Blast.Full_retransmit 1e-3));
+    Test.make ~name:"fig6:mc-go-back-n" (Staged.stage (one_mc_sample Protocol.Blast.Go_back_n 1e-3));
+    Test.make ~name:"fig6:mc-selective" (Staged.stage (one_mc_sample Protocol.Blast.Selective 1e-3));
+    Test.make ~name:"codec:encode-decode-1KiB"
+      (Staged.stage
+         (let m =
+            Packet.Message.data ~transfer_id:1 ~seq:0 ~total:64
+              ~payload:(String.make 1024 'x')
+          in
+          fun () ->
+            match Packet.Codec.decode (Packet.Codec.encode m) with
+            | Ok _ -> ()
+            | Error _ -> assert false));
+    Test.make ~name:"machine:blast-64-error-free"
+      (Staged.stage (fun () ->
+           ignore
+             (Montecarlo.Runner.one_transfer
+                ~drops:(fun () -> false)
+                ~timing:(Montecarlo.Runner.blast_timing kernel_costs ~tr:173.0)
+                ~suite:(Protocol.Suite.Blast Protocol.Blast.Go_back_n) ~packets:64 ())));
+  ]
+
+let run_bechamel () =
+  print_endline "\n=== Bechamel micro-benchmarks (ns/run, OLS estimate) ===";
+  let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.25) ~kde:None () in
+  let instances = [ Toolkit.Instance.monotonic_clock ] in
+  let ols = Analyze.ols ~r_square:true ~bootstrap:0 ~predictors:[| Measure.run |] in
+  List.iter
+    (fun test ->
+      List.iter
+        (fun elt ->
+          let raw = Benchmark.run cfg instances elt in
+          let result = Analyze.one ols Toolkit.Instance.monotonic_clock raw in
+          let estimate =
+            match Analyze.OLS.estimates result with
+            | Some (est :: _) -> est
+            | Some [] | None -> nan
+          in
+          let r2 = Option.value ~default:nan (Analyze.OLS.r_square result) in
+          Printf.printf "%-32s %12.0f ns/run  (r2=%.3f)\n%!" (Test.Elt.name elt) estimate r2)
+        (Test.elements test))
+    tests
+
+let () =
+  let args = List.tl (Array.to_list Sys.argv) in
+  let list_only = List.mem "--list" args in
+  let no_bechamel = List.mem "--no-bechamel" args in
+  let selected = List.filter (fun a -> not (String.length a > 1 && a.[0] = '-')) args in
+  if list_only then List.iter (fun (name, _) -> print_endline name) Experiments.all
+  else begin
+    let to_run =
+      if selected = [] then Experiments.all
+      else
+        List.map
+          (fun name ->
+            match List.assoc_opt name Experiments.all with
+            | Some f -> (name, f)
+            | None ->
+                Printf.eprintf "unknown experiment %S (try --list)\n" name;
+                exit 2)
+          selected
+    in
+    let ppf = Format.std_formatter in
+    List.iter (fun (_, f) -> f ppf) to_run;
+    Format.pp_print_flush ppf ();
+    if not no_bechamel then run_bechamel ()
+  end

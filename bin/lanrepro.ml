@@ -1,0 +1,503 @@
+(* lanrepro — command-line front end to the library.
+
+   Subcommands:
+     simulate   run transfers on the simulated LAN and report statistics
+     analyze    closed-form elapsed times / expected times / sigma
+     timeline   render a Figure-3-style timing diagram
+     mc         Monte-Carlo mean and standard deviation per strategy
+     send/recv  real bulk transfer over UDP between two invocations *)
+
+open Cmdliner
+
+(* ------------------------------------------------------ shared arguments *)
+
+let protocol_of_string s =
+  let fail () =
+    `Error
+      (Printf.sprintf
+         "unknown protocol %S (try: saw, sw, sw:8, blast:full, blast:nack, blast:gbn, \
+          blast:selective, multi:gbn:64)"
+         s)
+  in
+  let strategy = function
+    | "full" -> Some Protocol.Blast.Full_retransmit
+    | "nack" -> Some Protocol.Blast.Full_retransmit_nack
+    | "gbn" -> Some Protocol.Blast.Go_back_n
+    | "selective" -> Some Protocol.Blast.Selective
+    | _ -> None
+  in
+  match String.split_on_char ':' s with
+  | [ "saw" ] -> `Ok Protocol.Suite.Stop_and_wait
+  | [ "sw" ] -> `Ok (Protocol.Suite.Sliding_window { window = max_int })
+  | [ "sw"; w ] -> begin
+      match int_of_string_opt w with
+      | Some window when window > 0 -> `Ok (Protocol.Suite.Sliding_window { window })
+      | _ -> fail ()
+    end
+  | [ "blast"; name ] -> begin
+      match strategy name with Some s -> `Ok (Protocol.Suite.Blast s) | None -> fail ()
+    end
+  | [ "multi"; name; chunk ] -> begin
+      match (strategy name, int_of_string_opt chunk) with
+      | Some s, Some chunk_packets when chunk_packets > 0 ->
+          `Ok (Protocol.Suite.Multi_blast { strategy = s; chunk_packets })
+      | _ -> fail ()
+    end
+  | _ -> fail ()
+
+let protocol_conv =
+  Arg.conv
+    ( (fun s ->
+        match protocol_of_string s with `Ok p -> Ok p | `Error m -> Error (`Msg m)),
+      fun ppf p -> Format.pp_print_string ppf (Protocol.Suite.name p) )
+
+let protocol =
+  Arg.(
+    value
+    & opt protocol_conv (Protocol.Suite.Blast Protocol.Blast.Go_back_n)
+    & info [ "p"; "protocol" ] ~docv:"PROTO" ~doc:"Protocol: saw, sw[:W], blast:STRAT, multi:STRAT:CHUNK.")
+
+let packets =
+  Arg.(value & opt int 64 & info [ "n"; "packets" ] ~docv:"N" ~doc:"Transfer size in 1 KiB packets.")
+
+let loss =
+  Arg.(value & opt float 0.0 & info [ "loss" ] ~docv:"P" ~doc:"Network packet loss probability.")
+
+let seed = Arg.(value & opt int 1 & info [ "seed" ] ~doc:"Random seed.")
+let trials = Arg.(value & opt int 30 & info [ "trials" ] ~doc:"Number of trials.")
+
+let kernel_mode =
+  Arg.(value & flag & info [ "kernel" ] ~doc:"Use the V-kernel cost constants (Table 3) instead of the standalone ones (Table 2).")
+
+let params_of kernel = if kernel then Netmodel.Params.vkernel else Netmodel.Params.standalone
+let costs_of kernel = if kernel then Analysis.Costs.vkernel else Analysis.Costs.standalone
+
+(* --------------------------------------------------------------- simulate *)
+
+let adaptive =
+  Arg.(value & flag & info [ "adaptive" ] ~doc:"Use an adaptive (Jacobson/Karn) retransmission timeout.")
+
+let simulate_cmd =
+  let run protocol packets loss interface_loss trials seed kernel adaptive =
+    let spec =
+      Simnet.Campaign.default ~params:(params_of kernel) ~network_loss:loss
+        ~interface_loss ~trials ~seed ~suite:protocol
+        ~config:(Protocol.Config.make ~total_packets:packets ())
+        ()
+    in
+    let outcome =
+      if adaptive then begin
+        (* Campaign with a persistent per-peer estimator across trials. *)
+        let rtt = Protocol.Rtt.create ~initial_ns:200_000_000 () in
+        let elapsed = Stats.Summary.create () in
+        let retransmissions = Stats.Summary.create () in
+        let failures = ref 0 in
+        for trial = 0 to trials - 1 do
+          let rng = Stats.Rng.create ~seed:((seed * 1_000_003) + trial) in
+          let error m l = if l = 0.0 then m else Netmodel.Error_model.iid rng ~loss:l in
+          let result =
+            Simnet.Driver.run ~params:(params_of kernel)
+              ~network_error:(error (Netmodel.Error_model.perfect ()) loss)
+              ~interface_error:(error (Netmodel.Error_model.perfect ()) interface_loss)
+              ~rtt ~suite:protocol
+              ~config:(Protocol.Config.make ~total_packets:packets ())
+              ()
+          in
+          match result.Simnet.Driver.outcome with
+          | Protocol.Action.Success ->
+              Stats.Summary.add elapsed (Simnet.Driver.elapsed_ms result);
+              Stats.Summary.add retransmissions
+                (float_of_int result.Simnet.Driver.sender.Protocol.Counters.retransmitted_data)
+          | Protocol.Action.Too_many_attempts -> incr failures
+        done;
+        { Simnet.Campaign.elapsed_ms = elapsed; failures = !failures; retransmissions }
+      end
+      else Simnet.Campaign.run spec
+    in
+    Printf.printf "%s, %d KiB, loss=%g (network) %g (interface), %d trials:\n"
+      (Protocol.Suite.name protocol) packets loss interface_loss trials;
+    Printf.printf "  elapsed: mean %.3f ms, sd %.3f ms, min %.3f, max %.3f\n"
+      (Stats.Summary.mean outcome.Simnet.Campaign.elapsed_ms)
+      (Stats.Summary.stddev outcome.Simnet.Campaign.elapsed_ms)
+      (Stats.Summary.min outcome.Simnet.Campaign.elapsed_ms)
+      (Stats.Summary.max outcome.Simnet.Campaign.elapsed_ms);
+    Printf.printf "  retransmitted packets per trial: mean %.1f\n"
+      (Stats.Summary.mean outcome.Simnet.Campaign.retransmissions);
+    if outcome.Simnet.Campaign.failures > 0 then
+      Printf.printf "  %d trials gave up\n" outcome.Simnet.Campaign.failures
+  in
+  let interface_loss =
+    Arg.(value & opt float 0.0 & info [ "interface-loss" ] ~docv:"P" ~doc:"Interface loss probability.")
+  in
+  Cmd.v
+    (Cmd.info "simulate" ~doc:"Run transfers on the simulated LAN")
+    Term.(
+      const run $ protocol $ packets $ loss $ interface_loss $ trials $ seed $ kernel_mode
+      $ adaptive)
+
+(* -------------------------------------------------------------- calibrate *)
+
+let calibrate_cmd =
+  let run kernel =
+    let params = params_of kernel in
+    let measure suite n =
+      Simnet.Driver.elapsed_ms
+        (Simnet.Driver.run ~params ~suite
+           ~config:(Protocol.Config.make ~total_packets:n ())
+           ())
+    in
+    let ladder suite = List.map (fun n -> (n, measure suite n)) [ 2; 4; 8; 16; 32; 64 ] in
+    let transmit_ms =
+      Eventsim.Time.span_to_ms (Netmodel.Params.data_transmit params)
+    in
+    let recovered =
+      Analysis.Calibrate.recover_constants
+        ~blast:(ladder (Protocol.Suite.Blast Protocol.Blast.Go_back_n))
+        ~sliding_window:(ladder (Protocol.Suite.Sliding_window { window = max_int }))
+        ~transmit_ms
+    in
+    Printf.printf "measured ladders on the simulator, fitted T(N) = slope*N + intercept:\n";
+    Printf.printf "  blast:          slope %.4f ms/packet (r2 %.6f)\n"
+      recovered.Analysis.Calibrate.fit_blast.Analysis.Calibrate.slope
+      recovered.Analysis.Calibrate.fit_blast.Analysis.Calibrate.r_square;
+    Printf.printf "  sliding window: slope %.4f ms/packet (r2 %.6f)\n"
+      recovered.Analysis.Calibrate.fit_sliding_window.Analysis.Calibrate.slope
+      recovered.Analysis.Calibrate.fit_sliding_window.Analysis.Calibrate.r_square;
+    Printf.printf "recovered constants (known T = %.4f ms):\n" transmit_ms;
+    Printf.printf "  C  = %.4f ms (data packet copy)\n" recovered.Analysis.Calibrate.copy_data_ms;
+    Printf.printf "  Ca = %.4f ms (ack packet copy)\n" recovered.Analysis.Calibrate.copy_ack_ms
+  in
+  Cmd.v
+    (Cmd.info "calibrate" ~doc:"Recover the cost-model constants from measured ladders")
+    Term.(const run $ kernel_mode)
+
+(* ---------------------------------------------------------------- analyze *)
+
+let analyze_cmd =
+  let run packets pn tr_factor kernel =
+    let costs = costs_of kernel in
+    Printf.printf "constants: %s\n" (Format.asprintf "%a" Analysis.Costs.pp costs);
+    Printf.printf "error-free elapsed for %d packets:\n" packets;
+    Printf.printf "  stop-and-wait   %10.3f ms\n" (Analysis.Error_free.stop_and_wait costs ~packets);
+    Printf.printf "  sliding window  %10.3f ms\n" (Analysis.Error_free.sliding_window costs ~packets);
+    Printf.printf "  blast           %10.3f ms\n" (Analysis.Error_free.blast costs ~packets);
+    Printf.printf "  double-buffered %10.3f ms\n" (Analysis.Error_free.double_buffered costs ~packets);
+    Printf.printf "  network utilization (blast): %.1f%%\n"
+      (100.0 *. Analysis.Error_free.network_utilization costs ~packets);
+    if pn > 0.0 then begin
+      let t0 = Analysis.Error_free.blast costs ~packets in
+      let t0_packet = Analysis.Error_free.stop_and_wait costs ~packets:1 in
+      let pc = Analysis.Expected_time.blast_failure ~pn ~packets in
+      Printf.printf "\nat pn = %g (Tr = %g x T0):\n" pn tr_factor;
+      Printf.printf "  E[T] blast (full retx)  %10.3f ms\n"
+        (Analysis.Expected_time.blast ~t0 ~tr:(tr_factor *. t0) ~pn ~packets);
+      Printf.printf "  E[T] stop-and-wait      %10.3f ms\n"
+        (Analysis.Expected_time.stop_and_wait ~t0_packet ~tr:(tr_factor *. t0_packet) ~pn ~packets);
+      Printf.printf "  sigma full retx         %10.3f ms\n"
+        (Analysis.Variance.full_retransmit ~t0 ~tr:(tr_factor *. t0) ~pc);
+      Printf.printf "  sigma full retx + nack  %10.3f ms\n"
+        (Analysis.Variance.full_retransmit_nack ~t0 ~pc)
+    end
+  in
+  let pn = Arg.(value & opt float 0.0 & info [ "pn" ] ~doc:"Packet error probability for the loss analysis.") in
+  let tr_factor =
+    Arg.(value & opt float 1.0 & info [ "tr-factor" ] ~doc:"Retransmission interval as a multiple of T0.")
+  in
+  Cmd.v
+    (Cmd.info "analyze" ~doc:"Closed-form elapsed times, expected times, standard deviations")
+    Term.(const run $ packets $ pn $ tr_factor $ kernel_mode)
+
+(* --------------------------------------------------------------- timeline *)
+
+let timeline_cmd =
+  let run protocol packets width double kernel =
+    let params = params_of kernel in
+    let params = if double then Netmodel.Params.double_buffered params else params in
+    let trace = Eventsim.Trace.create () in
+    let result =
+      Simnet.Driver.run ~params ~trace ~suite:protocol
+        ~config:(Protocol.Config.make ~total_packets:packets ())
+        ()
+    in
+    print_endline (Report.Timeline.render ~width trace);
+    Printf.printf "total elapsed: %.3f ms\n" (Simnet.Driver.elapsed_ms result)
+  in
+  let width = Arg.(value & opt int 100 & info [ "width" ] ~doc:"Diagram width in columns.") in
+  let double = Arg.(value & flag & info [ "double-buffered" ] ~doc:"Use a double-buffered interface.") in
+  Cmd.v
+    (Cmd.info "timeline" ~doc:"Render a Figure-3-style timing diagram")
+    Term.(const run $ protocol $ packets $ width $ double $ kernel_mode)
+
+(* --------------------------------------------------------------------- mc *)
+
+let mc_cmd =
+  let run protocol packets pn tr_factor trials seed kernel =
+    let costs = costs_of kernel in
+    let t0 = Analysis.Error_free.blast costs ~packets in
+    let timing = Montecarlo.Runner.blast_timing costs ~tr:(tr_factor *. t0) in
+    let summary =
+      Montecarlo.Runner.sample
+        ~sampler:(fun rng -> Montecarlo.Runner.iid rng ~loss:pn)
+        ~timing ~suite:protocol ~packets ~trials ~seed ()
+    in
+    Printf.printf "%s, %d packets, pn=%g, Tr=%g x T0, %d trials:\n"
+      (Protocol.Suite.name protocol) packets pn tr_factor trials;
+    Printf.printf "  mean %.3f ms, sigma %.3f ms (error-free %.3f ms)\n"
+      (Stats.Summary.mean summary) (Stats.Summary.stddev summary)
+      (Montecarlo.Runner.error_free_time timing ~packets)
+  in
+  let pn = Arg.(value & opt float 1e-3 & info [ "pn" ] ~doc:"Packet error probability.") in
+  let tr_factor =
+    Arg.(value & opt float 1.0 & info [ "tr-factor" ] ~doc:"Retransmission interval as a multiple of T0.")
+  in
+  Cmd.v
+    (Cmd.info "mc" ~doc:"Monte-Carlo expected time and standard deviation")
+    Term.(const run $ protocol $ packets $ pn $ tr_factor $ trials $ seed $ kernel_mode)
+
+(* ------------------------------------------------------------------ sweep *)
+
+let sweep_cmd =
+  let run protocols packets losses trials seed kernel csv =
+    let suites =
+      if protocols = [] then
+        [
+          Protocol.Suite.Stop_and_wait;
+          Protocol.Suite.Sliding_window { window = max_int };
+          Protocol.Suite.Blast Protocol.Blast.Go_back_n;
+        ]
+      else
+        List.map
+          (fun s ->
+            match protocol_of_string s with
+            | `Ok p -> p
+            | `Error m ->
+                prerr_endline m;
+                exit 2)
+          protocols
+    in
+    let sweep =
+      Simnet.Sweep.run ~params:(params_of kernel) ~trials ~seed ~suites
+        ~packets:(if packets = [] then [ 16; 64 ] else packets)
+        ~losses:(if losses = [] then [ 0.0; 1e-3; 1e-2 ] else losses)
+        ()
+    in
+    match csv with
+    | Some path ->
+        let oc = open_out path in
+        Fun.protect
+          ~finally:(fun () -> close_out oc)
+          (fun () -> output_string oc (Simnet.Sweep.to_csv sweep));
+        Printf.printf "wrote %d rows to %s\n" (List.length sweep.Simnet.Sweep.cells) path
+    | None -> print_endline (Simnet.Sweep.to_table sweep)
+  in
+  let protocols =
+    Arg.(value & opt_all string [] & info [ "P"; "protocols" ] ~docv:"PROTO" ~doc:"Protocol to include (repeatable).")
+  in
+  let packet_list =
+    Arg.(value & opt_all int [] & info [ "N" ] ~docv:"N" ~doc:"Transfer size in packets (repeatable).")
+  in
+  let loss_list =
+    Arg.(value & opt_all float [] & info [ "L" ] ~docv:"P" ~doc:"Loss probability (repeatable).")
+  in
+  let csv =
+    Arg.(value & opt (some string) None & info [ "csv" ] ~docv:"PATH" ~doc:"Write CSV instead of a table.")
+  in
+  Cmd.v
+    (Cmd.info "sweep" ~doc:"Cross-product measurement sweep (protocols x sizes x loss rates)")
+    Term.(const run $ protocols $ packet_list $ loss_list $ trials $ seed $ kernel_mode $ csv)
+
+(* ------------------------------------------------------------------ repro *)
+
+let repro_cmd =
+  let run list names =
+    if list then List.iter (fun (name, _) -> print_endline name) Experiments.all
+    else begin
+      let to_run =
+        if names = [] then Experiments.all
+        else
+          List.map
+            (fun name ->
+              match List.assoc_opt name Experiments.all with
+              | Some f -> (name, f)
+              | None ->
+                  Printf.eprintf "unknown experiment %S (try --list)\n" name;
+                  exit 2)
+            names
+      in
+      let ppf = Format.std_formatter in
+      List.iter (fun (_, f) -> f ppf) to_run;
+      Format.pp_print_flush ppf ()
+    end
+  in
+  let list = Arg.(value & flag & info [ "list" ] ~doc:"List the available experiments.") in
+  let names = Arg.(value & pos_all string [] & info [] ~docv:"EXPERIMENT") in
+  Cmd.v
+    (Cmd.info "repro"
+       ~doc:"Regenerate the paper's tables and figures (same engine as bench/main.exe)")
+    Term.(const run $ list $ names)
+
+(* -------------------------------------------------------------- send/recv *)
+
+let host = Arg.(value & opt string "127.0.0.1" & info [ "host" ] ~doc:"Peer host.")
+let port = Arg.(value & opt int 47085 & info [ "port" ] ~doc:"UDP port.")
+
+let tx_loss =
+  Arg.(value & opt float 0.0 & info [ "inject-loss" ] ~doc:"Probability of dropping each outgoing datagram (testing aid).")
+
+let send_cmd =
+  let run protocol host port file size loss seed adaptive =
+    let data =
+      match file with
+      | Some path ->
+          let ic = open_in_bin path in
+          Fun.protect
+            ~finally:(fun () -> close_in ic)
+            (fun () -> really_input_string ic (in_channel_length ic))
+      | None ->
+          let rng = Stats.Rng.create ~seed in
+          String.init size (fun _ -> Char.chr (Stats.Rng.int rng 256))
+    in
+    let socket = Unix.socket Unix.PF_INET Unix.SOCK_DGRAM 0 in
+    let peer = Unix.ADDR_INET (Unix.inet_addr_of_string host, port) in
+    let lossy =
+      if loss > 0.0 then Sockets.Lossy.create ~seed ~tx_loss:loss ~rx_loss:0.0
+      else Sockets.Lossy.perfect
+    in
+    let rtt = if adaptive then Some (Protocol.Rtt.create ~initial_ns:50_000_000 ()) else None in
+    let result = Sockets.Peer.send ~lossy ?rtt ~socket ~peer ~suite:protocol ~data () in
+    Unix.close socket;
+    Printf.printf "%s: %d bytes in %.1f ms (%d packets, %d retransmitted)\n"
+      (match result.Sockets.Peer.outcome with
+      | Protocol.Action.Success -> "sent"
+      | Protocol.Action.Too_many_attempts -> "FAILED")
+      (String.length data)
+      (float_of_int result.Sockets.Peer.elapsed_ns /. 1e6)
+      result.Sockets.Peer.counters.Protocol.Counters.data_sent
+      result.Sockets.Peer.counters.Protocol.Counters.retransmitted_data
+  in
+  let file =
+    Arg.(value & opt (some file) None & info [ "file" ] ~docv:"PATH" ~doc:"File to send (otherwise random data).")
+  in
+  let size =
+    Arg.(value & opt int 65536 & info [ "size" ] ~doc:"Random payload size in bytes when no file is given.")
+  in
+  Cmd.v
+    (Cmd.info "send" ~doc:"Send a bulk transfer to a lanrepro recv peer over UDP")
+    Term.(const run $ protocol $ host $ port $ file $ size $ tx_loss $ seed $ adaptive)
+
+let recv_cmd =
+  let run protocol port out loss seed =
+    let socket = Unix.socket Unix.PF_INET Unix.SOCK_DGRAM 0 in
+    Unix.bind socket (Unix.ADDR_INET (Unix.inet_addr_of_string "0.0.0.0", port));
+    Printf.printf "listening on UDP port %d...\n%!" port;
+    let lossy =
+      if loss > 0.0 then Sockets.Lossy.create ~seed ~tx_loss:loss ~rx_loss:0.0
+      else Sockets.Lossy.perfect
+    in
+    let result = Sockets.Peer.serve_one ~lossy ~socket ~suite:protocol () in
+    Unix.close socket;
+    Printf.printf "received %d bytes (transfer %d)\n"
+      (String.length result.Sockets.Peer.data)
+      result.Sockets.Peer.transfer_id;
+    match out with
+    | Some path ->
+        let oc = open_out_bin path in
+        Fun.protect
+          ~finally:(fun () -> close_out oc)
+          (fun () -> output_string oc result.Sockets.Peer.data);
+        Printf.printf "wrote %s\n" path
+    | None -> ()
+  in
+  let out =
+    Arg.(value & opt (some string) None & info [ "out" ] ~docv:"PATH" ~doc:"Write the received data to this file.")
+  in
+  Cmd.v
+    (Cmd.info "recv" ~doc:"Receive one bulk transfer over UDP")
+    Term.(const run $ protocol $ port $ out $ tx_loss $ seed)
+
+(* ----------------------------------------------------------- dump/restore *)
+
+let dump_cmd =
+  let run protocol host port directory loss seed adaptive =
+    let data = Archive.encode (Archive.of_directory directory) in
+    Printf.printf "archived %s: %d bytes\n%!" directory (String.length data);
+    let socket = Unix.socket Unix.PF_INET Unix.SOCK_DGRAM 0 in
+    let peer = Unix.ADDR_INET (Unix.inet_addr_of_string host, port) in
+    let lossy =
+      if loss > 0.0 then Sockets.Lossy.create ~seed ~tx_loss:loss ~rx_loss:0.0
+      else Sockets.Lossy.perfect
+    in
+    let rtt = if adaptive then Some (Protocol.Rtt.create ~initial_ns:50_000_000 ()) else None in
+    let result = Sockets.Peer.send ~lossy ?rtt ~socket ~peer ~suite:protocol ~data () in
+    Unix.close socket;
+    Printf.printf "%s in %.1f ms (%d packets, %d retransmitted)\n"
+      (match result.Sockets.Peer.outcome with
+      | Protocol.Action.Success -> "dumped"
+      | Protocol.Action.Too_many_attempts -> "FAILED")
+      (float_of_int result.Sockets.Peer.elapsed_ns /. 1e6)
+      result.Sockets.Peer.counters.Protocol.Counters.data_sent
+      result.Sockets.Peer.counters.Protocol.Counters.retransmitted_data
+  in
+  let directory =
+    Arg.(required & pos 0 (some dir) None & info [] ~docv:"DIR" ~doc:"Directory to dump.")
+  in
+  let multi_default =
+    Arg.(
+      value
+      & opt protocol_conv
+          (Protocol.Suite.Multi_blast { strategy = Protocol.Blast.Go_back_n; chunk_packets = 64 })
+      & info [ "p"; "protocol" ] ~docv:"PROTO" ~doc:"Transfer protocol.")
+  in
+  Cmd.v
+    (Cmd.info "dump"
+       ~doc:"Archive a directory and blast it to a lanrepro restore peer (the paper's remote file-system dump)")
+    Term.(const run $ multi_default $ host $ port $ directory $ tx_loss $ seed $ adaptive)
+
+let restore_cmd =
+  let run port root loss seed =
+    let socket = Unix.socket Unix.PF_INET Unix.SOCK_DGRAM 0 in
+    Unix.bind socket (Unix.ADDR_INET (Unix.inet_addr_of_string "0.0.0.0", port));
+    Printf.printf "waiting for a dump on UDP port %d...\n%!" port;
+    let lossy =
+      if loss > 0.0 then Sockets.Lossy.create ~seed ~tx_loss:loss ~rx_loss:0.0
+      else Sockets.Lossy.perfect
+    in
+    let result = Sockets.Peer.serve_one ~lossy ~socket () in
+    Unix.close socket;
+    (match result.Sockets.Peer.integrity with
+    | Sockets.Peer.Verified -> print_endline "end-to-end checksum: verified"
+    | Sockets.Peer.Mismatch -> print_endline "WARNING: end-to-end checksum mismatch"
+    | Sockets.Peer.Not_carried -> print_endline "sender carried no checksum");
+    match Archive.decode result.Sockets.Peer.data with
+    | Error e -> Format.printf "archive decode failed: %a@." Archive.pp_error e
+    | Ok entries ->
+        let written = Archive.extract ~root entries in
+        Printf.printf "restored %d entries under %s\n" written root
+  in
+  let root =
+    Arg.(value & opt string "restored" & info [ "root" ] ~docv:"DIR" ~doc:"Where to extract.")
+  in
+  Cmd.v
+    (Cmd.info "restore" ~doc:"Receive one dump and extract it")
+    Term.(const run $ port $ root $ tx_loss $ seed)
+
+let () =
+  let default = Term.(ret (const (`Help (`Pager, None)))) in
+  exit
+    (Cmd.eval
+       (Cmd.group ~default
+          (Cmd.info "lanrepro" ~version:"1.0.0"
+             ~doc:"Protocols for large data transfers over local networks (SIGCOMM '85) — reproduction toolkit")
+          [
+            simulate_cmd;
+            analyze_cmd;
+            calibrate_cmd;
+            timeline_cmd;
+            mc_cmd;
+            sweep_cmd;
+            repro_cmd;
+            send_cmd;
+            recv_cmd;
+            dump_cmd;
+            restore_cmd;
+          ]))

@@ -1,0 +1,56 @@
+(* Race all the protocols across transfer sizes and error rates on the full
+   event-driven simulator, printing a league table. A compact tour of the
+   whole public API: params, error models, campaigns, summaries.
+
+   Run with: dune exec examples/protocol_race.exe *)
+
+let contenders =
+  [
+    Protocol.Suite.Stop_and_wait;
+    Protocol.Suite.Sliding_window { window = max_int };
+    Protocol.Suite.Blast Protocol.Blast.Full_retransmit;
+    Protocol.Suite.Blast Protocol.Blast.Full_retransmit_nack;
+    Protocol.Suite.Blast Protocol.Blast.Go_back_n;
+    Protocol.Suite.Blast Protocol.Blast.Selective;
+  ]
+
+let () =
+  let sizes = [ 16; 64 ] in
+  let losses = [ 0.0; 1e-3; 1e-2 ] in
+  List.iter
+    (fun packets ->
+      Printf.printf "\n=== %d KiB transfer ===\n" packets;
+      let header =
+        "protocol"
+        :: List.map
+             (fun loss ->
+               if loss = 0.0 then "error-free (ms)" else Printf.sprintf "pn=%g (ms)" loss)
+             losses
+      in
+      let rows =
+        List.map
+          (fun suite ->
+            Protocol.Suite.name suite
+            :: List.map
+                 (fun loss ->
+                   let spec =
+                     Simnet.Campaign.default ~network_loss:loss
+                       ~trials:(if loss = 0.0 then 1 else 12)
+                       ~seed:17 ~suite
+                       ~config:(Protocol.Config.make ~total_packets:packets ())
+                       ()
+                   in
+                   let outcome = Simnet.Campaign.run spec in
+                   let mean = Stats.Summary.mean outcome.Simnet.Campaign.elapsed_ms in
+                   let sd = Stats.Summary.stddev outcome.Simnet.Campaign.elapsed_ms in
+                   if Float.is_nan sd || sd = 0.0 then Printf.sprintf "%.2f" mean
+                   else Printf.sprintf "%.1f +/- %.1f" mean sd)
+                 losses)
+          contenders
+      in
+      print_endline (Report.Table.render ~header ~rows ()))
+    sizes;
+  print_endline
+    "\nthe paper's conclusions, visible in one table: blast wins everywhere under\n\
+     realistic loss; stop-and-wait pays ~2x; the retransmission strategy only\n\
+     matters once errors get frequent."

@@ -1,0 +1,41 @@
+type fit = { slope : float; intercept : float; r_square : float }
+
+let least_squares points =
+  let n = List.length points in
+  if n < 2 then invalid_arg "Calibrate.least_squares: need at least two points";
+  let sum f = List.fold_left (fun acc p -> acc +. f p) 0.0 points in
+  let nf = float_of_int n in
+  let sx = sum fst and sy = sum snd in
+  let sxx = sum (fun (x, _) -> x *. x) in
+  let sxy = sum (fun (x, y) -> x *. y) in
+  let denominator = (nf *. sxx) -. (sx *. sx) in
+  if Float.abs denominator < 1e-12 then
+    invalid_arg "Calibrate.least_squares: x values are degenerate";
+  let slope = ((nf *. sxy) -. (sx *. sy)) /. denominator in
+  let intercept = (sy -. (slope *. sx)) /. nf in
+  let mean_y = sy /. nf in
+  let ss_total = sum (fun (_, y) -> (y -. mean_y) ** 2.0) in
+  let ss_residual =
+    sum (fun (x, y) -> (y -. (slope *. x) -. intercept) ** 2.0)
+  in
+  let r_square = if ss_total = 0.0 then 1.0 else 1.0 -. (ss_residual /. ss_total) in
+  { slope; intercept; r_square }
+
+type recovered = {
+  copy_data_ms : float;
+  copy_ack_ms : float;
+  fit_blast : fit;
+  fit_sliding_window : fit;
+}
+
+let to_float_points ladder = List.map (fun (n, ms) -> (float_of_int n, ms)) ladder
+
+let recover_constants ~blast ~sliding_window ~transmit_ms =
+  let fit_blast = least_squares (to_float_points blast) in
+  let fit_sliding_window = least_squares (to_float_points sliding_window) in
+  {
+    copy_data_ms = fit_blast.slope -. transmit_ms;
+    copy_ack_ms = fit_sliding_window.slope -. fit_blast.slope;
+    fit_blast;
+    fit_sliding_window;
+  }

@@ -1,0 +1,31 @@
+(** Recovering the cost model from measurements.
+
+    The paper derives its per-operation constants from measured elapsed
+    times; this module does the inverse experiment for any measured ladder:
+    fit [T(N) = slope * N + intercept] by ordinary least squares and
+    translate slope/intercept back into the model's constants using the
+    closed forms of {!Error_free}. *)
+
+type fit = { slope : float; intercept : float; r_square : float }
+
+val least_squares : (float * float) list -> fit
+(** Ordinary least squares over (x, y) points. Raises [Invalid_argument]
+    with fewer than two distinct x values. *)
+
+type recovered = {
+  copy_data_ms : float;  (** C *)
+  copy_ack_ms : float;  (** Ca *)
+  fit_blast : fit;
+  fit_sliding_window : fit;
+}
+
+val recover_constants :
+  blast:(int * float) list ->
+  sliding_window:(int * float) list ->
+  transmit_ms:float ->
+  recovered
+(** [recover_constants ~blast ~sliding_window ~transmit_ms] takes two
+    measured ladders (packets, elapsed ms) and the known data transmission
+    time [T]. The blast slope is [C + T], so [C = slope - T]; the
+    sliding-window slope is [C + Ca + T], so [Ca] falls out of the
+    difference of the two slopes. *)

@@ -1,0 +1,19 @@
+open Eventsim
+
+type t = { c : float; ca : float; t : float; ta : float; tau : float }
+
+let of_params (p : Netmodel.Params.t) =
+  {
+    c = Time.span_to_ms p.Netmodel.Params.copy_data;
+    ca = Time.span_to_ms p.Netmodel.Params.copy_ack;
+    t = Time.span_to_ms (Netmodel.Params.data_transmit p);
+    ta = Time.span_to_ms (Netmodel.Params.ack_transmit p);
+    tau = Time.span_to_ms p.Netmodel.Params.propagation;
+  }
+
+let standalone = of_params Netmodel.Params.standalone
+let vkernel = of_params Netmodel.Params.vkernel
+let paper_rounded = { c = 1.35; ca = 0.17; t = 0.820; ta = 0.051; tau = 0.010 }
+
+let pp ppf { c; ca; t; ta; tau } =
+  Format.fprintf ppf "C=%.3f Ca=%.3f T=%.4f Ta=%.4f tau=%.4f (ms)" c ca t ta tau

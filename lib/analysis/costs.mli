@@ -1,0 +1,26 @@
+(** The paper's per-operation cost constants, as floating-point milliseconds
+    for formula work.
+
+    [c]: processor copy of a data packet into/out of the interface;
+    [ca]: same for an ack packet; [t]/[ta]: network transmission times;
+    [tau]: one-way propagation delay. *)
+
+type t = { c : float; ca : float; t : float; ta : float; tau : float }
+
+val of_params : Netmodel.Params.t -> t
+(** Exact conversion of the simulator's integer-nanosecond constants, so that
+    formula and simulator agree to the nanosecond. *)
+
+val standalone : t
+(** Table 2 constants. *)
+
+val vkernel : t
+(** Table 3 constants (header handling, demultiplexing, interrupt overhead
+    folded into the copy costs). *)
+
+val paper_rounded : t
+(** The rounded values used in the paper's Section 2.1 back-of-envelope
+    (T = 0.820 ms, Ta = 0.051 ms, tau = 0.010 ms): reproduces the in-text
+    57 024 / 55 764 / 52 551 us figures digit for digit. *)
+
+val pp : Format.formatter -> t -> unit

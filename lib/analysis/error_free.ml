@@ -1,0 +1,48 @@
+open Costs
+
+let check packets = if packets <= 0 then invalid_arg "Error_free: packets must be positive"
+
+let stop_and_wait k ~packets =
+  check packets;
+  float_of_int packets *. ((2.0 *. k.c) +. (2.0 *. k.ca) +. k.t +. k.ta +. (2.0 *. k.tau))
+
+let blast k ~packets =
+  check packets;
+  (float_of_int packets *. (k.c +. k.t)) +. k.c +. (2.0 *. k.ca) +. k.ta +. (2.0 *. k.tau)
+
+let sliding_window k ~packets =
+  check packets;
+  (float_of_int packets *. (k.c +. k.ca +. k.t)) +. k.c +. k.ca +. k.ta +. (2.0 *. k.tau)
+
+let blast_paced k ~packets ~pacing_ms =
+  check packets;
+  if pacing_ms < 0.0 then invalid_arg "Error_free.blast_paced: negative pacing";
+  (float_of_int packets *. (k.c +. k.t +. pacing_ms))
+  +. k.c +. (2.0 *. k.ca) +. k.ta +. (2.0 *. k.tau)
+
+let sliding_window_paper k ~packets =
+  check packets;
+  (float_of_int packets *. (k.c +. k.ca +. k.t)) +. k.c +. k.ta
+
+let double_buffered k ~packets =
+  check packets;
+  let n = float_of_int packets in
+  let tail = (2.0 *. k.ca) +. k.ta +. (2.0 *. k.tau) in
+  if k.t <= k.c then (n *. k.c) +. k.t +. k.c +. tail else (n *. k.t) +. (2.0 *. k.c) +. tail
+
+let network_utilization k ~packets =
+  check packets;
+  let n = float_of_int packets in
+  ((n *. k.t) +. k.ta) /. blast k ~packets
+
+let naive_stop_and_wait k ~packets =
+  check packets;
+  float_of_int packets *. (k.t +. k.ta +. (2.0 *. k.tau))
+
+let naive_sliding_window k ~packets =
+  check packets;
+  (float_of_int packets *. (k.t +. k.ta)) +. (2.0 *. k.tau)
+
+let naive_blast k ~packets =
+  check packets;
+  (float_of_int packets *. k.t) +. k.ta +. (2.0 *. k.tau)

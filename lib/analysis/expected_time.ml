@@ -1,0 +1,18 @@
+let saw_exchange_failure ~pn = Stats.Distribution.exchange_failure_prob ~packet_loss:pn ~packets:2
+
+let blast_failure ~pn ~packets =
+  Stats.Distribution.exchange_failure_prob ~packet_loss:pn ~packets:(packets + 1)
+
+let expected ~t0 ~tr ~pc =
+  if not (pc >= 0.0 && pc <= 1.0) then invalid_arg "Expected_time.expected: pc outside [0,1]";
+  if pc >= 1.0 then infinity else t0 +. ((t0 +. tr) *. pc /. (1.0 -. pc))
+
+let stop_and_wait ~t0_packet ~tr ~pn ~packets =
+  if packets <= 0 then invalid_arg "Expected_time.stop_and_wait: packets must be positive";
+  let pc = saw_exchange_failure ~pn in
+  float_of_int packets *. expected ~t0:t0_packet ~tr ~pc
+
+let blast ~t0 ~tr ~pn ~packets =
+  if packets <= 0 then invalid_arg "Expected_time.blast: packets must be positive";
+  let pc = blast_failure ~pn ~packets in
+  expected ~t0 ~tr ~pc

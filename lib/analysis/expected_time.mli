@@ -1,0 +1,24 @@
+(** Expected elapsed time in the presence of iid packet loss (Section 3.1),
+    in milliseconds.
+
+    An exchange that fails is retried after the retransmission interval
+    [tr]; attempts are independent, so the number of failures is geometric
+    with parameter [pc] and
+
+    {v E[T] = T0 + (T0 + Tr) * pc / (1 - pc) v} *)
+
+val saw_exchange_failure : pn:float -> float
+(** [pc] for one packet + ack: [1 - (1 - pn)^2]. *)
+
+val blast_failure : pn:float -> packets:int -> float
+(** [pc] for a D-packet train + ack: [1 - (1 - pn)^(D+1)]. *)
+
+val expected : t0:float -> tr:float -> pc:float -> float
+(** The generic geometric-retry expectation. [pc = 1] gives [infinity]. *)
+
+val stop_and_wait : t0_packet:float -> tr:float -> pn:float -> packets:int -> float
+(** [D * (t0(1) + (t0(1) + tr) * pc/(1-pc))] with the per-packet [pc]. *)
+
+val blast : t0:float -> tr:float -> pn:float -> packets:int -> float
+(** Full retransmission on error: [t0] is the error-free train time
+    [T0(D)]. *)

@@ -1,0 +1,16 @@
+let check_pc pc =
+  if not (pc >= 0.0 && pc < 1.0) then invalid_arg "Variance: pc outside [0,1)"
+
+let geometric_sigma ~t_fail ~pc =
+  check_pc pc;
+  t_fail *. sqrt pc /. (1.0 -. pc)
+
+let full_retransmit ~t0 ~tr ~pc = geometric_sigma ~t_fail:(t0 +. tr) ~pc
+let full_retransmit_nack ~t0 ~pc = geometric_sigma ~t_fail:t0 ~pc
+
+let paper_sigma ~t_fail ~pc =
+  check_pc pc;
+  t_fail *. sqrt (pc *. (1.0 +. pc)) /. (1.0 -. pc)
+
+let paper_full_retransmit ~t0 ~tr ~pc = paper_sigma ~t_fail:(t0 +. tr) ~pc
+let paper_full_retransmit_nack ~t0 ~pc = paper_sigma ~t_fail:t0 ~pc

@@ -1,0 +1,33 @@
+(** Standard deviation of the elapsed time for the blast retransmission
+    strategies (Section 3.2), in milliseconds.
+
+    With independent attempts, the number of failed attempts [i] before
+    success is geometric with parameter [pc]. When every failed attempt
+    costs a constant [t_fail] the elapsed time is
+    [i * t_fail + T0], so
+
+    {v sigma = t_fail * sqrt(pc) / (1 - pc) v}
+
+    {!full_retransmit} takes [t_fail = T0 + Tr] (the failed train plus the
+    full timeout); {!full_retransmit_nack} takes [t_fail ~= T0] (the NACK
+    arrives as the train ends, so the retransmission interval contributes
+    only when the terminator or the NACK itself is lost — negligible for
+    [pn << 1/D], the regime the paper analyses).
+
+    The paper's printed formulas carry an additional [sqrt(1 + pc)] factor
+    (they account for the spread between failed- and successful-attempt
+    durations); both forms are provided, and the Monte-Carlo benchmark shows
+    they are indistinguishable in the regime of interest. Go-back-n and
+    selective retransmission have no closed form — the paper simulated them,
+    and so do we ({!Montecarlo}). *)
+
+val geometric_sigma : t_fail:float -> pc:float -> float
+(** [t_fail * sqrt(pc) / (1 - pc)]. *)
+
+val full_retransmit : t0:float -> tr:float -> pc:float -> float
+val full_retransmit_nack : t0:float -> pc:float -> float
+
+val paper_full_retransmit : t0:float -> tr:float -> pc:float -> float
+(** [(T0 + Tr) * sqrt(pc (1 + pc)) / (1 - pc)] — the formula as printed. *)
+
+val paper_full_retransmit_nack : t0:float -> pc:float -> float

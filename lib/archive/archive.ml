@@ -1,0 +1,160 @@
+type entry = Directory of string | File of { path : string; content : string }
+
+type error = Bad_magic | Bad_version of int | Truncated | Bad_checksum | Unsafe_path of string
+
+let pp_error ppf = function
+  | Bad_magic -> Format.pp_print_string ppf "bad magic"
+  | Bad_version v -> Format.fprintf ppf "unsupported version %d" v
+  | Truncated -> Format.pp_print_string ppf "truncated archive"
+  | Bad_checksum -> Format.pp_print_string ppf "checksum mismatch"
+  | Unsafe_path p -> Format.fprintf ppf "unsafe path %S" p
+
+let magic = "LDMP"
+let version = 1
+
+let path_is_safe path =
+  String.length path > 0
+  && path.[0] <> '/'
+  && (not (String.contains path '\000'))
+  && List.for_all (fun part -> part <> ".." && part <> "") (String.split_on_char '/' path)
+
+let check_path path =
+  if String.length path > 0xFFFF then invalid_arg "Archive: path too long";
+  if not (path_is_safe path) then invalid_arg ("Archive: unsafe path " ^ path)
+
+let encode entries =
+  let buffer = Buffer.create 4096 in
+  Buffer.add_string buffer magic;
+  Buffer.add_uint8 buffer version;
+  let count = Bytes.create 4 in
+  Bytes.set_int32_be count 0 (Int32.of_int (List.length entries));
+  Buffer.add_bytes buffer count;
+  let add_u16 v =
+    let b = Bytes.create 2 in
+    Bytes.set_uint16_be b 0 v;
+    Buffer.add_bytes buffer b
+  in
+  let add_u32 v =
+    let b = Bytes.create 4 in
+    Bytes.set_int32_be b 0 (Int32.of_int v);
+    Buffer.add_bytes buffer b
+  in
+  List.iter
+    (fun entry ->
+      match entry with
+      | Directory path ->
+          check_path path;
+          Buffer.add_uint8 buffer 0;
+          add_u16 (String.length path);
+          Buffer.add_string buffer path
+      | File { path; content } ->
+          check_path path;
+          if String.length content > 1 lsl 30 then invalid_arg "Archive: file too large";
+          Buffer.add_uint8 buffer 1;
+          add_u16 (String.length path);
+          Buffer.add_string buffer path;
+          add_u32 (String.length content);
+          Buffer.add_string buffer content)
+    entries;
+  let body = Buffer.contents buffer in
+  let crc = Packet.Checksum.crc32_string body in
+  let trailer = Bytes.create 4 in
+  Bytes.set_int32_be trailer 0 crc;
+  body ^ Bytes.to_string trailer
+
+let decode archive =
+  let len = String.length archive in
+  if len < 13 then Error Truncated
+  else begin
+    let body_len = len - 4 in
+    let stored_crc = Bytes.get_int32_be (Bytes.of_string (String.sub archive body_len 4)) 0 in
+    let computed =
+      Packet.Checksum.crc32 (Bytes.unsafe_of_string archive) ~pos:0 ~len:body_len
+    in
+    if stored_crc <> computed then Error Bad_checksum
+    else if String.sub archive 0 4 <> magic then Error Bad_magic
+    else if Char.code archive.[4] <> version then Error (Bad_version (Char.code archive.[4]))
+    else begin
+      let buf = Bytes.unsafe_of_string archive in
+      let u16 pos = Bytes.get_uint16_be buf pos in
+      let u32 pos = Int32.to_int (Bytes.get_int32_be buf pos) land 0xFFFFFFFF in
+      let count = u32 5 in
+      let exception Fail of error in
+      let position = ref 9 in
+      let need n = if !position + n > body_len then raise (Fail Truncated) in
+      let take_string n =
+        need n;
+        let s = String.sub archive !position n in
+        position := !position + n;
+        s
+      in
+      try
+        let entries =
+          List.init count (fun _ ->
+              need 3;
+              let kind = Char.code archive.[!position] in
+              let path_len = u16 (!position + 1) in
+              position := !position + 3;
+              let path = take_string path_len in
+              if not (path_is_safe path) then raise (Fail (Unsafe_path path));
+              match kind with
+              | 0 -> Directory path
+              | 1 ->
+                  need 4;
+                  let content_len = u32 !position in
+                  position := !position + 4;
+                  File { path; content = take_string content_len }
+              | _ -> raise (Fail Truncated))
+        in
+        if !position <> body_len then Error Truncated else Ok entries
+      with Fail e -> Error e
+    end
+  end
+
+let of_directory root =
+  let entries = ref [] in
+  let rec walk relative =
+    let absolute = if relative = "" then root else Filename.concat root relative in
+    match (Unix.lstat absolute).Unix.st_kind with
+    | Unix.S_DIR ->
+        if relative <> "" then entries := Directory relative :: !entries;
+        let children = Sys.readdir absolute in
+        Array.sort compare children;
+        Array.iter
+          (fun child ->
+            walk (if relative = "" then child else relative ^ "/" ^ child))
+          children
+    | Unix.S_REG ->
+        let ic = open_in_bin absolute in
+        let content =
+          Fun.protect
+            ~finally:(fun () -> close_in ic)
+            (fun () -> really_input_string ic (in_channel_length ic))
+        in
+        entries := File { path = relative; content } :: !entries
+    | _ -> () (* symlinks, sockets, devices: skipped *)
+  in
+  walk "";
+  List.rev !entries
+
+let rec mkdir_p path =
+  if path <> "" && path <> "." && path <> "/" && not (Sys.file_exists path) then begin
+    mkdir_p (Filename.dirname path);
+    try Unix.mkdir path 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
+  end
+
+let extract ~root entries =
+  mkdir_p root;
+  List.iter
+    (fun entry ->
+      let path = match entry with Directory p -> p | File { path; _ } -> path in
+      if not (path_is_safe path) then failwith ("Archive.extract: unsafe path " ^ path);
+      let absolute = Filename.concat root path in
+      match entry with
+      | Directory _ -> mkdir_p absolute
+      | File { content; _ } ->
+          mkdir_p (Filename.dirname absolute);
+          let oc = open_out_bin absolute in
+          Fun.protect ~finally:(fun () -> close_out oc) (fun () -> output_string oc content))
+    entries;
+  List.length entries

@@ -1,0 +1,45 @@
+(** A minimal archive format for remote file-system dumps.
+
+    The paper motivates very large transfers with "remote file system dumps";
+    this module turns a directory tree into one byte string (and back), so
+    the multi-blast protocols have a real workload: [lanrepro dump] sends an
+    archive of a directory to a peer, which restores it.
+
+    Format (all integers big-endian):
+    {v
+      "LDMP" | u8 version | u32 entry count
+      per entry: u8 kind (0 dir, 1 file) | u16 path length | path
+                 | u32 content length | content        (files only)
+      trailer: u32 CRC-32 of everything before it
+    v}
+
+    Paths are relative, ['/']-separated, and validated on extraction: no
+    absolute paths, no [".."] components (a hostile archive cannot escape
+    the target directory). *)
+
+type entry = Directory of string | File of { path : string; content : string }
+
+type error =
+  | Bad_magic
+  | Bad_version of int
+  | Truncated
+  | Bad_checksum
+  | Unsafe_path of string
+
+val pp_error : Format.formatter -> error -> unit
+
+val encode : entry list -> string
+(** Raises [Invalid_argument] on unsafe or oversized paths (> 65535 bytes)
+    or file contents over 1 GiB. *)
+
+val decode : string -> (entry list, error) result
+
+val of_directory : string -> entry list
+(** Walks [root] (regular files and directories only; symlinks and special
+    files are skipped), producing entries with paths relative to [root], in
+    a deterministic (sorted) order. *)
+
+val extract : root:string -> entry list -> int
+(** Writes the entries under [root] (created if missing); returns the number
+    of entries written. Raises [Failure] on unsafe paths — {!decode} already
+    rejects them, so this is defense in depth for hand-built entry lists. *)

@@ -1,0 +1,78 @@
+type 'a entry = { time : Time.t; seq : int; payload : 'a }
+
+type 'a t = {
+  mutable heap : 'a entry array;
+  mutable size : int;
+  mutable next_seq : int;
+  mutable dummy : 'a entry option; (* first-ever entry, reused as filler *)
+}
+
+let create () = { heap = [||]; size = 0; next_seq = 0; dummy = None }
+
+let entry_before a b =
+  match Time.compare a.time b.time with 0 -> a.seq < b.seq | c -> c < 0
+
+let grow t entry =
+  let capacity = Array.length t.heap in
+  if t.size = capacity then begin
+    let fresh = Array.make (Stdlib.max 16 (2 * capacity)) entry in
+    Array.blit t.heap 0 fresh 0 t.size;
+    t.heap <- fresh
+  end
+
+let rec sift_up heap i =
+  if i > 0 then begin
+    let parent = (i - 1) / 2 in
+    if entry_before heap.(i) heap.(parent) then begin
+      let tmp = heap.(i) in
+      heap.(i) <- heap.(parent);
+      heap.(parent) <- tmp;
+      sift_up heap parent
+    end
+  end
+
+let rec sift_down heap size i =
+  let left = (2 * i) + 1 in
+  if left < size then begin
+    let smallest = if entry_before heap.(left) heap.(i) then left else i in
+    let right = left + 1 in
+    let smallest =
+      if right < size && entry_before heap.(right) heap.(smallest) then right else smallest
+    in
+    if smallest <> i then begin
+      let tmp = heap.(i) in
+      heap.(i) <- heap.(smallest);
+      heap.(smallest) <- tmp;
+      sift_down heap size smallest
+    end
+  end
+
+let push t ~time payload =
+  let entry = { time; seq = t.next_seq; payload } in
+  t.next_seq <- t.next_seq + 1;
+  if t.dummy = None then t.dummy <- Some entry;
+  grow t entry;
+  t.heap.(t.size) <- entry;
+  t.size <- t.size + 1;
+  sift_up t.heap (t.size - 1)
+
+let pop t =
+  if t.size = 0 then None
+  else begin
+    let top = t.heap.(0) in
+    t.size <- t.size - 1;
+    t.heap.(0) <- t.heap.(t.size);
+    (match t.dummy with Some d -> t.heap.(t.size) <- d | None -> ());
+    sift_down t.heap t.size 0;
+    Some (top.time, top.payload)
+  end
+
+let peek_time t = if t.size = 0 then None else Some t.heap.(0).time
+let length t = t.size
+let is_empty t = t.size = 0
+
+let clear t =
+  (match t.dummy with
+  | Some d -> Array.fill t.heap 0 t.size d
+  | None -> ());
+  t.size <- 0

@@ -1,0 +1,19 @@
+(** A monotone priority queue of timestamped events.
+
+    Ties are broken by insertion order, so two events scheduled for the same
+    instant fire in the order they were scheduled — protocol state machines
+    rely on this determinism. *)
+
+type 'a t
+
+val create : unit -> 'a t
+
+val push : 'a t -> time:Time.t -> 'a -> unit
+
+val pop : 'a t -> (Time.t * 'a) option
+(** Removes and returns the earliest event, or [None] when empty. *)
+
+val peek_time : 'a t -> Time.t option
+val length : 'a t -> int
+val is_empty : 'a t -> bool
+val clear : 'a t -> unit

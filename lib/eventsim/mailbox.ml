@@ -1,0 +1,34 @@
+type 'a t = { capacity : int; items : 'a Queue.t; nonempty : Waitq.t }
+
+let create ~capacity =
+  if capacity <= 0 then invalid_arg "Mailbox.create: capacity must be positive";
+  { capacity; items = Queue.create (); nonempty = Waitq.create () }
+
+let try_put t item =
+  if Queue.length t.items >= t.capacity then false
+  else begin
+    Queue.push item t.items;
+    Waitq.signal t.nonempty;
+    true
+  end
+
+let rec peek t =
+  match Queue.peek_opt t.items with
+  | Some item -> item
+  | None ->
+      Waitq.wait t.nonempty;
+      peek t
+
+let remove t =
+  match Queue.take_opt t.items with
+  | Some _ -> ()
+  | None -> invalid_arg "Mailbox.remove: empty"
+
+let get t =
+  let item = peek t in
+  remove t;
+  item
+
+let length t = Queue.length t.items
+let capacity t = t.capacity
+let is_empty t = Queue.is_empty t.items

@@ -1,0 +1,33 @@
+(** Bounded FIFO mailboxes between processes.
+
+    Models a NIC's receive buffering: arriving frames occupy a slot until the
+    host CPU copies them out; an arrival finding every slot occupied is
+    dropped by the caller (interface overrun) — {!try_put} reports this. *)
+
+type 'a t
+
+val create : capacity:int -> 'a t
+(** Requires [capacity > 0]. *)
+
+val try_put : 'a t -> 'a -> bool
+(** Non-blocking enqueue from any context (also outside processes);
+    [false] when full. *)
+
+val get : 'a t -> 'a
+(** Blocks the calling process until an item is available (FIFO wake-up).
+    The slot is freed immediately on return; model any copy-out latency
+    before calling {!free}-style accounting yourself if the slot must stay
+    occupied — see {!peek}/{!remove} for that pattern. *)
+
+val peek : 'a t -> 'a
+(** Blocks until an item is available and returns it WITHOUT freeing the
+    slot; the item stays at the head. Use with {!remove} to model a buffer
+    that remains occupied while the host copies the frame out. *)
+
+val remove : 'a t -> unit
+(** Drops the head item, freeing its slot. Raises [Invalid_argument] when
+    empty. *)
+
+val length : 'a t -> int
+val capacity : 'a t -> int
+val is_empty : 'a t -> bool

@@ -1,0 +1,58 @@
+exception Not_in_process
+
+type env = { sim : Sim.t }
+
+type _ Effect.t +=
+  | Sleep : Time.span -> unit Effect.t
+  | Suspend : ((unit -> unit) -> unit) -> unit Effect.t
+  | Current_sim : Sim.t Effect.t
+
+(* Keyed by Sim.id: a sim holds closures, so structural equality on it is
+   meaningless (and Hashtbl's compare would raise on collision). *)
+let envs : (int, env) Hashtbl.t = Hashtbl.create 4
+
+let env sim =
+  match Hashtbl.find_opt envs (Sim.id sim) with
+  | Some e -> e
+  | None ->
+      let e = { sim } in
+      Hashtbl.add envs (Sim.id sim) e;
+      e
+
+let run_body e body =
+  let open Effect.Deep in
+  match_with body ()
+    {
+      retc = (fun () -> ());
+      exnc = raise;
+      effc =
+        (fun (type a) (eff : a Effect.t) ->
+          match eff with
+          | Sleep span ->
+              Some
+                (fun (k : (a, unit) continuation) ->
+                  ignore (Sim.schedule_after e.sim span (fun () -> continue k ())))
+          | Suspend register ->
+              Some
+                (fun (k : (a, unit) continuation) ->
+                  let resumed = ref false in
+                  let resume () =
+                    assert (not !resumed);
+                    resumed := true;
+                    (* Defer to a fresh event so a resume issued from inside
+                       another process runs the woken process on its own
+                       stack, at the same instant. *)
+                    ignore (Sim.schedule_after e.sim Time.span_zero (fun () -> continue k ()))
+                  in
+                  register resume)
+          | Current_sim -> Some (fun (k : (a, unit) continuation) -> continue k e.sim)
+          | _ -> None);
+    }
+
+let spawn e ?name:_ body =
+  ignore (Sim.schedule_after e.sim Time.span_zero (fun () -> run_body e body))
+
+let in_process f = try f () with Effect.Unhandled _ -> raise Not_in_process
+let sleep span = in_process (fun () -> Effect.perform (Sleep span))
+let suspend register = in_process (fun () -> Effect.perform (Suspend register))
+let current_sim () = in_process (fun () -> Effect.perform Current_sim)

@@ -1,0 +1,38 @@
+(** Lightweight simulated processes on top of {!Sim}, built with OCaml 5
+    effect handlers.
+
+    A process is ordinary blocking-style code: it sleeps for simulated
+    durations and waits on conditions, and the engine interleaves all
+    processes deterministically on the simulation clock. This mirrors the
+    paper's standalone measurement programs, which busy-wait on the
+    completion of each operation.
+
+    All blocking operations ({!sleep}, {!suspend}, and the operations of
+    {!Waitq}, {!Resource}, {!Mailbox}) must be called from inside a process
+    body; calling them elsewhere raises [Not_in_process]. *)
+
+exception Not_in_process
+
+type env
+(** The per-simulation process environment. *)
+
+val env : Sim.t -> env
+(** [env sim] returns the process environment of [sim], creating it on first
+    use. Repeated calls return the same environment. *)
+
+val spawn : env -> ?name:string -> (unit -> unit) -> unit
+(** [spawn e body] starts a process immediately-after-now (at the current
+    instant, after already-queued events). Exceptions escaping [body]
+    propagate out of the simulation run. *)
+
+val sleep : Time.span -> unit
+(** Blocks the current process for a simulated duration. *)
+
+val suspend : ((unit -> unit) -> unit) -> unit
+(** [suspend register] parks the current process and hands a [resume]
+    function to [register]. Calling [resume] once re-schedules the process at
+    the instant of the call; further calls are errors (assertion). This is
+    the primitive from which wait queues are built. *)
+
+val current_sim : unit -> Sim.t
+(** Simulation owning the currently running process. *)

@@ -1,0 +1,77 @@
+type t = {
+  capacity : int;
+  mutable available : int;
+  waiters : Waitq.t;
+  mutable busy_since : Time.t option;
+  mutable busy_total : Time.span;
+}
+
+let create ~capacity =
+  if capacity <= 0 then invalid_arg "Resource.create: capacity must be positive";
+  {
+    capacity;
+    available = capacity;
+    waiters = Waitq.create ();
+    busy_since = None;
+    busy_total = Time.span_zero;
+  }
+
+let note_busy_start t now = if t.busy_since = None then t.busy_since <- Some now
+
+let note_busy_stop t now =
+  match t.busy_since with
+  | Some since when t.available = t.capacity ->
+      t.busy_total <- Time.span_add t.busy_total (Time.diff now since);
+      t.busy_since <- None
+  | _ -> ()
+
+let take t =
+  t.available <- t.available - 1;
+  note_busy_start t (Sim.now (Proc.current_sim ()))
+
+(* Fair (non-barging) semaphore: a releaser hands its unit directly to the
+   oldest waiter, so a process that re-acquires in a tight loop cannot starve
+   one that was already queued. Without this, the sliding-window sender's
+   receive pump never gets the CPU between back-to-back sends and every ack
+   overruns the interface. *)
+let acquire t =
+  if t.available > 0 && Waitq.waiters t.waiters = 0 then take t
+  else
+    (* Ownership is transferred by the releaser; when the wait returns this
+       process holds a unit already accounted as taken. *)
+    Waitq.wait t.waiters
+
+let try_acquire t =
+  if t.available > 0 && Waitq.waiters t.waiters = 0 then begin
+    take t;
+    true
+  end
+  else false
+
+let release t =
+  if Waitq.waiters t.waiters > 0 then
+    (* Hand off: [available] stays decremented on behalf of the new owner. *)
+    Waitq.signal t.waiters
+  else begin
+    if t.available >= t.capacity then invalid_arg "Resource.release: not held";
+    t.available <- t.available + 1;
+    note_busy_stop t (Sim.now (Proc.current_sim ()))
+  end
+
+let with_resource t f =
+  acquire t;
+  match f () with
+  | result ->
+      release t;
+      result
+  | exception exn ->
+      release t;
+      raise exn
+
+let available t = t.available
+let capacity t = t.capacity
+
+let busy_span t ~now =
+  match t.busy_since with
+  | None -> t.busy_total
+  | Some since -> Time.span_add t.busy_total (Time.diff now since)

@@ -1,0 +1,29 @@
+(** Counting semaphores over simulated processes.
+
+    Models exclusive or slotted hardware: a CPU (capacity 1), the Ethernet
+    wire (capacity 1), NIC transmit buffers (capacity 1 for the paper's 3-Com
+    interface, 2 for the hypothetical double-buffered interface). *)
+
+type t
+
+val create : capacity:int -> t
+(** Requires [capacity > 0]. *)
+
+val acquire : t -> unit
+(** Blocks the calling process until a unit is available, FIFO. *)
+
+val try_acquire : t -> bool
+(** Non-blocking; [true] on success. *)
+
+val release : t -> unit
+(** Raises [Invalid_argument] when releasing above capacity. *)
+
+val with_resource : t -> (unit -> 'a) -> 'a
+(** Acquire, run, release (also on exception). *)
+
+val available : t -> int
+val capacity : t -> int
+
+val busy_span : t -> now:Time.t -> Time.span
+(** Cumulative time during which at least one unit was held, up to [now] —
+    used for the network-utilization measurement. *)

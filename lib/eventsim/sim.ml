@@ -1,0 +1,78 @@
+type t = {
+  id : int;
+  mutable clock : Time.t;
+  queue : handle Event_queue.t;
+  mutable live : int; (* queued events not yet cancelled or fired *)
+}
+
+and handle = {
+  mutable state : [ `Pending | `Cancelled | `Fired ];
+  action : unit -> unit;
+  owner : t;
+}
+
+let next_id = ref 0
+
+let create () =
+  incr next_id;
+  { id = !next_id; clock = Time.zero; queue = Event_queue.create (); live = 0 }
+
+let id t = t.id
+let now t = t.clock
+
+let schedule_at t time f =
+  if Time.( < ) time t.clock then invalid_arg "Sim.schedule_at: time is in the past";
+  let handle = { state = `Pending; action = f; owner = t } in
+  Event_queue.push t.queue ~time handle;
+  t.live <- t.live + 1;
+  handle
+
+let schedule_after t span f = schedule_at t (Time.add t.clock span) f
+
+let cancel handle =
+  match handle.state with
+  | `Pending ->
+      handle.state <- `Cancelled;
+      handle.owner.live <- handle.owner.live - 1
+  | `Cancelled | `Fired -> ()
+
+let is_pending handle = handle.state = `Pending
+
+let rec step t =
+  match Event_queue.pop t.queue with
+  | None -> false
+  | Some (time, handle) -> begin
+      match handle.state with
+      | `Cancelled -> step t
+      | `Fired -> assert false
+      | `Pending ->
+          t.clock <- time;
+          handle.state <- `Fired;
+          t.live <- t.live - 1;
+          handle.action ();
+          true
+    end
+
+let run ?until ?max_events t =
+  let fired = ref 0 in
+  let budget_left () = match max_events with None -> true | Some m -> !fired < m in
+  let rec loop () =
+    if budget_left () then begin
+      let proceed =
+        match (until, Event_queue.peek_time t.queue) with
+        | Some limit, Some next -> Time.( <= ) next limit
+        | _, None -> false
+        | None, Some _ -> true
+      in
+      if proceed && step t then begin
+        incr fired;
+        loop ()
+      end
+    end
+  in
+  loop ();
+  match until with
+  | Some limit -> if Time.( < ) t.clock limit then t.clock <- limit
+  | None -> ()
+
+let pending t = t.live

@@ -1,0 +1,45 @@
+(** The discrete-event simulation engine.
+
+    A simulation owns a virtual clock and an event queue. Callbacks scheduled
+    for an instant run with the clock set to that instant; they may schedule
+    further events (including at the current instant — such events run after
+    all previously scheduled same-instant events, in scheduling order).
+
+    This callback engine plays the role of the paper's "network interrupt
+    level": protocol actions run to completion with no process-scheduling
+    delay, exactly the execution model the V kernel implementation assumes. *)
+
+type t
+
+type handle
+(** A cancellable reference to a scheduled event. *)
+
+val create : unit -> t
+
+val id : t -> int
+(** A process-unique identifier (sims contain closures, so they can never be
+    compared structurally — key tables by this instead). *)
+
+val now : t -> Time.t
+
+val schedule_at : t -> Time.t -> (unit -> unit) -> handle
+(** [schedule_at t time f] runs [f] when the clock reaches [time]. Raises
+    [Invalid_argument] if [time] is in the past. *)
+
+val schedule_after : t -> Time.span -> (unit -> unit) -> handle
+
+val cancel : handle -> unit
+(** Cancelling an already-fired or already-cancelled event is a no-op. *)
+
+val is_pending : handle -> bool
+
+val step : t -> bool
+(** Runs the earliest pending event. Returns [false] when no events remain. *)
+
+val run : ?until:Time.t -> ?max_events:int -> t -> unit
+(** Runs events in time order until the queue drains, the clock would pass
+    [until], or [max_events] events have fired. With [until], the clock is
+    left at [until] (events at later instants stay queued). *)
+
+val pending : t -> int
+(** Number of queued, non-cancelled events. *)

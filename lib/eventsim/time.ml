@@ -1,0 +1,37 @@
+type t = int
+type span = int
+
+let zero = 0
+let of_ns ns = if ns < 0 then invalid_arg "Time.of_ns: negative" else ns
+let to_ns t = t
+
+let span_ns ns = if ns < 0 then invalid_arg "Time.span_ns: negative" else ns
+
+let round_to_ns x =
+  if x < 0.0 then invalid_arg "Time.span: negative duration";
+  int_of_float (Float.round x)
+
+let span_us us = round_to_ns (us *. 1e3)
+let span_ms ms = round_to_ns (ms *. 1e6)
+let span_zero = 0
+let span_to_ns s = s
+let span_to_us s = float_of_int s /. 1e3
+let span_to_ms s = float_of_int s /. 1e6
+
+let add t s = t + s
+
+let diff later earlier =
+  if later < earlier then invalid_arg "Time.diff: negative span" else later - earlier
+
+let span_add a b = a + b
+let span_sub a b = if a < b then invalid_arg "Time.span_sub: negative result" else a - b
+let span_scale k s = if k < 0 then invalid_arg "Time.span_scale: negative factor" else k * s
+let span_max = Stdlib.max
+let span_min = Stdlib.min
+let compare = Stdlib.compare
+let ( <= ) = Stdlib.( <= )
+let ( < ) = Stdlib.( < )
+let to_ms t = float_of_int t /. 1e6
+let to_us t = float_of_int t /. 1e3
+let pp ppf t = Format.fprintf ppf "%.3fms" (to_ms t)
+let pp_span ppf s = Format.fprintf ppf "%.3fms" (span_to_ms s)

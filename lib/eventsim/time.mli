@@ -1,0 +1,51 @@
+(** Simulated time.
+
+    Time is an integer count of nanoseconds since the start of the
+    simulation. 63-bit nanoseconds cover ~292 years, far beyond any
+    experiment here, while keeping arithmetic exact — the error-free
+    elapsed-time tests require the simulator to match the paper's closed-form
+    formulas to the nanosecond. *)
+
+type t = private int
+(** An absolute instant, in nanoseconds. Totally ordered. *)
+
+type span = private int
+(** A duration, in nanoseconds. May be zero, never negative. *)
+
+val zero : t
+val of_ns : int -> t
+val to_ns : t -> int
+
+val span_ns : int -> span
+val span_us : float -> span
+val span_ms : float -> span
+(** Durations from nanoseconds / microseconds / milliseconds. Fractional
+    micro/milliseconds are rounded to the nearest nanosecond. Negative inputs
+    raise [Invalid_argument]. *)
+
+val span_zero : span
+val span_to_ns : span -> int
+val span_to_us : span -> float
+val span_to_ms : span -> float
+
+val add : t -> span -> t
+val diff : t -> t -> span
+(** [diff later earlier]; raises [Invalid_argument] if [later < earlier]. *)
+
+val span_add : span -> span -> span
+val span_sub : span -> span -> span
+(** Raises [Invalid_argument] if the result would be negative. *)
+
+val span_scale : int -> span -> span
+val span_max : span -> span -> span
+val span_min : span -> span -> span
+
+val compare : t -> t -> int
+val ( <= ) : t -> t -> bool
+val ( < ) : t -> t -> bool
+
+val to_ms : t -> float
+val to_us : t -> float
+
+val pp : Format.formatter -> t -> unit
+val pp_span : Format.formatter -> span -> unit

@@ -1,0 +1,27 @@
+type t = {
+  sim : Sim.t;
+  on_fire : unit -> unit;
+  mutable pending : (Sim.handle * Time.t) option;
+}
+
+let create sim ~on_fire = { sim; on_fire; pending = None }
+
+let stop t =
+  match t.pending with
+  | Some (handle, _) ->
+      Sim.cancel handle;
+      t.pending <- None
+  | None -> ()
+
+let arm t span =
+  stop t;
+  let deadline = Time.add (Sim.now t.sim) span in
+  let handle =
+    Sim.schedule_at t.sim deadline (fun () ->
+        t.pending <- None;
+        t.on_fire ())
+  in
+  t.pending <- Some (handle, deadline)
+
+let is_armed t = t.pending <> None
+let deadline t = Option.map snd t.pending

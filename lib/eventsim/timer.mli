@@ -1,0 +1,21 @@
+(** Restartable one-shot timers on top of {!Sim}.
+
+    Protocol machines express retransmission timeouts as timers that are
+    armed, re-armed (which cancels the previous deadline) and stopped.
+    A timer fires at most once per arming. *)
+
+type t
+
+val create : Sim.t -> on_fire:(unit -> unit) -> t
+
+val arm : t -> Time.span -> unit
+(** [arm t span] (re)schedules the timer to fire [span] from now, replacing
+    any previously armed deadline. *)
+
+val stop : t -> unit
+(** Cancels a pending deadline; no-op when idle. *)
+
+val is_armed : t -> bool
+
+val deadline : t -> Time.t option
+(** The instant the timer will fire at, when armed. *)

@@ -1,0 +1,38 @@
+type span = { lane : string; kind : string; start : Time.t; stop : Time.t }
+type t = { mutable spans : span list; mutable enabled : bool }
+
+let create () = { spans = []; enabled = true }
+let enabled t = t.enabled
+let set_enabled t flag = t.enabled <- flag
+
+let record t ~lane ~kind ~start ~stop =
+  if Time.( < ) stop start then invalid_arg "Trace.record: stop before start";
+  if t.enabled then t.spans <- { lane; kind; start; stop } :: t.spans
+
+let spans t = List.rev t.spans
+let clear t = t.spans <- []
+
+let total_by_kind t =
+  let table = Hashtbl.create 16 in
+  List.iter
+    (fun s ->
+      let duration = Time.diff s.stop s.start in
+      let current = Option.value ~default:Time.span_zero (Hashtbl.find_opt table s.kind) in
+      Hashtbl.replace table s.kind (Time.span_add current duration))
+    t.spans;
+  Hashtbl.fold (fun kind total acc -> (kind, total) :: acc) table []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+let lanes t =
+  let seen = Hashtbl.create 8 in
+  List.filter_map
+    (fun s ->
+      if Hashtbl.mem seen s.lane then None
+      else begin
+        Hashtbl.add seen s.lane ();
+        Some s.lane
+      end)
+    (spans t)
+
+let end_time t =
+  List.fold_left (fun acc s -> if Time.( < ) acc s.stop then s.stop else acc) Time.zero t.spans

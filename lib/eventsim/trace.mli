@@ -1,0 +1,37 @@
+(** Span-based activity tracing.
+
+    Every component of the simulated hardware (a CPU copying a packet, the
+    wire carrying a frame) records [(lane, kind, start, stop)] spans. The
+    report library renders these as the paper's Figure 2 / Figure 3
+    timelines, and the Table 2 reproduction aggregates span durations by
+    kind. *)
+
+type span = {
+  lane : string;  (** e.g. ["sender cpu"], ["wire"], ["receiver cpu"] *)
+  kind : string;  (** e.g. ["copy-data-in"], ["transmit-data"] *)
+  start : Time.t;
+  stop : Time.t;
+}
+
+type t
+
+val create : unit -> t
+val enabled : t -> bool
+val set_enabled : t -> bool -> unit
+
+val record : t -> lane:string -> kind:string -> start:Time.t -> stop:Time.t -> unit
+(** No-op when disabled. Raises [Invalid_argument] if [stop < start]. *)
+
+val spans : t -> span list
+(** In recording order. *)
+
+val clear : t -> unit
+
+val total_by_kind : t -> (string * Time.span) list
+(** Sum of span durations grouped by [kind], sorted by kind name. *)
+
+val lanes : t -> string list
+(** Distinct lanes in first-appearance order. *)
+
+val end_time : t -> Time.t
+(** Largest [stop] recorded; [Time.zero] when empty. *)

@@ -1,0 +1,15 @@
+type t = { queue : (unit -> unit) Queue.t }
+
+let create () = { queue = Queue.create () }
+let wait t = Proc.suspend (fun resume -> Queue.push resume t.queue)
+
+let signal t =
+  match Queue.take_opt t.queue with Some resume -> resume () | None -> ()
+
+let broadcast t =
+  let pending = Queue.length t.queue in
+  for _ = 1 to pending do
+    signal t
+  done
+
+let waiters t = Queue.length t.queue

@@ -1,0 +1,17 @@
+(** FIFO wait queues for processes (condition-variable style). *)
+
+type t
+
+val create : unit -> t
+
+val wait : t -> unit
+(** Parks the calling process until a subsequent {!signal} or {!broadcast}
+    reaches it. Wake-ups are FIFO. *)
+
+val signal : t -> unit
+(** Wakes the oldest waiter, if any. *)
+
+val broadcast : t -> unit
+(** Wakes every current waiter. *)
+
+val waiters : t -> int

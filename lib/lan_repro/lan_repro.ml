@@ -1,0 +1,35 @@
+(** The complete public API of the reproduction, under one roof.
+
+    {2 Substrates}
+
+    - {!Stats}: deterministic randomness and descriptive statistics
+    - {!Eventsim}: the discrete-event kernel and its process layer
+    - {!Netmodel}: the simulated hardware (stations, wire, error models)
+    - {!Packet}: the wire format
+
+    {2 The paper's contribution}
+
+    - {!Protocol}: the protocol family as transport-agnostic machines
+    - {!Analysis}: the closed-form performance model
+    - {!Montecarlo}: strategy simulation under loss
+
+    {2 Systems built on top}
+
+    - {!Simnet}: transfers over the simulated LAN
+    - {!Sockets}: the same machines over real UDP
+    - {!Vkernel}: MoveTo/MoveFrom and Send/Receive/Reply IPC
+    - {!Workload}, {!Report}, {!Experiments}: experiment plumbing *)
+
+module Stats = Stats
+module Eventsim = Eventsim
+module Netmodel = Netmodel
+module Packet = Packet
+module Protocol = Protocol
+module Simnet = Simnet
+module Analysis = Analysis
+module Montecarlo = Montecarlo
+module Sockets = Sockets
+module Vkernel = Vkernel
+module Workload = Workload
+module Report = Report
+module Experiments = Experiments

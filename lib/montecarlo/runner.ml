@@ -1,0 +1,94 @@
+type timing = { per_packet : float; response : float; tr : float }
+
+let blast_timing (k : Analysis.Costs.t) ~tr =
+  {
+    per_packet = k.Analysis.Costs.c +. k.Analysis.Costs.t;
+    response =
+      k.Analysis.Costs.c
+      +. (2.0 *. k.Analysis.Costs.ca)
+      +. k.Analysis.Costs.ta
+      +. (2.0 *. k.Analysis.Costs.tau);
+    tr;
+  }
+
+let saw_timing (k : Analysis.Costs.t) ~tr =
+  {
+    per_packet =
+      (2.0 *. k.Analysis.Costs.c)
+      +. (2.0 *. k.Analysis.Costs.ca)
+      +. k.Analysis.Costs.t +. k.Analysis.Costs.ta
+      +. (2.0 *. k.Analysis.Costs.tau);
+    response = 0.0;
+    tr;
+  }
+
+let error_free_time timing ~packets = (float_of_int packets *. timing.per_packet) +. timing.response
+
+let one_transfer ?(max_attempts = 10_000) ~drops ~timing ~suite ~packets () =
+  let config = Protocol.Config.make ~total_packets:packets ~max_attempts () in
+  let sender = Protocol.Suite.sender suite config ~payload:(fun _ -> "") in
+  let receiver = Protocol.Suite.receiver suite config in
+  let elapsed = ref 0.0 in
+  let s2r = Queue.create () and r2s = Queue.create () in
+  let timer_armed = ref false in
+  let outcome = ref None in
+  let do_actions side actions =
+    List.iter
+      (fun action ->
+        match action with
+        | Protocol.Action.Send m ->
+            let survives =
+              match side with
+              | `Sender ->
+                  (* A data transmission costs its pipeline slot whether or
+                     not the network then loses it. *)
+                  elapsed := !elapsed +. timing.per_packet;
+                  not (drops ())
+              | `Receiver ->
+                  (* A lost response costs nothing here: the sender pays the
+                     timeout instead. *)
+                  if drops () then false
+                  else begin
+                    elapsed := !elapsed +. timing.response;
+                    true
+                  end
+            in
+            if survives then
+              Queue.push m (match side with `Sender -> s2r | `Receiver -> r2s)
+        | Protocol.Action.Arm_timer _ -> if side = `Sender then timer_armed := true
+        | Protocol.Action.Stop_timer -> if side = `Sender then timer_armed := false
+        | Protocol.Action.Deliver _ -> ()
+        | Protocol.Action.Complete o -> outcome := Some o)
+      actions
+  in
+  do_actions `Receiver (receiver.Protocol.Machine.start ());
+  do_actions `Sender (sender.Protocol.Machine.start ());
+  while !outcome = None do
+    if not (Queue.is_empty s2r) then
+      do_actions `Receiver
+        (receiver.Protocol.Machine.handle (Protocol.Action.Message (Queue.pop s2r)))
+    else if not (Queue.is_empty r2s) then
+      do_actions `Sender
+        (sender.Protocol.Machine.handle (Protocol.Action.Message (Queue.pop r2s)))
+    else if !timer_armed then begin
+      elapsed := !elapsed +. timing.tr;
+      do_actions `Sender (sender.Protocol.Machine.handle Protocol.Action.Timeout)
+    end
+    else failwith "Montecarlo: deadlock"
+  done;
+  match !outcome with
+  | Some Protocol.Action.Success -> !elapsed
+  | Some Protocol.Action.Too_many_attempts | None ->
+      failwith "Montecarlo: transfer gave up (loss rate too high)"
+
+let iid rng ~loss () = loss > 0.0 && Stats.Rng.bernoulli rng ~p:loss
+
+let sample ?max_attempts ~sampler ~timing ~suite ~packets ~trials ~seed () =
+  if trials <= 0 then invalid_arg "Runner.sample: trials must be positive";
+  let summary = Stats.Summary.create () in
+  for trial = 0 to trials - 1 do
+    let rng = Stats.Rng.create ~seed:((seed * 7_368_787) + trial) in
+    let drops = sampler rng in
+    Stats.Summary.add summary (one_transfer ?max_attempts ~drops ~timing ~suite ~packets ())
+  done;
+  summary

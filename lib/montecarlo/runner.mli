@@ -1,0 +1,55 @@
+(** Monte-Carlo simulation of transfer times under packet loss.
+
+    This is the abstraction level of the paper's Section 3 analysis (and of
+    the simulations its authors ran for the partial/selective strategies):
+    packet-level timing is collapsed into three constants and the protocol
+    logic is the {e real} state-machine implementation from [lib/protocol],
+    driven by a loss sampler and a time accountant.
+
+    {ul
+    {- every data packet transmitted costs [per_packet] (= C + T for a blast
+       pipeline; the whole exchange time T0(1) for stop-and-wait);}
+    {- every acknowledgement or NACK that reaches the sender costs
+       [response] (the trailing ack path C + 2Ca + Ta + 2 tau; 0 for
+       stop-and-wait, where it is folded into [per_packet]);}
+    {- every timeout costs [tr].}}
+
+    Losses are sampled per transmission from a caller-supplied sampler, so
+    iid and burst (Gilbert-Elliott) error processes plug in unchanged. *)
+
+type timing = { per_packet : float; response : float; tr : float }
+
+val blast_timing : Analysis.Costs.t -> tr:float -> timing
+val saw_timing : Analysis.Costs.t -> tr:float -> timing
+
+val error_free_time : timing -> packets:int -> float
+(** [packets * per_packet + response] — equals [Analysis.Error_free.blast]
+    for {!blast_timing} and [Analysis.Error_free.stop_and_wait] for
+    {!saw_timing}. *)
+
+val one_transfer :
+  ?max_attempts:int ->
+  drops:(unit -> bool) ->
+  timing:timing ->
+  suite:Protocol.Suite.t ->
+  packets:int ->
+  unit ->
+  float
+(** Elapsed time of a single transfer, in ms. Raises [Failure] if the
+    machine exhausts [max_attempts] (default 10_000) transmission rounds —
+    only reachable when the loss rate approaches 1. *)
+
+val iid : Stats.Rng.t -> loss:float -> unit -> bool
+
+val sample :
+  ?max_attempts:int ->
+  sampler:(Stats.Rng.t -> unit -> bool) ->
+  timing:timing ->
+  suite:Protocol.Suite.t ->
+  packets:int ->
+  trials:int ->
+  seed:int ->
+  unit ->
+  Stats.Summary.t
+(** [trials] independent transfers; trial [i] gets an RNG derived from
+    [seed] and [i]. Returns the summary of elapsed times (ms). *)

@@ -1,0 +1,118 @@
+open Eventsim
+
+type stats = {
+  mutable collisions : int;
+  mutable deferrals : int;
+  mutable excessive_collision_drops : int;
+}
+
+(* The window in which concurrently started transmissions collide. *)
+type window = { mutable members : int; mutable collided : bool }
+
+type csma = {
+  rng : Stats.Rng.t;
+  propagation : Time.span;
+  slot : Time.span;
+  jam : Time.span;
+  max_backoff_exponent : int;
+  attempt_limit : int;
+  mutable visible_busy_until : Time.t;
+  mutable window : window option;
+  stats : stats;
+  mutable useful : Time.span;
+}
+
+type t = Fifo of { resource : Resource.t; stats : stats } | Csma of csma
+
+let fresh_stats () = { collisions = 0; deferrals = 0; excessive_collision_drops = 0 }
+let fifo () = Fifo { resource = Resource.create ~capacity:1; stats = fresh_stats () }
+
+let csma_cd ~rng ~propagation ?(slot = Time.span_us 51.2) ?(jam = Time.span_us 4.8)
+    ?(max_backoff_exponent = 10) ?(attempt_limit = 16) () =
+  if attempt_limit <= 0 then invalid_arg "Arbiter.csma_cd: attempt_limit must be positive";
+  Csma
+    {
+      rng;
+      propagation;
+      slot;
+      jam;
+      max_backoff_exponent;
+      attempt_limit;
+      visible_busy_until = Time.zero;
+      window = None;
+      stats = fresh_stats ();
+      useful = Time.span_zero;
+    }
+
+let stats = function Fifo f -> f.stats | Csma c -> c.stats
+
+let note_busy_end c at =
+  if Time.( < ) c.visible_busy_until at then c.visible_busy_until <- at
+
+let leave_window c w =
+  w.members <- w.members - 1;
+  if w.members = 0 then c.window <- None
+
+let acquire_csma c span =
+  let sim = Proc.current_sim () in
+  let now () = Sim.now sim in
+  let rec attempt k =
+    if k > c.attempt_limit then begin
+      c.stats.excessive_collision_drops <- c.stats.excessive_collision_drops + 1;
+      false
+    end
+    else if Time.( < ) (now ()) c.visible_busy_until then begin
+      (* Carrier sensed busy: defer until the channel looks idle (1-persistent). *)
+      c.stats.deferrals <- c.stats.deferrals + 1;
+      Proc.sleep (Time.diff c.visible_busy_until (now ()));
+      attempt k
+    end
+    else begin
+      match c.window with
+      | Some w ->
+          (* Someone started within the last propagation delay: their signal
+             has not reached us, we transmit too — collision. *)
+          w.collided <- true;
+          w.members <- w.members + 1;
+          collide k w
+      | None ->
+          let w = { members = 1; collided = false } in
+          c.window <- Some w;
+          Proc.sleep c.propagation;
+          if w.collided then collide k w
+          else begin
+            (* We own the channel: it is now visibly busy until the frame
+               ends. *)
+            let remaining = Time.span_sub span (Time.span_min span c.propagation) in
+            note_busy_end c (Time.add (now ()) remaining);
+            c.window <- None;
+            Proc.sleep remaining;
+            c.useful <- Time.span_add c.useful span;
+            true
+          end
+    end
+  and collide k w =
+    c.stats.collisions <- c.stats.collisions + 1;
+    (* Detect at one propagation delay, then jam. *)
+    Proc.sleep c.propagation;
+    note_busy_end c (Time.add (now ()) c.jam);
+    Proc.sleep c.jam;
+    leave_window c w;
+    let exponent = min k c.max_backoff_exponent in
+    let slots = Stats.Rng.int c.rng (1 lsl exponent) in
+    if slots > 0 then Proc.sleep (Time.span_scale slots c.slot);
+    attempt (k + 1)
+  in
+  attempt 1
+
+let acquire t span =
+  match t with
+  | Fifo f ->
+      Resource.with_resource f.resource (fun () -> Proc.sleep span);
+      true
+  | Csma c -> acquire_csma c span
+
+let busy_span t ~now =
+  match t with
+  | Fifo f -> Resource.busy_span f.resource ~now
+  | Csma c -> c.useful

@@ -1,0 +1,46 @@
+(** Medium-access arbitration for the shared wire.
+
+    The paper's measurements ran on an essentially idle Ethernet, so the
+    default {!fifo} arbiter — transmissions queue and never collide — is both
+    faithful and fast. The {!csma_cd} arbiter implements carrier sense with a
+    propagation-delay vulnerability window, collision detection, jam, and
+    truncated binary exponential backoff, so the load experiments can probe
+    where "low load" ends.
+
+    All acquire operations are blocking process operations. *)
+
+type t
+
+val fifo : unit -> t
+
+val csma_cd :
+  rng:Stats.Rng.t ->
+  propagation:Eventsim.Time.span ->
+  ?slot:Eventsim.Time.span ->
+  ?jam:Eventsim.Time.span ->
+  ?max_backoff_exponent:int ->
+  ?attempt_limit:int ->
+  unit ->
+  t
+(** Defaults follow 10 Mb/s Ethernet: 51.2 us slot, 4.8 us jam, backoff
+    exponent capped at 10, 16 attempts before the frame is dropped.
+    Two stations that begin transmitting within [propagation] of each other
+    collide: both jam, back off a random number of slots, and retry. *)
+
+val acquire : t -> Eventsim.Time.span -> bool
+(** [acquire t span] contends for the medium and, on success, occupies it for
+    [span] (the frame's serialization time), returning [true] once the
+    transmission has completed. [false] means the frame was dropped after
+    exhausting the attempt limit (16 consecutive collisions). *)
+
+type stats = {
+  mutable collisions : int;
+  mutable deferrals : int;  (** carrier-sense busy waits *)
+  mutable excessive_collision_drops : int;
+}
+
+val stats : t -> stats
+
+val busy_span : t -> now:Eventsim.Time.t -> Eventsim.Time.span
+(** Cumulative time spent on successful transmissions (collision fragments
+    and jams are excluded — they are waste, not utilization). *)

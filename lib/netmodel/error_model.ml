@@ -1,0 +1,64 @@
+type state = Good | Bad
+
+type kind =
+  | Perfect
+  | Iid of { rng : Stats.Rng.t; loss : float }
+  | Gilbert of {
+      rng : Stats.Rng.t;
+      to_bad : float;
+      to_good : float;
+      loss_good : float;
+      loss_bad : float;
+      mutable state : state;
+    }
+
+type t = kind
+
+let perfect () = Perfect
+
+let check_prob name p =
+  if not (p >= 0.0 && p <= 1.0) then invalid_arg ("Error_model: " ^ name ^ " outside [0,1]")
+
+let iid rng ~loss =
+  check_prob "loss" loss;
+  Iid { rng; loss }
+
+let gilbert_elliott rng ~to_bad ~to_good ~loss_good ~loss_bad =
+  check_prob "to_bad" to_bad;
+  check_prob "to_good" to_good;
+  check_prob "loss_good" loss_good;
+  check_prob "loss_bad" loss_bad;
+  Gilbert { rng; to_bad; to_good; loss_good; loss_bad; state = Good }
+
+let matched_gilbert_elliott rng ~mean_loss ~burst_length =
+  if not (mean_loss >= 0.0 && mean_loss < 1.0) then
+    invalid_arg "Error_model.matched_gilbert_elliott: mean_loss outside [0,1)";
+  if not (burst_length >= 1.0) then
+    invalid_arg "Error_model.matched_gilbert_elliott: burst_length < 1";
+  (* Stationary P(Bad) = to_bad / (to_bad + to_good); mean Bad sojourn =
+     1/to_good. With loss_bad = 1 and loss_good = 0, mean loss = P(Bad). *)
+  let to_good = 1.0 /. burst_length in
+  let to_bad = mean_loss *. to_good /. (1.0 -. mean_loss) in
+  gilbert_elliott rng ~to_bad ~to_good ~loss_good:0.0 ~loss_bad:1.0
+
+let drops = function
+  | Perfect -> false
+  | Iid { rng; loss } -> loss > 0.0 && Stats.Rng.bernoulli rng ~p:loss
+  | Gilbert g ->
+      let flip =
+        match g.state with
+        | Good -> Stats.Rng.bernoulli g.rng ~p:g.to_bad
+        | Bad -> Stats.Rng.bernoulli g.rng ~p:g.to_good
+      in
+      if flip then g.state <- (match g.state with Good -> Bad | Bad -> Good);
+      let loss = match g.state with Good -> g.loss_good | Bad -> g.loss_bad in
+      loss > 0.0 && Stats.Rng.bernoulli g.rng ~p:loss
+
+let average_loss = function
+  | Perfect -> 0.0
+  | Iid { loss; _ } -> loss
+  | Gilbert { to_bad; to_good; loss_good; loss_bad; _ } ->
+      if to_bad = 0.0 && to_good = 0.0 then loss_good
+      else
+        let p_bad = to_bad /. (to_bad +. to_good) in
+        (loss_bad *. p_bad) +. (loss_good *. (1.0 -. p_bad))

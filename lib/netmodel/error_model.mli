@@ -1,0 +1,40 @@
+(** Packet-loss models.
+
+    The paper assumes statistically independent losses with constant
+    probability ({!iid}), and notes that burst errors occasionally occur; the
+    {!gilbert_elliott} two-state model lets the ablation benchmarks probe how
+    sensitive the strategy ranking is to that assumption. *)
+
+type t
+
+val perfect : unit -> t
+(** Never drops. *)
+
+val iid : Stats.Rng.t -> loss:float -> t
+(** Independent drops with probability [loss] per transmission. *)
+
+val gilbert_elliott :
+  Stats.Rng.t ->
+  to_bad:float ->
+  to_good:float ->
+  loss_good:float ->
+  loss_bad:float ->
+  t
+(** Two-state Markov burst model. Before each transmission the chain steps:
+    from Good it moves to Bad with probability [to_bad], from Bad to Good
+    with probability [to_good]; the transmission is then dropped with the
+    loss probability of the current state. *)
+
+val matched_gilbert_elliott : Stats.Rng.t -> mean_loss:float -> burst_length:float -> t
+(** A Gilbert-Elliott model whose stationary loss rate equals [mean_loss]
+    and whose bursts last [burst_length] transmissions on average, with a
+    perfectly clean Good state and fully lossy Bad state. Useful for
+    comparisons at equal average loss. Requires [0 <= mean_loss < 1] and
+    [burst_length >= 1]. *)
+
+val drops : t -> bool
+(** Samples the model for one transmission; [true] means the frame is lost. *)
+
+val average_loss : t -> float
+(** The long-run loss rate of the model (exact for iid, stationary for
+    Gilbert-Elliott). *)

@@ -1,0 +1,82 @@
+open Eventsim
+
+type t = {
+  data_packet_bytes : int;
+  ack_packet_bytes : int;
+  bandwidth_bps : int;
+  propagation : Time.span;
+  copy_data : Time.span;
+  copy_ack : Time.span;
+  tx_buffers : int;
+  rx_buffers : int;
+  busy_wait_tx : bool;
+  device_overhead : Time.span;
+  rx_service_overhead : Time.span;
+  dma : dma option;
+}
+
+and dma = { copy_scale : float; command : Time.span }
+
+let base =
+  {
+    data_packet_bytes = 1024;
+    ack_packet_bytes = 64;
+    bandwidth_bps = 10_000_000;
+    propagation = Time.span_us 10.0;
+    copy_data = Time.span_ms 1.35;
+    copy_ack = Time.span_ms 0.17;
+    tx_buffers = 1;
+    rx_buffers = 2;
+    busy_wait_tx = true;
+    device_overhead = Time.span_zero;
+    rx_service_overhead = Time.span_zero;
+    dma = None;
+  }
+
+let standalone = base
+let vkernel = { base with copy_data = Time.span_ms 1.83; copy_ack = Time.span_ms 0.67 }
+
+let double_buffered t = { t with tx_buffers = 2; rx_buffers = 2; busy_wait_tx = false }
+
+let with_dma ?(copy_scale = 2.0) ?(command_us = 100.0) t =
+  if not (copy_scale > 0.0) then invalid_arg "Params.with_dma: copy_scale must be positive";
+  {
+    t with
+    dma = Some { copy_scale; command = Time.span_us command_us };
+    busy_wait_tx = false;
+  }
+
+let data_transmit t =
+  Units.transmit_span ~bandwidth_bps:t.bandwidth_bps ~bytes:t.data_packet_bytes
+
+let ack_transmit t =
+  Units.transmit_span ~bandwidth_bps:t.bandwidth_bps ~bytes:t.ack_packet_bytes
+
+let copy_cost t ~bytes =
+  if bytes < 0 then invalid_arg "Params.copy_cost: negative size";
+  if bytes = t.data_packet_bytes then t.copy_data
+  else if bytes = t.ack_packet_bytes then t.copy_ack
+  else begin
+    (* Linear model through the two calibrated points. *)
+    let c_data = float_of_int (Time.span_to_ns t.copy_data) in
+    let c_ack = float_of_int (Time.span_to_ns t.copy_ack) in
+    let slope =
+      (c_data -. c_ack) /. float_of_int (t.data_packet_bytes - t.ack_packet_bytes)
+    in
+    let cost = c_ack +. (slope *. float_of_int (bytes - t.ack_packet_bytes)) in
+    Time.span_ns (int_of_float (Float.max 0.0 (Float.round cost)))
+  end
+
+let dma_copy_cost t ~bytes =
+  match t.dma with
+  | None -> copy_cost t ~bytes
+  | Some { copy_scale; _ } ->
+      let base = float_of_int (Time.span_to_ns (copy_cost t ~bytes)) in
+      Time.span_ns (int_of_float (Float.round (base *. copy_scale)))
+
+let is_data_size t ~bytes =
+  bytes - t.ack_packet_bytes >= (t.data_packet_bytes - t.ack_packet_bytes) / 2
+
+let packets_for t ~bytes =
+  if bytes <= 0 then invalid_arg "Params.packets_for: size must be positive";
+  (bytes + t.data_packet_bytes - 1) / t.data_packet_bytes

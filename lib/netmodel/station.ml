@@ -1,0 +1,110 @@
+open Eventsim
+
+type 'a t = {
+  wire : 'a Wire.t;
+  name : string;
+  address : int;
+  rx : 'a Wire.frame Mailbox.t;
+  cpu : Resource.t;
+  tx_slots : Resource.t;
+  dma_engine : Resource.t option;
+}
+
+let create wire ~name =
+  let params = Wire.params wire in
+  let address, rx = Wire.register wire ~rx_buffers:params.Params.rx_buffers in
+  {
+    wire;
+    name;
+    address;
+    rx;
+    cpu = Resource.create ~capacity:1;
+    tx_slots = Resource.create ~capacity:params.Params.tx_buffers;
+    dma_engine =
+      (match params.Params.dma with
+      | Some _ -> Some (Resource.create ~capacity:1)
+      | None -> None);
+  }
+
+let address t = t.address
+let name t = t.name
+
+let engine_busy t resource ~lane ~kind span =
+  Resource.with_resource resource (fun () ->
+      let sim = Wire.sim t.wire in
+      let start = Sim.now sim in
+      Proc.sleep span;
+      match Wire.trace t.wire with
+      | Some trace -> Trace.record trace ~lane ~kind ~start ~stop:(Sim.now sim)
+      | None -> ())
+
+let cpu_busy t ~kind span = engine_busy t t.cpu ~lane:(t.name ^ " cpu") ~kind span
+
+let dma_busy t ~kind span =
+  match t.dma_engine with
+  | Some engine -> engine_busy t engine ~lane:(t.name ^ " nic") ~kind span
+  | None -> invalid_arg "Station: no DMA engine"
+
+let cpu_busy_span t ~now = Resource.busy_span t.cpu ~now
+
+let frame_suffix params ~bytes = if Params.is_data_size params ~bytes then "data" else "ack"
+
+let send t ~dst ~bytes payload =
+  let params = Wire.params t.wire in
+  let suffix = frame_suffix params ~bytes in
+  Resource.acquire t.tx_slots;
+  (match params.Params.dma with
+  | None -> cpu_busy t ~kind:("copy-" ^ suffix ^ "-in") (Params.copy_cost params ~bytes)
+  | Some dma ->
+      (* The host only issues the command; the interface's own processor
+         copies the frame into its buffer. *)
+      cpu_busy t ~kind:"command" dma.Params.command;
+      dma_busy t ~kind:("copy-" ^ suffix ^ "-in") (Params.dma_copy_cost params ~bytes));
+  if Time.span_to_ns params.Params.device_overhead > 0 then
+    Proc.sleep params.Params.device_overhead;
+  let frame = { Wire.src = t.address; dst; bytes; payload } in
+  if params.Params.busy_wait_tx then
+    (* The CPU polls the interface until the frame is on the wire; nothing
+       else (in particular no ack copy-out) can run on this station. *)
+    Resource.with_resource t.cpu (fun () ->
+        Wire.transmit t.wire frame;
+        Resource.release t.tx_slots)
+  else
+    Proc.spawn
+      (Proc.env (Wire.sim t.wire))
+      ~name:(t.name ^ "-tx")
+      (fun () ->
+        Wire.transmit t.wire frame;
+        Resource.release t.tx_slots)
+
+let copy_out t frame =
+  let params = Wire.params t.wire in
+  let suffix = frame_suffix params ~bytes:frame.Wire.bytes in
+  (match params.Params.dma with
+  | None ->
+      cpu_busy t ~kind:("copy-" ^ suffix ^ "-out") (Params.copy_cost params ~bytes:frame.Wire.bytes)
+  | Some dma ->
+      dma_busy t ~kind:("copy-" ^ suffix ^ "-out")
+        (Params.dma_copy_cost params ~bytes:frame.Wire.bytes);
+      cpu_busy t ~kind:"command" dma.Params.command);
+  if Time.span_to_ns params.Params.rx_service_overhead > 0 then
+    (* Protocol software runs before the buffer can be reused; this is what
+       makes a too-slow receiver drop back-to-back arrivals. *)
+    cpu_busy t ~kind:"rx-service" params.Params.rx_service_overhead;
+  Mailbox.remove t.rx;
+  frame
+
+let recv t = copy_out t (Mailbox.peek t.rx)
+
+let try_recv t =
+  if Mailbox.is_empty t.rx then None
+  else Some (copy_out t (Mailbox.peek t.rx))
+
+let rx_pending t = Mailbox.length t.rx
+
+let flush_rx t =
+  let n = Mailbox.length t.rx in
+  for _ = 1 to n do
+    Mailbox.remove t.rx
+  done;
+  n

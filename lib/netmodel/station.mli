@@ -1,0 +1,50 @@
+(** A workstation attached to the wire: one CPU, a network interface with a
+    fixed number of transmit and receive buffers.
+
+    All operations are blocking process operations. The send path models the
+    paper's cost structure precisely:
+
+    + reserve a transmit buffer (waits if the interface is still sending),
+    + the CPU copies the frame into the interface ([C] or [Ca]),
+    + the interface transmits; with [busy_wait_tx] the CPU polls until
+      the transmission completes (the standalone experiment's discipline),
+      otherwise the CPU is free and the next copy may overlap (double
+      buffering).
+
+    The receive path: an arriving frame occupies a receive buffer until the
+    CPU has copied it out ([C]/[Ca]); only then is the buffer free again.
+    Frames arriving with no free buffer are interface-overrun losses. *)
+
+type 'a t
+
+val create : 'a Wire.t -> name:string -> 'a t
+val address : 'a t -> int
+val name : 'a t -> string
+
+val send : 'a t -> dst:int -> bytes:int -> 'a -> unit
+(** Blocking; returns when the CPU is free again (after the transmission in
+    busy-wait mode, after the copy otherwise). *)
+
+val recv : 'a t -> 'a Wire.frame
+(** Blocks until a frame has arrived and been copied out of the interface.
+    Intended for a single consuming process per station. *)
+
+val try_recv : 'a t -> 'a Wire.frame option
+(** [None] when no frame is waiting; otherwise performs the copy-out
+    (blocking for its duration) and returns the frame. *)
+
+val rx_pending : 'a t -> int
+(** Frames currently occupying receive buffers. *)
+
+val flush_rx : 'a t -> int
+(** Discards buffered frames without copy cost (models a receiver resetting
+    between experiments). Returns the number discarded. *)
+
+val cpu_busy : 'a t -> kind:string -> Eventsim.Time.span -> unit
+(** Occupies the CPU for [span], recording a trace span — used to model
+    extra per-packet software overhead in ablations. *)
+
+val cpu_busy_span : 'a t -> now:Eventsim.Time.t -> Eventsim.Time.span
+(** Cumulative host-CPU busy time — with a DMA interface
+    ({!Params.with_dma}) the copies move off the host and this drops
+    sharply, the effect Section 2.1.3 of the paper discusses. *)

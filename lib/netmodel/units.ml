@@ -1,0 +1,17 @@
+let kib n = n * 1024
+let mib n = n * 1024 * 1024
+
+let transmit_span ~bandwidth_bps ~bytes =
+  if bandwidth_bps <= 0 then invalid_arg "Units.transmit_span: bandwidth must be positive";
+  if bytes < 0 then invalid_arg "Units.transmit_span: negative size";
+  let bits = bytes * 8 in
+  (* ns = bits * 1e9 / bps, rounded half-up; fits 63-bit for transfers up to
+     ~1 GiB, far beyond anything simulated here. *)
+  let ns = ((bits * 1_000_000_000) + (bandwidth_bps / 2)) / bandwidth_bps in
+  Eventsim.Time.span_ns ns
+
+let pp_bytes ppf bytes =
+  if bytes >= 1024 * 1024 && bytes mod (1024 * 1024) = 0 then
+    Format.fprintf ppf "%d MiB" (bytes / (1024 * 1024))
+  else if bytes >= 1024 && bytes mod 1024 = 0 then Format.fprintf ppf "%d KiB" (bytes / 1024)
+  else Format.fprintf ppf "%d B" bytes

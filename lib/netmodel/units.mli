@@ -1,0 +1,14 @@
+(** Size and rate conversions. *)
+
+val kib : int -> int
+(** [kib n] is [n * 1024] bytes. *)
+
+val mib : int -> int
+
+val transmit_span : bandwidth_bps:int -> bytes:int -> Eventsim.Time.span
+(** Serialization delay of [bytes] at [bandwidth_bps], rounded to the nearest
+    nanosecond. At 10 Mb/s a 1024-byte packet gives exactly 819 200 ns (the
+    paper rounds to 820 us), a 64-byte ack 51 200 ns. *)
+
+val pp_bytes : Format.formatter -> int -> unit
+(** Human-readable size: ["64 B"], ["16 KiB"], ["2 MiB"]. *)

@@ -1,0 +1,100 @@
+open Eventsim
+
+type 'a frame = { src : int; dst : int; bytes : int; payload : 'a }
+
+type counters = {
+  mutable sent : int;
+  mutable delivered : int;
+  mutable lost_network : int;
+  mutable lost_interface : int;
+  mutable lost_overrun : int;
+  mutable lost_collision : int;
+}
+
+type 'a t = {
+  sim : Sim.t;
+  params : Params.t;
+  network_error : Error_model.t;
+  interface_error : Error_model.t;
+  trace : Trace.t option;
+  medium : Arbiter.t;
+  ports : (int, 'a frame Mailbox.t) Hashtbl.t;
+  mutable next_address : int;
+  counters : counters;
+}
+
+let create sim ~params ?(network_error = Error_model.perfect ())
+    ?(interface_error = Error_model.perfect ()) ?trace ?(arbiter = Arbiter.fifo ()) () =
+  {
+    sim;
+    params;
+    network_error;
+    interface_error;
+    trace;
+    medium = arbiter;
+    ports = Hashtbl.create 8;
+    next_address = 0;
+    counters =
+      {
+        sent = 0;
+        delivered = 0;
+        lost_network = 0;
+        lost_interface = 0;
+        lost_overrun = 0;
+        lost_collision = 0;
+      };
+  }
+
+let sim t = t.sim
+let params t = t.params
+let trace t = t.trace
+
+let register t ~rx_buffers =
+  let address = t.next_address in
+  t.next_address <- address + 1;
+  let mailbox = Mailbox.create ~capacity:rx_buffers in
+  Hashtbl.add t.ports address mailbox;
+  (address, mailbox)
+
+let deliver t frame =
+  let c = t.counters in
+  if Error_model.drops t.network_error then c.lost_network <- c.lost_network + 1
+  else if Error_model.drops t.interface_error then c.lost_interface <- c.lost_interface + 1
+  else begin
+    match Hashtbl.find_opt t.ports frame.dst with
+    | None -> invalid_arg "Wire.transmit: unknown destination"
+    | Some mailbox ->
+        if Mailbox.try_put mailbox frame then c.delivered <- c.delivered + 1
+        else c.lost_overrun <- c.lost_overrun + 1
+  end
+
+let transmit t frame =
+  if not (Hashtbl.mem t.ports frame.dst) then invalid_arg "Wire.transmit: unknown destination";
+  let span = Units.transmit_span ~bandwidth_bps:t.params.bandwidth_bps ~bytes:frame.bytes in
+  let start = Sim.now t.sim in
+  if Arbiter.acquire t.medium span then begin
+    t.counters.sent <- t.counters.sent + 1;
+    (match t.trace with
+    | Some trace ->
+        let suffix = if Params.is_data_size t.params ~bytes:frame.bytes then "data" else "ack" in
+        (* The span may have started later than [start] if the medium was
+           contended; record the serialization window that actually carried
+           the frame. *)
+        let stop = Sim.now t.sim in
+        let tx_start = Time.add start (Time.diff stop (Time.add start span)) in
+        Trace.record trace ~lane:"wire" ~kind:("transmit-" ^ suffix) ~start:tx_start ~stop
+    | None -> ());
+    ignore (Sim.schedule_after t.sim t.params.propagation (fun () -> deliver t frame))
+  end
+  else t.counters.lost_collision <- t.counters.lost_collision + 1
+
+let counters t = t.counters
+
+let utilization t =
+  let now = Sim.now t.sim in
+  let elapsed = Time.to_ns now in
+  if elapsed = 0 then 0.0
+  else
+    float_of_int (Time.span_to_ns (Arbiter.busy_span t.medium ~now)) /. float_of_int elapsed
+
+let medium_stats t = Arbiter.stats t.medium

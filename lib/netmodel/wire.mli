@@ -1,0 +1,56 @@
+(** The shared Ethernet medium.
+
+    A single-segment broadcast bus: one transmission at a time (the
+    experiments run on an otherwise idle network, so contention is rare but
+    still modelled by FIFO queueing on the medium), a fixed propagation
+    delay, and loss sampled per transmission from a network error model plus
+    an interface error model (the paper attributes most observed loss to the
+    3-Com interfaces rather than the wire). *)
+
+type 'a frame = { src : int; dst : int; bytes : int; payload : 'a }
+
+type counters = {
+  mutable sent : int;
+  mutable delivered : int;
+  mutable lost_network : int;
+  mutable lost_interface : int;
+  mutable lost_overrun : int;  (** arrivals dropped because every receive buffer was full *)
+  mutable lost_collision : int;
+      (** frames abandoned after excessive collisions (CSMA/CD arbiter only) *)
+}
+
+type 'a t
+
+val create :
+  Eventsim.Sim.t ->
+  params:Params.t ->
+  ?network_error:Error_model.t ->
+  ?interface_error:Error_model.t ->
+  ?trace:Eventsim.Trace.t ->
+  ?arbiter:Arbiter.t ->
+  unit ->
+  'a t
+(** [arbiter] defaults to FIFO queueing (the idle-network regime the paper
+    measures); pass {!Arbiter.csma_cd} to model contention. *)
+
+val sim : 'a t -> Eventsim.Sim.t
+val params : 'a t -> Params.t
+val trace : 'a t -> Eventsim.Trace.t option
+
+val register : 'a t -> rx_buffers:int -> int * 'a frame Eventsim.Mailbox.t
+(** Attaches a station; returns its address and receive mailbox. *)
+
+val transmit : 'a t -> 'a frame -> unit
+(** Blocking process operation: waits for the medium, holds it for the
+    frame's serialization delay, then schedules delivery one propagation
+    delay later. Returns when the transmission (not the delivery) ends.
+    Raises [Invalid_argument] for an unknown destination. *)
+
+val counters : 'a t -> counters
+
+val utilization : 'a t -> float
+(** Fraction of elapsed simulated time the medium was carrying successful
+    transmissions. *)
+
+val medium_stats : 'a t -> Arbiter.stats
+(** Collision/deferral counters of the medium arbiter. *)

@@ -1,0 +1,75 @@
+type t = { length : int; bits : Bytes.t }
+
+let bytes_for n = (n + 7) / 8
+
+let create n =
+  if n < 0 then invalid_arg "Bitset.create: negative length";
+  { length = n; bits = Bytes.make (bytes_for n) '\000' }
+
+let length t = t.length
+
+let check t i = if i < 0 || i >= t.length then invalid_arg "Bitset: index out of range"
+
+let set t i =
+  check t i;
+  let b = Char.code (Bytes.get t.bits (i / 8)) in
+  Bytes.set t.bits (i / 8) (Char.chr (b lor (1 lsl (i mod 8))))
+
+let clear t i =
+  check t i;
+  let b = Char.code (Bytes.get t.bits (i / 8)) in
+  Bytes.set t.bits (i / 8) (Char.chr (b land lnot (1 lsl (i mod 8)) land 0xFF))
+
+let mem t i =
+  check t i;
+  Char.code (Bytes.get t.bits (i / 8)) land (1 lsl (i mod 8)) <> 0
+
+let count t =
+  let total = ref 0 in
+  for i = 0 to t.length - 1 do
+    if mem t i then incr total
+  done;
+  !total
+
+let is_full t = count t = t.length
+
+let first_missing t =
+  let rec loop i = if i >= t.length then None else if mem t i then loop (i + 1) else Some i in
+  loop 0
+
+let missing t =
+  let rec loop i acc = if i < 0 then acc else loop (i - 1) (if mem t i then acc else i :: acc) in
+  loop (t.length - 1) []
+
+let set_all t =
+  for i = 0 to t.length - 1 do
+    set t i
+  done
+
+let reset t = Bytes.fill t.bits 0 (Bytes.length t.bits) '\000'
+let copy t = { length = t.length; bits = Bytes.copy t.bits }
+
+let to_bytes t =
+  let out = Bytes.create (4 + Bytes.length t.bits) in
+  Bytes.set_int32_be out 0 (Int32.of_int t.length);
+  Bytes.blit t.bits 0 out 4 (Bytes.length t.bits);
+  out
+
+let of_bytes buf =
+  if Bytes.length buf < 4 then None
+  else
+    let length = Int32.to_int (Bytes.get_int32_be buf 0) in
+    if length < 0 || Bytes.length buf <> 4 + bytes_for length then None
+    else begin
+      let t = create length in
+      Bytes.blit buf 4 t.bits 0 (bytes_for length);
+      (* Reject set bits beyond [length] so equal bitmaps have equal bytes. *)
+      let ok = ref true in
+      for i = length to (bytes_for length * 8) - 1 do
+        if Char.code (Bytes.get t.bits (i / 8)) land (1 lsl (i mod 8)) <> 0 then ok := false
+      done;
+      if !ok then Some t else None
+    end
+
+let pp ppf t =
+  Format.fprintf ppf "%d/%d set" (count t) t.length

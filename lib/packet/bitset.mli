@@ -1,0 +1,37 @@
+(** Fixed-size bitmaps of received packets.
+
+    A selective NACK carries one of these so the sender can retransmit
+    exactly the missing packets; go-back-n uses only {!first_missing}. *)
+
+type t
+
+val create : int -> t
+(** [create n] is an all-clear bitmap over sequence numbers [0 .. n-1].
+    Requires [n >= 0]. *)
+
+val length : t -> int
+val set : t -> int -> unit
+val clear : t -> int -> unit
+val mem : t -> int -> bool
+val count : t -> int
+(** Number of set bits. *)
+
+val is_full : t -> bool
+val first_missing : t -> int option
+(** Lowest clear index, [None] when full. *)
+
+val missing : t -> int list
+(** All clear indices, ascending. *)
+
+val set_all : t -> unit
+val reset : t -> unit
+val copy : t -> t
+
+val to_bytes : t -> bytes
+(** Wire encoding: 4-byte big-endian length (in bits) then packed bits,
+    LSB-first within each byte. *)
+
+val of_bytes : bytes -> t option
+(** Inverse of {!to_bytes}; [None] on malformed input. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,15 @@
+(** Checksums used by the wire format.
+
+    The 16-bit ones'-complement ("Internet") checksum protects the header;
+    CRC-32 (IEEE 802.3, the Ethernet polynomial) protects the payload —
+    matching the paper's setting where the data link layer CRC is the only
+    integrity check. *)
+
+val internet : ?initial:int -> bytes -> pos:int -> len:int -> int
+(** Ones'-complement sum over the given range (odd lengths are zero-padded),
+    folded to 16 bits and complemented. Result in [0, 0xFFFF]. *)
+
+val crc32 : bytes -> pos:int -> len:int -> int32
+(** IEEE CRC-32 (reflected, init/xorout 0xFFFFFFFF) over the range. *)
+
+val crc32_string : string -> int32

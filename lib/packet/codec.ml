@@ -1,0 +1,82 @@
+type error =
+  | Too_short
+  | Bad_magic
+  | Bad_version of int
+  | Bad_kind of int
+  | Bad_header_checksum
+  | Bad_payload_checksum
+  | Length_mismatch of { declared : int; actual : int }
+
+let pp_error ppf = function
+  | Too_short -> Format.pp_print_string ppf "datagram too short"
+  | Bad_magic -> Format.pp_print_string ppf "bad magic"
+  | Bad_version v -> Format.fprintf ppf "unsupported version %d" v
+  | Bad_kind k -> Format.fprintf ppf "unknown packet kind %d" k
+  | Bad_header_checksum -> Format.pp_print_string ppf "header checksum mismatch"
+  | Bad_payload_checksum -> Format.pp_print_string ppf "payload CRC mismatch"
+  | Length_mismatch { declared; actual } ->
+      Format.fprintf ppf "declared payload %d bytes, got %d" declared actual
+
+let header_bytes = 24
+let magic = 0xB1A5
+let version = 1
+
+let encode (m : Message.t) =
+  let payload_len = String.length m.Message.payload in
+  let buf = Bytes.create (header_bytes + payload_len) in
+  Bytes.set_uint16_be buf 0 magic;
+  Bytes.set_uint8 buf 2 version;
+  Bytes.set_uint8 buf 3 (Kind.to_byte m.Message.kind);
+  Bytes.set_int32_be buf 4 (Int32.of_int m.Message.transfer_id);
+  Bytes.set_int32_be buf 8 (Int32.of_int m.Message.seq);
+  Bytes.set_int32_be buf 12 (Int32.of_int m.Message.total);
+  Bytes.set_uint16_be buf 16 payload_len;
+  Bytes.set_uint16_be buf 18 0;
+  Bytes.blit_string m.Message.payload 0 buf header_bytes payload_len;
+  Bytes.set_int32_be buf 20 (Checksum.crc32 buf ~pos:header_bytes ~len:payload_len);
+  let sum = Checksum.internet buf ~pos:0 ~len:header_bytes in
+  Bytes.set_uint16_be buf 18 sum;
+  buf
+
+let u32 buf pos = Int32.to_int (Bytes.get_int32_be buf pos) land 0xFFFFFFFF
+
+let decode_sub buf ~pos ~len =
+  if len < header_bytes then Error Too_short
+  else begin
+    let view = Bytes.sub buf pos len in
+    if Bytes.get_uint16_be view 0 <> magic then Error Bad_magic
+    else begin
+      let v = Bytes.get_uint8 view 2 in
+      if v <> version then Error (Bad_version v)
+      else begin
+        let declared = Bytes.get_uint16_be view 16 in
+        let actual = len - header_bytes in
+        if declared <> actual then Error (Length_mismatch { declared; actual })
+        else begin
+          let stored_sum = Bytes.get_uint16_be view 18 in
+          Bytes.set_uint16_be view 18 0;
+          let computed = Checksum.internet view ~pos:0 ~len:header_bytes in
+          if stored_sum <> computed then Error Bad_header_checksum
+          else begin
+            match Kind.of_byte (Bytes.get_uint8 view 3) with
+            | None -> Error (Bad_kind (Bytes.get_uint8 view 3))
+            | Some kind ->
+                let stored_crc = Bytes.get_int32_be view 20 in
+                let crc = Checksum.crc32 view ~pos:header_bytes ~len:actual in
+                if stored_crc <> crc then Error Bad_payload_checksum
+                else
+                  Ok
+                    {
+                      Message.kind;
+                      transfer_id = u32 view 4;
+                      seq = u32 view 8;
+                      total = u32 view 12;
+                      payload = Bytes.sub_string view header_bytes actual;
+                    }
+          end
+        end
+      end
+    end
+  end
+
+let decode buf = decode_sub buf ~pos:0 ~len:(Bytes.length buf)

@@ -1,0 +1,35 @@
+(** Binary wire format.
+
+    Layout (all integers big-endian):
+    {v
+      0  magic      0xB1A5                    (2 bytes)
+      2  version    1                         (1)
+      3  kind                                 (1)
+      4  transfer_id                          (4)
+      8  seq                                  (4)
+      12 total                                (4)
+      16 payload length                       (2)
+      18 header checksum (Internet, field 0)  (2)
+      20 payload CRC-32                       (4)
+      24 payload ...
+    v} *)
+
+type error =
+  | Too_short
+  | Bad_magic
+  | Bad_version of int
+  | Bad_kind of int
+  | Bad_header_checksum
+  | Bad_payload_checksum
+  | Length_mismatch of { declared : int; actual : int }
+
+val pp_error : Format.formatter -> error -> unit
+
+val header_bytes : int
+
+val encode : Message.t -> bytes
+
+val decode : bytes -> (Message.t, error) result
+(** Rejects truncated, corrupted or trailing-garbage datagrams. *)
+
+val decode_sub : bytes -> pos:int -> len:int -> (Message.t, error) result

@@ -1,0 +1,15 @@
+(** Packet kinds of the bulk-transfer wire protocol. *)
+
+type t =
+  | Req  (** transfer announcement: carries the packet count of the train *)
+  | Data  (** one data packet of the train *)
+  | Ack  (** positive acknowledgement *)
+  | Nack
+      (** negative acknowledgement; carries the first missing sequence number
+          and, for selective retransmission, a bitmap of received packets *)
+
+val to_byte : t -> int
+val of_byte : int -> t option
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit
+val all : t list

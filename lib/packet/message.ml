@@ -1,0 +1,61 @@
+type t = { kind : Kind.t; transfer_id : int; seq : int; total : int; payload : string }
+
+let check_u32 name v =
+  if v < 0 || v > 0xFFFFFFFF then invalid_arg ("Message: " ^ name ^ " outside u32")
+
+let make kind ~transfer_id ~seq ~total ~payload =
+  check_u32 "transfer_id" transfer_id;
+  check_u32 "seq" seq;
+  check_u32 "total" total;
+  if String.length payload > 0xFFFF then invalid_arg "Message: payload too large";
+  { kind; transfer_id; seq; total; payload }
+
+let req ~transfer_id ~total = make Kind.Req ~transfer_id ~seq:0 ~total ~payload:""
+
+let req_with_geometry ~transfer_id ~packet_bytes ~total_bytes =
+  if packet_bytes <= 0 || total_bytes <= 0 then
+    invalid_arg "Message.req_with_geometry: sizes must be positive";
+  let total = (total_bytes + packet_bytes - 1) / packet_bytes in
+  let payload = Bytes.create 8 in
+  Bytes.set_int32_be payload 0 (Int32.of_int packet_bytes);
+  Bytes.set_int32_be payload 4 (Int32.of_int total_bytes);
+  make Kind.Req ~transfer_id ~seq:0 ~total ~payload:(Bytes.to_string payload)
+
+let geometry t =
+  if t.kind <> Kind.Req || String.length t.payload <> 8 then None
+  else begin
+    let buf = Bytes.of_string t.payload in
+    let packet_bytes = Int32.to_int (Bytes.get_int32_be buf 0) in
+    let total_bytes = Int32.to_int (Bytes.get_int32_be buf 4) in
+    if packet_bytes <= 0 || total_bytes <= 0 then None else Some (packet_bytes, total_bytes)
+  end
+
+let data ~transfer_id ~seq ~total ~payload =
+  if seq >= total then invalid_arg "Message.data: seq beyond total";
+  make Kind.Data ~transfer_id ~seq ~total ~payload
+
+let ack ~transfer_id ~seq ~total = make Kind.Ack ~transfer_id ~seq ~total ~payload:""
+
+let nack ~transfer_id ~first_missing ~total ?received () =
+  let payload =
+    match received with
+    | Some set -> Bytes.to_string (Bitset.to_bytes set)
+    | None -> ""
+  in
+  make Kind.Nack ~transfer_id ~seq:first_missing ~total ~payload
+
+let received_set t =
+  if t.kind <> Kind.Nack || String.length t.payload = 0 then None
+  else Bitset.of_bytes (Bytes.of_string t.payload)
+
+let header_bytes = 24
+let wire_bytes t = header_bytes + String.length t.payload
+
+let equal a b =
+  Kind.equal a.kind b.kind && a.transfer_id = b.transfer_id && a.seq = b.seq
+  && a.total = b.total
+  && String.equal a.payload b.payload
+
+let pp ppf t =
+  Format.fprintf ppf "%a#%d seq=%d/%d (%d B payload)" Kind.pp t.kind t.transfer_id t.seq
+    t.total (String.length t.payload)

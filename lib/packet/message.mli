@@ -1,0 +1,44 @@
+(** Protocol messages.
+
+    This is the unit the protocol state machines exchange. On the simulated
+    network messages travel as-is (the simulator models time, not bytes); on
+    the UDP transport they are serialized by {!Codec}. *)
+
+type t = {
+  kind : Kind.t;
+  transfer_id : int;  (** identifies one bulk transfer; 32-bit *)
+  seq : int;
+      (** [Data]: index of this packet in the train, from 0.
+          [Ack]: number of packets cumulatively received in order
+          (SAW/sliding-window) or the train length (blast completion).
+          [Nack]: first missing packet index.
+          [Req]: 0. *)
+  total : int;  (** number of data packets in the transfer *)
+  payload : string;
+      (** [Data]: the data bytes; [Nack] with selective information: an
+          encoded {!Bitset} of received packets; otherwise empty *)
+}
+
+val req : transfer_id:int -> total:int -> t
+
+val req_with_geometry : transfer_id:int -> packet_bytes:int -> total_bytes:int -> t
+(** A transfer announcement whose payload carries the full geometry, so a
+    receiver can size its buffer before the train arrives (the V kernel's
+    pre-allocated-buffer contract). [total] is derived. *)
+
+val geometry : t -> (int * int) option
+(** [geometry t] is [(packet_bytes, total_bytes)] of a geometry-carrying
+    [Req], [None] otherwise. *)
+
+val data : transfer_id:int -> seq:int -> total:int -> payload:string -> t
+val ack : transfer_id:int -> seq:int -> total:int -> t
+val nack : transfer_id:int -> first_missing:int -> total:int -> ?received:Bitset.t -> unit -> t
+
+val received_set : t -> Bitset.t option
+(** Decodes the bitmap a selective NACK carries. *)
+
+val wire_bytes : t -> int
+(** Size of the message on the wire (header + payload), for timing models. *)
+
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,25 @@
+type outcome = Success | Too_many_attempts
+
+type t =
+  | Send of Packet.Message.t
+  | Arm_timer of int
+  | Stop_timer
+  | Deliver of { seq : int; payload : string }
+  | Complete of outcome
+
+type event = Message of Packet.Message.t | Timeout
+
+let pp_outcome ppf = function
+  | Success -> Format.pp_print_string ppf "success"
+  | Too_many_attempts -> Format.pp_print_string ppf "too many attempts"
+
+let pp ppf = function
+  | Send m -> Format.fprintf ppf "send %a" Packet.Message.pp m
+  | Arm_timer ns -> Format.fprintf ppf "arm timer %.3f ms" (float_of_int ns /. 1e6)
+  | Stop_timer -> Format.pp_print_string ppf "stop timer"
+  | Deliver { seq; payload } -> Format.fprintf ppf "deliver seq=%d (%d B)" seq (String.length payload)
+  | Complete outcome -> Format.fprintf ppf "complete: %a" pp_outcome outcome
+
+let pp_event ppf = function
+  | Message m -> Format.fprintf ppf "message %a" Packet.Message.pp m
+  | Timeout -> Format.pp_print_string ppf "timeout"

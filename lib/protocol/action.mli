@@ -1,0 +1,27 @@
+(** Inputs and outputs of protocol state machines.
+
+    Machines are transport-agnostic: they consume {!event}s and emit
+    {!t} actions, and a driver (simulator, UDP peer, test harness) interprets
+    the actions. All machine logic is therefore testable without any clock or
+    network. *)
+
+type outcome =
+  | Success
+  | Too_many_attempts  (** gave up after [Config.max_attempts] rounds *)
+
+type t =
+  | Send of Packet.Message.t
+  | Arm_timer of int  (** (re)arm the machine's retransmission timer, ns *)
+  | Stop_timer
+  | Deliver of { seq : int; payload : string }
+      (** receiver side: packet [seq] is new — write it to the
+          pre-registered buffer at offset [seq * packet_bytes] *)
+  | Complete of outcome
+
+type event =
+  | Message of Packet.Message.t
+  | Timeout  (** the machine's retransmission timer fired *)
+
+val pp : Format.formatter -> t -> unit
+val pp_event : Format.formatter -> event -> unit
+val pp_outcome : Format.formatter -> outcome -> unit

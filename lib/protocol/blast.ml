@@ -1,0 +1,154 @@
+open Action
+
+type strategy = Full_retransmit | Full_retransmit_nack | Go_back_n | Selective
+
+let strategy_name = function
+  | Full_retransmit -> "full-retransmit"
+  | Full_retransmit_nack -> "full-retransmit+nack"
+  | Go_back_n -> "go-back-n"
+  | Selective -> "selective"
+
+let pp_strategy ppf s = Format.pp_print_string ppf (strategy_name s)
+let all_strategies = [ Full_retransmit; Full_retransmit_nack; Go_back_n; Selective ]
+
+let sender ?(counters = Counters.create ()) ~strategy (config : Config.t) ~payload =
+  let total = config.Config.total_packets in
+  let last = total - 1 in
+  let rounds = ref 0 in
+  let outcome = ref None in
+  let sent_before = Array.make total false in
+  let send_one seq =
+    counters.Counters.data_sent <- counters.Counters.data_sent + 1;
+    if sent_before.(seq) then
+      counters.Counters.retransmitted_data <- counters.Counters.retransmitted_data + 1;
+    sent_before.(seq) <- true;
+    Send
+      (Packet.Message.data ~transfer_id:config.Config.transfer_id ~seq ~total
+         ~payload:(payload seq))
+  in
+  let blast seqs =
+    incr rounds;
+    counters.Counters.rounds <- counters.Counters.rounds + 1;
+    List.map send_one seqs @ [ Arm_timer config.Config.retransmit_ns ]
+  in
+  let give_up () =
+    outcome := Some Too_many_attempts;
+    [ Stop_timer; Complete Too_many_attempts ]
+  in
+  let range lo hi = List.init (hi - lo + 1) (fun i -> lo + i) in
+  let start () = blast (range 0 last) in
+  let handle event =
+    if !outcome <> None then []
+    else
+      match event with
+      | Message m when m.Packet.Message.kind = Packet.Kind.Ack ->
+          if m.Packet.Message.seq >= total then begin
+            outcome := Some Success;
+            [ Stop_timer; Complete Success ]
+          end
+          else []
+      | Message m when m.Packet.Message.kind = Packet.Kind.Nack ->
+          if !rounds >= config.Config.max_attempts then give_up ()
+          else begin
+            let first_missing = m.Packet.Message.seq in
+            match strategy with
+            | Full_retransmit ->
+                (* This variant never solicits NACKs; treat a stray one as a
+                   timeout-equivalent signal. *)
+                blast (range 0 last)
+            | Full_retransmit_nack -> blast (range 0 last)
+            | Go_back_n -> blast (range first_missing last)
+            | Selective -> begin
+                match Packet.Message.received_set m with
+                | Some received when Packet.Bitset.length received = total ->
+                    let missing = Packet.Bitset.missing received in
+                    let train =
+                      if List.mem last missing then missing else missing @ [ last ]
+                    in
+                    blast train
+                | Some _ | None ->
+                    (* Malformed bitmap: fall back to go-back-n repair. *)
+                    blast (range first_missing last)
+              end
+          end
+      | Message _ -> []
+      | Timeout ->
+          counters.Counters.timeouts <- counters.Counters.timeouts + 1;
+          if !rounds >= config.Config.max_attempts then give_up ()
+          else begin
+            match strategy with
+            | Full_retransmit | Full_retransmit_nack -> blast (range 0 last)
+            | Go_back_n | Selective ->
+                (* Only the reliable terminator is repeated; its ACK/NACK
+                   tells us what else to resend. *)
+                blast [ last ]
+          end
+  in
+  Machine.make
+    ~name:("blast sender (" ^ strategy_name strategy ^ ")")
+    ~start ~handle
+    ~is_complete:(fun () -> !outcome <> None)
+    ~outcome:(fun () -> !outcome)
+    ~counters
+
+let receiver ?(counters = Counters.create ()) ~strategy (config : Config.t) =
+  let total = config.Config.total_packets in
+  let received = Packet.Bitset.create total in
+  let respond_to_terminator () =
+    if Packet.Bitset.is_full received then begin
+      counters.Counters.acks_sent <- counters.Counters.acks_sent + 1;
+      [
+        Send
+          (Packet.Message.ack ~transfer_id:config.Config.transfer_id ~seq:total ~total);
+      ]
+    end
+    else
+      match strategy with
+      | Full_retransmit -> [] (* stay silent; the sender's timer repairs *)
+      | Full_retransmit_nack | Go_back_n ->
+          let first_missing = Option.get (Packet.Bitset.first_missing received) in
+          counters.Counters.nacks_sent <- counters.Counters.nacks_sent + 1;
+          [
+            Send
+              (Packet.Message.nack ~transfer_id:config.Config.transfer_id ~first_missing
+                 ~total ());
+          ]
+      | Selective ->
+          let first_missing = Option.get (Packet.Bitset.first_missing received) in
+          counters.Counters.nacks_sent <- counters.Counters.nacks_sent + 1;
+          [
+            Send
+              (Packet.Message.nack ~transfer_id:config.Config.transfer_id ~first_missing
+                 ~total ~received ());
+          ]
+  in
+  let handle = function
+    | Message m when m.Packet.Message.kind = Packet.Kind.Data ->
+        let seq = m.Packet.Message.seq in
+        if seq >= total then []
+        else begin
+          let fresh = not (Packet.Bitset.mem received seq) in
+          let deliver =
+            if fresh then begin
+              Packet.Bitset.set received seq;
+              counters.Counters.delivered <- counters.Counters.delivered + 1;
+              [ Deliver { seq; payload = m.Packet.Message.payload } ]
+            end
+            else begin
+              counters.Counters.duplicates_received <- counters.Counters.duplicates_received + 1;
+              []
+            end
+          in
+          (* The terminator always gets a response, duplicate or not: the
+             sender repeats it until an ACK/NACK comes back. *)
+          if seq = total - 1 then deliver @ respond_to_terminator () else deliver
+        end
+    | Message _ | Timeout -> []
+  in
+  Machine.make
+    ~name:("blast receiver (" ^ strategy_name strategy ^ ")")
+    ~start:(fun () -> [])
+    ~handle
+    ~is_complete:(fun () -> Packet.Bitset.is_full received)
+    ~outcome:(fun () -> if Packet.Bitset.is_full received then Some Success else None)
+    ~counters

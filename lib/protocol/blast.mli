@@ -1,0 +1,34 @@
+(** Blast protocols: the whole packet train is sent in sequence with a single
+    acknowledgement for the train. Variants differ only in how errors are
+    repaired (Section 3.2 of the paper):
+
+    {ul
+    {- {!Full_retransmit}: no negative acknowledgement. The receiver stays
+       silent unless the train arrived complete; the sender repairs any loss
+       by retransmitting the {e entire} train after the timeout [T_r].}
+    {- {!Full_retransmit_nack}: the receiver answers the train's final packet
+       with an ACK or a NACK; a NACK (or a timeout) triggers retransmission
+       of the entire train, but the NACK makes the effective retransmission
+       interval ~0.}
+    {- {!Go_back_n} ("partial retransmission"): the NACK names the first
+       packet not received; the sender retransmits from there. The final
+       packet of every (re)transmission is sent reliably — on timeout only it
+       is repeated to elicit a fresh ACK/NACK.}
+    {- {!Selective}: the NACK carries a bitmap of received packets; the
+       sender retransmits exactly the missing ones (plus the final packet as
+       train terminator when it is not itself missing).}} *)
+
+type strategy = Full_retransmit | Full_retransmit_nack | Go_back_n | Selective
+
+val strategy_name : strategy -> string
+val pp_strategy : Format.formatter -> strategy -> unit
+val all_strategies : strategy list
+
+val sender :
+  ?counters:Counters.t -> strategy:strategy -> Config.t -> payload:(int -> string) -> Machine.t
+
+val receiver : ?counters:Counters.t -> strategy:strategy -> Config.t -> Machine.t
+(** Delivers each distinct packet once, in arrival order (packets carry their
+    offset, so the pre-registered buffer absorbs any order). Responds to the
+    train terminator — packet [total-1] — every time it arrives, even as a
+    duplicate: that reply is what makes the terminator reliable. *)

@@ -1,0 +1,17 @@
+type t = {
+  transfer_id : int;
+  total_packets : int;
+  packet_bytes : int;
+  retransmit_ns : int;
+  max_attempts : int;
+}
+
+let make ?(transfer_id = 0) ?(packet_bytes = 1024) ?(retransmit_ns = 200_000_000)
+    ?(max_attempts = 50) ~total_packets () =
+  if total_packets <= 0 then invalid_arg "Config.make: total_packets must be positive";
+  if packet_bytes <= 0 then invalid_arg "Config.make: packet_bytes must be positive";
+  if retransmit_ns <= 0 then invalid_arg "Config.make: retransmit_ns must be positive";
+  if max_attempts <= 0 then invalid_arg "Config.make: max_attempts must be positive";
+  { transfer_id; total_packets; packet_bytes; retransmit_ns; max_attempts }
+
+let byte_size t = t.total_packets * t.packet_bytes

@@ -1,0 +1,25 @@
+(** Per-transfer protocol configuration, agreed by both ends before the
+    transfer starts (the paper's recipient has its buffers — and hence the
+    transfer geometry — established in advance). *)
+
+type t = {
+  transfer_id : int;
+  total_packets : int;  (** D: number of data packets; must be positive *)
+  packet_bytes : int;  (** data payload bytes per packet *)
+  retransmit_ns : int;  (** T_r: retransmission interval *)
+  max_attempts : int;  (** give up after this many transmission rounds *)
+}
+
+val make :
+  ?transfer_id:int ->
+  ?packet_bytes:int ->
+  ?retransmit_ns:int ->
+  ?max_attempts:int ->
+  total_packets:int ->
+  unit ->
+  t
+(** Defaults: id 0, 1024-byte packets, 200 ms interval, 50 attempts.
+    Raises [Invalid_argument] on non-positive [total_packets]. *)
+
+val byte_size : t -> int
+(** Total transfer size implied by the geometry. *)

@@ -1,0 +1,28 @@
+type t = {
+  mutable data_sent : int;
+  mutable retransmitted_data : int;
+  mutable acks_sent : int;
+  mutable nacks_sent : int;
+  mutable rounds : int;
+  mutable timeouts : int;
+  mutable duplicates_received : int;
+  mutable delivered : int;
+}
+
+let create () =
+  {
+    data_sent = 0;
+    retransmitted_data = 0;
+    acks_sent = 0;
+    nacks_sent = 0;
+    rounds = 0;
+    timeouts = 0;
+    duplicates_received = 0;
+    delivered = 0;
+  }
+
+let pp ppf t =
+  Format.fprintf ppf
+    "data=%d (retx %d) acks=%d nacks=%d rounds=%d timeouts=%d dups=%d delivered=%d"
+    t.data_sent t.retransmitted_data t.acks_sent t.nacks_sent t.rounds t.timeouts
+    t.duplicates_received t.delivered

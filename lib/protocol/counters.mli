@@ -1,0 +1,16 @@
+(** Mutable per-transfer statistics, shared between a machine and its
+    wrapper (multi-blast sums across chunks by sharing one record). *)
+
+type t = {
+  mutable data_sent : int;  (** data packet transmissions, including retransmissions *)
+  mutable retransmitted_data : int;  (** data transmissions beyond the first of each seq *)
+  mutable acks_sent : int;
+  mutable nacks_sent : int;
+  mutable rounds : int;  (** transmission attempts: 1 + retransmission rounds *)
+  mutable timeouts : int;
+  mutable duplicates_received : int;
+  mutable delivered : int;  (** distinct data packets delivered (receiver side) *)
+}
+
+val create : unit -> t
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,21 @@
+type t = {
+  name : string;
+  start : unit -> Action.t list;
+  handle : Action.event -> Action.t list;
+  is_complete : unit -> bool;
+  outcome : unit -> Action.outcome option;
+  counters : Counters.t;
+}
+
+let make ~name ~start ~handle ~is_complete ~outcome ~counters =
+  let started = ref false in
+  let checked_start () =
+    if !started then invalid_arg "Machine.start: already started";
+    started := true;
+    start ()
+  in
+  { name; start = checked_start; handle; is_complete; outcome; counters }
+
+let constant_payload config seq =
+  let n = config.Config.packet_bytes in
+  String.init n (fun i -> Char.chr ((seq + i) land 0xFF))

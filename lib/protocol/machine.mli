@@ -1,0 +1,29 @@
+(** The uniform interface drivers program against.
+
+    A machine is a bundle of closures over some hidden protocol state; the
+    concrete modules ({!Stop_and_wait}, {!Sliding_window}, {!Blast},
+    {!Multi_blast}) build them. *)
+
+type t = {
+  name : string;
+  start : unit -> Action.t list;
+      (** must be called exactly once, before any [handle] *)
+  handle : Action.event -> Action.t list;
+  is_complete : unit -> bool;
+  outcome : unit -> Action.outcome option;
+  counters : Counters.t;
+}
+
+val make :
+  name:string ->
+  start:(unit -> Action.t list) ->
+  handle:(Action.event -> Action.t list) ->
+  is_complete:(unit -> bool) ->
+  outcome:(unit -> Action.outcome option) ->
+  counters:Counters.t ->
+  t
+
+val constant_payload : Config.t -> int -> string
+(** [constant_payload config seq] is a deterministic test payload for packet
+    [seq]: [packet_bytes] bytes derived from the seq, so corruption and
+    misordering are detectable. *)

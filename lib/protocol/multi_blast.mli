@@ -1,0 +1,23 @@
+(** Multiple blasts: for very large transfers the paper suggests breaking the
+    data into a number of consecutive blasts, each run to completion under
+    the ordinary blast protocol, so a late error never forces retransmission
+    of the whole transfer.
+
+    Wire messages carry global sequence numbers; each chunk's inner blast
+    machine works in chunk-local coordinates and this wrapper translates. *)
+
+val chunk_count : total_packets:int -> chunk_packets:int -> int
+
+val sender :
+  ?counters:Counters.t ->
+  strategy:Blast.strategy ->
+  chunk_packets:int ->
+  Config.t ->
+  payload:(int -> string) ->
+  Machine.t
+(** Runs one blast per chunk, strictly in order; the transfer completes when
+    the last chunk's blast completes. Raises [Invalid_argument] when
+    [chunk_packets <= 0]. *)
+
+val receiver :
+  ?counters:Counters.t -> strategy:Blast.strategy -> chunk_packets:int -> Config.t -> Machine.t

@@ -1,0 +1,43 @@
+type t = {
+  alpha : float;
+  beta : float;
+  k : float;
+  initial_ns : int;
+  mutable srtt : float option;
+  mutable rttvar : float;
+  mutable backoff_factor : int;
+  mutable samples : int;
+}
+
+let min_timeout_ns = 1_000_000
+
+let create ?(alpha = 0.125) ?(beta = 0.25) ?(k = 4.0) ~initial_ns () =
+  if initial_ns <= 0 then invalid_arg "Rtt.create: initial_ns must be positive";
+  { alpha; beta; k; initial_ns; srtt = None; rttvar = 0.0; backoff_factor = 1; samples = 0 }
+
+let observe t ~sample_ns =
+  if sample_ns <= 0 then invalid_arg "Rtt.observe: sample must be positive";
+  let sample = float_of_int sample_ns in
+  (match t.srtt with
+  | None ->
+      t.srtt <- Some sample;
+      t.rttvar <- sample /. 2.0
+  | Some srtt ->
+      let err = Float.abs (sample -. srtt) in
+      t.rttvar <- ((1.0 -. t.beta) *. t.rttvar) +. (t.beta *. err);
+      t.srtt <- Some (((1.0 -. t.alpha) *. srtt) +. (t.alpha *. sample)));
+  t.backoff_factor <- 1;
+  t.samples <- t.samples + 1
+
+let timeout_ns t =
+  let base =
+    match t.srtt with
+    | None -> t.initial_ns
+    | Some srtt -> int_of_float (srtt +. (t.k *. t.rttvar))
+  in
+  let backed_off = base * t.backoff_factor in
+  max min_timeout_ns (min backed_off (t.initial_ns * 100))
+
+let backoff t = if t.backoff_factor < 1024 then t.backoff_factor <- t.backoff_factor * 2
+let samples t = t.samples
+let srtt_ns t = Option.map int_of_float t.srtt

@@ -1,0 +1,31 @@
+(** Adaptive retransmission-timeout estimation (Jacobson/Karn style).
+
+    The paper uses a fixed retransmission interval [T_r] and shows in its
+    Figure 6 how much the choice matters for the variance of full
+    retransmission. An estimator that tracks the smoothed round-trip time and
+    its deviation makes the timeout self-tuning — the "more sophisticated"
+    repair machinery its Section 3.2 gestures at. All times are integer
+    nanoseconds. *)
+
+type t
+
+val create : ?alpha:float -> ?beta:float -> ?k:float -> initial_ns:int -> unit -> t
+(** [alpha] smooths the RTT estimate (default 1/8), [beta] the deviation
+    (default 1/4), [k] scales the deviation term (default 4.0). Until the
+    first sample, {!timeout_ns} returns [initial_ns]. *)
+
+val observe : t -> sample_ns:int -> unit
+(** Folds one round-trip sample in. Per Karn's rule, callers must not feed
+    samples from exchanges that were retransmitted. Non-positive samples are
+    rejected with [Invalid_argument]. *)
+
+val timeout_ns : t -> int
+(** [srtt + k * rttvar], clamped to at least [min_timeout_ns] (1 ms) and at
+    most 100x the initial value. *)
+
+val backoff : t -> unit
+(** Doubles the current timeout (applied on each timeout expiry, reset by the
+    next successful observation). *)
+
+val samples : t -> int
+val srtt_ns : t -> int option

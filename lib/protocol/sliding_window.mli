@@ -1,0 +1,13 @@
+(** Sliding-window (go-back-n flavour): the sender keeps up to [window]
+    packets outstanding; the receiver acknowledges every packet with a
+    cumulative ack and discards out-of-order arrivals.
+
+    The paper's measurements assume a window that never closes; pass
+    [window >= Config.total_packets] to reproduce that regime, or a smaller
+    window for the window-size ablation. On timeout the sender re-sends the
+    whole outstanding window. *)
+
+val sender :
+  ?counters:Counters.t -> window:int -> Config.t -> payload:(int -> string) -> Machine.t
+
+val receiver : ?counters:Counters.t -> Config.t -> Machine.t

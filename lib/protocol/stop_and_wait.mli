@@ -1,0 +1,15 @@
+(** Stop-and-wait: one packet outstanding, every packet individually
+    acknowledged before the next is sent.
+
+    Acknowledgements are cumulative: [Ack seq = n] means the receiver has
+    delivered packets [0 .. n-1]. A lost data packet or lost ack is repaired
+    by the sender's retransmission timer ([Config.retransmit_ns] per
+    packet). *)
+
+val sender : ?counters:Counters.t -> Config.t -> payload:(int -> string) -> Machine.t
+(** [payload seq] supplies the bytes of packet [seq]. *)
+
+val receiver : ?counters:Counters.t -> Config.t -> Machine.t
+(** Passive: acknowledges in-order arrivals, re-acknowledges duplicates.
+    Complete once every packet has been delivered (it keeps answering
+    duplicates afterwards). *)

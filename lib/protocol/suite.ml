@@ -1,0 +1,40 @@
+type t =
+  | Stop_and_wait
+  | Sliding_window of { window : int }
+  | Blast of Blast.strategy
+  | Multi_blast of { strategy : Blast.strategy; chunk_packets : int }
+
+let name = function
+  | Stop_and_wait -> "stop-and-wait"
+  | Sliding_window { window } ->
+      if window = max_int then "sliding-window" else Printf.sprintf "sliding-window(w=%d)" window
+  | Blast strategy -> "blast/" ^ Blast.strategy_name strategy
+  | Multi_blast { strategy; chunk_packets } ->
+      Printf.sprintf "multi-blast/%s(%d)" (Blast.strategy_name strategy) chunk_packets
+
+let pp ppf t = Format.pp_print_string ppf (name t)
+
+let error_free_trio =
+  [ Stop_and_wait; Sliding_window { window = max_int }; Blast Blast.Go_back_n ]
+
+let all_blast_strategies = List.map (fun s -> Blast s) Blast.all_strategies
+
+let effective_window window (config : Config.t) =
+  if window = max_int then config.Config.total_packets else window
+
+let sender t ?counters config ~payload =
+  match t with
+  | Stop_and_wait -> Stop_and_wait.sender ?counters config ~payload
+  | Sliding_window { window } ->
+      Sliding_window.sender ?counters ~window:(effective_window window config) config ~payload
+  | Blast strategy -> Blast.sender ?counters ~strategy config ~payload
+  | Multi_blast { strategy; chunk_packets } ->
+      Multi_blast.sender ?counters ~strategy ~chunk_packets config ~payload
+
+let receiver t ?counters config =
+  match t with
+  | Stop_and_wait -> Stop_and_wait.receiver ?counters config
+  | Sliding_window _ -> Sliding_window.receiver ?counters config
+  | Blast strategy -> Blast.receiver ?counters ~strategy config
+  | Multi_blast { strategy; chunk_packets } ->
+      Multi_blast.receiver ?counters ~strategy ~chunk_packets config

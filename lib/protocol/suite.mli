@@ -1,0 +1,20 @@
+(** The protocol family as first-class values, for sweeps and benchmarks. *)
+
+type t =
+  | Stop_and_wait
+  | Sliding_window of { window : int }
+  | Blast of Blast.strategy
+  | Multi_blast of { strategy : Blast.strategy; chunk_packets : int }
+
+val name : t -> string
+val pp : Format.formatter -> t -> unit
+
+val error_free_trio : t list
+(** SAW, never-closing sliding window, plain blast — Table 1's columns.
+    (The window is chosen per-transfer by the drivers via
+    [Sliding_window {window = max_int}], interpreted as "never closes".) *)
+
+val all_blast_strategies : t list
+
+val sender : t -> ?counters:Counters.t -> Config.t -> payload:(int -> string) -> Machine.t
+val receiver : t -> ?counters:Counters.t -> Config.t -> Machine.t

@@ -1,0 +1,71 @@
+type series = { name : string; points : (float * float) list }
+
+let glyphs = [| '*'; '+'; 'o'; 'x'; '#'; '@'; '%'; '&' |]
+
+let render ?(width = 72) ?(height = 20) ?(log_x = false) ?(log_y = false) ?(x_label = "x")
+    ?(y_label = "y") series =
+  let tx x = if log_x then log10 x else x in
+  let ty y = if log_y then log10 y else y in
+  let usable (x, y) = (not (log_x && x <= 0.0)) && not (log_y && y <= 0.0) in
+  let all_points = List.concat_map (fun s -> List.filter usable s.points) series in
+  if all_points = [] then "(no data)"
+  else begin
+    let xs = List.map (fun (x, _) -> tx x) all_points in
+    let ys = List.map (fun (_, y) -> ty y) all_points in
+    let x_min = List.fold_left min infinity xs and x_max = List.fold_left max neg_infinity xs in
+    let y_min = List.fold_left min infinity ys and y_max = List.fold_left max neg_infinity ys in
+    let x_span = if x_max > x_min then x_max -. x_min else 1.0 in
+    let y_span = if y_max > y_min then y_max -. y_min else 1.0 in
+    let grid = Array.make_matrix height width ' ' in
+    List.iteri
+      (fun index s ->
+        let glyph = glyphs.(index mod Array.length glyphs) in
+        List.iter
+          (fun (x, y) ->
+            if usable (x, y) then begin
+              let col =
+                int_of_float (Float.round ((tx x -. x_min) /. x_span *. float_of_int (width - 1)))
+              in
+              let row =
+                height - 1
+                - int_of_float
+                    (Float.round ((ty y -. y_min) /. y_span *. float_of_int (height - 1)))
+              in
+              if row >= 0 && row < height && col >= 0 && col < width then
+                grid.(row).(col) <- glyph
+            end)
+          s.points)
+      series;
+    let buffer = Buffer.create 4096 in
+    let untransform_y v = if log_y then 10.0 ** v else v in
+    for row = 0 to height - 1 do
+      let y_here =
+        y_min +. (y_span *. float_of_int (height - 1 - row) /. float_of_int (height - 1))
+      in
+      let label =
+        if row mod 4 = 0 || row = height - 1 then Printf.sprintf "%10.4g" (untransform_y y_here)
+        else String.make 10 ' '
+      in
+      Buffer.add_string buffer label;
+      Buffer.add_string buffer " |";
+      Buffer.add_string buffer (String.init width (fun col -> grid.(row).(col)));
+      Buffer.add_char buffer '\n'
+    done;
+    Buffer.add_string buffer (String.make 11 ' ');
+    Buffer.add_char buffer '+';
+    Buffer.add_string buffer (String.make width '-');
+    Buffer.add_char buffer '\n';
+    let untransform_x v = if log_x then 10.0 ** v else v in
+    Buffer.add_string buffer
+      (Printf.sprintf "%12s%.4g%s%.4g  (%s%s)\n" "" (untransform_x x_min)
+         (String.make (max 1 (width - 16)) ' ')
+         (untransform_x x_max) x_label
+         (if log_x then ", log scale" else ""));
+    Buffer.add_string buffer (Printf.sprintf "  y: %s%s\n" y_label (if log_y then " (log)" else ""));
+    List.iteri
+      (fun index s ->
+        Buffer.add_string buffer
+          (Printf.sprintf "  %c = %s\n" glyphs.(index mod Array.length glyphs) s.name))
+      series;
+    Buffer.contents buffer
+  end

@@ -1,0 +1,20 @@
+(** ASCII line charts, for the paper's Figures 4-6.
+
+    Each series is a set of (x, y) points; x values need not be shared.
+    Points are plotted with a per-series glyph, with optional logarithmic
+    axes (Figure 5 and 6 use log-x). *)
+
+type series = { name : string; points : (float * float) list }
+
+val render :
+  ?width:int ->
+  ?height:int ->
+  ?log_x:bool ->
+  ?log_y:bool ->
+  ?x_label:string ->
+  ?y_label:string ->
+  series list ->
+  string
+(** Renders the chart with y-axis tick labels and a legend. Points with
+    non-positive coordinates on a log axis are skipped. Defaults: 72x20,
+    linear axes. *)

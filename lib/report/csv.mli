@@ -1,0 +1,10 @@
+(** Minimal CSV output for downstream plotting. *)
+
+val escape : string -> string
+(** RFC-4180 quoting when the cell contains commas, quotes or newlines. *)
+
+val line : string list -> string
+
+val to_string : header:string list -> rows:string list list -> string
+
+val to_file : string -> header:string list -> rows:string list list -> unit

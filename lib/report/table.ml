@@ -1,0 +1,46 @@
+type align = Left | Right
+
+let pad align width s =
+  let gap = width - String.length s in
+  if gap <= 0 then s
+  else
+    match align with
+    | Left -> s ^ String.make gap ' '
+    | Right -> String.make gap ' ' ^ s
+
+let render ?align ~header ~rows () =
+  let arity = List.length header in
+  List.iter
+    (fun row ->
+      if List.length row <> arity then invalid_arg "Table.render: ragged row")
+    rows;
+  let align =
+    match align with
+    | Some a ->
+        if List.length a <> arity then invalid_arg "Table.render: align arity" else a
+    | None -> List.mapi (fun i _ -> if i = 0 then Left else Right) header
+  in
+  let widths =
+    List.mapi
+      (fun i h ->
+        List.fold_left
+          (fun acc row -> max acc (String.length (List.nth row i)))
+          (String.length h) rows)
+      header
+  in
+  let render_row cells =
+    let parts = List.map2 (fun (a, w) c -> pad a w c) (List.combine align widths) cells in
+    "| " ^ String.concat " | " parts ^ " |"
+  in
+  let rule =
+    "+" ^ String.concat "+" (List.map (fun w -> String.make (w + 2) '-') widths) ^ "+"
+  in
+  String.concat "\n"
+    (rule :: render_row header :: rule :: (List.map render_row rows @ [ rule ]))
+
+let fmt_ms ms =
+  if Float.abs ms >= 100.0 then Printf.sprintf "%.1f" ms
+  else if Float.abs ms >= 10.0 then Printf.sprintf "%.2f" ms
+  else Printf.sprintf "%.3f" ms
+
+let fmt_pct fraction = Printf.sprintf "%.1f%%" (fraction *. 100.0)

@@ -1,0 +1,20 @@
+(** Aligned plain-text tables, in the style of the paper's Tables 1-3. *)
+
+type align = Left | Right
+
+val render :
+  ?align:align list ->
+  header:string list ->
+  rows:string list list ->
+  unit ->
+  string
+(** Column widths auto-size to the content; numbers are conventionally passed
+    pre-formatted. [align] defaults to [Left] for the first column and
+    [Right] for the rest. Raises [Invalid_argument] when a row's arity
+    differs from the header's. *)
+
+val fmt_ms : float -> string
+(** Milliseconds with a sensible precision: ["4.08"], ["173.2"]. *)
+
+val fmt_pct : float -> string
+(** A fraction as a percentage: [0.38] -> ["38.0%"]. *)

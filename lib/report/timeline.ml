@@ -1,0 +1,45 @@
+open Eventsim
+
+let glyph_of_kind = function
+  | "copy-data-in" | "copy-data-out" -> 'C'
+  | "copy-ack-in" | "copy-ack-out" -> 'c'
+  | "transmit-data" -> 'T'
+  | "transmit-ack" -> 't'
+  | _ -> '#'
+
+let render ?(width = 100) trace =
+  let spans = Trace.spans trace in
+  if spans = [] then "(empty trace)"
+  else begin
+    let total_ns = Time.to_ns (Trace.end_time trace) in
+    let total_ns = max 1 total_ns in
+    let lanes = Trace.lanes trace in
+    let label_width =
+      List.fold_left (fun acc lane -> max acc (String.length lane)) 0 lanes
+    in
+    let rows = List.map (fun lane -> (lane, Bytes.make width ' ')) lanes in
+    List.iter
+      (fun (span : Trace.span) ->
+        match List.assoc_opt span.Trace.lane rows with
+        | None -> ()
+        | Some row ->
+            let scale ns = ns * (width - 1) / total_ns in
+            let start_col = scale (Time.to_ns span.Trace.start) in
+            let stop_col = max (start_col + 1) (scale (Time.to_ns span.Trace.stop)) in
+            let glyph = glyph_of_kind span.Trace.kind in
+            for col = start_col to min (width - 1) (stop_col - 1) do
+              Bytes.set row col glyph
+            done)
+      spans;
+    let header =
+      Printf.sprintf "%*s  0%s%.3f ms" label_width ""
+        (String.make (max 1 (width - 10)) ' ')
+        (float_of_int total_ns /. 1e6)
+    in
+    let body =
+      List.map
+        (fun (lane, row) -> Printf.sprintf "%*s |%s|" label_width lane (Bytes.to_string row))
+        rows
+    in
+    String.concat "\n" ((header :: body) @ [ "  C/c copy data/ack   T/t transmit data/ack" ])
+  end

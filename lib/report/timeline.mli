@@ -1,0 +1,15 @@
+(** Renders a trace as the paper's Figure 2 / Figure 3 timing diagrams.
+
+    Each lane (a CPU, the wire) becomes one row; activity spans are drawn as
+    runs of a glyph chosen by span kind:
+
+    {v
+      C  copy of a data packet        c  copy of an ack
+      T  data packet on the wire      t  ack on the wire
+    v} *)
+
+val glyph_of_kind : string -> char
+
+val render : ?width:int -> Eventsim.Trace.t -> string
+(** Scales the whole trace to [width] (default 100) columns. Empty traces
+    render as ["(empty trace)"]. *)

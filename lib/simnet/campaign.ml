@@ -1,0 +1,45 @@
+type spec = {
+  params : Netmodel.Params.t;
+  suite : Protocol.Suite.t;
+  config : Protocol.Config.t;
+  network_loss : float;
+  interface_loss : float;
+  trials : int;
+  seed : int;
+}
+
+let default ?(params = Netmodel.Params.standalone) ?(network_loss = 0.0)
+    ?(interface_loss = 0.0) ?(trials = 30) ?(seed = 1) ~suite ~config () =
+  if trials <= 0 then invalid_arg "Campaign.default: trials must be positive";
+  { params; suite; config; network_loss; interface_loss; trials; seed }
+
+type outcome = {
+  elapsed_ms : Stats.Summary.t;
+  failures : int;
+  retransmissions : Stats.Summary.t;
+}
+
+let error_model rng loss =
+  if loss = 0.0 then Netmodel.Error_model.perfect () else Netmodel.Error_model.iid rng ~loss
+
+let run_one spec ~rng =
+  let network_error = error_model (Stats.Rng.split rng) spec.network_loss in
+  let interface_error = error_model (Stats.Rng.split rng) spec.interface_loss in
+  Driver.run ~params:spec.params ~network_error ~interface_error ~suite:spec.suite
+    ~config:spec.config ()
+
+let run spec =
+  let elapsed = Stats.Summary.create () in
+  let retransmissions = Stats.Summary.create () in
+  let failures = ref 0 in
+  for trial = 0 to spec.trials - 1 do
+    let rng = Stats.Rng.create ~seed:((spec.seed * 1_000_003) + trial) in
+    let result = run_one spec ~rng in
+    match result.Driver.outcome with
+    | Protocol.Action.Success ->
+        Stats.Summary.add elapsed (Driver.elapsed_ms result);
+        Stats.Summary.add retransmissions
+          (float_of_int result.Driver.sender.Protocol.Counters.retransmitted_data)
+    | Protocol.Action.Too_many_attempts -> incr failures
+  done;
+  { elapsed_ms = elapsed; failures = !failures; retransmissions }

@@ -1,0 +1,38 @@
+(** Repeated-trial measurement campaigns.
+
+    The paper repeats each measurement "a number of times" and averages; a
+    campaign does the same over independently seeded simulations. *)
+
+type spec = {
+  params : Netmodel.Params.t;
+  suite : Protocol.Suite.t;
+  config : Protocol.Config.t;
+  network_loss : float;  (** iid network loss probability *)
+  interface_loss : float;  (** iid interface loss probability *)
+  trials : int;
+  seed : int;
+}
+
+val default :
+  ?params:Netmodel.Params.t ->
+  ?network_loss:float ->
+  ?interface_loss:float ->
+  ?trials:int ->
+  ?seed:int ->
+  suite:Protocol.Suite.t ->
+  config:Protocol.Config.t ->
+  unit ->
+  spec
+
+type outcome = {
+  elapsed_ms : Stats.Summary.t;  (** over successful trials *)
+  failures : int;  (** trials that gave up *)
+  retransmissions : Stats.Summary.t;  (** retransmitted data packets per trial *)
+}
+
+val run : spec -> outcome
+(** Runs [trials] independent transfers; trial [i] derives its error-model
+    RNG from [seed] and [i], so campaigns are reproducible and trials are
+    independent. *)
+
+val run_one : spec -> rng:Stats.Rng.t -> Driver.result

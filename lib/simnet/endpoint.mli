@@ -1,0 +1,43 @@
+(** One protocol machine bound to a station.
+
+    The endpoint owns the machine's event queue, retransmission timer and
+    main process; arriving messages are fed in with {!inject} by whoever
+    demultiplexes the station's receive path (the {!Driver} uses a dedicated
+    pump per station; the V kernel's dispatcher routes by transfer id). *)
+
+type t
+
+val frame_bytes : Netmodel.Params.t -> Packet.Message.t -> int
+(** On-the-wire size of a message under the paper's sizing: data packets are
+    the full data packet size, control packets the ack size (a selective
+    NACK also carries its bitmap). *)
+
+val create :
+  ?rtt:Protocol.Rtt.t ->
+  ?pacing:Eventsim.Time.span ->
+  sim:Eventsim.Sim.t ->
+  params:Netmodel.Params.t ->
+  station:Packet.Message.t Netmodel.Station.t ->
+  peer:int ->
+  machine:Protocol.Machine.t ->
+  deliver:(int -> string -> unit) ->
+  on_complete:(Protocol.Action.outcome -> unit) ->
+  unit ->
+  t
+(** Builds the endpoint and spawns its main process, which runs
+    [machine.start] and then serves events forever (completion included —
+    the machine keeps answering duplicate terminators). [on_complete] fires
+    at the simulated instant the machine completes.
+
+    With [pacing], the sender sleeps for that span after every data packet —
+    rate-based flow control for receivers slower than the pipeline.
+    With [rtt], the machine's requested timer intervals are replaced by the
+    estimator's current timeout; round-trip samples are fed from the gap
+    between each transmission and the next incoming message (skipping
+    exchanges that suffered a timeout, per Karn's rule), and each timeout
+    doubles the estimate until the next clean sample. *)
+
+val inject : t -> Protocol.Action.event -> unit
+(** Queues an event for the machine (safe from any process or callback). *)
+
+val machine : t -> Protocol.Machine.t

@@ -1,0 +1,44 @@
+open Eventsim
+
+type flow = { mutable sent : int }
+
+let attach ~rng ~offered_load ?frame_bytes wire =
+  if not (offered_load > 0.0 && offered_load < 1.0) then
+    invalid_arg "Load.attach: offered_load outside (0,1)";
+  let params = Netmodel.Wire.params wire in
+  let frame_bytes =
+    Option.value frame_bytes ~default:params.Netmodel.Params.data_packet_bytes
+  in
+  (* Background traffic models other machines: only its occupancy of the
+     medium matters, so frames go straight onto the wire with no host CPU
+     costs. The flow talks to itself through a deep receive port that a drain
+     process empties. *)
+  let address, mailbox = Netmodel.Wire.register wire ~rx_buffers:1024 in
+  let serialization =
+    Netmodel.Units.transmit_span ~bandwidth_bps:params.Netmodel.Params.bandwidth_bps
+      ~bytes:frame_bytes
+  in
+  let mean_gap_ms = Time.span_to_ms serialization /. offered_load in
+  let flow = { sent = 0 } in
+  let env = Proc.env (Netmodel.Wire.sim wire) in
+  let filler =
+    (* An id no real transfer allocates, so protocol demultiplexers ignore
+       any stray delivery. *)
+    Packet.Message.data ~transfer_id:0xFFFFFFFF ~seq:0 ~total:1 ~payload:""
+  in
+  let frame = { Netmodel.Wire.src = address; dst = address; bytes = frame_bytes; payload = filler } in
+  Proc.spawn env ~name:"bg-source" (fun () ->
+      while true do
+        Proc.sleep (Time.span_ms (Stats.Rng.exponential rng ~mean:mean_gap_ms));
+        (* Each frame contends on its own, so offered load is independent of
+           how long any one frame waits for the medium. *)
+        Proc.spawn env ~name:"bg-frame" (fun () -> Netmodel.Wire.transmit wire frame);
+        flow.sent <- flow.sent + 1
+      done);
+  Proc.spawn env ~name:"bg-sink" (fun () ->
+      while true do
+        ignore (Mailbox.get mailbox)
+      done);
+  flow
+
+let frames_sent flow = flow.sent

@@ -1,0 +1,25 @@
+(** Background traffic generation.
+
+    The paper measured on an idle network and warns its conclusions hold
+    under low load; these generators create the non-idle regime so the load
+    ablation can map where the conclusions bend. Each flow is a pair of extra
+    stations: a Poisson source that blind-sends fixed-size frames, and a sink
+    process that drains them (so sink-side buffers do not overflow and skew
+    the overrun counters). *)
+
+type flow
+
+val attach :
+  rng:Stats.Rng.t ->
+  offered_load:float ->
+  ?frame_bytes:int ->
+  Packet.Message.t Netmodel.Wire.t ->
+  flow
+(** [attach ~rng ~offered_load wire] adds one background flow whose mean
+    offered load is [offered_load] of the wire's bandwidth (0 < load < 1):
+    frame inter-arrival times are exponential with mean
+    [serialization_time / offered_load]. Frames default to the data packet
+    size. The flow starts immediately and runs for the life of the
+    simulation. *)
+
+val frames_sent : flow -> int

@@ -1,0 +1,62 @@
+type cell = {
+  suite : Protocol.Suite.t;
+  packets : int;
+  network_loss : float;
+  mean_ms : float;
+  stddev_ms : float;
+  retransmissions : float;
+  failures : int;
+}
+
+type t = { cells : cell list }
+
+let run ?(params = Netmodel.Params.standalone) ?(trials = 10) ?(seed = 1) ~suites ~packets
+    ~losses () =
+  let cells =
+    List.concat_map
+      (fun suite ->
+        List.concat_map
+          (fun n ->
+            List.map
+              (fun network_loss ->
+                let spec =
+                  Campaign.default ~params ~network_loss
+                    ~trials:(if network_loss = 0.0 then 1 else trials)
+                    ~seed ~suite
+                    ~config:(Protocol.Config.make ~total_packets:n ())
+                    ()
+                in
+                let outcome = Campaign.run spec in
+                let stddev = Stats.Summary.stddev outcome.Campaign.elapsed_ms in
+                {
+                  suite;
+                  packets = n;
+                  network_loss;
+                  mean_ms = Stats.Summary.mean outcome.Campaign.elapsed_ms;
+                  stddev_ms = (if Float.is_nan stddev then 0.0 else stddev);
+                  retransmissions = Stats.Summary.mean outcome.Campaign.retransmissions;
+                  failures = outcome.Campaign.failures;
+                })
+              losses)
+          packets)
+      suites
+  in
+  { cells }
+
+let rows t =
+  List.map
+    (fun cell ->
+      [
+        Protocol.Suite.name cell.suite;
+        string_of_int cell.packets;
+        Printf.sprintf "%g" cell.network_loss;
+        Printf.sprintf "%.4f" cell.mean_ms;
+        Printf.sprintf "%.4f" cell.stddev_ms;
+        Printf.sprintf "%.1f" cell.retransmissions;
+        string_of_int cell.failures;
+      ])
+    t.cells
+
+let header = [ "protocol"; "packets"; "loss"; "mean_ms"; "stddev_ms"; "retx"; "failures" ]
+let to_csv t = Report.Csv.to_string ~header ~rows:(rows t)
+let to_table t = Report.Table.render ~header ~rows:(rows t) ()

@@ -1,0 +1,36 @@
+(** Structured parameter sweeps with CSV output.
+
+    A sweep is the cross product of transfer sizes, protocols and error
+    rates, each cell measured by a {!Campaign}; the result renders as a
+    table or as CSV rows for downstream plotting — how a user of this
+    library regenerates the paper's figure data for their own parameters. *)
+
+type cell = {
+  suite : Protocol.Suite.t;
+  packets : int;
+  network_loss : float;
+  mean_ms : float;
+  stddev_ms : float;
+  retransmissions : float;  (** mean retransmitted packets per trial *)
+  failures : int;
+}
+
+type t = { cells : cell list }
+
+val run :
+  ?params:Netmodel.Params.t ->
+  ?trials:int ->
+  ?seed:int ->
+  suites:Protocol.Suite.t list ->
+  packets:int list ->
+  losses:float list ->
+  unit ->
+  t
+(** Error-free cells run a single deterministic trial; lossy cells run
+    [trials] (default 10). *)
+
+val to_csv : t -> string
+(** Header: [protocol,packets,loss,mean_ms,stddev_ms,retx,failures]. *)
+
+val to_table : t -> string
+(** An aligned table, one row per cell. *)

@@ -1,0 +1,27 @@
+type t = {
+  rng : Stats.Rng.t option;
+  tx_loss : float;
+  rx_loss : float;
+  mutable dropped : int;
+}
+
+let perfect = { rng = None; tx_loss = 0.0; rx_loss = 0.0; dropped = 0 }
+
+let create ~seed ~tx_loss ~rx_loss =
+  if not (tx_loss >= 0.0 && tx_loss <= 1.0 && rx_loss >= 0.0 && rx_loss <= 1.0) then
+    invalid_arg "Lossy.create: loss outside [0,1]";
+  { rng = Some (Stats.Rng.create ~seed); tx_loss; rx_loss; dropped = 0 }
+
+let sample t loss =
+  match t.rng with
+  | None -> true
+  | Some rng ->
+      if loss > 0.0 && Stats.Rng.bernoulli rng ~p:loss then begin
+        t.dropped <- t.dropped + 1;
+        false
+      end
+      else true
+
+let pass_tx t = sample t t.tx_loss
+let pass_rx t = sample t t.rx_loss
+let dropped t = t.dropped

@@ -1,0 +1,20 @@
+(** Deterministic loss injection for the UDP transport.
+
+    The loopback interface never loses datagrams, so the error experiments
+    inject loss at the endpoints instead: a message can be dropped on the way
+    out ([tx_loss]) or on the way in ([rx_loss]), each sampled iid from a
+    seeded generator. *)
+
+type t
+
+val perfect : t
+
+val create : seed:int -> tx_loss:float -> rx_loss:float -> t
+
+val pass_tx : t -> bool
+(** [true] when the outgoing datagram should actually be sent. *)
+
+val pass_rx : t -> bool
+
+val dropped : t -> int
+(** Total datagrams suppressed so far, both directions. *)

@@ -1,0 +1,236 @@
+let log = Logs.Src.create "sockets.peer" ~doc:"UDP bulk-transfer peer"
+
+module Log = (val Logs.src_log log : Logs.LOG)
+
+type send_result = {
+  outcome : Protocol.Action.outcome;
+  elapsed_ns : int;
+  counters : Protocol.Counters.t;
+}
+
+type integrity = Verified | Mismatch | Not_carried
+
+type receive_result = {
+  data : string;
+  transfer_id : int;
+  receive_counters : Protocol.Counters.t;
+  integrity : integrity;
+      (** whole-segment CRC check: [Verified]/[Mismatch] when the sender
+          carried one in the REQ, [Not_carried] otherwise *)
+}
+
+(* Runs a machine over the socket until it completes. [extra] intercepts
+   messages the machine itself does not understand (duplicate REQs on the
+   receiver side). *)
+let run_machine ?(lossy = Lossy.perfect) ?(extra = fun _ -> ()) ?rtt ?(pacing_ns = 0) ~socket
+    ~peer ~transfer_id ~(machine : Protocol.Machine.t) ~deliver () =
+  let deadline = ref None in
+  let last_send = ref None in
+  let timed_out_since_send = ref false in
+  let execute action =
+    match action with
+    | Protocol.Action.Send m ->
+        if Lossy.pass_tx lossy then Udp.send_message socket peer m;
+        (* Pacing: an unthrottled blast overruns the receiver's socket
+           buffer exactly as the paper's 3-Com overran at full speed; a
+           small inter-packet gap avoids the drops instead of repairing
+           them. *)
+        if pacing_ns > 0 && m.Packet.Message.kind = Packet.Kind.Data then
+          Unix.sleepf (float_of_int pacing_ns /. 1e9);
+        last_send := Some (Udp.now_ns ());
+        timed_out_since_send := false
+    | Protocol.Action.Arm_timer ns ->
+        let ns = match rtt with Some r -> Protocol.Rtt.timeout_ns r | None -> ns in
+        deadline := Some (Udp.now_ns () + ns)
+    | Protocol.Action.Stop_timer -> deadline := None
+    | Protocol.Action.Deliver { seq; payload } -> deliver seq payload
+    | Protocol.Action.Complete _ -> ()
+  in
+  let handle event =
+    (* Adaptive timeout: sample clean round trips, back off on expiry
+       (Karn's rule). *)
+    (match (rtt, event) with
+    | Some r, Protocol.Action.Timeout ->
+        timed_out_since_send := true;
+        Protocol.Rtt.backoff r
+    | Some r, Protocol.Action.Message _ -> begin
+        match !last_send with
+        | Some sent when not !timed_out_since_send ->
+            let sample_ns = Udp.now_ns () - sent in
+            if sample_ns > 0 then Protocol.Rtt.observe r ~sample_ns
+        | _ -> ()
+      end
+    | None, _ -> ());
+    List.iter execute (machine.Protocol.Machine.handle event)
+  in
+  List.iter execute (machine.Protocol.Machine.start ());
+  while not (machine.Protocol.Machine.is_complete ()) do
+    let timeout_ns = Option.map (fun d -> d - Udp.now_ns ()) !deadline in
+    match timeout_ns with
+    | Some remaining when remaining <= 0 ->
+        deadline := None;
+        handle Protocol.Action.Timeout
+    | _ -> begin
+        match Udp.recv_message ?timeout_ns socket with
+        | `Timeout ->
+            deadline := None;
+            handle Protocol.Action.Timeout
+        | `Garbage -> Log.debug (fun f -> f "dropping undecodable datagram")
+        | `Message (m, _) ->
+            if Lossy.pass_rx lossy then begin
+              if m.Packet.Message.transfer_id = transfer_id then
+                handle (Protocol.Action.Message m)
+              else extra m
+            end
+      end
+  done
+
+(* After completion, keep answering duplicates for a grace period so a sender
+   whose final ack was lost can still finish. *)
+let linger ?(lossy = Lossy.perfect) ~socket ~peer ~transfer_id ~(machine : Protocol.Machine.t)
+    ~linger_ns () =
+  let stop_at = Udp.now_ns () + linger_ns in
+  let send m = if Lossy.pass_tx lossy then Udp.send_message socket peer m in
+  let rec loop () =
+    let remaining = stop_at - Udp.now_ns () in
+    if remaining > 0 then begin
+      match Udp.recv_message ~timeout_ns:remaining socket with
+      | `Timeout -> ()
+      | `Garbage -> loop ()
+      | `Message (m, _) ->
+          if Lossy.pass_rx lossy && m.Packet.Message.transfer_id = transfer_id then
+            List.iter
+              (function Protocol.Action.Send reply -> send reply | _ -> ())
+              (machine.Protocol.Machine.handle (Protocol.Action.Message m));
+          loop ()
+    end
+  in
+  loop ()
+
+let send ?(lossy = Lossy.perfect) ?(transfer_id = 1) ?(packet_bytes = 1024)
+    ?(retransmit_ns = 50_000_000) ?(max_attempts = 50) ?rtt ?pacing_ns ~socket ~peer ~suite
+    ~data () =
+  if String.length data = 0 then invalid_arg "Peer.send: empty data";
+  let total_bytes = String.length data in
+  let total_packets = (total_bytes + packet_bytes - 1) / packet_bytes in
+  let config =
+    Protocol.Config.make ~transfer_id ~packet_bytes ~retransmit_ns ~max_attempts
+      ~total_packets ()
+  in
+  (* Reliable handshake: repeat REQ until ACK seq=0 comes back. The REQ
+     carries the geometry and the protocol suite, so the receiver always
+     builds the matching machine. *)
+  let req =
+    {
+      (Packet.Message.req ~transfer_id ~total:total_packets) with
+      Packet.Message.payload =
+        Suite_codec.encode ~data_crc:(Packet.Checksum.crc32_string data) ~packet_bytes
+          ~total_bytes suite;
+    }
+  in
+  let rec handshake attempt =
+    if attempt > max_attempts then failwith "Peer.send: handshake failed";
+    if Lossy.pass_tx lossy then Udp.send_message socket peer req;
+    match Udp.recv_message ~timeout_ns:retransmit_ns socket with
+    | `Timeout | `Garbage -> handshake (attempt + 1)
+    | `Message (m, _) ->
+        if
+          Lossy.pass_rx lossy
+          && m.Packet.Message.transfer_id = transfer_id
+          && m.Packet.Message.kind = Packet.Kind.Ack
+          && m.Packet.Message.seq = 0
+        then ()
+        else handshake (attempt + 1)
+  in
+  handshake 1;
+  let payload seq =
+    let offset = seq * packet_bytes in
+    String.sub data offset (min packet_bytes (total_bytes - offset))
+  in
+  let counters = Protocol.Counters.create () in
+  let machine = Protocol.Suite.sender suite ~counters config ~payload in
+  let started = Udp.now_ns () in
+  run_machine ~lossy ?rtt ?pacing_ns ~socket ~peer ~transfer_id ~machine
+    ~deliver:(fun _ _ -> ()) ();
+  {
+    outcome = Option.get (machine.Protocol.Machine.outcome ());
+    elapsed_ns = Udp.now_ns () - started;
+    counters;
+  }
+
+let serve_one ?(lossy = Lossy.perfect) ?(retransmit_ns = 50_000_000) ?(max_attempts = 50)
+    ?linger_ns ?suite ~socket () =
+  let linger_ns = Option.value linger_ns ~default:(3 * retransmit_ns) in
+  (* Wait for a geometry-carrying REQ. *)
+  let rec await_req () =
+    match Udp.recv_message socket with
+    | `Timeout -> await_req () (* unreachable without timeout, defensive *)
+    | `Garbage -> await_req ()
+    | `Message (m, from) -> begin
+        if not (Lossy.pass_rx lossy) then await_req ()
+        else
+          match
+            (m.Packet.Message.kind, Suite_codec.decode m.Packet.Message.payload)
+          with
+          | Packet.Kind.Req, Some info -> (m.Packet.Message.transfer_id, info, from)
+          | _ -> await_req ()
+      end
+  in
+  let transfer_id, info, sender_address = await_req () in
+  let packet_bytes = info.Suite_codec.packet_bytes in
+  let total_bytes = info.Suite_codec.total_bytes in
+  let suite =
+    match (info.Suite_codec.suite, suite) with
+    | Some carried, _ -> carried (* the wire wins: both ends must match *)
+    | None, Some fallback -> fallback
+    | None, None -> Protocol.Suite.Blast Protocol.Blast.Go_back_n
+  in
+  let total_packets = (total_bytes + packet_bytes - 1) / packet_bytes in
+  let config =
+    Protocol.Config.make ~transfer_id ~packet_bytes ~retransmit_ns ~max_attempts
+      ~total_packets ()
+  in
+  let buffer = Bytes.create total_bytes in
+  let deliver seq payload =
+    let offset = seq * packet_bytes in
+    let expected = min packet_bytes (total_bytes - offset) in
+    if String.length payload <> expected then
+      failwith
+        (Printf.sprintf "Peer.serve_one: packet %d carries %d bytes, expected %d" seq
+           (String.length payload) expected);
+    Bytes.blit_string payload 0 buffer offset expected
+  in
+  let counters = Protocol.Counters.create () in
+  let machine = Protocol.Suite.receiver suite ~counters config in
+  let handshake_ack = Packet.Message.ack ~transfer_id ~seq:0 ~total:total_packets in
+  if Lossy.pass_tx lossy then Udp.send_message socket sender_address handshake_ack;
+  (* A lost handshake ack shows up as a duplicate REQ mid-transfer. *)
+  let extra m =
+    if m.Packet.Message.kind = Packet.Kind.Req then
+      (if Lossy.pass_tx lossy then Udp.send_message socket sender_address handshake_ack)
+  in
+  let machine_view =
+    (* The machine keys on its own transfer id; duplicate REQs share it, so
+       intercept them before the machine sees them. *)
+    {
+      machine with
+      Protocol.Machine.handle =
+        (fun event ->
+          match event with
+          | Protocol.Action.Message m when m.Packet.Message.kind = Packet.Kind.Req ->
+              extra m;
+              []
+          | _ -> machine.Protocol.Machine.handle event);
+    }
+  in
+  run_machine ~lossy ~socket ~peer:sender_address ~transfer_id ~machine:machine_view ~deliver
+    ();
+  linger ~lossy ~socket ~peer:sender_address ~transfer_id ~machine ~linger_ns ();
+  let data = Bytes.to_string buffer in
+  let integrity =
+    match info.Suite_codec.data_crc with
+    | None -> Not_carried
+    | Some expected ->
+        if Packet.Checksum.crc32_string data = expected then Verified else Mismatch
+  in
+  { data; transfer_id; receive_counters = counters; integrity }

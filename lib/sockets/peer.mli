@@ -1,0 +1,64 @@
+(** Bulk transfer over real UDP sockets.
+
+    The same protocol machines that drive the simulator run here against the
+    operating system's network stack. A transfer is preceded by a reliable
+    handshake: the sender repeats a geometry-carrying [REQ] until the
+    receiver answers with [ACK seq=0]; the receiver sizes its buffer from the
+    geometry — the V kernel's buffers-before-transfer contract — and then
+    both sides run their machines.
+
+    Loopback never drops datagrams, so loss is injected at the endpoints with
+    {!Lossy}. *)
+
+type send_result = {
+  outcome : Protocol.Action.outcome;
+  elapsed_ns : int;  (** handshake completion to transfer completion *)
+  counters : Protocol.Counters.t;
+}
+
+type integrity = Verified | Mismatch | Not_carried
+
+type receive_result = {
+  data : string;  (** the reassembled transfer *)
+  transfer_id : int;
+  receive_counters : Protocol.Counters.t;
+  integrity : integrity;
+      (** result of the whole-segment software CRC the sender carries in its
+          REQ — Spector's end-to-end check (paper reference [18]) *)
+}
+
+val send :
+  ?lossy:Lossy.t ->
+  ?transfer_id:int ->
+  ?packet_bytes:int ->
+  ?retransmit_ns:int ->
+  ?max_attempts:int ->
+  ?rtt:Protocol.Rtt.t ->
+  ?pacing_ns:int ->
+  socket:Unix.file_descr ->
+  peer:Unix.sockaddr ->
+  suite:Protocol.Suite.t ->
+  data:string ->
+  unit ->
+  send_result
+(** Pushes [data] to [peer]. Raises [Failure] if the handshake never
+    completes. Defaults: 1024-byte packets, 50 ms retransmission interval,
+    50 attempts. With [rtt], timeouts adapt to measured round trips instead
+    of the fixed interval; [pacing_ns] sleeps after each data datagram so an
+    unthrottled blast does not overrun the receiver's socket buffer. *)
+
+val serve_one :
+  ?lossy:Lossy.t ->
+  ?retransmit_ns:int ->
+  ?max_attempts:int ->
+  ?linger_ns:int ->
+  ?suite:Protocol.Suite.t ->
+  socket:Unix.file_descr ->
+  unit ->
+  receive_result
+(** Accepts exactly one incoming transfer (blocking until a [REQ] arrives)
+    and returns the reassembled data. After the transfer completes the
+    receiver lingers for [linger_ns] (default 3x the retransmission interval)
+    to re-acknowledge duplicate terminators from a sender whose final ack was
+    lost. The protocol suite normally travels in the REQ, so both ends match
+    automatically; [suite] is only a fallback for senders that omit it. *)

@@ -1,0 +1,71 @@
+let strategy_tag = function
+  | Protocol.Blast.Full_retransmit -> 1
+  | Protocol.Blast.Full_retransmit_nack -> 2
+  | Protocol.Blast.Go_back_n -> 3
+  | Protocol.Blast.Selective -> 4
+
+let strategy_of_tag = function
+  | 1 -> Some Protocol.Blast.Full_retransmit
+  | 2 -> Some Protocol.Blast.Full_retransmit_nack
+  | 3 -> Some Protocol.Blast.Go_back_n
+  | 4 -> Some Protocol.Blast.Selective
+  | _ -> None
+
+type info = {
+  packet_bytes : int;
+  total_bytes : int;
+  suite : Protocol.Suite.t option;
+  data_crc : int32 option;
+}
+
+(* Layout: u32 packet_bytes | u32 total_bytes | u8 kind | u8 strategy |
+   u32 argument (window or chunk size; 0xFFFFFFFF encodes max_int)
+   [| u32 data CRC]. *)
+let encode ?data_crc ~packet_bytes ~total_bytes suite =
+  let buf = Bytes.create (match data_crc with Some _ -> 18 | None -> 14) in
+  Bytes.set_int32_be buf 0 (Int32.of_int packet_bytes);
+  Bytes.set_int32_be buf 4 (Int32.of_int total_bytes);
+  let kind, strategy, argument =
+    match suite with
+    | Protocol.Suite.Stop_and_wait -> (1, 0, 0)
+    | Protocol.Suite.Sliding_window { window } ->
+        (2, 0, if window = max_int then 0xFFFFFFFF else window)
+    | Protocol.Suite.Blast strategy -> (3, strategy_tag strategy, 0)
+    | Protocol.Suite.Multi_blast { strategy; chunk_packets } ->
+        (4, strategy_tag strategy, chunk_packets)
+  in
+  Bytes.set_uint8 buf 8 kind;
+  Bytes.set_uint8 buf 9 strategy;
+  Bytes.set_int32_be buf 10 (Int32.of_int argument);
+  (match data_crc with Some crc -> Bytes.set_int32_be buf 14 crc | None -> ());
+  Bytes.to_string buf
+
+let decode payload =
+  let len = String.length payload in
+  if len <> 8 && len <> 14 && len <> 18 then None
+  else begin
+    let buf = Bytes.of_string payload in
+    let u32 pos = Int32.to_int (Bytes.get_int32_be buf pos) land 0xFFFFFFFF in
+    let packet_bytes = u32 0 and total_bytes = u32 4 in
+    if packet_bytes <= 0 || total_bytes <= 0 then None
+    else if len = 8 then Some { packet_bytes; total_bytes; suite = None; data_crc = None }
+    else begin
+      let argument = u32 10 in
+      let suite =
+        match (Bytes.get_uint8 buf 8, strategy_of_tag (Bytes.get_uint8 buf 9)) with
+        | 1, _ -> Some Protocol.Suite.Stop_and_wait
+        | 2, _ ->
+            Some
+              (Protocol.Suite.Sliding_window
+                 { window = (if argument = 0xFFFFFFFF then max_int else argument) })
+        | 3, Some strategy -> Some (Protocol.Suite.Blast strategy)
+        | 4, Some strategy when argument > 0 ->
+            Some (Protocol.Suite.Multi_blast { strategy; chunk_packets = argument })
+        | _ -> None
+      in
+      let data_crc = if len = 18 then Some (Bytes.get_int32_be buf 14) else None in
+      match suite with
+      | Some suite -> Some { packet_bytes; total_bytes; suite = Some suite; data_crc }
+      | None -> None
+    end
+  end

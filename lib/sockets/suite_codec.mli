@@ -1,0 +1,24 @@
+(** Wire encoding of the transfer geometry, the protocol suite, and an
+    end-to-end checksum of the whole data segment, carried in the REQ
+    handshake.
+
+    Carrying the suite means the two ends always run matching machines; the
+    whole-segment CRC is Spector's suggestion (the paper's reference [18]):
+    per-packet link CRCs do not protect against bugs or reordering between
+    the interface and the final buffer, a software checksum over the
+    reassembled data does. *)
+
+type info = {
+  packet_bytes : int;
+  total_bytes : int;
+  suite : Protocol.Suite.t option;
+  data_crc : int32 option;  (** CRC-32 of the entire data segment *)
+}
+
+val encode :
+  ?data_crc:int32 -> packet_bytes:int -> total_bytes:int -> Protocol.Suite.t -> string
+
+val decode : string -> info option
+(** Accepts the bare 8-byte geometry (an older or foreign sender), the
+    14-byte geometry+suite form, and the full 18-byte form with the data
+    CRC; [None] on malformed input. *)

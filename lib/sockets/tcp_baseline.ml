@@ -1,0 +1,55 @@
+(* A modern-comparator baseline: the same bulk transfer over the operating
+   system's TCP. Length-prefixed framing (8-byte big-endian length, then the
+   data). See tcp_baseline.mli. *)
+
+let listen ?(address = "127.0.0.1") () =
+  let socket = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Unix.setsockopt socket Unix.SO_REUSEADDR true;
+  Unix.bind socket (Unix.ADDR_INET (Unix.inet_addr_of_string address, 0));
+  Unix.listen socket 1;
+  (socket, Unix.getsockname socket)
+
+let really_write fd buf pos len =
+  let written = ref 0 in
+  while !written < len do
+    written := !written + Unix.write fd buf (pos + !written) (len - !written)
+  done
+
+let really_read fd buf pos len =
+  let consumed = ref 0 in
+  while !consumed < len do
+    let n = Unix.read fd buf (pos + !consumed) (len - !consumed) in
+    if n = 0 then failwith "Tcp_baseline: connection closed early";
+    consumed := !consumed + n
+  done
+
+let serve_one ~socket () =
+  let connection, _ = Unix.accept socket in
+  Fun.protect
+    ~finally:(fun () -> try Unix.close connection with Unix.Unix_error _ -> ())
+    (fun () ->
+      let header = Bytes.create 8 in
+      really_read connection header 0 8;
+      let length = Int64.to_int (Bytes.get_int64_be header 0) in
+      if length < 0 || length > 1 lsl 30 then failwith "Tcp_baseline: bad length";
+      let data = Bytes.create length in
+      really_read connection data 0 length;
+      (* One-byte acknowledgement so the sender's elapsed time covers full
+         delivery, matching the blast protocols' semantics. *)
+      really_write connection (Bytes.make 1 '\001') 0 1;
+      Bytes.to_string data)
+
+let send ~peer ~data () =
+  let socket = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Fun.protect
+    ~finally:(fun () -> try Unix.close socket with Unix.Unix_error _ -> ())
+    (fun () ->
+      Unix.connect socket peer;
+      let started = Udp.now_ns () in
+      let header = Bytes.create 8 in
+      Bytes.set_int64_be header 0 (Int64.of_int (String.length data));
+      really_write socket header 0 8;
+      really_write socket (Bytes.of_string data) 0 (String.length data);
+      let ack = Bytes.create 1 in
+      really_read socket ack 0 1;
+      Udp.now_ns () - started)

@@ -1,0 +1,19 @@
+(** A kernel-TCP baseline for the UDP blast path.
+
+    The paper's related work observes that most transport analyses optimize
+    throughput under load rather than delay under low load; forty years
+    later, TCP is the throughput-oriented incumbent. This tiny
+    length-prefixed transfer over a TCP stream gives the benchmarks a modern
+    comparator on the same loopback path as the UDP peers. The sender's
+    elapsed time includes a one-byte application acknowledgement, matching
+    the blast protocols' completion semantics. *)
+
+val listen : ?address:string -> unit -> Unix.file_descr * Unix.sockaddr
+(** A listening socket on an ephemeral port. *)
+
+val serve_one : socket:Unix.file_descr -> unit -> string
+(** Accepts one connection and returns the transferred data. *)
+
+val send : peer:Unix.sockaddr -> data:string -> unit -> int
+(** Connects, transfers, waits for the application ack; returns the elapsed
+    nanoseconds. *)

@@ -1,0 +1,29 @@
+let create_socket ?(address = "127.0.0.1") () =
+  let socket = Unix.socket Unix.PF_INET Unix.SOCK_DGRAM 0 in
+  Unix.bind socket (Unix.ADDR_INET (Unix.inet_addr_of_string address, 0));
+  (socket, Unix.getsockname socket)
+
+let close socket = try Unix.close socket with Unix.Unix_error _ -> ()
+let now_ns () = int_of_float (Unix.gettimeofday () *. 1e9)
+
+let send_message socket peer message =
+  let encoded = Packet.Codec.encode message in
+  let sent = Unix.sendto socket encoded 0 (Bytes.length encoded) [] peer in
+  if sent <> Bytes.length encoded then failwith "Udp.send_message: short send"
+
+let recv_message ?timeout_ns socket =
+  (* Allocated per call: receive paths run on multiple threads. *)
+  let buffer = Bytes.create 65536 in
+  let timeout =
+    match timeout_ns with
+    | None -> -1.0
+    | Some ns -> Float.max 0.0 (float_of_int ns /. 1e9)
+  in
+  match Unix.select [ socket ] [] [] timeout with
+  | [], _, _ -> `Timeout
+  | _ :: _, _, _ -> begin
+      let len, from = Unix.recvfrom socket buffer 0 (Bytes.length buffer) [] in
+      match Packet.Codec.decode_sub buffer ~pos:0 ~len with
+      | Ok message -> `Message (message, from)
+      | Error _ -> `Garbage
+    end

@@ -1,0 +1,22 @@
+(** Thin UDP socket helpers (IPv4 loopback by default). *)
+
+val create_socket : ?address:string -> unit -> Unix.file_descr * Unix.sockaddr
+(** Binds a fresh datagram socket to an ephemeral port on [address]
+    (default "127.0.0.1"); returns the socket and its bound address. *)
+
+val close : Unix.file_descr -> unit
+(** Idempotent close. *)
+
+val now_ns : unit -> int
+(** Monotonic-enough wall clock in integer nanoseconds. *)
+
+val send_message : Unix.file_descr -> Unix.sockaddr -> Packet.Message.t -> unit
+(** Encodes and transmits one datagram. *)
+
+val recv_message :
+  ?timeout_ns:int ->
+  Unix.file_descr ->
+  [ `Message of Packet.Message.t * Unix.sockaddr | `Timeout | `Garbage ]
+(** Waits up to [timeout_ns] (forever when omitted) for one datagram.
+    [`Garbage] is a datagram that failed to decode — the caller usually just
+    loops. *)

@@ -1,0 +1,71 @@
+let exchange_failure_prob ~packet_loss ~packets =
+  if not (packet_loss >= 0.0 && packet_loss <= 1.0) then
+    invalid_arg "Distribution.exchange_failure_prob: loss outside [0,1]";
+  if packets < 0 then invalid_arg "Distribution.exchange_failure_prob: negative packets";
+  if packet_loss = 1.0 && packets > 0 then 1.0
+  else -.Float.expm1 (float_of_int packets *. Float.log1p (-.packet_loss))
+
+let check_fail fail =
+  if not (fail >= 0.0 && fail < 1.0) then
+    invalid_arg "Distribution: failure probability outside [0,1)"
+
+let geometric_mean ~fail =
+  check_fail fail;
+  fail /. (1.0 -. fail)
+
+let geometric_variance ~fail =
+  check_fail fail;
+  fail /. ((1.0 -. fail) *. (1.0 -. fail))
+
+let geometric_pmf ~fail k =
+  check_fail fail;
+  if k < 0 then 0.0 else (fail ** float_of_int k) *. (1.0 -. fail)
+
+let geometric_cdf ~fail k =
+  check_fail fail;
+  if k < 0 then 0.0 else -.Float.expm1 (float_of_int (k + 1) *. log fail)
+
+(* Lanczos approximation (g = 7, 9 coefficients), ~1e-13 relative accuracy
+   for the positive arguments log_choose uses. *)
+let lanczos_coefficients =
+  [|
+    0.99999999999980993;
+    676.5203681218851;
+    -1259.1392167224028;
+    771.32342877765313;
+    -176.61502916214059;
+    12.507343278686905;
+    -0.13857109526572012;
+    9.9843695780195716e-6;
+    1.5056327351493116e-7;
+  |]
+
+let lgamma x =
+  let z = x -. 1.0 in
+  let acc = ref lanczos_coefficients.(0) in
+  for i = 1 to 8 do
+    acc := !acc +. (lanczos_coefficients.(i) /. (z +. float_of_int i))
+  done;
+  let t = z +. 7.5 in
+  (0.5 *. log (2.0 *. Float.pi)) +. ((z +. 0.5) *. log t) -. t +. log !acc
+
+let log_choose n k =
+  if k < 0 || k > n then neg_infinity
+  else if k = 0 || k = n then 0.0
+  else
+    lgamma (float_of_int (n + 1))
+    -. lgamma (float_of_int (k + 1))
+    -. lgamma (float_of_int (n - k + 1))
+
+let binomial_pmf ~n ~p k =
+  if not (p >= 0.0 && p <= 1.0) then invalid_arg "Distribution.binomial_pmf: p outside [0,1]";
+  if k < 0 || k > n then 0.0
+  else if p = 0.0 then if k = 0 then 1.0 else 0.0
+  else if p = 1.0 then if k = n then 1.0 else 0.0
+  else
+    exp
+      (log_choose n k
+      +. (float_of_int k *. log p)
+      +. (float_of_int (n - k) *. Float.log1p (-.p)))
+
+let binomial_mean ~n ~p = float_of_int n *. p

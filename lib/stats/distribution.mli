@@ -1,0 +1,34 @@
+(** Probability helpers for the paper's error analysis.
+
+    All computations use log-space arithmetic where overflow or catastrophic
+    cancellation would otherwise occur (the paper sweeps packet error rates
+    down to 1e-7 over trains of hundreds of packets). *)
+
+val exchange_failure_prob : packet_loss:float -> packets:int -> float
+(** [exchange_failure_prob ~packet_loss ~packets] is
+    [1 - (1 - packet_loss)^packets], the probability that at least one of
+    [packets] independent transmissions fails — computed stably via expm1/log1p.
+    This is the paper's [p_c]. *)
+
+val geometric_mean : fail:float -> float
+(** Expected number of failures before first success: [fail / (1 - fail)]. *)
+
+val geometric_variance : fail:float -> float
+(** Variance of the number of failures before first success:
+    [fail / (1 - fail)^2]. *)
+
+val geometric_pmf : fail:float -> int -> float
+(** [geometric_pmf ~fail k] is the probability of exactly [k] failures before
+    the first success. *)
+
+val geometric_cdf : fail:float -> int -> float
+(** Probability of at most [k] failures before the first success. *)
+
+val binomial_pmf : n:int -> p:float -> int -> float
+(** [binomial_pmf ~n ~p k]: probability of exactly [k] successes among [n]
+    independent Bernoulli([p]) trials; computed in log space. *)
+
+val binomial_mean : n:int -> p:float -> float
+
+val log_choose : int -> int -> float
+(** [log_choose n k] = log (n choose k), via lgamma. *)

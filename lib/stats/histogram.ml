@@ -1,0 +1,93 @@
+type scale = Linear | Log
+
+type t = {
+  scale : scale;
+  lo : float;
+  hi : float;
+  counts : int array;
+  mutable underflow : int;
+  mutable overflow : int;
+  mutable total : int;
+}
+
+let linear ~lo ~hi ~bins =
+  if not (hi > lo) then invalid_arg "Histogram.linear: empty range";
+  if bins <= 0 then invalid_arg "Histogram.linear: bins must be positive";
+  { scale = Linear; lo; hi; counts = Array.make bins 0; underflow = 0; overflow = 0; total = 0 }
+
+let logarithmic ~lo ~hi ~bins =
+  if not (lo > 0.0 && hi > lo) then invalid_arg "Histogram.logarithmic: need 0 < lo < hi";
+  if bins <= 0 then invalid_arg "Histogram.logarithmic: bins must be positive";
+  { scale = Log; lo; hi; counts = Array.make bins 0; underflow = 0; overflow = 0; total = 0 }
+
+let bins t = Array.length t.counts
+
+let position t x =
+  match t.scale with
+  | Linear -> (x -. t.lo) /. (t.hi -. t.lo)
+  | Log -> (log x -. log t.lo) /. (log t.hi -. log t.lo)
+
+let edge t frac =
+  match t.scale with
+  | Linear -> t.lo +. (frac *. (t.hi -. t.lo))
+  | Log -> exp (log t.lo +. (frac *. (log t.hi -. log t.lo)))
+
+let add t x =
+  t.total <- t.total + 1;
+  if x < t.lo || (t.scale = Log && x <= 0.0) then t.underflow <- t.underflow + 1
+  else if x >= t.hi then t.overflow <- t.overflow + 1
+  else begin
+    let i = int_of_float (position t x *. float_of_int (bins t)) in
+    let i = Stdlib.min (bins t - 1) (Stdlib.max 0 i) in
+    t.counts.(i) <- t.counts.(i) + 1
+  end
+
+let count t = t.total
+let bin_count t i = t.counts.(i)
+let underflow t = t.underflow
+let overflow t = t.overflow
+
+let bin_bounds t i =
+  let n = float_of_int (bins t) in
+  (edge t (float_of_int i /. n), edge t (float_of_int (i + 1) /. n))
+
+let quantile t q =
+  if not (q >= 0.0 && q <= 1.0) then invalid_arg "Histogram.quantile: q outside [0,1]";
+  if t.total = 0 then nan
+  else begin
+    let target = q *. float_of_int t.total in
+    let acc = ref (float_of_int t.underflow) in
+    let result = ref t.hi in
+    (try
+       if !acc >= target then begin
+         result := t.lo;
+         raise Exit
+       end;
+       for i = 0 to bins t - 1 do
+         let c = float_of_int t.counts.(i) in
+         if !acc +. c >= target && c > 0.0 then begin
+           let lo, hi = bin_bounds t i in
+           let frac = (target -. !acc) /. c in
+           result := lo +. (frac *. (hi -. lo));
+           raise Exit
+         end;
+         acc := !acc +. c
+       done
+     with Exit -> ());
+    !result
+  end
+
+let pp ppf t =
+  let max_count = Array.fold_left Stdlib.max 1 t.counts in
+  Format.fprintf ppf "@[<v>";
+  Array.iteri
+    (fun i c ->
+      if c > 0 then begin
+        let lo, hi = bin_bounds t i in
+        let width = c * 40 / max_count in
+        Format.fprintf ppf "[%10.4g, %10.4g) %6d %s@," lo hi c (String.make width '#')
+      end)
+    t.counts;
+  if t.underflow > 0 then Format.fprintf ppf "underflow %d@," t.underflow;
+  if t.overflow > 0 then Format.fprintf ppf "overflow %d@," t.overflow;
+  Format.fprintf ppf "@]"

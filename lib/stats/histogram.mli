@@ -1,0 +1,33 @@
+(** Fixed-bin histograms over floats, with linear or logarithmic bin edges. *)
+
+type t
+
+val linear : lo:float -> hi:float -> bins:int -> t
+(** [linear ~lo ~hi ~bins] covers [\[lo, hi)] with [bins] equal-width bins.
+    Out-of-range observations are counted in underflow/overflow. Requires
+    [hi > lo] and [bins > 0]. *)
+
+val logarithmic : lo:float -> hi:float -> bins:int -> t
+(** Same, with log-spaced edges. Requires [0 < lo < hi]. *)
+
+val add : t -> float -> unit
+val count : t -> int
+(** Total observations, including under/overflow. *)
+
+val bin_count : t -> int -> int
+(** [bin_count t i] is the number of observations in bin [i]. *)
+
+val bin_bounds : t -> int -> float * float
+(** Lower (inclusive) and upper (exclusive) edge of bin [i]. *)
+
+val bins : t -> int
+val underflow : t -> int
+val overflow : t -> int
+
+val quantile : t -> float -> float
+(** [quantile t q] approximates the [q]-quantile (0 <= q <= 1) from the binned
+    counts by linear interpolation within the containing bin. Under/overflow
+    observations clamp to the histogram range. [nan] when empty. *)
+
+val pp : Format.formatter -> t -> unit
+(** Renders a compact ASCII bar chart, one line per non-empty bin. *)

@@ -1,0 +1,14 @@
+let quantile xs q =
+  let n = Array.length xs in
+  if n = 0 then invalid_arg "Percentile.quantile: empty sample";
+  if not (q >= 0.0 && q <= 1.0) then invalid_arg "Percentile.quantile: q outside [0,1]";
+  let sorted = Array.copy xs in
+  Array.sort compare sorted;
+  let h = q *. float_of_int (n - 1) in
+  let lo = int_of_float (floor h) in
+  let hi = Stdlib.min (n - 1) (lo + 1) in
+  let frac = h -. float_of_int lo in
+  sorted.(lo) +. (frac *. (sorted.(hi) -. sorted.(lo)))
+
+let median xs = quantile xs 0.5
+let iqr xs = quantile xs 0.75 -. quantile xs 0.25

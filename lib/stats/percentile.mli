@@ -1,0 +1,12 @@
+(** Exact quantiles over materialized samples. *)
+
+val quantile : float array -> float -> float
+(** [quantile xs q] is the [q]-quantile (0 <= q <= 1) of [xs] using linear
+    interpolation between order statistics (type-7, the R default). The input
+    array is not modified. Raises [Invalid_argument] on an empty array or
+    [q] outside [0, 1]. *)
+
+val median : float array -> float
+
+val iqr : float array -> float
+(** Interquartile range: q(0.75) - q(0.25). *)

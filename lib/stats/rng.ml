@@ -1,0 +1,82 @@
+type t = { mutable s0 : int64; mutable s1 : int64; mutable s2 : int64; mutable s3 : int64 }
+
+(* splitmix64 is used only to expand the seed into the four xoshiro words; it
+   guarantees a non-zero state for any seed. *)
+let splitmix64_next state =
+  let open Int64 in
+  state := add !state 0x9E3779B97F4A7C15L;
+  let z = !state in
+  let z = mul (logxor z (shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = mul (logxor z (shift_right_logical z 27)) 0x94D049BB133111EBL in
+  logxor z (shift_right_logical z 31)
+
+let create ~seed =
+  let state = ref (Int64.of_int seed) in
+  let s0 = splitmix64_next state in
+  let s1 = splitmix64_next state in
+  let s2 = splitmix64_next state in
+  let s3 = splitmix64_next state in
+  { s0; s1; s2; s3 }
+
+let rotl x k = Int64.logor (Int64.shift_left x k) (Int64.shift_right_logical x (64 - k))
+
+let bits64 t =
+  let open Int64 in
+  let result = mul (rotl (mul t.s1 5L) 7) 9L in
+  let tmp = shift_left t.s1 17 in
+  t.s2 <- logxor t.s2 t.s0;
+  t.s3 <- logxor t.s3 t.s1;
+  t.s1 <- logxor t.s1 t.s2;
+  t.s0 <- logxor t.s0 t.s3;
+  t.s2 <- logxor t.s2 tmp;
+  t.s3 <- rotl t.s3 45;
+  result
+
+let copy t = { s0 = t.s0; s1 = t.s1; s2 = t.s2; s3 = t.s3 }
+
+let split t =
+  (* Derive a fresh seed from the parent stream and re-expand it; this is the
+     standard splitmix-style split and keeps the two streams decorrelated. *)
+  let seed = Int64.to_int (bits64 t) land max_int in
+  create ~seed
+
+let int t bound =
+  if bound <= 0 then invalid_arg "Rng.int: bound must be positive";
+  let nonnegative = Int64.to_int (bits64 t) land max_int in
+  nonnegative mod bound
+
+let float t =
+  (* 53 high-quality bits mapped to [0,1). *)
+  let bits = Int64.to_float (Int64.shift_right_logical (bits64 t) 11) in
+  bits *. (1.0 /. 9007199254740992.0)
+
+let bool t = Int64.logand (bits64 t) 1L = 1L
+
+let bernoulli t ~p =
+  if not (p >= 0.0 && p <= 1.0) then invalid_arg "Rng.bernoulli: p outside [0,1]";
+  float t < p
+
+let geometric t ~p =
+  if not (p > 0.0 && p <= 1.0) then invalid_arg "Rng.geometric: p outside (0,1]";
+  if p = 1.0 then 0
+  else
+    let u = float t in
+    (* Inverse CDF: failures = floor(log(1-u) / log(1-p)). *)
+    let failures = Stdlib.log1p (-.u) /. Stdlib.log1p (-.p) in
+    int_of_float failures
+
+let exponential t ~mean =
+  if not (mean > 0.0) then invalid_arg "Rng.exponential: mean must be positive";
+  -.mean *. Stdlib.log1p (-.(float t))
+
+let uniform_float t ~lo ~hi =
+  if not (hi > lo) then invalid_arg "Rng.uniform_float: empty interval";
+  lo +. ((hi -. lo) *. float t)
+
+let shuffle t a =
+  for i = Array.length a - 1 downto 1 do
+    let j = int t (i + 1) in
+    let tmp = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- tmp
+  done

@@ -1,0 +1,60 @@
+type t = {
+  mutable count : int;
+  mutable mean : float;
+  mutable m2 : float;
+  mutable min : float;
+  mutable max : float;
+  mutable total : float;
+}
+
+let create () =
+  { count = 0; mean = 0.0; m2 = 0.0; min = infinity; max = neg_infinity; total = 0.0 }
+
+let add t x =
+  t.count <- t.count + 1;
+  let delta = x -. t.mean in
+  t.mean <- t.mean +. (delta /. float_of_int t.count);
+  t.m2 <- t.m2 +. (delta *. (x -. t.mean));
+  if x < t.min then t.min <- x;
+  if x > t.max then t.max <- x;
+  t.total <- t.total +. x
+
+let add_seq t seq = Seq.iter (add t) seq
+
+let of_array xs =
+  let t = create () in
+  Array.iter (add t) xs;
+  t
+
+let count t = t.count
+let mean t = if t.count = 0 then nan else t.mean
+let variance t = if t.count < 2 then nan else t.m2 /. float_of_int (t.count - 1)
+let stddev t = sqrt (variance t)
+let min t = if t.count = 0 then nan else t.min
+let max t = if t.count = 0 then nan else t.max
+let total t = t.total
+
+let merge a b =
+  if a.count = 0 then { b with count = b.count }
+  else if b.count = 0 then { a with count = a.count }
+  else
+    let count = a.count + b.count in
+    let na = float_of_int a.count and nb = float_of_int b.count in
+    let delta = b.mean -. a.mean in
+    let mean = a.mean +. (delta *. nb /. float_of_int count) in
+    let m2 = a.m2 +. b.m2 +. (delta *. delta *. na *. nb /. float_of_int count) in
+    {
+      count;
+      mean;
+      m2;
+      min = Stdlib.min a.min b.min;
+      max = Stdlib.max a.max b.max;
+      total = a.total +. b.total;
+    }
+
+let ci95_halfwidth t =
+  if t.count < 2 then nan else 1.96 *. stddev t /. sqrt (float_of_int t.count)
+
+let pp ppf t =
+  Format.fprintf ppf "n=%d mean=%.6g sd=%.6g min=%.6g max=%.6g" t.count (mean t)
+    (stddev t) (min t) (max t)

@@ -1,0 +1,37 @@
+(** Streaming descriptive statistics (Welford's online algorithm).
+
+    Numerically stable single-pass mean/variance, plus min/max and merge, so
+    trial campaigns can be aggregated across independent runs. *)
+
+type t
+
+val create : unit -> t
+
+val add : t -> float -> unit
+(** [add t x] folds one observation into the summary. *)
+
+val add_seq : t -> float Seq.t -> unit
+
+val of_array : float array -> t
+
+val count : t -> int
+val mean : t -> float
+(** Mean of the observations; [nan] when empty. *)
+
+val variance : t -> float
+(** Unbiased sample variance (divides by n-1); [nan] when [count < 2]. *)
+
+val stddev : t -> float
+val min : t -> float
+val max : t -> float
+val total : t -> float
+
+val merge : t -> t -> t
+(** [merge a b] is the summary of the union of both observation streams
+    (Chan's parallel update). Inputs are unchanged. *)
+
+val ci95_halfwidth : t -> float
+(** Half-width of the normal-approximation 95% confidence interval of the
+    mean: [1.96 * stddev / sqrt count]. [nan] when [count < 2]. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,43 @@
+type op = Move_to | Move_from
+
+type t = { op : op; segment : int; offset : int; packet_bytes : int; total_bytes : int }
+
+let encode t =
+  let buf = Bytes.create 17 in
+  Bytes.set_uint8 buf 0 (match t.op with Move_to -> 1 | Move_from -> 2);
+  Bytes.set_int32_be buf 1 (Int32.of_int t.segment);
+  Bytes.set_int32_be buf 5 (Int32.of_int t.offset);
+  Bytes.set_int32_be buf 9 (Int32.of_int t.packet_bytes);
+  Bytes.set_int32_be buf 13 (Int32.of_int t.total_bytes);
+  Bytes.to_string buf
+
+let decode payload =
+  if String.length payload <> 17 then None
+  else begin
+    let buf = Bytes.of_string payload in
+    let op =
+      match Bytes.get_uint8 buf 0 with 1 -> Some Move_to | 2 -> Some Move_from | _ -> None
+    in
+    match op with
+    | None -> None
+    | Some op ->
+        let u32 pos = Int32.to_int (Bytes.get_int32_be buf pos) land 0xFFFFFFFF in
+        let t =
+          {
+            op;
+            segment = u32 1;
+            offset = u32 5;
+            packet_bytes = u32 9;
+            total_bytes = u32 13;
+          }
+        in
+        if t.packet_bytes <= 0 || t.total_bytes <= 0 then None else Some t
+  end
+
+let total_packets t = (t.total_bytes + t.packet_bytes - 1) / t.packet_bytes
+let equal a b = a = b
+
+let pp ppf t =
+  Format.fprintf ppf "%s segment=%d offset=%d %dB in %dB packets"
+    (match t.op with Move_to -> "MoveTo" | Move_from -> "MoveFrom")
+    t.segment t.offset t.total_bytes t.packet_bytes

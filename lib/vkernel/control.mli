@@ -1,0 +1,20 @@
+(** Control payloads of the inter-kernel protocol.
+
+    A [MoveTo]/[MoveFrom] request travels as a [Req] packet whose payload
+    encodes the operation, the target segment and the transfer geometry. *)
+
+type op = Move_to | Move_from
+
+type t = {
+  op : op;
+  segment : int;  (** remote segment id *)
+  offset : int;  (** byte offset within the segment *)
+  packet_bytes : int;
+  total_bytes : int;
+}
+
+val encode : t -> string
+val decode : string -> t option
+val total_packets : t -> int
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,450 @@
+open Eventsim
+
+type rights = Read_only | Write_only | Read_write
+
+type error =
+  | Unknown_segment
+  | Access_denied
+  | Out_of_bounds
+  | Timed_out
+  | No_such_process
+
+let pp_error ppf e =
+  Format.pp_print_string ppf
+    (match e with
+    | Unknown_segment -> "unknown segment"
+    | Access_denied -> "access denied"
+    | Out_of_bounds -> "out of bounds"
+    | Timed_out -> "timed out"
+    | No_such_process -> "no such process")
+
+type segment = { buffer : Bytes.t; rights : rights }
+
+type reply_token = { reply_to : int; msg_id : int; client_pid : int; server_pid : int }
+
+type process = {
+  pid : int;
+  process_name : string;
+  inbox : (string * reply_token) Mailbox.t;
+}
+
+(* A live transfer in the demultiplexer: whatever currently consumes its
+   messages (a handshake interceptor, then a protocol endpoint). *)
+type binding = { mutable on_message : Packet.Message.t -> unit }
+
+type t = {
+  station : Packet.Message.t Netmodel.Station.t;
+  sim : Sim.t;
+  params : Netmodel.Params.t;
+  suite : Protocol.Suite.t;
+  retransmit_ns : int;
+  max_attempts : int;
+  kernel_name : string;
+  segments : (int, segment) Hashtbl.t;
+  bindings : (int, binding) Hashtbl.t;
+  accepted : (int, Packet.Message.t) Hashtbl.t;  (* transfer id -> handshake reply *)
+  processes : (int, process) Hashtbl.t;
+  (* Short-message IPC state: completed replies kept for duplicate Sends,
+     in-flight keys to drop duplicates while the server works, and waiters
+     for our own outstanding Sends. *)
+  served : (int * int, Packet.Message.t) Hashtbl.t;
+  in_progress : (int * int, unit) Hashtbl.t;
+  pending_sends : (int, [ `Reply of string | `Rejected of int | `Timeout ] Mailbox.t) Hashtbl.t;
+  mutable next_segment : int;
+  mutable next_transfer : int;
+  mutable next_pid : int;
+}
+
+let address t = Netmodel.Station.address t.station
+let name t = t.kernel_name
+let active_transfers t = Hashtbl.length t.bindings
+
+(* Handshake replies: [Ack seq=0 total=0] accepts; a [Nack total=0] (a total
+   no data machine ever uses) rejects, its seq carrying the error code. *)
+let reject_code = function
+  | Unknown_segment -> 1
+  | Access_denied -> 2
+  | Out_of_bounds -> 3
+  | Timed_out -> 4
+  | No_such_process -> 5
+
+let error_of_code = function
+  | 1 -> Unknown_segment
+  | 2 -> Access_denied
+  | 3 -> Out_of_bounds
+  | 5 -> No_such_process
+  | _ -> Timed_out
+
+let is_handshake_accept (m : Packet.Message.t) =
+  m.Packet.Message.kind = Packet.Kind.Ack && m.Packet.Message.seq = 0
+  && m.Packet.Message.total = 0
+
+let is_handshake_reject (m : Packet.Message.t) =
+  m.Packet.Message.kind = Packet.Kind.Nack && m.Packet.Message.total = 0
+
+let control_bytes t (m : Packet.Message.t) =
+  t.params.Netmodel.Params.ack_packet_bytes + String.length m.Packet.Message.payload
+
+let send_control t ~dst m = Netmodel.Station.send t.station ~dst ~bytes:(control_bytes t m) m
+
+let bind_endpoint t ~transfer_id ~peer ~machine ~deliver ~on_complete =
+  let endpoint =
+    Simnet.Endpoint.create ~sim:t.sim ~params:t.params ~station:t.station ~peer ~machine
+      ~deliver ~on_complete ()
+  in
+  let on_message m = Simnet.Endpoint.inject endpoint (Protocol.Action.Message m) in
+  (match Hashtbl.find_opt t.bindings transfer_id with
+  | Some binding -> binding.on_message <- on_message
+  | None -> Hashtbl.replace t.bindings transfer_id { on_message });
+  endpoint
+
+let validate t (control : Control.t) =
+  match Hashtbl.find_opt t.segments control.Control.segment with
+  | None -> Error Unknown_segment
+  | Some segment ->
+      let allowed =
+        match (control.Control.op, segment.rights) with
+        | Control.Move_to, (Write_only | Read_write) -> true
+        | Control.Move_from, (Read_only | Read_write) -> true
+        | Control.Move_to, Read_only | Control.Move_from, Write_only -> false
+      in
+      if not allowed then Error Access_denied
+      else if
+        control.Control.offset < 0
+        || control.Control.offset + control.Control.total_bytes > Bytes.length segment.buffer
+      then Error Out_of_bounds
+      else Ok segment
+
+let config_of_control t ~transfer_id (control : Control.t) =
+  Protocol.Config.make ~transfer_id ~packet_bytes:control.Control.packet_bytes
+    ~retransmit_ns:t.retransmit_ns ~max_attempts:t.max_attempts
+    ~total_packets:(Control.total_packets control) ()
+
+(* ---------------------------------------------- short-message IPC path *)
+
+let req_with_payload ~transfer_id payload =
+  { (Packet.Message.req ~transfer_id ~total:1) with Packet.Message.payload = payload }
+
+let handle_ipc t (m : Packet.Message.t) ~src =
+  let msg_id = m.Packet.Message.transfer_id in
+  match Msg.decode m.Packet.Message.payload with
+  | None -> ()
+  | Some (Msg.Send { from_pid; to_pid; body }) -> begin
+      let key = (src, msg_id) in
+      match Hashtbl.find_opt t.served key with
+      | Some stored ->
+          (* Our reply was lost; the client re-sent. Repeat the reply. *)
+          send_control t ~dst:src stored
+      | None ->
+          if not (Hashtbl.mem t.in_progress key) then begin
+            match Hashtbl.find_opt t.processes to_pid with
+            | None ->
+                let stored =
+                  req_with_payload ~transfer_id:msg_id
+                    (Msg.encode
+                       (Msg.Error_reply
+                          { to_pid = from_pid; reason = reject_code No_such_process }))
+                in
+                Hashtbl.replace t.served key stored;
+                send_control t ~dst:src stored
+            | Some process ->
+                Hashtbl.replace t.in_progress key ();
+                ignore
+                  (Mailbox.try_put process.inbox
+                     ( body,
+                       { reply_to = src; msg_id; client_pid = from_pid; server_pid = to_pid }
+                     ))
+          end
+    end
+  | Some (Msg.Reply { body; _ }) -> begin
+      match Hashtbl.find_opt t.pending_sends msg_id with
+      | Some waiter -> ignore (Mailbox.try_put waiter (`Reply body))
+      | None -> ()
+    end
+  | Some (Msg.Error_reply { reason; _ }) -> begin
+      match Hashtbl.find_opt t.pending_sends msg_id with
+      | Some waiter -> ignore (Mailbox.try_put waiter (`Rejected reason))
+      | None -> ()
+    end
+
+(* ------------------------------------------------------ bulk-move path *)
+
+let handle_req t (m : Packet.Message.t) ~src =
+  if Msg.is_message_payload m.Packet.Message.payload then handle_ipc t m ~src
+  else
+  match Hashtbl.find_opt t.accepted m.Packet.Message.transfer_id with
+  | Some reply ->
+      (* Duplicate REQ: our previous handshake reply was lost; repeat it. *)
+      send_control t ~dst:src reply
+  | None -> begin
+      match Control.decode m.Packet.Message.payload with
+      | None -> ()
+      | Some control -> begin
+          let transfer_id = m.Packet.Message.transfer_id in
+          let reply_and_remember reply =
+            Hashtbl.replace t.accepted transfer_id reply;
+            send_control t ~dst:src reply
+          in
+          match validate t control with
+          | Error error ->
+              reply_and_remember
+                (Packet.Message.nack ~transfer_id ~first_missing:(reject_code error)
+                   ~total:0 ())
+          | Ok segment -> begin
+              let config = config_of_control t ~transfer_id control in
+              let ack = Packet.Message.ack ~transfer_id ~seq:0 ~total:0 in
+              let position seq = control.Control.offset + (seq * control.Control.packet_bytes) in
+              match control.Control.op with
+              | Control.Move_to ->
+                  let deliver seq payload =
+                    Bytes.blit_string payload 0 segment.buffer (position seq)
+                      (String.length payload)
+                  in
+                  let machine = Protocol.Suite.receiver t.suite config in
+                  reply_and_remember ack;
+                  ignore
+                    (bind_endpoint t ~transfer_id ~peer:src ~machine ~deliver
+                       ~on_complete:(fun _ -> ()))
+              | Control.Move_from ->
+                  let payload seq =
+                    let start = position seq in
+                    let len =
+                      min control.Control.packet_bytes
+                        (control.Control.offset + control.Control.total_bytes - start)
+                    in
+                    Bytes.sub_string segment.buffer start len
+                  in
+                  let machine = Protocol.Suite.sender t.suite config ~payload in
+                  (* The accept goes on the wire before the endpoint's first
+                     data copy, so the requester sees it first. *)
+                  reply_and_remember ack;
+                  ignore
+                    (bind_endpoint t ~transfer_id ~peer:src ~machine
+                       ~deliver:(fun _ _ -> ())
+                       ~on_complete:(fun _ -> ()))
+            end
+        end
+    end
+
+let create ?(suite = Protocol.Suite.Blast Protocol.Blast.Go_back_n)
+    ?(retransmit_ns = 200_000_000) ?(max_attempts = 50) wire ~name =
+  let station = Netmodel.Station.create wire ~name in
+  let t =
+    {
+      station;
+      sim = Netmodel.Wire.sim wire;
+      params = Netmodel.Wire.params wire;
+      suite;
+      retransmit_ns;
+      max_attempts;
+      kernel_name = name;
+      segments = Hashtbl.create 8;
+      bindings = Hashtbl.create 8;
+      accepted = Hashtbl.create 8;
+      processes = Hashtbl.create 8;
+      served = Hashtbl.create 16;
+      in_progress = Hashtbl.create 16;
+      pending_sends = Hashtbl.create 8;
+      next_segment = 1;
+      next_transfer = 1;
+      next_pid = 1;
+    }
+  in
+  Proc.spawn (Proc.env t.sim) ~name:(name ^ "-dispatch") (fun () ->
+      while true do
+        let frame = Netmodel.Station.recv t.station in
+        let m = frame.Netmodel.Wire.payload in
+        match m.Packet.Message.kind with
+        | Packet.Kind.Req -> handle_req t m ~src:frame.Netmodel.Wire.src
+        | Packet.Kind.Data | Packet.Kind.Ack | Packet.Kind.Nack -> begin
+            match Hashtbl.find_opt t.bindings m.Packet.Message.transfer_id with
+            | Some binding -> binding.on_message m
+            | None -> () (* stale packet of an unknown transfer *)
+          end
+      done);
+  t
+
+let register_segment t ~rights buffer =
+  let id = t.next_segment in
+  t.next_segment <- id + 1;
+  Hashtbl.replace t.segments id { buffer; rights };
+  id
+
+let segment_contents t id = Option.map (fun s -> s.buffer) (Hashtbl.find_opt t.segments id)
+
+let fresh_transfer_id t =
+  let id = (address t lsl 20) lor (t.next_transfer land 0xFFFFF) in
+  t.next_transfer <- t.next_transfer + 1;
+  id
+
+(* Shared RPC skeleton: reliable REQ handshake, then run the protocol
+   endpoint to completion. Must be called from a simulation process. *)
+let rpc t ~dst ~control ~make_machine ~deliver =
+  let transfer_id = fresh_transfer_id t in
+  let handshake : [ `Accepted | `Rejected of error | `Timeout ] Mailbox.t =
+    Mailbox.create ~capacity:max_int
+  in
+  (* Early data of a MoveFrom can overtake our handshake processing; hold it
+     for the endpoint. *)
+  let early = Queue.create () in
+  let intercept m =
+    if is_handshake_accept m then ignore (Mailbox.try_put handshake `Accepted)
+    else if is_handshake_reject m then
+      ignore (Mailbox.try_put handshake (`Rejected (error_of_code m.Packet.Message.seq)))
+    else Queue.push m early
+  in
+  Hashtbl.replace t.bindings transfer_id { on_message = intercept };
+  let timer =
+    Timer.create t.sim ~on_fire:(fun () -> ignore (Mailbox.try_put handshake `Timeout))
+  in
+  let req =
+    {
+      (Packet.Message.req ~transfer_id ~total:(Control.total_packets control)) with
+      Packet.Message.payload = Control.encode control;
+    }
+  in
+  let rec attempt n =
+    if n > t.max_attempts then Error Timed_out
+    else begin
+      send_control t ~dst req;
+      Timer.arm timer (Time.span_ns t.retransmit_ns);
+      match Mailbox.get handshake with
+      | `Accepted ->
+          Timer.stop timer;
+          Ok ()
+      | `Rejected error ->
+          Timer.stop timer;
+          Error error
+      | `Timeout -> attempt (n + 1)
+    end
+  in
+  match attempt 1 with
+  | Error error ->
+      Hashtbl.remove t.bindings transfer_id;
+      Error error
+  | Ok () -> begin
+      let completion = Waitq.create () in
+      let outcome = ref None in
+      let machine = make_machine ~transfer_id in
+      let endpoint =
+        bind_endpoint t ~transfer_id ~peer:dst ~machine ~deliver ~on_complete:(fun o ->
+            if !outcome = None then begin
+              outcome := Some o;
+              Waitq.broadcast completion
+            end)
+      in
+      Queue.iter
+        (fun m -> Simnet.Endpoint.inject endpoint (Protocol.Action.Message m))
+        early;
+      Queue.clear early;
+      while !outcome = None do
+        Waitq.wait completion
+      done;
+      match Option.get !outcome with
+      | Protocol.Action.Success -> Ok ()
+      | Protocol.Action.Too_many_attempts -> Error Timed_out
+    end
+
+let move_to t ~dst ~segment ~offset ~data =
+  if String.length data = 0 then invalid_arg "Kernel.move_to: empty data";
+  let control =
+    {
+      Control.op = Control.Move_to;
+      segment;
+      offset;
+      packet_bytes = t.params.Netmodel.Params.data_packet_bytes;
+      total_bytes = String.length data;
+    }
+  in
+  let make_machine ~transfer_id =
+    let config = config_of_control t ~transfer_id control in
+    let payload seq =
+      let start = seq * control.Control.packet_bytes in
+      String.sub data start (min control.Control.packet_bytes (String.length data - start))
+    in
+    Protocol.Suite.sender t.suite config ~payload
+  in
+  rpc t ~dst ~control ~make_machine ~deliver:(fun _ _ -> ())
+
+let move_from t ~dst ~segment ~offset ~len =
+  if len <= 0 then invalid_arg "Kernel.move_from: len must be positive";
+  let control =
+    {
+      Control.op = Control.Move_from;
+      segment;
+      offset;
+      packet_bytes = t.params.Netmodel.Params.data_packet_bytes;
+      total_bytes = len;
+    }
+  in
+  let received = Bytes.create len in
+  let make_machine ~transfer_id =
+    Protocol.Suite.receiver t.suite (config_of_control t ~transfer_id control)
+  in
+  let deliver seq payload =
+    Bytes.blit_string payload 0 received
+      (seq * control.Control.packet_bytes)
+      (String.length payload)
+  in
+  match rpc t ~dst ~control ~make_machine ~deliver with
+  | Ok () -> Ok (Bytes.to_string received)
+  | Error e -> Error e
+
+
+(* ------------------------------------------------- process-level IPC API *)
+
+let register_process t ~name =
+  let pid = t.next_pid in
+  t.next_pid <- pid + 1;
+  Hashtbl.replace t.processes pid
+    { pid; process_name = name; inbox = Mailbox.create ~capacity:max_int };
+  pid
+
+let process_name t ~pid =
+  Option.map (fun p -> p.process_name) (Hashtbl.find_opt t.processes pid)
+
+let send t ~dst ~from_pid ~to_pid body =
+  if String.length body > Msg.max_body then invalid_arg "Kernel.send: body exceeds 32 bytes";
+  let msg_id = fresh_transfer_id t in
+  let waiter = Mailbox.create ~capacity:max_int in
+  Hashtbl.replace t.pending_sends msg_id waiter;
+  let timer =
+    Timer.create t.sim ~on_fire:(fun () -> ignore (Mailbox.try_put waiter `Timeout))
+  in
+  let packet =
+    req_with_payload ~transfer_id:msg_id (Msg.encode (Msg.Send { from_pid; to_pid; body }))
+  in
+  let rec attempt n =
+    if n > t.max_attempts then Error Timed_out
+    else begin
+      send_control t ~dst packet;
+      Timer.arm timer (Time.span_ns t.retransmit_ns);
+      match Mailbox.get waiter with
+      | `Reply body ->
+          Timer.stop timer;
+          Ok body
+      | `Rejected reason ->
+          Timer.stop timer;
+          Error (error_of_code reason)
+      | `Timeout -> attempt (n + 1)
+    end
+  in
+  let result = attempt 1 in
+  Hashtbl.remove t.pending_sends msg_id;
+  result
+
+let receive t ~pid =
+  match Hashtbl.find_opt t.processes pid with
+  | None -> invalid_arg "Kernel.receive: unregistered process"
+  | Some process -> Mailbox.get process.inbox
+
+let reply t token body =
+  if String.length body > Msg.max_body then invalid_arg "Kernel.reply: body exceeds 32 bytes";
+  let stored =
+    req_with_payload ~transfer_id:token.msg_id
+      (Msg.encode
+         (Msg.Reply { from_pid = token.server_pid; to_pid = token.client_pid; body }))
+  in
+  Hashtbl.replace t.served (token.reply_to, token.msg_id) stored;
+  Hashtbl.remove t.in_progress (token.reply_to, token.msg_id);
+  send_control t ~dst:token.reply_to stored

@@ -1,0 +1,88 @@
+(** A V-kernel-style IPC kernel on one simulated workstation.
+
+    Mirrors the paper's Section 2.2 setting: the kernel implements
+    [MoveTo]/[MoveFrom] — network-transparent bulk moves into and out of
+    pre-registered buffer segments — at the network interrupt level (here:
+    simulation processes), demultiplexing concurrent transfers by transfer
+    id and checking access rights before any data moves.
+
+    Create kernels on a shared {!Netmodel.Wire.t} built with
+    {!Netmodel.Params.vkernel} (so the copy costs include the header,
+    demultiplexing and interrupt overhead the paper measured), register
+    segments, then call {!move_to}/{!move_from} from simulation processes. *)
+
+type t
+
+type rights = Read_only | Write_only | Read_write
+
+type error =
+  | Unknown_segment
+  | Access_denied
+  | Out_of_bounds
+  | Timed_out  (** the transfer or its handshake exhausted its attempts *)
+  | No_such_process  (** a short message named an unregistered process *)
+
+val pp_error : Format.formatter -> error -> unit
+
+val create :
+  ?suite:Protocol.Suite.t ->
+  ?retransmit_ns:int ->
+  ?max_attempts:int ->
+  Packet.Message.t Netmodel.Wire.t ->
+  name:string ->
+  t
+(** Attaches a kernel to the wire and starts its dispatcher process.
+    [suite] is the transfer protocol used for the data movement (default:
+    blast with go-back-n retransmission — the paper's choice). *)
+
+val address : t -> int
+val name : t -> string
+
+val register_segment : t -> rights:rights -> Bytes.t -> int
+(** Exposes a buffer to remote kernels; returns its segment id. The buffer
+    is the recipient's pre-allocated storage — no intermediate copies. *)
+
+val segment_contents : t -> int -> Bytes.t option
+
+val move_to :
+  t -> dst:int -> segment:int -> offset:int -> data:string -> (unit, error) result
+(** [move_to k ~dst ~segment ~offset ~data] moves [data] into the remote
+    segment at [offset]. Blocking process operation; returns when the remote
+    kernel has acknowledged the full train. *)
+
+val move_from :
+  t -> dst:int -> segment:int -> offset:int -> len:int -> (string, error) result
+(** Fetches [len] bytes from the remote segment: the remote kernel blasts
+    the data back under the requester's transfer id. *)
+
+val active_transfers : t -> int
+(** Transfers currently bound in the demultiplexer (for tests). *)
+
+(** {1 Short-message IPC}
+
+    The V kernel's synchronous [Send]/[Receive]/[Reply] primitives, over
+    which the bulk moves are arranged (the client tells the file server
+    where its pre-allocated buffer is with a short message; the server then
+    [MoveTo]s into it). Messages are at most 32 bytes; a [Send] blocks until
+    the server's [Reply] arrives, retransmitting on loss, and servers
+    deduplicate repeated [Send]s by message id. *)
+
+type reply_token
+(** Identifies a received message so the server can answer it. *)
+
+val register_process : t -> name:string -> int
+(** Registers a process on this kernel; returns its pid. *)
+
+val process_name : t -> pid:int -> string option
+
+val send : t -> dst:int -> from_pid:int -> to_pid:int -> string -> (string, error) result
+(** [send k ~dst ~from_pid ~to_pid body] delivers [body] to process [to_pid]
+    on the kernel at address [dst] and blocks until its reply. Blocking
+    process operation. Raises [Invalid_argument] on bodies over 32 bytes. *)
+
+val receive : t -> pid:int -> string * reply_token
+(** Blocks until a message arrives for [pid]. *)
+
+val reply : t -> reply_token -> string -> unit
+(** Answers a received message, releasing the remote sender. Duplicate
+    [Send]s arriving after the reply are answered with the stored reply. *)

@@ -1,0 +1,59 @@
+let max_body = 32
+let tag_send = 0xA0
+let tag_reply = 0xA1
+let tag_error = 0xA2
+
+type t =
+  | Send of { from_pid : int; to_pid : int; body : string }
+  | Reply of { from_pid : int; to_pid : int; body : string }
+  | Error_reply of { to_pid : int; reason : int }
+
+let check_body body =
+  if String.length body > max_body then invalid_arg "Msg: body exceeds 32 bytes"
+
+let encode t =
+  let tag, from_pid, to_pid, body =
+    match t with
+    | Send { from_pid; to_pid; body } ->
+        check_body body;
+        (tag_send, from_pid, to_pid, body)
+    | Reply { from_pid; to_pid; body } ->
+        check_body body;
+        (tag_reply, from_pid, to_pid, body)
+    | Error_reply { to_pid; reason } -> (tag_error, reason, to_pid, "")
+  in
+  let buf = Bytes.create (9 + String.length body) in
+  Bytes.set_uint8 buf 0 tag;
+  Bytes.set_int32_be buf 1 (Int32.of_int from_pid);
+  Bytes.set_int32_be buf 5 (Int32.of_int to_pid);
+  Bytes.blit_string body 0 buf 9 (String.length body);
+  Bytes.to_string buf
+
+let is_message_payload payload =
+  String.length payload >= 9
+  &&
+  let tag = Char.code payload.[0] in
+  tag = tag_send || tag = tag_reply || tag = tag_error
+
+let decode payload =
+  if String.length payload < 9 || String.length payload > 9 + max_body then None
+  else begin
+    let buf = Bytes.of_string payload in
+    let u32 pos = Int32.to_int (Bytes.get_int32_be buf pos) land 0xFFFFFFFF in
+    let from_pid = u32 1 and to_pid = u32 5 in
+    let body = String.sub payload 9 (String.length payload - 9) in
+    match Char.code payload.[0] with
+    | tag when tag = tag_send -> Some (Send { from_pid; to_pid; body })
+    | tag when tag = tag_reply -> Some (Reply { from_pid; to_pid; body })
+    | tag when tag = tag_error && body = "" -> Some (Error_reply { to_pid; reason = from_pid })
+    | _ -> None
+  end
+
+let equal a b = a = b
+
+let pp ppf = function
+  | Send { from_pid; to_pid; body } ->
+      Format.fprintf ppf "send %d->%d %S" from_pid to_pid body
+  | Reply { from_pid; to_pid; body } ->
+      Format.fprintf ppf "reply %d->%d %S" from_pid to_pid body
+  | Error_reply { to_pid; reason } -> Format.fprintf ppf "error->%d (%d)" to_pid reason

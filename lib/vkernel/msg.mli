@@ -1,0 +1,23 @@
+(** Wire encoding of V-style short messages.
+
+    V's [Send]/[Receive]/[Reply] primitives exchange small fixed-size
+    messages; the paper's [MoveTo]/[MoveFrom] bulk moves are set up by
+    exactly such an exchange (the client tells the file server where its
+    buffer is). Messages ride in [Req] packets; the first payload byte
+    distinguishes them from {!Control} payloads (whose first byte is the
+    move opcode 1 or 2). *)
+
+val max_body : int
+(** 32 bytes, as in the V kernel. *)
+
+type t =
+  | Send of { from_pid : int; to_pid : int; body : string }
+  | Reply of { from_pid : int; to_pid : int; body : string }
+  | Error_reply of { to_pid : int; reason : int }
+      (** e.g. no such process; [reason] is a small error code *)
+
+val encode : t -> string
+val decode : string -> t option
+val is_message_payload : string -> bool
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,16 @@
+let paper_ladder_packets = [ 1; 2; 4; 8; 16; 32; 64 ]
+let paper_ladder_bytes = List.map (fun n -> n * 1024) paper_ladder_packets
+let dump_bytes = 16 * 1024 * 1024
+
+let file_sizes rng ~count =
+  if count < 0 then invalid_arg "Sizes.file_sizes: negative count";
+  let lo = log 512.0 and hi = log (1024.0 *. 1024.0) in
+  List.init count (fun _ ->
+      int_of_float (exp (Stats.Rng.uniform_float rng ~lo ~hi)))
+
+let pn_ladder =
+  List.concat_map
+    (fun exponent ->
+      List.map (fun mantissa -> mantissa *. (10.0 ** float_of_int exponent)) [ 1.0; 2.0; 5.0 ])
+    [ -7; -6; -5; -4; -3; -2 ]
+  @ [ 1e-1 ]

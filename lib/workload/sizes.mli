@@ -1,0 +1,24 @@
+(** Transfer-size workloads.
+
+    The paper's measurements ladder from 1 KiB to 64 KiB in powers of two;
+    the motivating workloads (Section 1) are page-sized file access and very
+    large remote dumps. *)
+
+val paper_ladder_bytes : int list
+(** 1, 2, 4, ..., 64 KiB. *)
+
+val paper_ladder_packets : int list
+(** Same ladder, in 1 KiB packets: 1, 2, ..., 64. *)
+
+val dump_bytes : int
+(** A "remote file system dump"-scale transfer (16 MiB) used by the
+    multi-blast experiments. *)
+
+val file_sizes : Stats.Rng.t -> count:int -> int list
+(** A heavy-tailed sample of file sizes (log-uniform between 512 B and
+    1 MiB), a rough stand-in for a mid-80s file server's working set: the
+    paper's motivation cites file access as the driving workload. *)
+
+val pn_ladder : float list
+(** The error-rate sweep of Figures 5 and 6: 1e-7 .. 1e-1, three points per
+    decade. *)

@@ -1,0 +1,10 @@
+(* Tiny helper shared by test files: substring containment without pulling in
+   the Str library. *)
+
+let contains_substring haystack needle =
+  let h = String.length haystack and n = String.length needle in
+  if n = 0 then true
+  else begin
+    let rec scan i = i + n <= h && (String.sub haystack i n = needle || scan (i + 1)) in
+    scan 0
+  end

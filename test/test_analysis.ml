@@ -1,0 +1,414 @@
+(* Tests for the closed-form analysis and the Monte-Carlo runner, including
+   the cross-validation between them that underpins Figures 5 and 6. *)
+
+let costs = Analysis.Costs.standalone
+let check_close epsilon = Alcotest.(check (float epsilon))
+
+(* ------------------------------------------------------------ Error_free *)
+
+let test_error_free_spot_values () =
+  (* By hand from the Table 2 constants. *)
+  check_close 1e-9 "blast 64" 140.59 (Analysis.Error_free.blast costs ~packets:64);
+  check_close 1e-9 "saw 1" 3.9304 (Analysis.Error_free.stop_and_wait costs ~packets:1);
+  check_close 1e-9 "saw 64" 251.5456 (Analysis.Error_free.stop_and_wait costs ~packets:64)
+
+let test_error_free_ordering () =
+  List.iter
+    (fun n ->
+      let saw = Analysis.Error_free.stop_and_wait costs ~packets:n in
+      let sw = Analysis.Error_free.sliding_window costs ~packets:n in
+      let blast = Analysis.Error_free.blast costs ~packets:n in
+      let dbl = Analysis.Error_free.double_buffered costs ~packets:n in
+      if not (saw > sw && sw > blast && blast > dbl) then
+        Alcotest.failf "ordering violated at N=%d: %f %f %f %f" n saw sw blast dbl)
+    [ 2; 4; 8; 16; 64; 256 ]
+
+let test_double_buffered_regimes () =
+  (* T < C regime uses the copy-bound branch. *)
+  let n = 16 in
+  let copy_bound = Analysis.Error_free.double_buffered costs ~packets:n in
+  check_close 1e-9 "copy bound"
+    ((float_of_int n *. 1.35) +. 0.8192 +. 1.35 +. 0.34 +. 0.0512 +. 0.02)
+    copy_bound;
+  (* A fast-copy machine flips to the wire-bound branch. *)
+  let fast = { costs with Analysis.Costs.c = 0.2 } in
+  let wire_bound = Analysis.Error_free.double_buffered fast ~packets:n in
+  check_close 1e-9 "wire bound"
+    ((float_of_int n *. 0.8192) +. 0.4 +. 0.34 +. 0.0512 +. 0.02)
+    wire_bound
+
+let test_utilization_value () =
+  check_close 1e-2 "38%" 0.38 (Analysis.Error_free.network_utilization costs ~packets:64);
+  (* Double buffering would raise utilization; more packets asymptotically
+     approach T/(C+T). *)
+  let u64 = Analysis.Error_free.network_utilization costs ~packets:64 in
+  let u512 = Analysis.Error_free.network_utilization costs ~packets:512 in
+  Alcotest.(check bool) "monotone in N" true (u512 > u64);
+  Alcotest.(check bool) "bounded by T/(C+T)" true (u512 < 0.8192 /. (1.35 +. 0.8192))
+
+(* --------------------------------------------------------- Expected_time *)
+
+let test_failure_probs () =
+  check_close 1e-12 "saw pc" (1.0 -. (0.99 *. 0.99))
+    (Analysis.Expected_time.saw_exchange_failure ~pn:0.01);
+  check_close 1e-12 "blast pc" (1.0 -. (0.99 ** 65.0))
+    (Analysis.Expected_time.blast_failure ~pn:0.01 ~packets:64)
+
+let test_expected_time_limits () =
+  check_close 1e-12 "pc=0 gives t0" 10.0 (Analysis.Expected_time.expected ~t0:10.0 ~tr:50.0 ~pc:0.0);
+  Alcotest.(check bool) "pc=1 diverges" true
+    (Analysis.Expected_time.expected ~t0:10.0 ~tr:50.0 ~pc:1.0 = infinity)
+
+let test_expected_time_monotone_in_pn () =
+  let t0 = Analysis.Error_free.blast costs ~packets:64 in
+  let values =
+    List.map
+      (fun pn -> Analysis.Expected_time.blast ~t0 ~tr:t0 ~pn ~packets:64)
+      [ 1e-7; 1e-6; 1e-5; 1e-4; 1e-3; 1e-2 ]
+  in
+  let rec increasing = function
+    | a :: (b :: _ as rest) -> a < b && increasing rest
+    | _ -> true
+  in
+  Alcotest.(check bool) "monotone" true (increasing values)
+
+let test_blast_beats_saw_in_operating_region () =
+  (* Figure 5's conclusion: between 1e-5 and 1e-4 blast stays well below
+     stop-and-wait even with a generous blast timeout. *)
+  let t0_blast = Analysis.Error_free.blast costs ~packets:64 in
+  let t0_saw1 = Analysis.Error_free.stop_and_wait costs ~packets:1 in
+  List.iter
+    (fun pn ->
+      let blast =
+        Analysis.Expected_time.blast ~t0:t0_blast ~tr:(10.0 *. t0_blast) ~pn ~packets:64
+      in
+      let saw =
+        Analysis.Expected_time.stop_and_wait ~t0_packet:t0_saw1 ~tr:(10.0 *. t0_saw1) ~pn
+          ~packets:64
+      in
+      if not (blast < 0.75 *. saw) then
+        Alcotest.failf "blast %.2f not well below saw %.2f at pn=%g" blast saw pn)
+    [ 1e-7; 1e-6; 1e-5; 1e-4 ]
+
+let test_expected_time_flat_region () =
+  (* At the network error rate (1e-5) the expected time is within 0.1% of the
+     error-free time — the paper's "flat part of the curve". *)
+  let t0 = Analysis.Error_free.blast costs ~packets:64 in
+  let e = Analysis.Expected_time.blast ~t0 ~tr:t0 ~pn:1e-5 ~packets:64 in
+  Alcotest.(check bool) "flat" true (e < t0 *. 1.002)
+
+(* -------------------------------------------------------------- Variance *)
+
+let test_variance_limits () =
+  check_close 1e-12 "pc=0" 0.0 (Analysis.Variance.geometric_sigma ~t_fail:100.0 ~pc:0.0);
+  let lo = Analysis.Variance.full_retransmit ~t0:100.0 ~tr:100.0 ~pc:0.01 in
+  let hi = Analysis.Variance.full_retransmit ~t0:100.0 ~tr:100.0 ~pc:0.1 in
+  Alcotest.(check bool) "monotone in pc" true (hi > lo);
+  let with_nack = Analysis.Variance.full_retransmit_nack ~t0:100.0 ~pc:0.1 in
+  Alcotest.(check bool) "nack halves sigma when tr=t0" true (with_nack < hi /. 1.9)
+
+let test_paper_variant_close_at_low_pc () =
+  let exact = Analysis.Variance.full_retransmit ~t0:173.0 ~tr:173.0 ~pc:1e-3 in
+  let paper = Analysis.Variance.paper_full_retransmit ~t0:173.0 ~tr:173.0 ~pc:1e-3 in
+  Alcotest.(check bool) "within 0.1%" true (Float.abs (exact -. paper) /. exact < 1e-3)
+
+(* ----------------------------------------------------------- Monte-Carlo *)
+
+let suite_of strategy = Protocol.Suite.Blast strategy
+
+let test_mc_timing_consistency () =
+  let timing = Montecarlo.Runner.blast_timing costs ~tr:100.0 in
+  check_close 1e-9 "blast t0" (Analysis.Error_free.blast costs ~packets:64)
+    (Montecarlo.Runner.error_free_time timing ~packets:64);
+  let saw = Montecarlo.Runner.saw_timing costs ~tr:100.0 in
+  check_close 1e-9 "saw t0"
+    (Analysis.Error_free.stop_and_wait costs ~packets:64)
+    (Montecarlo.Runner.error_free_time saw ~packets:64)
+
+let test_mc_no_loss_deterministic () =
+  let timing = Montecarlo.Runner.blast_timing costs ~tr:100.0 in
+  List.iter
+    (fun strategy ->
+      let elapsed =
+        Montecarlo.Runner.one_transfer
+          ~drops:(fun () -> false)
+          ~timing ~suite:(suite_of strategy) ~packets:64 ()
+      in
+      check_close 1e-9
+        (Protocol.Blast.strategy_name strategy ^ " error-free")
+        (Analysis.Error_free.blast costs ~packets:64)
+        elapsed)
+    Protocol.Blast.all_strategies
+
+let test_mc_mean_matches_analytic_full_retransmit () =
+  let packets = 16 in
+  let t0 = Analysis.Error_free.blast costs ~packets in
+  let tr = t0 in
+  let timing = Montecarlo.Runner.blast_timing costs ~tr in
+  let pn = 0.005 in
+  let summary =
+    Montecarlo.Runner.sample
+      ~sampler:(fun rng -> Montecarlo.Runner.iid rng ~loss:pn)
+      ~timing ~suite:(suite_of Protocol.Blast.Full_retransmit) ~packets ~trials:4000 ~seed:5 ()
+  in
+  let analytic = Analysis.Expected_time.blast ~t0 ~tr ~pn ~packets in
+  let mc = Stats.Summary.mean summary in
+  (* The analytic failed-attempt cost (T0 + Tr) differs from the simulated
+     one (send time + Tr, no ack tail) by the tail — a ~4% effect on the
+     retry term at this pn; 5% covers it plus Monte-Carlo noise. *)
+  if Float.abs (mc -. analytic) /. analytic > 0.05 then
+    Alcotest.failf "MC mean %.3f vs analytic %.3f" mc analytic
+
+let test_mc_saw_mean_matches_analytic () =
+  let packets = 16 in
+  let t0_packet = Analysis.Error_free.stop_and_wait costs ~packets:1 in
+  let tr = 10.0 *. t0_packet in
+  let timing = Montecarlo.Runner.saw_timing costs ~tr in
+  let pn = 0.01 in
+  let summary =
+    Montecarlo.Runner.sample
+      ~sampler:(fun rng -> Montecarlo.Runner.iid rng ~loss:pn)
+      ~timing ~suite:Protocol.Suite.Stop_and_wait ~packets ~trials:4000 ~seed:6 ()
+  in
+  let analytic = Analysis.Expected_time.stop_and_wait ~t0_packet ~tr ~pn ~packets in
+  let mc = Stats.Summary.mean summary in
+  if Float.abs (mc -. analytic) /. analytic > 0.02 then
+    Alcotest.failf "MC mean %.3f vs analytic %.3f" mc analytic
+
+let test_mc_sigma_matches_analytic_full_retransmit () =
+  let packets = 16 in
+  let t0 = Analysis.Error_free.blast costs ~packets in
+  let tr = t0 in
+  let timing = Montecarlo.Runner.blast_timing costs ~tr in
+  let pn = 0.005 in
+  let pc = Analysis.Expected_time.blast_failure ~pn ~packets in
+  let summary =
+    Montecarlo.Runner.sample
+      ~sampler:(fun rng -> Montecarlo.Runner.iid rng ~loss:pn)
+      ~timing ~suite:(suite_of Protocol.Blast.Full_retransmit) ~packets ~trials:8000 ~seed:7 ()
+  in
+  let analytic = Analysis.Variance.full_retransmit ~t0 ~tr ~pc in
+  let mc = Stats.Summary.stddev summary in
+  (* The paper's geometric model treats every attempt as independent; the
+     real receiver accumulates packets across rounds (an ack-lost round makes
+     the next attempt nearly certain to succeed), so the measured sigma runs
+     somewhat BELOW the closed form. Assert the band rather than equality. *)
+  if not (mc < analytic *. 1.02 && mc > 0.7 *. analytic) then
+    Alcotest.failf "MC sigma %.3f outside (0.7, 1.02) x analytic %.3f" mc analytic
+
+let test_mc_sigma_strategy_ordering () =
+  (* Figure 6's qualitative result at the interface error rate: full
+     retransmission without NACK is far worse than the rest; go-back-n is
+     close to selective. *)
+  let packets = 64 in
+  let t0 = Analysis.Error_free.blast costs ~packets in
+  let timing = Montecarlo.Runner.blast_timing costs ~tr:t0 in
+  let pn = 1e-2 in
+  let sigma strategy =
+    Stats.Summary.stddev
+      (Montecarlo.Runner.sample
+         ~sampler:(fun rng -> Montecarlo.Runner.iid rng ~loss:pn)
+         ~timing ~suite:(suite_of strategy) ~packets ~trials:3000 ~seed:8 ())
+  in
+  let full = sigma Protocol.Blast.Full_retransmit in
+  let nack = sigma Protocol.Blast.Full_retransmit_nack in
+  let gbn = sigma Protocol.Blast.Go_back_n in
+  let selective = sigma Protocol.Blast.Selective in
+  (* Strict ordering at the knee of the curve. *)
+  if not (full > 1.5 *. nack) then
+    Alcotest.failf "full %.2f should far exceed nack %.2f" full nack;
+  if not (nack > gbn) then Alcotest.failf "nack %.2f should exceed gbn %.2f" nack gbn;
+  if not (gbn > selective) then
+    Alcotest.failf "gbn %.2f should exceed selective %.2f" gbn selective;
+  (* The paper's "go-back-n is only marginally inferior" claim lives at the
+     interface error rate (~1e-4..1e-3): there, both strategies' spread is a
+     small fraction of the mean and their expected times agree within 1%%. *)
+  let at_rate pn strategy =
+    Montecarlo.Runner.sample
+      ~sampler:(fun rng -> Montecarlo.Runner.iid rng ~loss:pn)
+      ~timing ~suite:(suite_of strategy) ~packets ~trials:3000 ~seed:18 ()
+  in
+  let gbn4 = at_rate 1e-4 Protocol.Blast.Go_back_n in
+  let sel4 = at_rate 1e-4 Protocol.Blast.Selective in
+  let mean_gap =
+    Float.abs (Stats.Summary.mean gbn4 -. Stats.Summary.mean sel4) /. Stats.Summary.mean sel4
+  in
+  if mean_gap > 0.01 then Alcotest.failf "gbn/selective mean gap %.3f%%" (100. *. mean_gap);
+  let rel_sigma = Stats.Summary.stddev gbn4 /. Stats.Summary.mean gbn4 in
+  if rel_sigma > 0.08 then
+    Alcotest.failf "gbn spread %.1f%% of mean at interface rate" (100. *. rel_sigma)
+
+let test_mc_expected_time_insensitive_to_strategy () =
+  (* Section 3.1.3's stronger conclusion: at realistic error rates even the
+     crudest strategy has near-optimal expected time. *)
+  let packets = 64 in
+  let t0 = Analysis.Error_free.blast costs ~packets in
+  let timing = Montecarlo.Runner.blast_timing costs ~tr:t0 in
+  let pn = 1e-4 in
+  let mean strategy =
+    Stats.Summary.mean
+      (Montecarlo.Runner.sample
+         ~sampler:(fun rng -> Montecarlo.Runner.iid rng ~loss:pn)
+         ~timing ~suite:(suite_of strategy) ~packets ~trials:1500 ~seed:9 ())
+  in
+  let full = mean Protocol.Blast.Full_retransmit in
+  let selective = mean Protocol.Blast.Selective in
+  Alcotest.(check bool) "within 2%" true (Float.abs (full -. selective) /. selective < 0.02)
+
+let test_mc_burst_sampler () =
+  (* A hand-rolled two-state burst sampler; at the same average loss, bursts
+     concentrate failures in fewer transfers. Expected time stays in the same
+     ballpark; this exercises the pluggable-sampler path. *)
+  let packets = 32 in
+  let t0 = Analysis.Error_free.blast costs ~packets in
+  let timing = Montecarlo.Runner.blast_timing costs ~tr:t0 in
+  let burst_sampler rng =
+    let in_burst = ref false in
+    fun () ->
+      if !in_burst then begin
+        if Stats.Rng.bernoulli rng ~p:0.25 then in_burst := false;
+        !in_burst
+      end
+      else begin
+        if Stats.Rng.bernoulli rng ~p:0.003 then in_burst := true;
+        !in_burst
+      end
+  in
+  let summary =
+    Montecarlo.Runner.sample ~sampler:burst_sampler ~timing
+      ~suite:(suite_of Protocol.Blast.Go_back_n) ~packets ~trials:800 ~seed:10 ()
+  in
+  Alcotest.(check bool) "completes and costs more than error-free" true
+    (Stats.Summary.mean summary >= t0)
+
+(* ------------------------------------------------------------ Calibrate *)
+
+let test_least_squares_exact () =
+  let fit = Analysis.Calibrate.least_squares [ (1.0, 5.0); (2.0, 7.0); (3.0, 9.0) ] in
+  check_close 1e-9 "slope" 2.0 fit.Analysis.Calibrate.slope;
+  check_close 1e-9 "intercept" 3.0 fit.Analysis.Calibrate.intercept;
+  check_close 1e-9 "r2" 1.0 fit.Analysis.Calibrate.r_square
+
+let test_least_squares_rejects_degenerate () =
+  Alcotest.check_raises "one point"
+    (Invalid_argument "Calibrate.least_squares: need at least two points") (fun () ->
+      ignore (Analysis.Calibrate.least_squares [ (1.0, 1.0) ]));
+  Alcotest.check_raises "same x"
+    (Invalid_argument "Calibrate.least_squares: x values are degenerate") (fun () ->
+      ignore (Analysis.Calibrate.least_squares [ (1.0, 1.0); (1.0, 2.0) ]))
+
+let test_recover_constants_from_simulated_ladders () =
+  (* Measure the ladders on the event simulator and recover the paper's C
+     and Ca from the fitted slopes - the authors' calibration, inverted. *)
+  let measure suite n =
+    Simnet.Driver.elapsed_ms
+      (Simnet.Driver.run ~suite ~config:(Protocol.Config.make ~total_packets:n ()) ())
+  in
+  let ladder suite = List.map (fun n -> (n, measure suite n)) [ 2; 4; 8; 16; 32; 64 ] in
+  let recovered =
+    Analysis.Calibrate.recover_constants
+      ~blast:(ladder (Protocol.Suite.Blast Protocol.Blast.Go_back_n))
+      ~sliding_window:(ladder (Protocol.Suite.Sliding_window { window = max_int }))
+      ~transmit_ms:0.8192
+  in
+  check_close 1e-6 "C recovered" 1.35 recovered.Analysis.Calibrate.copy_data_ms;
+  check_close 1e-6 "Ca recovered" 0.17 recovered.Analysis.Calibrate.copy_ack_ms;
+  Alcotest.(check bool) "blast fit is clean" true
+    (recovered.Analysis.Calibrate.fit_blast.Analysis.Calibrate.r_square > 0.999999)
+
+let test_mc_deterministic_given_seed () =
+  let timing = Montecarlo.Runner.blast_timing costs ~tr:100.0 in
+  let sample () =
+    Montecarlo.Runner.sample
+      ~sampler:(fun rng -> Montecarlo.Runner.iid rng ~loss:0.02)
+      ~timing ~suite:(suite_of Protocol.Blast.Go_back_n) ~packets:32 ~trials:50 ~seed:99 ()
+  in
+  let a = sample () and b = sample () in
+  check_close 1e-12 "identical mean" (Stats.Summary.mean a) (Stats.Summary.mean b);
+  check_close 1e-12 "identical sd" (Stats.Summary.stddev a) (Stats.Summary.stddev b)
+
+let test_mc_covers_all_suites () =
+  (* Every protocol the library offers can run under the Monte-Carlo
+     accountant, not just the blast family. *)
+  let timing = Montecarlo.Runner.blast_timing costs ~tr:50.0 in
+  List.iter
+    (fun suite ->
+      let elapsed =
+        Montecarlo.Runner.one_transfer
+          ~drops:(fun () -> false)
+          ~timing ~suite ~packets:8 ()
+      in
+      if not (elapsed > 0.0) then
+        Alcotest.failf "%s: nonpositive elapsed" (Protocol.Suite.name suite))
+    [
+      Protocol.Suite.Stop_and_wait;
+      Protocol.Suite.Sliding_window { window = max_int };
+      Protocol.Suite.Blast Protocol.Blast.Full_retransmit;
+      Protocol.Suite.Blast Protocol.Blast.Selective;
+      Protocol.Suite.Multi_blast { strategy = Protocol.Blast.Go_back_n; chunk_packets = 3 };
+    ]
+
+let test_mc_gives_up_at_total_loss () =
+  let timing = Montecarlo.Runner.blast_timing costs ~tr:10.0 in
+  Alcotest.(check bool) "raises" true
+    (try
+       ignore
+         (Montecarlo.Runner.one_transfer ~max_attempts:5
+            ~drops:(fun () -> true)
+            ~timing ~suite:(suite_of Protocol.Blast.Full_retransmit) ~packets:4 ());
+       false
+     with Failure _ -> true)
+
+let () =
+  Alcotest.run "analysis-montecarlo"
+    [
+      ( "error-free",
+        [
+          Alcotest.test_case "spot values" `Quick test_error_free_spot_values;
+          Alcotest.test_case "protocol ordering" `Quick test_error_free_ordering;
+          Alcotest.test_case "double-buffered regimes" `Quick test_double_buffered_regimes;
+          Alcotest.test_case "utilization" `Quick test_utilization_value;
+        ] );
+      ( "expected-time",
+        [
+          Alcotest.test_case "failure probabilities" `Quick test_failure_probs;
+          Alcotest.test_case "limits" `Quick test_expected_time_limits;
+          Alcotest.test_case "monotone in pn" `Quick test_expected_time_monotone_in_pn;
+          Alcotest.test_case "blast beats saw in operating region" `Quick
+            test_blast_beats_saw_in_operating_region;
+          Alcotest.test_case "flat region at network error rate" `Quick
+            test_expected_time_flat_region;
+        ] );
+      ( "calibrate",
+        [
+          Alcotest.test_case "least squares exact" `Quick test_least_squares_exact;
+          Alcotest.test_case "rejects degenerate input" `Quick
+            test_least_squares_rejects_degenerate;
+          Alcotest.test_case "recovers C and Ca from ladders" `Quick
+            test_recover_constants_from_simulated_ladders;
+        ] );
+      ( "variance",
+        [
+          Alcotest.test_case "limits and monotonicity" `Quick test_variance_limits;
+          Alcotest.test_case "paper variant close at low pc" `Quick
+            test_paper_variant_close_at_low_pc;
+        ] );
+      ( "montecarlo",
+        [
+          Alcotest.test_case "timing consistency" `Quick test_mc_timing_consistency;
+          Alcotest.test_case "no loss deterministic" `Quick test_mc_no_loss_deterministic;
+          Alcotest.test_case "mean matches analytic (blast)" `Slow
+            test_mc_mean_matches_analytic_full_retransmit;
+          Alcotest.test_case "mean matches analytic (saw)" `Slow test_mc_saw_mean_matches_analytic;
+          Alcotest.test_case "sigma matches analytic (full retx)" `Slow
+            test_mc_sigma_matches_analytic_full_retransmit;
+          Alcotest.test_case "sigma strategy ordering (Figure 6)" `Slow
+            test_mc_sigma_strategy_ordering;
+          Alcotest.test_case "expected time insensitive to strategy" `Slow
+            test_mc_expected_time_insensitive_to_strategy;
+          Alcotest.test_case "burst sampler" `Quick test_mc_burst_sampler;
+          Alcotest.test_case "deterministic given seed" `Quick test_mc_deterministic_given_seed;
+          Alcotest.test_case "covers all suites" `Quick test_mc_covers_all_suites;
+          Alcotest.test_case "gives up at total loss" `Quick test_mc_gives_up_at_total_loss;
+        ] );
+    ]

@@ -1,0 +1,165 @@
+(* Tests for the CSMA/CD medium arbiter and the background-load machinery:
+   the paper's "low load" caveat made executable. *)
+
+open Eventsim
+
+let params = Netmodel.Params.standalone
+
+let csma ?(seed = 1) ?max_backoff_exponent ?attempt_limit () =
+  Netmodel.Arbiter.csma_cd
+    ~rng:(Stats.Rng.create ~seed)
+    ~propagation:params.Netmodel.Params.propagation ?max_backoff_exponent ?attempt_limit ()
+
+let run_transfer ?arbiter ?background suite packets =
+  Simnet.Driver.run ?arbiter ?background ~suite
+    ~config:(Protocol.Config.make ~total_packets:packets ())
+    ()
+
+let blast = Protocol.Suite.Blast Protocol.Blast.Go_back_n
+
+let test_csma_uncontended_matches_fifo () =
+  (* With a single transfer in flight there are no collisions, and elapsed
+     time equals the FIFO (idle network) result exactly. *)
+  let fifo = run_transfer blast 16 in
+  let contended = run_transfer ~arbiter:(csma ()) blast 16 in
+  Alcotest.(check int) "same elapsed"
+    (Time.span_to_ns fifo.Simnet.Driver.elapsed)
+    (Time.span_to_ns contended.Simnet.Driver.elapsed)
+
+let test_csma_station_defers () =
+  (* Two stations, B starts while A's frame is mid-air: B senses busy and
+     defers; nobody collides. *)
+  let sim = Sim.create () in
+  let arbiter = csma () in
+  let wire = Netmodel.Wire.create sim ~params ~arbiter () in
+  let a = Netmodel.Station.create wire ~name:"a" in
+  let b = Netmodel.Station.create wire ~name:"b" in
+  let sink = Netmodel.Station.create wire ~name:"sink" in
+  let env = Proc.env sim in
+  Proc.spawn env (fun () ->
+      Netmodel.Station.send a ~dst:(Netmodel.Station.address sink) ~bytes:1024 ());
+  Proc.spawn env (fun () ->
+      (* A's copy takes C = 1.35 ms, then its transmission runs 0.82 ms; B's
+         copy also takes C, so B reaches the medium while... both reach it at
+         the same time! Stagger B by sleeping first. *)
+      Proc.sleep (Time.span_ms 0.1);
+      Netmodel.Station.send b ~dst:(Netmodel.Station.address sink) ~bytes:1024 ());
+  Proc.spawn env (fun () ->
+      for _ = 1 to 2 do
+        ignore (Netmodel.Station.recv sink)
+      done);
+  Sim.run sim;
+  let stats = Netmodel.Wire.medium_stats wire in
+  Alcotest.(check int) "no collisions" 0 stats.Netmodel.Arbiter.collisions;
+  Alcotest.(check bool) "deferred" true (stats.Netmodel.Arbiter.deferrals > 0);
+  Alcotest.(check int) "both delivered" 2 (Netmodel.Wire.counters wire).Netmodel.Wire.delivered
+
+let test_csma_simultaneous_start_collides () =
+  (* Two stations hit the idle medium at the same instant: they collide, back
+     off, and both frames eventually get through. *)
+  let sim = Sim.create () in
+  let arbiter = csma ~seed:5 () in
+  let wire = Netmodel.Wire.create sim ~params ~arbiter () in
+  let a = Netmodel.Station.create wire ~name:"a" in
+  let b = Netmodel.Station.create wire ~name:"b" in
+  let sink = Netmodel.Station.create wire ~name:"sink" in
+  let env = Proc.env sim in
+  let send station =
+    Proc.spawn env (fun () ->
+        Netmodel.Station.send station ~dst:(Netmodel.Station.address sink) ~bytes:1024 ())
+  in
+  send a;
+  send b;
+  Proc.spawn env (fun () ->
+      for _ = 1 to 2 do
+        ignore (Netmodel.Station.recv sink)
+      done);
+  Sim.run sim;
+  let stats = Netmodel.Wire.medium_stats wire in
+  Alcotest.(check bool) "collided" true (stats.Netmodel.Arbiter.collisions >= 2);
+  Alcotest.(check int) "both delivered eventually" 2
+    (Netmodel.Wire.counters wire).Netmodel.Wire.delivered;
+  Alcotest.(check int) "nothing dropped" 0
+    (Netmodel.Wire.counters wire).Netmodel.Wire.lost_collision
+
+let test_csma_excessive_collisions_drop () =
+  (* Zero backoff keeps the two stations in lockstep: every retry collides
+     and after the attempt limit both frames are abandoned. *)
+  let sim = Sim.create () in
+  let arbiter = csma ~max_backoff_exponent:0 ~attempt_limit:4 () in
+  let wire = Netmodel.Wire.create sim ~params ~arbiter () in
+  let a = Netmodel.Station.create wire ~name:"a" in
+  let b = Netmodel.Station.create wire ~name:"b" in
+  let sink = Netmodel.Station.create wire ~name:"sink" in
+  let env = Proc.env sim in
+  let send station =
+    Proc.spawn env (fun () ->
+        Netmodel.Station.send station ~dst:(Netmodel.Station.address sink) ~bytes:1024 ())
+  in
+  send a;
+  send b;
+  Sim.run sim;
+  let stats = Netmodel.Wire.medium_stats wire in
+  Alcotest.(check int) "both dropped" 2 stats.Netmodel.Arbiter.excessive_collision_drops;
+  Alcotest.(check int) "collisions = 2 x attempts" 8 stats.Netmodel.Arbiter.collisions;
+  Alcotest.(check int) "nothing delivered" 0
+    (Netmodel.Wire.counters wire).Netmodel.Wire.delivered;
+  Alcotest.(check int) "wire counter agrees" 2
+    (Netmodel.Wire.counters wire).Netmodel.Wire.lost_collision
+
+let test_background_load_slows_transfer () =
+  let rng = Stats.Rng.create ~seed:31 in
+  let clean = run_transfer ~arbiter:(csma ~seed:32 ()) blast 64 in
+  let loaded =
+    run_transfer
+      ~arbiter:(csma ~seed:32 ())
+      ~background:(fun wire ->
+        ignore (Simnet.Load.attach ~rng ~offered_load:0.5 wire))
+      blast 64
+  in
+  Alcotest.(check bool) "loaded slower" true
+    (Simnet.Driver.elapsed_ms loaded > Simnet.Driver.elapsed_ms clean);
+  Alcotest.(check bool) "still completes" true
+    (loaded.Simnet.Driver.outcome = Protocol.Action.Success)
+
+let test_background_load_rate () =
+  (* The generator's offered load should be close to the request. *)
+  let sim = Sim.create () in
+  let wire = Netmodel.Wire.create sim ~params () in
+  let rng = Stats.Rng.create ~seed:33 in
+  let flow = Simnet.Load.attach ~rng ~offered_load:0.3 wire in
+  Sim.run ~until:(Time.of_ns 1_000_000_000) sim;
+  (* 0.3 of 10 Mb/s for 1 s = 375 KB = ~366 frames of 1 KiB. *)
+  let sent = float_of_int (Simnet.Load.frames_sent flow) in
+  Alcotest.(check bool)
+    (Printf.sprintf "rate close to request (sent %.0f)" sent)
+    true
+    (sent > 280.0 && sent < 450.0)
+
+let test_load_rejects_bad_fraction () =
+  let sim = Sim.create () in
+  let wire = Netmodel.Wire.create sim ~params () in
+  let rng = Stats.Rng.create ~seed:34 in
+  Alcotest.check_raises "zero load" (Invalid_argument "Load.attach: offered_load outside (0,1)")
+    (fun () -> ignore (Simnet.Load.attach ~rng ~offered_load:0.0 wire))
+
+let () =
+  Alcotest.run "contention"
+    [
+      ( "csma-cd",
+        [
+          Alcotest.test_case "uncontended matches fifo" `Quick test_csma_uncontended_matches_fifo;
+          Alcotest.test_case "station defers" `Quick test_csma_station_defers;
+          Alcotest.test_case "simultaneous start collides" `Quick
+            test_csma_simultaneous_start_collides;
+          Alcotest.test_case "excessive collisions drop" `Quick
+            test_csma_excessive_collisions_drop;
+        ] );
+      ( "load",
+        [
+          Alcotest.test_case "background load slows transfer" `Quick
+            test_background_load_slows_transfer;
+          Alcotest.test_case "background load rate" `Quick test_background_load_rate;
+          Alcotest.test_case "rejects bad fraction" `Quick test_load_rejects_bad_fraction;
+        ] );
+    ]

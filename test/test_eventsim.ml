@@ -1,0 +1,461 @@
+(* Tests for the discrete-event simulation kernel and the process layer. *)
+
+open Eventsim
+
+let span_ms = Time.span_ms
+let check_ns = Alcotest.(check int)
+
+(* ----------------------------------------------------------------- Time *)
+
+let test_time_conversions () =
+  check_ns "ms roundtrip" 1_500_000 (Time.span_to_ns (span_ms 1.5));
+  check_ns "us roundtrip" 10_000 (Time.span_to_ns (Time.span_us 10.0));
+  Alcotest.(check (float 1e-9)) "to_ms" 2.5 (Time.span_to_ms (span_ms 2.5));
+  check_ns "add" 3_000_000 (Time.to_ns (Time.add (Time.of_ns 1_000_000) (span_ms 2.0)))
+
+let test_time_rounding () =
+  (* 0.8192 ms = 819200 ns exactly; 0.0001 us rounds to 0 ns *)
+  check_ns "exact" 819_200 (Time.span_to_ns (span_ms 0.8192));
+  check_ns "rounds" 0 (Time.span_to_ns (Time.span_us 0.0001))
+
+let test_time_negative_rejected () =
+  Alcotest.check_raises "negative span" (Invalid_argument "Time.span: negative duration")
+    (fun () -> ignore (span_ms (-1.0)));
+  Alcotest.check_raises "negative diff" (Invalid_argument "Time.diff: negative span") (fun () ->
+      ignore (Time.diff (Time.of_ns 1) (Time.of_ns 2)));
+  Alcotest.check_raises "negative sub" (Invalid_argument "Time.span_sub: negative result")
+    (fun () -> ignore (Time.span_sub (Time.span_ns 1) (Time.span_ns 2)))
+
+(* ---------------------------------------------------------- Event_queue *)
+
+let test_queue_orders_by_time () =
+  let q = Event_queue.create () in
+  Event_queue.push q ~time:(Time.of_ns 30) "c";
+  Event_queue.push q ~time:(Time.of_ns 10) "a";
+  Event_queue.push q ~time:(Time.of_ns 20) "b";
+  let pop () = Option.map snd (Event_queue.pop q) in
+  Alcotest.(check (option string)) "first" (Some "a") (pop ());
+  Alcotest.(check (option string)) "second" (Some "b") (pop ());
+  Alcotest.(check (option string)) "third" (Some "c") (pop ());
+  Alcotest.(check (option string)) "empty" None (pop ())
+
+let test_queue_fifo_ties () =
+  let q = Event_queue.create () in
+  for i = 0 to 9 do
+    Event_queue.push q ~time:(Time.of_ns 5) i
+  done;
+  for i = 0 to 9 do
+    match Event_queue.pop q with
+    | Some (_, v) -> Alcotest.(check int) "tie order" i v
+    | None -> Alcotest.fail "queue drained early"
+  done
+
+let prop_queue_sorted =
+  QCheck.Test.make ~name:"pop order is nondecreasing in time" ~count:200
+    QCheck.(list_of_size Gen.(int_range 0 200) (int_range 0 1_000))
+    (fun times ->
+      let q = Event_queue.create () in
+      List.iter (fun ns -> Event_queue.push q ~time:(Time.of_ns ns) ns) times;
+      let rec drain prev =
+        match Event_queue.pop q with
+        | None -> true
+        | Some (t, _) -> Time.to_ns t >= prev && drain (Time.to_ns t)
+      in
+      drain 0)
+
+(* ------------------------------------------------------------------ Sim *)
+
+let test_sim_runs_in_order () =
+  let sim = Sim.create () in
+  let log = ref [] in
+  let note tag () = log := tag :: !log in
+  ignore (Sim.schedule_at sim (Time.of_ns 20) (note "b"));
+  ignore (Sim.schedule_at sim (Time.of_ns 10) (note "a"));
+  ignore (Sim.schedule_at sim (Time.of_ns 30) (note "c"));
+  Sim.run sim;
+  Alcotest.(check (list string)) "order" [ "a"; "b"; "c" ] (List.rev !log);
+  check_ns "clock at last event" 30 (Time.to_ns (Sim.now sim))
+
+let test_sim_same_instant_fifo () =
+  let sim = Sim.create () in
+  let log = ref [] in
+  for i = 0 to 4 do
+    ignore (Sim.schedule_at sim (Time.of_ns 5) (fun () -> log := i :: !log))
+  done;
+  Sim.run sim;
+  Alcotest.(check (list int)) "fifo" [ 0; 1; 2; 3; 4 ] (List.rev !log)
+
+let test_sim_cancel () =
+  let sim = Sim.create () in
+  let fired = ref false in
+  let h = Sim.schedule_at sim (Time.of_ns 10) (fun () -> fired := true) in
+  Alcotest.(check bool) "pending before" true (Sim.is_pending h);
+  Sim.cancel h;
+  Alcotest.(check bool) "pending after" false (Sim.is_pending h);
+  Alcotest.(check int) "live count" 0 (Sim.pending sim);
+  Sim.run sim;
+  Alcotest.(check bool) "not fired" false !fired
+
+let test_sim_schedule_from_callback () =
+  let sim = Sim.create () in
+  let log = ref [] in
+  ignore
+    (Sim.schedule_at sim (Time.of_ns 10) (fun () ->
+         log := "outer" :: !log;
+         ignore (Sim.schedule_after sim (Time.span_ns 5) (fun () -> log := "inner" :: !log))));
+  Sim.run sim;
+  Alcotest.(check (list string)) "nested" [ "outer"; "inner" ] (List.rev !log);
+  check_ns "clock" 15 (Time.to_ns (Sim.now sim))
+
+let test_sim_same_instant_from_callback () =
+  let sim = Sim.create () in
+  let log = ref [] in
+  ignore
+    (Sim.schedule_at sim (Time.of_ns 10) (fun () ->
+         ignore (Sim.schedule_after sim Time.span_zero (fun () -> log := "zero" :: !log));
+         log := "first" :: !log));
+  ignore (Sim.schedule_at sim (Time.of_ns 10) (fun () -> log := "second" :: !log));
+  Sim.run sim;
+  Alcotest.(check (list string)) "zero-delay runs after queued same-instant events"
+    [ "first"; "second"; "zero" ] (List.rev !log)
+
+let test_sim_run_until () =
+  let sim = Sim.create () in
+  let count = ref 0 in
+  for i = 1 to 5 do
+    ignore (Sim.schedule_at sim (Time.of_ns (i * 10)) (fun () -> incr count))
+  done;
+  Sim.run ~until:(Time.of_ns 30) sim;
+  Alcotest.(check int) "events up to limit" 3 !count;
+  check_ns "clock parked at limit" 30 (Time.to_ns (Sim.now sim));
+  Sim.run sim;
+  Alcotest.(check int) "rest run later" 5 !count
+
+let test_sim_past_rejected () =
+  let sim = Sim.create () in
+  ignore (Sim.schedule_at sim (Time.of_ns 10) (fun () -> ()));
+  Sim.run sim;
+  Alcotest.check_raises "past" (Invalid_argument "Sim.schedule_at: time is in the past")
+    (fun () -> ignore (Sim.schedule_at sim (Time.of_ns 5) (fun () -> ())))
+
+let test_sim_max_events () =
+  let sim = Sim.create () in
+  let count = ref 0 in
+  for i = 1 to 10 do
+    ignore (Sim.schedule_at sim (Time.of_ns i) (fun () -> incr count))
+  done;
+  Sim.run ~max_events:4 sim;
+  Alcotest.(check int) "bounded" 4 !count
+
+(* ---------------------------------------------------------------- Timer *)
+
+let test_timer_fires_once () =
+  let sim = Sim.create () in
+  let fired = ref 0 in
+  let timer = Timer.create sim ~on_fire:(fun () -> incr fired) in
+  Timer.arm timer (Time.span_ns 10);
+  Sim.run sim;
+  Alcotest.(check int) "fired once" 1 !fired;
+  Alcotest.(check bool) "idle after fire" false (Timer.is_armed timer)
+
+let test_timer_rearm_replaces () =
+  let sim = Sim.create () in
+  let fired_at = ref [] in
+  let t = Timer.create sim ~on_fire:(fun () -> fired_at := Time.to_ns (Sim.now sim) :: !fired_at) in
+  Timer.arm t (Time.span_ns 10);
+  Timer.arm t (Time.span_ns 50);
+  Alcotest.(check (option int)) "deadline moved" (Some 50) (Option.map Time.to_ns (Timer.deadline t));
+  Sim.run sim;
+  Alcotest.(check (list int)) "fired at replaced deadline only" [ 50 ] !fired_at
+
+let test_timer_stop () =
+  let sim = Sim.create () in
+  let fired = ref false in
+  let timer = Timer.create sim ~on_fire:(fun () -> fired := true) in
+  Timer.arm timer (Time.span_ns 10);
+  Timer.stop timer;
+  Sim.run sim;
+  Alcotest.(check bool) "stopped" false !fired
+
+(* ---------------------------------------------------------------- Trace *)
+
+let test_trace_totals_by_kind () =
+  let trace = Trace.create () in
+  Trace.record trace ~lane:"cpu" ~kind:"copy" ~start:(Time.of_ns 0) ~stop:(Time.of_ns 10);
+  Trace.record trace ~lane:"cpu" ~kind:"copy" ~start:(Time.of_ns 20) ~stop:(Time.of_ns 35);
+  Trace.record trace ~lane:"wire" ~kind:"tx" ~start:(Time.of_ns 10) ~stop:(Time.of_ns 20);
+  let totals = Trace.total_by_kind trace in
+  let find k = Time.span_to_ns (List.assoc k totals) in
+  Alcotest.(check int) "copy total" 25 (find "copy");
+  Alcotest.(check int) "tx total" 10 (find "tx");
+  Alcotest.(check (list string)) "lanes in order" [ "cpu"; "wire" ] (Trace.lanes trace);
+  check_ns "end time" 35 (Time.to_ns (Trace.end_time trace))
+
+let test_trace_disabled () =
+  let trace = Trace.create () in
+  Trace.set_enabled trace false;
+  Trace.record trace ~lane:"cpu" ~kind:"copy" ~start:(Time.of_ns 0) ~stop:(Time.of_ns 10);
+  Alcotest.(check int) "nothing recorded" 0 (List.length (Trace.spans trace))
+
+(* ----------------------------------------------------------------- Proc *)
+
+let test_proc_sleep_sequence () =
+  let sim = Sim.create () in
+  let env = Proc.env sim in
+  let log = ref [] in
+  Proc.spawn env (fun () ->
+      Proc.sleep (Time.span_ns 10);
+      log := ("a", Time.to_ns (Sim.now sim)) :: !log;
+      Proc.sleep (Time.span_ns 5);
+      log := ("b", Time.to_ns (Sim.now sim)) :: !log);
+  Sim.run sim;
+  Alcotest.(check (list (pair string int))) "sequence" [ ("a", 10); ("b", 15) ] (List.rev !log)
+
+let test_proc_interleaving () =
+  let sim = Sim.create () in
+  let env = Proc.env sim in
+  let log = ref [] in
+  Proc.spawn env (fun () ->
+      Proc.sleep (Time.span_ns 10);
+      log := "slow" :: !log);
+  Proc.spawn env (fun () ->
+      Proc.sleep (Time.span_ns 5);
+      log := "fast" :: !log);
+  Sim.run sim;
+  Alcotest.(check (list string)) "interleaved" [ "fast"; "slow" ] (List.rev !log)
+
+let test_proc_blocking_outside_raises () =
+  Alcotest.check_raises "sleep outside process" Proc.Not_in_process (fun () ->
+      Proc.sleep (Time.span_ns 1))
+
+let test_waitq_fifo () =
+  let sim = Sim.create () in
+  let env = Proc.env sim in
+  let q = Waitq.create () in
+  let log = ref [] in
+  for i = 1 to 3 do
+    Proc.spawn env (fun () ->
+        Waitq.wait q;
+        log := i :: !log)
+  done;
+  Proc.spawn env (fun () ->
+      Proc.sleep (Time.span_ns 10);
+      Waitq.broadcast q);
+  Sim.run sim;
+  Alcotest.(check (list int)) "fifo wakeup" [ 1; 2; 3 ] (List.rev !log)
+
+let test_waitq_signal_wakes_one () =
+  let sim = Sim.create () in
+  let env = Proc.env sim in
+  let q = Waitq.create () in
+  let woken = ref 0 in
+  for _ = 1 to 3 do
+    Proc.spawn env (fun () ->
+        Waitq.wait q;
+        incr woken)
+  done;
+  Proc.spawn env (fun () ->
+      Proc.sleep (Time.span_ns 10);
+      Waitq.signal q);
+  Sim.run sim;
+  Alcotest.(check int) "one woken" 1 !woken;
+  Alcotest.(check int) "two still waiting" 2 (Waitq.waiters q)
+
+let test_resource_mutual_exclusion () =
+  let sim = Sim.create () in
+  let env = Proc.env sim in
+  let r = Resource.create ~capacity:1 in
+  let log = ref [] in
+  let worker tag =
+    Proc.spawn env (fun () ->
+        Resource.with_resource r (fun () ->
+            log := (tag ^ "-in", Time.to_ns (Sim.now sim)) :: !log;
+            Proc.sleep (Time.span_ns 10);
+            log := (tag ^ "-out", Time.to_ns (Sim.now sim)) :: !log))
+  in
+  worker "a";
+  worker "b";
+  Sim.run sim;
+  Alcotest.(check (list (pair string int)))
+    "serialized"
+    [ ("a-in", 0); ("a-out", 10); ("b-in", 10); ("b-out", 20) ]
+    (List.rev !log)
+
+let test_resource_busy_span () =
+  let sim = Sim.create () in
+  let env = Proc.env sim in
+  let r = Resource.create ~capacity:1 in
+  Proc.spawn env (fun () ->
+      Proc.sleep (Time.span_ns 5);
+      Resource.with_resource r (fun () -> Proc.sleep (Time.span_ns 10)));
+  Sim.run sim;
+  Alcotest.(check int) "busy span" 10
+    (Time.span_to_ns (Resource.busy_span r ~now:(Sim.now sim)))
+
+let test_resource_over_release () =
+  let r = Resource.create ~capacity:1 in
+  Alcotest.check_raises "over-release" (Invalid_argument "Resource.release: not held")
+    (fun () -> Resource.release r)
+
+let test_resource_capacity_two () =
+  let sim = Sim.create () in
+  let env = Proc.env sim in
+  let r = Resource.create ~capacity:2 in
+  let concurrent = ref 0 and peak = ref 0 in
+  for _ = 1 to 4 do
+    Proc.spawn env (fun () ->
+        Resource.with_resource r (fun () ->
+            incr concurrent;
+            if !concurrent > !peak then peak := !concurrent;
+            Proc.sleep (Time.span_ns 10);
+            decr concurrent))
+  done;
+  Sim.run sim;
+  Alcotest.(check int) "peak concurrency" 2 !peak
+
+let test_mailbox_blocking_get () =
+  let sim = Sim.create () in
+  let env = Proc.env sim in
+  let mb = Mailbox.create ~capacity:2 in
+  let got = ref None in
+  Proc.spawn env (fun () -> got := Some (Mailbox.get mb));
+  Proc.spawn env (fun () ->
+      Proc.sleep (Time.span_ns 10);
+      ignore (Mailbox.try_put mb "hello"));
+  Sim.run sim;
+  Alcotest.(check (option string)) "received" (Some "hello") !got
+
+let test_mailbox_capacity () =
+  let mb = Mailbox.create ~capacity:2 in
+  Alcotest.(check bool) "first" true (Mailbox.try_put mb 1);
+  Alcotest.(check bool) "second" true (Mailbox.try_put mb 2);
+  Alcotest.(check bool) "third rejected" false (Mailbox.try_put mb 3);
+  Alcotest.(check int) "length" 2 (Mailbox.length mb)
+
+let test_mailbox_peek_holds_slot () =
+  let sim = Sim.create () in
+  let env = Proc.env sim in
+  let mb = Mailbox.create ~capacity:1 in
+  ignore (Mailbox.try_put mb "x");
+  Proc.spawn env (fun () ->
+      let v = Mailbox.peek mb in
+      Alcotest.(check string) "peek" "x" v;
+      Alcotest.(check bool) "slot still held" false (Mailbox.try_put mb "y");
+      Mailbox.remove mb;
+      Alcotest.(check bool) "slot free after remove" true (Mailbox.try_put mb "y"));
+  Sim.run sim
+
+(* Random-program property: whatever the interleaving of sleeping/acquiring
+   processes, a capacity-k resource never over-grants, ends fully released,
+   and hands units to waiters in FIFO order. This guards the non-barging
+   semaphore (a starvation bug here once silently dropped 95% of
+   sliding-window acks). *)
+let prop_resource_random_programs =
+  QCheck.Test.make ~name:"resource invariants under random process programs" ~count:100
+    QCheck.(triple (int_range 1 3) (int_range 1 8) int)
+    (fun (capacity, procs, seed) ->
+      let rng = Stats.Rng.create ~seed:(abs seed) in
+      let sim = Sim.create () in
+      let env = Proc.env sim in
+      let resource = Resource.create ~capacity in
+      let holding = ref 0 and peak = ref 0 and violations = ref 0 in
+      let grant_order = ref [] and request_order = ref [] in
+      for i = 1 to procs do
+        let actions = 1 + Stats.Rng.int rng 4 in
+        let initial_delay = Stats.Rng.int rng 50 in
+        let think = 1 + Stats.Rng.int rng 20 in
+        Proc.spawn env (fun () ->
+            Proc.sleep (Time.span_ns initial_delay);
+            for a = 1 to actions do
+              request_order := (i, a) :: !request_order;
+              Resource.acquire resource;
+              grant_order := (i, a) :: !grant_order;
+              incr holding;
+              if !holding > !peak then peak := !holding;
+              if !holding > capacity then incr violations;
+              Proc.sleep (Time.span_ns think);
+              decr holding;
+              Resource.release resource
+            done)
+      done;
+      Sim.run sim;
+      !violations = 0
+      && Resource.available resource = capacity
+      && List.length !grant_order = List.length !request_order)
+
+let prop_resource_fifo_when_serialized =
+  QCheck.Test.make ~name:"capacity-1 resource grants strictly in request order" ~count:100
+    QCheck.(pair (int_range 2 6) int)
+    (fun (procs, seed) ->
+      let rng = Stats.Rng.create ~seed:(abs seed) in
+      let sim = Sim.create () in
+      let env = Proc.env sim in
+      let resource = Resource.create ~capacity:1 in
+      let requests = ref [] and grants = ref [] in
+      for i = 1 to procs do
+        let delay = Stats.Rng.int rng 5 in
+        Proc.spawn env (fun () ->
+            Proc.sleep (Time.span_ns delay);
+            requests := i :: !requests;
+            Resource.acquire resource;
+            grants := i :: !grants;
+            Proc.sleep (Time.span_ns 100);
+            Resource.release resource)
+      done;
+      Sim.run sim;
+      List.rev !grants = List.rev !requests)
+
+let qcheck tests = List.map QCheck_alcotest.to_alcotest tests
+
+let () =
+  Alcotest.run "eventsim"
+    [
+      ( "time",
+        [
+          Alcotest.test_case "conversions" `Quick test_time_conversions;
+          Alcotest.test_case "rounding" `Quick test_time_rounding;
+          Alcotest.test_case "negative rejected" `Quick test_time_negative_rejected;
+        ] );
+      ( "event_queue",
+        Alcotest.test_case "orders by time" `Quick test_queue_orders_by_time
+        :: Alcotest.test_case "fifo ties" `Quick test_queue_fifo_ties
+        :: qcheck [ prop_queue_sorted ] );
+      ( "sim",
+        [
+          Alcotest.test_case "runs in order" `Quick test_sim_runs_in_order;
+          Alcotest.test_case "same instant fifo" `Quick test_sim_same_instant_fifo;
+          Alcotest.test_case "cancel" `Quick test_sim_cancel;
+          Alcotest.test_case "schedule from callback" `Quick test_sim_schedule_from_callback;
+          Alcotest.test_case "same instant from callback" `Quick test_sim_same_instant_from_callback;
+          Alcotest.test_case "run until" `Quick test_sim_run_until;
+          Alcotest.test_case "past rejected" `Quick test_sim_past_rejected;
+          Alcotest.test_case "max events" `Quick test_sim_max_events;
+        ] );
+      ( "timer",
+        [
+          Alcotest.test_case "fires once" `Quick test_timer_fires_once;
+          Alcotest.test_case "rearm replaces" `Quick test_timer_rearm_replaces;
+          Alcotest.test_case "stop" `Quick test_timer_stop;
+        ] );
+      ( "trace",
+        [
+          Alcotest.test_case "totals by kind" `Quick test_trace_totals_by_kind;
+          Alcotest.test_case "disabled" `Quick test_trace_disabled;
+        ] );
+      ( "proc",
+        [
+          Alcotest.test_case "sleep sequence" `Quick test_proc_sleep_sequence;
+          Alcotest.test_case "interleaving" `Quick test_proc_interleaving;
+          Alcotest.test_case "blocking outside raises" `Quick test_proc_blocking_outside_raises;
+          Alcotest.test_case "waitq fifo" `Quick test_waitq_fifo;
+          Alcotest.test_case "waitq signal wakes one" `Quick test_waitq_signal_wakes_one;
+          Alcotest.test_case "resource mutual exclusion" `Quick test_resource_mutual_exclusion;
+          Alcotest.test_case "resource busy span" `Quick test_resource_busy_span;
+          Alcotest.test_case "resource over-release" `Quick test_resource_over_release;
+          Alcotest.test_case "resource capacity two" `Quick test_resource_capacity_two;
+          Alcotest.test_case "mailbox blocking get" `Quick test_mailbox_blocking_get;
+          Alcotest.test_case "mailbox capacity" `Quick test_mailbox_capacity;
+          Alcotest.test_case "mailbox peek holds slot" `Quick test_mailbox_peek_holds_slot;
+        ]
+        @ qcheck [ prop_resource_random_programs; prop_resource_fifo_when_serialized ] );
+    ]

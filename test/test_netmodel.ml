@@ -1,0 +1,366 @@
+(* Tests for the LAN hardware model: units, parameters, error models, and the
+   wire/station timing semantics that the paper's formulas rest on. *)
+
+open Eventsim
+
+let ns_of_span = Time.span_to_ns
+let check_ns = Alcotest.(check int)
+
+(* ---------------------------------------------------------------- Units *)
+
+let test_transmit_span_exact () =
+  check_ns "1 KiB at 10 Mb/s" 819_200
+    (ns_of_span (Netmodel.Units.transmit_span ~bandwidth_bps:10_000_000 ~bytes:1024));
+  check_ns "64 B at 10 Mb/s" 51_200
+    (ns_of_span (Netmodel.Units.transmit_span ~bandwidth_bps:10_000_000 ~bytes:64));
+  check_ns "zero bytes" 0
+    (ns_of_span (Netmodel.Units.transmit_span ~bandwidth_bps:10_000_000 ~bytes:0))
+
+let test_units_sizes () =
+  Alcotest.(check int) "kib" 65_536 (Netmodel.Units.kib 64);
+  Alcotest.(check int) "mib" 2_097_152 (Netmodel.Units.mib 2)
+
+(* --------------------------------------------------------------- Params *)
+
+let params = Netmodel.Params.standalone
+
+let test_params_calibration () =
+  check_ns "T" 819_200 (ns_of_span (Netmodel.Params.data_transmit params));
+  check_ns "Ta" 51_200 (ns_of_span (Netmodel.Params.ack_transmit params));
+  check_ns "C exact at 1024" 1_350_000 (ns_of_span (Netmodel.Params.copy_cost params ~bytes:1024));
+  check_ns "Ca exact at 64" 170_000 (ns_of_span (Netmodel.Params.copy_cost params ~bytes:64))
+
+let test_params_copy_interpolation () =
+  let cost bytes = ns_of_span (Netmodel.Params.copy_cost params ~bytes) in
+  Alcotest.(check bool) "monotone" true (cost 64 < cost 512 && cost 512 < cost 1024);
+  (* Midpoint of the linear model. *)
+  let mid = cost 544 in
+  Alcotest.(check bool) "midpoint between anchors"
+    true (abs (mid - ((cost 64 + cost 1024) / 2)) < 1000)
+
+let test_params_vkernel_constants () =
+  let k = Netmodel.Params.vkernel in
+  check_ns "kernel C" 1_830_000 (ns_of_span (Netmodel.Params.copy_cost k ~bytes:1024));
+  check_ns "kernel Ca" 670_000 (ns_of_span (Netmodel.Params.copy_cost k ~bytes:64))
+
+let test_params_packets_for () =
+  Alcotest.(check int) "one" 1 (Netmodel.Params.packets_for params ~bytes:1024);
+  Alcotest.(check int) "just over" 2 (Netmodel.Params.packets_for params ~bytes:1025);
+  Alcotest.(check int) "64k" 64 (Netmodel.Params.packets_for params ~bytes:65_536)
+
+let test_params_double_buffered () =
+  let d = Netmodel.Params.double_buffered params in
+  Alcotest.(check int) "tx buffers" 2 d.Netmodel.Params.tx_buffers;
+  Alcotest.(check bool) "no busy wait" false d.Netmodel.Params.busy_wait_tx
+
+(* ---------------------------------------------------------- Error_model *)
+
+let test_perfect_never_drops () =
+  let m = Netmodel.Error_model.perfect () in
+  for _ = 1 to 1000 do
+    Alcotest.(check bool) "no drop" false (Netmodel.Error_model.drops m)
+  done
+
+let test_iid_rate () =
+  let rng = Stats.Rng.create ~seed:101 in
+  let m = Netmodel.Error_model.iid rng ~loss:0.05 in
+  let n = 100_000 in
+  let drops = ref 0 in
+  for _ = 1 to n do
+    if Netmodel.Error_model.drops m then incr drops
+  done;
+  Alcotest.(check (float 0.005)) "empirical rate" 0.05 (float_of_int !drops /. float_of_int n);
+  Alcotest.(check (float 1e-12)) "average_loss" 0.05 (Netmodel.Error_model.average_loss m)
+
+let test_gilbert_elliott_stationary_rate () =
+  let rng = Stats.Rng.create ~seed:102 in
+  let m = Netmodel.Error_model.matched_gilbert_elliott rng ~mean_loss:0.02 ~burst_length:5.0 in
+  Alcotest.(check (float 1e-9)) "stationary loss" 0.02 (Netmodel.Error_model.average_loss m);
+  let n = 200_000 in
+  let drops = ref 0 in
+  for _ = 1 to n do
+    if Netmodel.Error_model.drops m then incr drops
+  done;
+  Alcotest.(check (float 0.005)) "empirical" 0.02 (float_of_int !drops /. float_of_int n)
+
+let test_gilbert_elliott_bursts () =
+  let rng = Stats.Rng.create ~seed:103 in
+  let m = Netmodel.Error_model.matched_gilbert_elliott rng ~mean_loss:0.05 ~burst_length:8.0 in
+  (* Measure the mean run length of consecutive drops; should be near the
+     configured burst length, and far from the iid value 1/(1-p) ~ 1.05. *)
+  let run = ref 0 and runs = ref [] in
+  for _ = 1 to 500_000 do
+    if Netmodel.Error_model.drops m then incr run
+    else if !run > 0 then begin
+      runs := float_of_int !run :: !runs;
+      run := 0
+    end
+  done;
+  let mean = List.fold_left ( +. ) 0.0 !runs /. float_of_int (List.length !runs) in
+  Alcotest.(check bool) "bursty" true (mean > 4.0 && mean < 12.0)
+
+(* --------------------------------------------------- Wire/Station timing *)
+
+(* Expected constants, in nanoseconds. *)
+let c = 1_350_000
+let ca = 170_000
+let t_data = 819_200
+let t_ack = 51_200
+let tau = 10_000
+
+type probe = Data | Ack
+
+let setup ?(params = params) ?network_error ?interface_error () =
+  let sim = Sim.create () in
+  let trace = Trace.create () in
+  let wire = Netmodel.Wire.create sim ~params ?network_error ?interface_error ~trace () in
+  let a = Netmodel.Station.create wire ~name:"a" in
+  let b = Netmodel.Station.create wire ~name:"b" in
+  (sim, wire, trace, a, b)
+
+let test_single_exchange_elapsed () =
+  let sim, _, _, a, b = setup () in
+  let env = Proc.env sim in
+  let finished = ref (-1) in
+  Proc.spawn env (fun () ->
+      Netmodel.Station.send a ~dst:(Netmodel.Station.address b) ~bytes:1024 Data;
+      let frame = Netmodel.Station.recv a in
+      Alcotest.(check int) "ack size" 64 frame.Netmodel.Wire.bytes;
+      finished := Time.to_ns (Sim.now sim));
+  Proc.spawn env (fun () ->
+      let frame = Netmodel.Station.recv b in
+      Alcotest.(check int) "data size" 1024 frame.Netmodel.Wire.bytes;
+      Netmodel.Station.send b ~dst:(Netmodel.Station.address a) ~bytes:64 Ack);
+  Sim.run sim;
+  (* C + T + tau + C + Ca + Ta + tau + Ca: the paper's Figure 2 path. *)
+  check_ns "exchange elapsed" (c + t_data + tau + c + ca + t_ack + tau + ca) !finished
+
+let test_exchange_breakdown_matches_table2 () =
+  let sim, _, trace, a, b = setup () in
+  let env = Proc.env sim in
+  Proc.spawn env (fun () ->
+      Netmodel.Station.send a ~dst:(Netmodel.Station.address b) ~bytes:1024 Data;
+      ignore (Netmodel.Station.recv a));
+  Proc.spawn env (fun () ->
+      ignore (Netmodel.Station.recv b);
+      Netmodel.Station.send b ~dst:(Netmodel.Station.address a) ~bytes:64 Ack);
+  Sim.run sim;
+  let totals = Trace.total_by_kind trace in
+  let find k = ns_of_span (List.assoc k totals) in
+  check_ns "copy data in" c (find "copy-data-in");
+  check_ns "copy data out" c (find "copy-data-out");
+  check_ns "copy ack in" ca (find "copy-ack-in");
+  check_ns "copy ack out" ca (find "copy-ack-out");
+  check_ns "transmit data" t_data (find "transmit-data");
+  check_ns "transmit ack" t_ack (find "transmit-ack")
+
+let test_blast_pipeline_period () =
+  (* Three data packets sent back to back with a single-buffered interface:
+     transmissions must end at k * (C + T), the Figure 3.b pipeline. *)
+  let sim, wire, trace, a, b = setup () in
+  let env = Proc.env sim in
+  let n = 3 in
+  Proc.spawn env (fun () ->
+      for _ = 1 to n do
+        Netmodel.Station.send a ~dst:(Netmodel.Station.address b) ~bytes:1024 Data
+      done);
+  Proc.spawn env (fun () ->
+      for _ = 1 to n do
+        ignore (Netmodel.Station.recv b)
+      done);
+  Sim.run sim;
+  let tx_stops =
+    Trace.spans trace
+    |> List.filter (fun s -> s.Trace.kind = "transmit-data")
+    |> List.map (fun s -> Time.to_ns s.Trace.stop)
+  in
+  Alcotest.(check (list int)) "pipeline"
+    [ c + t_data; 2 * (c + t_data); 3 * (c + t_data) ]
+    tx_stops;
+  Alcotest.(check int) "all delivered" n (Netmodel.Wire.counters wire).Netmodel.Wire.delivered
+
+let test_double_buffered_overlap () =
+  (* With two buffers and no busy-wait (T < C here), copies dominate: the
+     k-th transmission ends at k*C + T — Figure 3.d. *)
+  let p = Netmodel.Params.double_buffered params in
+  let sim, _, trace, a, b = setup ~params:p () in
+  let env = Proc.env sim in
+  let n = 3 in
+  Proc.spawn env (fun () ->
+      for _ = 1 to n do
+        Netmodel.Station.send a ~dst:(Netmodel.Station.address b) ~bytes:1024 Data
+      done);
+  Proc.spawn env (fun () ->
+      for _ = 1 to n do
+        ignore (Netmodel.Station.recv b)
+      done);
+  Sim.run sim;
+  let tx_stops =
+    Trace.spans trace
+    |> List.filter (fun s -> s.Trace.kind = "transmit-data")
+    |> List.map (fun s -> Time.to_ns s.Trace.stop)
+  in
+  Alcotest.(check (list int)) "overlapped pipeline"
+    [ c + t_data; (2 * c) + t_data; (3 * c) + t_data ]
+    tx_stops
+
+let test_network_loss_counted () =
+  let rng = Stats.Rng.create ~seed:104 in
+  let sim, wire, _, a, b =
+    setup ~network_error:(Netmodel.Error_model.iid rng ~loss:1.0) ()
+  in
+  let env = Proc.env sim in
+  Proc.spawn env (fun () ->
+      Netmodel.Station.send a ~dst:(Netmodel.Station.address b) ~bytes:1024 Data);
+  Sim.run sim;
+  let counters = Netmodel.Wire.counters wire in
+  Alcotest.(check int) "lost" 1 counters.Netmodel.Wire.lost_network;
+  Alcotest.(check int) "none delivered" 0 counters.Netmodel.Wire.delivered;
+  Alcotest.(check int) "rx empty" 0 (Netmodel.Station.rx_pending b)
+
+let test_interface_loss_counted () =
+  let rng = Stats.Rng.create ~seed:105 in
+  let sim, wire, _, a, b =
+    setup ~interface_error:(Netmodel.Error_model.iid rng ~loss:1.0) ()
+  in
+  let env = Proc.env sim in
+  Proc.spawn env (fun () ->
+      Netmodel.Station.send a ~dst:(Netmodel.Station.address b) ~bytes:1024 Data);
+  Sim.run sim;
+  Alcotest.(check int) "interface loss" 1 (Netmodel.Wire.counters wire).Netmodel.Wire.lost_interface
+
+let test_overrun_when_receiver_stalls () =
+  (* Nobody drains station b (rx_buffers = 2): the third arrival is an
+     overrun drop, modelling the 3-Com full-speed failure mode. *)
+  let sim, wire, _, a, b = setup () in
+  let env = Proc.env sim in
+  Proc.spawn env (fun () ->
+      for _ = 1 to 3 do
+        Netmodel.Station.send a ~dst:(Netmodel.Station.address b) ~bytes:1024 Data
+      done);
+  Sim.run sim;
+  let counters = Netmodel.Wire.counters wire in
+  Alcotest.(check int) "overrun" 1 counters.Netmodel.Wire.lost_overrun;
+  Alcotest.(check int) "buffered" 2 (Netmodel.Station.rx_pending b);
+  Alcotest.(check int) "flush" 2 (Netmodel.Station.flush_rx b)
+
+let test_unknown_destination_rejected () =
+  let sim, _, _, a, _ = setup () in
+  let env = Proc.env sim in
+  let raised = ref false in
+  Proc.spawn env (fun () ->
+      try Netmodel.Station.send a ~dst:999 ~bytes:64 Ack
+      with Invalid_argument _ -> raised := true);
+  Sim.run sim;
+  Alcotest.(check bool) "rejected" true !raised
+
+let test_utilization_of_blast () =
+  (* For an N-packet one-way blast the wire is busy N*T out of N*(C+T). *)
+  let sim, wire, _, a, b = setup () in
+  let env = Proc.env sim in
+  let n = 8 in
+  Proc.spawn env (fun () ->
+      for _ = 1 to n do
+        Netmodel.Station.send a ~dst:(Netmodel.Station.address b) ~bytes:1024 Data
+      done);
+  Proc.spawn env (fun () ->
+      for _ = 1 to n do
+        ignore (Netmodel.Station.recv b)
+      done);
+  Sim.run sim;
+  let expected =
+    float_of_int (n * t_data) /. float_of_int (Time.to_ns (Sim.now sim))
+  in
+  Alcotest.(check (float 0.01)) "utilization" expected (Netmodel.Wire.utilization wire)
+
+(* ------------------------------------------------------------------ DMA *)
+
+let test_dma_frees_host_cpu () =
+  let run params =
+    Simnet.Driver.run ~params
+      ~suite:(Protocol.Suite.Blast Protocol.Blast.Go_back_n)
+      ~config:(Protocol.Config.make ~total_packets:32 ())
+      ()
+  in
+  let host = run Netmodel.Params.standalone in
+  let dma = run (Netmodel.Params.with_dma Netmodel.Params.standalone) in
+  Alcotest.(check bool) "both succeed" true
+    (host.Simnet.Driver.outcome = Protocol.Action.Success
+    && dma.Simnet.Driver.outcome = Protocol.Action.Success);
+  let share result =
+    Time.span_to_ms result.Simnet.Driver.sender_cpu_busy
+    /. Simnet.Driver.elapsed_ms result
+  in
+  Alcotest.(check bool) "host copies saturate the CPU" true (share host > 0.9);
+  Alcotest.(check bool) "DMA frees the CPU" true (share dma < 0.1);
+  (* The slow on-board processor makes the transfer slower, not faster. *)
+  Alcotest.(check bool) "slow DMA costs elapsed time" true
+    (Simnet.Driver.elapsed_ms dma > Simnet.Driver.elapsed_ms host)
+
+let test_dma_data_still_intact () =
+  let config = Protocol.Config.make ~total_packets:7 () in
+  let payload = Protocol.Machine.constant_payload config in
+  let rng = Stats.Rng.create ~seed:71 in
+  let result =
+    Simnet.Driver.run
+      ~params:(Netmodel.Params.with_dma Netmodel.Params.standalone)
+      ~network_error:(Netmodel.Error_model.iid rng ~loss:0.05)
+      ~payload
+      ~suite:(Protocol.Suite.Blast Protocol.Blast.Selective)
+      ~config ()
+  in
+  Alcotest.(check bool) "success" true (result.Simnet.Driver.outcome = Protocol.Action.Success);
+  List.iter
+    (fun (seq, body) -> Alcotest.(check string) "payload" (payload seq) body)
+    result.Simnet.Driver.received
+
+let test_dma_cost_scaling () =
+  let p = Netmodel.Params.with_dma ~copy_scale:2.0 Netmodel.Params.standalone in
+  Alcotest.(check int) "scaled copy" 2_700_000
+    (Time.span_to_ns (Netmodel.Params.dma_copy_cost p ~bytes:1024));
+  Alcotest.check_raises "bad scale"
+    (Invalid_argument "Params.with_dma: copy_scale must be positive") (fun () ->
+      ignore (Netmodel.Params.with_dma ~copy_scale:0.0 Netmodel.Params.standalone))
+
+let () =
+  Alcotest.run "netmodel"
+    [
+      ( "units",
+        [
+          Alcotest.test_case "transmit span exact" `Quick test_transmit_span_exact;
+          Alcotest.test_case "sizes" `Quick test_units_sizes;
+        ] );
+      ( "params",
+        [
+          Alcotest.test_case "calibration" `Quick test_params_calibration;
+          Alcotest.test_case "copy interpolation" `Quick test_params_copy_interpolation;
+          Alcotest.test_case "vkernel constants" `Quick test_params_vkernel_constants;
+          Alcotest.test_case "packets_for" `Quick test_params_packets_for;
+          Alcotest.test_case "double buffered" `Quick test_params_double_buffered;
+        ] );
+      ( "error_model",
+        [
+          Alcotest.test_case "perfect" `Quick test_perfect_never_drops;
+          Alcotest.test_case "iid rate" `Quick test_iid_rate;
+          Alcotest.test_case "gilbert-elliott stationary" `Quick test_gilbert_elliott_stationary_rate;
+          Alcotest.test_case "gilbert-elliott bursts" `Quick test_gilbert_elliott_bursts;
+        ] );
+      ( "dma",
+        [
+          Alcotest.test_case "frees host cpu" `Quick test_dma_frees_host_cpu;
+          Alcotest.test_case "data intact under loss" `Quick test_dma_data_still_intact;
+          Alcotest.test_case "cost scaling" `Quick test_dma_cost_scaling;
+        ] );
+      ( "wire-station",
+        [
+          Alcotest.test_case "single exchange elapsed" `Quick test_single_exchange_elapsed;
+          Alcotest.test_case "breakdown matches Table 2" `Quick test_exchange_breakdown_matches_table2;
+          Alcotest.test_case "blast pipeline period" `Quick test_blast_pipeline_period;
+          Alcotest.test_case "double-buffered overlap" `Quick test_double_buffered_overlap;
+          Alcotest.test_case "network loss counted" `Quick test_network_loss_counted;
+          Alcotest.test_case "interface loss counted" `Quick test_interface_loss_counted;
+          Alcotest.test_case "overrun when receiver stalls" `Quick test_overrun_when_receiver_stalls;
+          Alcotest.test_case "unknown destination rejected" `Quick test_unknown_destination_rejected;
+          Alcotest.test_case "utilization of blast" `Quick test_utilization_of_blast;
+        ] );
+    ]

@@ -1,0 +1,273 @@
+(* Tests for the wire format: checksums, bitsets, message codec. *)
+
+(* ------------------------------------------------------------- Checksum *)
+
+let test_internet_known_vector () =
+  (* Classic RFC 1071 example: 0001 f203 f4f5 f6f7 -> checksum 0x220d. *)
+  let buf = Bytes.of_string "\x00\x01\xf2\x03\xf4\xf5\xf6\xf7" in
+  Alcotest.(check int) "rfc1071" 0x220d (Packet.Checksum.internet buf ~pos:0 ~len:8)
+
+let test_internet_odd_length () =
+  let buf = Bytes.of_string "\xab" in
+  (* 0xab00 padded -> complement 0x54ff *)
+  Alcotest.(check int) "odd pad" 0x54ff (Packet.Checksum.internet buf ~pos:0 ~len:1)
+
+let test_internet_detects_flip () =
+  let buf = Bytes.of_string "hello world, 1985" in
+  let sum = Packet.Checksum.internet buf ~pos:0 ~len:(Bytes.length buf) in
+  Bytes.set buf 3 'L';
+  let sum' = Packet.Checksum.internet buf ~pos:0 ~len:(Bytes.length buf) in
+  Alcotest.(check bool) "changed" true (sum <> sum')
+
+let test_crc32_known_vectors () =
+  Alcotest.(check int32) "check string" 0xCBF43926l (Packet.Checksum.crc32_string "123456789");
+  Alcotest.(check int32) "empty" 0l (Packet.Checksum.crc32_string "")
+
+let test_crc32_range () =
+  let buf = Bytes.of_string "xx123456789yy" in
+  Alcotest.(check int32) "subrange" 0xCBF43926l (Packet.Checksum.crc32 buf ~pos:2 ~len:9)
+
+(* --------------------------------------------------------------- Bitset *)
+
+let test_bitset_basics () =
+  let b = Packet.Bitset.create 10 in
+  Alcotest.(check int) "empty count" 0 (Packet.Bitset.count b);
+  Packet.Bitset.set b 3;
+  Packet.Bitset.set b 9;
+  Alcotest.(check bool) "mem 3" true (Packet.Bitset.mem b 3);
+  Alcotest.(check bool) "not mem 4" false (Packet.Bitset.mem b 4);
+  Alcotest.(check int) "count" 2 (Packet.Bitset.count b);
+  Alcotest.(check (option int)) "first missing" (Some 0) (Packet.Bitset.first_missing b);
+  Packet.Bitset.clear b 3;
+  Alcotest.(check bool) "cleared" false (Packet.Bitset.mem b 3)
+
+let test_bitset_missing () =
+  let b = Packet.Bitset.create 5 in
+  Packet.Bitset.set b 1;
+  Packet.Bitset.set b 3;
+  Alcotest.(check (list int)) "missing" [ 0; 2; 4 ] (Packet.Bitset.missing b);
+  Packet.Bitset.set_all b;
+  Alcotest.(check (list int)) "none missing" [] (Packet.Bitset.missing b);
+  Alcotest.(check bool) "full" true (Packet.Bitset.is_full b);
+  Alcotest.(check (option int)) "no first missing" None (Packet.Bitset.first_missing b)
+
+let test_bitset_zero_length () =
+  let b = Packet.Bitset.create 0 in
+  Alcotest.(check bool) "empty set is full" true (Packet.Bitset.is_full b);
+  Alcotest.(check (list int)) "no missing" [] (Packet.Bitset.missing b)
+
+let test_bitset_bounds () =
+  let b = Packet.Bitset.create 4 in
+  Alcotest.check_raises "set out of range" (Invalid_argument "Bitset: index out of range")
+    (fun () -> Packet.Bitset.set b 4)
+
+let test_bitset_roundtrip () =
+  let b = Packet.Bitset.create 13 in
+  List.iter (Packet.Bitset.set b) [ 0; 5; 7; 12 ];
+  match Packet.Bitset.of_bytes (Packet.Bitset.to_bytes b) with
+  | None -> Alcotest.fail "roundtrip failed"
+  | Some b' ->
+      Alcotest.(check int) "length" 13 (Packet.Bitset.length b');
+      Alcotest.(check (list int)) "same missing" (Packet.Bitset.missing b)
+        (Packet.Bitset.missing b')
+
+let test_bitset_rejects_trailing_bits () =
+  let b = Packet.Bitset.create 3 in
+  let encoded = Packet.Bitset.to_bytes b in
+  (* Set a bit beyond the declared length. *)
+  Bytes.set encoded 4 (Char.chr 0b1000);
+  Alcotest.(check bool) "rejected" true (Packet.Bitset.of_bytes encoded = None)
+
+let prop_bitset_roundtrip =
+  QCheck.Test.make ~name:"bitset encode/decode roundtrip" ~count:200
+    QCheck.(pair (int_range 0 200) (list small_nat))
+    (fun (n, indices) ->
+      let b = Packet.Bitset.create n in
+      List.iter (fun i -> if i < n then Packet.Bitset.set b i) indices;
+      match Packet.Bitset.of_bytes (Packet.Bitset.to_bytes b) with
+      | None -> false
+      | Some b' ->
+          Packet.Bitset.length b' = n && Packet.Bitset.missing b' = Packet.Bitset.missing b)
+
+(* ---------------------------------------------------------------- Codec *)
+
+let sample_messages =
+  [
+    Packet.Message.req ~transfer_id:7 ~total:64;
+    Packet.Message.data ~transfer_id:7 ~seq:0 ~total:64 ~payload:(String.make 1024 'x');
+    Packet.Message.data ~transfer_id:7 ~seq:63 ~total:64 ~payload:"last";
+    Packet.Message.ack ~transfer_id:7 ~seq:64 ~total:64;
+    Packet.Message.nack ~transfer_id:7 ~first_missing:12 ~total:64 ();
+    (let received = Packet.Bitset.create 64 in
+     List.iter (Packet.Bitset.set received) (List.init 60 Fun.id);
+     Packet.Message.nack ~transfer_id:7 ~first_missing:60 ~total:64 ~received ());
+  ]
+
+let test_codec_roundtrip_samples () =
+  List.iter
+    (fun m ->
+      match Packet.Codec.decode (Packet.Codec.encode m) with
+      | Ok m' ->
+          Alcotest.(check bool)
+            (Format.asprintf "roundtrip %a" Packet.Message.pp m)
+            true (Packet.Message.equal m m')
+      | Error e -> Alcotest.failf "decode error: %a" Packet.Codec.pp_error e)
+    sample_messages
+
+let test_codec_rejects_truncation () =
+  let buf = Packet.Codec.encode (List.nth sample_messages 1) in
+  (match Packet.Codec.decode (Bytes.sub buf 0 10) with
+  | Error Packet.Codec.Too_short -> ()
+  | _ -> Alcotest.fail "expected Too_short");
+  match Packet.Codec.decode (Bytes.sub buf 0 (Bytes.length buf - 1)) with
+  | Error (Packet.Codec.Length_mismatch _) -> ()
+  | _ -> Alcotest.fail "expected Length_mismatch"
+
+let test_codec_rejects_corruption () =
+  let check_corrupt pos expected_tag =
+    let buf = Packet.Codec.encode (List.nth sample_messages 1) in
+    Bytes.set buf pos (Char.chr (Char.code (Bytes.get buf pos) lxor 0xFF));
+    match Packet.Codec.decode buf with
+    | Error e ->
+        let tag =
+          match e with
+          | Packet.Codec.Bad_magic -> "magic"
+          | Packet.Codec.Bad_version _ -> "version"
+          | Packet.Codec.Bad_header_checksum -> "header"
+          | Packet.Codec.Bad_payload_checksum -> "payload"
+          | _ -> "other"
+        in
+        Alcotest.(check string) (Printf.sprintf "corrupt byte %d" pos) expected_tag tag
+    | Ok _ -> Alcotest.failf "corruption at byte %d not detected" pos
+  in
+  check_corrupt 0 "magic";
+  check_corrupt 2 "version";
+  check_corrupt 8 "header";
+  (* a seq byte: header checksum catches it *)
+  check_corrupt 30 "payload"
+(* a payload byte: CRC catches it *)
+
+let test_codec_rejects_bad_kind () =
+  let buf = Packet.Codec.encode (List.nth sample_messages 0) in
+  Bytes.set buf 3 (Char.chr 99);
+  (* Re-fix the header checksum so only the kind is wrong. *)
+  Bytes.set_uint16_be buf 18 0;
+  let sum = Packet.Checksum.internet buf ~pos:0 ~len:Packet.Codec.header_bytes in
+  Bytes.set_uint16_be buf 18 sum;
+  match Packet.Codec.decode buf with
+  | Error (Packet.Codec.Bad_kind 99) -> ()
+  | _ -> Alcotest.fail "expected Bad_kind"
+
+let test_codec_decode_sub () =
+  let m = List.nth sample_messages 3 in
+  let encoded = Packet.Codec.encode m in
+  let padded = Bytes.cat (Bytes.of_string "junk") encoded in
+  match Packet.Codec.decode_sub padded ~pos:4 ~len:(Bytes.length encoded) with
+  | Ok m' -> Alcotest.(check bool) "sub decode" true (Packet.Message.equal m m')
+  | Error e -> Alcotest.failf "decode_sub error: %a" Packet.Codec.pp_error e
+
+let gen_message =
+  let open QCheck.Gen in
+  let* kind = oneofl Packet.Kind.all in
+  let* transfer_id = int_range 0 0xFFFF in
+  let* total = int_range 1 256 in
+  match kind with
+  | Packet.Kind.Req -> return (Packet.Message.req ~transfer_id ~total)
+  | Packet.Kind.Data ->
+      let* seq = int_range 0 (total - 1) in
+      let* payload = string_size (int_range 0 600) in
+      return (Packet.Message.data ~transfer_id ~seq ~total ~payload)
+  | Packet.Kind.Ack ->
+      let* seq = int_range 0 total in
+      return (Packet.Message.ack ~transfer_id ~seq ~total)
+  | Packet.Kind.Nack ->
+      let* first_missing = int_range 0 (total - 1) in
+      let* with_set = bool in
+      if with_set then begin
+        let received = Packet.Bitset.create total in
+        let* indices = list_size (int_range 0 total) (int_range 0 (total - 1)) in
+        List.iter (Packet.Bitset.set received) indices;
+        return (Packet.Message.nack ~transfer_id ~first_missing ~total ~received ())
+      end
+      else return (Packet.Message.nack ~transfer_id ~first_missing ~total ())
+
+let prop_codec_roundtrip =
+  QCheck.Test.make ~name:"codec roundtrip for arbitrary messages" ~count:300
+    (QCheck.make gen_message) (fun m ->
+      match Packet.Codec.decode (Packet.Codec.encode m) with
+      | Ok m' -> Packet.Message.equal m m'
+      | Error _ -> false)
+
+let prop_codec_bitflip_detected =
+  QCheck.Test.make ~name:"any single bit flip is rejected" ~count:300
+    QCheck.(pair (QCheck.make gen_message) (pair small_nat small_nat))
+    (fun (m, (byte_pick, bit)) ->
+      let buf = Packet.Codec.encode m in
+      let pos = byte_pick mod Bytes.length buf in
+      let bit = bit mod 8 in
+      Bytes.set buf pos (Char.chr (Char.code (Bytes.get buf pos) lxor (1 lsl bit)));
+      match Packet.Codec.decode buf with
+      | Error _ -> true
+      | Ok m' ->
+          (* A flip inside the checksum fields themselves must not produce a
+             *different* accepted message. *)
+          Packet.Message.equal m m')
+
+(* -------------------------------------------------------------- Message *)
+
+let test_message_received_set () =
+  let received = Packet.Bitset.create 8 in
+  Packet.Bitset.set received 0;
+  let m = Packet.Message.nack ~transfer_id:1 ~first_missing:1 ~total:8 ~received () in
+  (match Packet.Message.received_set m with
+  | Some set ->
+      Alcotest.(check bool) "bit 0" true (Packet.Bitset.mem set 0);
+      Alcotest.(check bool) "bit 1" false (Packet.Bitset.mem set 1)
+  | None -> Alcotest.fail "no set");
+  let plain = Packet.Message.nack ~transfer_id:1 ~first_missing:1 ~total:8 () in
+  Alcotest.(check bool) "plain nack has no set" true (Packet.Message.received_set plain = None)
+
+let test_message_validation () =
+  Alcotest.check_raises "seq beyond total" (Invalid_argument "Message.data: seq beyond total")
+    (fun () -> ignore (Packet.Message.data ~transfer_id:0 ~seq:5 ~total:5 ~payload:""))
+
+let test_message_wire_bytes () =
+  let m = Packet.Message.data ~transfer_id:0 ~seq:0 ~total:1 ~payload:(String.make 100 'a') in
+  Alcotest.(check int) "header + payload" 124 (Packet.Message.wire_bytes m);
+  Alcotest.(check int) "encode size matches" 124 (Bytes.length (Packet.Codec.encode m))
+
+let qcheck tests = List.map QCheck_alcotest.to_alcotest tests
+
+let () =
+  Alcotest.run "packet"
+    [
+      ( "checksum",
+        [
+          Alcotest.test_case "internet known vector" `Quick test_internet_known_vector;
+          Alcotest.test_case "internet odd length" `Quick test_internet_odd_length;
+          Alcotest.test_case "internet detects flip" `Quick test_internet_detects_flip;
+          Alcotest.test_case "crc32 known vectors" `Quick test_crc32_known_vectors;
+          Alcotest.test_case "crc32 range" `Quick test_crc32_range;
+        ] );
+      ( "bitset",
+        Alcotest.test_case "basics" `Quick test_bitset_basics
+        :: Alcotest.test_case "missing" `Quick test_bitset_missing
+        :: Alcotest.test_case "zero length" `Quick test_bitset_zero_length
+        :: Alcotest.test_case "bounds" `Quick test_bitset_bounds
+        :: Alcotest.test_case "roundtrip" `Quick test_bitset_roundtrip
+        :: Alcotest.test_case "rejects trailing bits" `Quick test_bitset_rejects_trailing_bits
+        :: qcheck [ prop_bitset_roundtrip ] );
+      ( "codec",
+        Alcotest.test_case "roundtrip samples" `Quick test_codec_roundtrip_samples
+        :: Alcotest.test_case "rejects truncation" `Quick test_codec_rejects_truncation
+        :: Alcotest.test_case "rejects corruption" `Quick test_codec_rejects_corruption
+        :: Alcotest.test_case "rejects bad kind" `Quick test_codec_rejects_bad_kind
+        :: Alcotest.test_case "decode_sub" `Quick test_codec_decode_sub
+        :: qcheck [ prop_codec_roundtrip; prop_codec_bitflip_detected ] );
+      ( "message",
+        [
+          Alcotest.test_case "received set" `Quick test_message_received_set;
+          Alcotest.test_case "validation" `Quick test_message_validation;
+          Alcotest.test_case "wire bytes" `Quick test_message_wire_bytes;
+        ] );
+    ]

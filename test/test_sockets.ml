@@ -1,0 +1,353 @@
+(* End-to-end transfers over real UDP loopback sockets, with injected loss.
+   The receiver runs on a separate thread; both ends use the same protocol
+   machines as the simulator. *)
+
+let random_data rng n = String.init n (fun _ -> Char.chr (Stats.Rng.int rng 256))
+
+let transfer ?lossy_sender ?lossy_receiver ?(packet_bytes = 1024) ?(retransmit_ns = 20_000_000)
+    ~suite ~data () =
+  let receiver_socket, receiver_address = Sockets.Udp.create_socket () in
+  let sender_socket, _ = Sockets.Udp.create_socket () in
+  let received = ref None in
+  let receiver_error = ref None in
+  let thread =
+    Thread.create
+      (fun () ->
+        try
+          received :=
+            Some
+              (Sockets.Peer.serve_one ?lossy:lossy_receiver ~retransmit_ns
+                 ~socket:receiver_socket ~suite ())
+        with exn -> receiver_error := Some exn)
+      ()
+  in
+  let result =
+    Fun.protect
+      ~finally:(fun () ->
+        Thread.join thread;
+        Sockets.Udp.close receiver_socket;
+        Sockets.Udp.close sender_socket)
+      (fun () ->
+        Sockets.Peer.send ?lossy:lossy_sender ~packet_bytes ~retransmit_ns
+          ~socket:sender_socket ~peer:receiver_address ~suite ~data ())
+  in
+  (match !receiver_error with Some exn -> raise exn | None -> ());
+  (result, Option.get !received)
+
+let check_roundtrip ?lossy_sender ?lossy_receiver ?packet_bytes ~suite ~data () =
+  let send_result, receive_result =
+    transfer ?lossy_sender ?lossy_receiver ?packet_bytes ~suite ~data ()
+  in
+  Alcotest.(check bool)
+    (Protocol.Suite.name suite ^ " completes")
+    true
+    (send_result.Sockets.Peer.outcome = Protocol.Action.Success);
+  Alcotest.(check int)
+    (Protocol.Suite.name suite ^ " length")
+    (String.length data)
+    (String.length receive_result.Sockets.Peer.data);
+  Alcotest.(check bool)
+    (Protocol.Suite.name suite ^ " bytes intact")
+    true
+    (String.equal data receive_result.Sockets.Peer.data)
+
+let all_suites =
+  [
+    Protocol.Suite.Stop_and_wait;
+    Protocol.Suite.Sliding_window { window = max_int };
+    Protocol.Suite.Blast Protocol.Blast.Full_retransmit;
+    Protocol.Suite.Blast Protocol.Blast.Full_retransmit_nack;
+    Protocol.Suite.Blast Protocol.Blast.Go_back_n;
+    Protocol.Suite.Blast Protocol.Blast.Selective;
+    Protocol.Suite.Multi_blast { strategy = Protocol.Blast.Go_back_n; chunk_packets = 8 };
+  ]
+
+let test_clean_roundtrips () =
+  let rng = Stats.Rng.create ~seed:1 in
+  List.iter
+    (fun suite ->
+      let data = random_data rng 10_000 in
+      check_roundtrip ~suite ~data ())
+    all_suites
+
+let test_single_packet () =
+  check_roundtrip ~suite:(Protocol.Suite.Blast Protocol.Blast.Go_back_n) ~data:"hello, 1985" ()
+
+let test_non_multiple_size () =
+  (* The last packet is a partial one. *)
+  let rng = Stats.Rng.create ~seed:2 in
+  check_roundtrip
+    ~suite:(Protocol.Suite.Blast Protocol.Blast.Selective)
+    ~data:(random_data rng 2_500) ()
+
+let test_exact_multiple_size () =
+  let rng = Stats.Rng.create ~seed:3 in
+  check_roundtrip ~suite:(Protocol.Suite.Blast Protocol.Blast.Go_back_n)
+    ~data:(random_data rng 4_096) ()
+
+let test_large_transfer () =
+  let rng = Stats.Rng.create ~seed:4 in
+  check_roundtrip
+    ~suite:(Protocol.Suite.Multi_blast { strategy = Protocol.Blast.Selective; chunk_packets = 32 })
+    ~data:(random_data rng 262_144) ()
+
+let test_lossy_sender_side () =
+  let rng = Stats.Rng.create ~seed:5 in
+  List.iter
+    (fun suite ->
+      let data = random_data rng 20_000 in
+      let lossy_sender = Sockets.Lossy.create ~seed:42 ~tx_loss:0.1 ~rx_loss:0.05 in
+      check_roundtrip ~lossy_sender ~suite ~data ())
+    [
+      Protocol.Suite.Blast Protocol.Blast.Go_back_n;
+      Protocol.Suite.Blast Protocol.Blast.Selective;
+      Protocol.Suite.Stop_and_wait;
+    ]
+
+let test_lossy_both_sides_retransmits () =
+  let rng = Stats.Rng.create ~seed:6 in
+  let data = random_data rng 30_000 in
+  let lossy_sender = Sockets.Lossy.create ~seed:7 ~tx_loss:0.15 ~rx_loss:0.0 in
+  let lossy_receiver = Sockets.Lossy.create ~seed:8 ~tx_loss:0.15 ~rx_loss:0.0 in
+  let send_result, receive_result =
+    transfer ~lossy_sender ~lossy_receiver
+      ~suite:(Protocol.Suite.Blast Protocol.Blast.Go_back_n) ~data ()
+  in
+  Alcotest.(check bool) "completes" true
+    (send_result.Sockets.Peer.outcome = Protocol.Action.Success);
+  Alcotest.(check bool) "data intact" true (String.equal data receive_result.Sockets.Peer.data);
+  Alcotest.(check bool) "losses actually injected" true
+    (Sockets.Lossy.dropped lossy_sender > 0 || Sockets.Lossy.dropped lossy_receiver > 0);
+  Alcotest.(check bool) "retransmissions happened" true
+    (send_result.Sockets.Peer.counters.Protocol.Counters.retransmitted_data > 0)
+
+let test_small_packets () =
+  let rng = Stats.Rng.create ~seed:9 in
+  check_roundtrip ~packet_bytes:64
+    ~suite:(Protocol.Suite.Blast Protocol.Blast.Selective)
+    ~data:(random_data rng 3_000) ()
+
+let test_empty_data_rejected () =
+  let socket, address = Sockets.Udp.create_socket () in
+  Fun.protect
+    ~finally:(fun () -> Sockets.Udp.close socket)
+    (fun () ->
+      Alcotest.check_raises "empty" (Invalid_argument "Peer.send: empty data") (fun () ->
+          ignore
+            (Sockets.Peer.send ~socket ~peer:address
+               ~suite:(Protocol.Suite.Blast Protocol.Blast.Go_back_n) ~data:"" ())))
+
+let test_lossy_statistics () =
+  let lossy = Sockets.Lossy.create ~seed:1 ~tx_loss:0.5 ~rx_loss:0.0 in
+  let passed = ref 0 in
+  for _ = 1 to 1000 do
+    if Sockets.Lossy.pass_tx lossy then incr passed
+  done;
+  Alcotest.(check bool) "about half pass" true (!passed > 400 && !passed < 600);
+  Alcotest.(check int) "drop count" (1000 - !passed) (Sockets.Lossy.dropped lossy)
+
+let test_geometry_roundtrip () =
+  let m = Packet.Message.req_with_geometry ~transfer_id:9 ~packet_bytes:512 ~total_bytes:5_000 in
+  Alcotest.(check int) "derived total" 10 m.Packet.Message.total;
+  (match Packet.Message.geometry m with
+  | Some (pb, tb) ->
+      Alcotest.(check int) "packet bytes" 512 pb;
+      Alcotest.(check int) "total bytes" 5_000 tb
+  | None -> Alcotest.fail "no geometry");
+  Alcotest.(check bool) "plain req has none" true
+    (Packet.Message.geometry (Packet.Message.req ~transfer_id:9 ~total:3) = None)
+
+let main_suites =
+    [
+      ( "clean",
+        [
+          Alcotest.test_case "roundtrip all suites" `Quick test_clean_roundtrips;
+          Alcotest.test_case "single packet" `Quick test_single_packet;
+          Alcotest.test_case "non-multiple size" `Quick test_non_multiple_size;
+          Alcotest.test_case "exact multiple size" `Quick test_exact_multiple_size;
+          Alcotest.test_case "large transfer" `Quick test_large_transfer;
+          Alcotest.test_case "small packets" `Quick test_small_packets;
+          Alcotest.test_case "empty data rejected" `Quick test_empty_data_rejected;
+          Alcotest.test_case "geometry roundtrip" `Quick test_geometry_roundtrip;
+        ] );
+      ( "lossy",
+        [
+          Alcotest.test_case "sender-side loss" `Quick test_lossy_sender_side;
+          Alcotest.test_case "both sides lossy" `Quick test_lossy_both_sides_retransmits;
+          Alcotest.test_case "loss statistics" `Quick test_lossy_statistics;
+        ] );
+    ]
+
+(* Appended: the REQ carries the protocol suite, so a receiver started with a
+   different (or no) default still runs the sender's protocol. *)
+let test_suite_carried_in_req () =
+  let rng = Stats.Rng.create ~seed:33 in
+  let data = random_data rng 50_000 in
+  let receiver_socket, receiver_address = Sockets.Udp.create_socket () in
+  let sender_socket, _ = Sockets.Udp.create_socket () in
+  let received = ref None in
+  let thread =
+    Thread.create
+      (fun () ->
+        (* Deliberately no ~suite: the receiver must learn it from the REQ. *)
+        received := Some (Sockets.Peer.serve_one ~socket:receiver_socket ()))
+      ()
+  in
+  let suite = Protocol.Suite.Multi_blast { strategy = Protocol.Blast.Selective; chunk_packets = 16 } in
+  let result = Sockets.Peer.send ~socket:sender_socket ~peer:receiver_address ~suite ~data () in
+  Thread.join thread;
+  Sockets.Udp.close receiver_socket;
+  Sockets.Udp.close sender_socket;
+  Alcotest.(check bool) "success" true (result.Sockets.Peer.outcome = Protocol.Action.Success);
+  match !received with
+  | Some r -> Alcotest.(check bool) "intact" true (String.equal r.Sockets.Peer.data data)
+  | None -> Alcotest.fail "nothing received"
+
+let test_suite_codec_roundtrip () =
+  List.iter
+    (fun suite ->
+      match
+        Sockets.Suite_codec.decode
+          (Sockets.Suite_codec.encode ~data_crc:0xDEADBEEFl ~packet_bytes:512
+             ~total_bytes:9999 suite)
+      with
+      | Some
+          {
+            Sockets.Suite_codec.packet_bytes = 512;
+            total_bytes = 9999;
+            suite = Some decoded;
+            data_crc = Some 0xDEADBEEFl;
+          } ->
+          Alcotest.(check string) "same suite" (Protocol.Suite.name suite)
+            (Protocol.Suite.name decoded)
+      | _ -> Alcotest.failf "roundtrip failed for %s" (Protocol.Suite.name suite))
+    (Protocol.Suite.Sliding_window { window = max_int }
+     :: Protocol.Suite.Sliding_window { window = 7 }
+     :: Protocol.Suite.Stop_and_wait
+     :: Protocol.Suite.Multi_blast { strategy = Protocol.Blast.Go_back_n; chunk_packets = 64 }
+     :: Protocol.Suite.all_blast_strategies);
+  (* The 14-byte form (no CRC) also roundtrips. *)
+  (match
+     Sockets.Suite_codec.decode
+       (Sockets.Suite_codec.encode ~packet_bytes:256 ~total_bytes:1000
+          Protocol.Suite.Stop_and_wait)
+   with
+  | Some { Sockets.Suite_codec.packet_bytes = 256; total_bytes = 1000; data_crc = None; _ } ->
+      ()
+  | _ -> Alcotest.fail "14-byte form failed");
+  (* Bare 8-byte geometry decodes with no suite. *)
+  let bare = Bytes.create 8 in
+  Bytes.set_int32_be bare 0 1024l;
+  Bytes.set_int32_be bare 4 4096l;
+  (match Sockets.Suite_codec.decode (Bytes.to_string bare) with
+  | Some { Sockets.Suite_codec.packet_bytes = 1024; total_bytes = 4096; suite = None; data_crc = None } -> ()
+  | _ -> Alcotest.fail "bare geometry rejected");
+  Alcotest.(check bool) "garbage rejected" true (Sockets.Suite_codec.decode "xyz" = None)
+
+let test_survives_garbage_datagrams () =
+  (* A hostile or confused peer sprays random bytes at the receiver during a
+     real transfer: the codec rejects them and the transfer is unaffected. *)
+  let rng = Stats.Rng.create ~seed:55 in
+  let data = random_data rng 40_000 in
+  let receiver_socket, receiver_address = Sockets.Udp.create_socket () in
+  let sender_socket, _ = Sockets.Udp.create_socket () in
+  let noise_socket, _ = Sockets.Udp.create_socket () in
+  let received = ref None in
+  let receiver_thread =
+    Thread.create
+      (fun () -> received := Some (Sockets.Peer.serve_one ~socket:receiver_socket ()))
+      ()
+  in
+  let stop_noise = ref false in
+  let noise_thread =
+    Thread.create
+      (fun () ->
+        let noise_rng = Stats.Rng.create ~seed:56 in
+        while not !stop_noise do
+          let len = 1 + Stats.Rng.int noise_rng 600 in
+          let junk = Bytes.init len (fun _ -> Char.chr (Stats.Rng.int noise_rng 256)) in
+          (try
+             ignore (Unix.sendto noise_socket junk 0 len [] receiver_address)
+           with Unix.Unix_error _ -> ());
+          Thread.yield ()
+        done)
+      ()
+  in
+  let result =
+    Sockets.Peer.send ~socket:sender_socket ~peer:receiver_address
+      ~suite:(Protocol.Suite.Blast Protocol.Blast.Go_back_n) ~data ()
+  in
+  stop_noise := true;
+  Thread.join noise_thread;
+  Thread.join receiver_thread;
+  Sockets.Udp.close receiver_socket;
+  Sockets.Udp.close sender_socket;
+  Sockets.Udp.close noise_socket;
+  Alcotest.(check bool) "completes despite noise" true
+    (result.Sockets.Peer.outcome = Protocol.Action.Success);
+  match !received with
+  | Some r ->
+      Alcotest.(check bool) "data intact" true (String.equal r.Sockets.Peer.data data);
+      Alcotest.(check bool) "integrity verified" true
+        (r.Sockets.Peer.integrity = Sockets.Peer.Verified)
+  | None -> Alcotest.fail "nothing received"
+
+let test_paced_send_roundtrip () =
+  let rng = Stats.Rng.create ~seed:57 in
+  let data = random_data rng 60_000 in
+  let receiver_socket, receiver_address = Sockets.Udp.create_socket () in
+  let sender_socket, _ = Sockets.Udp.create_socket () in
+  let received = ref None in
+  let thread =
+    Thread.create
+      (fun () -> received := Some (Sockets.Peer.serve_one ~socket:receiver_socket ()))
+      ()
+  in
+  let result =
+    Sockets.Peer.send ~pacing_ns:20_000 ~socket:sender_socket ~peer:receiver_address
+      ~suite:(Protocol.Suite.Blast Protocol.Blast.Go_back_n) ~data ()
+  in
+  Thread.join thread;
+  Sockets.Udp.close receiver_socket;
+  Sockets.Udp.close sender_socket;
+  Alcotest.(check bool) "success" true (result.Sockets.Peer.outcome = Protocol.Action.Success);
+  (match !received with
+  | Some r -> Alcotest.(check bool) "intact" true (String.equal r.Sockets.Peer.data data)
+  | None -> Alcotest.fail "nothing received");
+  (* Pacing slows the blast to at least packets x gap. *)
+  Alcotest.(check bool) "pacing actually slows the train" true
+    (result.Sockets.Peer.elapsed_ns >= 59 * 20_000)
+
+let test_tcp_baseline_roundtrip () =
+  let rng = Stats.Rng.create ~seed:88 in
+  let data = random_data rng 200_000 in
+  let listener, address = Sockets.Tcp_baseline.listen () in
+  let received = ref "" in
+  let thread =
+    Thread.create (fun () -> received := Sockets.Tcp_baseline.serve_one ~socket:listener ()) ()
+  in
+  let elapsed_ns = Sockets.Tcp_baseline.send ~peer:address ~data () in
+  Thread.join thread;
+  (try Unix.close listener with Unix.Unix_error _ -> ());
+  Alcotest.(check bool) "data intact" true (String.equal !received data);
+  Alcotest.(check bool) "elapsed positive" true (elapsed_ns > 0)
+
+let () =
+  Alcotest.run "sockets"
+    (main_suites
+    @ [
+        ( "suite-in-req",
+          [
+            Alcotest.test_case "receiver learns suite from REQ" `Quick test_suite_carried_in_req;
+            Alcotest.test_case "suite codec roundtrip" `Quick test_suite_codec_roundtrip;
+          ] );
+        ( "tcp-baseline",
+          [ Alcotest.test_case "roundtrip" `Quick test_tcp_baseline_roundtrip ] );
+        ( "pacing",
+          [ Alcotest.test_case "paced send roundtrip" `Quick test_paced_send_roundtrip ] );
+        ( "robustness",
+          [
+            Alcotest.test_case "survives garbage datagrams" `Quick
+              test_survives_garbage_datagrams;
+          ] );
+      ])

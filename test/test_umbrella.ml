@@ -1,0 +1,23 @@
+(* Smoke test for the Lan_repro umbrella: the curated public API exposes
+   every subsystem under one module, and the paths actually link. *)
+
+let test_umbrella_paths () =
+  let costs = Lan_repro.Analysis.Costs.standalone in
+  Alcotest.(check (float 1e-9)) "via umbrella" 140.59
+    (Lan_repro.Analysis.Error_free.blast costs ~packets:64);
+  let rng = Lan_repro.Stats.Rng.create ~seed:1 in
+  Alcotest.(check bool) "rng" true (Lan_repro.Stats.Rng.float rng < 1.0);
+  let result =
+    Lan_repro.Simnet.Driver.run
+      ~suite:(Lan_repro.Protocol.Suite.Blast Lan_repro.Protocol.Blast.Go_back_n)
+      ~config:(Lan_repro.Protocol.Config.make ~total_packets:4 ())
+      ()
+  in
+  Alcotest.(check bool) "sim via umbrella" true
+    (result.Lan_repro.Simnet.Driver.outcome = Lan_repro.Protocol.Action.Success);
+  Alcotest.(check bool) "experiments registered" true
+    (List.length Lan_repro.Experiments.all >= 19)
+
+let () =
+  Alcotest.run "umbrella"
+    [ ("lan_repro", [ Alcotest.test_case "paths link" `Quick test_umbrella_paths ]) ]

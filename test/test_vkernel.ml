@@ -1,0 +1,334 @@
+(* Tests for the V-kernel IPC layer: MoveTo/MoveFrom semantics, access
+   rights, demultiplexing of concurrent transfers, behaviour under loss. *)
+
+open Eventsim
+
+let setup ?(params = Netmodel.Params.vkernel) ?network_error ?suite () =
+  let sim = Sim.create () in
+  let wire = Netmodel.Wire.create sim ~params ?network_error () in
+  let a = Vkernel.Kernel.create ?suite wire ~name:"alpha" in
+  let b = Vkernel.Kernel.create ?suite wire ~name:"beta" in
+  (sim, a, b)
+
+let pattern n = String.init n (fun i -> Char.chr (((i * 7) + (i / 251)) land 0xFF))
+
+let run_in_proc sim f =
+  let result = ref None in
+  Proc.spawn (Proc.env sim) (fun () -> result := Some (f ()));
+  Sim.run sim;
+  match !result with
+  | Some r -> r
+  | None -> Alcotest.fail "simulation drained before the operation finished"
+
+let check_ok = function
+  | Ok v -> v
+  | Error e -> Alcotest.failf "unexpected error: %a" Vkernel.Kernel.pp_error e
+
+let test_move_to_basic () =
+  let sim, a, b = setup () in
+  let data = pattern 10_000 in
+  let buffer = Bytes.create 16_384 in
+  let segment = Vkernel.Kernel.register_segment b ~rights:Vkernel.Kernel.Write_only buffer in
+  let () =
+    run_in_proc sim (fun () ->
+        check_ok
+          (Vkernel.Kernel.move_to a ~dst:(Vkernel.Kernel.address b) ~segment ~offset:100 ~data))
+  in
+  Alcotest.(check string) "bytes landed at offset" data (Bytes.sub_string buffer 100 10_000);
+  Alcotest.(check char) "byte before untouched" '\000' (Bytes.get buffer 99);
+  Alcotest.(check char) "byte after untouched" '\000' (Bytes.get buffer (100 + 10_000))
+
+let test_move_from_basic () =
+  let sim, a, b = setup () in
+  let data = pattern 20_000 in
+  let buffer = Bytes.of_string data in
+  let segment = Vkernel.Kernel.register_segment b ~rights:Vkernel.Kernel.Read_only buffer in
+  let fetched =
+    run_in_proc sim (fun () ->
+        check_ok
+          (Vkernel.Kernel.move_from a ~dst:(Vkernel.Kernel.address b) ~segment ~offset:5_000
+             ~len:10_000))
+  in
+  Alcotest.(check string) "fetched slice" (String.sub data 5_000 10_000) fetched
+
+let test_rights_enforced () =
+  let sim, a, b = setup () in
+  let buffer = Bytes.create 4_096 in
+  let read_only = Vkernel.Kernel.register_segment b ~rights:Vkernel.Kernel.Read_only buffer in
+  let write_only = Vkernel.Kernel.register_segment b ~rights:Vkernel.Kernel.Write_only buffer in
+  let to_read_only, from_write_only, unknown =
+    run_in_proc sim (fun () ->
+        let dst = Vkernel.Kernel.address b in
+        let r1 =
+          Vkernel.Kernel.move_to a ~dst ~segment:read_only ~offset:0 ~data:(pattern 100)
+        in
+        let r2 = Vkernel.Kernel.move_from a ~dst ~segment:write_only ~offset:0 ~len:100 in
+        let r3 = Vkernel.Kernel.move_from a ~dst ~segment:999 ~offset:0 ~len:100 in
+        (r1, r2, r3))
+  in
+  Alcotest.(check bool) "write into read-only denied" true
+    (to_read_only = Error Vkernel.Kernel.Access_denied);
+  Alcotest.(check bool) "read from write-only denied" true
+    (from_write_only = Error Vkernel.Kernel.Access_denied);
+  Alcotest.(check bool) "unknown segment" true (unknown = Error Vkernel.Kernel.Unknown_segment)
+
+let test_bounds_enforced () =
+  let sim, a, b = setup () in
+  let buffer = Bytes.create 1_000 in
+  let segment = Vkernel.Kernel.register_segment b ~rights:Vkernel.Kernel.Read_write buffer in
+  let result =
+    run_in_proc sim (fun () ->
+        Vkernel.Kernel.move_to a ~dst:(Vkernel.Kernel.address b) ~segment ~offset:500
+          ~data:(pattern 501))
+  in
+  Alcotest.(check bool) "overflow rejected" true (result = Error Vkernel.Kernel.Out_of_bounds)
+
+let test_move_to_under_loss () =
+  let rng = Stats.Rng.create ~seed:21 in
+  let network_error = Netmodel.Error_model.iid rng ~loss:0.03 in
+  let sim, a, b = setup ~network_error () in
+  let data = pattern 30_000 in
+  let buffer = Bytes.create 30_000 in
+  let segment = Vkernel.Kernel.register_segment b ~rights:Vkernel.Kernel.Read_write buffer in
+  let () =
+    run_in_proc sim (fun () ->
+        check_ok
+          (Vkernel.Kernel.move_to a ~dst:(Vkernel.Kernel.address b) ~segment ~offset:0 ~data))
+  in
+  Alcotest.(check string) "intact under loss" data (Bytes.to_string buffer)
+
+let test_move_from_under_loss () =
+  let rng = Stats.Rng.create ~seed:22 in
+  let network_error = Netmodel.Error_model.iid rng ~loss:0.03 in
+  let sim, a, b = setup ~network_error () in
+  let data = pattern 25_000 in
+  let segment =
+    Vkernel.Kernel.register_segment b ~rights:Vkernel.Kernel.Read_only (Bytes.of_string data)
+  in
+  let fetched =
+    run_in_proc sim (fun () ->
+        check_ok
+          (Vkernel.Kernel.move_from a ~dst:(Vkernel.Kernel.address b) ~segment ~offset:0
+             ~len:25_000))
+  in
+  Alcotest.(check string) "intact under loss" data fetched
+
+let test_concurrent_transfers_demultiplexed () =
+  (* Two kernels move data to a third at the same time; transfer ids keep the
+     trains apart. *)
+  let sim = Sim.create () in
+  let wire = Netmodel.Wire.create sim ~params:Netmodel.Params.vkernel () in
+  let a = Vkernel.Kernel.create wire ~name:"a" in
+  let b = Vkernel.Kernel.create wire ~name:"b" in
+  let c = Vkernel.Kernel.create wire ~name:"c" in
+  let buf_a = Bytes.create 8_192 and buf_b = Bytes.create 8_192 in
+  let seg_a = Vkernel.Kernel.register_segment c ~rights:Vkernel.Kernel.Write_only buf_a in
+  let seg_b = Vkernel.Kernel.register_segment c ~rights:Vkernel.Kernel.Write_only buf_b in
+  let data_a = pattern 8_000 in
+  let data_b = String.init 8_000 (fun i -> Char.chr ((i * 13) land 0xFF)) in
+  let done_a = ref false and done_b = ref false in
+  Proc.spawn (Proc.env sim) (fun () ->
+      (match
+         Vkernel.Kernel.move_to a ~dst:(Vkernel.Kernel.address c) ~segment:seg_a ~offset:0
+           ~data:data_a
+       with
+      | Ok () -> done_a := true
+      | Error e -> Alcotest.failf "a: %a" Vkernel.Kernel.pp_error e));
+  Proc.spawn (Proc.env sim) (fun () ->
+      (match
+         Vkernel.Kernel.move_to b ~dst:(Vkernel.Kernel.address c) ~segment:seg_b ~offset:0
+           ~data:data_b
+       with
+      | Ok () -> done_b := true
+      | Error e -> Alcotest.failf "b: %a" Vkernel.Kernel.pp_error e));
+  Sim.run sim;
+  Alcotest.(check bool) "both completed" true (!done_a && !done_b);
+  Alcotest.(check string) "train a intact" data_a (Bytes.sub_string buf_a 0 8_000);
+  Alcotest.(check string) "train b intact" data_b (Bytes.sub_string buf_b 0 8_000)
+
+let test_sequential_transfers_reuse_kernel () =
+  let sim, a, b = setup () in
+  let buffer = Bytes.create 4_096 in
+  let segment = Vkernel.Kernel.register_segment b ~rights:Vkernel.Kernel.Read_write buffer in
+  let () =
+    run_in_proc sim (fun () ->
+        let dst = Vkernel.Kernel.address b in
+        check_ok (Vkernel.Kernel.move_to a ~dst ~segment ~offset:0 ~data:(pattern 2_048));
+        let fetched = check_ok (Vkernel.Kernel.move_from a ~dst ~segment ~offset:0 ~len:2_048) in
+        Alcotest.(check string) "read back what was written" (pattern 2_048) fetched)
+  in
+  Alcotest.(check bool) "bindings tracked" true (Vkernel.Kernel.active_transfers a >= 1)
+
+let test_kernel_elapsed_matches_table3 () =
+  (* A 64 KiB MoveTo with the kernel constants should take ~To(64)=173 ms
+     plus the REQ handshake round. *)
+  let sim, a, b = setup () in
+  let data = pattern 65_536 in
+  let buffer = Bytes.create 65_536 in
+  let segment = Vkernel.Kernel.register_segment b ~rights:Vkernel.Kernel.Write_only buffer in
+  let elapsed_ms =
+    run_in_proc sim (fun () ->
+        let sim = Proc.current_sim () in
+        let started = Sim.now sim in
+        check_ok
+          (Vkernel.Kernel.move_to a ~dst:(Vkernel.Kernel.address b) ~segment ~offset:0 ~data);
+        Time.span_to_ms (Time.diff (Sim.now sim) started))
+  in
+  (* Handshake: REQ (Ca-ish copy + transmit) + ACK, ~2 ms with kernel
+     constants; transfer: 172.8 ms. *)
+  Alcotest.(check bool)
+    (Printf.sprintf "elapsed %.1f ms in [172, 180]" elapsed_ms)
+    true
+    (elapsed_ms > 172.0 && elapsed_ms < 180.0)
+
+let test_multi_blast_kernel_transfer () =
+  let sim, a, b = setup ~suite:(Protocol.Suite.Multi_blast { strategy = Protocol.Blast.Selective; chunk_packets = 16 }) () in
+  let data = pattern 50_000 in
+  let buffer = Bytes.create 50_000 in
+  let segment = Vkernel.Kernel.register_segment b ~rights:Vkernel.Kernel.Write_only buffer in
+  let () =
+    run_in_proc sim (fun () ->
+        check_ok
+          (Vkernel.Kernel.move_to a ~dst:(Vkernel.Kernel.address b) ~segment ~offset:0 ~data))
+  in
+  Alcotest.(check string) "intact" data (Bytes.to_string buffer)
+
+(* -------------------------------------------------- short-message IPC *)
+
+let test_ipc_roundtrip () =
+  let sim, a, b = setup () in
+  let server_pid = Vkernel.Kernel.register_process b ~name:"echo" in
+  let client_pid = Vkernel.Kernel.register_process a ~name:"client" in
+  Proc.spawn (Proc.env sim) (fun () ->
+      let body, token = Vkernel.Kernel.receive b ~pid:server_pid in
+      Vkernel.Kernel.reply b token ("echo: " ^ body));
+  let reply =
+    run_in_proc sim (fun () ->
+        check_ok
+          (Vkernel.Kernel.send a ~dst:(Vkernel.Kernel.address b) ~from_pid:client_pid
+             ~to_pid:server_pid "hello"))
+  in
+  Alcotest.(check string) "reply" "echo: hello" reply;
+  Alcotest.(check (option string)) "process name" (Some "echo")
+    (Vkernel.Kernel.process_name b ~pid:server_pid)
+
+let test_ipc_unknown_process () =
+  let sim, a, b = setup () in
+  let client_pid = Vkernel.Kernel.register_process a ~name:"client" in
+  let result =
+    run_in_proc sim (fun () ->
+        Vkernel.Kernel.send a ~dst:(Vkernel.Kernel.address b) ~from_pid:client_pid
+          ~to_pid:999 "anyone there?")
+  in
+  Alcotest.(check bool) "no such process" true (result = Error Vkernel.Kernel.No_such_process)
+
+let test_ipc_under_loss_exactly_once () =
+  let rng = Stats.Rng.create ~seed:61 in
+  let network_error = Netmodel.Error_model.iid rng ~loss:0.15 in
+  let sim = Sim.create () in
+  let wire =
+    Netmodel.Wire.create sim ~params:Netmodel.Params.vkernel ~network_error ()
+  in
+  let a = Vkernel.Kernel.create ~retransmit_ns:20_000_000 wire ~name:"a" in
+  let b = Vkernel.Kernel.create ~retransmit_ns:20_000_000 wire ~name:"b" in
+  let server_pid = Vkernel.Kernel.register_process b ~name:"counter" in
+  let client_pid = Vkernel.Kernel.register_process a ~name:"client" in
+  let handled = ref 0 in
+  Proc.spawn (Proc.env sim) (fun () ->
+      for _ = 1 to 5 do
+        let body, token = Vkernel.Kernel.receive b ~pid:server_pid in
+        incr handled;
+        Vkernel.Kernel.reply b token ("ok " ^ body)
+      done);
+  let replies =
+    run_in_proc sim (fun () ->
+        List.map
+          (fun i ->
+            check_ok
+              (Vkernel.Kernel.send a ~dst:(Vkernel.Kernel.address b) ~from_pid:client_pid
+                 ~to_pid:server_pid (string_of_int i)))
+          [ 1; 2; 3; 4; 5 ])
+  in
+  Alcotest.(check (list string)) "all replies, in order"
+    [ "ok 1"; "ok 2"; "ok 3"; "ok 4"; "ok 5" ]
+    replies;
+  (* Retransmissions under 15% loss must not create duplicate deliveries. *)
+  Alcotest.(check int) "handled exactly once each" 5 !handled
+
+let test_ipc_body_limit () =
+  let sim, a, b = setup () in
+  ignore sim;
+  let client_pid = Vkernel.Kernel.register_process a ~name:"client" in
+  Alcotest.check_raises "oversized body"
+    (Invalid_argument "Kernel.send: body exceeds 32 bytes") (fun () ->
+      ignore
+        (Vkernel.Kernel.send a ~dst:(Vkernel.Kernel.address b) ~from_pid:client_pid
+           ~to_pid:1 (String.make 33 'x')))
+
+let test_ipc_arranges_bulk_move () =
+  (* The paper's protocol sequence: short message names the segment, the
+     kernel then blasts the data. *)
+  let sim, client_kernel, server_kernel = setup () in
+  let server_pid = Vkernel.Kernel.register_process server_kernel ~name:"file-server" in
+  let client_pid = Vkernel.Kernel.register_process client_kernel ~name:"app" in
+  let file = pattern 20_000 in
+  let file_segment =
+    Vkernel.Kernel.register_segment server_kernel ~rights:Vkernel.Kernel.Read_only
+      (Bytes.of_string file)
+  in
+  (* Server: answer "open" requests with the segment id and size. *)
+  Proc.spawn (Proc.env sim) (fun () ->
+      let body, token = Vkernel.Kernel.receive server_kernel ~pid:server_pid in
+      Alcotest.(check string) "request" "open paper.txt" body;
+      Vkernel.Kernel.reply server_kernel token
+        (Printf.sprintf "%d %d" file_segment (String.length file)));
+  let fetched =
+    run_in_proc sim (fun () ->
+        let dst = Vkernel.Kernel.address server_kernel in
+        let reply =
+          check_ok
+            (Vkernel.Kernel.send client_kernel ~dst ~from_pid:client_pid ~to_pid:server_pid
+               "open paper.txt")
+        in
+        match String.split_on_char ' ' reply with
+        | [ segment; len ] ->
+            check_ok
+              (Vkernel.Kernel.move_from client_kernel ~dst
+                 ~segment:(int_of_string segment) ~offset:0 ~len:(int_of_string len))
+        | _ -> Alcotest.failf "bad reply %S" reply)
+  in
+  Alcotest.(check string) "file contents" file fetched
+
+let () =
+  Alcotest.run "vkernel"
+    [
+      ( "semantics",
+        [
+          Alcotest.test_case "move_to basic" `Quick test_move_to_basic;
+          Alcotest.test_case "move_from basic" `Quick test_move_from_basic;
+          Alcotest.test_case "rights enforced" `Quick test_rights_enforced;
+          Alcotest.test_case "bounds enforced" `Quick test_bounds_enforced;
+          Alcotest.test_case "sequential transfers" `Quick test_sequential_transfers_reuse_kernel;
+        ] );
+      ( "loss",
+        [
+          Alcotest.test_case "move_to under loss" `Quick test_move_to_under_loss;
+          Alcotest.test_case "move_from under loss" `Quick test_move_from_under_loss;
+        ] );
+      ( "system",
+        [
+          Alcotest.test_case "concurrent transfers demultiplexed" `Quick
+            test_concurrent_transfers_demultiplexed;
+          Alcotest.test_case "64 KiB MoveTo matches Table 3" `Quick
+            test_kernel_elapsed_matches_table3;
+          Alcotest.test_case "multi-blast transfer" `Quick test_multi_blast_kernel_transfer;
+        ] );
+      ( "ipc",
+        [
+          Alcotest.test_case "send/receive/reply roundtrip" `Quick test_ipc_roundtrip;
+          Alcotest.test_case "unknown process" `Quick test_ipc_unknown_process;
+          Alcotest.test_case "exactly-once under loss" `Quick test_ipc_under_loss_exactly_once;
+          Alcotest.test_case "body limit" `Quick test_ipc_body_limit;
+          Alcotest.test_case "message arranges bulk move" `Quick test_ipc_arranges_bulk_move;
+        ] );
+    ]
