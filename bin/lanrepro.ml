@@ -108,7 +108,8 @@ let simulate_cmd =
               Stats.Summary.add elapsed (Simnet.Driver.elapsed_ms result);
               Stats.Summary.add retransmissions
                 (float_of_int result.Simnet.Driver.sender.Protocol.Counters.retransmitted_data)
-          | Protocol.Action.Too_many_attempts -> incr failures
+          | Protocol.Action.Too_many_attempts | Protocol.Action.Peer_unreachable ->
+              incr failures
         done;
         { Simnet.Campaign.elapsed_ms = elapsed; failures = !failures; retransmissions }
       end
@@ -369,7 +370,8 @@ let send_cmd =
     Printf.printf "%s: %d bytes in %.1f ms (%d packets, %d retransmitted)\n"
       (match result.Sockets.Peer.outcome with
       | Protocol.Action.Success -> "sent"
-      | Protocol.Action.Too_many_attempts -> "FAILED")
+      | Protocol.Action.Too_many_attempts -> "FAILED"
+      | Protocol.Action.Peer_unreachable -> "FAILED (peer unreachable)")
       (String.length data)
       (float_of_int result.Sockets.Peer.elapsed_ns /. 1e6)
       result.Sockets.Peer.counters.Protocol.Counters.data_sent
@@ -433,7 +435,8 @@ let dump_cmd =
     Printf.printf "%s in %.1f ms (%d packets, %d retransmitted)\n"
       (match result.Sockets.Peer.outcome with
       | Protocol.Action.Success -> "dumped"
-      | Protocol.Action.Too_many_attempts -> "FAILED")
+      | Protocol.Action.Too_many_attempts -> "FAILED"
+      | Protocol.Action.Peer_unreachable -> "FAILED (peer unreachable)")
       (float_of_int result.Sockets.Peer.elapsed_ns /. 1e6)
       result.Sockets.Peer.counters.Protocol.Counters.data_sent
       result.Sockets.Peer.counters.Protocol.Counters.retransmitted_data
@@ -481,6 +484,112 @@ let restore_cmd =
     (Cmd.info "restore" ~doc:"Receive one dump and extract it")
     Term.(const run $ port $ root $ tx_loss $ seed)
 
+(* ------------------------------------------------------------------ chaos *)
+
+let chaos_cmd =
+  let run iters seed bytes scenario_names =
+    let scenarios =
+      match scenario_names with
+      | [] -> Faults.Scenario.all
+      | names ->
+          List.map
+            (fun name ->
+              match Faults.Scenario.find name with
+              | Some s -> s
+              | None ->
+                  Printf.eprintf "unknown scenario %S (known: %s)\n" name
+                    (String.concat ", " (List.map Faults.Scenario.name Faults.Scenario.all));
+                  exit 2)
+            names
+    in
+    let combined_stats (r : Sockets.Chaos.run) =
+      let s = Faults.Netem.create_stats () in
+      let add (x : Faults.Netem.stats) =
+        s.Faults.Netem.dropped <- s.Faults.Netem.dropped + x.Faults.Netem.dropped;
+        s.Faults.Netem.duplicated <- s.Faults.Netem.duplicated + x.Faults.Netem.duplicated;
+        s.Faults.Netem.reordered <- s.Faults.Netem.reordered + x.Faults.Netem.reordered;
+        s.Faults.Netem.corrupted <- s.Faults.Netem.corrupted + x.Faults.Netem.corrupted;
+        s.Faults.Netem.truncated <- s.Faults.Netem.truncated + x.Faults.Netem.truncated;
+        s.Faults.Netem.delayed <- s.Faults.Netem.delayed + x.Faults.Netem.delayed
+      in
+      add r.Sockets.Chaos.sender_faults;
+      add r.Sockets.Chaos.receiver_faults;
+      s
+    in
+    let detections (r : Sockets.Chaos.run) =
+      let of_counters (c : Protocol.Counters.t) =
+        (c.Protocol.Counters.corrupt_detected, c.Protocol.Counters.garbage_received)
+      in
+      let sc, sg =
+        match r.Sockets.Chaos.send with
+        | Some s -> of_counters s.Sockets.Peer.counters
+        | None -> (0, 0)
+      in
+      let rc, rg =
+        match r.Sockets.Chaos.received with
+        | Some rr -> of_counters rr.Sockets.Peer.receive_counters
+        | None -> (0, 0)
+      in
+      (sc + rc, sg + rg)
+    in
+    let rows = ref [] in
+    let progress (r : Sockets.Chaos.run) =
+      let label =
+        Printf.sprintf "%s/%s"
+          (Protocol.Suite.name r.Sockets.Chaos.suite)
+          (Faults.Scenario.name r.Sockets.Chaos.scenario)
+      in
+      let corrupt_detected, garbage_received = detections r in
+      rows :=
+        {
+          Report.Fault_table.label;
+          stats = combined_stats r;
+          corrupt_detected;
+          garbage_received;
+          outcome =
+            (if Sockets.Chaos.ok r then Sockets.Chaos.outcome_name r else "VIOLATION");
+        }
+        :: !rows;
+      Printf.printf "  %-28s %s\n%!" label (Sockets.Chaos.outcome_name r)
+    in
+    Printf.printf "chaos soak: %d suites x %d scenarios x %d iters, %d bytes each\n%!"
+      (List.length Sockets.Chaos.all_suites)
+      (List.length scenarios) iters bytes;
+    let runs = Sockets.Chaos.run_campaign ~bytes ~scenarios ~iters ~seed ~progress () in
+    print_newline ();
+    print_string (Report.Fault_table.render (List.rev !rows));
+    let violations = Sockets.Chaos.violations runs in
+    let completed = Sockets.Chaos.completed runs in
+    Printf.printf "\n%d runs: %d completed, %d clean failures, %d violations\n"
+      (List.length runs) completed
+      (List.length runs - completed - List.length violations)
+      (List.length violations);
+    List.iter
+      (fun (r : Sockets.Chaos.run) ->
+        Printf.printf "VIOLATION %s/%s (seed %d): %s\n"
+          (Protocol.Suite.name r.Sockets.Chaos.suite)
+          (Faults.Scenario.name r.Sockets.Chaos.scenario)
+          r.Sockets.Chaos.seed
+          (Option.value r.Sockets.Chaos.violation ~default:"?"))
+      violations;
+    if violations <> [] then exit 1
+  in
+  let iters =
+    Arg.(value & opt int 3 & info [ "iters" ] ~docv:"N" ~doc:"Iterations per suite x scenario cell.")
+  in
+  let bytes =
+    Arg.(value & opt int 6000 & info [ "size" ] ~docv:"BYTES" ~doc:"Transfer size per run.")
+  in
+  let scenarios =
+    Arg.(value & opt_all string [] & info [ "scenario" ] ~docv:"NAME"
+         ~doc:"Fault scenario to run (repeatable; default: all of clean, lossy2, bursty, corrupting, chaos).")
+  in
+  Cmd.v
+    (Cmd.info "chaos"
+       ~doc:"Chaos soak over real UDP: every protocol suite against adversarial fault scenarios; \
+             fails if any transfer hangs, exceeds its attempt bound, or delivers corrupt data")
+    Term.(const run $ iters $ seed $ bytes $ scenarios)
+
 let () =
   let default = Term.(ret (const (`Help (`Pager, None)))) in
   exit
@@ -500,4 +609,5 @@ let () =
             recv_cmd;
             dump_cmd;
             restore_cmd;
+            chaos_cmd;
           ]))

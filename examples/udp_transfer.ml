@@ -44,7 +44,8 @@ let () =
   Printf.printf "outcome: %s in %.1f ms\n"
     (match result.Sockets.Peer.outcome with
     | Protocol.Action.Success -> "success"
-    | Protocol.Action.Too_many_attempts -> "gave up")
+    | Protocol.Action.Too_many_attempts -> "gave up"
+    | Protocol.Action.Peer_unreachable -> "peer unreachable")
     (float_of_int result.Sockets.Peer.elapsed_ns /. 1e6);
   Printf.printf "data packets sent: %d (%d were retransmissions)\n"
     result.Sockets.Peer.counters.Protocol.Counters.data_sent

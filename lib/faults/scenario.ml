@@ -1,0 +1,103 @@
+type injector =
+  | Drop_iid of float
+  | Drop_burst of { mean_loss : float; burst_length : float }
+  | Duplicate of float
+  | Reorder of { p : float; gap : int }
+  | Corrupt of { p : float; max_bits : int }
+  | Truncate of float
+  | Delay of { p : float; min_ns : int; max_ns : int }
+
+type t = { name : string; injectors : injector list }
+
+let check_prob what p =
+  if not (p >= 0.0 && p <= 1.0) then
+    invalid_arg (Printf.sprintf "Scenario: %s probability %g outside [0,1]" what p)
+
+let validate_injector = function
+  | Drop_iid p -> check_prob "drop" p
+  | Drop_burst { mean_loss; burst_length } ->
+      if not (mean_loss >= 0.0 && mean_loss < 1.0) then
+        invalid_arg "Scenario: burst mean_loss outside [0,1)";
+      if not (burst_length >= 1.0) then invalid_arg "Scenario: burst_length < 1"
+  | Duplicate p -> check_prob "duplicate" p
+  | Reorder { p; gap } ->
+      check_prob "reorder" p;
+      if gap < 1 then invalid_arg "Scenario: reorder gap < 1"
+  | Corrupt { p; max_bits } ->
+      check_prob "corrupt" p;
+      if max_bits < 1 then invalid_arg "Scenario: corrupt max_bits < 1"
+  | Truncate p -> check_prob "truncate" p
+  | Delay { p; min_ns; max_ns } ->
+      check_prob "delay" p;
+      if min_ns < 0 || max_ns < min_ns then invalid_arg "Scenario: delay window empty";
+      if max_ns > 1_000_000_000 then invalid_arg "Scenario: delay beyond 1s"
+
+let make ~name injectors =
+  List.iter validate_injector injectors;
+  { name; injectors }
+
+let name t = t.name
+let injectors t = t.injectors
+let is_clean t = t.injectors = []
+
+let injector_name = function
+  | Drop_iid _ -> "drop"
+  | Drop_burst _ -> "drop-burst"
+  | Duplicate _ -> "duplicate"
+  | Reorder _ -> "reorder"
+  | Corrupt _ -> "corrupt"
+  | Truncate _ -> "truncate"
+  | Delay _ -> "delay"
+
+let pp_injector ppf = function
+  | Drop_iid p -> Format.fprintf ppf "drop(p=%g)" p
+  | Drop_burst { mean_loss; burst_length } ->
+      Format.fprintf ppf "drop-burst(loss=%g, burst=%g)" mean_loss burst_length
+  | Duplicate p -> Format.fprintf ppf "duplicate(p=%g)" p
+  | Reorder { p; gap } -> Format.fprintf ppf "reorder(p=%g, gap=%d)" p gap
+  | Corrupt { p; max_bits } -> Format.fprintf ppf "corrupt(p=%g, bits<=%d)" p max_bits
+  | Truncate p -> Format.fprintf ppf "truncate(p=%g)" p
+  | Delay { p; min_ns; max_ns } ->
+      Format.fprintf ppf "delay(p=%g, %.1f..%.1f ms)" p
+        (float_of_int min_ns /. 1e6)
+        (float_of_int max_ns /. 1e6)
+
+let pp ppf t =
+  if is_clean t then Format.fprintf ppf "%s: (no faults)" t.name
+  else
+    Format.fprintf ppf "%s: %a" t.name
+      (Format.pp_print_list ~pp_sep:(fun ppf () -> Format.pp_print_string ppf " + ") pp_injector)
+      t.injectors
+
+(* The named scenarios. Corruption is restricted to single-bit flips on
+   purpose: a single flipped bit is always caught — in the header by the
+   16-bit internet checksum (a one-word change of +/-2^k never preserves the
+   one's-complement sum) and in the payload by the CRC32 — so the chaos
+   invariant "never deliver corrupt data" is provable rather than a matter of
+   seed luck. Multi-bit flips can defeat a 16-bit internet checksum (two
+   flips in the same bit column of different words cancel); experiments that
+   want to probe that real limitation can build their own scenario with
+   [Corrupt { max_bits > 1 }]. *)
+
+let clean = make ~name:"clean" []
+let lossy2 = make ~name:"lossy2" [ Drop_iid 0.02 ]
+
+let bursty =
+  make ~name:"bursty" [ Drop_burst { mean_loss = 0.05; burst_length = 4.0 } ]
+
+let corrupting =
+  make ~name:"corrupting" [ Corrupt { p = 0.05; max_bits = 1 }; Truncate 0.03 ]
+
+let chaos =
+  make ~name:"chaos"
+    [
+      Drop_burst { mean_loss = 0.03; burst_length = 3.0 };
+      Duplicate 0.03;
+      Reorder { p = 0.05; gap = 2 };
+      Corrupt { p = 0.03; max_bits = 1 };
+      Truncate 0.02;
+      Delay { p = 0.1; min_ns = 100_000; max_ns = 2_000_000 };
+    ]
+
+let all = [ clean; lossy2; bursty; corrupting; chaos ]
+let find name = List.find_opt (fun s -> String.equal s.name name) all

@@ -1,0 +1,53 @@
+(** Composable fault-injection scenarios.
+
+    A scenario is an ordered pipeline of injectors applied to every outgoing
+    datagram. The same scenario value drives both transports — the simulated
+    wire ({!Simnet}) and the real UDP socket path ({!Sockets}) — so a
+    protocol's behaviour under a named adversary is directly comparable
+    between them. *)
+
+type injector =
+  | Drop_iid of float  (** drop each datagram independently with probability p *)
+  | Drop_burst of { mean_loss : float; burst_length : float }
+      (** Gilbert-Elliott bursts at the given stationary loss rate
+          (reuses {!Netmodel.Error_model.matched_gilbert_elliott}) *)
+  | Duplicate of float  (** emit a second copy with probability p *)
+  | Reorder of { p : float; gap : int }
+      (** hold the datagram back and release it after [gap] later sends *)
+  | Corrupt of { p : float; max_bits : int }
+      (** flip 1..max_bits random bits; the packet codec's header checksum and
+          payload CRC are expected to catch it *)
+  | Truncate of float  (** cut the datagram to a random shorter length *)
+  | Delay of { p : float; min_ns : int; max_ns : int }
+      (** add uniform extra latency within [min_ns, max_ns] *)
+
+type t
+
+val make : name:string -> injector list -> t
+(** Validates every injector (probabilities in [0,1], positive gaps, delay
+    windows under a second) and raises [Invalid_argument] otherwise. *)
+
+val name : t -> string
+val injectors : t -> injector list
+val is_clean : t -> bool
+
+val injector_name : injector -> string
+val pp_injector : Format.formatter -> injector -> unit
+val pp : Format.formatter -> t -> unit
+
+(** {2 Named registry}
+
+    [clean] injects nothing; [lossy2] drops 2% iid; [bursty] drops 5% in
+    bursts of mean length 4; [corrupting] flips single bits and truncates;
+    [chaos] composes every injector at once. Single-bit corruption is
+    deliberate: it is always detected by the codec's checksums, which makes
+    the soak invariant (never deliver corrupt data) hold by construction. *)
+
+val clean : t
+val lossy2 : t
+val bursty : t
+val corrupting : t
+val chaos : t
+
+val all : t list
+val find : string -> t option

@@ -78,7 +78,7 @@ let one_transfer ?(max_attempts = 10_000) ~drops ~timing ~suite ~packets () =
   done;
   match !outcome with
   | Some Protocol.Action.Success -> !elapsed
-  | Some Protocol.Action.Too_many_attempts | None ->
+  | Some (Protocol.Action.Too_many_attempts | Protocol.Action.Peer_unreachable) | None ->
       failwith "Montecarlo: transfer gave up (loss rate too high)"
 
 let iid rng ~loss () = loss > 0.0 && Stats.Rng.bernoulli rng ~p:loss

@@ -41,7 +41,10 @@ let encode (m : Message.t) =
 let u32 buf pos = Int32.to_int (Bytes.get_int32_be buf pos) land 0xFFFFFFFF
 
 let decode_sub buf ~pos ~len =
-  if len < header_bytes then Error Too_short
+  (* Total function over arbitrary byte ranges: a hostile or truncated
+     datagram must yield [Error], never an exception. *)
+  if pos < 0 || len < 0 || pos > Bytes.length buf - len then Error Too_short
+  else if len < header_bytes then Error Too_short
   else begin
     let view = Bytes.sub buf pos len in
     if Bytes.get_uint16_be view 0 <> magic then Error Bad_magic

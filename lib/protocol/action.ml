@@ -1,4 +1,4 @@
-type outcome = Success | Too_many_attempts
+type outcome = Success | Too_many_attempts | Peer_unreachable
 
 type t =
   | Send of Packet.Message.t
@@ -12,6 +12,7 @@ type event = Message of Packet.Message.t | Timeout
 let pp_outcome ppf = function
   | Success -> Format.pp_print_string ppf "success"
   | Too_many_attempts -> Format.pp_print_string ppf "too many attempts"
+  | Peer_unreachable -> Format.pp_print_string ppf "peer unreachable"
 
 let pp ppf = function
   | Send m -> Format.fprintf ppf "send %a" Packet.Message.pp m

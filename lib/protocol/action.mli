@@ -8,6 +8,11 @@
 type outcome =
   | Success
   | Too_many_attempts  (** gave up after [Config.max_attempts] rounds *)
+  | Peer_unreachable
+      (** clean abort by a transport watchdog: the far end stopped talking
+          (no datagram for the idle window, or the opening handshake never
+          completed). Machines never emit this themselves — it is the
+          transport's way of bounding a transfer whose peer died. *)
 
 type t =
   | Send of Packet.Message.t

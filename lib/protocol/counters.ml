@@ -7,6 +7,9 @@ type t = {
   mutable timeouts : int;
   mutable duplicates_received : int;
   mutable delivered : int;
+  mutable faults_injected : int;
+  mutable corrupt_detected : int;
+  mutable garbage_received : int;
 }
 
 let create () =
@@ -19,10 +22,16 @@ let create () =
     timeouts = 0;
     duplicates_received = 0;
     delivered = 0;
+    faults_injected = 0;
+    corrupt_detected = 0;
+    garbage_received = 0;
   }
 
 let pp ppf t =
   Format.fprintf ppf
     "data=%d (retx %d) acks=%d nacks=%d rounds=%d timeouts=%d dups=%d delivered=%d"
     t.data_sent t.retransmitted_data t.acks_sent t.nacks_sent t.rounds t.timeouts
-    t.duplicates_received t.delivered
+    t.duplicates_received t.delivered;
+  if t.faults_injected + t.corrupt_detected + t.garbage_received > 0 then
+    Format.fprintf ppf " faults=%d corrupt-rejects=%d garbage=%d" t.faults_injected
+      t.corrupt_detected t.garbage_received

@@ -10,6 +10,14 @@ type t = {
   mutable timeouts : int;
   mutable duplicates_received : int;
   mutable delivered : int;  (** distinct data packets delivered (receiver side) *)
+  mutable faults_injected : int;
+      (** datagram fault events injected by an attached fault layer (Netem) *)
+  mutable corrupt_detected : int;
+      (** incoming datagrams rejected by the codec's header checksum or
+          payload CRC — corruption caught before it reached the machine *)
+  mutable garbage_received : int;
+      (** incoming datagrams undecodable for any other reason (truncated,
+          wrong magic, alien traffic) *)
 }
 
 val create : unit -> t

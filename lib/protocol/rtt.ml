@@ -30,13 +30,24 @@ let observe t ~sample_ns =
   t.samples <- t.samples + 1
 
 let timeout_ns t =
+  (* Clamp to the cap BEFORE applying the backoff multiplier: a large srtt
+     (e.g. a wall clock that stepped) times a 1024x backoff overflows the
+     native int if multiplied first, and the old post-multiply clamp then
+     compared against a negative number. *)
+  let cap =
+    if t.initial_ns > max_int / 100 then max_int else t.initial_ns * 100
+  in
   let base =
     match t.srtt with
     | None -> t.initial_ns
-    | Some srtt -> int_of_float (srtt +. (t.k *. t.rttvar))
+    | Some srtt ->
+        let raw = srtt +. (t.k *. t.rttvar) in
+        if raw >= float_of_int cap then cap else max 1 (int_of_float raw)
   in
-  let backed_off = base * t.backoff_factor in
-  max min_timeout_ns (min backed_off (t.initial_ns * 100))
+  let backed_off =
+    if base >= cap / t.backoff_factor then cap else base * t.backoff_factor
+  in
+  max min_timeout_ns (min backed_off cap)
 
 let backoff t = if t.backoff_factor < 1024 then t.backoff_factor <- t.backoff_factor * 2
 let samples t = t.samples

@@ -1,0 +1,44 @@
+type row = {
+  label : string;
+  stats : Faults.Netem.stats;
+  corrupt_detected : int;
+  garbage_received : int;
+  outcome : string;
+}
+
+let of_counters ~label ~stats ~outcome (counters : Protocol.Counters.t) =
+  {
+    label;
+    stats;
+    corrupt_detected = counters.Protocol.Counters.corrupt_detected;
+    garbage_received = counters.Protocol.Counters.garbage_received;
+    outcome;
+  }
+
+let render rows =
+  let d = string_of_int in
+  Table.render
+    ~header:
+      [
+        "run"; "drop"; "dup"; "reord"; "corrupt"; "trunc"; "delay"; "injected";
+        "rejects"; "garbage"; "outcome";
+      ]
+    ~rows:
+      (List.map
+         (fun r ->
+           let s = r.stats in
+           [
+             r.label;
+             d s.Faults.Netem.dropped;
+             d s.Faults.Netem.duplicated;
+             d s.Faults.Netem.reordered;
+             d s.Faults.Netem.corrupted;
+             d s.Faults.Netem.truncated;
+             d s.Faults.Netem.delayed;
+             d (Faults.Netem.total s);
+             d r.corrupt_detected;
+             d r.garbage_received;
+             r.outcome;
+           ])
+         rows)
+    ()

@@ -1,0 +1,22 @@
+(** Renders a fault-injection campaign as an aligned table: one row per run,
+    the injected fault counts by kind alongside the receiving side's
+    detection counters (checksum rejects and unrecognizable garbage) and the
+    run's outcome. Used by the [chaos] CLI subcommand and ad-hoc reports. *)
+
+type row = {
+  label : string;  (** e.g. ["blast-gbn/chaos"] *)
+  stats : Faults.Netem.stats;  (** what the injector did *)
+  corrupt_detected : int;  (** datagrams rejected for a bad checksum *)
+  garbage_received : int;  (** undecodable for any other reason *)
+  outcome : string;
+}
+
+val of_counters :
+  label:string ->
+  stats:Faults.Netem.stats ->
+  outcome:string ->
+  Protocol.Counters.t ->
+  row
+(** Pulls the detection fields out of a transfer's counters. *)
+
+val render : row list -> string

@@ -40,6 +40,7 @@ let run spec =
         Stats.Summary.add elapsed (Driver.elapsed_ms result);
         Stats.Summary.add retransmissions
           (float_of_int result.Driver.sender.Protocol.Counters.retransmitted_data)
-    | Protocol.Action.Too_many_attempts -> incr failures
+    | Protocol.Action.Too_many_attempts | Protocol.Action.Peer_unreachable ->
+        incr failures
   done;
   { elapsed_ms = elapsed; failures = !failures; retransmissions }

@@ -16,11 +16,12 @@ let frame_bytes = Endpoint.frame_bytes
 
 (* One protocol endpoint plus a receive pump copying frames out of the
    interface and feeding them to the machine. *)
-let endpoint ?rtt ?pacing ~sim ~params ~station ~peer ~(machine : Protocol.Machine.t)
-    ~(on_deliver : int -> string -> unit) ~(on_complete : Protocol.Action.outcome -> unit) () =
+let endpoint ?faults ?on_undecodable ?rtt ?pacing ~sim ~params ~station ~peer
+    ~(machine : Protocol.Machine.t) ~(on_deliver : int -> string -> unit)
+    ~(on_complete : Protocol.Action.outcome -> unit) () =
   let endpoint =
-    Endpoint.create ?rtt ?pacing ~sim ~params ~station ~peer ~machine ~deliver:on_deliver
-      ~on_complete ()
+    Endpoint.create ?faults ?on_undecodable ?rtt ?pacing ~sim ~params ~station ~peer
+      ~machine ~deliver:on_deliver ~on_complete ()
   in
   Proc.spawn (Proc.env sim) ~name:(Netmodel.Station.name station ^ "-rx") (fun () ->
       while true do
@@ -29,8 +30,8 @@ let endpoint ?rtt ?pacing ~sim ~params ~station ~peer ~(machine : Protocol.Machi
       done)
 
 let run ?(params = Netmodel.Params.standalone) ?network_error ?interface_error ?trace
-    ?arbiter ?(background = fun _ -> ()) ?rtt ?pacing ?(payload = fun _ -> "") ~suite
-    ~(config : Protocol.Config.t) () =
+    ?arbiter ?(background = fun _ -> ()) ?rtt ?pacing ?sender_faults ?receiver_faults
+    ?(payload = fun _ -> "") ~suite ~(config : Protocol.Config.t) () =
   let sim = Sim.create () in
   let wire =
     Netmodel.Wire.create sim ~params ?network_error ?interface_error ?trace ?arbiter ()
@@ -40,11 +41,26 @@ let run ?(params = Netmodel.Params.standalone) ?network_error ?interface_error ?
   let receiver_station = Netmodel.Station.create wire ~name:"receiver" in
   let sender_counters = Protocol.Counters.create () in
   let receiver_counters = Protocol.Counters.create () in
+  (* Each side's injection count lands in its own counters; an emission the
+     codec rejects would have been discarded by the *other* side's interface,
+     so the detection is charged there. *)
+  Option.iter (fun n -> Faults.Netem.attach_counters n sender_counters) sender_faults;
+  Option.iter (fun n -> Faults.Netem.attach_counters n receiver_counters) receiver_faults;
+  let reject (counters : Protocol.Counters.t) (err : Packet.Codec.error) =
+    match err with
+    | Packet.Codec.Bad_header_checksum | Packet.Codec.Bad_payload_checksum ->
+        counters.Protocol.Counters.corrupt_detected <-
+          counters.Protocol.Counters.corrupt_detected + 1
+    | _ ->
+        counters.Protocol.Counters.garbage_received <-
+          counters.Protocol.Counters.garbage_received + 1
+  in
   let sender_machine = Protocol.Suite.sender suite ~counters:sender_counters config ~payload in
   let receiver_machine = Protocol.Suite.receiver suite ~counters:receiver_counters config in
   let delivered : (int, string) Hashtbl.t = Hashtbl.create 64 in
   let completion = ref None in
-  endpoint ~sim ~params ~station:receiver_station
+  endpoint ?faults:receiver_faults ~on_undecodable:(reject sender_counters) ~sim ~params
+    ~station:receiver_station
     ~peer:(Netmodel.Station.address sender_station)
     ~machine:receiver_machine
     ~on_deliver:(fun seq payload ->
@@ -52,7 +68,8 @@ let run ?(params = Netmodel.Params.standalone) ?network_error ?interface_error ?
       Hashtbl.add delivered seq payload)
     ~on_complete:(fun _ -> ())
     ();
-  endpoint ?rtt ?pacing ~sim ~params ~station:sender_station
+  endpoint ?faults:sender_faults ~on_undecodable:(reject receiver_counters) ?rtt ?pacing
+    ~sim ~params ~station:sender_station
     ~peer:(Netmodel.Station.address receiver_station)
     ~machine:sender_machine
     ~on_deliver:(fun _ _ -> ())

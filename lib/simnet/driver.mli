@@ -41,6 +41,8 @@ val run :
   ?background:(Packet.Message.t Netmodel.Wire.t -> unit) ->
   ?rtt:Protocol.Rtt.t ->
   ?pacing:Eventsim.Time.span ->
+  ?sender_faults:Faults.Netem.t ->
+  ?receiver_faults:Faults.Netem.t ->
   ?payload:(int -> string) ->
   suite:Protocol.Suite.t ->
   config:Protocol.Config.t ->
@@ -52,6 +54,13 @@ val run :
     retransmission timeout instead of the fixed [Config.retransmit_ns];
     [pacing] inserts a fixed gap after each data packet. The
     run stops at the instant the sender completes, so immortal background
-    processes are fine. *)
+    processes are fine.
+
+    [sender_faults] / [receiver_faults] put a {!Faults.Netem} pipeline on
+    that side's outgoing messages — the same scenarios the UDP chaos soak
+    uses. Each Netem's injection count is attached to its side's counters;
+    emissions the codec rejects are charged to the {e opposite} side's
+    [corrupt_detected]/[garbage_received] (the interface that would have
+    discarded the frame). *)
 
 val elapsed_ms : result -> float

@@ -12,8 +12,8 @@ let frame_bytes (params : Netmodel.Params.t) (m : Packet.Message.t) =
   | Packet.Kind.Nack ->
       params.Netmodel.Params.ack_packet_bytes + String.length m.Packet.Message.payload
 
-let create ?rtt ?(pacing = Time.span_zero) ~sim ~params ~station ~peer ~machine ~deliver
-    ~on_complete () =
+let create ?faults ?on_undecodable ?rtt ?(pacing = Time.span_zero) ~sim ~params ~station
+    ~peer ~machine ~deliver ~on_complete () =
   let events : Protocol.Action.event Mailbox.t = Mailbox.create ~capacity:max_int in
   let timer =
     Timer.create sim ~on_fire:(fun () -> ignore (Mailbox.try_put events Protocol.Action.Timeout))
@@ -23,10 +23,29 @@ let create ?rtt ?(pacing = Time.span_zero) ~sim ~params ~station ~peer ~machine 
      timeout intervened (Karn's rule). *)
   let last_send = ref None in
   let timed_out_since_send = ref false in
+  let put_on_wire m = Netmodel.Station.send station ~dst:peer ~bytes:(frame_bytes params m) m in
+  (* With a fault pipeline, one protocol [Send] becomes zero or more wire
+     emissions. Station.send blocks (buffer reservation, copy cost), so
+     delayed emissions get their own short-lived process rather than a raw
+     simulator callback. *)
+  let transmit m =
+    match faults with
+    | None -> put_on_wire m
+    | Some netem ->
+        Faults.Netem.tx_message ?on_undecodable netem m
+        |> List.iter (fun (delay_ns, emission) ->
+               if delay_ns = 0 then put_on_wire emission
+               else
+                 Proc.spawn (Proc.env sim)
+                   ~name:(Netmodel.Station.name station ^ "-delayed-emission")
+                   (fun () ->
+                     Proc.sleep (Time.span_ns delay_ns);
+                     put_on_wire emission))
+  in
   let execute action =
     match action with
     | Protocol.Action.Send m ->
-        Netmodel.Station.send station ~dst:peer ~bytes:(frame_bytes params m) m;
+        transmit m;
         (* Sender-side pacing: breathe between data packets so a slower
            receiver is never overrun (flow control by rate). *)
         if

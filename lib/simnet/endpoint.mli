@@ -13,6 +13,8 @@ val frame_bytes : Netmodel.Params.t -> Packet.Message.t -> int
     NACK also carries its bitmap). *)
 
 val create :
+  ?faults:Faults.Netem.t ->
+  ?on_undecodable:(Packet.Codec.error -> unit) ->
   ?rtt:Protocol.Rtt.t ->
   ?pacing:Eventsim.Time.span ->
   sim:Eventsim.Sim.t ->
@@ -35,7 +37,14 @@ val create :
     estimator's current timeout; round-trip samples are fed from the gap
     between each transmission and the next incoming message (skipping
     exchanges that suffered a timeout, per Karn's rule), and each timeout
-    doubles the estimate until the next clean sample. *)
+    doubles the estimate until the next clean sample.
+
+    With [faults], every outgoing message runs through the Netem pipeline:
+    one [Send] becomes zero or more wire emissions (drops, duplicates,
+    reordered or delayed copies, corruptions). Emissions the codec can no
+    longer decode are discarded — the wire carries typed messages — and
+    reported through [on_undecodable], standing in for the receiving
+    interface rejecting a frame with a bad checksum. *)
 
 val inject : t -> Protocol.Action.event -> unit
 (** Queues an event for the machine (safe from any process or callback). *)

@@ -1,0 +1,68 @@
+(** Chaos soak campaign over real UDP loopback.
+
+    Each run pits one protocol suite against one {!Faults.Scenario.t}: a
+    receiver thread behind its own Netem serves a single transfer while the
+    sender pushes seeded random data through another Netem. Both endpoints
+    are watchdog-bounded, so a run always terminates. The run then checks the
+    robustness invariant this PR exists to enforce:
+
+    - a successful send implies the receiver verified the whole-segment CRC
+      and the delivered bytes equal the sent bytes;
+    - the receiver never completes with a CRC [Mismatch];
+    - a failed send is clean ([Too_many_attempts] or [Peer_unreachable])
+      within the attempt bound — never a hang, never an exception. *)
+
+type run = {
+  suite : Protocol.Suite.t;
+  scenario : Faults.Scenario.t;
+  seed : int;
+  bytes : int;  (** transfer size *)
+  send : Peer.send_result option;  (** [None]: the sender raised *)
+  received : Peer.receive_result option;  (** [None]: the receiver raised *)
+  sender_faults : Faults.Netem.stats;
+  receiver_faults : Faults.Netem.stats;
+  violation : string option;  (** invariant breach, [None] when the run is clean *)
+}
+
+val ok : run -> bool
+(** [violation = None]. *)
+
+val outcome_name : run -> string
+(** Short label for the sender outcome ("success", "too many attempts", ...). *)
+
+val run_one :
+  ?packet_bytes:int ->
+  ?retransmit_ns:int ->
+  ?max_attempts:int ->
+  ?bytes:int ->
+  seed:int ->
+  suite:Protocol.Suite.t ->
+  scenario:Faults.Scenario.t ->
+  unit ->
+  run
+(** One transfer, fully deterministic in [seed] modulo scheduling noise.
+    Defaults are sized for a fast soak: 6000 bytes in 512-byte packets, 8 ms
+    retransmission interval, 30 attempts. *)
+
+val all_suites : Protocol.Suite.t list
+(** The seven suite configurations the soak exercises: stop-and-wait,
+    unbounded sliding window, the four blast strategies, and a multi-blast. *)
+
+val run_campaign :
+  ?packet_bytes:int ->
+  ?retransmit_ns:int ->
+  ?max_attempts:int ->
+  ?bytes:int ->
+  ?suites:Protocol.Suite.t list ->
+  ?scenarios:Faults.Scenario.t list ->
+  ?iters:int ->
+  ?seed:int ->
+  ?progress:(run -> unit) ->
+  unit ->
+  run list
+(** The full cross product [suites x scenarios x iters], derived seeds per
+    run. [progress] fires after each run completes. *)
+
+val violations : run list -> run list
+val completed : run list -> int
+(** Number of runs whose sender reached [Success]. *)

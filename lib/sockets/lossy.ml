@@ -1,27 +1,30 @@
-type t = {
-  rng : Stats.Rng.t option;
-  tx_loss : float;
-  rx_loss : float;
-  mutable dropped : int;
-}
+(* Compatibility wrapper: iid endpoint loss, now implemented as two
+   drop-only Netem instances (one per direction). Kept because a plain
+   keep/drop coin is all the simpler call sites (CLI --inject-loss, the
+   archive tests) need; anything richer should use Faults.Netem directly. *)
 
-let perfect = { rng = None; tx_loss = 0.0; rx_loss = 0.0; dropped = 0 }
+type t = { tx : Faults.Netem.t option; rx : Faults.Netem.t option }
+
+let perfect = { tx = None; rx = None }
+
+let direction ~seed loss =
+  if loss = 0.0 then None
+  else
+    Some
+      (Faults.Netem.create ~seed
+         (Faults.Scenario.make ~name:"lossy" [ Faults.Scenario.Drop_iid loss ]))
 
 let create ~seed ~tx_loss ~rx_loss =
   if not (tx_loss >= 0.0 && tx_loss <= 1.0 && rx_loss >= 0.0 && rx_loss <= 1.0) then
     invalid_arg "Lossy.create: loss outside [0,1]";
-  { rng = Some (Stats.Rng.create ~seed); tx_loss; rx_loss; dropped = 0 }
+  { tx = direction ~seed tx_loss; rx = direction ~seed:(seed + 1) rx_loss }
 
-let sample t loss =
-  match t.rng with
-  | None -> true
-  | Some rng ->
-      if loss > 0.0 && Stats.Rng.bernoulli rng ~p:loss then begin
-        t.dropped <- t.dropped + 1;
-        false
-      end
-      else true
+let pass side = match side with None -> true | Some netem -> not (Faults.Netem.drops netem)
+let pass_tx t = pass t.tx
+let pass_rx t = pass t.rx
 
-let pass_tx t = sample t t.tx_loss
-let pass_rx t = sample t t.rx_loss
-let dropped t = t.dropped
+let dropped_side = function
+  | None -> 0
+  | Some netem -> (Faults.Netem.stats netem).Faults.Netem.dropped
+
+let dropped t = dropped_side t.tx + dropped_side t.rx

@@ -3,7 +3,11 @@
     The loopback interface never loses datagrams, so the error experiments
     inject loss at the endpoints instead: a message can be dropped on the way
     out ([tx_loss]) or on the way in ([rx_loss]), each sampled iid from a
-    seeded generator. *)
+    seeded generator.
+
+    This is a thin compatibility wrapper over {!Faults.Netem} restricted to
+    its drop injector — use Netem directly for duplication, reordering,
+    corruption, truncation, or delay. *)
 
 type t
 

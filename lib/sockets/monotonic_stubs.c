@@ -1,0 +1,17 @@
+/* CLOCK_MONOTONIC in integer nanoseconds.
+
+   Unix.gettimeofday is a wall clock: NTP steps and manual adjustments can
+   move it backwards, which poisons RTT samples and deadline arithmetic in
+   the peer loop. The OCaml standard library exposes no monotonic clock, so
+   this one-function stub does. */
+
+#include <caml/mlvalues.h>
+#include <caml/alloc.h>
+#include <time.h>
+
+CAMLprim value lanrepro_monotonic_ns(value unit)
+{
+  struct timespec ts;
+  clock_gettime(CLOCK_MONOTONIC, &ts);
+  return caml_copy_int64((int64_t)ts.tv_sec * 1000000000LL + (int64_t)ts.tv_nsec);
+}

@@ -17,20 +17,56 @@ type receive_result = {
   integrity : integrity;
       (** whole-segment CRC check: [Verified]/[Mismatch] when the sender
           carried one in the REQ, [Not_carried] otherwise *)
+  receive_outcome : Protocol.Action.outcome;
+      (** [Success] for a completed transfer; [Peer_unreachable] when the
+          idle watchdog aborted because the sender went silent *)
 }
 
-(* Runs a machine over the socket until it completes. [extra] intercepts
-   messages the machine itself does not understand (duplicate REQs on the
-   receiver side). *)
-let run_machine ?(lossy = Lossy.perfect) ?(extra = fun _ -> ()) ?rtt ?(pacing_ns = 0) ~socket
-    ~peer ~transfer_id ~(machine : Protocol.Machine.t) ~deliver () =
+(* One outgoing message through the loss coin and the fault pipeline. Delayed
+   emissions are realized inline (the datagram, and everything behind it, goes
+   out late) — head-of-line delay rather than per-datagram jitter, which is
+   what a slow link does to a single UDP flow anyway. Scenario validation caps
+   delays at one second so a faulted sender can never stall unboundedly. *)
+let transmit ?faults ~lossy ~socket ~peer message =
+  if Lossy.pass_tx lossy then begin
+    match faults with
+    | None -> Udp.send_message socket peer message
+    | Some netem ->
+        List.iter
+          (fun { Faults.Netem.delay_ns; data } ->
+            if delay_ns > 0 then Unix.sleepf (float_of_int delay_ns /. 1e9);
+            Udp.send_bytes socket peer data)
+          (Faults.Netem.tx_bytes netem (Packet.Codec.encode message))
+  end
+
+let count_garbage (counters : Protocol.Counters.t) reason =
+  match reason with
+  | Packet.Codec.Bad_header_checksum | Packet.Codec.Bad_payload_checksum ->
+      counters.Protocol.Counters.corrupt_detected <-
+        counters.Protocol.Counters.corrupt_detected + 1
+  | _ ->
+      counters.Protocol.Counters.garbage_received <-
+        counters.Protocol.Counters.garbage_received + 1
+
+(* Runs a machine over the socket until it completes or the idle watchdog
+   trips. [extra] intercepts messages the machine itself does not understand
+   (duplicate REQs on the receiver side). [idle_timeout_ns] bounds the wait
+   for the next datagram independently of the protocol timer: receiver
+   machines never arm a timer, so without the watchdog a sender that dies
+   mid-transfer would block this loop forever. *)
+let run_machine ?faults ?(lossy = Lossy.perfect) ?(extra = fun _ -> ()) ?rtt ?(pacing_ns = 0)
+    ?idle_timeout_ns ~socket ~peer ~transfer_id ~(machine : Protocol.Machine.t) ~deliver () =
   let deadline = ref None in
+  let idle_deadline = ref (Option.map (fun ns -> Udp.now_ns () + ns) idle_timeout_ns) in
+  let reset_idle () =
+    idle_deadline := Option.map (fun ns -> Udp.now_ns () + ns) idle_timeout_ns
+  in
   let last_send = ref None in
   let timed_out_since_send = ref false in
   let execute action =
     match action with
     | Protocol.Action.Send m ->
-        if Lossy.pass_tx lossy then Udp.send_message socket peer m;
+        transmit ?faults ~lossy ~socket ~peer m;
         (* Pacing: an unthrottled blast overruns the receiver's socket
            buffer exactly as the paper's 3-Com overran at full speed; a
            small inter-packet gap avoids the drops instead of repairing
@@ -64,62 +100,99 @@ let run_machine ?(lossy = Lossy.perfect) ?(extra = fun _ -> ()) ?rtt ?(pacing_ns
     List.iter execute (machine.Protocol.Machine.handle event)
   in
   List.iter execute (machine.Protocol.Machine.start ());
-  while not (machine.Protocol.Machine.is_complete ()) do
-    let timeout_ns = Option.map (fun d -> d - Udp.now_ns ()) !deadline in
-    match timeout_ns with
-    | Some remaining when remaining <= 0 ->
+  let watchdog_fired = ref false in
+  while (not (machine.Protocol.Machine.is_complete ())) && not !watchdog_fired do
+    let now = Udp.now_ns () in
+    match !deadline with
+    | Some d when d - now <= 0 ->
         deadline := None;
         handle Protocol.Action.Timeout
     | _ -> begin
+        let remaining until = Option.map (fun d -> d - now) until in
+        let timeout_ns =
+          match (remaining !deadline, remaining !idle_deadline) with
+          | None, None -> None
+          | (Some _ as t), None | None, (Some _ as t) -> t
+          | Some a, Some b -> Some (min a b)
+        in
         match Udp.recv_message ?timeout_ns socket with
-        | `Timeout ->
-            deadline := None;
-            handle Protocol.Action.Timeout
-        | `Garbage -> Log.debug (fun f -> f "dropping undecodable datagram")
+        | `Timeout -> begin
+            let now = Udp.now_ns () in
+            match !deadline with
+            | Some d when d - now <= 0 ->
+                deadline := None;
+                handle Protocol.Action.Timeout
+            | _ -> begin
+                match !idle_deadline with
+                | Some d when d - now <= 0 ->
+                    Log.debug (fun f ->
+                        f "idle watchdog: no datagram for %.1f ms, aborting"
+                          (float_of_int (Option.get idle_timeout_ns) /. 1e6));
+                    watchdog_fired := true
+                | _ -> () (* spurious early wake; loop *)
+              end
+          end
+        | `Garbage reason ->
+            reset_idle ();
+            count_garbage machine.Protocol.Machine.counters reason;
+            Log.debug (fun f ->
+                f "dropping undecodable datagram (%a)" Packet.Codec.pp_error reason)
         | `Message (m, _) ->
+            reset_idle ();
             if Lossy.pass_rx lossy then begin
               if m.Packet.Message.transfer_id = transfer_id then
                 handle (Protocol.Action.Message m)
               else extra m
             end
       end
-  done
+  done;
+  if !watchdog_fired then `Peer_idle else `Completed
 
 (* After completion, keep answering duplicates for a grace period so a sender
    whose final ack was lost can still finish. *)
-let linger ?(lossy = Lossy.perfect) ~socket ~peer ~transfer_id ~(machine : Protocol.Machine.t)
-    ~linger_ns () =
+let linger ?faults ?(lossy = Lossy.perfect) ~socket ~peer ~transfer_id
+    ~(machine : Protocol.Machine.t) ~linger_ns () =
   let stop_at = Udp.now_ns () + linger_ns in
-  let send m = if Lossy.pass_tx lossy then Udp.send_message socket peer m in
   let rec loop () =
     let remaining = stop_at - Udp.now_ns () in
     if remaining > 0 then begin
       match Udp.recv_message ~timeout_ns:remaining socket with
       | `Timeout -> ()
-      | `Garbage -> loop ()
+      | `Garbage reason ->
+          count_garbage machine.Protocol.Machine.counters reason;
+          loop ()
       | `Message (m, _) ->
           if Lossy.pass_rx lossy && m.Packet.Message.transfer_id = transfer_id then
             List.iter
-              (function Protocol.Action.Send reply -> send reply | _ -> ())
+              (function
+                | Protocol.Action.Send reply -> transmit ?faults ~lossy ~socket ~peer reply
+                | _ -> ())
               (machine.Protocol.Machine.handle (Protocol.Action.Message m));
           loop ()
     end
   in
   loop ()
 
-let send ?(lossy = Lossy.perfect) ?(transfer_id = 1) ?(packet_bytes = 1024)
-    ?(retransmit_ns = 50_000_000) ?(max_attempts = 50) ?rtt ?pacing_ns ~socket ~peer ~suite
-    ~data () =
+let send ?faults ?(lossy = Lossy.perfect) ?(transfer_id = 1) ?(packet_bytes = 1024)
+    ?(retransmit_ns = 50_000_000) ?(max_attempts = 50) ?rtt ?pacing_ns ?idle_timeout_ns
+    ~socket ~peer ~suite ~data () =
   if String.length data = 0 then invalid_arg "Peer.send: empty data";
+  let idle_timeout_ns =
+    Option.value idle_timeout_ns ~default:(max_attempts * retransmit_ns)
+  in
+  let counters = Protocol.Counters.create () in
+  (match faults with
+  | Some netem -> Faults.Netem.attach_counters netem counters
+  | None -> ());
   let total_bytes = String.length data in
   let total_packets = (total_bytes + packet_bytes - 1) / packet_bytes in
   let config =
     Protocol.Config.make ~transfer_id ~packet_bytes ~retransmit_ns ~max_attempts
       ~total_packets ()
   in
-  (* Reliable handshake: repeat REQ until ACK seq=0 comes back. The REQ
-     carries the geometry and the protocol suite, so the receiver always
-     builds the matching machine. *)
+  (* Reliable handshake: repeat REQ until ACK seq=0 comes back, then run the
+     machine. A peer that never answers is a clean [Peer_unreachable], not an
+     exception: chaos campaigns treat it as a bounded, reportable outcome. *)
   let req =
     {
       (Packet.Message.req ~transfer_id ~total:total_packets) with
@@ -128,109 +201,177 @@ let send ?(lossy = Lossy.perfect) ?(transfer_id = 1) ?(packet_bytes = 1024)
           ~total_bytes suite;
     }
   in
-  let rec handshake attempt =
-    if attempt > max_attempts then failwith "Peer.send: handshake failed";
-    if Lossy.pass_tx lossy then Udp.send_message socket peer req;
-    match Udp.recv_message ~timeout_ns:retransmit_ns socket with
-    | `Timeout | `Garbage -> handshake (attempt + 1)
-    | `Message (m, _) ->
-        if
-          Lossy.pass_rx lossy
-          && m.Packet.Message.transfer_id = transfer_id
-          && m.Packet.Message.kind = Packet.Kind.Ack
-          && m.Packet.Message.seq = 0
-        then ()
-        else handshake (attempt + 1)
-  in
-  handshake 1;
-  let payload seq =
-    let offset = seq * packet_bytes in
-    String.sub data offset (min packet_bytes (total_bytes - offset))
-  in
-  let counters = Protocol.Counters.create () in
-  let machine = Protocol.Suite.sender suite ~counters config ~payload in
   let started = Udp.now_ns () in
-  run_machine ~lossy ?rtt ?pacing_ns ~socket ~peer ~transfer_id ~machine
-    ~deliver:(fun _ _ -> ()) ();
-  {
-    outcome = Option.get (machine.Protocol.Machine.outcome ());
-    elapsed_ns = Udp.now_ns () - started;
-    counters;
-  }
+  let rec handshake attempt =
+    if attempt > max_attempts then `Unreachable
+    else begin
+      transmit ?faults ~lossy ~socket ~peer req;
+      match Udp.recv_message ~timeout_ns:retransmit_ns socket with
+      | `Timeout -> handshake (attempt + 1)
+      | `Garbage reason ->
+          count_garbage counters reason;
+          handshake (attempt + 1)
+      | `Message (m, _) ->
+          if
+            Lossy.pass_rx lossy
+            && m.Packet.Message.transfer_id = transfer_id
+            && m.Packet.Message.kind = Packet.Kind.Ack
+            && m.Packet.Message.seq = 0
+          then `Acknowledged
+          else handshake (attempt + 1)
+    end
+  in
+  match handshake 1 with
+  | `Unreachable ->
+      Log.info (fun f -> f "handshake exhausted %d attempts; peer unreachable" max_attempts);
+      {
+        outcome = Protocol.Action.Peer_unreachable;
+        elapsed_ns = Udp.now_ns () - started;
+        counters;
+      }
+  | `Acknowledged ->
+      let payload seq =
+        let offset = seq * packet_bytes in
+        String.sub data offset (min packet_bytes (total_bytes - offset))
+      in
+      let machine = Protocol.Suite.sender suite ~counters config ~payload in
+      let started = Udp.now_ns () in
+      let status =
+        run_machine ?faults ~lossy ?rtt ?pacing_ns ~idle_timeout_ns ~socket ~peer
+          ~transfer_id ~machine
+          ~deliver:(fun _ _ -> ())
+          ()
+      in
+      (match faults with
+      | Some netem -> ignore (Faults.Netem.flush netem : Faults.Netem.emission list)
+      | None -> ());
+      let outcome =
+        match status with
+        | `Peer_idle -> Protocol.Action.Peer_unreachable
+        | `Completed -> (
+            match machine.Protocol.Machine.outcome () with
+            | Some outcome -> outcome
+            | None -> Protocol.Action.Peer_unreachable)
+      in
+      { outcome; elapsed_ns = Udp.now_ns () - started; counters }
 
-let serve_one ?(lossy = Lossy.perfect) ?(retransmit_ns = 50_000_000) ?(max_attempts = 50)
-    ?linger_ns ?suite ~socket () =
+let serve_one ?faults ?(lossy = Lossy.perfect) ?(retransmit_ns = 50_000_000)
+    ?(max_attempts = 50) ?linger_ns ?idle_timeout_ns ?accept_timeout_ns ?suite ~socket () =
   let linger_ns = Option.value linger_ns ~default:(3 * retransmit_ns) in
-  (* Wait for a geometry-carrying REQ. *)
-  let rec await_req () =
-    match Udp.recv_message socket with
-    | `Timeout -> await_req () (* unreachable without timeout, defensive *)
-    | `Garbage -> await_req ()
-    | `Message (m, from) -> begin
-        if not (Lossy.pass_rx lossy) then await_req ()
-        else
-          match
-            (m.Packet.Message.kind, Suite_codec.decode m.Packet.Message.payload)
-          with
-          | Packet.Kind.Req, Some info -> (m.Packet.Message.transfer_id, info, from)
-          | _ -> await_req ()
-      end
-  in
-  let transfer_id, info, sender_address = await_req () in
-  let packet_bytes = info.Suite_codec.packet_bytes in
-  let total_bytes = info.Suite_codec.total_bytes in
-  let suite =
-    match (info.Suite_codec.suite, suite) with
-    | Some carried, _ -> carried (* the wire wins: both ends must match *)
-    | None, Some fallback -> fallback
-    | None, None -> Protocol.Suite.Blast Protocol.Blast.Go_back_n
-  in
-  let total_packets = (total_bytes + packet_bytes - 1) / packet_bytes in
-  let config =
-    Protocol.Config.make ~transfer_id ~packet_bytes ~retransmit_ns ~max_attempts
-      ~total_packets ()
-  in
-  let buffer = Bytes.create total_bytes in
-  let deliver seq payload =
-    let offset = seq * packet_bytes in
-    let expected = min packet_bytes (total_bytes - offset) in
-    if String.length payload <> expected then
-      failwith
-        (Printf.sprintf "Peer.serve_one: packet %d carries %d bytes, expected %d" seq
-           (String.length payload) expected);
-    Bytes.blit_string payload 0 buffer offset expected
+  let idle_timeout_ns =
+    Option.value idle_timeout_ns ~default:(max_attempts * retransmit_ns)
   in
   let counters = Protocol.Counters.create () in
-  let machine = Protocol.Suite.receiver suite ~counters config in
-  let handshake_ack = Packet.Message.ack ~transfer_id ~seq:0 ~total:total_packets in
-  if Lossy.pass_tx lossy then Udp.send_message socket sender_address handshake_ack;
-  (* A lost handshake ack shows up as a duplicate REQ mid-transfer. *)
-  let extra m =
-    if m.Packet.Message.kind = Packet.Kind.Req then
-      (if Lossy.pass_tx lossy then Udp.send_message socket sender_address handshake_ack)
-  in
-  let machine_view =
-    (* The machine keys on its own transfer id; duplicate REQs share it, so
-       intercept them before the machine sees them. *)
+  (match faults with
+  | Some netem -> Faults.Netem.attach_counters netem counters
+  | None -> ());
+  let aborted ~transfer_id =
     {
-      machine with
-      Protocol.Machine.handle =
-        (fun event ->
-          match event with
-          | Protocol.Action.Message m when m.Packet.Message.kind = Packet.Kind.Req ->
-              extra m;
-              []
-          | _ -> machine.Protocol.Machine.handle event);
+      data = "";
+      transfer_id;
+      receive_counters = counters;
+      integrity = Not_carried;
+      receive_outcome = Protocol.Action.Peer_unreachable;
     }
   in
-  run_machine ~lossy ~socket ~peer:sender_address ~transfer_id ~machine:machine_view ~deliver
-    ();
-  linger ~lossy ~socket ~peer:sender_address ~transfer_id ~machine ~linger_ns ();
-  let data = Bytes.to_string buffer in
-  let integrity =
-    match info.Suite_codec.data_crc with
-    | None -> Not_carried
-    | Some expected ->
-        if Packet.Checksum.crc32_string data = expected then Verified else Mismatch
+  (* Wait for a geometry-carrying REQ; [accept_timeout_ns] bounds even this
+     initial wait when the caller needs a guaranteed return. *)
+  let accept_deadline = Option.map (fun ns -> Udp.now_ns () + ns) accept_timeout_ns in
+  let rec await_req () =
+    let timeout_ns = Option.map (fun d -> d - Udp.now_ns ()) accept_deadline in
+    match timeout_ns with
+    | Some remaining when remaining <= 0 -> `Gone
+    | _ -> begin
+        match Udp.recv_message ?timeout_ns socket with
+        | `Timeout -> if accept_deadline = None then await_req () else `Gone
+        | `Garbage reason ->
+            count_garbage counters reason;
+            await_req ()
+        | `Message (m, from) -> begin
+            if not (Lossy.pass_rx lossy) then await_req ()
+            else
+              match
+                (m.Packet.Message.kind, Suite_codec.decode m.Packet.Message.payload)
+              with
+              | Packet.Kind.Req, Some info -> `Req (m.Packet.Message.transfer_id, info, from)
+              | _ -> await_req ()
+          end
+      end
   in
-  { data; transfer_id; receive_counters = counters; integrity }
+  match await_req () with
+  | `Gone -> aborted ~transfer_id:0
+  | `Req (transfer_id, info, sender_address) ->
+      let packet_bytes = info.Suite_codec.packet_bytes in
+      let total_bytes = info.Suite_codec.total_bytes in
+      let suite =
+        match (info.Suite_codec.suite, suite) with
+        | Some carried, _ -> carried (* the wire wins: both ends must match *)
+        | None, Some fallback -> fallback
+        | None, None -> Protocol.Suite.Blast Protocol.Blast.Go_back_n
+      in
+      let total_packets = (total_bytes + packet_bytes - 1) / packet_bytes in
+      let config =
+        Protocol.Config.make ~transfer_id ~packet_bytes ~retransmit_ns ~max_attempts
+          ~total_packets ()
+      in
+      let buffer = Bytes.create total_bytes in
+      let deliver seq payload =
+        let offset = seq * packet_bytes in
+        let expected = min packet_bytes (total_bytes - offset) in
+        if String.length payload <> expected then
+          failwith
+            (Printf.sprintf "Peer.serve_one: packet %d carries %d bytes, expected %d" seq
+               (String.length payload) expected);
+        Bytes.blit_string payload 0 buffer offset expected
+      in
+      let machine = Protocol.Suite.receiver suite ~counters config in
+      let handshake_ack = Packet.Message.ack ~transfer_id ~seq:0 ~total:total_packets in
+      transmit ?faults ~lossy ~socket ~peer:sender_address handshake_ack;
+      (* A lost handshake ack shows up as a duplicate REQ mid-transfer. *)
+      let extra m =
+        if m.Packet.Message.kind = Packet.Kind.Req then
+          transmit ?faults ~lossy ~socket ~peer:sender_address handshake_ack
+      in
+      let machine_view =
+        (* The machine keys on its own transfer id; duplicate REQs share it,
+           so intercept them before the machine sees them. *)
+        {
+          machine with
+          Protocol.Machine.handle =
+            (fun event ->
+              match event with
+              | Protocol.Action.Message m when m.Packet.Message.kind = Packet.Kind.Req ->
+                  extra m;
+                  []
+              | _ -> machine.Protocol.Machine.handle event);
+        }
+      in
+      let status =
+        run_machine ?faults ~lossy ~idle_timeout_ns ~socket ~peer:sender_address
+          ~transfer_id ~machine:machine_view ~deliver ()
+      in
+      (match status with
+      | `Peer_idle -> ()
+      | `Completed ->
+          linger ?faults ~lossy ~socket ~peer:sender_address ~transfer_id ~machine
+            ~linger_ns ());
+      (match faults with
+      | Some netem -> ignore (Faults.Netem.flush netem : Faults.Netem.emission list)
+      | None -> ());
+      (match status with
+      | `Peer_idle -> aborted ~transfer_id
+      | `Completed ->
+          let data = Bytes.to_string buffer in
+          let integrity =
+            match info.Suite_codec.data_crc with
+            | None -> Not_carried
+            | Some expected ->
+                if Packet.Checksum.crc32_string data = expected then Verified else Mismatch
+          in
+          {
+            data;
+            transfer_id;
+            receive_counters = counters;
+            integrity;
+            receive_outcome = Protocol.Action.Success;
+          })

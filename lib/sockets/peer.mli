@@ -7,8 +7,18 @@
     geometry — the V kernel's buffers-before-transfer contract — and then
     both sides run their machines.
 
-    Loopback never drops datagrams, so loss is injected at the endpoints with
-    {!Lossy}. *)
+    Loopback never drops datagrams, so faults are injected at the endpoints:
+    {!Lossy} for plain iid loss, or a {!Faults.Netem} (via [?faults]) for the
+    full adversarial pipeline — bursts, duplication, reordering, bit flips,
+    truncation, delay.
+
+    {b No-hang guarantee.} Every entry point is bounded: the handshake gives
+    up after [max_attempts]; the machine loop carries an idle watchdog
+    (default [max_attempts * retransmit_ns]) that trips when the far end
+    stops sending datagrams; and both sides then return the clean
+    [Peer_unreachable] outcome instead of blocking or raising. The only
+    unbounded wait is [serve_one]'s initial listen for a REQ, and
+    [accept_timeout_ns] bounds that too. *)
 
 type send_result = {
   outcome : Protocol.Action.outcome;
@@ -19,15 +29,19 @@ type send_result = {
 type integrity = Verified | Mismatch | Not_carried
 
 type receive_result = {
-  data : string;  (** the reassembled transfer *)
+  data : string;  (** the reassembled transfer; [""] on [Peer_unreachable] *)
   transfer_id : int;
   receive_counters : Protocol.Counters.t;
   integrity : integrity;
       (** result of the whole-segment software CRC the sender carries in its
           REQ — Spector's end-to-end check (paper reference [18]) *)
+  receive_outcome : Protocol.Action.outcome;
+      (** [Success] for a completed transfer; [Peer_unreachable] when the
+          idle watchdog (or accept timeout) aborted the wait *)
 }
 
 val send :
+  ?faults:Faults.Netem.t ->
   ?lossy:Lossy.t ->
   ?transfer_id:int ->
   ?packet_bytes:int ->
@@ -35,30 +49,43 @@ val send :
   ?max_attempts:int ->
   ?rtt:Protocol.Rtt.t ->
   ?pacing_ns:int ->
+  ?idle_timeout_ns:int ->
   socket:Unix.file_descr ->
   peer:Unix.sockaddr ->
   suite:Protocol.Suite.t ->
   data:string ->
   unit ->
   send_result
-(** Pushes [data] to [peer]. Raises [Failure] if the handshake never
-    completes. Defaults: 1024-byte packets, 50 ms retransmission interval,
-    50 attempts. With [rtt], timeouts adapt to measured round trips instead
-    of the fixed interval; [pacing_ns] sleeps after each data datagram so an
-    unthrottled blast does not overrun the receiver's socket buffer. *)
+(** Pushes [data] to [peer]. Defaults: 1024-byte packets, 50 ms
+    retransmission interval, 50 attempts. A handshake that exhausts its
+    attempts returns [Peer_unreachable] (it no longer raises). With [rtt],
+    timeouts adapt to measured round trips instead of the fixed interval;
+    [pacing_ns] sleeps after each data datagram so an unthrottled blast does
+    not overrun the receiver's socket buffer. [faults] runs every outgoing
+    datagram through a Netem pipeline (its injection count is surfaced in
+    [counters.faults_injected]). *)
 
 val serve_one :
+  ?faults:Faults.Netem.t ->
   ?lossy:Lossy.t ->
   ?retransmit_ns:int ->
   ?max_attempts:int ->
   ?linger_ns:int ->
+  ?idle_timeout_ns:int ->
+  ?accept_timeout_ns:int ->
   ?suite:Protocol.Suite.t ->
   socket:Unix.file_descr ->
   unit ->
   receive_result
-(** Accepts exactly one incoming transfer (blocking until a [REQ] arrives)
-    and returns the reassembled data. After the transfer completes the
-    receiver lingers for [linger_ns] (default 3x the retransmission interval)
-    to re-acknowledge duplicate terminators from a sender whose final ack was
-    lost. The protocol suite normally travels in the REQ, so both ends match
-    automatically; [suite] is only a fallback for senders that omit it. *)
+(** Accepts one incoming transfer and returns the reassembled data. After the
+    transfer completes the receiver lingers for [linger_ns] (default 3x the
+    retransmission interval) to re-acknowledge duplicate terminators from a
+    sender whose final ack was lost. The protocol suite normally travels in
+    the REQ, so both ends match automatically; [suite] is only a fallback for
+    senders that omit it.
+
+    Blocks until a [REQ] arrives unless [accept_timeout_ns] is given. Once a
+    transfer is underway, a sender that goes silent for [idle_timeout_ns]
+    (default [max_attempts * retransmit_ns]) trips the watchdog and the call
+    returns with [receive_outcome = Peer_unreachable] — [serve_one] can no
+    longer block indefinitely on a dead sender. *)

@@ -1,15 +1,21 @@
+external monotonic_ns : unit -> int64 = "lanrepro_monotonic_ns"
+
 let create_socket ?(address = "127.0.0.1") () =
   let socket = Unix.socket Unix.PF_INET Unix.SOCK_DGRAM 0 in
   Unix.bind socket (Unix.ADDR_INET (Unix.inet_addr_of_string address, 0));
   (socket, Unix.getsockname socket)
 
 let close socket = try Unix.close socket with Unix.Unix_error _ -> ()
-let now_ns () = int_of_float (Unix.gettimeofday () *. 1e9)
 
-let send_message socket peer message =
-  let encoded = Packet.Codec.encode message in
-  let sent = Unix.sendto socket encoded 0 (Bytes.length encoded) [] peer in
-  if sent <> Bytes.length encoded then failwith "Udp.send_message: short send"
+(* CLOCK_MONOTONIC: all deadline arithmetic in the peer loop depends on this
+   never stepping backwards, which the wall clock cannot promise. *)
+let now_ns () = Int64.to_int (monotonic_ns ())
+
+let send_bytes socket peer datagram =
+  let sent = Unix.sendto socket datagram 0 (Bytes.length datagram) [] peer in
+  if sent <> Bytes.length datagram then failwith "Udp.send_bytes: short send"
+
+let send_message socket peer message = send_bytes socket peer (Packet.Codec.encode message)
 
 let recv_message ?timeout_ns socket =
   (* Allocated per call: receive paths run on multiple threads. *)
@@ -25,5 +31,5 @@ let recv_message ?timeout_ns socket =
       let len, from = Unix.recvfrom socket buffer 0 (Bytes.length buffer) [] in
       match Packet.Codec.decode_sub buffer ~pos:0 ~len with
       | Ok message -> `Message (message, from)
-      | Error _ -> `Garbage
+      | Error reason -> `Garbage reason
     end

@@ -8,15 +8,24 @@ val close : Unix.file_descr -> unit
 (** Idempotent close. *)
 
 val now_ns : unit -> int
-(** Monotonic-enough wall clock in integer nanoseconds. *)
+(** CLOCK_MONOTONIC in integer nanoseconds. Guaranteed never to step
+    backwards — safe for RTT samples and retransmission deadlines — but not
+    related to the wall clock; only differences are meaningful. *)
 
 val send_message : Unix.file_descr -> Unix.sockaddr -> Packet.Message.t -> unit
 (** Encodes and transmits one datagram. *)
 
+val send_bytes : Unix.file_descr -> Unix.sockaddr -> bytes -> unit
+(** Transmits raw bytes as one datagram — the fault-injection path, where the
+    bytes on the wire are deliberately not a valid encoding. *)
+
 val recv_message :
   ?timeout_ns:int ->
   Unix.file_descr ->
-  [ `Message of Packet.Message.t * Unix.sockaddr | `Timeout | `Garbage ]
+  [ `Message of Packet.Message.t * Unix.sockaddr
+  | `Timeout
+  | `Garbage of Packet.Codec.error ]
 (** Waits up to [timeout_ns] (forever when omitted) for one datagram.
-    [`Garbage] is a datagram that failed to decode — the caller usually just
-    loops. *)
+    [`Garbage] is a datagram that failed to decode, with the codec's reason —
+    checksum rejections are corruption caught in flight and are counted
+    separately from alien traffic by the peer loop. *)

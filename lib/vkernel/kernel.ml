@@ -342,7 +342,8 @@ let rpc t ~dst ~control ~make_machine ~deliver =
       done;
       match Option.get !outcome with
       | Protocol.Action.Success -> Ok ()
-      | Protocol.Action.Too_many_attempts -> Error Timed_out
+      | Protocol.Action.Too_many_attempts | Protocol.Action.Peer_unreachable ->
+          Error Timed_out
     end
 
 let move_to t ~dst ~segment ~offset ~data =

@@ -57,6 +57,34 @@ let test_rtt_clamps () =
   done;
   Alcotest.(check int) "floored at 1 ms" 1_000_000 (Protocol.Rtt.timeout_ns tiny)
 
+let test_rtt_no_overflow () =
+  (* Regression: repeated backoff used to compute [base * backoff_factor]
+     unclamped, wrapping to a negative timeout once the factor grew past
+     [max_int / base]. The timeout must stay positive and capped no matter
+     how many consecutive timeouts occur. *)
+  let r = Protocol.Rtt.create ~initial_ns:50_000_000 () in
+  for _ = 1 to 200 do
+    Protocol.Rtt.backoff r;
+    let t = Protocol.Rtt.timeout_ns r in
+    Alcotest.(check bool)
+      (Printf.sprintf "positive after backoff (%d)" t)
+      true
+      (t > 0 && t <= 100 * 50_000_000)
+  done;
+  (* Same with a huge initial value, where even the 100x cap would wrap. *)
+  let huge = Protocol.Rtt.create ~initial_ns:(max_int / 8) () in
+  for _ = 1 to 200 do
+    Protocol.Rtt.backoff huge
+  done;
+  Alcotest.(check bool) "huge initial stays positive" true (Protocol.Rtt.timeout_ns huge > 0);
+  (* And with samples near the cap feeding the estimator. *)
+  let sampled = Protocol.Rtt.create ~initial_ns:(max_int / 8) () in
+  Protocol.Rtt.observe sampled ~sample_ns:(max_int / 8);
+  for _ = 1 to 200 do
+    Protocol.Rtt.backoff sampled
+  done;
+  Alcotest.(check bool) "sampled stays positive" true (Protocol.Rtt.timeout_ns sampled > 0)
+
 let test_rtt_rejects_bad_input () =
   Alcotest.check_raises "zero initial" (Invalid_argument "Rtt.create: initial_ns must be positive")
     (fun () -> ignore (Protocol.Rtt.create ~initial_ns:0 ()));
@@ -283,6 +311,7 @@ let () =
           Alcotest.test_case "tracks variance" `Quick test_rtt_tracks_variance;
           Alcotest.test_case "backoff and reset" `Quick test_rtt_backoff_and_reset;
           Alcotest.test_case "clamps" `Quick test_rtt_clamps;
+          Alcotest.test_case "no backoff overflow" `Quick test_rtt_no_overflow;
           Alcotest.test_case "rejects bad input" `Quick test_rtt_rejects_bad_input;
         ] );
       ( "adaptive-simulator",

@@ -166,6 +166,55 @@ let test_codec_decode_sub () =
   | Ok m' -> Alcotest.(check bool) "sub decode" true (Packet.Message.equal m m')
   | Error e -> Alcotest.failf "decode_sub error: %a" Packet.Codec.pp_error e
 
+let test_codec_decode_sub_fuzz () =
+  (* Seeded fuzz over the untrusted-input surface: random garbage, truncated
+     prefixes, bit-flipped encodings, and out-of-range [pos]/[len] must all
+     come back as [Error], never as an exception — and both checksum
+     rejection paths must actually fire over the run. *)
+  let rng = Stats.Rng.create ~seed:0xF00D in
+  let header_rejects = ref 0 in
+  let payload_rejects = ref 0 in
+  let sample () =
+    List.nth sample_messages (Stats.Rng.int rng (List.length sample_messages))
+  in
+  for _ = 1 to 3_000 do
+    let buf, pos, len =
+      match Stats.Rng.int rng 4 with
+      | 0 ->
+          (* arbitrary bytes with arbitrary, possibly invalid, bounds *)
+          let n = Stats.Rng.int rng 64 in
+          let buf = Bytes.init n (fun _ -> Char.chr (Stats.Rng.int rng 256)) in
+          (buf, Stats.Rng.int rng 80 - 8, Stats.Rng.int rng 80 - 8)
+      | 1 ->
+          (* valid encoding, truncated to a random prefix *)
+          let buf = Packet.Codec.encode (sample ()) in
+          (buf, 0, Stats.Rng.int rng (Bytes.length buf + 1))
+      | 2 ->
+          (* valid encoding with a handful of random bit flips *)
+          let buf = Packet.Codec.encode (sample ()) in
+          for _ = 0 to Stats.Rng.int rng 4 do
+            let p = Stats.Rng.int rng (Bytes.length buf) in
+            let bit = 1 lsl Stats.Rng.int rng 8 in
+            Bytes.set buf p (Char.chr (Char.code (Bytes.get buf p) lxor bit))
+          done;
+          (buf, 0, Bytes.length buf)
+      | _ ->
+          (* valid encoding at a random offset inside a larger buffer *)
+          let encoded = Packet.Codec.encode (sample ()) in
+          let pad = Stats.Rng.int rng 16 in
+          let buf = Bytes.cat (Bytes.make pad '\xAA') encoded in
+          (buf, pad, Bytes.length encoded)
+    in
+    match Packet.Codec.decode_sub buf ~pos ~len with
+    | Ok _ -> ()
+    | Error Packet.Codec.Bad_header_checksum -> incr header_rejects
+    | Error Packet.Codec.Bad_payload_checksum -> incr payload_rejects
+    | Error _ -> ()
+    | exception e -> Alcotest.failf "decode_sub raised %s" (Printexc.to_string e)
+  done;
+  Alcotest.(check bool) "header checksum path exercised" true (!header_rejects > 0);
+  Alcotest.(check bool) "payload checksum path exercised" true (!payload_rejects > 0)
+
 let gen_message =
   let open QCheck.Gen in
   let* kind = oneofl Packet.Kind.all in
@@ -263,6 +312,7 @@ let () =
         :: Alcotest.test_case "rejects corruption" `Quick test_codec_rejects_corruption
         :: Alcotest.test_case "rejects bad kind" `Quick test_codec_rejects_bad_kind
         :: Alcotest.test_case "decode_sub" `Quick test_codec_decode_sub
+        :: Alcotest.test_case "decode_sub fuzz" `Quick test_codec_decode_sub_fuzz
         :: qcheck [ prop_codec_roundtrip; prop_codec_bitflip_detected ] );
       ( "message",
         [
