@@ -76,6 +76,89 @@ let tests =
                 ~suite:(Protocol.Suite.Blast Protocol.Blast.Go_back_n) ~packets:64 ())));
   ]
 
+(* Machine-readable perf trajectory: every bench run rewrites
+   BENCH_protocols.json with per-protocol elapsed time and throughput for
+   the standard 64-packet sim transfer plus wall times for the Monte-Carlo
+   kernels, so later changes can diff protocol-level timings instead of
+   eyeballing the console tables. *)
+
+let bench_json_path = "BENCH_protocols.json"
+
+let wall_ns f =
+  let t0 = Unix.gettimeofday () in
+  let r = f () in
+  let t1 = Unix.gettimeofday () in
+  (r, int_of_float ((t1 -. t0) *. 1e9))
+
+let bench_suites =
+  [
+    Protocol.Suite.Stop_and_wait;
+    Protocol.Suite.Sliding_window { window = max_int };
+    Protocol.Suite.Blast Protocol.Blast.Full_retransmit;
+    Protocol.Suite.Blast Protocol.Blast.Full_retransmit_nack;
+    Protocol.Suite.Blast Protocol.Blast.Go_back_n;
+    Protocol.Suite.Blast Protocol.Blast.Selective;
+    Protocol.Suite.Multi_blast { strategy = Protocol.Blast.Go_back_n; chunk_packets = 4 };
+  ]
+
+let write_bench_json () =
+  let packets = 64 in
+  let sim_rows =
+    List.map
+      (fun suite ->
+        let result, wall =
+          wall_ns (fun () ->
+              Simnet.Driver.run ~suite
+                ~config:(Protocol.Config.make ~total_packets:packets ())
+                ())
+        in
+        let elapsed_ms = Simnet.Driver.elapsed_ms result in
+        (* Simulated goodput for the 64 KiB transfer, in Mbit/s. *)
+        let throughput_mbit_s =
+          float_of_int (packets * 1024 * 8) /. (elapsed_ms /. 1e3) /. 1e6
+        in
+        Obs.Json.Obj
+          [
+            ("protocol", Obs.Json.String (Protocol.Suite.name suite));
+            ("elapsed_ms", Obs.Json.Float elapsed_ms);
+            ("throughput_mbit_s", Obs.Json.Float throughput_mbit_s);
+            ("wall_ns", Obs.Json.Int wall);
+          ])
+      bench_suites
+  in
+  let mc_rows =
+    List.map
+      (fun strategy ->
+        let (), wall = wall_ns (one_mc_sample strategy 1e-3) in
+        Obs.Json.Obj
+          [
+            ( "protocol",
+              Obs.Json.String (Protocol.Suite.name (Protocol.Suite.Blast strategy)) );
+            ("trials", Obs.Json.Int 20);
+            ("wall_ns", Obs.Json.Int wall);
+          ])
+      [
+        Protocol.Blast.Full_retransmit;
+        Protocol.Blast.Full_retransmit_nack;
+        Protocol.Blast.Go_back_n;
+        Protocol.Blast.Selective;
+      ]
+  in
+  let json =
+    Obs.Json.Obj
+      [
+        ("schema", Obs.Json.String "lanrepro-bench/1");
+        ("packets", Obs.Json.Int packets);
+        ("sim_transfer", Obs.Json.List sim_rows);
+        ("mc_kernels", Obs.Json.List mc_rows);
+      ]
+  in
+  let oc = open_out bench_json_path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (Obs.Json.to_string json));
+  Printf.printf "wrote %s\n%!" bench_json_path
+
 let run_bechamel () =
   print_endline "\n=== Bechamel micro-benchmarks (ns/run, OLS estimate) ===";
   let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.25) ~kde:None () in
@@ -119,5 +202,6 @@ let () =
     let ppf = Format.std_formatter in
     List.iter (fun (_, f) -> f ppf) to_run;
     Format.pp_print_flush ppf ();
+    write_bench_json ();
     if not no_bechamel then run_bechamel ()
   end

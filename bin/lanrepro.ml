@@ -72,13 +72,53 @@ let kernel_mode =
 let params_of kernel = if kernel then Netmodel.Params.vkernel else Netmodel.Params.standalone
 let costs_of kernel = if kernel then Analysis.Costs.vkernel else Analysis.Costs.standalone
 
+(* ---------------------------------------------------------- observability *)
+
+let trace_out =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace-out" ] ~docv:"PATH"
+        ~doc:
+          "Write the run's datagram events as Chrome trace_event JSON to $(docv) \
+           (loadable in Perfetto or chrome://tracing).")
+
+let metrics_out =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "metrics-out" ] ~docv:"PATH" ~doc:"Write a JSON metrics snapshot to $(docv).")
+
+(* A recorder/metrics pair exists only when the matching output file was
+   requested, so untraced runs pay nothing. [flush] writes both files. *)
+let telemetry trace_out metrics_out =
+  let recorder = Option.map (fun _ -> Obs.Recorder.create ()) trace_out in
+  let metrics = Option.map (fun _ -> Obs.Metrics.create ()) metrics_out in
+  let flush ?(spans = []) () =
+    (match (trace_out, recorder) with
+    | Some path, Some r ->
+        Obs.Export.write_chrome path ~spans ~events:(Obs.Recorder.events r) ();
+        Printf.printf "wrote trace to %s\n" path
+    | _ -> ());
+    match (metrics_out, metrics) with
+    | Some path, Some m ->
+        let oc = open_out path in
+        Fun.protect
+          ~finally:(fun () -> close_out oc)
+          (fun () -> output_string oc (Obs.Json.to_string (Obs.Metrics.to_json m)));
+        Printf.printf "wrote metrics to %s\n" path
+    | _ -> ()
+  in
+  (recorder, metrics, flush)
+
 (* --------------------------------------------------------------- simulate *)
 
 let adaptive =
   Arg.(value & flag & info [ "adaptive" ] ~doc:"Use an adaptive (Jacobson/Karn) retransmission timeout.")
 
 let simulate_cmd =
-  let run protocol packets loss interface_loss trials seed kernel adaptive =
+  let run protocol packets loss interface_loss trials seed kernel adaptive trace_out
+      metrics_out =
     let spec =
       Simnet.Campaign.default ~params:(params_of kernel) ~network_loss:loss
         ~interface_loss ~trials ~seed ~suite:protocol
@@ -125,7 +165,36 @@ let simulate_cmd =
     Printf.printf "  retransmitted packets per trial: mean %.1f\n"
       (Stats.Summary.mean outcome.Simnet.Campaign.retransmissions);
     if outcome.Simnet.Campaign.failures > 0 then
-      Printf.printf "  %d trials gave up\n" outcome.Simnet.Campaign.failures
+      Printf.printf "  %d trials gave up\n" outcome.Simnet.Campaign.failures;
+    (* Telemetry: re-run the first trial with the recorder/metrics attached
+       (same seed, same error models) so the exported trace shows one
+       representative transfer, then append the campaign-level gauges. *)
+    let recorder, metrics, flush = telemetry trace_out metrics_out in
+    if recorder <> None || metrics <> None then begin
+      let trace = Eventsim.Trace.create () in
+      let rng = Stats.Rng.create ~seed:(seed * 1_000_003) in
+      let error l = if l = 0.0 then Netmodel.Error_model.perfect () else Netmodel.Error_model.iid rng ~loss:l in
+      ignore
+        (Simnet.Driver.run ~params:(params_of kernel) ~network_error:(error loss)
+           ~interface_error:(error interface_loss) ~trace ?recorder ?metrics
+           ~suite:protocol
+           ~config:(Protocol.Config.make ~total_packets:packets ())
+           ()
+          : Simnet.Driver.result);
+      Option.iter
+        (fun m ->
+          let g name v =
+            Obs.Metrics.set_gauge
+              (Obs.Metrics.gauge m ~labels:[ ("transport", "sim") ] name)
+              v
+          in
+          g "campaign_elapsed_ms_mean" (Stats.Summary.mean outcome.Simnet.Campaign.elapsed_ms);
+          g "campaign_elapsed_ms_stddev"
+            (Stats.Summary.stddev outcome.Simnet.Campaign.elapsed_ms);
+          g "campaign_failures" (float_of_int outcome.Simnet.Campaign.failures))
+        metrics;
+      flush ~spans:(Obs.Span.of_trace trace) ()
+    end
   in
   let interface_loss =
     Arg.(value & opt float 0.0 & info [ "interface-loss" ] ~docv:"P" ~doc:"Interface loss probability.")
@@ -134,7 +203,7 @@ let simulate_cmd =
     (Cmd.info "simulate" ~doc:"Run transfers on the simulated LAN")
     Term.(
       const run $ protocol $ packets $ loss $ interface_loss $ trials $ seed $ kernel_mode
-      $ adaptive)
+      $ adaptive $ trace_out $ metrics_out)
 
 (* -------------------------------------------------------------- calibrate *)
 
@@ -211,7 +280,7 @@ let analyze_cmd =
 (* --------------------------------------------------------------- timeline *)
 
 let timeline_cmd =
-  let run protocol packets width double kernel =
+  let run protocol packets width double kernel trace_out =
     let params = params_of kernel in
     let params = if double then Netmodel.Params.double_buffered params else params in
     let trace = Eventsim.Trace.create () in
@@ -221,13 +290,18 @@ let timeline_cmd =
         ()
     in
     print_endline (Report.Timeline.render ~width trace);
-    Printf.printf "total elapsed: %.3f ms\n" (Simnet.Driver.elapsed_ms result)
+    Printf.printf "total elapsed: %.3f ms\n" (Simnet.Driver.elapsed_ms result);
+    match trace_out with
+    | None -> ()
+    | Some path ->
+        Obs.Export.write_chrome path ~spans:(Obs.Span.of_trace trace) ();
+        Printf.printf "wrote trace to %s\n" path
   in
   let width = Arg.(value & opt int 100 & info [ "width" ] ~doc:"Diagram width in columns.") in
   let double = Arg.(value & flag & info [ "double-buffered" ] ~doc:"Use a double-buffered interface.") in
   Cmd.v
     (Cmd.info "timeline" ~doc:"Render a Figure-3-style timing diagram")
-    Term.(const run $ protocol $ packets $ width $ double $ kernel_mode)
+    Term.(const run $ protocol $ packets $ width $ double $ kernel_mode $ trace_out)
 
 (* --------------------------------------------------------------------- mc *)
 
@@ -258,7 +332,7 @@ let mc_cmd =
 (* ------------------------------------------------------------------ sweep *)
 
 let sweep_cmd =
-  let run protocols packets losses trials seed kernel csv =
+  let run protocols packets losses trials seed kernel csv metrics_out =
     let suites =
       if protocols = [] then
         [
@@ -282,14 +356,36 @@ let sweep_cmd =
         ~losses:(if losses = [] then [ 0.0; 1e-3; 1e-2 ] else losses)
         ()
     in
-    match csv with
+    (match csv with
     | Some path ->
         let oc = open_out path in
         Fun.protect
           ~finally:(fun () -> close_out oc)
           (fun () -> output_string oc (Simnet.Sweep.to_csv sweep));
         Printf.printf "wrote %d rows to %s\n" (List.length sweep.Simnet.Sweep.cells) path
-    | None -> print_endline (Simnet.Sweep.to_table sweep)
+    | None -> print_endline (Simnet.Sweep.to_table sweep));
+    (* One gauge set per cell, labelled by the cell coordinates, so the whole
+       cross product lands in a single machine-readable snapshot. *)
+    let _, metrics, flush = telemetry None metrics_out in
+    Option.iter
+      (fun m ->
+        List.iter
+          (fun (c : Simnet.Sweep.cell) ->
+            let labels =
+              [
+                ("protocol", Protocol.Suite.name c.Simnet.Sweep.suite);
+                ("packets", string_of_int c.Simnet.Sweep.packets);
+                ("loss", Printf.sprintf "%g" c.Simnet.Sweep.network_loss);
+              ]
+            in
+            let g name v = Obs.Metrics.set_gauge (Obs.Metrics.gauge m ~labels name) v in
+            g "sweep_mean_ms" c.Simnet.Sweep.mean_ms;
+            g "sweep_stddev_ms" c.Simnet.Sweep.stddev_ms;
+            g "sweep_retransmissions" c.Simnet.Sweep.retransmissions;
+            g "sweep_failures" (float_of_int c.Simnet.Sweep.failures))
+          sweep.Simnet.Sweep.cells;
+        flush ())
+      metrics
   in
   let protocols =
     Arg.(value & opt_all string [] & info [ "P"; "protocols" ] ~docv:"PROTO" ~doc:"Protocol to include (repeatable).")
@@ -305,7 +401,9 @@ let sweep_cmd =
   in
   Cmd.v
     (Cmd.info "sweep" ~doc:"Cross-product measurement sweep (protocols x sizes x loss rates)")
-    Term.(const run $ protocols $ packet_list $ loss_list $ trials $ seed $ kernel_mode $ csv)
+    Term.(
+      const run $ protocols $ packet_list $ loss_list $ trials $ seed $ kernel_mode $ csv
+      $ metrics_out)
 
 (* ------------------------------------------------------------------ repro *)
 
@@ -346,7 +444,7 @@ let tx_loss =
   Arg.(value & opt float 0.0 & info [ "inject-loss" ] ~doc:"Probability of dropping each outgoing datagram (testing aid).")
 
 let send_cmd =
-  let run protocol host port file size loss seed adaptive =
+  let run protocol host port file size loss seed adaptive trace_out metrics_out =
     let data =
       match file with
       | Some path ->
@@ -365,7 +463,10 @@ let send_cmd =
       else Sockets.Lossy.perfect
     in
     let rtt = if adaptive then Some (Protocol.Rtt.create ~initial_ns:50_000_000 ()) else None in
-    let result = Sockets.Peer.send ~lossy ?rtt ~socket ~peer ~suite:protocol ~data () in
+    let recorder, metrics, flush = telemetry trace_out metrics_out in
+    let result =
+      Sockets.Peer.send ~lossy ?rtt ?recorder ?metrics ~socket ~peer ~suite:protocol ~data ()
+    in
     Unix.close socket;
     Printf.printf "%s: %d bytes in %.1f ms (%d packets, %d retransmitted)\n"
       (match result.Sockets.Peer.outcome with
@@ -375,7 +476,8 @@ let send_cmd =
       (String.length data)
       (float_of_int result.Sockets.Peer.elapsed_ns /. 1e6)
       result.Sockets.Peer.counters.Protocol.Counters.data_sent
-      result.Sockets.Peer.counters.Protocol.Counters.retransmitted_data
+      result.Sockets.Peer.counters.Protocol.Counters.retransmitted_data;
+    flush ()
   in
   let file =
     Arg.(value & opt (some file) None & info [ "file" ] ~docv:"PATH" ~doc:"File to send (otherwise random data).")
@@ -385,10 +487,12 @@ let send_cmd =
   in
   Cmd.v
     (Cmd.info "send" ~doc:"Send a bulk transfer to a lanrepro recv peer over UDP")
-    Term.(const run $ protocol $ host $ port $ file $ size $ tx_loss $ seed $ adaptive)
+    Term.(
+      const run $ protocol $ host $ port $ file $ size $ tx_loss $ seed $ adaptive
+      $ trace_out $ metrics_out)
 
 let recv_cmd =
-  let run protocol port out loss seed =
+  let run protocol port out loss seed trace_out metrics_out =
     let socket = Unix.socket Unix.PF_INET Unix.SOCK_DGRAM 0 in
     Unix.bind socket (Unix.ADDR_INET (Unix.inet_addr_of_string "0.0.0.0", port));
     Printf.printf "listening on UDP port %d...\n%!" port;
@@ -396,26 +500,30 @@ let recv_cmd =
       if loss > 0.0 then Sockets.Lossy.create ~seed ~tx_loss:loss ~rx_loss:0.0
       else Sockets.Lossy.perfect
     in
-    let result = Sockets.Peer.serve_one ~lossy ~socket ~suite:protocol () in
+    let recorder, metrics, flush = telemetry trace_out metrics_out in
+    let result =
+      Sockets.Peer.serve_one ~lossy ?recorder ?metrics ~socket ~suite:protocol ()
+    in
     Unix.close socket;
     Printf.printf "received %d bytes (transfer %d)\n"
       (String.length result.Sockets.Peer.data)
       result.Sockets.Peer.transfer_id;
-    match out with
+    (match out with
     | Some path ->
         let oc = open_out_bin path in
         Fun.protect
           ~finally:(fun () -> close_out oc)
           (fun () -> output_string oc result.Sockets.Peer.data);
         Printf.printf "wrote %s\n" path
-    | None -> ()
+    | None -> ());
+    flush ()
   in
   let out =
     Arg.(value & opt (some string) None & info [ "out" ] ~docv:"PATH" ~doc:"Write the received data to this file.")
   in
   Cmd.v
     (Cmd.info "recv" ~doc:"Receive one bulk transfer over UDP")
-    Term.(const run $ protocol $ port $ out $ tx_loss $ seed)
+    Term.(const run $ protocol $ port $ out $ tx_loss $ seed $ trace_out $ metrics_out)
 
 (* ----------------------------------------------------------- dump/restore *)
 
@@ -487,7 +595,7 @@ let restore_cmd =
 (* ------------------------------------------------------------------ chaos *)
 
 let chaos_cmd =
-  let run iters seed bytes scenario_names =
+  let run iters seed bytes scenario_names suite_names trace_out metrics_out =
     let scenarios =
       match scenario_names with
       | [] -> Faults.Scenario.all
@@ -499,6 +607,19 @@ let chaos_cmd =
               | None ->
                   Printf.eprintf "unknown scenario %S (known: %s)\n" name
                     (String.concat ", " (List.map Faults.Scenario.name Faults.Scenario.all));
+                  exit 2)
+            names
+    in
+    let suites =
+      match suite_names with
+      | [] -> Sockets.Chaos.all_suites
+      | names ->
+          List.map
+            (fun s ->
+              match protocol_of_string s with
+              | `Ok p -> p
+              | `Error m ->
+                  prerr_endline m;
                   exit 2)
             names
     in
@@ -553,9 +674,13 @@ let chaos_cmd =
       Printf.printf "  %-28s %s\n%!" label (Sockets.Chaos.outcome_name r)
     in
     Printf.printf "chaos soak: %d suites x %d scenarios x %d iters, %d bytes each\n%!"
-      (List.length Sockets.Chaos.all_suites)
-      (List.length scenarios) iters bytes;
-    let runs = Sockets.Chaos.run_campaign ~bytes ~scenarios ~iters ~seed ~progress () in
+      (List.length suites) (List.length scenarios) iters bytes;
+    let recorder, metrics, flush = telemetry trace_out metrics_out in
+    let runs =
+      Sockets.Chaos.run_campaign ~bytes ?recorder ?metrics ~suites ~scenarios ~iters ~seed
+        ~progress ()
+    in
+    flush ();
     print_newline ();
     print_string (Report.Fault_table.render (List.rev !rows));
     let violations = Sockets.Chaos.violations runs in
@@ -584,11 +709,15 @@ let chaos_cmd =
     Arg.(value & opt_all string [] & info [ "scenario" ] ~docv:"NAME"
          ~doc:"Fault scenario to run (repeatable; default: all of clean, lossy2, bursty, corrupting, chaos).")
   in
+  let suites =
+    Arg.(value & opt_all string [] & info [ "suite" ] ~docv:"PROTO"
+         ~doc:"Protocol suite to include (repeatable, same syntax as --protocol; default: all seven).")
+  in
   Cmd.v
     (Cmd.info "chaos"
        ~doc:"Chaos soak over real UDP: every protocol suite against adversarial fault scenarios; \
              fails if any transfer hangs, exceeds its attempt bound, or delivers corrupt data")
-    Term.(const run $ iters $ seed $ bytes $ scenarios)
+    Term.(const run $ iters $ seed $ bytes $ scenarios $ suites $ trace_out $ metrics_out)
 
 let () =
   let default = Term.(ret (const (`Help (`Pager, None)))) in

@@ -37,6 +37,7 @@ type t = {
   stages : stage list;
   stats : stats;
   mutable counters : Protocol.Counters.t option;
+  mutable observer : (string -> unit) option;
   mutable held : held list;
 }
 
@@ -58,15 +59,18 @@ let create ?counters ?(seed = 1) scenario =
     stages = List.map (stage_of_injector rng) (Scenario.injectors scenario);
     stats = create_stats ();
     counters;
+    observer = None;
     held = [];
   }
 
 let scenario t = t.scenario
 let stats t = t.stats
 let attach_counters t counters = t.counters <- Some counters
+let set_observer t observer = t.observer <- Some observer
 
-let note t bump =
+let note t label bump =
   bump t.stats;
+  (match t.observer with None -> () | Some f -> f label);
   match t.counters with
   | None -> ()
   | Some c -> c.Protocol.Counters.faults_injected <- c.Protocol.Counters.faults_injected + 1
@@ -87,7 +91,7 @@ let apply_stage t emissions stage =
       List.filter
         (fun _ ->
           if Netmodel.Error_model.drops model then begin
-            note t (fun s -> s.dropped <- s.dropped + 1);
+            note t "drop" (fun s -> s.dropped <- s.dropped + 1);
             false
           end
           else true)
@@ -96,7 +100,7 @@ let apply_stage t emissions stage =
       List.concat_map
         (fun e ->
           if p > 0.0 && Stats.Rng.bernoulli t.rng ~p then begin
-            note t (fun s -> s.duplicated <- s.duplicated + 1);
+            note t "duplicate" (fun s -> s.duplicated <- s.duplicated + 1);
             [ e; { e with data = Bytes.copy e.data } ]
           end
           else [ e ])
@@ -105,7 +109,7 @@ let apply_stage t emissions stage =
       List.filter
         (fun e ->
           if p > 0.0 && Stats.Rng.bernoulli t.rng ~p then begin
-            note t (fun s -> s.reordered <- s.reordered + 1);
+            note t "reorder" (fun s -> s.reordered <- s.reordered + 1);
             t.held <- { countdown = gap; emission = e } :: t.held;
             false
           end
@@ -115,7 +119,7 @@ let apply_stage t emissions stage =
       List.map
         (fun e ->
           if p > 0.0 && Bytes.length e.data > 0 && Stats.Rng.bernoulli t.rng ~p then begin
-            note t (fun s -> s.corrupted <- s.corrupted + 1);
+            note t "corrupt" (fun s -> s.corrupted <- s.corrupted + 1);
             { e with data = flip_bits t ~max_bits e.data }
           end
           else e)
@@ -124,7 +128,7 @@ let apply_stage t emissions stage =
       List.map
         (fun e ->
           if p > 0.0 && Bytes.length e.data > 0 && Stats.Rng.bernoulli t.rng ~p then begin
-            note t (fun s -> s.truncated <- s.truncated + 1);
+            note t "truncate" (fun s -> s.truncated <- s.truncated + 1);
             { e with data = Bytes.sub e.data 0 (Stats.Rng.int t.rng (Bytes.length e.data)) }
           end
           else e)
@@ -133,7 +137,7 @@ let apply_stage t emissions stage =
       List.map
         (fun e ->
           if p > 0.0 && Stats.Rng.bernoulli t.rng ~p then begin
-            note t (fun s -> s.delayed <- s.delayed + 1);
+            note t "delay" (fun s -> s.delayed <- s.delayed + 1);
             let extra = min_ns + Stats.Rng.int t.rng (max_ns - min_ns + 1) in
             { e with delay_ns = e.delay_ns + extra }
           end
@@ -182,5 +186,5 @@ let drops t =
         | Duplicate _ | Hold _ | Flip _ | Cut _ | Jitter _ -> acc)
       false t.stages
   in
-  if dropped then note t (fun s -> s.dropped <- s.dropped + 1);
+  if dropped then note t "drop" (fun s -> s.dropped <- s.dropped + 1);
   dropped

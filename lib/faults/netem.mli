@@ -43,6 +43,12 @@ val attach_counters : t -> Protocol.Counters.t -> unit
     call this so a transfer's own counter record reflects the injections,
     even though the Netem was created before the transfer's counters. *)
 
+val set_observer : t -> (string -> unit) -> unit
+(** Installs a callback fired once per injected fault with its name
+    ("drop", "duplicate", "reorder", "corrupt", "truncate", "delay") — the
+    telemetry layer's journal hook. Fires exactly when [faults_injected]
+    is bumped, so event counts and counters agree. *)
+
 val tx_bytes : t -> bytes -> emission list
 (** Runs one outgoing datagram through the injector pipeline. The input is
     copied, never mutated. An empty result means the datagram was dropped or

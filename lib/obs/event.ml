@@ -1,0 +1,71 @@
+type kind =
+  | Tx
+  | Retransmit
+  | Rx
+  | Duplicate
+  | Drop
+  | Timeout
+  | Fault
+  | Corrupt_reject
+  | Garbage
+  | Deliver
+  | Complete
+
+type t = { ts_ns : int; lane : string; kind : kind; detail : string; seq : int }
+
+let make ~ts_ns ~lane ~kind ?(detail = "") ?(seq = -1) () = { ts_ns; lane; kind; detail; seq }
+
+let kind_to_string = function
+  | Tx -> "tx"
+  | Retransmit -> "retransmit"
+  | Rx -> "rx"
+  | Duplicate -> "duplicate"
+  | Drop -> "drop"
+  | Timeout -> "timeout"
+  | Fault -> "fault"
+  | Corrupt_reject -> "corrupt-reject"
+  | Garbage -> "garbage"
+  | Deliver -> "deliver"
+  | Complete -> "complete"
+
+let all_kinds =
+  [ Tx; Retransmit; Rx; Duplicate; Drop; Timeout; Fault; Corrupt_reject; Garbage; Deliver; Complete ]
+
+let kind_of_string s = List.find_opt (fun k -> kind_to_string k = s) all_kinds
+
+let equal a b =
+  a.ts_ns = b.ts_ns && a.lane = b.lane && a.kind = b.kind && a.detail = b.detail
+  && a.seq = b.seq
+
+let pp ppf t =
+  Format.fprintf ppf "%.3fms %s %s" (float_of_int t.ts_ns /. 1e6) t.lane (kind_to_string t.kind);
+  if t.seq >= 0 then Format.fprintf ppf " seq=%d" t.seq;
+  if t.detail <> "" then Format.fprintf ppf " (%s)" t.detail
+
+let to_json t =
+  let fields =
+    [ ("ts", Json.Int t.ts_ns); ("lane", Json.String t.lane);
+      ("ev", Json.String (kind_to_string t.kind)) ]
+  in
+  let fields = if t.detail = "" then fields else fields @ [ ("detail", Json.String t.detail) ] in
+  let fields = if t.seq < 0 then fields else fields @ [ ("seq", Json.Int t.seq) ] in
+  Json.Obj fields
+
+let of_json json =
+  let ( let* ) = Result.bind in
+  let field name extract =
+    match Option.bind (Json.member name json) extract with
+    | Some v -> Ok v
+    | None -> Error (Printf.sprintf "event: missing or invalid %S" name)
+  in
+  let* ts_ns = field "ts" Json.to_int in
+  let* lane = field "lane" Json.to_str in
+  let* kind_name = field "ev" Json.to_str in
+  let* kind =
+    match kind_of_string kind_name with
+    | Some k -> Ok k
+    | None -> Error (Printf.sprintf "event: unknown kind %S" kind_name)
+  in
+  let detail = Option.value ~default:"" (Option.bind (Json.member "detail" json) Json.to_str) in
+  let seq = Option.value ~default:(-1) (Option.bind (Json.member "seq" json) Json.to_int) in
+  Ok { ts_ns; lane; kind; detail; seq }

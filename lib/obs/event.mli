@@ -1,0 +1,45 @@
+(** Structured datagram events — the cross-transport journal entry.
+
+    Both transports (the discrete-event simulator and the real UDP peer)
+    reduce their activity to the same vocabulary of timestamped events, so a
+    chaos run over loopback and a simulated transfer produce journals that
+    tools downstream (the flight recorder, the JSONL/Chrome exporters, the
+    timeline renderer) treat identically. Timestamps are simulation time on
+    the simulator and [CLOCK_MONOTONIC] on UDP, normalized by the recorder to
+    the journal's first event. *)
+
+type kind =
+  | Tx  (** a protocol [Send] handed to the transport *)
+  | Retransmit  (** a data packet re-sent for an already-transmitted seq *)
+  | Rx  (** a decoded datagram arrived at the endpoint *)
+  | Duplicate  (** the machine classified the last datagram as a duplicate *)
+  | Drop  (** the endpoint loss layer discarded a datagram ([detail]: tx/rx) *)
+  | Timeout  (** a retransmission or handshake timer fired *)
+  | Fault  (** the Netem pipeline injected a fault; [detail] names it *)
+  | Corrupt_reject  (** checksum/CRC rejected an incoming datagram *)
+  | Garbage  (** an incoming datagram was undecodable for any other reason *)
+  | Deliver  (** a data packet reached the application buffer *)
+  | Complete  (** the machine finished; [detail] is the outcome *)
+
+type t = {
+  ts_ns : int;  (** journal-relative nanoseconds, never negative *)
+  lane : string;  (** emitting endpoint, e.g. ["sender"], ["receiver"] *)
+  kind : kind;
+  detail : string;  (** packet kind / fault name / outcome; [""] when n/a *)
+  seq : int;  (** sequence number; [-1] when not applicable *)
+}
+
+val make : ts_ns:int -> lane:string -> kind:kind -> ?detail:string -> ?seq:int -> unit -> t
+
+val kind_to_string : kind -> string
+val kind_of_string : string -> kind option
+val all_kinds : kind list
+
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit
+
+val to_json : t -> Json.t
+(** Compact object: [{"ts":…,"lane":…,"ev":…}] plus ["detail"]/["seq"] only
+    when meaningful. *)
+
+val of_json : Json.t -> (t, string) result

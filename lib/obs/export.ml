@@ -1,0 +1,130 @@
+(* ----------------------------------------------------------------- JSONL *)
+
+let jsonl_of_events events =
+  let buffer = Buffer.create 1024 in
+  List.iter
+    (fun event ->
+      Json.to_buffer buffer (Event.to_json event);
+      Buffer.add_char buffer '\n')
+    events;
+  Buffer.contents buffer
+
+let events_of_jsonl text =
+  let lines = String.split_on_char '\n' text in
+  let rec loop acc index = function
+    | [] -> Ok (List.rev acc)
+    | line :: rest ->
+        let line = String.trim line in
+        if line = "" then loop acc (index + 1) rest
+        else begin
+          match Json.parse line with
+          | Error e -> Error (Printf.sprintf "line %d: %s" index e)
+          | Ok json -> (
+              match Json.member "ev" json with
+              | None -> loop acc (index + 1) rest (* meta line, not an event *)
+              | Some _ -> (
+                  match Event.of_json json with
+                  | Ok event -> loop (event :: acc) (index + 1) rest
+                  | Error e -> Error (Printf.sprintf "line %d: %s" index e)))
+        end
+  in
+  loop [] 1 lines
+
+let write_file path contents =
+  let oc = open_out path in
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () -> output_string oc contents)
+
+let write_jsonl path events = write_file path (jsonl_of_events events)
+
+let read_jsonl_file path =
+  let ic = open_in path in
+  let contents =
+    Fun.protect
+      ~finally:(fun () -> close_in ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  in
+  events_of_jsonl contents
+
+(* ---------------------------------------------------- Chrome trace_event *)
+
+let us_of_ns ns = float_of_int ns /. 1e3
+
+(* One emission record, so spans and instants sort into one timeline. *)
+type emission = { ts_ns : int; json : Json.t }
+
+let chrome ?(spans = []) ?(events = []) () =
+  let lanes =
+    let seen = Hashtbl.create 8 in
+    let next = ref 0 in
+    let tid lane =
+      match Hashtbl.find_opt seen lane with
+      | Some tid -> tid
+      | None ->
+          incr next;
+          Hashtbl.add seen lane !next;
+          !next
+    in
+    List.iter (fun (s : Span.t) -> ignore (tid s.Span.lane : int)) spans;
+    List.iter (fun (e : Event.t) -> ignore (tid e.Event.lane : int)) events;
+    tid
+  in
+  let span_emission (s : Span.t) =
+    {
+      ts_ns = s.Span.start_ns;
+      json =
+        Json.Obj
+          [ ("name", Json.String s.Span.kind); ("ph", Json.String "X");
+            ("pid", Json.Int 1); ("tid", Json.Int (lanes s.Span.lane));
+            ("ts", Json.Float (us_of_ns s.Span.start_ns));
+            ("dur", Json.Float (us_of_ns s.Span.dur_ns));
+            ("cat", Json.String "span") ];
+    }
+  in
+  let event_emission (e : Event.t) =
+    let args =
+      (if e.Event.detail = "" then [] else [ ("detail", Json.String e.Event.detail) ])
+      @ if e.Event.seq < 0 then [] else [ ("seq", Json.Int e.Event.seq) ]
+    in
+    {
+      ts_ns = e.Event.ts_ns;
+      json =
+        Json.Obj
+          ([ ("name", Json.String (Event.kind_to_string e.Event.kind));
+             ("ph", Json.String "i"); ("s", Json.String "t"); ("pid", Json.Int 1);
+             ("tid", Json.Int (lanes e.Event.lane));
+             ("ts", Json.Float (us_of_ns e.Event.ts_ns));
+             ("cat", Json.String "event") ]
+          @ if args = [] then [] else [ ("args", Json.Obj args) ]);
+    }
+  in
+  let emissions =
+    List.map span_emission spans @ List.map event_emission events
+    |> List.stable_sort (fun a b -> compare a.ts_ns b.ts_ns)
+  in
+  let lane_names =
+    (* Collect in tid order for stable metadata records. *)
+    let table = Hashtbl.create 8 in
+    List.iter
+      (fun (s : Span.t) -> Hashtbl.replace table (lanes s.Span.lane) s.Span.lane)
+      spans;
+    List.iter
+      (fun (e : Event.t) -> Hashtbl.replace table (lanes e.Event.lane) e.Event.lane)
+      events;
+    Hashtbl.fold (fun tid name acc -> (tid, name) :: acc) table []
+    |> List.sort (fun (a, _) (b, _) -> compare a b)
+  in
+  let metadata =
+    List.map
+      (fun (tid, name) ->
+        Json.Obj
+          [ ("name", Json.String "thread_name"); ("ph", Json.String "M");
+            ("pid", Json.Int 1); ("tid", Json.Int tid);
+            ("args", Json.Obj [ ("name", Json.String name) ]) ])
+      lane_names
+  in
+  Json.Obj
+    [ ("traceEvents", Json.List (metadata @ List.map (fun e -> e.json) emissions));
+      ("displayTimeUnit", Json.String "ms") ]
+
+let chrome_string ?spans ?events () = Json.to_string (chrome ?spans ?events ())
+let write_chrome path ?spans ?events () = write_file path (chrome_string ?spans ?events ())

@@ -1,0 +1,26 @@
+(** Exporters: JSONL event journals and Chrome [trace_event] JSON.
+
+    The JSONL journal is one {!Event} object per line and round-trips
+    exactly ({!events_of_jsonl} is the inverse of {!jsonl_of_events}); lines
+    that are valid JSON but not events — such as the flight recorder's
+    postmortem meta line — are skipped on read. The Chrome exporter emits
+    the [trace_event] format that Perfetto and [chrome://tracing] load
+    directly: spans as ["ph":"X"] complete events, journal events as
+    ["ph":"i"] instants, one thread per lane, microsecond timestamps sorted
+    ascending. *)
+
+val jsonl_of_events : Event.t list -> string
+val events_of_jsonl : string -> (Event.t list, string) result
+(** Fails on the first malformed line; skips blank and non-event lines. *)
+
+val write_jsonl : string -> Event.t list -> unit
+val read_jsonl_file : string -> (Event.t list, string) result
+
+val chrome : ?spans:Span.t list -> ?events:Event.t list -> unit -> Json.t
+(** [{"traceEvents":[…],"displayTimeUnit":"ms"}]. Instants carry their
+    journal [detail]/[seq] in ["args"], so event categories remain countable
+    in the exported file (the acceptance check that retransmit/fault counts
+    match the transfer's counters greps exactly this). *)
+
+val chrome_string : ?spans:Span.t list -> ?events:Event.t list -> unit -> string
+val write_chrome : string -> ?spans:Span.t list -> ?events:Event.t list -> unit -> unit

@@ -1,0 +1,309 @@
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+(* ---------------------------------------------------------------- writer *)
+
+let escape_to buffer s =
+  Buffer.add_char buffer '"';
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buffer "\\\""
+      | '\\' -> Buffer.add_string buffer "\\\\"
+      | '\n' -> Buffer.add_string buffer "\\n"
+      | '\r' -> Buffer.add_string buffer "\\r"
+      | '\t' -> Buffer.add_string buffer "\\t"
+      | '\b' -> Buffer.add_string buffer "\\b"
+      | '\012' -> Buffer.add_string buffer "\\f"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buffer (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buffer c)
+    s;
+  Buffer.add_char buffer '"'
+
+let float_to_string f =
+  if Float.is_integer f && Float.abs f < 1e15 then Printf.sprintf "%.1f" f
+  else
+    (* Shortest representation that round-trips. *)
+    let s = Printf.sprintf "%.15g" f in
+    if float_of_string s = f then s else Printf.sprintf "%.17g" f
+
+let rec to_buffer buffer = function
+  | Null -> Buffer.add_string buffer "null"
+  | Bool b -> Buffer.add_string buffer (if b then "true" else "false")
+  | Int n -> Buffer.add_string buffer (string_of_int n)
+  | Float f ->
+      if Float.is_finite f then Buffer.add_string buffer (float_to_string f)
+      else Buffer.add_string buffer "null"
+  | String s -> escape_to buffer s
+  | List items ->
+      Buffer.add_char buffer '[';
+      List.iteri
+        (fun i item ->
+          if i > 0 then Buffer.add_char buffer ',';
+          to_buffer buffer item)
+        items;
+      Buffer.add_char buffer ']'
+  | Obj fields ->
+      Buffer.add_char buffer '{';
+      List.iteri
+        (fun i (key, value) ->
+          if i > 0 then Buffer.add_char buffer ',';
+          escape_to buffer key;
+          Buffer.add_char buffer ':';
+          to_buffer buffer value)
+        fields;
+      Buffer.add_char buffer '}'
+
+let to_string t =
+  let buffer = Buffer.create 256 in
+  to_buffer buffer t;
+  Buffer.contents buffer
+
+(* ---------------------------------------------------------------- parser *)
+
+exception Fail of string
+
+type cursor = { text : string; mutable pos : int }
+
+let fail cursor fmt =
+  Printf.ksprintf (fun m -> raise (Fail (Printf.sprintf "at %d: %s" cursor.pos m))) fmt
+
+let peek cursor = if cursor.pos < String.length cursor.text then Some cursor.text.[cursor.pos] else None
+
+let advance cursor = cursor.pos <- cursor.pos + 1
+
+let skip_ws cursor =
+  let rec loop () =
+    match peek cursor with
+    | Some (' ' | '\t' | '\n' | '\r') ->
+        advance cursor;
+        loop ()
+    | _ -> ()
+  in
+  loop ()
+
+let expect cursor c =
+  match peek cursor with
+  | Some got when got = c -> advance cursor
+  | Some got -> fail cursor "expected %c, found %c" c got
+  | None -> fail cursor "expected %c, found end of input" c
+
+let literal cursor word value =
+  let n = String.length word in
+  if
+    cursor.pos + n <= String.length cursor.text
+    && String.sub cursor.text cursor.pos n = word
+  then begin
+    cursor.pos <- cursor.pos + n;
+    value
+  end
+  else fail cursor "invalid literal"
+
+(* UTF-8 encode one code point (the \uXXXX path). *)
+let add_utf8 buffer cp =
+  if cp < 0x80 then Buffer.add_char buffer (Char.chr cp)
+  else if cp < 0x800 then begin
+    Buffer.add_char buffer (Char.chr (0xC0 lor (cp lsr 6)));
+    Buffer.add_char buffer (Char.chr (0x80 lor (cp land 0x3F)))
+  end
+  else if cp < 0x10000 then begin
+    Buffer.add_char buffer (Char.chr (0xE0 lor (cp lsr 12)));
+    Buffer.add_char buffer (Char.chr (0x80 lor ((cp lsr 6) land 0x3F)));
+    Buffer.add_char buffer (Char.chr (0x80 lor (cp land 0x3F)))
+  end
+  else begin
+    Buffer.add_char buffer (Char.chr (0xF0 lor (cp lsr 18)));
+    Buffer.add_char buffer (Char.chr (0x80 lor ((cp lsr 12) land 0x3F)));
+    Buffer.add_char buffer (Char.chr (0x80 lor ((cp lsr 6) land 0x3F)));
+    Buffer.add_char buffer (Char.chr (0x80 lor (cp land 0x3F)))
+  end
+
+let hex4 cursor =
+  let code = ref 0 in
+  for _ = 1 to 4 do
+    let digit =
+      match peek cursor with
+      | Some ('0' .. '9' as c) -> Char.code c - Char.code '0'
+      | Some ('a' .. 'f' as c) -> Char.code c - Char.code 'a' + 10
+      | Some ('A' .. 'F' as c) -> Char.code c - Char.code 'A' + 10
+      | _ -> fail cursor "invalid \\u escape"
+    in
+    advance cursor;
+    code := (!code * 16) + digit
+  done;
+  !code
+
+let parse_string cursor =
+  expect cursor '"';
+  let buffer = Buffer.create 16 in
+  let rec loop () =
+    match peek cursor with
+    | None -> fail cursor "unterminated string"
+    | Some '"' -> advance cursor
+    | Some '\\' -> begin
+        advance cursor;
+        (match peek cursor with
+        | Some '"' -> advance cursor; Buffer.add_char buffer '"'
+        | Some '\\' -> advance cursor; Buffer.add_char buffer '\\'
+        | Some '/' -> advance cursor; Buffer.add_char buffer '/'
+        | Some 'n' -> advance cursor; Buffer.add_char buffer '\n'
+        | Some 't' -> advance cursor; Buffer.add_char buffer '\t'
+        | Some 'r' -> advance cursor; Buffer.add_char buffer '\r'
+        | Some 'b' -> advance cursor; Buffer.add_char buffer '\b'
+        | Some 'f' -> advance cursor; Buffer.add_char buffer '\012'
+        | Some 'u' ->
+            advance cursor;
+            let cp = hex4 cursor in
+            let cp =
+              (* A high surrogate must be followed by \u of the low half. *)
+              if cp >= 0xD800 && cp <= 0xDBFF then begin
+                expect cursor '\\';
+                expect cursor 'u';
+                let low = hex4 cursor in
+                if low < 0xDC00 || low > 0xDFFF then fail cursor "invalid surrogate pair";
+                0x10000 + ((cp - 0xD800) lsl 10) + (low - 0xDC00)
+              end
+              else cp
+            in
+            add_utf8 buffer cp
+        | _ -> fail cursor "invalid escape");
+        loop ()
+      end
+    | Some c when Char.code c < 0x20 -> fail cursor "raw control character in string"
+    | Some c ->
+        advance cursor;
+        Buffer.add_char buffer c;
+        loop ()
+  in
+  loop ();
+  Buffer.contents buffer
+
+let parse_number cursor =
+  let start = cursor.pos in
+  let integral = ref true in
+  let consume () = advance cursor in
+  (match peek cursor with Some '-' -> consume () | _ -> ());
+  let rec digits () =
+    match peek cursor with
+    | Some '0' .. '9' ->
+        consume ();
+        digits ()
+    | _ -> ()
+  in
+  digits ();
+  (match peek cursor with
+  | Some '.' ->
+      integral := false;
+      consume ();
+      digits ()
+  | _ -> ());
+  (match peek cursor with
+  | Some ('e' | 'E') ->
+      integral := false;
+      consume ();
+      (match peek cursor with Some ('+' | '-') -> consume () | _ -> ());
+      digits ()
+  | _ -> ());
+  let token = String.sub cursor.text start (cursor.pos - start) in
+  if !integral then
+    match int_of_string_opt token with
+    | Some n -> Int n
+    | None -> (
+        match float_of_string_opt token with
+        | Some f -> Float f
+        | None -> fail cursor "invalid number %S" token)
+  else
+    match float_of_string_opt token with
+    | Some f -> Float f
+    | None -> fail cursor "invalid number %S" token
+
+let rec parse_value cursor =
+  skip_ws cursor;
+  match peek cursor with
+  | None -> fail cursor "unexpected end of input"
+  | Some 'n' -> literal cursor "null" Null
+  | Some 't' -> literal cursor "true" (Bool true)
+  | Some 'f' -> literal cursor "false" (Bool false)
+  | Some '"' -> String (parse_string cursor)
+  | Some ('-' | '0' .. '9') -> parse_number cursor
+  | Some '[' ->
+      advance cursor;
+      skip_ws cursor;
+      if peek cursor = Some ']' then begin
+        advance cursor;
+        List []
+      end
+      else begin
+        let items = ref [ parse_value cursor ] in
+        let rec loop () =
+          skip_ws cursor;
+          match peek cursor with
+          | Some ',' ->
+              advance cursor;
+              items := parse_value cursor :: !items;
+              loop ()
+          | Some ']' -> advance cursor
+          | _ -> fail cursor "expected , or ] in array"
+        in
+        loop ();
+        List (List.rev !items)
+      end
+  | Some '{' ->
+      advance cursor;
+      skip_ws cursor;
+      if peek cursor = Some '}' then begin
+        advance cursor;
+        Obj []
+      end
+      else begin
+        let field () =
+          skip_ws cursor;
+          let key = parse_string cursor in
+          skip_ws cursor;
+          expect cursor ':';
+          (key, parse_value cursor)
+        in
+        let fields = ref [ field () ] in
+        let rec loop () =
+          skip_ws cursor;
+          match peek cursor with
+          | Some ',' ->
+              advance cursor;
+              fields := field () :: !fields;
+              loop ()
+          | Some '}' -> advance cursor
+          | _ -> fail cursor "expected , or } in object"
+        in
+        loop ();
+        Obj (List.rev !fields)
+      end
+  | Some c -> fail cursor "unexpected character %c" c
+
+let parse text =
+  let cursor = { text; pos = 0 } in
+  match parse_value cursor with
+  | value ->
+      skip_ws cursor;
+      if cursor.pos = String.length text then Ok value
+      else Error (Printf.sprintf "trailing characters at %d" cursor.pos)
+  | exception Fail message -> Error message
+
+(* ------------------------------------------------------------- accessors *)
+
+let member key = function Obj fields -> List.assoc_opt key fields | _ -> None
+
+let to_int = function
+  | Int n -> Some n
+  | Float f when Float.is_integer f -> Some (int_of_float f)
+  | _ -> None
+
+let to_float = function Float f -> Some f | Int n -> Some (float_of_int n) | _ -> None
+let to_str = function String s -> Some s | _ -> None
+let to_list = function List items -> Some items | _ -> None

@@ -1,0 +1,36 @@
+(** Minimal self-contained JSON tree, writer and parser.
+
+    The repository deliberately has no third-party JSON dependency, so the
+    telemetry exporters (JSONL event journals, Chrome [trace_event] files)
+    carry their own small implementation. The writer emits strictly valid
+    JSON (non-finite floats become [null]); the parser accepts everything the
+    writer produces plus ordinary interchange JSON, which is enough to
+    round-trip journals and to validate exported traces in tests. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+val to_buffer : Buffer.t -> t -> unit
+val to_string : t -> string
+
+val parse : string -> (t, string) result
+(** Parses one JSON value; trailing non-whitespace is an error. Numbers
+    without fraction or exponent become [Int], all others [Float]. *)
+
+val member : string -> t -> t option
+(** Field lookup in an [Obj]; [None] on missing field or non-object. *)
+
+val to_int : t -> int option
+(** [Int n], or a [Float] with an exact integer value. *)
+
+val to_float : t -> float option
+(** [Float] or [Int]. *)
+
+val to_str : t -> string option
+val to_list : t -> t list option

@@ -1,0 +1,58 @@
+(** Named, labelled metrics registry — the single sink every component
+    publishes through.
+
+    Counters and gauges are registered on first use and shared on every later
+    lookup of the same (name, labels) pair; histograms wrap
+    {!Stats.Histogram} and summaries {!Stats.Summary}, so the statistical
+    machinery the campaigns already use feeds the same snapshots. A
+    {!Protocol.Counters.t} record bridges in wholesale via {!add_counters},
+    which is how protocol machines, [Simnet.Driver], [Sockets.Peer] and the
+    chaos soak all land in one registry. Snapshots render as an aligned text
+    table or as JSON. *)
+
+type t
+
+type counter
+type gauge
+
+val create : unit -> t
+
+val counter : t -> ?labels:(string * string) list -> string -> counter
+(** Registers (or retrieves) the counter with this name and label set.
+    Raises [Invalid_argument] if the name is already registered as a
+    different instrument type. *)
+
+val inc : ?by:int -> counter -> unit
+val counter_value : counter -> int
+
+val gauge : t -> ?labels:(string * string) list -> string -> gauge
+val set_gauge : gauge -> float -> unit
+val gauge_value : gauge -> float
+
+val histogram :
+  t ->
+  ?labels:(string * string) list ->
+  ?log:bool ->
+  lo:float ->
+  hi:float ->
+  bins:int ->
+  string ->
+  Stats.Histogram.t
+(** The bin geometry is fixed by the first registration; later lookups
+    return the same histogram and ignore the geometry arguments. *)
+
+val summary : t -> ?labels:(string * string) list -> string -> Stats.Summary.t
+
+val bridge_counters : t -> ?labels:(string * string) list -> Protocol.Counters.t -> unit
+(** Adds every field of a {!Protocol.Counters.t} into counters named
+    [protocol_data_sent], [protocol_retransmitted_data], … under the given
+    labels. Call it once per finished transfer. *)
+
+val to_table : t -> string
+(** One aligned line per instrument, sorted by name then labels. *)
+
+val to_json : t -> Json.t
+(** A list of [{"name";"labels";"type";…}] objects, sorted like
+    {!to_table}. *)
+
+val pp : Format.formatter -> t -> unit

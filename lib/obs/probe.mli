@@ -1,0 +1,39 @@
+(** Per-endpoint instrumentation shim between a transport and a recorder.
+
+    A probe owns the endpoint's lane name and watches its
+    {!Protocol.Counters.t} so that the events it emits agree {e exactly} with
+    the counter record: a data [Send] is classified [Retransmit] precisely
+    when the machine bumped [retransmitted_data] for it, and [Duplicate]
+    events mirror [duplicates_received]. Every operation is a no-op when no
+    recorder is attached, so the instrumented hot paths cost one branch. *)
+
+type t
+
+val create : ?recorder:Recorder.t -> lane:string -> counters:Protocol.Counters.t -> unit -> t
+val enabled : t -> bool
+val recorder : t -> Recorder.t option
+
+val tx : t -> Packet.Message.t -> unit
+(** Call on each executed [Send]. Emits [Tx], or [Retransmit] for a data
+    packet the machine accounted as a retransmission. *)
+
+val rx : t -> Packet.Message.t -> unit
+(** Call when a decoded datagram arrives, before the machine handles it. *)
+
+val handled : t -> Packet.Message.t -> unit
+(** Call after the machine handled an incoming message; emits [Duplicate]
+    if the machine classified it as one. *)
+
+val timeout : t -> ?detail:string -> unit -> unit
+val deliver : t -> seq:int -> unit
+val complete : t -> Protocol.Action.outcome -> unit
+val drop : t -> [ `Tx | `Rx ] -> unit
+val reject : t -> Packet.Codec.error -> unit
+(** Emits [Corrupt_reject] for checksum/CRC failures, [Garbage] otherwise —
+    the same split the counters use. *)
+
+val fault : t -> string -> unit
+(** Target for {!Faults.Netem.set_observer}: one injected fault, by name. *)
+
+val postmortem : t -> reason:string -> string option
+(** Delegates to the recorder; [None] when disabled or empty. *)

@@ -1,0 +1,39 @@
+open Eventsim
+
+type t = { lane : string; kind : string; start_ns : int; dur_ns : int }
+
+let of_trace trace =
+  List.map
+    (fun (s : Trace.span) ->
+      {
+        lane = s.Trace.lane;
+        kind = s.Trace.kind;
+        start_ns = Time.to_ns s.Trace.start;
+        dur_ns = Time.span_to_ns (Time.diff s.Trace.stop s.Trace.start);
+      })
+    (Trace.spans trace)
+
+let to_trace spans =
+  let trace = Trace.create () in
+  List.iter
+    (fun s ->
+      Trace.record trace ~lane:s.lane ~kind:s.kind ~start:(Time.of_ns s.start_ns)
+        ~stop:(Time.of_ns (s.start_ns + s.dur_ns)))
+    spans;
+  trace
+
+let kind_of_event (e : Event.t) =
+  match e.Event.kind with
+  | Event.Tx | Event.Retransmit ->
+      if e.Event.detail = "data" then "transmit-data" else "transmit-ack"
+  | Event.Rx -> if e.Event.detail = "data" then "copy-data-in" else "copy-ack-in"
+  | Event.Deliver -> "copy-data-out"
+  | kind -> Event.kind_to_string kind
+
+let of_events events =
+  List.map
+    (fun (e : Event.t) ->
+      { lane = e.Event.lane; kind = kind_of_event e; start_ns = e.Event.ts_ns; dur_ns = 0 })
+    events
+
+let end_ns spans = List.fold_left (fun acc s -> max acc (s.start_ns + s.dur_ns)) 0 spans

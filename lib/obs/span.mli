@@ -1,0 +1,26 @@
+(** The unified span model: simulator traces and UDP event journals
+    normalized into one [(lane, kind, start, duration)] shape.
+
+    {!Eventsim.Trace} spans map across losslessly ({!of_trace} /
+    {!to_trace} round-trip exactly, so {!Report.Timeline} renders a
+    converted trace identically). Point events from the UDP journal become
+    zero-length spans whose kinds reuse the simulator's vocabulary
+    ([transmit-data], [copy-data-in], …), which is what lets the timeline
+    renderer draw a Figure-3-style diagram for either transport. *)
+
+type t = { lane : string; kind : string; start_ns : int; dur_ns : int }
+
+val of_trace : Eventsim.Trace.t -> t list
+(** In recording order. *)
+
+val to_trace : t list -> Eventsim.Trace.t
+
+val of_events : Event.t list -> t list
+(** Maps journal events onto the timeline vocabulary: [Tx]/[Retransmit] of
+    data become [transmit-data] (acks/reqs/nacks [transmit-ack]), [Rx]
+    becomes [copy-data-in]/[copy-ack-in], [Deliver] becomes [copy-data-out];
+    every other kind keeps its journal name (rendered with the fallback
+    glyph). All spans are zero-length instants. *)
+
+val end_ns : t list -> int
+(** Largest [start_ns + dur_ns]; [0] when empty. *)

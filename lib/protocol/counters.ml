@@ -27,11 +27,12 @@ let create () =
     garbage_received = 0;
   }
 
+(* Every field prints even when zero, so logs from clean and faulty runs
+   stay grep-stable. *)
 let pp ppf t =
   Format.fprintf ppf
-    "data=%d (retx %d) acks=%d nacks=%d rounds=%d timeouts=%d dups=%d delivered=%d"
+    "data=%d (retx %d) acks=%d nacks=%d rounds=%d timeouts=%d dups=%d delivered=%d \
+     faults=%d corrupt-rejects=%d garbage=%d"
     t.data_sent t.retransmitted_data t.acks_sent t.nacks_sent t.rounds t.timeouts
-    t.duplicates_received t.delivered;
-  if t.faults_injected + t.corrupt_detected + t.garbage_received > 0 then
-    Format.fprintf ppf " faults=%d corrupt-rejects=%d garbage=%d" t.faults_injected
-      t.corrupt_detected t.garbage_received
+    t.duplicates_received t.delivered t.faults_injected t.corrupt_detected
+    t.garbage_received

@@ -16,11 +16,11 @@ let frame_bytes = Endpoint.frame_bytes
 
 (* One protocol endpoint plus a receive pump copying frames out of the
    interface and feeding them to the machine. *)
-let endpoint ?faults ?on_undecodable ?rtt ?pacing ~sim ~params ~station ~peer
+let endpoint ?faults ?on_undecodable ?probe ?rtt ?pacing ~sim ~params ~station ~peer
     ~(machine : Protocol.Machine.t) ~(on_deliver : int -> string -> unit)
     ~(on_complete : Protocol.Action.outcome -> unit) () =
   let endpoint =
-    Endpoint.create ?faults ?on_undecodable ?rtt ?pacing ~sim ~params ~station ~peer
+    Endpoint.create ?faults ?on_undecodable ?probe ?rtt ?pacing ~sim ~params ~station ~peer
       ~machine ~deliver:on_deliver ~on_complete ()
   in
   Proc.spawn (Proc.env sim) ~name:(Netmodel.Station.name station ^ "-rx") (fun () ->
@@ -31,8 +31,12 @@ let endpoint ?faults ?on_undecodable ?rtt ?pacing ~sim ~params ~station ~peer
 
 let run ?(params = Netmodel.Params.standalone) ?network_error ?interface_error ?trace
     ?arbiter ?(background = fun _ -> ()) ?rtt ?pacing ?sender_faults ?receiver_faults
-    ?(payload = fun _ -> "") ~suite ~(config : Protocol.Config.t) () =
+    ?recorder ?metrics ?(payload = fun _ -> "") ~suite ~(config : Protocol.Config.t) () =
   let sim = Sim.create () in
+  (* Journal timestamps are simulation time on this transport. *)
+  Option.iter
+    (fun r -> Obs.Recorder.set_clock r (fun () -> Time.to_ns (Sim.now sim)))
+    recorder;
   let wire =
     Netmodel.Wire.create sim ~params ?network_error ?interface_error ?trace ?arbiter ()
   in
@@ -41,12 +45,21 @@ let run ?(params = Netmodel.Params.standalone) ?network_error ?interface_error ?
   let receiver_station = Netmodel.Station.create wire ~name:"receiver" in
   let sender_counters = Protocol.Counters.create () in
   let receiver_counters = Protocol.Counters.create () in
+  let sender_probe = Obs.Probe.create ?recorder ~lane:"sender" ~counters:sender_counters () in
+  let receiver_probe =
+    Obs.Probe.create ?recorder ~lane:"receiver" ~counters:receiver_counters ()
+  in
+  Option.iter (fun n -> Faults.Netem.set_observer n (Obs.Probe.fault sender_probe)) sender_faults;
+  Option.iter
+    (fun n -> Faults.Netem.set_observer n (Obs.Probe.fault receiver_probe))
+    receiver_faults;
   (* Each side's injection count lands in its own counters; an emission the
      codec rejects would have been discarded by the *other* side's interface,
      so the detection is charged there. *)
   Option.iter (fun n -> Faults.Netem.attach_counters n sender_counters) sender_faults;
   Option.iter (fun n -> Faults.Netem.attach_counters n receiver_counters) receiver_faults;
-  let reject (counters : Protocol.Counters.t) (err : Packet.Codec.error) =
+  let reject probe (counters : Protocol.Counters.t) (err : Packet.Codec.error) =
+    Obs.Probe.reject probe err;
     match err with
     | Packet.Codec.Bad_header_checksum | Packet.Codec.Bad_payload_checksum ->
         counters.Protocol.Counters.corrupt_detected <-
@@ -59,8 +72,9 @@ let run ?(params = Netmodel.Params.standalone) ?network_error ?interface_error ?
   let receiver_machine = Protocol.Suite.receiver suite ~counters:receiver_counters config in
   let delivered : (int, string) Hashtbl.t = Hashtbl.create 64 in
   let completion = ref None in
-  endpoint ?faults:receiver_faults ~on_undecodable:(reject sender_counters) ~sim ~params
-    ~station:receiver_station
+  endpoint ?faults:receiver_faults
+    ~on_undecodable:(reject sender_probe sender_counters)
+    ~probe:receiver_probe ~sim ~params ~station:receiver_station
     ~peer:(Netmodel.Station.address sender_station)
     ~machine:receiver_machine
     ~on_deliver:(fun seq payload ->
@@ -68,8 +82,9 @@ let run ?(params = Netmodel.Params.standalone) ?network_error ?interface_error ?
       Hashtbl.add delivered seq payload)
     ~on_complete:(fun _ -> ())
     ();
-  endpoint ?faults:sender_faults ~on_undecodable:(reject receiver_counters) ?rtt ?pacing
-    ~sim ~params ~station:sender_station
+  endpoint ?faults:sender_faults
+    ~on_undecodable:(reject receiver_probe receiver_counters)
+    ~probe:sender_probe ?rtt ?pacing ~sim ~params ~station:sender_station
     ~peer:(Netmodel.Station.address receiver_station)
     ~machine:sender_machine
     ~on_deliver:(fun _ _ -> ())
@@ -85,6 +100,33 @@ let run ?(params = Netmodel.Params.standalone) ?network_error ?interface_error ?
   match !completion with
   | None -> failwith "Driver.run: simulation drained before the sender completed"
   | Some (outcome, finished_at) ->
+      (match metrics with
+      | None -> ()
+      | Some m ->
+          (* Both machines publish through the one sink, split by label. *)
+          Obs.Metrics.bridge_counters m
+            ~labels:[ ("side", "sender"); ("transport", "sim") ]
+            sender_counters;
+          Obs.Metrics.bridge_counters m
+            ~labels:[ ("side", "receiver"); ("transport", "sim") ]
+            receiver_counters;
+          Obs.Metrics.set_gauge
+            (Obs.Metrics.gauge m ~labels:[ ("transport", "sim") ] "elapsed_ms")
+            (Time.span_to_ms (Time.diff finished_at Time.zero));
+          Obs.Metrics.set_gauge
+            (Obs.Metrics.gauge m ~labels:[ ("transport", "sim") ] "wire_utilization")
+            (Netmodel.Wire.utilization wire));
+      (match outcome with
+      | Protocol.Action.Success -> ()
+      | Protocol.Action.Too_many_attempts | Protocol.Action.Peer_unreachable ->
+          (* Failure outcome: flush the flight recorder for postmortem. *)
+          Option.iter
+            (fun r ->
+              ignore
+                (Obs.Recorder.postmortem r
+                   ~reason:(Format.asprintf "%a" Protocol.Action.pp_outcome outcome)
+                  : string option))
+            recorder);
       let received =
         Hashtbl.fold (fun seq payload acc -> (seq, payload) :: acc) delivered []
         |> List.sort (fun (a, _) (b, _) -> compare a b)

@@ -43,6 +43,8 @@ val run :
   ?pacing:Eventsim.Time.span ->
   ?sender_faults:Faults.Netem.t ->
   ?receiver_faults:Faults.Netem.t ->
+  ?recorder:Obs.Recorder.t ->
+  ?metrics:Obs.Metrics.t ->
   ?payload:(int -> string) ->
   suite:Protocol.Suite.t ->
   config:Protocol.Config.t ->
@@ -61,6 +63,11 @@ val run :
     uses. Each Netem's injection count is attached to its side's counters;
     emissions the codec rejects are charged to the {e opposite} side's
     [corrupt_detected]/[garbage_received] (the interface that would have
-    discarded the frame). *)
+    discarded the frame).
+
+    [recorder] journals both endpoints' datagram events (lanes ["sender"] /
+    ["receiver"], timestamps in simulation time) and is dumped automatically
+    on a failure outcome. [metrics] receives both counter records plus
+    elapsed-time and utilization gauges when the run completes. *)
 
 val elapsed_ms : result -> float

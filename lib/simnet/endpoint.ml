@@ -12,8 +12,13 @@ let frame_bytes (params : Netmodel.Params.t) (m : Packet.Message.t) =
   | Packet.Kind.Nack ->
       params.Netmodel.Params.ack_packet_bytes + String.length m.Packet.Message.payload
 
-let create ?faults ?on_undecodable ?rtt ?(pacing = Time.span_zero) ~sim ~params ~station
-    ~peer ~machine ~deliver ~on_complete () =
+let create ?faults ?on_undecodable ?probe ?rtt ?(pacing = Time.span_zero) ~sim ~params
+    ~station ~peer ~machine ~deliver ~on_complete () =
+  let probe =
+    match probe with
+    | Some p -> p
+    | None -> Obs.Probe.create ~lane:(Netmodel.Station.name station) ~counters:machine.Protocol.Machine.counters ()
+  in
   let events : Protocol.Action.event Mailbox.t = Mailbox.create ~capacity:max_int in
   let timer =
     Timer.create sim ~on_fire:(fun () -> ignore (Mailbox.try_put events Protocol.Action.Timeout))
@@ -45,6 +50,7 @@ let create ?faults ?on_undecodable ?rtt ?(pacing = Time.span_zero) ~sim ~params 
   let execute action =
     match action with
     | Protocol.Action.Send m ->
+        Obs.Probe.tx probe m;
         transmit m;
         (* Sender-side pacing: breathe between data packets so a slower
            receiver is never overrun (flow control by rate). *)
@@ -58,8 +64,12 @@ let create ?faults ?on_undecodable ?rtt ?(pacing = Time.span_zero) ~sim ~params 
         let ns = match rtt with Some r -> Protocol.Rtt.timeout_ns r | None -> ns in
         Timer.arm timer (Time.span_ns ns)
     | Protocol.Action.Stop_timer -> Timer.stop timer
-    | Protocol.Action.Deliver { seq; payload } -> deliver seq payload
-    | Protocol.Action.Complete outcome -> on_complete outcome
+    | Protocol.Action.Deliver { seq; payload } ->
+        Obs.Probe.deliver probe ~seq;
+        deliver seq payload
+    | Protocol.Action.Complete outcome ->
+        Obs.Probe.complete probe outcome;
+        on_complete outcome
   in
   let note_event event =
     match (rtt, event) with
@@ -83,7 +93,9 @@ let create ?faults ?on_undecodable ?rtt ?(pacing = Time.span_zero) ~sim ~params 
     if (not !notified) && machine.Protocol.Machine.is_complete () then begin
       notified := true;
       match machine.Protocol.Machine.outcome () with
-      | Some outcome -> on_complete outcome
+      | Some outcome ->
+          Obs.Probe.complete probe outcome;
+          on_complete outcome
       | None -> ()
     end
   in
@@ -103,7 +115,13 @@ let create ?faults ?on_undecodable ?rtt ?(pacing = Time.span_zero) ~sim ~params 
       while true do
         let event = Mailbox.get events in
         note_event event;
+        (match event with
+        | Protocol.Action.Message m -> Obs.Probe.rx probe m
+        | Protocol.Action.Timeout -> Obs.Probe.timeout probe ());
         List.iter execute (machine.Protocol.Machine.handle event);
+        (match event with
+        | Protocol.Action.Message m -> Obs.Probe.handled probe m
+        | Protocol.Action.Timeout -> ());
         check_quiet_completion ()
       done);
   t

@@ -15,6 +15,7 @@ val frame_bytes : Netmodel.Params.t -> Packet.Message.t -> int
 val create :
   ?faults:Faults.Netem.t ->
   ?on_undecodable:(Packet.Codec.error -> unit) ->
+  ?probe:Obs.Probe.t ->
   ?rtt:Protocol.Rtt.t ->
   ?pacing:Eventsim.Time.span ->
   sim:Eventsim.Sim.t ->
@@ -44,7 +45,12 @@ val create :
     reordered or delayed copies, corruptions). Emissions the codec can no
     longer decode are discarded — the wire carries typed messages — and
     reported through [on_undecodable], standing in for the receiving
-    interface rejecting a frame with a bad checksum. *)
+    interface rejecting a frame with a bad checksum.
+
+    [probe] journals the endpoint's datagram activity (tx/retransmit, rx,
+    duplicates, timeouts, delivery, completion) into an attached flight
+    recorder; without one a disabled probe is used and every hook is a
+    no-op. *)
 
 val inject : t -> Protocol.Action.event -> unit
 (** Queues an event for the machine (safe from any process or callback). *)

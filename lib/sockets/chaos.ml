@@ -50,7 +50,7 @@ let check_invariant ~data ~max_attempts ~total_packets send received =
             None)
 
 let run_one ?(packet_bytes = 512) ?(retransmit_ns = 8_000_000) ?(max_attempts = 30)
-    ?(bytes = 6_000) ~seed ~suite ~scenario () =
+    ?(bytes = 6_000) ?recorder ?metrics ~seed ~suite ~scenario () =
   let data = random_data (Stats.Rng.create ~seed:(seed * 11 + 5)) bytes in
   let sender_netem = Faults.Netem.create ~seed:((seed * 2) + 1) scenario in
   let receiver_netem = Faults.Netem.create ~seed:((seed * 2) + 2) scenario in
@@ -68,7 +68,8 @@ let run_one ?(packet_bytes = 512) ?(retransmit_ns = 8_000_000) ?(max_attempts = 
           received :=
             Some
               (Peer.serve_one ~faults:receiver_netem ~retransmit_ns ~max_attempts
-                 ~idle_timeout_ns ~accept_timeout_ns ~socket:receiver_socket ())
+                 ~idle_timeout_ns ~accept_timeout_ns ?recorder ?metrics
+                 ~socket:receiver_socket ())
         with _ -> ())
       ()
   in
@@ -76,13 +77,20 @@ let run_one ?(packet_bytes = 512) ?(retransmit_ns = 8_000_000) ?(max_attempts = 
     try
       Some
         (Peer.send ~faults:sender_netem ~packet_bytes ~retransmit_ns ~max_attempts
-           ~idle_timeout_ns ~socket:sender_socket ~peer:receiver_address ~suite ~data ())
+           ~idle_timeout_ns ?recorder ?metrics ~socket:sender_socket
+           ~peer:receiver_address ~suite ~data ())
     with _ -> None
   in
   Thread.join receiver_thread;
   Udp.close receiver_socket;
   Udp.close sender_socket;
   let total_packets = (bytes + packet_bytes - 1) / packet_bytes in
+  let violation = check_invariant ~data ~max_attempts ~total_packets send !received in
+  (* An invariant breach is exactly what the flight recorder exists for. *)
+  (match (violation, recorder) with
+  | Some reason, Some r ->
+      ignore (Obs.Recorder.postmortem r ~reason:("chaos: " ^ reason) : string option)
+  | _ -> ());
   {
     suite;
     scenario;
@@ -92,7 +100,7 @@ let run_one ?(packet_bytes = 512) ?(retransmit_ns = 8_000_000) ?(max_attempts = 
     received = !received;
     sender_faults = Faults.Netem.stats sender_netem;
     receiver_faults = Faults.Netem.stats receiver_netem;
-    violation = check_invariant ~data ~max_attempts ~total_packets send !received;
+    violation;
   }
 
 let all_suites =
@@ -106,7 +114,7 @@ let all_suites =
     Protocol.Suite.Multi_blast { strategy = Protocol.Blast.Go_back_n; chunk_packets = 4 };
   ]
 
-let run_campaign ?packet_bytes ?retransmit_ns ?max_attempts ?bytes
+let run_campaign ?packet_bytes ?retransmit_ns ?max_attempts ?bytes ?recorder ?metrics
     ?(suites = all_suites) ?(scenarios = Faults.Scenario.all) ?(iters = 1) ?(seed = 1)
     ?(progress = fun _ -> ()) () =
   let runs = ref [] in
@@ -119,8 +127,8 @@ let run_campaign ?packet_bytes ?retransmit_ns ?max_attempts ?bytes
             incr index;
             let seed = (seed * 1_000_003) + (!index * 97) + iter in
             let run =
-              run_one ?packet_bytes ?retransmit_ns ?max_attempts ?bytes ~seed ~suite
-                ~scenario ()
+              run_one ?packet_bytes ?retransmit_ns ?max_attempts ?bytes ?recorder
+                ?metrics ~seed ~suite ~scenario ()
             in
             progress run;
             runs := run :: !runs

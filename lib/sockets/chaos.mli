@@ -35,6 +35,8 @@ val run_one :
   ?retransmit_ns:int ->
   ?max_attempts:int ->
   ?bytes:int ->
+  ?recorder:Obs.Recorder.t ->
+  ?metrics:Obs.Metrics.t ->
   seed:int ->
   suite:Protocol.Suite.t ->
   scenario:Faults.Scenario.t ->
@@ -42,7 +44,13 @@ val run_one :
   run
 (** One transfer, fully deterministic in [seed] modulo scheduling noise.
     Defaults are sized for a fast soak: 6000 bytes in 512-byte packets, 8 ms
-    retransmission interval, 30 attempts. *)
+    retransmission interval, 30 attempts.
+
+    [recorder] is shared by both endpoint threads (it is thread-safe):
+    sender events land on lane ["sender"], receiver events on ["receiver"],
+    fault injections included. On an invariant violation the ring is dumped
+    as a postmortem JSONL journal. [metrics] receives both sides' counter
+    records, labelled by [side] with [transport=udp]. *)
 
 val all_suites : Protocol.Suite.t list
 (** The seven suite configurations the soak exercises: stop-and-wait,
@@ -53,6 +61,8 @@ val run_campaign :
   ?retransmit_ns:int ->
   ?max_attempts:int ->
   ?bytes:int ->
+  ?recorder:Obs.Recorder.t ->
+  ?metrics:Obs.Metrics.t ->
   ?suites:Protocol.Suite.t list ->
   ?scenarios:Faults.Scenario.t list ->
   ?iters:int ->

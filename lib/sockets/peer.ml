@@ -27,7 +27,11 @@ type receive_result = {
    out late) — head-of-line delay rather than per-datagram jitter, which is
    what a slow link does to a single UDP flow anyway. Scenario validation caps
    delays at one second so a faulted sender can never stall unboundedly. *)
-let transmit ?faults ~lossy ~socket ~peer message =
+let transmit ?faults ~probe ~lossy ~socket ~peer message =
+  (* The journal entry fires per protocol send, before the loss coin — the
+     machine's counters account the send either way, and the events must
+     agree with them exactly. *)
+  Obs.Probe.tx probe message;
   if Lossy.pass_tx lossy then begin
     match faults with
     | None -> Udp.send_message socket peer message
@@ -38,8 +42,10 @@ let transmit ?faults ~lossy ~socket ~peer message =
             Udp.send_bytes socket peer data)
           (Faults.Netem.tx_bytes netem (Packet.Codec.encode message))
   end
+  else Obs.Probe.drop probe `Tx
 
-let count_garbage (counters : Protocol.Counters.t) reason =
+let count_garbage ~probe (counters : Protocol.Counters.t) reason =
+  Obs.Probe.reject probe reason;
   match reason with
   | Packet.Codec.Bad_header_checksum | Packet.Codec.Bad_payload_checksum ->
       counters.Protocol.Counters.corrupt_detected <-
@@ -55,7 +61,8 @@ let count_garbage (counters : Protocol.Counters.t) reason =
    machines never arm a timer, so without the watchdog a sender that dies
    mid-transfer would block this loop forever. *)
 let run_machine ?faults ?(lossy = Lossy.perfect) ?(extra = fun _ -> ()) ?rtt ?(pacing_ns = 0)
-    ?idle_timeout_ns ~socket ~peer ~transfer_id ~(machine : Protocol.Machine.t) ~deliver () =
+    ?idle_timeout_ns ~probe ~socket ~peer ~transfer_id ~(machine : Protocol.Machine.t)
+    ~deliver () =
   let deadline = ref None in
   let idle_deadline = ref (Option.map (fun ns -> Udp.now_ns () + ns) idle_timeout_ns) in
   let reset_idle () =
@@ -66,7 +73,7 @@ let run_machine ?faults ?(lossy = Lossy.perfect) ?(extra = fun _ -> ()) ?rtt ?(p
   let execute action =
     match action with
     | Protocol.Action.Send m ->
-        transmit ?faults ~lossy ~socket ~peer m;
+        transmit ?faults ~probe ~lossy ~socket ~peer m;
         (* Pacing: an unthrottled blast overruns the receiver's socket
            buffer exactly as the paper's 3-Com overran at full speed; a
            small inter-packet gap avoids the drops instead of repairing
@@ -79,10 +86,15 @@ let run_machine ?faults ?(lossy = Lossy.perfect) ?(extra = fun _ -> ()) ?rtt ?(p
         let ns = match rtt with Some r -> Protocol.Rtt.timeout_ns r | None -> ns in
         deadline := Some (Udp.now_ns () + ns)
     | Protocol.Action.Stop_timer -> deadline := None
-    | Protocol.Action.Deliver { seq; payload } -> deliver seq payload
+    | Protocol.Action.Deliver { seq; payload } ->
+        Obs.Probe.deliver probe ~seq;
+        deliver seq payload
     | Protocol.Action.Complete _ -> ()
   in
   let handle event =
+    (match event with
+    | Protocol.Action.Timeout -> Obs.Probe.timeout probe ()
+    | Protocol.Action.Message m -> Obs.Probe.rx probe m);
     (* Adaptive timeout: sample clean round trips, back off on expiry
        (Karn's rule). *)
     (match (rtt, event) with
@@ -97,7 +109,10 @@ let run_machine ?faults ?(lossy = Lossy.perfect) ?(extra = fun _ -> ()) ?rtt ?(p
         | _ -> ()
       end
     | None, _ -> ());
-    List.iter execute (machine.Protocol.Machine.handle event)
+    List.iter execute (machine.Protocol.Machine.handle event);
+    match event with
+    | Protocol.Action.Message m -> Obs.Probe.handled probe m
+    | Protocol.Action.Timeout -> ()
   in
   List.iter execute (machine.Protocol.Machine.start ());
   let watchdog_fired = ref false in
@@ -134,7 +149,7 @@ let run_machine ?faults ?(lossy = Lossy.perfect) ?(extra = fun _ -> ()) ?rtt ?(p
           end
         | `Garbage reason ->
             reset_idle ();
-            count_garbage machine.Protocol.Machine.counters reason;
+            count_garbage ~probe machine.Protocol.Machine.counters reason;
             Log.debug (fun f ->
                 f "dropping undecodable datagram (%a)" Packet.Codec.pp_error reason)
         | `Message (m, _) ->
@@ -144,13 +159,18 @@ let run_machine ?faults ?(lossy = Lossy.perfect) ?(extra = fun _ -> ()) ?rtt ?(p
                 handle (Protocol.Action.Message m)
               else extra m
             end
+            else Obs.Probe.drop probe `Rx
       end
   done;
-  if !watchdog_fired then `Peer_idle else `Completed
+  if !watchdog_fired then begin
+    Obs.Probe.timeout probe ~detail:"idle-watchdog" ();
+    `Peer_idle
+  end
+  else `Completed
 
 (* After completion, keep answering duplicates for a grace period so a sender
    whose final ack was lost can still finish. *)
-let linger ?faults ?(lossy = Lossy.perfect) ~socket ~peer ~transfer_id
+let linger ?faults ?(lossy = Lossy.perfect) ~probe ~socket ~peer ~transfer_id
     ~(machine : Protocol.Machine.t) ~linger_ns () =
   let stop_at = Udp.now_ns () + linger_ns in
   let rec loop () =
@@ -159,15 +179,19 @@ let linger ?faults ?(lossy = Lossy.perfect) ~socket ~peer ~transfer_id
       match Udp.recv_message ~timeout_ns:remaining socket with
       | `Timeout -> ()
       | `Garbage reason ->
-          count_garbage machine.Protocol.Machine.counters reason;
+          count_garbage ~probe machine.Protocol.Machine.counters reason;
           loop ()
       | `Message (m, _) ->
-          if Lossy.pass_rx lossy && m.Packet.Message.transfer_id = transfer_id then
+          if Lossy.pass_rx lossy && m.Packet.Message.transfer_id = transfer_id then begin
+            Obs.Probe.rx probe m;
             List.iter
               (function
-                | Protocol.Action.Send reply -> transmit ?faults ~lossy ~socket ~peer reply
+                | Protocol.Action.Send reply ->
+                    transmit ?faults ~probe ~lossy ~socket ~peer reply
                 | _ -> ())
               (machine.Protocol.Machine.handle (Protocol.Action.Message m));
+            Obs.Probe.handled probe m
+          end;
           loop ()
     end
   in
@@ -175,14 +199,19 @@ let linger ?faults ?(lossy = Lossy.perfect) ~socket ~peer ~transfer_id
 
 let send ?faults ?(lossy = Lossy.perfect) ?(transfer_id = 1) ?(packet_bytes = 1024)
     ?(retransmit_ns = 50_000_000) ?(max_attempts = 50) ?rtt ?pacing_ns ?idle_timeout_ns
-    ~socket ~peer ~suite ~data () =
+    ?recorder ?metrics ~socket ~peer ~suite ~data () =
   if String.length data = 0 then invalid_arg "Peer.send: empty data";
   let idle_timeout_ns =
     Option.value idle_timeout_ns ~default:(max_attempts * retransmit_ns)
   in
   let counters = Protocol.Counters.create () in
+  (* Journal timestamps are CLOCK_MONOTONIC on this transport. *)
+  Option.iter (fun r -> Obs.Recorder.set_clock r Udp.now_ns) recorder;
+  let probe = Obs.Probe.create ?recorder ~lane:"sender" ~counters () in
   (match faults with
-  | Some netem -> Faults.Netem.attach_counters netem counters
+  | Some netem ->
+      Faults.Netem.attach_counters netem counters;
+      Faults.Netem.set_observer netem (Obs.Probe.fault probe)
   | None -> ());
   let total_bytes = String.length data in
   let total_packets = (total_bytes + packet_bytes - 1) / packet_bytes in
@@ -202,14 +231,35 @@ let send ?faults ?(lossy = Lossy.perfect) ?(transfer_id = 1) ?(packet_bytes = 10
     }
   in
   let started = Udp.now_ns () in
+  let finish ~outcome ~elapsed_ns =
+    Obs.Probe.complete probe outcome;
+    (match outcome with
+    | Protocol.Action.Success -> ()
+    | Protocol.Action.Too_many_attempts | Protocol.Action.Peer_unreachable ->
+        ignore
+          (Obs.Probe.postmortem probe
+             ~reason:(Format.asprintf "send: %a" Protocol.Action.pp_outcome outcome)
+            : string option));
+    (match metrics with
+    | None -> ()
+    | Some m ->
+        let labels = [ ("side", "sender"); ("transport", "udp") ] in
+        Obs.Metrics.bridge_counters m ~labels counters;
+        Obs.Metrics.set_gauge
+          (Obs.Metrics.gauge m ~labels "elapsed_ms")
+          (float_of_int elapsed_ns /. 1e6));
+    { outcome; elapsed_ns; counters }
+  in
   let rec handshake attempt =
     if attempt > max_attempts then `Unreachable
     else begin
-      transmit ?faults ~lossy ~socket ~peer req;
+      transmit ?faults ~probe ~lossy ~socket ~peer req;
       match Udp.recv_message ~timeout_ns:retransmit_ns socket with
-      | `Timeout -> handshake (attempt + 1)
+      | `Timeout ->
+          Obs.Probe.timeout probe ~detail:"handshake" ();
+          handshake (attempt + 1)
       | `Garbage reason ->
-          count_garbage counters reason;
+          count_garbage ~probe counters reason;
           handshake (attempt + 1)
       | `Message (m, _) ->
           if
@@ -224,11 +274,7 @@ let send ?faults ?(lossy = Lossy.perfect) ?(transfer_id = 1) ?(packet_bytes = 10
   match handshake 1 with
   | `Unreachable ->
       Log.info (fun f -> f "handshake exhausted %d attempts; peer unreachable" max_attempts);
-      {
-        outcome = Protocol.Action.Peer_unreachable;
-        elapsed_ns = Udp.now_ns () - started;
-        counters;
-      }
+      finish ~outcome:Protocol.Action.Peer_unreachable ~elapsed_ns:(Udp.now_ns () - started)
   | `Acknowledged ->
       let payload seq =
         let offset = seq * packet_bytes in
@@ -237,7 +283,7 @@ let send ?faults ?(lossy = Lossy.perfect) ?(transfer_id = 1) ?(packet_bytes = 10
       let machine = Protocol.Suite.sender suite ~counters config ~payload in
       let started = Udp.now_ns () in
       let status =
-        run_machine ?faults ~lossy ?rtt ?pacing_ns ~idle_timeout_ns ~socket ~peer
+        run_machine ?faults ~lossy ?rtt ?pacing_ns ~idle_timeout_ns ~probe ~socket ~peer
           ~transfer_id ~machine
           ~deliver:(fun _ _ -> ())
           ()
@@ -253,19 +299,35 @@ let send ?faults ?(lossy = Lossy.perfect) ?(transfer_id = 1) ?(packet_bytes = 10
             | Some outcome -> outcome
             | None -> Protocol.Action.Peer_unreachable)
       in
-      { outcome; elapsed_ns = Udp.now_ns () - started; counters }
+      finish ~outcome ~elapsed_ns:(Udp.now_ns () - started)
 
 let serve_one ?faults ?(lossy = Lossy.perfect) ?(retransmit_ns = 50_000_000)
-    ?(max_attempts = 50) ?linger_ns ?idle_timeout_ns ?accept_timeout_ns ?suite ~socket () =
+    ?(max_attempts = 50) ?linger_ns ?idle_timeout_ns ?accept_timeout_ns ?recorder ?metrics
+    ?suite ~socket () =
   let linger_ns = Option.value linger_ns ~default:(3 * retransmit_ns) in
   let idle_timeout_ns =
     Option.value idle_timeout_ns ~default:(max_attempts * retransmit_ns)
   in
   let counters = Protocol.Counters.create () in
+  Option.iter (fun r -> Obs.Recorder.set_clock r Udp.now_ns) recorder;
+  let probe = Obs.Probe.create ?recorder ~lane:"receiver" ~counters () in
   (match faults with
-  | Some netem -> Faults.Netem.attach_counters netem counters
+  | Some netem ->
+      Faults.Netem.attach_counters netem counters;
+      Faults.Netem.set_observer netem (Obs.Probe.fault probe)
   | None -> ());
+  let publish_metrics () =
+    match metrics with
+    | None -> ()
+    | Some m ->
+        Obs.Metrics.bridge_counters m
+          ~labels:[ ("side", "receiver"); ("transport", "udp") ]
+          counters
+  in
   let aborted ~transfer_id =
+    Obs.Probe.complete probe Protocol.Action.Peer_unreachable;
+    ignore (Obs.Probe.postmortem probe ~reason:"serve_one: peer unreachable" : string option);
+    publish_metrics ();
     {
       data = "";
       transfer_id;
@@ -285,15 +347,20 @@ let serve_one ?faults ?(lossy = Lossy.perfect) ?(retransmit_ns = 50_000_000)
         match Udp.recv_message ?timeout_ns socket with
         | `Timeout -> if accept_deadline = None then await_req () else `Gone
         | `Garbage reason ->
-            count_garbage counters reason;
+            count_garbage ~probe counters reason;
             await_req ()
         | `Message (m, from) -> begin
-            if not (Lossy.pass_rx lossy) then await_req ()
+            if not (Lossy.pass_rx lossy) then begin
+              Obs.Probe.drop probe `Rx;
+              await_req ()
+            end
             else
               match
                 (m.Packet.Message.kind, Suite_codec.decode m.Packet.Message.payload)
               with
-              | Packet.Kind.Req, Some info -> `Req (m.Packet.Message.transfer_id, info, from)
+              | Packet.Kind.Req, Some info ->
+                  Obs.Probe.rx probe m;
+                  `Req (m.Packet.Message.transfer_id, info, from)
               | _ -> await_req ()
           end
       end
@@ -326,11 +393,11 @@ let serve_one ?faults ?(lossy = Lossy.perfect) ?(retransmit_ns = 50_000_000)
       in
       let machine = Protocol.Suite.receiver suite ~counters config in
       let handshake_ack = Packet.Message.ack ~transfer_id ~seq:0 ~total:total_packets in
-      transmit ?faults ~lossy ~socket ~peer:sender_address handshake_ack;
+      transmit ?faults ~probe ~lossy ~socket ~peer:sender_address handshake_ack;
       (* A lost handshake ack shows up as a duplicate REQ mid-transfer. *)
       let extra m =
         if m.Packet.Message.kind = Packet.Kind.Req then
-          transmit ?faults ~lossy ~socket ~peer:sender_address handshake_ack
+          transmit ?faults ~probe ~lossy ~socket ~peer:sender_address handshake_ack
       in
       let machine_view =
         (* The machine keys on its own transfer id; duplicate REQs share it,
@@ -347,13 +414,13 @@ let serve_one ?faults ?(lossy = Lossy.perfect) ?(retransmit_ns = 50_000_000)
         }
       in
       let status =
-        run_machine ?faults ~lossy ~idle_timeout_ns ~socket ~peer:sender_address
+        run_machine ?faults ~lossy ~idle_timeout_ns ~probe ~socket ~peer:sender_address
           ~transfer_id ~machine:machine_view ~deliver ()
       in
       (match status with
       | `Peer_idle -> ()
       | `Completed ->
-          linger ?faults ~lossy ~socket ~peer:sender_address ~transfer_id ~machine
+          linger ?faults ~lossy ~probe ~socket ~peer:sender_address ~transfer_id ~machine
             ~linger_ns ());
       (match faults with
       | Some netem -> ignore (Faults.Netem.flush netem : Faults.Netem.emission list)
@@ -361,6 +428,8 @@ let serve_one ?faults ?(lossy = Lossy.perfect) ?(retransmit_ns = 50_000_000)
       (match status with
       | `Peer_idle -> aborted ~transfer_id
       | `Completed ->
+          Obs.Probe.complete probe Protocol.Action.Success;
+          publish_metrics ();
           let data = Bytes.to_string buffer in
           let integrity =
             match info.Suite_codec.data_crc with

@@ -50,6 +50,8 @@ val send :
   ?rtt:Protocol.Rtt.t ->
   ?pacing_ns:int ->
   ?idle_timeout_ns:int ->
+  ?recorder:Obs.Recorder.t ->
+  ?metrics:Obs.Metrics.t ->
   socket:Unix.file_descr ->
   peer:Unix.sockaddr ->
   suite:Protocol.Suite.t ->
@@ -63,7 +65,13 @@ val send :
     [pacing_ns] sleeps after each data datagram so an unthrottled blast does
     not overrun the receiver's socket buffer. [faults] runs every outgoing
     datagram through a Netem pipeline (its injection count is surfaced in
-    [counters.faults_injected]). *)
+    [counters.faults_injected]).
+
+    [recorder] journals the sender's datagram events on lane ["sender"]
+    (timestamps from the monotonic clock, normalized to the first event) and
+    is dumped automatically on a non-[Success] outcome. [metrics] receives
+    the counter record and an elapsed-time gauge, labelled
+    [side=sender, transport=udp]. *)
 
 val serve_one :
   ?faults:Faults.Netem.t ->
@@ -73,6 +81,8 @@ val serve_one :
   ?linger_ns:int ->
   ?idle_timeout_ns:int ->
   ?accept_timeout_ns:int ->
+  ?recorder:Obs.Recorder.t ->
+  ?metrics:Obs.Metrics.t ->
   ?suite:Protocol.Suite.t ->
   socket:Unix.file_descr ->
   unit ->
@@ -88,4 +98,10 @@ val serve_one :
     transfer is underway, a sender that goes silent for [idle_timeout_ns]
     (default [max_attempts * retransmit_ns]) trips the watchdog and the call
     returns with [receive_outcome = Peer_unreachable] — [serve_one] can no
-    longer block indefinitely on a dead sender. *)
+    longer block indefinitely on a dead sender.
+
+    [recorder] journals the receiver's datagram events on lane ["receiver"];
+    sharing one recorder between [send] and [serve_one] (the chaos soak does)
+    is safe — it is thread-safe and the clock installation is idempotent.
+    [metrics] receives the counter record labelled
+    [side=receiver, transport=udp]. *)
