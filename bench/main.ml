@@ -101,7 +101,44 @@ let bench_suites =
     Protocol.Suite.Multi_blast { strategy = Protocol.Blast.Go_back_n; chunk_packets = 4 };
   ]
 
-let write_bench_json () =
+(* Wall-clock for the same 2000-trial Monte-Carlo sample at one worker and
+   at the requested parallelism. The results are bit-for-bit identical by
+   the Exec.Pool contract; only the wall time may differ (on a multi-core
+   machine). *)
+let mc_parallel_rows jobs =
+  let sample strategy ~jobs =
+    ignore
+      (Montecarlo.Runner.sample ~jobs
+         ~sampler:(fun rng -> Montecarlo.Runner.iid rng ~loss:1e-3)
+         ~timing:
+           (Montecarlo.Runner.blast_timing kernel_costs
+              ~tr:(Analysis.Error_free.blast kernel_costs ~packets:64))
+         ~suite:(Protocol.Suite.Blast strategy) ~packets:64 ~trials:2000 ~seed:1 ()
+        : Montecarlo.Runner.sample)
+  in
+  List.map
+    (fun (label, strategy) ->
+      let (), serial_wall = wall_ns (fun () -> sample strategy ~jobs:1) in
+      let (), parallel_wall = wall_ns (fun () -> sample strategy ~jobs) in
+      Obs.Json.Obj
+        [
+          ("kernel", Obs.Json.String label);
+          ( "protocol",
+            Obs.Json.String (Protocol.Suite.name (Protocol.Suite.Blast strategy)) );
+          ("trials", Obs.Json.Int 2000);
+          ("jobs", Obs.Json.Int jobs);
+          ("wall_ns_jobs1", Obs.Json.Int serial_wall);
+          ("wall_ns_jobsN", Obs.Json.Int parallel_wall);
+          ( "speedup",
+            Obs.Json.Float (float_of_int serial_wall /. float_of_int (max 1 parallel_wall))
+          );
+        ])
+    [
+      ("fig5:mc-full-retransmit", Protocol.Blast.Full_retransmit);
+      ("fig6:mc-go-back-n", Protocol.Blast.Go_back_n);
+    ]
+
+let write_bench_json ~jobs () =
   let packets = 64 in
   let sim_rows =
     List.map
@@ -147,10 +184,14 @@ let write_bench_json () =
   let json =
     Obs.Json.Obj
       [
-        ("schema", Obs.Json.String "lanrepro-bench/1");
+        ("schema", Obs.Json.String "lanrepro-bench/2");
         ("packets", Obs.Json.Int packets);
+        (* Context for mc_parallel: speedup > 1 is only possible when the
+           host actually has cores to spread the domains over. *)
+        ("recommended_domains", Obs.Json.Int (Domain.recommended_domain_count ()));
         ("sim_transfer", Obs.Json.List sim_rows);
         ("mc_kernels", Obs.Json.List mc_rows);
+        ("mc_parallel", Obs.Json.List (mc_parallel_rows jobs));
       ]
   in
   let oc = open_out bench_json_path in
@@ -180,8 +221,30 @@ let run_bechamel () =
         (Test.elements test))
     tests
 
+(* Pull a "--jobs N" (or "-j N") pair out of the raw argument list before
+   the experiment-name filter runs: the numeric value would otherwise be
+   mistaken for an experiment name. *)
+let extract_jobs args =
+  let rec go acc = function
+    | [] -> (None, List.rev acc)
+    | ("--jobs" | "-j") :: value :: rest -> begin
+        match int_of_string_opt value with
+        | Some j when j > 0 -> (Some j, List.rev_append acc rest)
+        | _ ->
+            Printf.eprintf "bench: --jobs expects a positive integer, got %S\n" value;
+            exit 2
+      end
+    | ("--jobs" | "-j") :: [] ->
+        Printf.eprintf "bench: --jobs expects a value\n";
+        exit 2
+    | a :: rest -> go (a :: acc) rest
+  in
+  go [] args
+
 let () =
   let args = List.tl (Array.to_list Sys.argv) in
+  let jobs_opt, args = extract_jobs args in
+  let jobs = match jobs_opt with Some j -> j | None -> Exec.Pool.default_jobs () in
   let list_only = List.mem "--list" args in
   let no_bechamel = List.mem "--no-bechamel" args in
   let selected = List.filter (fun a -> not (String.length a > 1 && a.[0] = '-')) args in
@@ -199,9 +262,10 @@ let () =
                 exit 2)
           selected
     in
+    Printf.printf "bench: jobs=%d (parallel Monte-Carlo timings)\n%!" jobs;
     let ppf = Format.std_formatter in
     List.iter (fun (_, f) -> f ppf) to_run;
     Format.pp_print_flush ppf ();
-    write_bench_json ();
+    write_bench_json ~jobs ();
     if not no_bechamel then run_bechamel ()
   end

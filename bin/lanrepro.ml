@@ -66,6 +66,18 @@ let loss =
 let seed = Arg.(value & opt int 1 & info [ "seed" ] ~doc:"Random seed.")
 let trials = Arg.(value & opt int 30 & info [ "trials" ] ~doc:"Number of trials.")
 
+let jobs =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "j"; "jobs" ] ~docv:"N"
+        ~doc:
+          "Worker domains for parallel trials. Defaults to $(b,LANREPRO_JOBS) when set, \
+           else the machine's recommended domain count. Results are identical at any \
+           value.")
+
+let effective_jobs = function Some j -> j | None -> Exec.Pool.default_jobs ()
+
 let kernel_mode =
   Arg.(value & flag & info [ "kernel" ] ~doc:"Use the V-kernel cost constants (Table 3) instead of the standalone ones (Table 2).")
 
@@ -117,8 +129,9 @@ let adaptive =
   Arg.(value & flag & info [ "adaptive" ] ~doc:"Use an adaptive (Jacobson/Karn) retransmission timeout.")
 
 let simulate_cmd =
-  let run protocol packets loss interface_loss trials seed kernel adaptive trace_out
+  let run protocol packets loss interface_loss trials seed kernel adaptive jobs trace_out
       metrics_out =
+    let jobs = effective_jobs jobs in
     let spec =
       Simnet.Campaign.default ~params:(params_of kernel) ~network_loss:loss
         ~interface_loss ~trials ~seed ~suite:protocol
@@ -132,8 +145,11 @@ let simulate_cmd =
         let elapsed = Stats.Summary.create () in
         let retransmissions = Stats.Summary.create () in
         let failures = ref 0 in
+        (* A shared estimator makes trials order-dependent, so this branch is
+           inherently serial; per-trial streams still come from the same
+           [derive] path the parallel campaign uses. *)
         for trial = 0 to trials - 1 do
-          let rng = Stats.Rng.create ~seed:((seed * 1_000_003) + trial) in
+          let rng = Stats.Rng.derive ~root:seed ~index:trial in
           let error m l = if l = 0.0 then m else Netmodel.Error_model.iid rng ~loss:l in
           let result =
             Simnet.Driver.run ~params:(params_of kernel)
@@ -153,10 +169,11 @@ let simulate_cmd =
         done;
         { Simnet.Campaign.elapsed_ms = elapsed; failures = !failures; retransmissions }
       end
-      else Simnet.Campaign.run spec
+      else Simnet.Campaign.run ~jobs spec
     in
-    Printf.printf "%s, %d KiB, loss=%g (network) %g (interface), %d trials:\n"
-      (Protocol.Suite.name protocol) packets loss interface_loss trials;
+    Printf.printf "%s, %d KiB, loss=%g (network) %g (interface), %d trials, %d jobs%s:\n"
+      (Protocol.Suite.name protocol) packets loss interface_loss trials jobs
+      (if adaptive then " (adaptive: serial)" else "");
     Printf.printf "  elapsed: mean %.3f ms, sd %.3f ms, min %.3f, max %.3f\n"
       (Stats.Summary.mean outcome.Simnet.Campaign.elapsed_ms)
       (Stats.Summary.stddev outcome.Simnet.Campaign.elapsed_ms)
@@ -172,7 +189,7 @@ let simulate_cmd =
     let recorder, metrics, flush = telemetry trace_out metrics_out in
     if recorder <> None || metrics <> None then begin
       let trace = Eventsim.Trace.create () in
-      let rng = Stats.Rng.create ~seed:(seed * 1_000_003) in
+      let rng = Stats.Rng.derive ~root:seed ~index:0 in
       let error l = if l = 0.0 then Netmodel.Error_model.perfect () else Netmodel.Error_model.iid rng ~loss:l in
       ignore
         (Simnet.Driver.run ~params:(params_of kernel) ~network_error:(error loss)
@@ -203,7 +220,7 @@ let simulate_cmd =
     (Cmd.info "simulate" ~doc:"Run transfers on the simulated LAN")
     Term.(
       const run $ protocol $ packets $ loss $ interface_loss $ trials $ seed $ kernel_mode
-      $ adaptive $ trace_out $ metrics_out)
+      $ adaptive $ jobs $ trace_out $ metrics_out)
 
 (* -------------------------------------------------------------- calibrate *)
 
@@ -306,20 +323,25 @@ let timeline_cmd =
 (* --------------------------------------------------------------------- mc *)
 
 let mc_cmd =
-  let run protocol packets pn tr_factor trials seed kernel =
+  let run protocol packets pn tr_factor trials seed kernel jobs =
+    let jobs = effective_jobs jobs in
     let costs = costs_of kernel in
     let t0 = Analysis.Error_free.blast costs ~packets in
     let timing = Montecarlo.Runner.blast_timing costs ~tr:(tr_factor *. t0) in
-    let summary =
-      Montecarlo.Runner.sample
+    let sample =
+      Montecarlo.Runner.sample ~jobs
         ~sampler:(fun rng -> Montecarlo.Runner.iid rng ~loss:pn)
         ~timing ~suite:protocol ~packets ~trials ~seed ()
     in
-    Printf.printf "%s, %d packets, pn=%g, Tr=%g x T0, %d trials:\n"
-      (Protocol.Suite.name protocol) packets pn tr_factor trials;
+    let summary = sample.Montecarlo.Runner.elapsed_ms in
+    Printf.printf "%s, %d packets, pn=%g, Tr=%g x T0, %d trials, %d jobs:\n"
+      (Protocol.Suite.name protocol) packets pn tr_factor trials jobs;
     Printf.printf "  mean %.3f ms, sigma %.3f ms (error-free %.3f ms)\n"
       (Stats.Summary.mean summary) (Stats.Summary.stddev summary)
-      (Montecarlo.Runner.error_free_time timing ~packets)
+      (Montecarlo.Runner.error_free_time timing ~packets);
+    if sample.Montecarlo.Runner.failures > 0 then
+      Printf.printf "  %d trials gave up (excluded from the statistics)\n"
+        sample.Montecarlo.Runner.failures
   in
   let pn = Arg.(value & opt float 1e-3 & info [ "pn" ] ~doc:"Packet error probability.") in
   let tr_factor =
@@ -327,12 +349,14 @@ let mc_cmd =
   in
   Cmd.v
     (Cmd.info "mc" ~doc:"Monte-Carlo expected time and standard deviation")
-    Term.(const run $ protocol $ packets $ pn $ tr_factor $ trials $ seed $ kernel_mode)
+    Term.(
+      const run $ protocol $ packets $ pn $ tr_factor $ trials $ seed $ kernel_mode $ jobs)
 
 (* ------------------------------------------------------------------ sweep *)
 
 let sweep_cmd =
-  let run protocols packets losses trials seed kernel csv metrics_out =
+  let run protocols packets losses trials seed kernel jobs csv metrics_out =
+    let jobs = effective_jobs jobs in
     let suites =
       if protocols = [] then
         [
@@ -350,8 +374,9 @@ let sweep_cmd =
                 exit 2)
           protocols
     in
+    Printf.printf "sweep: %d trials per cell, %d jobs\n%!" trials jobs;
     let sweep =
-      Simnet.Sweep.run ~params:(params_of kernel) ~trials ~seed ~suites
+      Simnet.Sweep.run ~params:(params_of kernel) ~trials ~seed ~jobs ~suites
         ~packets:(if packets = [] then [ 16; 64 ] else packets)
         ~losses:(if losses = [] then [ 0.0; 1e-3; 1e-2 ] else losses)
         ()
@@ -402,8 +427,8 @@ let sweep_cmd =
   Cmd.v
     (Cmd.info "sweep" ~doc:"Cross-product measurement sweep (protocols x sizes x loss rates)")
     Term.(
-      const run $ protocols $ packet_list $ loss_list $ trials $ seed $ kernel_mode $ csv
-      $ metrics_out)
+      const run $ protocols $ packet_list $ loss_list $ trials $ seed $ kernel_mode $ jobs
+      $ csv $ metrics_out)
 
 (* ------------------------------------------------------------------ repro *)
 
@@ -595,7 +620,8 @@ let restore_cmd =
 (* ------------------------------------------------------------------ chaos *)
 
 let chaos_cmd =
-  let run iters seed bytes scenario_names suite_names trace_out metrics_out =
+  let run iters seed bytes scenario_names suite_names jobs trace_out metrics_out =
+    let jobs = effective_jobs jobs in
     let scenarios =
       match scenario_names with
       | [] -> Faults.Scenario.all
@@ -673,12 +699,12 @@ let chaos_cmd =
         :: !rows;
       Printf.printf "  %-28s %s\n%!" label (Sockets.Chaos.outcome_name r)
     in
-    Printf.printf "chaos soak: %d suites x %d scenarios x %d iters, %d bytes each\n%!"
-      (List.length suites) (List.length scenarios) iters bytes;
+    Printf.printf "chaos soak: %d suites x %d scenarios x %d iters, %d bytes each, %d jobs\n%!"
+      (List.length suites) (List.length scenarios) iters bytes jobs;
     let recorder, metrics, flush = telemetry trace_out metrics_out in
     let runs =
       Sockets.Chaos.run_campaign ~bytes ?recorder ?metrics ~suites ~scenarios ~iters ~seed
-        ~progress ()
+        ~progress ~jobs ()
     in
     flush ();
     print_newline ();
@@ -717,7 +743,9 @@ let chaos_cmd =
     (Cmd.info "chaos"
        ~doc:"Chaos soak over real UDP: every protocol suite against adversarial fault scenarios; \
              fails if any transfer hangs, exceeds its attempt bound, or delivers corrupt data")
-    Term.(const run $ iters $ seed $ bytes $ scenarios $ suites $ trace_out $ metrics_out)
+    Term.(
+      const run $ iters $ seed $ bytes $ scenarios $ suites $ jobs $ trace_out
+      $ metrics_out)
 
 let () =
   let default = Term.(ret (const (`Help (`Pager, None)))) in

@@ -27,9 +27,10 @@ let () =
     let label = if chunk >= dump_packets then "single blast" else Printf.sprintf "%d-packet" chunk in
     let cell pn =
       let summary =
-        Montecarlo.Runner.sample
-          ~sampler:(fun rng -> Montecarlo.Runner.iid rng ~loss:pn)
-          ~timing ~suite ~packets:dump_packets ~trials:25 ~seed:3 ()
+        (Montecarlo.Runner.sample
+           ~sampler:(fun rng -> Montecarlo.Runner.iid rng ~loss:pn)
+           ~timing ~suite ~packets:dump_packets ~trials:25 ~seed:3 ())
+          .Montecarlo.Runner.elapsed_ms
       in
       Printf.sprintf "%10.2f s" (Stats.Summary.mean summary /. 1000.0)
     in

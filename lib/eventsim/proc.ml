@@ -7,17 +7,12 @@ type _ Effect.t +=
   | Suspend : ((unit -> unit) -> unit) -> unit Effect.t
   | Current_sim : Sim.t Effect.t
 
-(* Keyed by Sim.id: a sim holds closures, so structural equality on it is
-   meaningless (and Hashtbl's compare would raise on collision). *)
-let envs : (int, env) Hashtbl.t = Hashtbl.create 4
-
-let env sim =
-  match Hashtbl.find_opt envs (Sim.id sim) with
-  | Some e -> e
-  | None ->
-      let e = { sim } in
-      Hashtbl.add envs (Sim.id sim) e;
-      e
+(* The environment carries no state beyond the sim itself, so there is
+   nothing to memoize: allocating one per call keeps this module free of
+   global mutable state (the previous module-level table was both a leak —
+   sims were never evicted — and a data race once simulations started
+   running on concurrent domains). *)
+let env sim = { sim }
 
 let run_body e body =
   let open Effect.Deep in

@@ -17,8 +17,9 @@ type env
 (** The per-simulation process environment. *)
 
 val env : Sim.t -> env
-(** [env sim] returns the process environment of [sim], creating it on first
-    use. Repeated calls return the same environment. *)
+(** [env sim] returns a process environment for [sim]. Environments are
+    stateless handles: every call is equivalent, and none is retained by
+    this module (safe across domains). *)
 
 val spawn : env -> ?name:string -> (unit -> unit) -> unit
 (** [spawn e body] starts a process immediately-after-now (at the current

@@ -11,11 +11,17 @@ and handle = {
   owner : t;
 }
 
-let next_id = ref 0
+(* Atomic so simulations created concurrently from several domains (the
+   parallel campaign runners) still get distinct ids. *)
+let next_id = Atomic.make 0
 
 let create () =
-  incr next_id;
-  { id = !next_id; clock = Time.zero; queue = Event_queue.create (); live = 0 }
+  {
+    id = Atomic.fetch_and_add next_id 1 + 1;
+    clock = Time.zero;
+    queue = Event_queue.create ();
+    live = 0;
+  }
 
 let id t = t.id
 let now t = t.clock

@@ -1,0 +1,152 @@
+(* A batch is a slice of indices [0, size) drained through one shared atomic
+   cursor; workers (spawned domains plus the submitting domain) race for
+   indices, and the last task to finish clears the batch and wakes the
+   submitter. Determinism comes from the protocol, not the scheduler: tasks
+   are pure functions of their index and the caller folds results in index
+   order. *)
+
+type batch = {
+  size : int;
+  next : int Atomic.t;  (** next index to claim *)
+  remaining : int Atomic.t;  (** tasks not yet finished *)
+  run : int -> unit;  (** must never raise; errors are captured by the caller *)
+}
+
+type t = {
+  jobs : int;
+  mutex : Mutex.t;
+  work : Condition.t;  (** a new batch was published, or the pool is stopping *)
+  idle : Condition.t;  (** a batch finished draining *)
+  mutable batch : batch option;
+  mutable generation : int;  (** bumped once per published batch *)
+  mutable stopping : bool;
+  mutable workers : unit Domain.t list;
+}
+
+let max_jobs = 64
+
+let default_jobs () =
+  match Sys.getenv_opt "LANREPRO_JOBS" with
+  | Some v -> (
+      match int_of_string_opt (String.trim v) with
+      | Some n when n > 0 -> min n max_jobs
+      | Some _ | None -> Domain.recommended_domain_count ())
+  | None -> Domain.recommended_domain_count ()
+
+let jobs t = t.jobs
+
+let drain t b =
+  let rec loop () =
+    let i = Atomic.fetch_and_add b.next 1 in
+    if i < b.size then begin
+      b.run i;
+      if Atomic.fetch_and_add b.remaining (-1) = 1 then begin
+        (* Last task out clears the batch under the lock so the submitter's
+           wait cannot miss the wakeup. *)
+        Mutex.lock t.mutex;
+        t.batch <- None;
+        Condition.broadcast t.idle;
+        Mutex.unlock t.mutex
+      end;
+      loop ()
+    end
+  in
+  loop ()
+
+let rec worker t seen_generation =
+  Mutex.lock t.mutex;
+  while (not t.stopping) && (Option.is_none t.batch || t.generation = seen_generation) do
+    Condition.wait t.work t.mutex
+  done;
+  if t.stopping then Mutex.unlock t.mutex
+  else begin
+    let generation = t.generation in
+    let b = match t.batch with Some b -> b | None -> assert false in
+    Mutex.unlock t.mutex;
+    drain t b;
+    worker t generation
+  end
+
+let create ?jobs () =
+  let jobs =
+    match jobs with Some j -> max 1 (min j max_jobs) | None -> default_jobs ()
+  in
+  let t =
+    {
+      jobs;
+      mutex = Mutex.create ();
+      work = Condition.create ();
+      idle = Condition.create ();
+      batch = None;
+      generation = 0;
+      stopping = false;
+      workers = [];
+    }
+  in
+  t.workers <- List.init (jobs - 1) (fun _ -> Domain.spawn (fun () -> worker t 0));
+  t
+
+let shutdown t =
+  Mutex.lock t.mutex;
+  t.stopping <- true;
+  Condition.broadcast t.work;
+  Mutex.unlock t.mutex;
+  List.iter Domain.join t.workers;
+  t.workers <- []
+
+let with_pool ?jobs f =
+  let t = create ?jobs () in
+  Fun.protect ~finally:(fun () -> shutdown t) (fun () -> f t)
+
+let run_batch t n run =
+  if n > 0 then begin
+    let b = { size = n; next = Atomic.make 0; remaining = Atomic.make n; run } in
+    Mutex.lock t.mutex;
+    (* One batch at a time; a concurrent submitter queues here. *)
+    while Option.is_some t.batch do
+      Condition.wait t.idle t.mutex
+    done;
+    t.batch <- Some b;
+    t.generation <- t.generation + 1;
+    Condition.broadcast t.work;
+    Mutex.unlock t.mutex;
+    (* The submitting domain is a full worker for its own batch. *)
+    drain t b;
+    Mutex.lock t.mutex;
+    while Atomic.get b.remaining > 0 do
+      Condition.wait t.idle t.mutex
+    done;
+    Mutex.unlock t.mutex
+  end
+
+let init_on pool n ~f =
+  let results = Array.make n None in
+  run_batch pool n (fun i ->
+      results.(i) <- Some (try Ok (f i) with e -> Error e));
+  (* Re-raise the lowest-index failure — the one a serial run would have
+     surfaced first — after the batch has fully drained. *)
+  Array.iter
+    (function Some (Error e) -> raise e | Some (Ok _) | None -> ())
+    results;
+  Array.map
+    (function Some (Ok v) -> v | Some (Error _) | None -> assert false)
+    results
+
+let init ?pool ?jobs n ~f =
+  if n < 0 then invalid_arg "Pool.init: negative size";
+  match pool with
+  | Some pool -> init_on pool n ~f
+  | None ->
+      let jobs =
+        match jobs with Some j -> max 1 (min j max_jobs) | None -> default_jobs ()
+      in
+      if jobs <= 1 || n <= 1 then Array.init n f
+      else with_pool ~jobs:(min jobs n) (fun pool -> init_on pool n ~f)
+
+let map ?pool ?jobs ~f xs =
+  let items = Array.of_list xs in
+  Array.to_list (init ?pool ?jobs (Array.length items) ~f:(fun i -> f items.(i)))
+
+let fold ?pool ?jobs tasks ~f ~merge ~init:acc =
+  let parts = init ?pool ?jobs tasks ~f in
+  Array.fold_left merge acc parts

@@ -1,0 +1,57 @@
+(** Fixed pool of {!Domain.t} workers over a shared work queue — the
+    execution core every independent-trial loop in the tree runs through.
+
+    The contract is {e deterministic parallelism}: a batch of [n] tasks is
+    identified by index, every task is a pure function of its index, and the
+    caller aggregates the per-index results in index order. Scheduling
+    therefore never leaks into results — [jobs = 1] and [jobs = N] produce
+    bit-for-bit identical output, which the test suite enforces.
+
+    Pools are small and cheap but not free (one spawned domain per worker),
+    so hot paths that run many batches should create one pool and pass it
+    to every call; one-shot callers can rely on the ephemeral pool the
+    [?jobs] path creates and tears down internally.
+
+    Tasks must not submit new batches to the pool that is running them
+    (the batch would deadlock waiting for a free worker). Nested
+    parallelism should run the inner level with [~jobs:1]. *)
+
+type t
+
+val default_jobs : unit -> int
+(** The [jobs] knob default: [LANREPRO_JOBS] when set to a positive
+    integer, otherwise {!Domain.recommended_domain_count}. *)
+
+val create : ?jobs:int -> unit -> t
+(** [create ~jobs ()] spawns [jobs - 1] worker domains (the submitting
+    domain is the remaining worker). [jobs] defaults to {!default_jobs};
+    values are clamped to [1, 64]. *)
+
+val jobs : t -> int
+(** Total parallelism of the pool, including the submitting domain. *)
+
+val shutdown : t -> unit
+(** Joins all worker domains. Idempotent. The pool must be idle. *)
+
+val with_pool : ?jobs:int -> (t -> 'a) -> 'a
+(** [with_pool f] runs [f] with a fresh pool and always shuts it down. *)
+
+val init : ?pool:t -> ?jobs:int -> int -> f:(int -> 'a) -> 'a array
+(** [init n ~f] is [Array.init n f] with the calls distributed over the
+    pool. Results land in index order. If any task raises, the whole batch
+    still drains, the pool stays usable, and the exception of the
+    lowest-index failing task is re-raised — the same exception a serial
+    [Array.init] would have surfaced first. When [pool] is given it is
+    used as is ([jobs] is ignored); otherwise an ephemeral pool of [jobs]
+    workers serves the one batch. *)
+
+val map : ?pool:t -> ?jobs:int -> f:('a -> 'b) -> 'a list -> 'b list
+(** [map ~f xs] is [List.map f xs] over the pool, order preserved. *)
+
+val fold :
+  ?pool:t -> ?jobs:int -> int -> f:(int -> 'a) -> merge:('a -> 'a -> 'a) -> init:'a -> 'a
+(** [fold tasks ~f ~merge ~init] computes [f i] for every [i < tasks] in
+    parallel, then merges the results {e sequentially in index order}:
+    [merge (... (merge init (f 0)) ...) (f (tasks-1))]. Because the merge
+    order is fixed, the result is independent of [jobs] even for
+    non-associative merges (floating-point summaries included). *)

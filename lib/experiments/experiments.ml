@@ -218,6 +218,7 @@ let fig5 ppf =
             ~suite:(Protocol.Suite.Blast Protocol.Blast.Full_retransmit)
             ~packets ~trials:600 ~seed:11 ()
         in
+        let mc = mc.Montecarlo.Runner.elapsed_ms in
         [
           Printf.sprintf "%g" pn;
           Report.Table.fmt_ms (blast_curve 1.0 pn);
@@ -247,6 +248,7 @@ let fig6 ppf =
       (Montecarlo.Runner.sample
          ~sampler:(fun rng -> Montecarlo.Runner.iid rng ~loss:pn)
          ~timing ~suite:(Protocol.Suite.Blast strategy) ~packets ~trials ~seed:12 ())
+        .Montecarlo.Runner.elapsed_ms
   in
   let rows =
     List.map
@@ -378,9 +380,10 @@ let ablation_multiblast ppf =
         s
       end
       else
-        Montecarlo.Runner.sample
-          ~sampler:(fun rng -> Montecarlo.Runner.iid rng ~loss:pn)
-          ~timing ~suite ~packets ~trials:30 ~seed:13 ()
+        (Montecarlo.Runner.sample
+           ~sampler:(fun rng -> Montecarlo.Runner.iid rng ~loss:pn)
+           ~timing ~suite ~packets ~trials:30 ~seed:13 ())
+          .Montecarlo.Runner.elapsed_ms
     in
     Printf.sprintf "%.0f" (Stats.Summary.mean summary)
   in
@@ -413,8 +416,9 @@ let ablation_burst ppf =
   in
   let row strategy =
     let sample sampler =
-      Montecarlo.Runner.sample ~sampler ~timing ~suite:(Protocol.Suite.Blast strategy)
-        ~packets ~trials:2000 ~seed:14 ()
+      (Montecarlo.Runner.sample ~sampler ~timing ~suite:(Protocol.Suite.Blast strategy)
+         ~packets ~trials:2000 ~seed:14 ())
+        .Montecarlo.Runner.elapsed_ms
     in
     let iid = sample iid_sampler and burst = sample burst_sampler in
     [

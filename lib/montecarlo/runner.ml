@@ -24,7 +24,7 @@ let saw_timing (k : Analysis.Costs.t) ~tr =
 
 let error_free_time timing ~packets = (float_of_int packets *. timing.per_packet) +. timing.response
 
-let one_transfer ?(max_attempts = 10_000) ~drops ~timing ~suite ~packets () =
+let run_transfer ?(max_attempts = 10_000) ~drops ~timing ~suite ~packets () =
   let config = Protocol.Config.make ~total_packets:packets ~max_attempts () in
   let sender = Protocol.Suite.sender suite config ~payload:(fun _ -> "") in
   let receiver = Protocol.Suite.receiver suite config in
@@ -77,18 +77,44 @@ let one_transfer ?(max_attempts = 10_000) ~drops ~timing ~suite ~packets () =
     else failwith "Montecarlo: deadlock"
   done;
   match !outcome with
-  | Some Protocol.Action.Success -> !elapsed
+  | Some Protocol.Action.Success -> Some !elapsed
   | Some (Protocol.Action.Too_many_attempts | Protocol.Action.Peer_unreachable) | None ->
-      failwith "Montecarlo: transfer gave up (loss rate too high)"
+      None
+
+let one_transfer ?max_attempts ~drops ~timing ~suite ~packets () =
+  match run_transfer ?max_attempts ~drops ~timing ~suite ~packets () with
+  | Some elapsed -> elapsed
+  | None -> failwith "Montecarlo: transfer gave up (loss rate too high)"
 
 let iid rng ~loss () = loss > 0.0 && Stats.Rng.bernoulli rng ~p:loss
 
-let sample ?max_attempts ~sampler ~timing ~suite ~packets ~trials ~seed () =
+type sample = { elapsed_ms : Stats.Summary.t; failures : int }
+
+(* Trials are grouped into fixed-size chunks, one pool task per chunk; the
+   chunk geometry depends only on [trials], never on [jobs], and the chunk
+   summaries merge in index order — so the result is bit-for-bit identical
+   at any parallelism. *)
+let chunk_trials = 64
+
+let sample ?max_attempts ?pool ?jobs ~sampler ~timing ~suite ~packets ~trials ~seed () =
   if trials <= 0 then invalid_arg "Runner.sample: trials must be positive";
-  let summary = Stats.Summary.create () in
-  for trial = 0 to trials - 1 do
-    let rng = Stats.Rng.create ~seed:((seed * 7_368_787) + trial) in
-    let drops = sampler rng in
-    Stats.Summary.add summary (one_transfer ?max_attempts ~drops ~timing ~suite ~packets ())
-  done;
-  summary
+  let chunks = (trials + chunk_trials - 1) / chunk_trials in
+  let chunk k =
+    let summary = Stats.Summary.create () in
+    let failures = ref 0 in
+    let hi = min trials ((k + 1) * chunk_trials) in
+    for trial = k * chunk_trials to hi - 1 do
+      let rng = Stats.Rng.derive ~root:seed ~index:trial in
+      let drops = sampler rng in
+      match run_transfer ?max_attempts ~drops ~timing ~suite ~packets () with
+      | Some elapsed -> Stats.Summary.add summary elapsed
+      | None -> incr failures
+    done;
+    (summary, !failures)
+  in
+  let elapsed_ms, failures =
+    Exec.Pool.fold ?pool ?jobs chunks ~f:chunk
+      ~merge:(fun (s, f) (s', f') -> (Stats.Summary.merge s s', f + f'))
+      ~init:(Stats.Summary.create (), 0)
+  in
+  { elapsed_ms; failures }

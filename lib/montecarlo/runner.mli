@@ -41,8 +41,15 @@ val one_transfer :
 
 val iid : Stats.Rng.t -> loss:float -> unit -> bool
 
+type sample = {
+  elapsed_ms : Stats.Summary.t;  (** over trials that completed *)
+  failures : int;  (** trials that exhausted [max_attempts] and gave up *)
+}
+
 val sample :
   ?max_attempts:int ->
+  ?pool:Exec.Pool.t ->
+  ?jobs:int ->
   sampler:(Stats.Rng.t -> unit -> bool) ->
   timing:timing ->
   suite:Protocol.Suite.t ->
@@ -50,6 +57,11 @@ val sample :
   trials:int ->
   seed:int ->
   unit ->
-  Stats.Summary.t
-(** [trials] independent transfers; trial [i] gets an RNG derived from
-    [seed] and [i]. Returns the summary of elapsed times (ms). *)
+  sample
+(** [trials] independent transfers; trial [i] gets the generator
+    [Stats.Rng.derive ~root:seed ~index:i]. Trials run in fixed 64-trial
+    chunks distributed over an {!Exec.Pool} ([jobs] defaults to
+    {!Exec.Pool.default_jobs}; pass [?pool] to reuse one across calls), and
+    the per-chunk summaries merge in chunk order, so the returned statistics
+    are bit-for-bit independent of [jobs]. A trial that gives up is counted
+    in [failures] instead of aborting the whole sample. *)

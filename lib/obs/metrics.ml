@@ -1,11 +1,17 @@
-type counter = int ref
-type gauge = float ref
+(* Counters and gauges are lock-free atomics so concurrent domains can
+   publish without contending on the registry lock and without losing
+   updates; histograms and summaries mutate multi-word state, so each
+   carries its own mutex. *)
+type counter = int Atomic.t
+type gauge = float Atomic.t
+type histogram = { histogram : Stats.Histogram.t; histogram_lock : Mutex.t }
+type summary = { summary : Stats.Summary.t; summary_lock : Mutex.t }
 
 type instrument =
   | Counter of counter
   | Gauge of gauge
-  | Histogram of Stats.Histogram.t
-  | Summary of Stats.Summary.t
+  | Histogram of histogram
+  | Summary of summary
 
 type entry = { name : string; labels : (string * string) list; instrument : instrument }
 
@@ -47,35 +53,52 @@ let register t ~labels name build =
           instrument)
 
 let counter t ?(labels = []) name =
-  match register t ~labels name (fun () -> Counter (ref 0)) with
+  match register t ~labels name (fun () -> Counter (Atomic.make 0)) with
   | Counter c -> c
   | _ -> invalid_arg (Printf.sprintf "Metrics: %S is not a counter" name)
 
-let inc ?(by = 1) c = c := !c + by
-let counter_value c = !c
+let inc ?(by = 1) c = ignore (Atomic.fetch_and_add c by : int)
+let counter_value c = Atomic.get c
 
 let gauge t ?(labels = []) name =
-  match register t ~labels name (fun () -> Gauge (ref 0.0)) with
+  match register t ~labels name (fun () -> Gauge (Atomic.make 0.0)) with
   | Gauge g -> g
   | _ -> invalid_arg (Printf.sprintf "Metrics: %S is not a gauge" name)
 
-let set_gauge g v = g := v
-let gauge_value g = !g
+let set_gauge g v = Atomic.set g v
+let gauge_value g = Atomic.get g
 
 let histogram t ?(labels = []) ?(log = false) ~lo ~hi ~bins name =
   let build () =
     Histogram
-      (if log then Stats.Histogram.logarithmic ~lo ~hi ~bins
-       else Stats.Histogram.linear ~lo ~hi ~bins)
+      {
+        histogram =
+          (if log then Stats.Histogram.logarithmic ~lo ~hi ~bins
+           else Stats.Histogram.linear ~lo ~hi ~bins);
+        histogram_lock = Mutex.create ();
+      }
   in
   match register t ~labels name build with
   | Histogram h -> h
   | _ -> invalid_arg (Printf.sprintf "Metrics: %S is not a histogram" name)
 
+let observe h v =
+  Mutex.lock h.histogram_lock;
+  Stats.Histogram.add h.histogram v;
+  Mutex.unlock h.histogram_lock
+
 let summary t ?(labels = []) name =
-  match register t ~labels name (fun () -> Summary (Stats.Summary.create ())) with
+  match
+    register t ~labels name (fun () ->
+        Summary { summary = Stats.Summary.create (); summary_lock = Mutex.create () })
+  with
   | Summary s -> s
   | _ -> invalid_arg (Printf.sprintf "Metrics: %S is not a summary" name)
+
+let record s v =
+  Mutex.lock s.summary_lock;
+  Stats.Summary.add s.summary v;
+  Mutex.unlock s.summary_lock
 
 let bridge_counters t ?(labels = []) (c : Protocol.Counters.t) =
   let add name value = inc ~by:value (counter t ~labels ("protocol_" ^ name)) in
@@ -115,17 +138,23 @@ let to_table t =
       (fun entry ->
         let value =
           match entry.instrument with
-          | Counter c -> string_of_int !c
-          | Gauge g -> float_repr !g
+          | Counter c -> string_of_int (Atomic.get c)
+          | Gauge g -> float_repr (Atomic.get g)
           | Histogram h ->
-              Printf.sprintf "count=%d p50=%s p99=%s" (Stats.Histogram.count h)
-                (float_repr (Stats.Histogram.quantile h 0.5))
-                (float_repr (Stats.Histogram.quantile h 0.99))
+              Mutex.lock h.histogram_lock;
+              Fun.protect ~finally:(fun () -> Mutex.unlock h.histogram_lock) (fun () ->
+                  Printf.sprintf "count=%d p50=%s p99=%s"
+                    (Stats.Histogram.count h.histogram)
+                    (float_repr (Stats.Histogram.quantile h.histogram 0.5))
+                    (float_repr (Stats.Histogram.quantile h.histogram 0.99)))
           | Summary s ->
-              Printf.sprintf "count=%d mean=%s min=%s max=%s" (Stats.Summary.count s)
-                (float_repr (Stats.Summary.mean s))
-                (float_repr (Stats.Summary.min s))
-                (float_repr (Stats.Summary.max s))
+              Mutex.lock s.summary_lock;
+              Fun.protect ~finally:(fun () -> Mutex.unlock s.summary_lock) (fun () ->
+                  Printf.sprintf "count=%d mean=%s min=%s max=%s"
+                    (Stats.Summary.count s.summary)
+                    (float_repr (Stats.Summary.mean s.summary))
+                    (float_repr (Stats.Summary.min s.summary))
+                    (float_repr (Stats.Summary.max s.summary)))
         in
         ( entry.name ^ label_string entry.labels,
           instrument_type entry.instrument,
@@ -150,19 +179,23 @@ let to_json t =
     in
     let value =
       match entry.instrument with
-      | Counter c -> [ ("value", Json.Int !c) ]
-      | Gauge g -> [ ("value", Json.Float !g) ]
+      | Counter c -> [ ("value", Json.Int (Atomic.get c)) ]
+      | Gauge g -> [ ("value", Json.Float (Atomic.get g)) ]
       | Histogram h ->
-          [ ("count", Json.Int (Stats.Histogram.count h));
-            ("p50", Json.Float (Stats.Histogram.quantile h 0.5));
-            ("p90", Json.Float (Stats.Histogram.quantile h 0.9));
-            ("p99", Json.Float (Stats.Histogram.quantile h 0.99)) ]
+          Mutex.lock h.histogram_lock;
+          Fun.protect ~finally:(fun () -> Mutex.unlock h.histogram_lock) (fun () ->
+              [ ("count", Json.Int (Stats.Histogram.count h.histogram));
+                ("p50", Json.Float (Stats.Histogram.quantile h.histogram 0.5));
+                ("p90", Json.Float (Stats.Histogram.quantile h.histogram 0.9));
+                ("p99", Json.Float (Stats.Histogram.quantile h.histogram 0.99)) ])
       | Summary s ->
-          [ ("count", Json.Int (Stats.Summary.count s));
-            ("mean", Json.Float (Stats.Summary.mean s));
-            ("stddev", Json.Float (Stats.Summary.stddev s));
-            ("min", Json.Float (Stats.Summary.min s));
-            ("max", Json.Float (Stats.Summary.max s)) ]
+          Mutex.lock s.summary_lock;
+          Fun.protect ~finally:(fun () -> Mutex.unlock s.summary_lock) (fun () ->
+              [ ("count", Json.Int (Stats.Summary.count s.summary));
+                ("mean", Json.Float (Stats.Summary.mean s.summary));
+                ("stddev", Json.Float (Stats.Summary.stddev s.summary));
+                ("min", Json.Float (Stats.Summary.min s.summary));
+                ("max", Json.Float (Stats.Summary.max s.summary)) ])
     in
     Json.Obj (base @ value)
   in

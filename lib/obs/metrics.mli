@@ -8,12 +8,19 @@
     {!Protocol.Counters.t} record bridges in wholesale via {!add_counters},
     which is how protocol machines, [Simnet.Driver], [Sockets.Peer] and the
     chaos soak all land in one registry. Snapshots render as an aligned text
-    table or as JSON. *)
+    table or as JSON.
+
+    The registry is safe under concurrent domains, not just threads:
+    counters and gauges are atomics, histograms and summaries carry a
+    per-instrument lock, and snapshots read every instrument under its
+    lock. *)
 
 type t
 
 type counter
 type gauge
+type histogram
+type summary
 
 val create : unit -> t
 
@@ -37,11 +44,17 @@ val histogram :
   hi:float ->
   bins:int ->
   string ->
-  Stats.Histogram.t
+  histogram
 (** The bin geometry is fixed by the first registration; later lookups
     return the same histogram and ignore the geometry arguments. *)
 
-val summary : t -> ?labels:(string * string) list -> string -> Stats.Summary.t
+val observe : histogram -> float -> unit
+(** Records one observation, under the instrument's lock. *)
+
+val summary : t -> ?labels:(string * string) list -> string -> summary
+
+val record : summary -> float -> unit
+(** Records one observation, under the instrument's lock. *)
 
 val bridge_counters : t -> ?labels:(string * string) list -> Protocol.Counters.t -> unit
 (** Adds every field of a {!Protocol.Counters.t} into counters named

@@ -14,11 +14,10 @@ type t = {
 
 let default_clock () =
   (* A logical tick counter: still monotone, so journals recorded without a
-     real clock keep their ordering. *)
-  let ticks = ref 0 in
-  fun () ->
-    incr ticks;
-    !ticks
+     real clock keep their ordering. Atomic because [emit] samples the clock
+     outside the ring lock, and recorders are now shared across domains. *)
+  let ticks = Atomic.make 0 in
+  fun () -> Atomic.fetch_and_add ticks 1 + 1
 
 let create ?(capacity = 4096) ?now ?postmortem () =
   if capacity <= 0 then invalid_arg "Recorder.create: capacity must be positive";
@@ -73,7 +72,7 @@ let events t =
           | Some e -> e
           | None -> assert false))
 
-let total t = t.total
+let total t = locked t (fun () -> t.total)
 
 let clear t =
   locked t (fun () ->

@@ -28,19 +28,29 @@ let run_one spec ~rng =
   Driver.run ~params:spec.params ~network_error ~interface_error ~suite:spec.suite
     ~config:spec.config ()
 
-let run spec =
+let run ?pool ?jobs spec =
+  (* One pool task per trial; the per-trial measurements are folded into the
+     summaries in trial order afterwards, so the outcome is bit-for-bit
+     independent of [jobs]. *)
+  let trial_results =
+    Exec.Pool.init ?pool ?jobs spec.trials ~f:(fun trial ->
+        let rng = Stats.Rng.derive ~root:spec.seed ~index:trial in
+        let result = run_one spec ~rng in
+        match result.Driver.outcome with
+        | Protocol.Action.Success ->
+            Some
+              ( Driver.elapsed_ms result,
+                float_of_int result.Driver.sender.Protocol.Counters.retransmitted_data )
+        | Protocol.Action.Too_many_attempts | Protocol.Action.Peer_unreachable -> None)
+  in
   let elapsed = Stats.Summary.create () in
   let retransmissions = Stats.Summary.create () in
   let failures = ref 0 in
-  for trial = 0 to spec.trials - 1 do
-    let rng = Stats.Rng.create ~seed:((spec.seed * 1_000_003) + trial) in
-    let result = run_one spec ~rng in
-    match result.Driver.outcome with
-    | Protocol.Action.Success ->
-        Stats.Summary.add elapsed (Driver.elapsed_ms result);
-        Stats.Summary.add retransmissions
-          (float_of_int result.Driver.sender.Protocol.Counters.retransmitted_data)
-    | Protocol.Action.Too_many_attempts | Protocol.Action.Peer_unreachable ->
-        incr failures
-  done;
+  Array.iter
+    (function
+      | Some (elapsed_ms, retransmitted) ->
+          Stats.Summary.add elapsed elapsed_ms;
+          Stats.Summary.add retransmissions retransmitted
+      | None -> incr failures)
+    trial_results;
   { elapsed_ms = elapsed; failures = !failures; retransmissions }

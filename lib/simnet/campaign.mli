@@ -30,9 +30,12 @@ type outcome = {
   retransmissions : Stats.Summary.t;  (** retransmitted data packets per trial *)
 }
 
-val run : spec -> outcome
+val run : ?pool:Exec.Pool.t -> ?jobs:int -> spec -> outcome
 (** Runs [trials] independent transfers; trial [i] derives its error-model
-    RNG from [seed] and [i], so campaigns are reproducible and trials are
-    independent. *)
+    RNG via [Stats.Rng.derive ~root:seed ~index:i], so campaigns are
+    reproducible and trials are independent. Trials are distributed over an
+    {!Exec.Pool} ([jobs] defaults to {!Exec.Pool.default_jobs}) and
+    aggregated in trial order: the outcome is bit-for-bit identical at any
+    parallelism. *)
 
 val run_one : spec -> rng:Stats.Rng.t -> Driver.result

@@ -10,36 +10,41 @@ type cell = {
 
 type t = { cells : cell list }
 
-let run ?(params = Netmodel.Params.standalone) ?(trials = 10) ?(seed = 1) ~suites ~packets
-    ~losses () =
-  let cells =
+let run ?(params = Netmodel.Params.standalone) ?(trials = 10) ?(seed = 1) ?pool ?jobs
+    ~suites ~packets ~losses () =
+  (* The cross product is embarrassingly parallel, so the pool runs whole
+     cells; each cell's campaign then runs its trials serially ([jobs:1]) —
+     nesting both levels would deadlock the pool and oversubscribe the
+     machine. Cell order and per-cell seeds are fixed up front, so the table
+     is identical at any parallelism. *)
+  let coordinates =
     List.concat_map
       (fun suite ->
         List.concat_map
-          (fun n ->
-            List.map
-              (fun network_loss ->
-                let spec =
-                  Campaign.default ~params ~network_loss
-                    ~trials:(if network_loss = 0.0 then 1 else trials)
-                    ~seed ~suite
-                    ~config:(Protocol.Config.make ~total_packets:n ())
-                    ()
-                in
-                let outcome = Campaign.run spec in
-                let stddev = Stats.Summary.stddev outcome.Campaign.elapsed_ms in
-                {
-                  suite;
-                  packets = n;
-                  network_loss;
-                  mean_ms = Stats.Summary.mean outcome.Campaign.elapsed_ms;
-                  stddev_ms = (if Float.is_nan stddev then 0.0 else stddev);
-                  retransmissions = Stats.Summary.mean outcome.Campaign.retransmissions;
-                  failures = outcome.Campaign.failures;
-                })
-              losses)
+          (fun n -> List.map (fun network_loss -> (suite, n, network_loss)) losses)
           packets)
       suites
+  in
+  let cells =
+    Exec.Pool.map ?pool ?jobs coordinates ~f:(fun (suite, n, network_loss) ->
+        let spec =
+          Campaign.default ~params ~network_loss
+            ~trials:(if network_loss = 0.0 then 1 else trials)
+            ~seed ~suite
+            ~config:(Protocol.Config.make ~total_packets:n ())
+            ()
+        in
+        let outcome = Campaign.run ~jobs:1 spec in
+        let stddev = Stats.Summary.stddev outcome.Campaign.elapsed_ms in
+        {
+          suite;
+          packets = n;
+          network_loss;
+          mean_ms = Stats.Summary.mean outcome.Campaign.elapsed_ms;
+          stddev_ms = (if Float.is_nan stddev then 0.0 else stddev);
+          retransmissions = Stats.Summary.mean outcome.Campaign.retransmissions;
+          failures = outcome.Campaign.failures;
+        })
   in
   { cells }
 

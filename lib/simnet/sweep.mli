@@ -21,13 +21,18 @@ val run :
   ?params:Netmodel.Params.t ->
   ?trials:int ->
   ?seed:int ->
+  ?pool:Exec.Pool.t ->
+  ?jobs:int ->
   suites:Protocol.Suite.t list ->
   packets:int list ->
   losses:float list ->
   unit ->
   t
 (** Error-free cells run a single deterministic trial; lossy cells run
-    [trials] (default 10). *)
+    [trials] (default 10). Cells are independent and run in parallel over
+    an {!Exec.Pool} ([jobs] defaults to {!Exec.Pool.default_jobs}); cell
+    seeds are fixed before execution, so the result is identical at any
+    parallelism. *)
 
 val to_csv : t -> string
 (** Header: [protocol,packets,loss,mean_ms,stddev_ms,retx,failures]. *)

@@ -116,26 +116,37 @@ let all_suites =
 
 let run_campaign ?packet_bytes ?retransmit_ns ?max_attempts ?bytes ?recorder ?metrics
     ?(suites = all_suites) ?(scenarios = Faults.Scenario.all) ?(iters = 1) ?(seed = 1)
-    ?(progress = fun _ -> ()) () =
-  let runs = ref [] in
-  let index = ref 0 in
-  List.iter
-    (fun suite ->
-      List.iter
-        (fun scenario ->
-          for iter = 0 to iters - 1 do
-            incr index;
-            let seed = (seed * 1_000_003) + (!index * 97) + iter in
-            let run =
-              run_one ?packet_bytes ?retransmit_ns ?max_attempts ?bytes ?recorder
-                ?metrics ~seed ~suite ~scenario ()
-            in
-            progress run;
-            runs := run :: !runs
-          done)
-        scenarios)
-    suites;
-  List.rev !runs
+    ?(progress = fun _ -> ()) ?pool ?jobs () =
+  (* Flatten the suite x scenario x iter nest into an explicit cell list so
+     the cells can run on a domain pool. Each cell's seed is a function of
+     its position only, so the runs are the same whatever the parallelism;
+     only wall-clock interleaving (and hence [progress] order) changes. *)
+  let cells =
+    List.concat_map
+      (fun suite ->
+        List.concat_map
+          (fun scenario -> List.init iters (fun iter -> (suite, scenario, iter)))
+          scenarios)
+      suites
+  in
+  let cells =
+    List.mapi
+      (fun i (suite, scenario, iter) ->
+        (* [i + 1] preserves the 1-based running index of the old serial
+           nest, keeping historical seeds reproducible. *)
+        let seed = (seed * 1_000_003) + ((i + 1) * 97) + iter in
+        (suite, scenario, seed))
+      cells
+  in
+  let progress_lock = Mutex.create () in
+  Exec.Pool.map ?pool ?jobs cells ~f:(fun (suite, scenario, seed) ->
+      let run =
+        run_one ?packet_bytes ?retransmit_ns ?max_attempts ?bytes ?recorder ?metrics
+          ~seed ~suite ~scenario ()
+      in
+      Mutex.lock progress_lock;
+      Fun.protect ~finally:(fun () -> Mutex.unlock progress_lock) (fun () -> progress run);
+      run)
 
 let violations runs = List.filter (fun r -> not (ok r)) runs
 

@@ -68,10 +68,16 @@ val run_campaign :
   ?iters:int ->
   ?seed:int ->
   ?progress:(run -> unit) ->
+  ?pool:Exec.Pool.t ->
+  ?jobs:int ->
   unit ->
   run list
 (** The full cross product [suites x scenarios x iters], derived seeds per
-    run. [progress] fires after each run completes. *)
+    run, in cross-product order. Cells run on a domain pool ([pool]/[jobs],
+    see {!Exec.Pool}); per-cell seeds depend only on the cell's position, so
+    the set of runs is independent of the parallelism. [progress] fires
+    after each run completes (serialized under a lock, in completion
+    order). *)
 
 val violations : run list -> run list
 val completed : run list -> int

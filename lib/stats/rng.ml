@@ -18,6 +18,24 @@ let create ~seed =
   let s3 = splitmix64_next state in
   { s0; s1; s2; s3 }
 
+let derive ~root ~index =
+  if index < 0 then invalid_arg "Rng.derive: index must be non-negative";
+  (* Finalize the root, fold the raw index into the result, and finalize
+     again before expanding: both arguments go through a full splitmix64
+     avalanche, so adjacent roots or adjacent indices land on unrelated
+     xoshiro states. The naive [root * k + index] seeding this replaces
+     made trial [i+1] of seed [s] collide with trial [i] of nearby seeds
+     and kept derived states linearly related. *)
+  let state = ref (Int64.of_int root) in
+  let mixed_root = splitmix64_next state in
+  let state = ref (Int64.logxor mixed_root (Int64.of_int index)) in
+  let state = ref (splitmix64_next state) in
+  let s0 = splitmix64_next state in
+  let s1 = splitmix64_next state in
+  let s2 = splitmix64_next state in
+  let s3 = splitmix64_next state in
+  { s0; s1; s2; s3 }
+
 let rotl x k = Int64.logor (Int64.shift_left x k) (Int64.shift_right_logical x (64 - k))
 
 let bits64 t =

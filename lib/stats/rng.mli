@@ -10,6 +10,14 @@ val create : seed:int -> t
 (** [create ~seed] builds a generator from a 63-bit seed. Equal seeds yield
     equal streams. *)
 
+val derive : root:int -> index:int -> t
+(** [derive ~root ~index] builds the generator for task [index] of the
+    experiment seeded by [root]. Both arguments pass through a full
+    splitmix64 avalanche before the state is expanded, so streams derived
+    from nearby roots or nearby indices are statistically independent —
+    this is the one seeding rule every trial loop in the tree uses.
+    [index] must be non-negative. *)
+
 val split : t -> t
 (** [split t] returns a new generator whose stream is statistically
     independent of [t]'s subsequent output. [t] is advanced. *)

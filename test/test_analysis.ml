@@ -147,9 +147,10 @@ let test_mc_mean_matches_analytic_full_retransmit () =
   let timing = Montecarlo.Runner.blast_timing costs ~tr in
   let pn = 0.005 in
   let summary =
-    Montecarlo.Runner.sample
-      ~sampler:(fun rng -> Montecarlo.Runner.iid rng ~loss:pn)
-      ~timing ~suite:(suite_of Protocol.Blast.Full_retransmit) ~packets ~trials:4000 ~seed:5 ()
+    (Montecarlo.Runner.sample
+       ~sampler:(fun rng -> Montecarlo.Runner.iid rng ~loss:pn)
+       ~timing ~suite:(suite_of Protocol.Blast.Full_retransmit) ~packets ~trials:4000 ~seed:5 ())
+      .Montecarlo.Runner.elapsed_ms
   in
   let analytic = Analysis.Expected_time.blast ~t0 ~tr ~pn ~packets in
   let mc = Stats.Summary.mean summary in
@@ -166,9 +167,10 @@ let test_mc_saw_mean_matches_analytic () =
   let timing = Montecarlo.Runner.saw_timing costs ~tr in
   let pn = 0.01 in
   let summary =
-    Montecarlo.Runner.sample
-      ~sampler:(fun rng -> Montecarlo.Runner.iid rng ~loss:pn)
-      ~timing ~suite:Protocol.Suite.Stop_and_wait ~packets ~trials:4000 ~seed:6 ()
+    (Montecarlo.Runner.sample
+       ~sampler:(fun rng -> Montecarlo.Runner.iid rng ~loss:pn)
+       ~timing ~suite:Protocol.Suite.Stop_and_wait ~packets ~trials:4000 ~seed:6 ())
+      .Montecarlo.Runner.elapsed_ms
   in
   let analytic = Analysis.Expected_time.stop_and_wait ~t0_packet ~tr ~pn ~packets in
   let mc = Stats.Summary.mean summary in
@@ -183,9 +185,10 @@ let test_mc_sigma_matches_analytic_full_retransmit () =
   let pn = 0.005 in
   let pc = Analysis.Expected_time.blast_failure ~pn ~packets in
   let summary =
-    Montecarlo.Runner.sample
-      ~sampler:(fun rng -> Montecarlo.Runner.iid rng ~loss:pn)
-      ~timing ~suite:(suite_of Protocol.Blast.Full_retransmit) ~packets ~trials:8000 ~seed:7 ()
+    (Montecarlo.Runner.sample
+       ~sampler:(fun rng -> Montecarlo.Runner.iid rng ~loss:pn)
+       ~timing ~suite:(suite_of Protocol.Blast.Full_retransmit) ~packets ~trials:8000 ~seed:7 ())
+      .Montecarlo.Runner.elapsed_ms
   in
   let analytic = Analysis.Variance.full_retransmit ~t0 ~tr ~pc in
   let mc = Stats.Summary.stddev summary in
@@ -209,6 +212,7 @@ let test_mc_sigma_strategy_ordering () =
       (Montecarlo.Runner.sample
          ~sampler:(fun rng -> Montecarlo.Runner.iid rng ~loss:pn)
          ~timing ~suite:(suite_of strategy) ~packets ~trials:3000 ~seed:8 ())
+        .Montecarlo.Runner.elapsed_ms
   in
   let full = sigma Protocol.Blast.Full_retransmit in
   let nack = sigma Protocol.Blast.Full_retransmit_nack in
@@ -224,9 +228,10 @@ let test_mc_sigma_strategy_ordering () =
      interface error rate (~1e-4..1e-3): there, both strategies' spread is a
      small fraction of the mean and their expected times agree within 1%%. *)
   let at_rate pn strategy =
-    Montecarlo.Runner.sample
-      ~sampler:(fun rng -> Montecarlo.Runner.iid rng ~loss:pn)
-      ~timing ~suite:(suite_of strategy) ~packets ~trials:3000 ~seed:18 ()
+    (Montecarlo.Runner.sample
+       ~sampler:(fun rng -> Montecarlo.Runner.iid rng ~loss:pn)
+       ~timing ~suite:(suite_of strategy) ~packets ~trials:3000 ~seed:18 ())
+      .Montecarlo.Runner.elapsed_ms
   in
   let gbn4 = at_rate 1e-4 Protocol.Blast.Go_back_n in
   let sel4 = at_rate 1e-4 Protocol.Blast.Selective in
@@ -250,6 +255,7 @@ let test_mc_expected_time_insensitive_to_strategy () =
       (Montecarlo.Runner.sample
          ~sampler:(fun rng -> Montecarlo.Runner.iid rng ~loss:pn)
          ~timing ~suite:(suite_of strategy) ~packets ~trials:1500 ~seed:9 ())
+        .Montecarlo.Runner.elapsed_ms
   in
   let full = mean Protocol.Blast.Full_retransmit in
   let selective = mean Protocol.Blast.Selective in
@@ -275,8 +281,9 @@ let test_mc_burst_sampler () =
       end
   in
   let summary =
-    Montecarlo.Runner.sample ~sampler:burst_sampler ~timing
-      ~suite:(suite_of Protocol.Blast.Go_back_n) ~packets ~trials:800 ~seed:10 ()
+    (Montecarlo.Runner.sample ~sampler:burst_sampler ~timing
+       ~suite:(suite_of Protocol.Blast.Go_back_n) ~packets ~trials:800 ~seed:10 ())
+      .Montecarlo.Runner.elapsed_ms
   in
   Alcotest.(check bool) "completes and costs more than error-free" true
     (Stats.Summary.mean summary >= t0)
@@ -319,9 +326,10 @@ let test_recover_constants_from_simulated_ladders () =
 let test_mc_deterministic_given_seed () =
   let timing = Montecarlo.Runner.blast_timing costs ~tr:100.0 in
   let sample () =
-    Montecarlo.Runner.sample
-      ~sampler:(fun rng -> Montecarlo.Runner.iid rng ~loss:0.02)
-      ~timing ~suite:(suite_of Protocol.Blast.Go_back_n) ~packets:32 ~trials:50 ~seed:99 ()
+    (Montecarlo.Runner.sample
+       ~sampler:(fun rng -> Montecarlo.Runner.iid rng ~loss:0.02)
+       ~timing ~suite:(suite_of Protocol.Blast.Go_back_n) ~packets:32 ~trials:50 ~seed:99 ())
+      .Montecarlo.Runner.elapsed_ms
   in
   let a = sample () and b = sample () in
   check_close 1e-12 "identical mean" (Stats.Summary.mean a) (Stats.Summary.mean b);
@@ -358,6 +366,36 @@ let test_mc_gives_up_at_total_loss () =
             ~timing ~suite:(suite_of Protocol.Blast.Full_retransmit) ~packets:4 ());
        false
      with Failure _ -> true)
+
+let test_mc_sample_counts_failures () =
+  (* At total loss every trial gives up; [sample] must report that in
+     [failures] instead of raising, and the summary stays empty. *)
+  let timing = Montecarlo.Runner.blast_timing costs ~tr:10.0 in
+  let sample =
+    Montecarlo.Runner.sample ~max_attempts:5
+      ~sampler:(fun _rng () -> true)
+      ~timing ~suite:(suite_of Protocol.Blast.Full_retransmit) ~packets:4 ~trials:100
+      ~seed:21 ()
+  in
+  Alcotest.(check int) "all trials failed" 100 sample.Montecarlo.Runner.failures;
+  Alcotest.(check int) "summary is empty" 0
+    (Stats.Summary.count sample.Montecarlo.Runner.elapsed_ms)
+
+let test_mc_sample_mixed_failures () =
+  (* A drop rate high enough that some (but not all) trials exhaust their
+     attempts: successes and failures must partition the trial count. *)
+  let timing = Montecarlo.Runner.blast_timing costs ~tr:10.0 in
+  let sample =
+    Montecarlo.Runner.sample ~max_attempts:2
+      ~sampler:(fun rng -> Montecarlo.Runner.iid rng ~loss:0.4)
+      ~timing ~suite:(suite_of Protocol.Blast.Full_retransmit) ~packets:6 ~trials:400
+      ~seed:22 ()
+  in
+  let succeeded = Stats.Summary.count sample.Montecarlo.Runner.elapsed_ms in
+  let failed = sample.Montecarlo.Runner.failures in
+  Alcotest.(check int) "partition" 400 (succeeded + failed);
+  Alcotest.(check bool) "some failed" true (failed > 0);
+  Alcotest.(check bool) "some succeeded" true (succeeded > 0)
 
 let () =
   Alcotest.run "analysis-montecarlo"
@@ -410,5 +448,8 @@ let () =
           Alcotest.test_case "deterministic given seed" `Quick test_mc_deterministic_given_seed;
           Alcotest.test_case "covers all suites" `Quick test_mc_covers_all_suites;
           Alcotest.test_case "gives up at total loss" `Quick test_mc_gives_up_at_total_loss;
+          Alcotest.test_case "sample counts failures" `Quick test_mc_sample_counts_failures;
+          Alcotest.test_case "sample partitions successes and failures" `Quick
+            test_mc_sample_mixed_failures;
         ] );
     ]

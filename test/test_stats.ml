@@ -108,6 +108,46 @@ let test_shuffle_permutes () =
   Array.sort compare sorted;
   Alcotest.(check (array int)) "same multiset" (Array.init 50 Fun.id) sorted
 
+let test_derive_deterministic () =
+  let a = Stats.Rng.derive ~root:42 ~index:7 and b = Stats.Rng.derive ~root:42 ~index:7 in
+  for _ = 1 to 16 do
+    Alcotest.(check int64) "same stream" (Stats.Rng.bits64 a) (Stats.Rng.bits64 b)
+  done
+
+let test_derive_decorrelates_indices () =
+  (* Adjacent task indices must not yield overlapping or shifted streams:
+     check the first words across a window of indices are pairwise distinct,
+     and that index i+1's stream is not index i's stream shifted by one (the
+     failure mode of seeding xoshiro with correlated splitmix states). *)
+  let first_words =
+    List.init 64 (fun i ->
+        let rng = Stats.Rng.derive ~root:1 ~index:i in
+        (Stats.Rng.bits64 rng, Stats.Rng.bits64 rng))
+  in
+  let firsts = List.map fst first_words in
+  let distinct = List.sort_uniq Int64.compare firsts in
+  Alcotest.(check int) "distinct first words" 64 (List.length distinct);
+  List.iteri
+    (fun i (_, second) ->
+      match List.nth_opt firsts (i + 1) with
+      | Some next_first ->
+          Alcotest.(check bool) "not a shifted stream" false (Int64.equal second next_first)
+      | None -> ())
+    first_words
+
+let test_derive_root_sensitivity () =
+  let a = Stats.Rng.derive ~root:1 ~index:0 and b = Stats.Rng.derive ~root:2 ~index:0 in
+  let differs = ref false in
+  for _ = 1 to 8 do
+    if Stats.Rng.bits64 a <> Stats.Rng.bits64 b then differs := true
+  done;
+  Alcotest.(check bool) "roots decorrelate" true !differs
+
+let test_derive_rejects_negative_index () =
+  Alcotest.check_raises "negative index"
+    (Invalid_argument "Rng.derive: index must be non-negative") (fun () ->
+      ignore (Stats.Rng.derive ~root:1 ~index:(-1)))
+
 (* -------------------------------------------------------------- Summary *)
 
 let test_summary_basic () =
@@ -273,6 +313,12 @@ let () =
           Alcotest.test_case "geometric p=1" `Quick test_geometric_p1;
           Alcotest.test_case "exponential mean" `Quick test_exponential_mean;
           Alcotest.test_case "shuffle permutes" `Quick test_shuffle_permutes;
+          Alcotest.test_case "derive deterministic" `Quick test_derive_deterministic;
+          Alcotest.test_case "derive decorrelates indices" `Quick
+            test_derive_decorrelates_indices;
+          Alcotest.test_case "derive root sensitivity" `Quick test_derive_root_sensitivity;
+          Alcotest.test_case "derive rejects negative index" `Quick
+            test_derive_rejects_negative_index;
         ] );
       ( "summary",
         Alcotest.test_case "basic moments" `Quick test_summary_basic
