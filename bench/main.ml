@@ -138,6 +138,62 @@ let mc_parallel_rows jobs =
       ("fig6:mc-go-back-n", Protocol.Blast.Go_back_n);
     ]
 
+(* Per-datagram allocation of the receive path, fresh buffer vs the reusable
+   one (satellite of the server work: the old path allocated 64 KiB per
+   recvfrom). Loopback self-send so the numbers are pure socket-path cost. *)
+let rx_alloc_iters = 1000
+
+let rx_alloc_delta () =
+  let socket, address = Sockets.Udp.create_socket () in
+  let message =
+    Packet.Message.data ~transfer_id:1 ~seq:0 ~total:1 ~payload:(String.make 1024 'x')
+  in
+  let measure recv =
+    let before = Gc.allocated_bytes () in
+    for _ = 1 to rx_alloc_iters do
+      ignore (Sockets.Udp.send_message socket address message : Sockets.Udp.send_outcome);
+      ignore
+        (recv ()
+          : [ `Message of Packet.Message.t * Unix.sockaddr
+            | `Timeout
+            | `Garbage of Packet.Codec.error ])
+    done;
+    (Gc.allocated_bytes () -. before) /. float_of_int rx_alloc_iters
+  in
+  let fresh =
+    measure (fun () -> Sockets.Udp.recv_message ~timeout_ns:1_000_000_000 socket)
+  in
+  let buffer = Sockets.Udp.rx_buffer () in
+  let reused =
+    measure (fun () -> Sockets.Udp.recv_message ~timeout_ns:1_000_000_000 ~buffer socket)
+  in
+  Sockets.Udp.close socket;
+  (fresh, reused)
+
+(* Aggregate service capacity of the concurrent server at increasing fan-in:
+   N simultaneous senders against one socket, small payloads so the smoke
+   run stays fast. *)
+let serve_concurrency_rows () =
+  List.map
+    (fun flows ->
+      let report = Server.Swarm.run ~flows ~bytes:16384 ~packet_bytes:1024 ~seed:1 () in
+      Obs.Json.Obj
+        [
+          ("flows", Obs.Json.Int flows);
+          ("jobs", Obs.Json.Int report.Server.Swarm.jobs);
+          ("bytes_per_flow", Obs.Json.Int report.Server.Swarm.bytes_per_flow);
+          ("completed", Obs.Json.Int report.Server.Swarm.completed);
+          ("rejected", Obs.Json.Int report.Server.Swarm.rejected);
+          ("failed", Obs.Json.Int report.Server.Swarm.failed);
+          ("wall_ns", Obs.Json.Int report.Server.Swarm.elapsed_ns);
+          ("aggregate_mbit_s", Obs.Json.Float report.Server.Swarm.aggregate_mbit_s);
+          ( "latency_ms_mean",
+            Obs.Json.Float (Stats.Summary.mean report.Server.Swarm.latency_ms) );
+          ( "latency_ms_max",
+            Obs.Json.Float (Stats.Summary.max report.Server.Swarm.latency_ms) );
+        ])
+    [ 1; 8; 32 ]
+
 let write_bench_json ~jobs () =
   let packets = 64 in
   let sim_rows =
@@ -181,10 +237,15 @@ let write_bench_json ~jobs () =
         Protocol.Blast.Selective;
       ]
   in
+  let fresh_alloc, reused_alloc = rx_alloc_delta () in
+  Printf.printf
+    "rx buffer: %.0f B allocated per recv with a fresh buffer, %.0f B reused (%d loopback \
+     datagrams)\n%!"
+    fresh_alloc reused_alloc rx_alloc_iters;
   let json =
     Obs.Json.Obj
       [
-        ("schema", Obs.Json.String "lanrepro-bench/2");
+        ("schema", Obs.Json.String "lanrepro-bench/3");
         ("packets", Obs.Json.Int packets);
         (* Context for mc_parallel: speedup > 1 is only possible when the
            host actually has cores to spread the domains over. *)
@@ -192,6 +253,14 @@ let write_bench_json ~jobs () =
         ("sim_transfer", Obs.Json.List sim_rows);
         ("mc_kernels", Obs.Json.List mc_rows);
         ("mc_parallel", Obs.Json.List (mc_parallel_rows jobs));
+        ("serve_concurrency", Obs.Json.List (serve_concurrency_rows ()));
+        ( "rx_alloc",
+          Obs.Json.Obj
+            [
+              ("iters", Obs.Json.Int rx_alloc_iters);
+              ("fresh_bytes_per_recv", Obs.Json.Float fresh_alloc);
+              ("reused_bytes_per_recv", Obs.Json.Float reused_alloc);
+            ] );
       ]
   in
   let oc = open_out bench_json_path in

@@ -164,7 +164,8 @@ let simulate_cmd =
               Stats.Summary.add elapsed (Simnet.Driver.elapsed_ms result);
               Stats.Summary.add retransmissions
                 (float_of_int result.Simnet.Driver.sender.Protocol.Counters.retransmitted_data)
-          | Protocol.Action.Too_many_attempts | Protocol.Action.Peer_unreachable ->
+          | Protocol.Action.Too_many_attempts | Protocol.Action.Peer_unreachable
+          | Protocol.Action.Rejected ->
               incr failures
         done;
         { Simnet.Campaign.elapsed_ms = elapsed; failures = !failures; retransmissions }
@@ -497,7 +498,8 @@ let send_cmd =
       (match result.Sockets.Peer.outcome with
       | Protocol.Action.Success -> "sent"
       | Protocol.Action.Too_many_attempts -> "FAILED"
-      | Protocol.Action.Peer_unreachable -> "FAILED (peer unreachable)")
+      | Protocol.Action.Peer_unreachable -> "FAILED (peer unreachable)"
+      | Protocol.Action.Rejected -> "FAILED (server busy)")
       (String.length data)
       (float_of_int result.Sockets.Peer.elapsed_ns /. 1e6)
       result.Sockets.Peer.counters.Protocol.Counters.data_sent
@@ -569,7 +571,8 @@ let dump_cmd =
       (match result.Sockets.Peer.outcome with
       | Protocol.Action.Success -> "dumped"
       | Protocol.Action.Too_many_attempts -> "FAILED"
-      | Protocol.Action.Peer_unreachable -> "FAILED (peer unreachable)")
+      | Protocol.Action.Peer_unreachable -> "FAILED (peer unreachable)"
+      | Protocol.Action.Rejected -> "FAILED (server busy)")
       (float_of_int result.Sockets.Peer.elapsed_ns /. 1e6)
       result.Sockets.Peer.counters.Protocol.Counters.data_sent
       result.Sockets.Peer.counters.Protocol.Counters.retransmitted_data
@@ -747,6 +750,123 @@ let chaos_cmd =
       const run $ iters $ seed $ bytes $ scenarios $ suites $ jobs $ trace_out
       $ metrics_out)
 
+(* ------------------------------------------------------------ serve/swarm *)
+
+let string_of_sockaddr = function
+  | Unix.ADDR_INET (address, port) ->
+      Printf.sprintf "%s:%d" (Unix.string_of_inet_addr address) port
+  | Unix.ADDR_UNIX path -> path
+
+let resolve_scenario = function
+  | None -> None
+  | Some name -> begin
+      match Faults.Scenario.find name with
+      | Some s -> Some s
+      | None ->
+          Printf.eprintf "unknown scenario %S (known: %s)\n" name
+            (String.concat ", " (List.map Faults.Scenario.name Faults.Scenario.all));
+          exit 2
+    end
+
+let max_flows =
+  Arg.(
+    value
+    & opt int 64
+    & info [ "max-flows" ] ~docv:"N"
+        ~doc:"Admission cap: concurrent transfers beyond this are answered with REJ.")
+
+let scenario_name option_name ~doc =
+  Arg.(value & opt (some string) None & info [ option_name ] ~docv:"NAME" ~doc)
+
+let serve_cmd =
+  let run port max_flows scenario_name seed max_transfers trace_out metrics_out =
+    let scenario = resolve_scenario scenario_name in
+    let socket, address = Sockets.Udp.create_socket ~address:"0.0.0.0" ~port () in
+    let recorder, metrics, flush = telemetry trace_out metrics_out in
+    let on_complete (e : Server.Engine.completion_event) =
+      let c = e.Server.Engine.completion in
+      Printf.printf "  flow %d from %s: %s, %d bytes, crc %s, %.1f ms\n%!"
+        c.Sockets.Flow.transfer_id
+        (string_of_sockaddr e.Server.Engine.peer)
+        (Format.asprintf "%a" Protocol.Action.pp_outcome c.Sockets.Flow.outcome)
+        (String.length c.Sockets.Flow.data)
+        (match c.Sockets.Flow.integrity with
+        | Sockets.Flow.Verified -> "verified"
+        | Sockets.Flow.Mismatch -> "MISMATCH"
+        | Sockets.Flow.Not_carried -> "not carried")
+        (float_of_int (e.Server.Engine.finished_ns - e.Server.Engine.started_ns) /. 1e6)
+    in
+    let engine =
+      Server.Engine.create ~max_flows ?scenario ~seed ?recorder ?metrics ~on_complete
+        ~socket ()
+    in
+    (* Ctrl-C stops the loop instead of killing the process, so the totals
+       line and any requested telemetry still get written. *)
+    Sys.set_signal Sys.sigint
+      (Sys.Signal_handle (fun _ -> Server.Engine.stop engine));
+    Printf.printf "serving on UDP %s (max %d concurrent flows%s)...\n%!"
+      (string_of_sockaddr address) max_flows
+      (match scenario_name with Some s -> ", scenario " ^ s | None -> "");
+    Server.Engine.run ?max_transfers engine;
+    Sockets.Udp.close socket;
+    Format.printf "server: %a@." Server.Engine.pp_totals (Server.Engine.totals engine);
+    flush ()
+  in
+  let max_transfers =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "max-transfers" ] ~docv:"N"
+          ~doc:"Exit after this many flows have settled (default: serve until SIGINT).")
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Concurrent transfer server: accept many simultaneous senders over one UDP \
+          socket, with admission control and per-flow fault injection")
+    Term.(
+      const run $ port $ max_flows
+      $ scenario_name "scenario" ~doc:"Server-side fault scenario applied independently per flow."
+      $ seed $ max_transfers $ trace_out $ metrics_out)
+
+let swarm_cmd =
+  let run flows max_flows jobs size packet_bytes protocol scenario_name server_scenario_name
+      seed trace_out metrics_out =
+    let scenario = resolve_scenario scenario_name in
+    let server_scenario = resolve_scenario server_scenario_name in
+    let recorder, metrics, flush = telemetry trace_out metrics_out in
+    let report =
+      Server.Swarm.run ~max_flows ?jobs ~bytes:size ~packet_bytes ~suite:protocol ?scenario
+        ?server_scenario ~seed ?recorder ?metrics ~flows ()
+    in
+    Format.printf "%a@." Server.Swarm.pp_report report;
+    Printf.printf "server-verified transfers: %d/%d\n"
+      (Server.Swarm.server_verified report)
+      report.Server.Swarm.completed;
+    flush ();
+    if report.Server.Swarm.failed > 0 then exit 1
+  in
+  let flows =
+    Arg.(value & opt int 8 & info [ "flows" ] ~docv:"N" ~doc:"Concurrent senders to launch.")
+  in
+  let size =
+    Arg.(value & opt int 65536 & info [ "size" ] ~docv:"BYTES" ~doc:"Payload bytes per flow.")
+  in
+  let packet_bytes =
+    Arg.(value & opt int 1024 & info [ "packet-bytes" ] ~docv:"BYTES" ~doc:"Payload bytes per data packet.")
+  in
+  Cmd.v
+    (Cmd.info "swarm"
+       ~doc:
+         "Swarm load generator: drive N concurrent transfers against one in-process \
+          server and report aggregate throughput, latency, and admission outcomes; \
+          exits non-zero if any flow fails uncleanly")
+    Term.(
+      const run $ flows $ max_flows $ jobs $ size $ packet_bytes $ protocol
+      $ scenario_name "scenario" ~doc:"Sender-side fault scenario (independent per sender)."
+      $ scenario_name "server-scenario" ~doc:"Server-side fault scenario (independent per flow)."
+      $ seed $ trace_out $ metrics_out)
+
 let () =
   let default = Term.(ret (const (`Help (`Pager, None)))) in
   exit
@@ -767,4 +887,6 @@ let () =
             dump_cmd;
             restore_cmd;
             chaos_cmd;
+            serve_cmd;
+            swarm_cmd;
           ]))

@@ -45,7 +45,8 @@ let () =
     (match result.Sockets.Peer.outcome with
     | Protocol.Action.Success -> "success"
     | Protocol.Action.Too_many_attempts -> "gave up"
-    | Protocol.Action.Peer_unreachable -> "peer unreachable")
+    | Protocol.Action.Peer_unreachable -> "peer unreachable"
+    | Protocol.Action.Rejected -> "rejected (server busy)")
     (float_of_int result.Sockets.Peer.elapsed_ns /. 1e6);
   Printf.printf "data packets sent: %d (%d were retransmissions)\n"
     result.Sockets.Peer.counters.Protocol.Counters.data_sent

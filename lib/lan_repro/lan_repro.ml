@@ -17,6 +17,7 @@
 
     - {!Simnet}: transfers over the simulated LAN
     - {!Sockets}: the same machines over real UDP
+    - {!Server}: many concurrent transfers multiplexed over one socket
     - {!Vkernel}: MoveTo/MoveFrom and Send/Receive/Reply IPC
     - {!Workload}, {!Report}, {!Experiments}: experiment plumbing *)
 
@@ -29,6 +30,7 @@ module Simnet = Simnet
 module Analysis = Analysis
 module Montecarlo = Montecarlo
 module Sockets = Sockets
+module Server = Server
 module Vkernel = Vkernel
 module Workload = Workload
 module Report = Report

@@ -78,7 +78,10 @@ let run_transfer ?(max_attempts = 10_000) ~drops ~timing ~suite ~packets () =
   done;
   match !outcome with
   | Some Protocol.Action.Success -> Some !elapsed
-  | Some (Protocol.Action.Too_many_attempts | Protocol.Action.Peer_unreachable) | None ->
+  | Some
+      ( Protocol.Action.Too_many_attempts | Protocol.Action.Peer_unreachable
+      | Protocol.Action.Rejected )
+  | None ->
       None
 
 let one_transfer ?max_attempts ~drops ~timing ~suite ~packets () =

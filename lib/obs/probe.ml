@@ -31,6 +31,7 @@ let kind_name (m : Packet.Message.t) =
   | Packet.Kind.Data -> "data"
   | Packet.Kind.Ack -> "ack"
   | Packet.Kind.Nack -> "nack"
+  | Packet.Kind.Rej -> "rej"
 
 let tx t (m : Packet.Message.t) =
   match t.recorder with

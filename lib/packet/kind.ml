@@ -1,18 +1,19 @@
-type t = Req | Data | Ack | Nack
+type t = Req | Data | Ack | Nack | Rej
 
-let to_byte = function Req -> 1 | Data -> 2 | Ack -> 3 | Nack -> 4
+let to_byte = function Req -> 1 | Data -> 2 | Ack -> 3 | Nack -> 4 | Rej -> 5
 
 let of_byte = function
   | 1 -> Some Req
   | 2 -> Some Data
   | 3 -> Some Ack
   | 4 -> Some Nack
+  | 5 -> Some Rej
   | _ -> None
 
 let equal a b = a = b
 
 let pp ppf t =
   Format.pp_print_string ppf
-    (match t with Req -> "REQ" | Data -> "DATA" | Ack -> "ACK" | Nack -> "NACK")
+    (match t with Req -> "REQ" | Data -> "DATA" | Ack -> "ACK" | Nack -> "NACK" | Rej -> "REJ")
 
-let all = [ Req; Data; Ack; Nack ]
+let all = [ Req; Data; Ack; Nack; Rej ]

@@ -7,6 +7,10 @@ type t =
   | Nack
       (** negative acknowledgement; carries the first missing sequence number
           and, for selective retransmission, a bitmap of received packets *)
+  | Rej
+      (** transfer refused at admission: a busy server answers a [Req] with
+          this instead of the handshake [Ack], and the sender gives up
+          immediately with a clean outcome instead of retrying the REQ *)
 
 val to_byte : t -> int
 val of_byte : int -> t option

@@ -30,6 +30,8 @@ let geometry t =
     if packet_bytes <= 0 || total_bytes <= 0 then None else Some (packet_bytes, total_bytes)
   end
 
+let rej ~transfer_id = make Kind.Rej ~transfer_id ~seq:0 ~total:0 ~payload:""
+
 let data ~transfer_id ~seq ~total ~payload =
   if seq >= total then invalid_arg "Message.data: seq beyond total";
   make Kind.Data ~transfer_id ~seq ~total ~payload

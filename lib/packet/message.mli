@@ -30,6 +30,10 @@ val geometry : t -> (int * int) option
 (** [geometry t] is [(packet_bytes, total_bytes)] of a geometry-carrying
     [Req], [None] otherwise. *)
 
+val rej : transfer_id:int -> t
+(** The deterministic busy reply: a server at its admission cap answers the
+    transfer's [Req] with this. *)
+
 val data : transfer_id:int -> seq:int -> total:int -> payload:string -> t
 val ack : transfer_id:int -> seq:int -> total:int -> t
 val nack : transfer_id:int -> first_missing:int -> total:int -> ?received:Bitset.t -> unit -> t

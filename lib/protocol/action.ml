@@ -1,4 +1,4 @@
-type outcome = Success | Too_many_attempts | Peer_unreachable
+type outcome = Success | Too_many_attempts | Peer_unreachable | Rejected
 
 type t =
   | Send of Packet.Message.t
@@ -13,6 +13,7 @@ let pp_outcome ppf = function
   | Success -> Format.pp_print_string ppf "success"
   | Too_many_attempts -> Format.pp_print_string ppf "too many attempts"
   | Peer_unreachable -> Format.pp_print_string ppf "peer unreachable"
+  | Rejected -> Format.pp_print_string ppf "rejected (server busy)"
 
 let pp ppf = function
   | Send m -> Format.fprintf ppf "send %a" Packet.Message.pp m

@@ -13,6 +13,12 @@ type outcome =
           (no datagram for the idle window, or the opening handshake never
           completed). Machines never emit this themselves — it is the
           transport's way of bounding a transfer whose peer died. *)
+  | Rejected
+      (** the receiving server refused the transfer at admission (it answered
+          the handshake [Req] with a [Rej] busy reply). Like
+          [Peer_unreachable] this is a transport-level outcome: machines
+          never emit it, and the sender gives up immediately instead of
+          retrying into a saturated server. *)
 
 type t =
   | Send of Packet.Message.t

@@ -27,6 +27,27 @@ let create () =
     garbage_received = 0;
   }
 
+(* Field-by-field addition, spelled out so a new field cannot silently be
+   left out of server roll-ups: adding one to the record type makes this
+   function fail to compile until it is summed here too. *)
+let merge ~into:a b =
+  a.data_sent <- a.data_sent + b.data_sent;
+  a.retransmitted_data <- a.retransmitted_data + b.retransmitted_data;
+  a.acks_sent <- a.acks_sent + b.acks_sent;
+  a.nacks_sent <- a.nacks_sent + b.nacks_sent;
+  a.rounds <- a.rounds + b.rounds;
+  a.timeouts <- a.timeouts + b.timeouts;
+  a.duplicates_received <- a.duplicates_received + b.duplicates_received;
+  a.delivered <- a.delivered + b.delivered;
+  a.faults_injected <- a.faults_injected + b.faults_injected;
+  a.corrupt_detected <- a.corrupt_detected + b.corrupt_detected;
+  a.garbage_received <- a.garbage_received + b.garbage_received
+
+let sum counters =
+  let total = create () in
+  List.iter (fun c -> merge ~into:total c) counters;
+  total
+
 (* Every field prints even when zero, so logs from clean and faulty runs
    stay grep-stable. *)
 let pp ppf t =

@@ -21,4 +21,14 @@ type t = {
 }
 
 val create : unit -> t
+
+val merge : into:t -> t -> unit
+(** [merge ~into:a b] adds every field of [b] into [a] ([b] is unchanged).
+    Field-exact: the merged record sums with per-flow snapshots with no
+    field dropped — the concurrent server's roll-up and {!Report} both rely
+    on this. *)
+
+val sum : t list -> t
+(** A fresh record holding the field-wise sum of the list. *)
+
 val pp : Format.formatter -> t -> unit

@@ -88,7 +88,7 @@ let sender ?(counters = Counters.create ()) ~strategy ~chunk_packets (config : C
               match m.Packet.Message.kind with
               | Packet.Kind.Ack -> seq > offset && seq <= offset + len
               | Packet.Kind.Nack -> seq >= offset && seq < offset + len
-              | Packet.Kind.Data | Packet.Kind.Req -> false
+              | Packet.Kind.Data | Packet.Kind.Req | Packet.Kind.Rej -> false
             in
             if belongs then Some (Message (to_local ~offset ~len m)) else None
         | Timeout -> Some Timeout

@@ -1,0 +1,379 @@
+let log = Logs.Src.create "server.engine" ~doc:"concurrent UDP transfer server"
+
+module Log = (val Logs.src_log log : Logs.LOG)
+
+type totals = {
+  mutable accepted : int;
+  mutable completed : int;
+  mutable aborted : int;
+  mutable rejected : int;
+  mutable stray_datagrams : int;
+  mutable garbage : int;
+  mutable send_failures : int;
+}
+
+let create_totals () =
+  {
+    accepted = 0;
+    completed = 0;
+    aborted = 0;
+    rejected = 0;
+    stray_datagrams = 0;
+    garbage = 0;
+    send_failures = 0;
+  }
+
+let pp_totals ppf t =
+  Format.fprintf ppf
+    "accepted %d, completed %d, aborted %d, rejected %d, stray %d, garbage %d, send failures %d"
+    t.accepted t.completed t.aborted t.rejected t.stray_datagrams t.garbage t.send_failures
+
+type completion_event = {
+  peer : Unix.sockaddr;
+  completion : Sockets.Flow.completion;
+  started_ns : int;
+  finished_ns : int;
+}
+
+(* A flow is keyed by who is talking and which transfer they mean: two
+   transfers from the same source port never collide (distinct ids), and two
+   senders reusing id 1 never collide either (distinct sockaddrs). *)
+type key = Unix.sockaddr * int
+
+type timer_payload =
+  | Flow_tick of key
+  | Delayed_send of { peer : Unix.sockaddr; data : bytes }
+      (** a netem-delayed emission: the engine never sleeps inline, it
+          schedules the datagram and keeps serving other flows *)
+
+type flow_state = {
+  flow : Sockets.Flow.t;
+  peer : Unix.sockaddr;
+  faults : Faults.Netem.t option;
+  started_ns : int;
+  mutable scheduled_at : int;  (** earliest heap entry for this flow; [max_int] = none *)
+}
+
+type t = {
+  socket : Unix.file_descr;
+  max_flows : int;
+  retransmit_ns : int;
+  max_attempts : int;
+  idle_timeout_ns : int option;
+  linger_ns : int option;
+  fallback_suite : Protocol.Suite.t option;
+  scenario : Faults.Scenario.t option;
+  seed : int;
+  drain_budget : int;
+  recorder : Obs.Recorder.t option;
+  metrics : Obs.Metrics.t option;
+  on_complete : completion_event -> unit;
+  flows : (key, flow_state) Hashtbl.t;
+  timers : timer_payload Timers.t;
+  totals : totals;
+  settled : Protocol.Counters.t;  (** merged counters of finished flows *)
+  server_counters : Protocol.Counters.t;  (** pre-admission garbage accounting *)
+  server_probe : Obs.Probe.t;
+  buffer : Bytes.t;
+  stopped : bool Atomic.t;
+  mutable next_index : int;
+}
+
+let create ?(max_flows = 64) ?(retransmit_ns = 50_000_000) ?(max_attempts = 50)
+    ?idle_timeout_ns ?linger_ns ?fallback_suite ?scenario ?(seed = 1)
+    ?(drain_budget = 64) ?recorder ?metrics ?(on_complete = fun _ -> ()) ~socket () =
+  if max_flows < 0 then invalid_arg "Engine.create: negative max_flows";
+  if drain_budget <= 0 then invalid_arg "Engine.create: drain_budget must be positive";
+  (* A blast sender can land dozens of datagrams between two select rounds;
+     headroom in the kernel buffer is what keeps that from becoming loss for
+     every other flow. Best effort: the kernel may clamp it. *)
+  (try Unix.setsockopt_int socket Unix.SO_RCVBUF (4 * 1024 * 1024)
+   with Unix.Unix_error _ -> ());
+  Option.iter (fun r -> Obs.Recorder.set_clock r Sockets.Udp.now_ns) recorder;
+  let server_counters = Protocol.Counters.create () in
+  let server_probe = Obs.Probe.create ?recorder ~lane:"server" ~counters:server_counters () in
+  {
+    socket;
+    max_flows;
+    retransmit_ns;
+    max_attempts;
+    idle_timeout_ns;
+    linger_ns;
+    fallback_suite;
+    scenario = (match scenario with Some s when Faults.Scenario.is_clean s -> None | s -> s);
+    seed;
+    drain_budget;
+    recorder;
+    metrics;
+    on_complete;
+    flows = Hashtbl.create 64;
+    timers = Timers.create ();
+    totals = create_totals ();
+    settled = Protocol.Counters.create ();
+    server_counters;
+    server_probe;
+    buffer = Sockets.Udp.rx_buffer ();
+    stopped = Atomic.make false;
+    next_index = 0;
+  }
+
+let totals t = t.totals
+let active_flows t = Hashtbl.length t.flows
+
+let rollup t =
+  let total = Protocol.Counters.create () in
+  Protocol.Counters.merge ~into:total t.settled;
+  Protocol.Counters.merge ~into:total t.server_counters;
+  Hashtbl.iter
+    (fun _ fs -> Protocol.Counters.merge ~into:total (Sockets.Flow.counters fs.flow))
+    t.flows;
+  total
+
+let metric_counter t name =
+  Option.map (fun m -> Obs.Metrics.counter m ~labels:[ ("side", "server") ] name) t.metrics
+
+let bump t name = Option.iter Obs.Metrics.inc (metric_counter t name)
+
+let publish_gauges t =
+  match t.metrics with
+  | None -> ()
+  | Some m ->
+      Obs.Metrics.set_gauge
+        (Obs.Metrics.gauge m ~labels:[ ("side", "server") ] "active_flows")
+        (float_of_int (Hashtbl.length t.flows))
+
+let put t = function
+  | Sockets.Udp.Sent -> ()
+  | Sockets.Udp.Send_failed _ -> t.totals.send_failures <- t.totals.send_failures + 1
+
+(* Per-flow transmit: the probe's tx event fires per protocol send (before
+   fault injection, agreeing with the machine's counters); delayed netem
+   emissions go on the timer heap instead of blocking the loop. *)
+let transmit t fs message =
+  let probe = Sockets.Flow.probe fs.flow in
+  Obs.Probe.tx probe message;
+  let encoded = Packet.Codec.encode message in
+  match fs.faults with
+  | None -> (
+      match Sockets.Udp.send_bytes t.socket fs.peer encoded with
+      | Sockets.Udp.Sent -> ()
+      | Sockets.Udp.Send_failed _ ->
+          Obs.Probe.drop probe `Tx;
+          t.totals.send_failures <- t.totals.send_failures + 1)
+  | Some netem ->
+      List.iter
+        (fun { Faults.Netem.delay_ns; data } ->
+          if delay_ns <= 0 then put t (Sockets.Udp.send_bytes t.socket fs.peer data)
+          else
+            Timers.add t.timers
+              ~deadline:(Sockets.Udp.now_ns () + delay_ns)
+              (Delayed_send { peer = fs.peer; data }))
+        (Faults.Netem.tx_bytes netem encoded)
+
+let execute t fs actions =
+  List.iter (fun (Sockets.Flow.Transmit m) -> transmit t fs m) actions
+
+let reschedule t key fs =
+  if Hashtbl.mem t.flows key then
+    match Sockets.Flow.next_deadline fs.flow with
+    | None -> ()
+    | Some deadline ->
+        if deadline < fs.scheduled_at then begin
+          Timers.add t.timers ~deadline (Flow_tick key);
+          fs.scheduled_at <- deadline
+        end
+
+let finalize t key fs (completion : Sockets.Flow.completion) ~now =
+  Hashtbl.remove t.flows key;
+  (match fs.faults with
+  | None -> ()
+  | Some netem ->
+      (* Release held-back (reordered) datagrams so a sender waiting on its
+         final ack is not starved by our own fault pipeline. *)
+      List.iter
+        (fun { Faults.Netem.delay_ns; data } ->
+          if delay_ns <= 0 then put t (Sockets.Udp.send_bytes t.socket fs.peer data)
+          else
+            Timers.add t.timers ~deadline:(now + delay_ns)
+              (Delayed_send { peer = fs.peer; data }))
+        (Faults.Netem.flush netem));
+  Protocol.Counters.merge ~into:t.settled completion.Sockets.Flow.counters;
+  (match completion.Sockets.Flow.outcome with
+  | Protocol.Action.Success ->
+      t.totals.completed <- t.totals.completed + 1;
+      bump t "flows_completed"
+  | _ ->
+      t.totals.aborted <- t.totals.aborted + 1;
+      bump t "flows_aborted");
+  publish_gauges t;
+  Log.debug (fun f ->
+      f "flow %d settled (%a); %d active" completion.Sockets.Flow.transfer_id
+        Protocol.Action.pp_outcome completion.Sockets.Flow.outcome
+        (Hashtbl.length t.flows));
+  t.on_complete { peer = fs.peer; completion; started_ns = fs.started_ns; finished_ns = now }
+
+let settle_if_done t key fs ~now =
+  match Sockets.Flow.status fs.flow with
+  | `Done completion -> finalize t key fs completion ~now
+  | `Running | `Lingering -> ()
+
+let reject t ~from ~transfer_id =
+  t.totals.rejected <- t.totals.rejected + 1;
+  bump t "flows_rejected";
+  Log.debug (fun f ->
+      f "rejecting transfer %d: %d/%d flows busy" transfer_id (Hashtbl.length t.flows)
+        t.max_flows);
+  put t (Sockets.Udp.send_message t.socket from (Packet.Message.rej ~transfer_id))
+
+let admit t ~now ~from message =
+  if Hashtbl.length t.flows >= t.max_flows then
+    reject t ~from ~transfer_id:message.Packet.Message.transfer_id
+  else begin
+    let index = t.next_index in
+    let counters = Protocol.Counters.create () in
+    let probe =
+      Obs.Probe.create ?recorder:t.recorder
+        ~lane:(Printf.sprintf "flow-%d" index)
+        ~counters ()
+    in
+    let faults =
+      match t.scenario with
+      | None -> None
+      | Some scenario ->
+          (* Every flow gets its own independent, reproducible fault stream:
+             one shared Netem would entangle flows' randomness and make
+             per-flow replay impossible. *)
+          let rng = Stats.Rng.derive ~root:t.seed ~index in
+          let seed = Int64.to_int (Stats.Rng.bits64 rng) land max_int in
+          let netem = Faults.Netem.create ~counters ~seed scenario in
+          Faults.Netem.set_observer netem (Obs.Probe.fault probe);
+          Some netem
+    in
+    match
+      Sockets.Flow.create ?fallback_suite:t.fallback_suite ~retransmit_ns:t.retransmit_ns
+        ~max_attempts:t.max_attempts ?idle_timeout_ns:t.idle_timeout_ns
+        ?linger_ns:t.linger_ns ~probe ~counters ~now message
+    with
+    | Error (`Not_a_req | `Bad_geometry) ->
+        (* A REQ whose geometry does not decode is indistinguishable from
+           noise: count it where pre-admission garbage is counted. *)
+        t.totals.garbage <- t.totals.garbage + 1;
+        t.server_counters.Protocol.Counters.garbage_received <-
+          t.server_counters.Protocol.Counters.garbage_received + 1
+    | Ok (flow, actions) ->
+        t.next_index <- index + 1;
+        t.totals.accepted <- t.totals.accepted + 1;
+        bump t "flows_accepted";
+        let key = (from, message.Packet.Message.transfer_id) in
+        let fs = { flow; peer = from; faults; started_ns = now; scheduled_at = max_int } in
+        Hashtbl.replace t.flows key fs;
+        publish_gauges t;
+        Log.debug (fun f ->
+            f "admitted flow %d (transfer %d); %d active" index
+              message.Packet.Message.transfer_id (Hashtbl.length t.flows));
+        execute t fs actions;
+        settle_if_done t key fs ~now;
+        reschedule t key fs
+  end
+
+let handle_datagram t ~from ~len =
+  let now = Sockets.Udp.now_ns () in
+  match Packet.Codec.decode_sub t.buffer ~pos:0 ~len with
+  | Error reason ->
+      (* No trustworthy header, so no flow to attribute it to. *)
+      t.totals.garbage <- t.totals.garbage + 1;
+      Sockets.Flow.count_garbage ~probe:t.server_probe t.server_counters reason
+  | Ok message -> (
+      let key = (from, message.Packet.Message.transfer_id) in
+      match Hashtbl.find_opt t.flows key with
+      | Some fs ->
+          execute t fs (Sockets.Flow.on_message fs.flow ~now message);
+          settle_if_done t key fs ~now;
+          reschedule t key fs
+      | None ->
+          if message.Packet.Message.kind = Packet.Kind.Req then admit t ~now ~from message
+          else
+            (* Late datagrams of an already-settled flow, or acks for a
+               handshake we refused — expected traffic, silently absorbed. *)
+            t.totals.stray_datagrams <- t.totals.stray_datagrams + 1)
+
+(* Service everything the heap owes us at [now]: delayed fault emissions go
+   out, and each due flow gets its tick (machine timer, idle watchdog, or
+   linger expiry). Stale heap entries — the flow's deadline moved later or
+   the flow is gone — are dropped or re-armed. *)
+let rec service_timers t ~now =
+  match Timers.pop_due t.timers ~now with
+  | None -> ()
+  | Some (Delayed_send { peer; data }) ->
+      put t (Sockets.Udp.send_bytes t.socket peer data);
+      service_timers t ~now
+  | Some (Flow_tick key) ->
+      (match Hashtbl.find_opt t.flows key with
+      | None -> ()
+      | Some fs ->
+          fs.scheduled_at <- max_int;
+          (match Sockets.Flow.next_deadline fs.flow with
+          | Some deadline when deadline - now <= 0 ->
+              execute t fs (Sockets.Flow.on_tick fs.flow ~now);
+              settle_if_done t key fs ~now
+          | _ -> ());
+          reschedule t key fs);
+      service_timers t ~now
+
+(* Drain at most [budget] datagrams, then return to timer service: the
+   budget is the fairness knob — one blast sender saturating the socket
+   cannot starve the other flows' retransmission timers. *)
+let rec drain t budget =
+  if budget > 0 then
+    match Unix.recvfrom t.socket t.buffer 0 (Bytes.length t.buffer) [] with
+    | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _) -> ()
+    | exception Unix.Unix_error (Unix.ECONNREFUSED, _, _) ->
+        (* Linux surfaces a pending ICMP port-unreachable (a sender that
+           already closed) on the next recvfrom; it consumes no datagram. *)
+        drain t budget
+    | len, from ->
+        handle_datagram t ~from ~len;
+        drain t (budget - 1)
+
+(* Cap each select so [stop] from another thread is honoured promptly even
+   when the socket is silent and no timer is due. *)
+let max_select_ns = 50_000_000
+
+let run ?max_transfers t =
+  Unix.set_nonblock t.socket;
+  let served () = t.totals.completed + t.totals.aborted in
+  let finished () =
+    match max_transfers with
+    | Some n -> served () >= n && Hashtbl.length t.flows = 0
+    | None -> false
+  in
+  Log.info (fun f -> f "serving (max %d concurrent flows)" t.max_flows);
+  while (not (Atomic.get t.stopped)) && not (finished ()) do
+    let now = Sockets.Udp.now_ns () in
+    service_timers t ~now;
+    let timeout_ns =
+      match Timers.peek_deadline t.timers with
+      | None -> max_select_ns
+      | Some deadline -> max 0 (min (deadline - now) max_select_ns)
+    in
+    match Unix.select [ t.socket ] [] [] (float_of_int timeout_ns /. 1e9) with
+    | [], _, _ -> ()
+    | _ :: _, _, _ -> drain t t.drain_budget
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+  done;
+  (* Shutdown settles every live flow to a typed result — nothing is left
+     dangling, and the caller's on_complete sees each one exactly once. *)
+  let remaining = Hashtbl.fold (fun key fs acc -> (key, fs) :: acc) t.flows [] in
+  List.iter
+    (fun (key, fs) ->
+      let now = Sockets.Udp.now_ns () in
+      let completion = Sockets.Flow.force_done fs.flow ~now in
+      finalize t key fs completion ~now)
+    remaining;
+  publish_gauges t;
+  (match t.metrics with
+  | None -> ()
+  | Some m -> Obs.Metrics.bridge_counters m ~labels:[ ("side", "server") ] (rollup t));
+  Log.info (fun f -> f "server loop exits: %a" pp_totals t.totals)
+
+let stop t = Atomic.set t.stopped true

@@ -1,0 +1,89 @@
+(** Concurrent transfer server: many flows multiplexed over one UDP socket.
+
+    A single event loop ([Unix.select] plus a timer heap) demultiplexes
+    datagrams by [(peer address, transfer id)] into a table of sans-IO
+    {!Sockets.Flow} instances — the same engine {!Sockets.Peer.serve_one}
+    drives single-flow. Each admitted flow gets its own counters, probe lane
+    ([flow-N]) and, under a fault scenario, its own deterministically-seeded
+    {!Faults.Netem} whose delayed emissions are scheduled on the timer heap
+    rather than slept inline, so injecting latency into one flow never
+    stalls the others.
+
+    {b Admission control.} At most [max_flows] concurrent transfers; a REQ
+    beyond the cap is answered with a [REJ] datagram, which the sender
+    surfaces as the clean {!Protocol.Action.Rejected} outcome.
+
+    {b Fairness.} Each loop round drains at most [drain_budget] datagrams
+    before servicing due timers, so one saturating sender cannot starve the
+    other flows' retransmission or watchdog timers.
+
+    {b No-hang guarantee.} Every flow's idle watchdog runs off the shared
+    heap; [stop] is honoured within ~50 ms; shutdown force-settles every
+    live flow to a typed completion. *)
+
+type totals = {
+  mutable accepted : int;  (** REQs admitted into the flow table *)
+  mutable completed : int;  (** flows settled with [Success] *)
+  mutable aborted : int;  (** flows settled with any other outcome *)
+  mutable rejected : int;  (** REQs refused with a REJ (admission cap) *)
+  mutable stray_datagrams : int;
+      (** well-formed datagrams matching no flow — late packets of settled
+          transfers, retries of rejected handshakes *)
+  mutable garbage : int;  (** undecodable datagrams and malformed REQs *)
+  mutable send_failures : int;  (** transient send errors, counted as loss *)
+}
+
+val create_totals : unit -> totals
+val pp_totals : Format.formatter -> totals -> unit
+
+type completion_event = {
+  peer : Unix.sockaddr;
+  completion : Sockets.Flow.completion;
+  started_ns : int;  (** monotonic, REQ admission *)
+  finished_ns : int;  (** monotonic, flow settled *)
+}
+
+type t
+
+val create :
+  ?max_flows:int ->
+  ?retransmit_ns:int ->
+  ?max_attempts:int ->
+  ?idle_timeout_ns:int ->
+  ?linger_ns:int ->
+  ?fallback_suite:Protocol.Suite.t ->
+  ?scenario:Faults.Scenario.t ->
+  ?seed:int ->
+  ?drain_budget:int ->
+  ?recorder:Obs.Recorder.t ->
+  ?metrics:Obs.Metrics.t ->
+  ?on_complete:(completion_event -> unit) ->
+  socket:Unix.file_descr ->
+  unit ->
+  t
+(** The engine serves on [socket] (caller keeps ownership; the engine sets it
+    non-blocking and bumps [SO_RCVBUF] best-effort). Defaults: 64 concurrent
+    flows, 50 ms retransmission interval, 50 attempts, drain budget 64.
+    [scenario] injects faults independently per flow, seeded from [seed] and
+    the flow's admission index ([Stats.Rng.derive]), so a run replays
+    exactly. [metrics] carries an [active_flows] gauge, admission counters
+    and, at shutdown, the merged counter roll-up, all labelled
+    [side=server]. [on_complete] fires once per settled flow, from the
+    serving thread. Raises [Invalid_argument] on a negative [max_flows] or
+    non-positive [drain_budget]; [max_flows = 0] refuses everything — the
+    admission test's degenerate case. *)
+
+val run : ?max_transfers:int -> t -> unit
+(** Serves until {!stop}, or — with [max_transfers] — until that many flows
+    have settled and the table is empty. Runs in the calling thread;
+    shutdown force-settles any flow still live. *)
+
+val stop : t -> unit
+(** Thread-safe; [run] returns within ~50 ms. *)
+
+val totals : t -> totals
+val active_flows : t -> int
+
+val rollup : t -> Protocol.Counters.t
+(** Field-wise merge ({!Protocol.Counters.merge}) of every flow's counters —
+    settled and live — plus the server's pre-admission garbage accounting. *)

@@ -1,0 +1,6 @@
+(* The sans-IO flow engine lives in [lib/sockets] so the single-flow
+   [Peer.serve_one] can drive it without a dependency cycle; re-exporting it
+   here (an [include], so every type equality is preserved) gives the server
+   library its natural name for the same module: [Server.Flow.t] and
+   [Sockets.Flow.t] are the same type. *)
+include Sockets.Flow

@@ -1,0 +1,142 @@
+let log = Logs.Src.create "server.swarm" ~doc:"concurrent-sender load generator"
+
+module Log = (val Logs.src_log log : Logs.LOG)
+
+type sender_report = {
+  index : int;
+  outcome : Protocol.Action.outcome;
+  elapsed_ns : int;
+  bytes : int;
+}
+
+type report = {
+  flows : int;
+  jobs : int;
+  bytes_per_flow : int;
+  completed : int;
+  rejected : int;
+  failed : int;
+  elapsed_ns : int;
+  aggregate_mbit_s : float;
+  latency_ms : Stats.Summary.t;
+  senders : sender_report list;
+  completions : Engine.completion_event list;
+      (** server-side view of every settled flow, in settlement order *)
+  server : Engine.totals;
+  rollup : Protocol.Counters.t;
+}
+
+let server_verified report =
+  List.length
+    (List.filter
+       (fun (e : Engine.completion_event) ->
+         e.Engine.completion.Sockets.Flow.integrity = Sockets.Flow.Verified)
+       report.completions)
+
+let pp_report ppf r =
+  Format.fprintf ppf
+    "%d flows over %d jobs: %d completed, %d rejected, %d failed in %.1f ms (%.2f Mbit/s \
+     aggregate; latency mean %.2f ms); server: %a"
+    r.flows r.jobs r.completed r.rejected r.failed
+    (float_of_int r.elapsed_ns /. 1e6)
+    r.aggregate_mbit_s
+    (Stats.Summary.mean r.latency_ms)
+    Engine.pp_totals r.server
+
+(* Deterministic per-sender payload: reproducible from (seed, index) alone,
+   byte-varied so misdelivery between flows cannot go unnoticed by the CRC. *)
+let payload_for rng bytes = String.init bytes (fun _ -> Char.chr (Stats.Rng.int rng 256))
+
+let run ?max_flows ?jobs ?(bytes = 64 * 1024) ?(packet_bytes = 1024)
+    ?(retransmit_ns = 20_000_000) ?(max_attempts = 50) ?idle_timeout_ns
+    ?(suite = Protocol.Suite.Blast Protocol.Blast.Go_back_n) ?scenario ?server_scenario
+    ?(seed = 42) ?recorder ?metrics ~flows () =
+  if flows <= 0 then invalid_arg "Swarm.run: flows must be positive";
+  if bytes <= 0 then invalid_arg "Swarm.run: bytes must be positive";
+  let socket, server_address = Sockets.Udp.create_socket () in
+  let completions = ref [] in
+  let on_complete event = completions := event :: !completions in
+  let engine =
+    Engine.create ?max_flows ~retransmit_ns ~max_attempts ?idle_timeout_ns
+      ?scenario:server_scenario ~seed:(seed + 1) ?recorder ?metrics ~on_complete ~socket ()
+  in
+  (* The engine gets its own domain: the pool below keeps every other domain
+     (including this one) busy running senders, and the server must keep
+     ticking its timers while they all blast at it. *)
+  let server_domain = Domain.spawn (fun () -> Engine.run engine) in
+  let jobs = match jobs with Some j -> j | None -> flows in
+  let one index =
+    let rng = Stats.Rng.derive ~root:seed ~index in
+    let data = payload_for rng bytes in
+    let faults =
+      match scenario with
+      | Some sc when not (Faults.Scenario.is_clean sc) ->
+          Some
+            (Faults.Netem.create ~seed:(Int64.to_int (Stats.Rng.bits64 rng) land max_int) sc)
+      | _ -> None
+    in
+    let sender_socket, _ = Sockets.Udp.create_socket () in
+    Fun.protect
+      ~finally:(fun () -> Sockets.Udp.close sender_socket)
+      (fun () ->
+        let result =
+          Sockets.Peer.send ?faults ~transfer_id:(index + 1) ~packet_bytes ~retransmit_ns
+            ~max_attempts ?idle_timeout_ns ~socket:sender_socket ~peer:server_address
+            ~suite ~data ()
+        in
+        {
+          index;
+          outcome = result.Sockets.Peer.outcome;
+          elapsed_ns = result.Sockets.Peer.elapsed_ns;
+          bytes;
+        })
+  in
+  let started = Sockets.Udp.now_ns () in
+  let senders = Exec.Pool.map ~jobs ~f:one (List.init flows Fun.id) in
+  let elapsed_ns = Sockets.Udp.now_ns () - started in
+  Engine.stop engine;
+  Domain.join server_domain;
+  Sockets.Udp.close socket;
+  let count outcome =
+    List.length (List.filter (fun s -> s.outcome = outcome) senders)
+  in
+  let completed = count Protocol.Action.Success in
+  let rejected = count Protocol.Action.Rejected in
+  let failed = flows - completed - rejected in
+  let latency_ms = Stats.Summary.create () in
+  List.iter
+    (fun s ->
+      if s.outcome = Protocol.Action.Success then
+        Stats.Summary.add latency_ms (float_of_int s.elapsed_ns /. 1e6))
+    senders;
+  let aggregate_mbit_s =
+    if elapsed_ns <= 0 then 0.0
+    else float_of_int (completed * bytes * 8) /. (float_of_int elapsed_ns /. 1e9) /. 1e6
+  in
+  (match metrics with
+  | None -> ()
+  | Some m ->
+      let labels = [ ("side", "swarm") ] in
+      Obs.Metrics.set_gauge (Obs.Metrics.gauge m ~labels "aggregate_mbit_s") aggregate_mbit_s;
+      Obs.Metrics.set_gauge
+        (Obs.Metrics.gauge m ~labels "completed")
+        (float_of_int completed));
+  let report =
+    {
+      flows;
+      jobs = Stdlib.min 64 (Stdlib.max 1 jobs);
+      bytes_per_flow = bytes;
+      completed;
+      rejected;
+      failed;
+      elapsed_ns;
+      aggregate_mbit_s;
+      latency_ms;
+      senders;
+      completions = List.rev !completions;
+      server = Engine.totals engine;
+      rollup = Engine.rollup engine;
+    }
+  in
+  Log.info (fun f -> f "%a" pp_report report);
+  report

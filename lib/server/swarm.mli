@@ -1,0 +1,70 @@
+(** Swarm load generator: N concurrent senders against one {!Engine}.
+
+    Spins the server engine up on its own domain, then drives [flows]
+    independent {!Sockets.Peer.send} transfers through an {!Exec.Pool} — each
+    sender with its own socket, transfer id, deterministically-derived
+    payload and (optionally) its own seeded fault pipeline. The whole run is
+    reproducible from [seed]: payloads, sender faults and server faults are
+    all derived from it.
+
+    Every sender finishes with a typed outcome — [Success], [Rejected] (the
+    admission cap refused it), or a clean failure — and the report pairs the
+    senders' view with the server's: its totals, its merged counter roll-up,
+    and the per-flow completion events including the whole-segment CRC
+    verdict. *)
+
+type sender_report = {
+  index : int;
+  outcome : Protocol.Action.outcome;
+  elapsed_ns : int;
+  bytes : int;
+}
+
+type report = {
+  flows : int;
+  jobs : int;  (** effective pool parallelism (after the pool's clamp) *)
+  bytes_per_flow : int;
+  completed : int;  (** senders that finished [Success] *)
+  rejected : int;  (** senders refused by admission control *)
+  failed : int;  (** any other outcome *)
+  elapsed_ns : int;  (** wall clock over the whole swarm *)
+  aggregate_mbit_s : float;  (** successful payload bits over the wall clock *)
+  latency_ms : Stats.Summary.t;  (** per-transfer latency of successful flows *)
+  senders : sender_report list;  (** in flow-index order *)
+  completions : Engine.completion_event list;
+      (** server-side view of every settled flow, in settlement order *)
+  server : Engine.totals;
+  rollup : Protocol.Counters.t;
+}
+
+val server_verified : report -> int
+(** Flows whose server-side completion carried [Verified] end-to-end CRC. *)
+
+val pp_report : Format.formatter -> report -> unit
+
+val run :
+  ?max_flows:int ->
+  ?jobs:int ->
+  ?bytes:int ->
+  ?packet_bytes:int ->
+  ?retransmit_ns:int ->
+  ?max_attempts:int ->
+  ?idle_timeout_ns:int ->
+  ?suite:Protocol.Suite.t ->
+  ?scenario:Faults.Scenario.t ->
+  ?server_scenario:Faults.Scenario.t ->
+  ?seed:int ->
+  ?recorder:Obs.Recorder.t ->
+  ?metrics:Obs.Metrics.t ->
+  flows:int ->
+  unit ->
+  report
+(** Defaults: 64 KiB per flow, 1 KiB packets, 20 ms retransmission interval,
+    50 attempts, go-back-N blast, seed 42, [jobs = flows] (the pool clamps
+    to at most 64 — true concurrency for any [flows] the engine's default
+    cap admits). [scenario] faults the senders, [server_scenario] the
+    server; both are per-flow independent and seeded from [seed].
+    [recorder]/[metrics] are wired to the engine ([flow-N] lanes,
+    [side=server] metrics) plus swarm-level aggregate gauges. Not
+    re-entrant from inside an [Exec.Pool] task (the pool contract forbids
+    nested batches). *)

@@ -1,0 +1,65 @@
+(* Array-backed binary min-heap keyed by deadline. The engine pushes a fresh
+   entry whenever a flow's wake-up moves earlier and revalidates on pop, so
+   stale entries are cheap: they pop, fail the check, and vanish. *)
+
+type 'a t = { mutable heap : (int * 'a) array; mutable size : int }
+
+let create () = { heap = [||]; size = 0 }
+let length t = t.size
+let is_empty t = t.size = 0
+
+let grow t =
+  let capacity = max 16 (2 * Array.length t.heap) in
+  let heap = Array.make capacity t.heap.(0) in
+  Array.blit t.heap 0 heap 0 t.size;
+  t.heap <- heap
+
+let rec sift_up t i =
+  if i > 0 then begin
+    let parent = (i - 1) / 2 in
+    if fst t.heap.(i) < fst t.heap.(parent) then begin
+      let tmp = t.heap.(i) in
+      t.heap.(i) <- t.heap.(parent);
+      t.heap.(parent) <- tmp;
+      sift_up t parent
+    end
+  end
+
+let rec sift_down t i =
+  let left = (2 * i) + 1 and right = (2 * i) + 2 in
+  let smallest = ref i in
+  if left < t.size && fst t.heap.(left) < fst t.heap.(!smallest) then smallest := left;
+  if right < t.size && fst t.heap.(right) < fst t.heap.(!smallest) then smallest := right;
+  if !smallest <> i then begin
+    let tmp = t.heap.(i) in
+    t.heap.(i) <- t.heap.(!smallest);
+    t.heap.(!smallest) <- tmp;
+    sift_down t !smallest
+  end
+
+let add t ~deadline payload =
+  if t.size = 0 && Array.length t.heap = 0 then t.heap <- Array.make 16 (deadline, payload)
+  else if t.size = Array.length t.heap then grow t;
+  t.heap.(t.size) <- (deadline, payload);
+  t.size <- t.size + 1;
+  sift_up t (t.size - 1)
+
+let peek_deadline t = if t.size = 0 then None else Some (fst t.heap.(0))
+
+let pop t =
+  if t.size = 0 then None
+  else begin
+    let deadline, payload = t.heap.(0) in
+    t.size <- t.size - 1;
+    if t.size > 0 then begin
+      t.heap.(0) <- t.heap.(t.size);
+      sift_down t 0
+    end;
+    Some (deadline, payload)
+  end
+
+let pop_due t ~now =
+  match peek_deadline t with
+  | Some deadline when deadline - now <= 0 -> (
+      match pop t with Some (_, payload) -> Some payload | None -> None)
+  | _ -> None

@@ -41,7 +41,9 @@ let run ?pool ?jobs spec =
             Some
               ( Driver.elapsed_ms result,
                 float_of_int result.Driver.sender.Protocol.Counters.retransmitted_data )
-        | Protocol.Action.Too_many_attempts | Protocol.Action.Peer_unreachable -> None)
+        | Protocol.Action.Too_many_attempts | Protocol.Action.Peer_unreachable
+        | Protocol.Action.Rejected ->
+            None)
   in
   let elapsed = Stats.Summary.create () in
   let retransmissions = Stats.Summary.create () in

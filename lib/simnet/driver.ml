@@ -118,7 +118,8 @@ let run ?(params = Netmodel.Params.standalone) ?network_error ?interface_error ?
             (Netmodel.Wire.utilization wire));
       (match outcome with
       | Protocol.Action.Success -> ()
-      | Protocol.Action.Too_many_attempts | Protocol.Action.Peer_unreachable ->
+      | Protocol.Action.Too_many_attempts | Protocol.Action.Peer_unreachable
+      | Protocol.Action.Rejected ->
           (* Failure outcome: flush the flight recorder for postmortem. *)
           Option.iter
             (fun r ->

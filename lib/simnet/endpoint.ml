@@ -8,7 +8,8 @@ type t = {
 let frame_bytes (params : Netmodel.Params.t) (m : Packet.Message.t) =
   match m.Packet.Message.kind with
   | Packet.Kind.Data -> params.Netmodel.Params.data_packet_bytes
-  | Packet.Kind.Req | Packet.Kind.Ack -> params.Netmodel.Params.ack_packet_bytes
+  | Packet.Kind.Req | Packet.Kind.Ack | Packet.Kind.Rej ->
+      params.Netmodel.Params.ack_packet_bytes
   | Packet.Kind.Nack ->
       params.Netmodel.Params.ack_packet_bytes + String.length m.Packet.Message.payload
 

@@ -43,7 +43,8 @@ let check_invariant ~data ~max_attempts ~total_packets send received =
             else if not (String.equal r.Peer.data data) then
               fail "sender succeeded but the delivered bytes differ"
             else None
-        | Protocol.Action.Too_many_attempts | Protocol.Action.Peer_unreachable ->
+        | Protocol.Action.Too_many_attempts | Protocol.Action.Peer_unreachable
+        | Protocol.Action.Rejected ->
             (* A clean, bounded failure: acceptable under an adversarial
                network, as long as the receiver also came back (checked by
                construction: both threads returned). *)

@@ -8,7 +8,7 @@ type send_result = {
   counters : Protocol.Counters.t;
 }
 
-type integrity = Verified | Mismatch | Not_carried
+type integrity = Flow.integrity = Verified | Mismatch | Not_carried
 
 type receive_result = {
   data : string;
@@ -33,36 +33,32 @@ let transmit ?faults ~probe ~lossy ~socket ~peer message =
      agree with them exactly. *)
   Obs.Probe.tx probe message;
   if Lossy.pass_tx lossy then begin
+    (* A transient send failure is loss: account it like the loss coin. *)
+    let put = function
+      | Udp.Sent -> ()
+      | Udp.Send_failed _ -> Obs.Probe.drop probe `Tx
+    in
     match faults with
-    | None -> Udp.send_message socket peer message
+    | None -> put (Udp.send_message socket peer message)
     | Some netem ->
         List.iter
           (fun { Faults.Netem.delay_ns; data } ->
             if delay_ns > 0 then Unix.sleepf (float_of_int delay_ns /. 1e9);
-            Udp.send_bytes socket peer data)
+            put (Udp.send_bytes socket peer data))
           (Faults.Netem.tx_bytes netem (Packet.Codec.encode message))
   end
   else Obs.Probe.drop probe `Tx
 
-let count_garbage ~probe (counters : Protocol.Counters.t) reason =
-  Obs.Probe.reject probe reason;
-  match reason with
-  | Packet.Codec.Bad_header_checksum | Packet.Codec.Bad_payload_checksum ->
-      counters.Protocol.Counters.corrupt_detected <-
-        counters.Protocol.Counters.corrupt_detected + 1
-  | _ ->
-      counters.Protocol.Counters.garbage_received <-
-        counters.Protocol.Counters.garbage_received + 1
+let count_garbage = Flow.count_garbage
 
-(* Runs a machine over the socket until it completes or the idle watchdog
-   trips. [extra] intercepts messages the machine itself does not understand
-   (duplicate REQs on the receiver side). [idle_timeout_ns] bounds the wait
-   for the next datagram independently of the protocol timer: receiver
-   machines never arm a timer, so without the watchdog a sender that dies
-   mid-transfer would block this loop forever. *)
-let run_machine ?faults ?(lossy = Lossy.perfect) ?(extra = fun _ -> ()) ?rtt ?(pacing_ns = 0)
-    ?idle_timeout_ns ~probe ~socket ~peer ~transfer_id ~(machine : Protocol.Machine.t)
-    ~deliver () =
+(* Runs a sender machine over the socket until it completes or the idle
+   watchdog trips. [idle_timeout_ns] bounds the wait for the next datagram
+   independently of the protocol timer: without the watchdog a receiver that
+   dies mid-transfer could block this loop on suites whose sender is waiting
+   for an ack with no timer armed. (The receiver side no longer runs through
+   here — it drives the sans-IO {!Flow} engine instead.) *)
+let run_machine ?faults ?(lossy = Lossy.perfect) ?rtt ?(pacing_ns = 0) ?idle_timeout_ns
+    ~buffer ~probe ~socket ~peer ~transfer_id ~(machine : Protocol.Machine.t) () =
   let deadline = ref None in
   let idle_deadline = ref (Option.map (fun ns -> Udp.now_ns () + ns) idle_timeout_ns) in
   let reset_idle () =
@@ -86,9 +82,9 @@ let run_machine ?faults ?(lossy = Lossy.perfect) ?(extra = fun _ -> ()) ?rtt ?(p
         let ns = match rtt with Some r -> Protocol.Rtt.timeout_ns r | None -> ns in
         deadline := Some (Udp.now_ns () + ns)
     | Protocol.Action.Stop_timer -> deadline := None
-    | Protocol.Action.Deliver { seq; payload } ->
-        Obs.Probe.deliver probe ~seq;
-        deliver seq payload
+    | Protocol.Action.Deliver { seq; _ } ->
+        (* Sender machines do not deliver; keep the event for the journal. *)
+        Obs.Probe.deliver probe ~seq
     | Protocol.Action.Complete _ -> ()
   in
   let handle event =
@@ -130,7 +126,7 @@ let run_machine ?faults ?(lossy = Lossy.perfect) ?(extra = fun _ -> ()) ?rtt ?(p
           | (Some _ as t), None | None, (Some _ as t) -> t
           | Some a, Some b -> Some (min a b)
         in
-        match Udp.recv_message ?timeout_ns socket with
+        match Udp.recv_message ?timeout_ns ~buffer socket with
         | `Timeout -> begin
             let now = Udp.now_ns () in
             match !deadline with
@@ -157,7 +153,6 @@ let run_machine ?faults ?(lossy = Lossy.perfect) ?(extra = fun _ -> ()) ?rtt ?(p
             if Lossy.pass_rx lossy then begin
               if m.Packet.Message.transfer_id = transfer_id then
                 handle (Protocol.Action.Message m)
-              else extra m
             end
             else Obs.Probe.drop probe `Rx
       end
@@ -167,35 +162,6 @@ let run_machine ?faults ?(lossy = Lossy.perfect) ?(extra = fun _ -> ()) ?rtt ?(p
     `Peer_idle
   end
   else `Completed
-
-(* After completion, keep answering duplicates for a grace period so a sender
-   whose final ack was lost can still finish. *)
-let linger ?faults ?(lossy = Lossy.perfect) ~probe ~socket ~peer ~transfer_id
-    ~(machine : Protocol.Machine.t) ~linger_ns () =
-  let stop_at = Udp.now_ns () + linger_ns in
-  let rec loop () =
-    let remaining = stop_at - Udp.now_ns () in
-    if remaining > 0 then begin
-      match Udp.recv_message ~timeout_ns:remaining socket with
-      | `Timeout -> ()
-      | `Garbage reason ->
-          count_garbage ~probe machine.Protocol.Machine.counters reason;
-          loop ()
-      | `Message (m, _) ->
-          if Lossy.pass_rx lossy && m.Packet.Message.transfer_id = transfer_id then begin
-            Obs.Probe.rx probe m;
-            List.iter
-              (function
-                | Protocol.Action.Send reply ->
-                    transmit ?faults ~probe ~lossy ~socket ~peer reply
-                | _ -> ())
-              (machine.Protocol.Machine.handle (Protocol.Action.Message m));
-            Obs.Probe.handled probe m
-          end;
-          loop ()
-    end
-  in
-  loop ()
 
 let send ?faults ?(lossy = Lossy.perfect) ?(transfer_id = 1) ?(packet_bytes = 1024)
     ?(retransmit_ns = 50_000_000) ?(max_attempts = 50) ?rtt ?pacing_ns ?idle_timeout_ns
@@ -213,6 +179,7 @@ let send ?faults ?(lossy = Lossy.perfect) ?(transfer_id = 1) ?(packet_bytes = 10
       Faults.Netem.attach_counters netem counters;
       Faults.Netem.set_observer netem (Obs.Probe.fault probe)
   | None -> ());
+  let buffer = Udp.rx_buffer () in
   let total_bytes = String.length data in
   let total_packets = (total_bytes + packet_bytes - 1) / packet_bytes in
   let config =
@@ -235,7 +202,8 @@ let send ?faults ?(lossy = Lossy.perfect) ?(transfer_id = 1) ?(packet_bytes = 10
     Obs.Probe.complete probe outcome;
     (match outcome with
     | Protocol.Action.Success -> ()
-    | Protocol.Action.Too_many_attempts | Protocol.Action.Peer_unreachable ->
+    | Protocol.Action.Too_many_attempts | Protocol.Action.Peer_unreachable
+    | Protocol.Action.Rejected ->
         ignore
           (Obs.Probe.postmortem probe
              ~reason:(Format.asprintf "send: %a" Protocol.Action.pp_outcome outcome)
@@ -254,7 +222,7 @@ let send ?faults ?(lossy = Lossy.perfect) ?(transfer_id = 1) ?(packet_bytes = 10
     if attempt > max_attempts then `Unreachable
     else begin
       transmit ?faults ~probe ~lossy ~socket ~peer req;
-      match Udp.recv_message ~timeout_ns:retransmit_ns socket with
+      match Udp.recv_message ~timeout_ns:retransmit_ns ~buffer socket with
       | `Timeout ->
           Obs.Probe.timeout probe ~detail:"handshake" ();
           handshake (attempt + 1)
@@ -262,19 +230,28 @@ let send ?faults ?(lossy = Lossy.perfect) ?(transfer_id = 1) ?(packet_bytes = 10
           count_garbage ~probe counters reason;
           handshake (attempt + 1)
       | `Message (m, _) ->
-          if
-            Lossy.pass_rx lossy
-            && m.Packet.Message.transfer_id = transfer_id
-            && m.Packet.Message.kind = Packet.Kind.Ack
-            && m.Packet.Message.seq = 0
-          then `Acknowledged
-          else handshake (attempt + 1)
+          if not (Lossy.pass_rx lossy) || m.Packet.Message.transfer_id <> transfer_id then
+            handshake (attempt + 1)
+          else begin
+            match m.Packet.Message.kind with
+            | Packet.Kind.Ack when m.Packet.Message.seq = 0 -> `Acknowledged
+            | Packet.Kind.Rej ->
+                (* Admission refusal from a saturated server: retrying into
+                   it only adds load, so the sender gives up immediately
+                   with the clean, typed outcome. *)
+                Obs.Probe.rx probe m;
+                `Rejected
+            | _ -> handshake (attempt + 1)
+          end
     end
   in
   match handshake 1 with
   | `Unreachable ->
       Log.info (fun f -> f "handshake exhausted %d attempts; peer unreachable" max_attempts);
       finish ~outcome:Protocol.Action.Peer_unreachable ~elapsed_ns:(Udp.now_ns () - started)
+  | `Rejected ->
+      Log.info (fun f -> f "transfer %d rejected: server at capacity" transfer_id);
+      finish ~outcome:Protocol.Action.Rejected ~elapsed_ns:(Udp.now_ns () - started)
   | `Acknowledged ->
       let payload seq =
         let offset = seq * packet_bytes in
@@ -283,10 +260,8 @@ let send ?faults ?(lossy = Lossy.perfect) ?(transfer_id = 1) ?(packet_bytes = 10
       let machine = Protocol.Suite.sender suite ~counters config ~payload in
       let started = Udp.now_ns () in
       let status =
-        run_machine ?faults ~lossy ?rtt ?pacing_ns ~idle_timeout_ns ~probe ~socket ~peer
-          ~transfer_id ~machine
-          ~deliver:(fun _ _ -> ())
-          ()
+        run_machine ?faults ~lossy ?rtt ?pacing_ns ~idle_timeout_ns ~buffer ~probe ~socket
+          ~peer ~transfer_id ~machine ()
       in
       (match faults with
       | Some netem -> ignore (Faults.Netem.flush netem : Faults.Netem.emission list)
@@ -304,10 +279,6 @@ let send ?faults ?(lossy = Lossy.perfect) ?(transfer_id = 1) ?(packet_bytes = 10
 let serve_one ?faults ?(lossy = Lossy.perfect) ?(retransmit_ns = 50_000_000)
     ?(max_attempts = 50) ?linger_ns ?idle_timeout_ns ?accept_timeout_ns ?recorder ?metrics
     ?suite ~socket () =
-  let linger_ns = Option.value linger_ns ~default:(3 * retransmit_ns) in
-  let idle_timeout_ns =
-    Option.value idle_timeout_ns ~default:(max_attempts * retransmit_ns)
-  in
   let counters = Protocol.Counters.create () in
   Option.iter (fun r -> Obs.Recorder.set_clock r Udp.now_ns) recorder;
   let probe = Obs.Probe.create ?recorder ~lane:"receiver" ~counters () in
@@ -316,6 +287,7 @@ let serve_one ?faults ?(lossy = Lossy.perfect) ?(retransmit_ns = 50_000_000)
       Faults.Netem.attach_counters netem counters;
       Faults.Netem.set_observer netem (Obs.Probe.fault probe)
   | None -> ());
+  let buffer = Udp.rx_buffer () in
   let publish_metrics () =
     match metrics with
     | None -> ()
@@ -324,123 +296,94 @@ let serve_one ?faults ?(lossy = Lossy.perfect) ?(retransmit_ns = 50_000_000)
           ~labels:[ ("side", "receiver"); ("transport", "udp") ]
           counters
   in
-  let aborted ~transfer_id =
-    Obs.Probe.complete probe Protocol.Action.Peer_unreachable;
-    ignore (Obs.Probe.postmortem probe ~reason:"serve_one: peer unreachable" : string option);
+  let result_of_completion (c : Flow.completion) =
     publish_metrics ();
     {
-      data = "";
-      transfer_id;
-      receive_counters = counters;
-      integrity = Not_carried;
-      receive_outcome = Protocol.Action.Peer_unreachable;
+      data = c.Flow.data;
+      transfer_id = c.Flow.transfer_id;
+      receive_counters = c.Flow.counters;
+      integrity = c.Flow.integrity;
+      receive_outcome = c.Flow.outcome;
     }
   in
   (* Wait for a geometry-carrying REQ; [accept_timeout_ns] bounds even this
-     initial wait when the caller needs a guaranteed return. *)
+     initial wait when the caller needs a guaranteed return. The sans-IO
+     {!Flow} engine takes over from the REQ onwards; this loop only owns the
+     socket, the clock, and the loss coin. *)
   let accept_deadline = Option.map (fun ns -> Udp.now_ns () + ns) accept_timeout_ns in
-  let rec await_req () =
+  let rec await_flow () =
     let timeout_ns = Option.map (fun d -> d - Udp.now_ns ()) accept_deadline in
     match timeout_ns with
     | Some remaining when remaining <= 0 -> `Gone
     | _ -> begin
-        match Udp.recv_message ?timeout_ns socket with
-        | `Timeout -> if accept_deadline = None then await_req () else `Gone
+        match Udp.recv_message ?timeout_ns ~buffer socket with
+        | `Timeout -> if accept_deadline = None then await_flow () else `Gone
         | `Garbage reason ->
             count_garbage ~probe counters reason;
-            await_req ()
+            await_flow ()
         | `Message (m, from) -> begin
             if not (Lossy.pass_rx lossy) then begin
               Obs.Probe.drop probe `Rx;
-              await_req ()
+              await_flow ()
             end
             else
               match
-                (m.Packet.Message.kind, Suite_codec.decode m.Packet.Message.payload)
+                Flow.create ?fallback_suite:suite ~retransmit_ns ~max_attempts
+                  ?idle_timeout_ns ?linger_ns ~probe ~counters ~now:(Udp.now_ns ()) m
               with
-              | Packet.Kind.Req, Some info ->
-                  Obs.Probe.rx probe m;
-                  `Req (m.Packet.Message.transfer_id, info, from)
-              | _ -> await_req ()
+              | Ok (flow, actions) -> `Flow (flow, actions, from)
+              | Error (`Not_a_req | `Bad_geometry) -> await_flow ()
           end
       end
   in
-  match await_req () with
-  | `Gone -> aborted ~transfer_id:0
-  | `Req (transfer_id, info, sender_address) ->
-      let packet_bytes = info.Suite_codec.packet_bytes in
-      let total_bytes = info.Suite_codec.total_bytes in
-      let suite =
-        match (info.Suite_codec.suite, suite) with
-        | Some carried, _ -> carried (* the wire wins: both ends must match *)
-        | None, Some fallback -> fallback
-        | None, None -> Protocol.Suite.Blast Protocol.Blast.Go_back_n
+  match await_flow () with
+  | `Gone ->
+      Obs.Probe.complete probe Protocol.Action.Peer_unreachable;
+      ignore
+        (Obs.Probe.postmortem probe ~reason:"serve_one: peer unreachable" : string option);
+      publish_metrics ();
+      {
+        data = "";
+        transfer_id = 0;
+        receive_counters = counters;
+        integrity = Not_carried;
+        receive_outcome = Protocol.Action.Peer_unreachable;
+      }
+  | `Flow (flow, actions, sender_address) ->
+      let execute actions =
+        List.iter
+          (fun (Flow.Transmit m) ->
+            transmit ?faults ~probe ~lossy ~socket ~peer:sender_address m)
+          actions
       in
-      let total_packets = (total_bytes + packet_bytes - 1) / packet_bytes in
-      let config =
-        Protocol.Config.make ~transfer_id ~packet_bytes ~retransmit_ns ~max_attempts
-          ~total_packets ()
+      execute actions;
+      let rec drive () =
+        match Flow.status flow with
+        | `Done completion -> completion
+        | `Running | `Lingering -> begin
+            let now = Udp.now_ns () in
+            (* A live flow always has a deadline (watchdog or linger). *)
+            let deadline = Option.value (Flow.next_deadline flow) ~default:now in
+            if deadline - now <= 0 then begin
+              execute (Flow.on_tick flow ~now);
+              drive ()
+            end
+            else begin
+              (match Udp.recv_message ~timeout_ns:(deadline - now) ~buffer socket with
+              | `Timeout -> execute (Flow.on_tick flow ~now:(Udp.now_ns ()))
+              | `Garbage reason -> Flow.on_garbage flow ~now:(Udp.now_ns ()) reason
+              | `Message (m, _) ->
+                  if Lossy.pass_rx lossy then begin
+                    if m.Packet.Message.transfer_id = Flow.transfer_id flow then
+                      execute (Flow.on_message flow ~now:(Udp.now_ns ()) m)
+                  end
+                  else Obs.Probe.drop probe `Rx);
+              drive ()
+            end
+          end
       in
-      let buffer = Bytes.create total_bytes in
-      let deliver seq payload =
-        let offset = seq * packet_bytes in
-        let expected = min packet_bytes (total_bytes - offset) in
-        if String.length payload <> expected then
-          failwith
-            (Printf.sprintf "Peer.serve_one: packet %d carries %d bytes, expected %d" seq
-               (String.length payload) expected);
-        Bytes.blit_string payload 0 buffer offset expected
-      in
-      let machine = Protocol.Suite.receiver suite ~counters config in
-      let handshake_ack = Packet.Message.ack ~transfer_id ~seq:0 ~total:total_packets in
-      transmit ?faults ~probe ~lossy ~socket ~peer:sender_address handshake_ack;
-      (* A lost handshake ack shows up as a duplicate REQ mid-transfer. *)
-      let extra m =
-        if m.Packet.Message.kind = Packet.Kind.Req then
-          transmit ?faults ~probe ~lossy ~socket ~peer:sender_address handshake_ack
-      in
-      let machine_view =
-        (* The machine keys on its own transfer id; duplicate REQs share it,
-           so intercept them before the machine sees them. *)
-        {
-          machine with
-          Protocol.Machine.handle =
-            (fun event ->
-              match event with
-              | Protocol.Action.Message m when m.Packet.Message.kind = Packet.Kind.Req ->
-                  extra m;
-                  []
-              | _ -> machine.Protocol.Machine.handle event);
-        }
-      in
-      let status =
-        run_machine ?faults ~lossy ~idle_timeout_ns ~probe ~socket ~peer:sender_address
-          ~transfer_id ~machine:machine_view ~deliver ()
-      in
-      (match status with
-      | `Peer_idle -> ()
-      | `Completed ->
-          linger ?faults ~lossy ~probe ~socket ~peer:sender_address ~transfer_id ~machine
-            ~linger_ns ());
+      let completion = drive () in
       (match faults with
       | Some netem -> ignore (Faults.Netem.flush netem : Faults.Netem.emission list)
       | None -> ());
-      (match status with
-      | `Peer_idle -> aborted ~transfer_id
-      | `Completed ->
-          Obs.Probe.complete probe Protocol.Action.Success;
-          publish_metrics ();
-          let data = Bytes.to_string buffer in
-          let integrity =
-            match info.Suite_codec.data_crc with
-            | None -> Not_carried
-            | Some expected ->
-                if Packet.Checksum.crc32_string data = expected then Verified else Mismatch
-          in
-          {
-            data;
-            transfer_id;
-            receive_counters = counters;
-            integrity;
-            receive_outcome = Protocol.Action.Success;
-          })
+      result_of_completion completion

@@ -26,7 +26,7 @@ type send_result = {
   counters : Protocol.Counters.t;
 }
 
-type integrity = Verified | Mismatch | Not_carried
+type integrity = Flow.integrity = Verified | Mismatch | Not_carried
 
 type receive_result = {
   data : string;  (** the reassembled transfer; [""] on [Peer_unreachable] *)

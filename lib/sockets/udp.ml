@@ -1,8 +1,8 @@
 external monotonic_ns : unit -> int64 = "lanrepro_monotonic_ns"
 
-let create_socket ?(address = "127.0.0.1") () =
+let create_socket ?(address = "127.0.0.1") ?(port = 0) () =
   let socket = Unix.socket Unix.PF_INET Unix.SOCK_DGRAM 0 in
-  Unix.bind socket (Unix.ADDR_INET (Unix.inet_addr_of_string address, 0));
+  Unix.bind socket (Unix.ADDR_INET (Unix.inet_addr_of_string address, port));
   (socket, Unix.getsockname socket)
 
 let close socket = try Unix.close socket with Unix.Unix_error _ -> ()
@@ -11,15 +11,45 @@ let close socket = try Unix.close socket with Unix.Unix_error _ -> ()
    never stepping backwards, which the wall clock cannot promise. *)
 let now_ns () = Int64.to_int (monotonic_ns ())
 
+type send_outcome = Sent | Send_failed of Unix.error
+
+(* Transient conditions a datagram protocol already recovers from: treat them
+   exactly like a packet the network dropped. ECONNREFUSED is loopback's ICMP
+   port-unreachable bounce (the peer closed its socket) and used to raise out
+   of a transfer; in a multi-flow server one such exception would have taken
+   every other flow down with it. *)
 let send_bytes socket peer datagram =
-  let sent = Unix.sendto socket datagram 0 (Bytes.length datagram) [] peer in
-  if sent <> Bytes.length datagram then failwith "Udp.send_bytes: short send"
+  let len = Bytes.length datagram in
+  let rec attempt retries =
+    match Unix.sendto socket datagram 0 len [] peer with
+    | sent when sent = len -> Sent
+    | _ ->
+        (* A datagram socket transmits atomically; a short count would mean
+           the kernel truncated the datagram. Surface it as a loss. *)
+        Send_failed Unix.EMSGSIZE
+    | exception Unix.Unix_error (Unix.EINTR, _, _) when retries > 0 -> attempt (retries - 1)
+    | exception
+        Unix.Unix_error
+          ( (( Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.ENOBUFS | Unix.ENOMEM
+             | Unix.ECONNREFUSED | Unix.EHOSTUNREACH | Unix.ENETUNREACH | Unix.ENETDOWN
+             | Unix.EMSGSIZE | Unix.EINTR ) as error),
+            _,
+            _ ) ->
+        Send_failed error
+  in
+  attempt 8
 
 let send_message socket peer message = send_bytes socket peer (Packet.Codec.encode message)
 
-let recv_message ?timeout_ns socket =
-  (* Allocated per call: receive paths run on multiple threads. *)
-  let buffer = Bytes.create 65536 in
+let max_datagram_bytes = 65536
+
+let rx_buffer () = Bytes.create max_datagram_bytes
+
+let recv_message ?timeout_ns ?buffer socket =
+  (* Callers on a hot loop pass one [rx_buffer] and reuse it; the fallback
+     allocation keeps one-shot callers correct (the buffer must not be shared
+     across threads). *)
+  let buffer = match buffer with Some b -> b | None -> rx_buffer () in
   let timeout =
     match timeout_ns with
     | None -> -1.0
@@ -33,3 +63,4 @@ let recv_message ?timeout_ns socket =
       | Ok message -> `Message (message, from)
       | Error reason -> `Garbage reason
     end
+  | exception Unix.Unix_error (Unix.EINTR, _, _) -> `Timeout

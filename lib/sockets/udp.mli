@@ -1,8 +1,9 @@
 (** Thin UDP socket helpers (IPv4 loopback by default). *)
 
-val create_socket : ?address:string -> unit -> Unix.file_descr * Unix.sockaddr
-(** Binds a fresh datagram socket to an ephemeral port on [address]
-    (default "127.0.0.1"); returns the socket and its bound address. *)
+val create_socket : ?address:string -> ?port:int -> unit -> Unix.file_descr * Unix.sockaddr
+(** Binds a fresh datagram socket on [address] (default "127.0.0.1") at
+    [port] (default 0 — an ephemeral port); returns the socket and its
+    bound address. *)
 
 val close : Unix.file_descr -> unit
 (** Idempotent close. *)
@@ -12,15 +13,38 @@ val now_ns : unit -> int
     backwards — safe for RTT samples and retransmission deadlines — but not
     related to the wall clock; only differences are meaningful. *)
 
-val send_message : Unix.file_descr -> Unix.sockaddr -> Packet.Message.t -> unit
-(** Encodes and transmits one datagram. *)
+type send_outcome =
+  | Sent
+  | Send_failed of Unix.error
+      (** the datagram did not make it onto the wire for a transient,
+          loss-equivalent reason ([EAGAIN]/[EWOULDBLOCK] on a non-blocking
+          socket, [ENOBUFS], [ECONNREFUSED] from loopback's port-unreachable
+          bounce, unreachable routes, or [EINTR] persisting past the retry
+          budget). The protocol machines recover exactly as they would from
+          a dropped packet, so callers count it and move on — it never
+          raises, which is what keeps one dead flow from killing a
+          multi-flow server. Genuine programming errors ([EBADF],
+          [EINVAL], ...) still raise. *)
 
-val send_bytes : Unix.file_descr -> Unix.sockaddr -> bytes -> unit
+val send_message : Unix.file_descr -> Unix.sockaddr -> Packet.Message.t -> send_outcome
+(** Encodes and transmits one datagram. [EINTR] is retried a bounded number
+    of times before being surfaced. *)
+
+val send_bytes : Unix.file_descr -> Unix.sockaddr -> bytes -> send_outcome
 (** Transmits raw bytes as one datagram — the fault-injection path, where the
     bytes on the wire are deliberately not a valid encoding. *)
 
+val max_datagram_bytes : int
+(** Size of the receive buffers ([rx_buffer]): the UDP maximum, 64 KiB. *)
+
+val rx_buffer : unit -> bytes
+(** A fresh receive buffer for {!recv_message}. Hot loops allocate one and
+    pass it to every call instead of paying a 64 KiB allocation per
+    datagram; a buffer must not be shared between threads. *)
+
 val recv_message :
   ?timeout_ns:int ->
+  ?buffer:bytes ->
   Unix.file_descr ->
   [ `Message of Packet.Message.t * Unix.sockaddr
   | `Timeout
@@ -28,4 +52,6 @@ val recv_message :
 (** Waits up to [timeout_ns] (forever when omitted) for one datagram.
     [`Garbage] is a datagram that failed to decode, with the codec's reason —
     checksum rejections are corruption caught in flight and are counted
-    separately from alien traffic by the peer loop. *)
+    separately from alien traffic by the peer loop. [buffer] (from
+    {!rx_buffer}) is scratch space reused across calls; without it each call
+    allocates its own. *)

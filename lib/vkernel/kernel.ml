@@ -256,7 +256,7 @@ let create ?(suite = Protocol.Suite.Blast Protocol.Blast.Go_back_n)
         let m = frame.Netmodel.Wire.payload in
         match m.Packet.Message.kind with
         | Packet.Kind.Req -> handle_req t m ~src:frame.Netmodel.Wire.src
-        | Packet.Kind.Data | Packet.Kind.Ack | Packet.Kind.Nack -> begin
+        | Packet.Kind.Data | Packet.Kind.Ack | Packet.Kind.Nack | Packet.Kind.Rej -> begin
             match Hashtbl.find_opt t.bindings m.Packet.Message.transfer_id with
             | Some binding -> binding.on_message m
             | None -> () (* stale packet of an unknown transfer *)
@@ -342,7 +342,8 @@ let rpc t ~dst ~control ~make_machine ~deliver =
       done;
       match Option.get !outcome with
       | Protocol.Action.Success -> Ok ()
-      | Protocol.Action.Too_many_attempts | Protocol.Action.Peer_unreachable ->
+      | Protocol.Action.Too_many_attempts | Protocol.Action.Peer_unreachable
+      | Protocol.Action.Rejected ->
           Error Timed_out
     end
 

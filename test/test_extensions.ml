@@ -192,12 +192,14 @@ let test_integrity_detects_mismatch () =
     }
   in
   (* Handshake, one data packet, wait for the train ack. *)
-  Sockets.Udp.send_message sender_socket receiver_address req;
+  ignore (Sockets.Udp.send_message sender_socket receiver_address req : Sockets.Udp.send_outcome);
   (match Sockets.Udp.recv_message ~timeout_ns:2_000_000_000 sender_socket with
   | `Message (m, _) when m.Packet.Message.kind = Packet.Kind.Ack -> ()
   | _ -> Alcotest.fail "no handshake ack");
-  Sockets.Udp.send_message sender_socket receiver_address
-    (Packet.Message.data ~transfer_id ~seq:0 ~total:1 ~payload:actual);
+  ignore
+    (Sockets.Udp.send_message sender_socket receiver_address
+       (Packet.Message.data ~transfer_id ~seq:0 ~total:1 ~payload:actual)
+      : Sockets.Udp.send_outcome);
   (match Sockets.Udp.recv_message ~timeout_ns:2_000_000_000 sender_socket with
   | `Message (m, _) when m.Packet.Message.kind = Packet.Kind.Ack -> ()
   | _ -> Alcotest.fail "no train ack");

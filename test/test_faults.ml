@@ -231,7 +231,8 @@ let test_simulator_scenarios () =
                   (result.Simnet.Driver.sender.Protocol.Counters.faults_injected
                    + result.Simnet.Driver.receiver.Protocol.Counters.faults_injected
                    > 0)
-          | Protocol.Action.Too_many_attempts | Protocol.Action.Peer_unreachable ->
+          | Protocol.Action.Too_many_attempts | Protocol.Action.Peer_unreachable
+          | Protocol.Action.Rejected ->
               (* Clean, bounded failure: acceptable under faults. *)
               ())
         F.Scenario.all)
@@ -305,7 +306,7 @@ let test_receiver_watchdog () =
     }
   in
   (* Hand-roll the handshake, then go silent. *)
-  Sockets.Udp.send_message sender_socket receiver_address req;
+  ignore (Sockets.Udp.send_message sender_socket receiver_address req : Sockets.Udp.send_outcome);
   Thread.join thread;
   Sockets.Udp.close receiver_socket;
   Sockets.Udp.close sender_socket;

@@ -222,6 +222,7 @@ let gen_message =
   let* total = int_range 1 256 in
   match kind with
   | Packet.Kind.Req -> return (Packet.Message.req ~transfer_id ~total)
+  | Packet.Kind.Rej -> return (Packet.Message.rej ~transfer_id)
   | Packet.Kind.Data ->
       let* seq = int_range 0 (total - 1) in
       let* payload = string_size (int_range 0 600) in

@@ -1,0 +1,295 @@
+(* The concurrent transfer server: sans-IO flow engine, timer heap, admission
+   control, and the 32-sender swarm soak. *)
+
+let scenario name =
+  match Faults.Scenario.find name with
+  | Some s -> s
+  | None -> Alcotest.failf "unknown scenario %s" name
+
+(* ------------------------------------------------------------- timer heap *)
+
+let test_timers_ordering () =
+  let heap = Server.Timers.create () in
+  Alcotest.(check bool) "fresh heap empty" true (Server.Timers.is_empty heap);
+  List.iter (fun d -> Server.Timers.add heap ~deadline:d d) [ 50; 10; 30; 20; 40; 10 ];
+  Alcotest.(check (option int)) "peek is min" (Some 10) (Server.Timers.peek_deadline heap);
+  Alcotest.(check int) "six entries" 6 (Server.Timers.length heap);
+  let popped = ref [] in
+  let rec drain () =
+    match Server.Timers.pop heap with
+    | Some (_, payload) ->
+        popped := payload :: !popped;
+        drain ()
+    | None -> ()
+  in
+  drain ();
+  Alcotest.(check (list int)) "sorted drain" [ 10; 10; 20; 30; 40; 50 ] (List.rev !popped)
+
+let test_timers_pop_due () =
+  let heap = Server.Timers.create () in
+  Server.Timers.add heap ~deadline:100 "late";
+  Server.Timers.add heap ~deadline:10 "due";
+  Alcotest.(check (option string)) "due entry pops" (Some "due")
+    (Server.Timers.pop_due heap ~now:50);
+  Alcotest.(check (option string)) "future entry does not" None (Server.Timers.pop_due heap ~now:50);
+  Alcotest.(check (option string)) "until its time comes" (Some "late")
+    (Server.Timers.pop_due heap ~now:100)
+
+(* -------------------------------------------------------- counters merge *)
+
+let test_counters_merge () =
+  let a = Protocol.Counters.create () in
+  let b = Protocol.Counters.create () in
+  a.Protocol.Counters.data_sent <- 3;
+  a.Protocol.Counters.acks_sent <- 2;
+  b.Protocol.Counters.data_sent <- 4;
+  b.Protocol.Counters.retransmitted_data <- 5;
+  b.Protocol.Counters.corrupt_detected <- 1;
+  Protocol.Counters.merge ~into:a b;
+  Alcotest.(check int) "data_sent summed" 7 a.Protocol.Counters.data_sent;
+  Alcotest.(check int) "acks kept" 2 a.Protocol.Counters.acks_sent;
+  Alcotest.(check int) "retransmits merged" 5 a.Protocol.Counters.retransmitted_data;
+  Alcotest.(check int) "corrupt merged" 1 a.Protocol.Counters.corrupt_detected;
+  Alcotest.(check int) "source untouched" 4 b.Protocol.Counters.data_sent;
+  let total = Protocol.Counters.sum [ a; b ] in
+  Alcotest.(check int) "sum folds all" 11 total.Protocol.Counters.data_sent
+
+(* ------------------------------------------------- sans-IO flow, no sockets *)
+
+let flow_req ~transfer_id ~data ~packet_bytes =
+  {
+    (Packet.Message.req ~transfer_id
+       ~total:((String.length data + packet_bytes - 1) / packet_bytes))
+    with
+    Packet.Message.payload =
+      Sockets.Suite_codec.encode
+        ~data_crc:(Packet.Checksum.crc32_string data)
+        ~packet_bytes ~total_bytes:(String.length data)
+        (Protocol.Suite.Blast Protocol.Blast.Go_back_n);
+  }
+
+let make_flow ?(transfer_id = 7) ?(packet_bytes = 256) ~data ~now () =
+  let counters = Protocol.Counters.create () in
+  let probe = Obs.Probe.create ~lane:"test" ~counters () in
+  match
+    Sockets.Flow.create ~retransmit_ns:1_000_000 ~max_attempts:5 ~probe ~counters ~now
+      (flow_req ~transfer_id ~data ~packet_bytes)
+  with
+  | Ok (flow, actions) -> (flow, actions)
+  | Error _ -> Alcotest.fail "flow creation refused a valid REQ"
+
+(* Drive a whole transfer with fabricated messages and a fabricated clock:
+   the engine is sans-IO, so the test owns both ends of the contract. *)
+let test_flow_pure_transfer () =
+  let data = String.init 700 (fun i -> Char.chr (i mod 256)) in
+  let packet_bytes = 256 in
+  let transfer_id = 7 in
+  let flow, actions = make_flow ~transfer_id ~packet_bytes ~data ~now:1_000 () in
+  (match actions with
+  | Sockets.Flow.Transmit m :: _ ->
+      Alcotest.(check bool) "handshake ack first" true
+        (m.Packet.Message.kind = Packet.Kind.Ack && m.Packet.Message.seq = 0)
+  | [] -> Alcotest.fail "no handshake ack emitted");
+  Alcotest.(check int) "transfer id" transfer_id (Sockets.Flow.transfer_id flow);
+  (* A duplicate REQ mid-transfer is re-acked, not fed to the machine. *)
+  let dup =
+    Sockets.Flow.on_message flow ~now:2_000 (flow_req ~transfer_id ~data ~packet_bytes)
+  in
+  Alcotest.(check int) "duplicate REQ re-acked" 1 (List.length dup);
+  let total = 3 in
+  for seq = 0 to total - 1 do
+    let payload =
+      String.sub data (seq * packet_bytes)
+        (min packet_bytes (String.length data - (seq * packet_bytes)))
+    in
+    ignore
+      (Sockets.Flow.on_message flow ~now:(3_000 + seq)
+         (Packet.Message.data ~transfer_id ~seq ~total ~payload)
+        : Sockets.Flow.action list)
+  done;
+  Alcotest.(check bool) "lingering after last packet" true
+    (Sockets.Flow.status flow = `Lingering);
+  (* Linger expiry settles the flow; the deadline drives it, not a message. *)
+  let deadline =
+    match Sockets.Flow.next_deadline flow with
+    | Some d -> d
+    | None -> Alcotest.fail "lingering flow must expose its deadline"
+  in
+  ignore (Sockets.Flow.on_tick flow ~now:deadline : Sockets.Flow.action list);
+  match Sockets.Flow.status flow with
+  | `Done c ->
+      Alcotest.(check string) "data reassembled" data c.Sockets.Flow.data;
+      Alcotest.(check bool) "crc verified" true
+        (c.Sockets.Flow.integrity = Sockets.Flow.Verified);
+      Alcotest.(check bool) "outcome success" true
+        (c.Sockets.Flow.outcome = Protocol.Action.Success)
+  | _ -> Alcotest.fail "flow did not settle after linger expiry"
+
+let test_flow_idle_watchdog () =
+  let data = String.make 512 'w' in
+  let flow, _ = make_flow ~data ~now:0 () in
+  (* No datagrams ever arrive: the watchdog deadline is the next wake-up,
+     and ticking at it aborts with the typed outcome. *)
+  let deadline = Option.get (Sockets.Flow.next_deadline flow) in
+  ignore (Sockets.Flow.on_tick flow ~now:deadline : Sockets.Flow.action list);
+  match Sockets.Flow.status flow with
+  | `Done c ->
+      Alcotest.(check bool) "peer unreachable" true
+        (c.Sockets.Flow.outcome = Protocol.Action.Peer_unreachable);
+      Alcotest.(check string) "no data" "" c.Sockets.Flow.data
+  | _ -> Alcotest.fail "watchdog did not abort the silent flow"
+
+let test_flow_rejects_bad_geometry () =
+  let counters = Protocol.Counters.create () in
+  let probe = Obs.Probe.create ~lane:"test" ~counters () in
+  let make payload =
+    Sockets.Flow.create ~probe ~counters ~now:0
+      { (Packet.Message.req ~transfer_id:1 ~total:1) with Packet.Message.payload }
+  in
+  (match make "bogus" with
+  | Error `Bad_geometry -> ()
+  | _ -> Alcotest.fail "undecodable geometry accepted");
+  (* A REQ claiming a huge transfer must not size an allocation. *)
+  (match
+     make
+       (Sockets.Suite_codec.encode ~packet_bytes:1024 ~total_bytes:(1 lsl 40)
+          (Protocol.Suite.Blast Protocol.Blast.Go_back_n))
+   with
+  | Error `Bad_geometry -> ()
+  | _ -> Alcotest.fail "oversized geometry accepted");
+  match
+    Sockets.Flow.create ~probe ~counters ~now:0
+      (Packet.Message.data ~transfer_id:1 ~seq:0 ~total:1 ~payload:"x")
+  with
+  | Error `Not_a_req -> ()
+  | _ -> Alcotest.fail "non-REQ accepted"
+
+(* ------------------------------------------------------- admission control *)
+
+(* Raw REQs against a capped engine: flow N+1 gets a REJ datagram back. *)
+let test_admission_rej_reply () =
+  let socket, address = Sockets.Udp.create_socket () in
+  let engine = Server.Engine.create ~max_flows:2 ~socket () in
+  let domain = Domain.spawn (fun () -> Server.Engine.run engine) in
+  let data = String.make 2048 'a' in
+  let req id = flow_req ~transfer_id:id ~data ~packet_bytes:1024 in
+  let client i =
+    let s, _ = Sockets.Udp.create_socket () in
+    Fun.protect
+      ~finally:(fun () -> Sockets.Udp.close s)
+      (fun () ->
+        ignore (Sockets.Udp.send_message s address (req i) : Sockets.Udp.send_outcome);
+        match Sockets.Udp.recv_message ~timeout_ns:2_000_000_000 s with
+        | `Message (m, _) -> Some m.Packet.Message.kind
+        | `Timeout | `Garbage _ -> None)
+  in
+  (* Two flows admitted (handshake ack), they then sit in the table idling. *)
+  Alcotest.(check (option (testable Packet.Kind.pp ( = ))))
+    "first admitted" (Some Packet.Kind.Ack) (client 1);
+  Alcotest.(check (option (testable Packet.Kind.pp ( = ))))
+    "second admitted" (Some Packet.Kind.Ack) (client 2);
+  Alcotest.(check (option (testable Packet.Kind.pp ( = ))))
+    "third refused with REJ" (Some Packet.Kind.Rej) (client 3);
+  Server.Engine.stop engine;
+  Domain.join domain;
+  Sockets.Udp.close socket;
+  let totals = Server.Engine.totals engine in
+  Alcotest.(check int) "two accepted" 2 totals.Server.Engine.accepted;
+  Alcotest.(check int) "one rejected" 1 totals.Server.Engine.rejected;
+  Alcotest.(check int) "idle flows force-settled" 2 totals.Server.Engine.aborted
+
+(* A full sender against a zero-capacity server surfaces the clean outcome. *)
+let test_admission_sender_outcome () =
+  let report = Server.Swarm.run ~flows:2 ~max_flows:0 ~bytes:4096 ~seed:3 () in
+  Alcotest.(check int) "every sender rejected" 2 report.Server.Swarm.rejected;
+  Alcotest.(check int) "none completed" 0 report.Server.Swarm.completed;
+  Alcotest.(check int) "none failed uncleanly" 0 report.Server.Swarm.failed;
+  List.iter
+    (fun (s : Server.Swarm.sender_report) ->
+      Alcotest.(check bool) "typed Rejected outcome" true
+        (s.Server.Swarm.outcome = Protocol.Action.Rejected))
+    report.Server.Swarm.senders
+
+(* ------------------------------------------------------------- swarm soak *)
+
+(* The tentpole acceptance test: 32 concurrent senders over loopback, seeded
+   netem on both sides, one server socket. Every transfer must end in a
+   typed outcome (the pool would surface a hang as a timeout-killed CI job),
+   and completed flows must be CRC-verified on the server side. *)
+let test_swarm_32_under_faults () =
+  let report =
+    Server.Swarm.run ~flows:32 ~jobs:32 ~bytes:4096 ~packet_bytes:512
+      ~retransmit_ns:8_000_000 ~max_attempts:40
+      ~scenario:(scenario "chaos") ~server_scenario:(scenario "chaos") ~seed:2026 ()
+  in
+  Alcotest.(check int) "all 32 senders returned" 32
+    (List.length report.Server.Swarm.senders);
+  List.iter
+    (fun (s : Server.Swarm.sender_report) ->
+      match s.Server.Swarm.outcome with
+      | Protocol.Action.Success | Protocol.Action.Too_many_attempts
+      | Protocol.Action.Peer_unreachable | Protocol.Action.Rejected ->
+          ())
+    report.Server.Swarm.senders;
+  (* Under the chaos scenario a few flows may fail cleanly; the soak demands
+     a healthy majority actually complete... *)
+  Alcotest.(check bool)
+    (Printf.sprintf "at least half completed (%d/32)" report.Server.Swarm.completed)
+    true
+    (report.Server.Swarm.completed >= 16);
+  (* ...and that no completed flow ever delivered corrupt data. *)
+  List.iter
+    (fun (e : Server.Engine.completion_event) ->
+      if e.Server.Engine.completion.Sockets.Flow.outcome = Protocol.Action.Success then
+        Alcotest.(check bool) "server-side CRC verified" true
+          (e.Server.Engine.completion.Sockets.Flow.integrity = Sockets.Flow.Verified))
+    report.Server.Swarm.completions;
+  let totals = report.Server.Swarm.server in
+  Alcotest.(check int) "server settled every admitted flow"
+    totals.Server.Engine.accepted
+    (totals.Server.Engine.completed + totals.Server.Engine.aborted);
+  (* The roll-up merges per-flow counters: it must see at least one data
+     packet per completed flow. *)
+  Alcotest.(check bool) "rollup reflects traffic" true
+    (report.Server.Swarm.rollup.Protocol.Counters.delivered
+    >= report.Server.Swarm.completed)
+
+(* Determinism: the same seed replays the same admission/settlement totals. *)
+let test_swarm_deterministic_totals () =
+  let run () =
+    let r =
+      Server.Swarm.run ~flows:6 ~jobs:6 ~bytes:4096 ~packet_bytes:512
+        ~retransmit_ns:8_000_000 ~scenario:(scenario "lossy2")
+        ~server_scenario:(scenario "lossy2") ~seed:99 ()
+    in
+    (r.Server.Swarm.completed, r.Server.Swarm.rejected, r.Server.Swarm.failed)
+  in
+  let a = run () and b = run () in
+  Alcotest.(check (triple int int int)) "same outcome counts" a b
+
+let () =
+  Alcotest.run "server"
+    [
+      ( "timers",
+        [
+          Alcotest.test_case "heap ordering" `Quick test_timers_ordering;
+          Alcotest.test_case "pop_due gating" `Quick test_timers_pop_due;
+        ] );
+      ("counters", [ Alcotest.test_case "merge and sum" `Quick test_counters_merge ]);
+      ( "flow",
+        [
+          Alcotest.test_case "pure sans-IO transfer" `Quick test_flow_pure_transfer;
+          Alcotest.test_case "idle watchdog aborts" `Quick test_flow_idle_watchdog;
+          Alcotest.test_case "bad geometry refused" `Quick test_flow_rejects_bad_geometry;
+        ] );
+      ( "admission",
+        [
+          Alcotest.test_case "REJ past the cap" `Quick test_admission_rej_reply;
+          Alcotest.test_case "sender surfaces Rejected" `Quick test_admission_sender_outcome;
+        ] );
+      ( "swarm",
+        [
+          Alcotest.test_case "32 senders under chaos" `Slow test_swarm_32_under_faults;
+          Alcotest.test_case "deterministic totals" `Quick test_swarm_deterministic_totals;
+        ] );
+    ]
