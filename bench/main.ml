@@ -170,6 +170,131 @@ let rx_alloc_delta () =
   Sockets.Udp.close socket;
   (fresh, reused)
 
+(* Table 2 revisited at the syscall layer: a one-way loopback blast of 4 MiB
+   in 1 KiB datagrams, submitted as packet trains of increasing length with
+   the sendmmsg/recvmmsg fast path on and off. The receiver drains after
+   every train so the socket buffer never overflows, and the syscall counts
+   cover both directions. Best-of-N walls to shave scheduler noise. *)
+let batched_io_datagrams = 4096
+let batched_io_payload_bytes = 1024
+let batched_io_reps = 5
+
+let batched_io_run ~train ~batched =
+  let rx_socket, address = Sockets.Udp.create_socket () in
+  Unix.set_nonblock rx_socket;
+  (try Unix.setsockopt_int rx_socket Unix.SO_RCVBUF (4 * 1024 * 1024)
+   with Unix.Unix_error _ -> ());
+  let tx_socket, _ = Sockets.Udp.create_socket () in
+  let payload = Bytes.make batched_io_payload_bytes 'x' in
+  let rx_buffer = Sockets.Udp.rx_buffer () in
+  let run () =
+    let tx_syscalls = ref 0 and rx_syscalls = ref 0 and received = ref 0 in
+    let batch =
+      if batched then Some (Sockets.Batch.create ~capacity:train ~socket:tx_socket ())
+      else None
+    in
+    let rx =
+      if batched then
+        Some (Sockets.Batch.create_rx ~capacity:(min train 256) ~socket:rx_socket ())
+      else None
+    in
+    let drain_once () =
+      match rx with
+      | Some r -> Sockets.Batch.recv r ~limit:max_int
+      | None -> (
+          incr rx_syscalls;
+          match Unix.recvfrom rx_socket rx_buffer 0 (Bytes.length rx_buffer) [] with
+          | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _)
+            ->
+              0
+          | _ -> 1)
+    in
+    let rec drain_all () =
+      let n = drain_once () in
+      if n > 0 then begin
+        received := !received + n;
+        drain_all ()
+      end
+    in
+    let t0 = Unix.gettimeofday () in
+    let submitted = ref 0 in
+    while !submitted < batched_io_datagrams do
+      let n = min train (batched_io_datagrams - !submitted) in
+      (match batch with
+      | Some b ->
+          for _ = 1 to n do
+            Sockets.Batch.push b ~peer:address payload
+          done;
+          ignore (Sockets.Batch.flush b : Sockets.Batch.report)
+      | None ->
+          for _ = 1 to n do
+            incr tx_syscalls;
+            ignore
+              (Sockets.Udp.send_bytes tx_socket address payload : Sockets.Udp.send_outcome)
+          done);
+      submitted := !submitted + n;
+      drain_all ()
+    done;
+    (* Bounded tail: the last train may still be in flight through loopback. *)
+    let deadline = Unix.gettimeofday () +. 1.0 in
+    while !received < batched_io_datagrams && Unix.gettimeofday () < deadline do
+      ignore (Unix.select [ rx_socket ] [] [] 0.01);
+      drain_all ()
+    done;
+    let wall = Unix.gettimeofday () -. t0 in
+    (match batch with
+    | Some b -> tx_syscalls := (Sockets.Batch.totals b).Sockets.Batch.syscalls
+    | None -> ());
+    (match rx with Some r -> rx_syscalls := Sockets.Batch.rx_syscalls r | None -> ());
+    (wall, !tx_syscalls, !rx_syscalls, !received)
+  in
+  let best = ref (run ()) in
+  for _ = 2 to batched_io_reps do
+    let (wall, _, _, _) as rep = run () in
+    let best_wall, _, _, _ = !best in
+    if wall < best_wall then best := rep
+  done;
+  Sockets.Udp.close tx_socket;
+  Sockets.Udp.close rx_socket;
+  !best
+
+let batched_io_rows () =
+  List.concat_map
+    (fun train ->
+      List.map
+        (fun batched ->
+          let wall, tx_syscalls, rx_syscalls, received = batched_io_run ~train ~batched in
+          let per_datagram =
+            float_of_int (tx_syscalls + rx_syscalls) /. float_of_int batched_io_datagrams
+          in
+          let goodput_mbit_s =
+            if wall <= 0.0 then 0.0
+            else float_of_int (received * batched_io_payload_bytes * 8) /. wall /. 1e6
+          in
+          Printf.printf
+            "batched_io: train=%3d %-9s %5d tx + %5d rx syscalls (%.3f/datagram), %d/%d \
+             received, %.0f Mbit/s\n\
+             %!"
+            train
+            (if batched then "batched" else "unbatched")
+            tx_syscalls rx_syscalls per_datagram received batched_io_datagrams
+            goodput_mbit_s;
+          Obs.Json.Obj
+            [
+              ("train_len", Obs.Json.Int train);
+              ("batched", Obs.Json.Bool batched);
+              ("datagrams", Obs.Json.Int batched_io_datagrams);
+              ("payload_bytes", Obs.Json.Int batched_io_payload_bytes);
+              ("received", Obs.Json.Int received);
+              ("tx_syscalls", Obs.Json.Int tx_syscalls);
+              ("rx_syscalls", Obs.Json.Int rx_syscalls);
+              ("syscalls_per_datagram", Obs.Json.Float per_datagram);
+              ("wall_ns", Obs.Json.Int (int_of_float (wall *. 1e9)));
+              ("goodput_mbit_s", Obs.Json.Float goodput_mbit_s);
+            ])
+        [ true; false ])
+    [ 1; 8; 32; 128 ]
+
 (* Aggregate service capacity of the concurrent server at increasing fan-in:
    N simultaneous senders against one socket, small payloads so the smoke
    run stays fast. *)
@@ -242,10 +367,19 @@ let write_bench_json ~jobs () =
     "rx buffer: %.0f B allocated per recv with a fresh buffer, %.0f B reused (%d loopback \
      datagrams)\n%!"
     fresh_alloc reused_alloc rx_alloc_iters;
+  (* Regression gate: the reusable-buffer receive path is the default in
+     every hot loop, and it must stay allocation-light. *)
+  if reused_alloc > 4096.0 then begin
+    Printf.eprintf
+      "bench: FAIL rx_alloc regression — reused-buffer recv allocates %.0f B/datagram \
+       (budget 4096)\n"
+      reused_alloc;
+    exit 1
+  end;
   let json =
     Obs.Json.Obj
       [
-        ("schema", Obs.Json.String "lanrepro-bench/3");
+        ("schema", Obs.Json.String "lanrepro-bench/4");
         ("packets", Obs.Json.Int packets);
         (* Context for mc_parallel: speedup > 1 is only possible when the
            host actually has cores to spread the domains over. *)
@@ -253,6 +387,7 @@ let write_bench_json ~jobs () =
         ("sim_transfer", Obs.Json.List sim_rows);
         ("mc_kernels", Obs.Json.List mc_rows);
         ("mc_parallel", Obs.Json.List (mc_parallel_rows jobs));
+        ("batched_io", Obs.Json.List (batched_io_rows ()));
         ("serve_concurrency", Obs.Json.List (serve_concurrency_rows ()));
         ( "rx_alloc",
           Obs.Json.Obj

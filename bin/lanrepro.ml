@@ -123,6 +123,23 @@ let telemetry trace_out metrics_out =
   in
   (recorder, metrics, flush)
 
+(* Tri-state so the LANREPRO_BATCH environment default applies when neither
+   flag is given. *)
+let batch_flag =
+  Arg.(
+    value
+    & vflag None
+        [
+          ( Some true,
+            info [ "batch" ]
+              ~doc:
+                "Submit packet trains through sendmmsg/recvmmsg — one syscall per train \
+                 instead of per datagram (the default unless LANREPRO_BATCH=0)." );
+          (Some false, info [ "no-batch" ] ~doc:"One syscall per datagram.");
+        ])
+
+let make_ctx ?recorder ?metrics batch = Sockets.Io_ctx.make ?recorder ?metrics ?batch ()
+
 (* --------------------------------------------------------------- simulate *)
 
 let adaptive =
@@ -470,7 +487,7 @@ let tx_loss =
   Arg.(value & opt float 0.0 & info [ "inject-loss" ] ~doc:"Probability of dropping each outgoing datagram (testing aid).")
 
 let send_cmd =
-  let run protocol host port file size loss seed adaptive trace_out metrics_out =
+  let run protocol host port file size loss seed adaptive batch trace_out metrics_out =
     let data =
       match file with
       | Some path ->
@@ -490,9 +507,8 @@ let send_cmd =
     in
     let rtt = if adaptive then Some (Protocol.Rtt.create ~initial_ns:50_000_000 ()) else None in
     let recorder, metrics, flush = telemetry trace_out metrics_out in
-    let result =
-      Sockets.Peer.send ~lossy ?rtt ?recorder ?metrics ~socket ~peer ~suite:protocol ~data ()
-    in
+    let ctx = make_ctx ?recorder ?metrics batch in
+    let result = Sockets.Peer.send ~ctx ~lossy ?rtt ~socket ~peer ~suite:protocol ~data () in
     Unix.close socket;
     Printf.printf "%s: %d bytes in %.1f ms (%d packets, %d retransmitted)\n"
       (match result.Sockets.Peer.outcome with
@@ -516,7 +532,7 @@ let send_cmd =
     (Cmd.info "send" ~doc:"Send a bulk transfer to a lanrepro recv peer over UDP")
     Term.(
       const run $ protocol $ host $ port $ file $ size $ tx_loss $ seed $ adaptive
-      $ trace_out $ metrics_out)
+      $ batch_flag $ trace_out $ metrics_out)
 
 let recv_cmd =
   let run protocol port out loss seed trace_out metrics_out =
@@ -528,9 +544,8 @@ let recv_cmd =
       else Sockets.Lossy.perfect
     in
     let recorder, metrics, flush = telemetry trace_out metrics_out in
-    let result =
-      Sockets.Peer.serve_one ~lossy ?recorder ?metrics ~socket ~suite:protocol ()
-    in
+    let ctx = make_ctx ?recorder ?metrics None in
+    let result = Sockets.Peer.serve_one ~ctx ~lossy ~socket ~suite:protocol () in
     Unix.close socket;
     Printf.printf "received %d bytes (transfer %d)\n"
       (String.length result.Sockets.Peer.data)
@@ -705,9 +720,10 @@ let chaos_cmd =
     Printf.printf "chaos soak: %d suites x %d scenarios x %d iters, %d bytes each, %d jobs\n%!"
       (List.length suites) (List.length scenarios) iters bytes jobs;
     let recorder, metrics, flush = telemetry trace_out metrics_out in
+    let ctx = make_ctx ?recorder ?metrics None in
     let runs =
-      Sockets.Chaos.run_campaign ~bytes ?recorder ?metrics ~suites ~scenarios ~iters ~seed
-        ~progress ~jobs ()
+      Sockets.Chaos.run_campaign ~bytes ~ctx ~suites ~scenarios ~iters ~seed ~progress
+        ~jobs ()
     in
     flush ();
     print_newline ();
@@ -779,10 +795,11 @@ let scenario_name option_name ~doc =
   Arg.(value & opt (some string) None & info [ option_name ] ~docv:"NAME" ~doc)
 
 let serve_cmd =
-  let run port max_flows scenario_name seed max_transfers trace_out metrics_out =
+  let run port max_flows scenario_name seed max_transfers batch trace_out metrics_out =
     let scenario = resolve_scenario scenario_name in
     let socket, address = Sockets.Udp.create_socket ~address:"0.0.0.0" ~port () in
     let recorder, metrics, flush = telemetry trace_out metrics_out in
+    let ctx = make_ctx ?recorder ?metrics batch in
     let on_complete (e : Server.Engine.completion_event) =
       let c = e.Server.Engine.completion in
       Printf.printf "  flow %d from %s: %s, %d bytes, crc %s, %.1f ms\n%!"
@@ -797,8 +814,7 @@ let serve_cmd =
         (float_of_int (e.Server.Engine.finished_ns - e.Server.Engine.started_ns) /. 1e6)
     in
     let engine =
-      Server.Engine.create ~max_flows ?scenario ~seed ?recorder ?metrics ~on_complete
-        ~socket ()
+      Server.Engine.create ~max_flows ?scenario ~seed ~ctx ~on_complete ~socket ()
     in
     (* Ctrl-C stops the loop instead of killing the process, so the totals
        line and any requested telemetry still get written. *)
@@ -827,17 +843,18 @@ let serve_cmd =
     Term.(
       const run $ port $ max_flows
       $ scenario_name "scenario" ~doc:"Server-side fault scenario applied independently per flow."
-      $ seed $ max_transfers $ trace_out $ metrics_out)
+      $ seed $ max_transfers $ batch_flag $ trace_out $ metrics_out)
 
 let swarm_cmd =
   let run flows max_flows jobs size packet_bytes protocol scenario_name server_scenario_name
-      seed trace_out metrics_out =
+      seed batch trace_out metrics_out =
     let scenario = resolve_scenario scenario_name in
     let server_scenario = resolve_scenario server_scenario_name in
     let recorder, metrics, flush = telemetry trace_out metrics_out in
+    let ctx = make_ctx ?recorder ?metrics batch in
     let report =
       Server.Swarm.run ~max_flows ?jobs ~bytes:size ~packet_bytes ~suite:protocol ?scenario
-        ?server_scenario ~seed ?recorder ?metrics ~flows ()
+        ?server_scenario ~seed ~ctx ~flows ()
     in
     Format.printf "%a@." Server.Swarm.pp_report report;
     Printf.printf "server-verified transfers: %d/%d\n"
@@ -865,7 +882,7 @@ let swarm_cmd =
       const run $ flows $ max_flows $ jobs $ size $ packet_bytes $ protocol
       $ scenario_name "scenario" ~doc:"Sender-side fault scenario (independent per sender)."
       $ scenario_name "server-scenario" ~doc:"Server-side fault scenario (independent per flow)."
-      $ seed $ trace_out $ metrics_out)
+      $ seed $ batch_flag $ trace_out $ metrics_out)
 
 let () =
   let default = Term.(ret (const (`Help (`Pager, None)))) in

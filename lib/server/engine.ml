@@ -67,6 +67,7 @@ type t = {
   drain_budget : int;
   recorder : Obs.Recorder.t option;
   metrics : Obs.Metrics.t option;
+  clock : unit -> int;
   on_complete : completion_event -> unit;
   flows : (key, flow_state) Hashtbl.t;
   timers : timer_payload Timers.t;
@@ -75,21 +76,28 @@ type t = {
   server_counters : Protocol.Counters.t;  (** pre-admission garbage accounting *)
   server_probe : Obs.Probe.t;
   buffer : Bytes.t;
+  tx_batch : Sockets.Batch.t option;
+      (** pending outgoing train; flushed once per loop round *)
+  rx_batch : Sockets.Batch.rx option;
+      (** drain ring: one [recvmmsg] per select round instead of one
+          [recvfrom] per datagram *)
   stopped : bool Atomic.t;
   mutable next_index : int;
 }
 
 let create ?(max_flows = 64) ?(retransmit_ns = 50_000_000) ?(max_attempts = 50)
     ?idle_timeout_ns ?linger_ns ?fallback_suite ?scenario ?(seed = 1)
-    ?(drain_budget = 64) ?recorder ?metrics ?(on_complete = fun _ -> ()) ~socket () =
+    ?(drain_budget = 64) ?ctx ?(on_complete = fun _ -> ()) ~socket () =
   if max_flows < 0 then invalid_arg "Engine.create: negative max_flows";
   if drain_budget <= 0 then invalid_arg "Engine.create: drain_budget must be positive";
+  let ctx = match ctx with Some c -> c | None -> Sockets.Io_ctx.default () in
+  let { Sockets.Io_ctx.recorder; metrics; clock; batch; faults = _ } = ctx in
   (* A blast sender can land dozens of datagrams between two select rounds;
      headroom in the kernel buffer is what keeps that from becoming loss for
      every other flow. Best effort: the kernel may clamp it. *)
   (try Unix.setsockopt_int socket Unix.SO_RCVBUF (4 * 1024 * 1024)
    with Unix.Unix_error _ -> ());
-  Option.iter (fun r -> Obs.Recorder.set_clock r Sockets.Udp.now_ns) recorder;
+  Option.iter (fun r -> Obs.Recorder.set_clock r clock) recorder;
   let server_counters = Protocol.Counters.create () in
   let server_probe = Obs.Probe.create ?recorder ~lane:"server" ~counters:server_counters () in
   {
@@ -105,6 +113,7 @@ let create ?(max_flows = 64) ?(retransmit_ns = 50_000_000) ?(max_attempts = 50)
     drain_budget;
     recorder;
     metrics;
+    clock;
     on_complete;
     flows = Hashtbl.create 64;
     timers = Timers.create ();
@@ -113,6 +122,11 @@ let create ?(max_flows = 64) ?(retransmit_ns = 50_000_000) ?(max_attempts = 50)
     server_counters;
     server_probe;
     buffer = Sockets.Udp.rx_buffer ();
+    tx_batch = (if batch then Some (Sockets.Batch.create ~socket ()) else None);
+    rx_batch =
+      (if batch then
+         Some (Sockets.Batch.create_rx ~capacity:(min drain_budget 256) ~socket ())
+       else None);
     stopped = Atomic.make false;
     next_index = 0;
   }
@@ -146,6 +160,19 @@ let put t = function
   | Sockets.Udp.Sent -> ()
   | Sockets.Udp.Send_failed _ -> t.totals.send_failures <- t.totals.send_failures + 1
 
+(* One datagram out — joining the pending train when batching, in its own
+   syscall otherwise. The outcome callback fires per datagram either way, so
+   the send-failure accounting is identical batched or not. *)
+let send_now t ~on_outcome peer data =
+  match t.tx_batch with
+  | Some b -> Sockets.Batch.push b ~peer ~on_outcome data
+  | None -> on_outcome (Sockets.Udp.send_bytes t.socket peer data)
+
+let flush_tx t =
+  match t.tx_batch with
+  | None -> ()
+  | Some b -> ignore (Sockets.Batch.flush b : Sockets.Batch.report)
+
 (* Per-flow transmit: the probe's tx event fires per protocol send (before
    fault injection, agreeing with the machine's counters); delayed netem
    emissions go on the timer heap instead of blocking the loop. *)
@@ -154,19 +181,19 @@ let transmit t fs message =
   Obs.Probe.tx probe message;
   let encoded = Packet.Codec.encode message in
   match fs.faults with
-  | None -> (
-      match Sockets.Udp.send_bytes t.socket fs.peer encoded with
-      | Sockets.Udp.Sent -> ()
-      | Sockets.Udp.Send_failed _ ->
-          Obs.Probe.drop probe `Tx;
-          t.totals.send_failures <- t.totals.send_failures + 1)
+  | None ->
+      send_now t fs.peer encoded ~on_outcome:(function
+        | Sockets.Udp.Sent -> ()
+        | Sockets.Udp.Send_failed _ ->
+            Obs.Probe.drop probe `Tx;
+            t.totals.send_failures <- t.totals.send_failures + 1)
   | Some netem ->
       List.iter
         (fun { Faults.Netem.delay_ns; data } ->
-          if delay_ns <= 0 then put t (Sockets.Udp.send_bytes t.socket fs.peer data)
+          if delay_ns <= 0 then send_now t fs.peer data ~on_outcome:(put t)
           else
             Timers.add t.timers
-              ~deadline:(Sockets.Udp.now_ns () + delay_ns)
+              ~deadline:(t.clock () + delay_ns)
               (Delayed_send { peer = fs.peer; data }))
         (Faults.Netem.tx_bytes netem encoded)
 
@@ -192,7 +219,7 @@ let finalize t key fs (completion : Sockets.Flow.completion) ~now =
          final ack is not starved by our own fault pipeline. *)
       List.iter
         (fun { Faults.Netem.delay_ns; data } ->
-          if delay_ns <= 0 then put t (Sockets.Udp.send_bytes t.socket fs.peer data)
+          if delay_ns <= 0 then send_now t ~on_outcome:(put t) fs.peer data
           else
             Timers.add t.timers ~deadline:(now + delay_ns)
               (Delayed_send { peer = fs.peer; data }))
@@ -223,7 +250,7 @@ let reject t ~from ~transfer_id =
   Log.debug (fun f ->
       f "rejecting transfer %d: %d/%d flows busy" transfer_id (Hashtbl.length t.flows)
         t.max_flows);
-  put t (Sockets.Udp.send_message t.socket from (Packet.Message.rej ~transfer_id))
+  send_now t ~on_outcome:(put t) from (Packet.Codec.encode (Packet.Message.rej ~transfer_id))
 
 let admit t ~now ~from message =
   if Hashtbl.length t.flows >= t.max_flows then
@@ -276,9 +303,9 @@ let admit t ~now ~from message =
         reschedule t key fs
   end
 
-let handle_datagram t ~from ~len =
-  let now = Sockets.Udp.now_ns () in
-  match Packet.Codec.decode_sub t.buffer ~pos:0 ~len with
+let handle_datagram t ~buf ~from ~len =
+  let now = t.clock () in
+  match Packet.Codec.decode_sub buf ~pos:0 ~len with
   | Error reason ->
       (* No trustworthy header, so no flow to attribute it to. *)
       t.totals.garbage <- t.totals.garbage + 1;
@@ -305,7 +332,7 @@ let rec service_timers t ~now =
   match Timers.pop_due t.timers ~now with
   | None -> ()
   | Some (Delayed_send { peer; data }) ->
-      put t (Sockets.Udp.send_bytes t.socket peer data);
+      send_now t ~on_outcome:(put t) peer data;
       service_timers t ~now
   | Some (Flow_tick key) ->
       (match Hashtbl.find_opt t.flows key with
@@ -322,18 +349,33 @@ let rec service_timers t ~now =
 
 (* Drain at most [budget] datagrams, then return to timer service: the
    budget is the fairness knob — one blast sender saturating the socket
-   cannot starve the other flows' retransmission timers. *)
+   cannot starve the other flows' retransmission timers. With an rx batch
+   the whole budget drains in one or two [recvmmsg] calls instead of one
+   [recvfrom] per datagram. *)
 let rec drain t budget =
   if budget > 0 then
-    match Unix.recvfrom t.socket t.buffer 0 (Bytes.length t.buffer) [] with
-    | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _) -> ()
-    | exception Unix.Unix_error (Unix.ECONNREFUSED, _, _) ->
-        (* Linux surfaces a pending ICMP port-unreachable (a sender that
-           already closed) on the next recvfrom; it consumes no datagram. *)
-        drain t budget
-    | len, from ->
-        handle_datagram t ~from ~len;
-        drain t (budget - 1)
+    match t.rx_batch with
+    | Some rx ->
+        let n = Sockets.Batch.recv rx ~limit:budget in
+        if n > 0 then begin
+          for i = 0 to n - 1 do
+            let buf, len, from = Sockets.Batch.get rx i in
+            handle_datagram t ~buf ~from ~len
+          done;
+          drain t (budget - n)
+        end
+    | None -> (
+        match Unix.recvfrom t.socket t.buffer 0 (Bytes.length t.buffer) [] with
+        | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _)
+          ->
+            ()
+        | exception Unix.Unix_error (Unix.ECONNREFUSED, _, _) ->
+            (* Linux surfaces a pending ICMP port-unreachable (a sender that
+               already closed) on the next recvfrom; it consumes no datagram. *)
+            drain t budget
+        | len, from ->
+            handle_datagram t ~buf:t.buffer ~from ~len;
+            drain t (budget - 1))
 
 (* Cap each select so [stop] from another thread is honoured promptly even
    when the socket is silent and no timer is due. *)
@@ -349,27 +391,32 @@ let run ?max_transfers t =
   in
   Log.info (fun f -> f "serving (max %d concurrent flows)" t.max_flows);
   while (not (Atomic.get t.stopped)) && not (finished ()) do
-    let now = Sockets.Udp.now_ns () in
+    let now = t.clock () in
     service_timers t ~now;
+    (* Everything the timers and the previous drain queued goes out as one
+       train; acks never wait longer than one loop round. *)
+    flush_tx t;
     let timeout_ns =
       match Timers.peek_deadline t.timers with
       | None -> max_select_ns
       | Some deadline -> max 0 (min (deadline - now) max_select_ns)
     in
-    match Unix.select [ t.socket ] [] [] (float_of_int timeout_ns /. 1e9) with
+    (match Unix.select [ t.socket ] [] [] (float_of_int timeout_ns /. 1e9) with
     | [], _, _ -> ()
     | _ :: _, _, _ -> drain t t.drain_budget
-    | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> ());
+    flush_tx t
   done;
   (* Shutdown settles every live flow to a typed result — nothing is left
      dangling, and the caller's on_complete sees each one exactly once. *)
   let remaining = Hashtbl.fold (fun key fs acc -> (key, fs) :: acc) t.flows [] in
   List.iter
     (fun (key, fs) ->
-      let now = Sockets.Udp.now_ns () in
+      let now = t.clock () in
       let completion = Sockets.Flow.force_done fs.flow ~now in
       finalize t key fs completion ~now)
     remaining;
+  flush_tx t;
   publish_gauges t;
   (match t.metrics with
   | None -> ()

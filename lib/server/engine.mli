@@ -55,8 +55,7 @@ val create :
   ?scenario:Faults.Scenario.t ->
   ?seed:int ->
   ?drain_budget:int ->
-  ?recorder:Obs.Recorder.t ->
-  ?metrics:Obs.Metrics.t ->
+  ?ctx:Sockets.Io_ctx.t ->
   ?on_complete:(completion_event -> unit) ->
   socket:Unix.file_descr ->
   unit ->
@@ -66,12 +65,19 @@ val create :
     flows, 50 ms retransmission interval, 50 attempts, drain budget 64.
     [scenario] injects faults independently per flow, seeded from [seed] and
     the flow's admission index ([Stats.Rng.derive]), so a run replays
-    exactly. [metrics] carries an [active_flows] gauge, admission counters
-    and, at shutdown, the merged counter roll-up, all labelled
-    [side=server]. [on_complete] fires once per settled flow, from the
-    serving thread. Raises [Invalid_argument] on a negative [max_flows] or
-    non-positive [drain_budget]; [max_flows = 0] refuses everything — the
-    admission test's degenerate case. *)
+    exactly — [ctx.faults] is ignored here, since one shared pipeline would
+    entangle the flows' randomness; per-flow [scenario] supersedes it.
+
+    [ctx] otherwise carries the loop's telemetry, clock and batching: with
+    [ctx.batch] (the default) each select round drains its budget through
+    one [recvmmsg] and flushes every queued ack/REJ/delayed emission as one
+    [sendmmsg] train, instead of one syscall per datagram. [ctx.metrics]
+    carries an [active_flows] gauge, admission counters and, at shutdown,
+    the merged counter roll-up, all labelled [side=server]. [on_complete]
+    fires once per settled flow, from the serving thread. Raises
+    [Invalid_argument] on a negative [max_flows] or non-positive
+    [drain_budget]; [max_flows = 0] refuses everything — the admission
+    test's degenerate case. *)
 
 val run : ?max_transfers:int -> t -> unit
 (** Serves until {!stop}, or — with [max_transfers] — until that many flows

@@ -50,15 +50,17 @@ let payload_for rng bytes = String.init bytes (fun _ -> Char.chr (Stats.Rng.int 
 let run ?max_flows ?jobs ?(bytes = 64 * 1024) ?(packet_bytes = 1024)
     ?(retransmit_ns = 20_000_000) ?(max_attempts = 50) ?idle_timeout_ns
     ?(suite = Protocol.Suite.Blast Protocol.Blast.Go_back_n) ?scenario ?server_scenario
-    ?(seed = 42) ?recorder ?metrics ~flows () =
+    ?(seed = 42) ?ctx ~flows () =
   if flows <= 0 then invalid_arg "Swarm.run: flows must be positive";
   if bytes <= 0 then invalid_arg "Swarm.run: bytes must be positive";
+  let ctx = match ctx with Some c -> c | None -> Sockets.Io_ctx.default () in
+  let metrics = ctx.Sockets.Io_ctx.metrics in
   let socket, server_address = Sockets.Udp.create_socket () in
   let completions = ref [] in
   let on_complete event = completions := event :: !completions in
   let engine =
     Engine.create ?max_flows ~retransmit_ns ~max_attempts ?idle_timeout_ns
-      ?scenario:server_scenario ~seed:(seed + 1) ?recorder ?metrics ~on_complete ~socket ()
+      ?scenario:server_scenario ~seed:(seed + 1) ~ctx ~on_complete ~socket ()
   in
   (* The engine gets its own domain: the pool below keeps every other domain
      (including this one) busy running senders, and the server must keep
@@ -75,14 +77,18 @@ let run ?max_flows ?jobs ?(bytes = 64 * 1024) ?(packet_bytes = 1024)
             (Faults.Netem.create ~seed:(Int64.to_int (Stats.Rng.bits64 rng) land max_int) sc)
       | _ -> None
     in
+    (* Each sender shares the swarm's telemetry context but owns its fault
+       pipeline; the server side never sees ctx.faults (per-flow scenario
+       seeding covers it). *)
+    let sender_ctx = { ctx with Sockets.Io_ctx.faults } in
     let sender_socket, _ = Sockets.Udp.create_socket () in
     Fun.protect
       ~finally:(fun () -> Sockets.Udp.close sender_socket)
       (fun () ->
         let result =
-          Sockets.Peer.send ?faults ~transfer_id:(index + 1) ~packet_bytes ~retransmit_ns
-            ~max_attempts ?idle_timeout_ns ~socket:sender_socket ~peer:server_address
-            ~suite ~data ()
+          Sockets.Peer.send ~ctx:sender_ctx ~transfer_id:(index + 1) ~packet_bytes
+            ~retransmit_ns ~max_attempts ?idle_timeout_ns ~socket:sender_socket
+            ~peer:server_address ~suite ~data ()
         in
         {
           index;

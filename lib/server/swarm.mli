@@ -54,8 +54,7 @@ val run :
   ?scenario:Faults.Scenario.t ->
   ?server_scenario:Faults.Scenario.t ->
   ?seed:int ->
-  ?recorder:Obs.Recorder.t ->
-  ?metrics:Obs.Metrics.t ->
+  ?ctx:Sockets.Io_ctx.t ->
   flows:int ->
   unit ->
   report
@@ -63,8 +62,12 @@ val run :
     50 attempts, go-back-N blast, seed 42, [jobs = flows] (the pool clamps
     to at most 64 — true concurrency for any [flows] the engine's default
     cap admits). [scenario] faults the senders, [server_scenario] the
-    server; both are per-flow independent and seeded from [seed].
-    [recorder]/[metrics] are wired to the engine ([flow-N] lanes,
-    [side=server] metrics) plus swarm-level aggregate gauges. Not
-    re-entrant from inside an [Exec.Pool] task (the pool contract forbids
-    nested batches). *)
+    server; both are per-flow independent and seeded from [seed] —
+    [ctx.faults] is superseded on both sides.
+
+    [ctx] carries the telemetry sinks and the batching switch for the
+    engine and every sender: [ctx.recorder]/[ctx.metrics] are wired to the
+    engine ([flow-N] lanes, [side=server] metrics) plus swarm-level
+    aggregate gauges; [ctx.batch] turns sendmmsg/recvmmsg trains on for the
+    engine loop and each sender's blast bursts. Not re-entrant from inside
+    an [Exec.Pool] task (the pool contract forbids nested batches). *)

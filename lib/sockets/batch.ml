@@ -1,0 +1,321 @@
+(* Packet trains through sendmmsg(2)/recvmmsg(2), with a one-datagram
+   fallback that preserves exact per-datagram outcome semantics. See the
+   interface for the design contract. *)
+
+external mmsg_supported : unit -> bool = "lanrepro_mmsg_supported"
+
+external raw_sendmmsg : Unix.file_descr -> int -> int -> Bytes.t array -> int array -> int
+  = "lanrepro_sendmmsg"
+
+external raw_recvmmsg : Unix.file_descr -> int -> Bytes.t array -> int array -> int
+  = "lanrepro_recvmmsg"
+
+(* Must match LANREPRO_MMSG_MAX in mmsg_stubs.c. *)
+let stub_max = 256
+
+(* A Linux build on a kernel without the syscalls discovers ENOSYS on the
+   first real submission; remember it process-wide so every later batch goes
+   straight to the fallback. *)
+let runtime_enosys = ref false
+
+let kernel_support () = mmsg_supported () && not !runtime_enosys
+
+let env_value () = Sys.getenv_opt "LANREPRO_BATCH"
+
+let env_enabled () =
+  match env_value () with
+  | Some ("0" | "off" | "false") -> false
+  | Some _ | None -> true
+
+let env_force_fallback () =
+  match env_value () with Some ("fallback" | "emulate") -> true | _ -> false
+
+type report = { submitted : int; sent : int; failed : int; syscalls : int }
+
+let zero = { submitted = 0; sent = 0; failed = 0; syscalls = 0 }
+
+let add_report a b =
+  {
+    submitted = a.submitted + b.submitted;
+    sent = a.sent + b.sent;
+    failed = a.failed + b.failed;
+    syscalls = a.syscalls + b.syscalls;
+  }
+
+let pp_report ppf r =
+  Format.fprintf ppf "%d submitted, %d sent, %d failed, %d syscalls" r.submitted r.sent
+    r.failed r.syscalls
+
+(* IPv4 sockaddr -> (host-order address, port); None for anything the wire
+   vectors cannot carry (IPv6, unix sockets), which goes out unbatched. *)
+let explode_sockaddr = function
+  | Unix.ADDR_UNIX _ -> None
+  | Unix.ADDR_INET (address, port) -> begin
+      match String.split_on_char '.' (Unix.string_of_inet_addr address) with
+      | [ a; b; c; d ] -> begin
+          match
+            (int_of_string_opt a, int_of_string_opt b, int_of_string_opt c, int_of_string_opt d)
+          with
+          | Some a, Some b, Some c, Some d
+            when a land 0xff = a && b land 0xff = b && c land 0xff = c && d land 0xff = d ->
+              Some (((a lsl 24) lor (b lsl 16) lor (c lsl 8) lor d, port))
+          | _ -> None
+        end
+      | _ -> None
+    end
+
+(* ------------------------------------------------------------ transmit -- *)
+
+type t = {
+  socket : Unix.file_descr;
+  tx_capacity : int;
+  bufs : Bytes.t array;
+  meta : int array;  (** 3 slots per entry: length, address, port *)
+  peers : Unix.sockaddr array;  (** original sockaddr, for the fallback path *)
+  callbacks : (Udp.send_outcome -> unit) option array;
+  forced_fallback : bool;
+  addr_cache : (Unix.sockaddr, (int * int) option) Hashtbl.t;
+  mutable len : int;
+  mutable acc : report;  (** cumulative since create *)
+}
+
+let create ?(capacity = 128) ?force_fallback ~socket () =
+  if capacity <= 0 then invalid_arg "Batch.create: capacity must be positive";
+  let capacity = min capacity stub_max in
+  {
+    socket;
+    tx_capacity = capacity;
+    bufs = Array.make capacity Bytes.empty;
+    meta = Array.make (3 * capacity) 0;
+    peers = Array.make capacity (Unix.ADDR_UNIX "");
+    callbacks = Array.make capacity None;
+    forced_fallback =
+      (match force_fallback with Some f -> f | None -> env_force_fallback ());
+    addr_cache = Hashtbl.create 8;
+    len = 0;
+    acc = zero;
+  }
+
+let capacity t = t.tx_capacity
+let length t = t.len
+let using_fallback t = t.forced_fallback || not (kernel_support ())
+let totals t = t.acc
+
+let fire_outcome t i outcome =
+  match t.callbacks.(i) with None -> () | Some f -> f outcome
+
+(* Resolve one queued entry through the one-datagram path: a bounded-retry
+   sendto that classifies transient failures as loss and raises only on
+   genuine programming errors — the exact semantics of the unbatched
+   transport, which is what keeps batching invisible to the protocol. *)
+let resolve_one t i =
+  let outcome = Udp.send_bytes t.socket t.peers.(i) t.bufs.(i) in
+  fire_outcome t i outcome;
+  match outcome with Udp.Sent -> `Sent | Udp.Send_failed _ -> `Failed
+
+let flush t =
+  let n = t.len in
+  if n = 0 then zero
+  else begin
+    let sent = ref 0 and failed = ref 0 and syscalls = ref 0 in
+    let one i =
+      incr syscalls;
+      match resolve_one t i with `Sent -> incr sent | `Failed -> incr failed
+    in
+    let rest_one_at_a_time from = for i = from to n - 1 do one i done in
+    (* A one-datagram train pays the same single syscall either way; skip
+       the vector submission so batched train length 1 costs exactly what
+       the unbatched path does. *)
+    if n = 1 || using_fallback t then rest_one_at_a_time 0
+    else begin
+      let off = ref 0 in
+      while !off < n do
+        let want = min (n - !off) stub_max in
+        let r = raw_sendmmsg t.socket !off want t.bufs t.meta in
+        incr syscalls;
+        if r = -2 then begin
+          (* Runtime ENOSYS: this submission — and every future one,
+             process-wide — takes the fallback. *)
+          runtime_enosys := true;
+          rest_one_at_a_time !off;
+          off := n
+        end
+        else if r <= 0 then begin
+          (* The head datagram failed (transient or genuine); resolving it
+             one-at-a-time classifies — or raises — exactly as the
+             unbatched path would, then the train continues. *)
+          one !off;
+          incr off
+        end
+        else begin
+          for i = !off to !off + r - 1 do
+            fire_outcome t i Udp.Sent
+          done;
+          sent := !sent + r;
+          off := !off + r;
+          (* A short count means the kernel stopped at entry [off]: resolve
+             that one precisely rather than spinning on resubmission. *)
+          if r < want && !off < n then begin
+            one !off;
+            incr off
+          end
+        end
+      done
+    end;
+    (* Drop references so flushed payloads do not outlive their train. *)
+    Array.fill t.bufs 0 n Bytes.empty;
+    Array.fill t.callbacks 0 n None;
+    t.len <- 0;
+    let report = { submitted = n; sent = !sent; failed = !failed; syscalls = !syscalls } in
+    t.acc <- add_report t.acc report;
+    report
+  end
+
+let resolve_peer t peer =
+  match Hashtbl.find_opt t.addr_cache peer with
+  | Some cached -> cached
+  | None ->
+      let exploded = explode_sockaddr peer in
+      Hashtbl.replace t.addr_cache peer exploded;
+      exploded
+
+let push t ~peer ?on_outcome data =
+  match resolve_peer t peer with
+  | None ->
+      (* Not representable in the IPv4 wire vectors: send it now, alone. *)
+      let outcome = Udp.send_bytes t.socket peer data in
+      (match on_outcome with None -> () | Some f -> f outcome);
+      let report =
+        match outcome with
+        | Udp.Sent -> { submitted = 1; sent = 1; failed = 0; syscalls = 1 }
+        | Udp.Send_failed _ -> { submitted = 1; sent = 0; failed = 1; syscalls = 1 }
+      in
+      t.acc <- add_report t.acc report
+  | Some (address, port) ->
+      if t.len >= t.tx_capacity then ignore (flush t : report);
+      let i = t.len in
+      t.bufs.(i) <- data;
+      t.meta.(3 * i) <- Bytes.length data;
+      t.meta.((3 * i) + 1) <- address;
+      t.meta.((3 * i) + 2) <- port;
+      t.peers.(i) <- peer;
+      t.callbacks.(i) <- on_outcome;
+      t.len <- i + 1
+
+let push_message t ~peer ?on_outcome message =
+  push t ~peer ?on_outcome (Packet.Codec.encode message)
+
+(* ------------------------------------------------------------- receive -- *)
+
+type rx = {
+  rx_socket : Unix.file_descr;
+  rx_cap : int;
+  rx_bufs : Bytes.t array;
+  rx_meta : int array;
+  rx_froms : Unix.sockaddr array;
+  rx_forced_fallback : bool;
+  rx_addr_cache : (int, Unix.sockaddr) Hashtbl.t;
+  mutable rx_sys : int;
+  mutable rx_count : int;
+}
+
+let create_rx ?(capacity = 32) ?force_fallback ~socket () =
+  if capacity <= 0 then invalid_arg "Batch.create_rx: capacity must be positive";
+  let capacity = min capacity stub_max in
+  {
+    rx_socket = socket;
+    rx_cap = capacity;
+    rx_bufs = Array.init capacity (fun _ -> Udp.rx_buffer ());
+    rx_meta = Array.make (3 * capacity) 0;
+    rx_froms = Array.make capacity (Unix.ADDR_UNIX "");
+    rx_forced_fallback =
+      (match force_fallback with Some f -> f | None -> env_force_fallback ());
+    rx_addr_cache = Hashtbl.create 64;
+    rx_sys = 0;
+    rx_count = 0;
+  }
+
+let rx_capacity rx = rx.rx_cap
+let rx_syscalls rx = rx.rx_sys
+let rx_received rx = rx.rx_count
+
+let sockaddr_of rx address port =
+  let key = (address lsl 16) lor (port land 0xffff) in
+  match Hashtbl.find_opt rx.rx_addr_cache key with
+  | Some sockaddr -> sockaddr
+  | None ->
+      let dotted =
+        Printf.sprintf "%d.%d.%d.%d"
+          ((address lsr 24) land 0xff)
+          ((address lsr 16) land 0xff)
+          ((address lsr 8) land 0xff)
+          (address land 0xff)
+      in
+      let sockaddr = Unix.ADDR_INET (Unix.inet_addr_of_string dotted, port) in
+      Hashtbl.replace rx.rx_addr_cache key sockaddr;
+      sockaddr
+
+(* One Unix.recvfrom per datagram, same loop the engine ran before batching:
+   EAGAIN ends the drain, a pending ICMP error is consumed and skipped. *)
+let recv_fallback rx ~want =
+  let n = ref 0 in
+  (try
+     while !n < want do
+       rx.rx_sys <- rx.rx_sys + 1;
+       match
+         Unix.recvfrom rx.rx_socket rx.rx_bufs.(!n) 0 (Bytes.length rx.rx_bufs.(!n)) []
+       with
+       | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _) ->
+           raise Exit
+       | exception Unix.Unix_error (Unix.ECONNREFUSED, _, _) -> ()
+       | len, from ->
+           rx.rx_meta.(3 * !n) <- len;
+           rx.rx_froms.(!n) <- from;
+           incr n
+     done
+   with Exit -> ());
+  !n
+
+let rec recv rx ~limit =
+  let want = min limit rx.rx_cap in
+  if want <= 0 then 0
+  else if rx.rx_forced_fallback || not (kernel_support ()) then begin
+    let n = recv_fallback rx ~want in
+    rx.rx_count <- rx.rx_count + n;
+    n
+  end
+  else begin
+    let r = raw_recvmmsg rx.rx_socket want rx.rx_bufs rx.rx_meta in
+    rx.rx_sys <- rx.rx_sys + 1;
+    if r >= 0 then begin
+      for i = 0 to r - 1 do
+        rx.rx_froms.(i) <-
+          sockaddr_of rx rx.rx_meta.((3 * i) + 1) rx.rx_meta.((3 * i) + 2)
+      done;
+      rx.rx_count <- rx.rx_count + r;
+      r
+    end
+    else if r = -1 then 0
+    else if r = -3 then
+      (* Consumed a pending ICMP port-unreachable (a sender that already
+         closed); no datagram was taken, so drain again. *)
+      recv rx ~limit
+    else if r = -2 then begin
+      runtime_enosys := true;
+      recv rx ~limit
+    end
+    else begin
+      (* Genuine error: surface it exactly as the unbatched loop would, by
+         letting Unix.recvfrom raise (or, if the condition cleared, deliver). *)
+      rx.rx_sys <- rx.rx_sys + 1;
+      let len, from =
+        Unix.recvfrom rx.rx_socket rx.rx_bufs.(0) 0 (Bytes.length rx.rx_bufs.(0)) []
+      in
+      rx.rx_meta.(0) <- len;
+      rx.rx_froms.(0) <- from;
+      rx.rx_count <- rx.rx_count + 1;
+      1
+    end
+  end
+
+let get rx i = (rx.rx_bufs.(i), rx.rx_meta.(3 * i), rx.rx_froms.(i))

@@ -1,0 +1,125 @@
+(** Kernel-batched datagram I/O: packet trains through [sendmmsg(2)] /
+    [recvmmsg(2)].
+
+    The paper's central measurement is that per-packet processor overhead —
+    not wire time — dominates LAN bulk transfer; blast wins because it
+    amortizes that overhead over a whole train. The modern analogue of the
+    per-packet "copy into the interface" cost is the syscall: one
+    [Unix.sendto]/[Unix.recvfrom] per datagram. A {!t} collects an outgoing
+    train into a reusable vector and submits it in one kernel crossing; an
+    {!rx} drains a socket the same way.
+
+    {b Portability.} The syscalls are Linux-only. On other platforms, on a
+    kernel that returns [ENOSYS], or when forced (the [LANREPRO_BATCH] knob
+    or [force_fallback]), every operation silently degrades to the exact
+    one-datagram path ({!Udp.send_bytes} / [Unix.recvfrom]) — same
+    semantics, one syscall per datagram.
+
+    {b Per-datagram outcomes.} A short [sendmmsg] return (kernel accepted
+    only a prefix of the train) never raises: the entry at the boundary is
+    resolved through {!Udp.send_bytes}, which classifies it as [Sent] or the
+    loss-equivalent [Send_failed], and the rest of the train is resubmitted.
+    Each entry's [on_outcome] callback fires exactly once, so counters and
+    probes account batched sends exactly as they account unbatched ones.
+
+    Fault injection composes upstream: run {!Faults.Netem.tx_bytes} on each
+    datagram and push the resulting emissions — a dropped datagram is simply
+    never pushed, so injection statistics are identical batched or not. *)
+
+val kernel_support : unit -> bool
+(** [true] when the stubs were compiled with the syscalls {e and} no runtime
+    [ENOSYS] has been observed yet. Purely informative — the fallback is
+    automatic either way. *)
+
+val env_enabled : unit -> bool
+(** The [LANREPRO_BATCH] knob, re-read at each call so tests can toggle it:
+    ["0"], ["off"] or ["false"] disable batching (callers should not build a
+    batch at all); anything else — including unset — enables it. *)
+
+val env_force_fallback : unit -> bool
+(** [true] when [LANREPRO_BATCH] is ["fallback"] or ["emulate"]: the batch
+    API stays in use but every submission takes the one-datagram path, as if
+    the kernel had returned [ENOSYS] — how CI exercises the fallback on a
+    kernel that does support the syscalls. *)
+
+type report = {
+  submitted : int;  (** entries handed to the kernel (or the fallback) *)
+  sent : int;
+  failed : int;  (** loss-equivalent per-datagram failures, never raised *)
+  syscalls : int;  (** kernel crossings it took *)
+}
+
+val zero : report
+val add_report : report -> report -> report
+val pp_report : Format.formatter -> report -> unit
+
+(** {1 Transmit trains} *)
+
+type t
+
+val create : ?capacity:int -> ?force_fallback:bool -> socket:Unix.file_descr -> unit -> t
+(** A reusable train bound to [socket] (which the caller keeps ownership
+    of). [capacity] (default 128, clamped to the stub maximum of 256) bounds
+    one submission; {!push} past it flushes automatically. [force_fallback]
+    defaults to {!env_force_fallback}. *)
+
+val capacity : t -> int
+val length : t -> int
+(** Entries currently queued (not yet flushed). *)
+
+val using_fallback : t -> bool
+(** [true] when submissions take the one-datagram path — forced, non-Linux,
+    or after a runtime [ENOSYS]. *)
+
+val push :
+  t -> peer:Unix.sockaddr -> ?on_outcome:(Udp.send_outcome -> unit) -> bytes -> unit
+(** Queue one datagram for [peer]. The bytes are used in place — the caller
+    must not mutate them before the next {!flush}. [on_outcome] fires
+    exactly once, at flush time, with the datagram's individual outcome.
+    A full train flushes itself; a non-IPv4 [peer] is sent immediately
+    through the one-datagram path. *)
+
+val push_message :
+  t -> peer:Unix.sockaddr -> ?on_outcome:(Udp.send_outcome -> unit) -> Packet.Message.t -> unit
+(** {!push} of the encoded message. *)
+
+val flush : t -> report
+(** Submit everything queued — one [sendmmsg] per [capacity]-sized window on
+    the fast path — and empty the train. Returns the accounting for this
+    flush only; {!totals} accumulates across flushes. Never raises for
+    transient per-datagram conditions (they are [failed], i.e. loss);
+    genuine programming errors ([EBADF], ...) still raise, exactly as
+    {!Udp.send_bytes} would. *)
+
+val totals : t -> report
+(** Cumulative accounting since {!create} — the bench derives
+    syscalls-per-datagram from this. *)
+
+(** {1 Receive drains} *)
+
+type rx
+
+val create_rx : ?capacity:int -> ?force_fallback:bool -> socket:Unix.file_descr -> unit -> rx
+(** A drain ring of [capacity] (default 32, clamped to 256) buffers of
+    {!Udp.max_datagram_bytes} each, bound to [socket]. The socket should be
+    non-blocking (the fast path passes [MSG_DONTWAIT] regardless; the
+    fallback relies on the flag). *)
+
+val rx_capacity : rx -> int
+
+val recv : rx -> limit:int -> int
+(** Drain up to [min limit capacity] datagrams in one [recvmmsg] (or up to
+    that many [Unix.recvfrom] calls on the fallback). Returns how many
+    arrived — [0] when nothing is ready — and never blocks. Pending ICMP
+    errors ([ECONNREFUSED] from a peer that closed) are consumed and the
+    drain retried, mirroring the unbatched loop. *)
+
+val get : rx -> int -> bytes * int * Unix.sockaddr
+(** [get rx i] is slot [i] of the last {!recv}: the buffer (valid until the
+    next {!recv}), the datagram length, and the sender. *)
+
+val rx_syscalls : rx -> int
+(** Cumulative kernel crossings since {!create_rx}. *)
+
+val rx_received : rx -> int
+(** Cumulative datagrams drained since {!create_rx}. *)

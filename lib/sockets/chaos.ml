@@ -51,10 +51,16 @@ let check_invariant ~data ~max_attempts ~total_packets send received =
             None)
 
 let run_one ?(packet_bytes = 512) ?(retransmit_ns = 8_000_000) ?(max_attempts = 30)
-    ?(bytes = 6_000) ?recorder ?metrics ~seed ~suite ~scenario () =
+    ?(bytes = 6_000) ?ctx ~seed ~suite ~scenario () =
+  let ctx = match ctx with Some c -> c | None -> Io_ctx.default () in
   let data = random_data (Stats.Rng.create ~seed:(seed * 11 + 5)) bytes in
   let sender_netem = Faults.Netem.create ~seed:((seed * 2) + 1) scenario in
   let receiver_netem = Faults.Netem.create ~seed:((seed * 2) + 2) scenario in
+  (* Each endpoint gets the shared telemetry context with its own netem in
+     the faults slot; a caller-supplied ctx.faults is superseded — the whole
+     point of a chaos run is its seeded per-endpoint pipelines. *)
+  let sender_ctx = { ctx with Io_ctx.faults = Some sender_netem } in
+  let receiver_ctx = { ctx with Io_ctx.faults = Some receiver_netem } in
   let receiver_socket, receiver_address = Udp.create_socket () in
   let sender_socket, _ = Udp.create_socket () in
   let idle_timeout_ns = max_attempts * retransmit_ns in
@@ -68,18 +74,16 @@ let run_one ?(packet_bytes = 512) ?(retransmit_ns = 8_000_000) ?(max_attempts = 
         try
           received :=
             Some
-              (Peer.serve_one ~faults:receiver_netem ~retransmit_ns ~max_attempts
-                 ~idle_timeout_ns ~accept_timeout_ns ?recorder ?metrics
-                 ~socket:receiver_socket ())
+              (Peer.serve_one ~ctx:receiver_ctx ~retransmit_ns ~max_attempts
+                 ~idle_timeout_ns ~accept_timeout_ns ~socket:receiver_socket ())
         with _ -> ())
       ()
   in
   let send =
     try
       Some
-        (Peer.send ~faults:sender_netem ~packet_bytes ~retransmit_ns ~max_attempts
-           ~idle_timeout_ns ?recorder ?metrics ~socket:sender_socket
-           ~peer:receiver_address ~suite ~data ())
+        (Peer.send ~ctx:sender_ctx ~packet_bytes ~retransmit_ns ~max_attempts
+           ~idle_timeout_ns ~socket:sender_socket ~peer:receiver_address ~suite ~data ())
     with _ -> None
   in
   Thread.join receiver_thread;
@@ -88,7 +92,7 @@ let run_one ?(packet_bytes = 512) ?(retransmit_ns = 8_000_000) ?(max_attempts = 
   let total_packets = (bytes + packet_bytes - 1) / packet_bytes in
   let violation = check_invariant ~data ~max_attempts ~total_packets send !received in
   (* An invariant breach is exactly what the flight recorder exists for. *)
-  (match (violation, recorder) with
+  (match (violation, ctx.Io_ctx.recorder) with
   | Some reason, Some r ->
       ignore (Obs.Recorder.postmortem r ~reason:("chaos: " ^ reason) : string option)
   | _ -> ());
@@ -115,7 +119,7 @@ let all_suites =
     Protocol.Suite.Multi_blast { strategy = Protocol.Blast.Go_back_n; chunk_packets = 4 };
   ]
 
-let run_campaign ?packet_bytes ?retransmit_ns ?max_attempts ?bytes ?recorder ?metrics
+let run_campaign ?packet_bytes ?retransmit_ns ?max_attempts ?bytes ?ctx
     ?(suites = all_suites) ?(scenarios = Faults.Scenario.all) ?(iters = 1) ?(seed = 1)
     ?(progress = fun _ -> ()) ?pool ?jobs () =
   (* Flatten the suite x scenario x iter nest into an explicit cell list so
@@ -142,8 +146,8 @@ let run_campaign ?packet_bytes ?retransmit_ns ?max_attempts ?bytes ?recorder ?me
   let progress_lock = Mutex.create () in
   Exec.Pool.map ?pool ?jobs cells ~f:(fun (suite, scenario, seed) ->
       let run =
-        run_one ?packet_bytes ?retransmit_ns ?max_attempts ?bytes ?recorder ?metrics
-          ~seed ~suite ~scenario ()
+        run_one ?packet_bytes ?retransmit_ns ?max_attempts ?bytes ?ctx ~seed ~suite
+          ~scenario ()
       in
       Mutex.lock progress_lock;
       Fun.protect ~finally:(fun () -> Mutex.unlock progress_lock) (fun () -> progress run);

@@ -35,8 +35,7 @@ val run_one :
   ?retransmit_ns:int ->
   ?max_attempts:int ->
   ?bytes:int ->
-  ?recorder:Obs.Recorder.t ->
-  ?metrics:Obs.Metrics.t ->
+  ?ctx:Io_ctx.t ->
   seed:int ->
   suite:Protocol.Suite.t ->
   scenario:Faults.Scenario.t ->
@@ -46,11 +45,14 @@ val run_one :
     Defaults are sized for a fast soak: 6000 bytes in 512-byte packets, 8 ms
     retransmission interval, 30 attempts.
 
-    [recorder] is shared by both endpoint threads (it is thread-safe):
-    sender events land on lane ["sender"], receiver events on ["receiver"],
-    fault injections included. On an invariant violation the ring is dumped
-    as a postmortem JSONL journal. [metrics] receives both sides' counter
-    records, labelled by [side] with [transport=udp]. *)
+    [ctx] carries the shared telemetry sinks and the batching switch; each
+    endpoint gets a derived context with its own seeded Netem in the faults
+    slot ([ctx.faults] from the caller is superseded). [ctx.recorder] is
+    shared by both endpoint threads (it is thread-safe): sender events land
+    on lane ["sender"], receiver events on ["receiver"], fault injections
+    included. On an invariant violation the ring is dumped as a postmortem
+    JSONL journal. [ctx.metrics] receives both sides' counter records,
+    labelled by [side] with [transport=udp]. *)
 
 val all_suites : Protocol.Suite.t list
 (** The seven suite configurations the soak exercises: stop-and-wait,
@@ -61,8 +63,7 @@ val run_campaign :
   ?retransmit_ns:int ->
   ?max_attempts:int ->
   ?bytes:int ->
-  ?recorder:Obs.Recorder.t ->
-  ?metrics:Obs.Metrics.t ->
+  ?ctx:Io_ctx.t ->
   ?suites:Protocol.Suite.t list ->
   ?scenarios:Faults.Scenario.t list ->
   ?iters:int ->

@@ -1,0 +1,13 @@
+type t = {
+  faults : Faults.Netem.t option;
+  recorder : Obs.Recorder.t option;
+  metrics : Obs.Metrics.t option;
+  clock : unit -> int;
+  batch : bool;
+}
+
+let make ?faults ?recorder ?metrics ?(clock = Udp.now_ns) ?batch () =
+  let batch = match batch with Some b -> b | None -> Batch.env_enabled () in
+  { faults; recorder; metrics; clock; batch }
+
+let default () = make ()

@@ -1,0 +1,39 @@
+(** Transport I/O context: one value for everything an endpoint loop used to
+    take as parallel optional arguments.
+
+    Every transport entry point ({!Peer.send}, {!Peer.serve_one},
+    [Server.Engine.create], [Server.Swarm.run], {!Chaos.run_one}, ...) used
+    to grow its own [?faults]/[?recorder]/[?metrics] triple; they now take a
+    single [?ctx]. The record is deliberately open — build one with {!make},
+    derive variants with functional update ([{ ctx with faults = ... }]),
+    which is how the chaos harness and the swarm hand each endpoint its own
+    fault pipeline while sharing the telemetry sinks. *)
+
+type t = {
+  faults : Faults.Netem.t option;
+      (** adversarial fault pipeline for this endpoint's outgoing datagrams *)
+  recorder : Obs.Recorder.t option;  (** flight recorder for datagram events *)
+  metrics : Obs.Metrics.t option;  (** metrics registry for counters/gauges *)
+  clock : unit -> int;
+      (** monotonic nanoseconds; every deadline, RTT sample and journal
+          timestamp in the loop comes from here (default {!Udp.now_ns}) *)
+  batch : bool;
+      (** submit packet trains through {!Batch} ([sendmmsg]/[recvmmsg])
+          instead of one syscall per datagram *)
+}
+
+val make :
+  ?faults:Faults.Netem.t ->
+  ?recorder:Obs.Recorder.t ->
+  ?metrics:Obs.Metrics.t ->
+  ?clock:(unit -> int) ->
+  ?batch:bool ->
+  unit ->
+  t
+(** [batch] defaults to {!Batch.env_enabled} — i.e. on, unless
+    [LANREPRO_BATCH] says otherwise — so the CLI knob reaches every loop
+    that defaults its context. *)
+
+val default : unit -> t
+(** [make ()], evaluated at call time so the [LANREPRO_BATCH] knob is read
+    when the loop starts, not at module initialization. *)

@@ -1,0 +1,153 @@
+/* Batched datagram I/O: sendmmsg(2) / recvmmsg(2).
+
+   The blast hot path pays one syscall per datagram through Unix.sendto /
+   Unix.recvfrom — the modern analogue of the paper's per-packet "copy into
+   the interface" cost. These stubs submit a whole packet train in one
+   kernel crossing.
+
+   Portability contract (the OCaml side, Batch, enforces the fallback):
+   - compile-time: the syscalls are Linux-only, so everything is gated on
+     __linux__ and other platforms get a stub that reports "unsupported";
+   - run-time: a Linux build running on a kernel without the syscalls gets
+     ENOSYS, which is surfaced as the same "unsupported" code (-2), never an
+     exception.
+
+   Both stubs pass MSG_DONTWAIT and therefore never block, which is why they
+   can keep the OCaml runtime lock: no GC can move the iovec targets between
+   building the vectors and the syscall returning, so the Bytes buffers are
+   used in place with zero copies.
+
+   Return conventions (negative codes, never an exception — the OCaml caller
+   resolves errors through the one-datagram path so error semantics stay
+   identical to the unbatched transport):
+     sendmmsg:  n >= 0  datagrams accepted by the kernel
+                -1      error on the *first* datagram (caller resolves it
+                        through Unix.sendto and carries on)
+                -2      unsupported (non-Linux build, or runtime ENOSYS)
+     recvmmsg:  n >= 0  datagrams received
+                -1      nothing ready (EAGAIN/EWOULDBLOCK/EINTR)
+                -2      unsupported
+                -3      pending ICMP error consumed (ECONNREFUSED) — retry
+                -4      genuine error (caller surfaces it via Unix.recvfrom)
+
+   Metadata travels in one flat int array, 3 slots per datagram:
+     meta[3i]   = datagram length (bytes)
+     meta[3i+1] = IPv4 address, host byte order
+     meta[3i+2] = UDP port, host byte order
+   For sendmmsg the OCaml side fills all three; for recvmmsg the stub does. */
+
+#define _GNU_SOURCE
+
+#include <caml/mlvalues.h>
+#include <caml/alloc.h>
+#include <caml/memory.h>
+
+#include <errno.h>
+#include <string.h>
+
+#ifdef __linux__
+#include <sys/types.h>
+#include <sys/socket.h>
+#include <netinet/in.h>
+#endif
+
+/* Hard cap on one submission; the OCaml side windows larger batches. Keeps
+   the scratch vectors on the stack: 256 * (hdr + iovec + sockaddr) < 32 KiB. */
+#define LANREPRO_MMSG_MAX 256
+
+CAMLprim value lanrepro_mmsg_supported(value unit)
+{
+#ifdef __linux__
+  (void)unit;
+  return Val_true;
+#else
+  (void)unit;
+  return Val_false;
+#endif
+}
+
+/* (fd, off, n, bufs, meta) -> count or negative code. Sends entries
+   [off, off+n) of [bufs]/[meta]. */
+CAMLprim value lanrepro_sendmmsg(value vfd, value voff, value vn, value vbufs, value vmeta)
+{
+#ifdef __linux__
+  int off = Int_val(voff);
+  int n = Int_val(vn);
+  struct mmsghdr msgs[LANREPRO_MMSG_MAX];
+  struct iovec iov[LANREPRO_MMSG_MAX];
+  struct sockaddr_in sin[LANREPRO_MMSG_MAX];
+  int i, r;
+  if (n <= 0) return Val_int(0);
+  if (n > LANREPRO_MMSG_MAX) n = LANREPRO_MMSG_MAX;
+  memset(msgs, 0, (size_t)n * sizeof(struct mmsghdr));
+  for (i = 0; i < n; i++) {
+    int j = off + i;
+    memset(&sin[i], 0, sizeof(sin[i]));
+    sin[i].sin_family = AF_INET;
+    sin[i].sin_addr.s_addr = htonl((uint32_t)Long_val(Field(vmeta, 3 * j + 1)));
+    sin[i].sin_port = htons((uint16_t)Long_val(Field(vmeta, 3 * j + 2)));
+    iov[i].iov_base = Bytes_val(Field(vbufs, j));
+    iov[i].iov_len = (size_t)Long_val(Field(vmeta, 3 * j));
+    msgs[i].msg_hdr.msg_name = &sin[i];
+    msgs[i].msg_hdr.msg_namelen = sizeof(sin[i]);
+    msgs[i].msg_hdr.msg_iov = &iov[i];
+    msgs[i].msg_hdr.msg_iovlen = 1;
+  }
+  r = sendmmsg(Int_val(vfd), msgs, (unsigned int)n, MSG_DONTWAIT);
+  if (r >= 0) return Val_int(r);
+  if (errno == ENOSYS) return Val_int(-2);
+  return Val_int(-1);
+#else
+  (void)vfd; (void)voff; (void)vn; (void)vbufs; (void)vmeta;
+  return Val_int(-2);
+#endif
+}
+
+/* (fd, n, bufs, meta) -> count or negative code. Fills slots [0, n) of
+   [bufs] and the matching [meta] triples. Every buffer must be
+   max-datagram-sized; a larger datagram would otherwise be silently
+   truncated (MSG_TRUNC), which the wire codec would then misreport. */
+CAMLprim value lanrepro_recvmmsg(value vfd, value vn, value vbufs, value vmeta)
+{
+#ifdef __linux__
+  int n = Int_val(vn);
+  struct mmsghdr msgs[LANREPRO_MMSG_MAX];
+  struct iovec iov[LANREPRO_MMSG_MAX];
+  struct sockaddr_in sin[LANREPRO_MMSG_MAX];
+  int i, r;
+  if (n <= 0) return Val_int(0);
+  if (n > LANREPRO_MMSG_MAX) n = LANREPRO_MMSG_MAX;
+  memset(msgs, 0, (size_t)n * sizeof(struct mmsghdr));
+  for (i = 0; i < n; i++) {
+    iov[i].iov_base = Bytes_val(Field(vbufs, i));
+    iov[i].iov_len = caml_string_length(Field(vbufs, i));
+    msgs[i].msg_hdr.msg_name = &sin[i];
+    msgs[i].msg_hdr.msg_namelen = sizeof(sin[i]);
+    msgs[i].msg_hdr.msg_iov = &iov[i];
+    msgs[i].msg_hdr.msg_iovlen = 1;
+  }
+  r = recvmmsg(Int_val(vfd), msgs, (unsigned int)n, MSG_DONTWAIT, NULL);
+  if (r < 0) {
+    if (errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR) return Val_int(-1);
+    if (errno == ECONNREFUSED) return Val_int(-3);
+    if (errno == ENOSYS) return Val_int(-2);
+    return Val_int(-4);
+  }
+  for (i = 0; i < r; i++) {
+    long addr = 0, port = 0;
+    if (msgs[i].msg_hdr.msg_namelen >= sizeof(struct sockaddr_in)
+        && sin[i].sin_family == AF_INET) {
+      addr = (long)ntohl(sin[i].sin_addr.s_addr);
+      port = (long)ntohs(sin[i].sin_port);
+    }
+    /* Immediates only: no write barrier needed on an int array. */
+    Field(vmeta, 3 * i) = Val_long((long)msgs[i].msg_len);
+    Field(vmeta, 3 * i + 1) = Val_long(addr);
+    Field(vmeta, 3 * i + 2) = Val_long(port);
+  }
+  return Val_int(r);
+#else
+  (void)vfd; (void)vn; (void)vbufs; (void)vmeta;
+  return Val_int(-2);
+#endif
+}

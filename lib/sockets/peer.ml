@@ -22,12 +22,15 @@ type receive_result = {
           idle watchdog aborted because the sender went silent *)
 }
 
-(* One outgoing message through the loss coin and the fault pipeline. Delayed
-   emissions are realized inline (the datagram, and everything behind it, goes
-   out late) — head-of-line delay rather than per-datagram jitter, which is
-   what a slow link does to a single UDP flow anyway. Scenario validation caps
-   delays at one second so a faulted sender can never stall unboundedly. *)
-let transmit ?faults ~probe ~lossy ~socket ~peer message =
+(* One outgoing message through the loss coin and the fault pipeline. With a
+   [batch] the datagram joins the current train instead of going out in its
+   own syscall; the caller flushes at the end of each action burst. Delayed
+   emissions are realized inline (the train so far is flushed, then the
+   datagram, and everything behind it, goes out late) — head-of-line delay
+   rather than per-datagram jitter, which is what a slow link does to a
+   single UDP flow anyway. Scenario validation caps delays at one second so
+   a faulted sender can never stall unboundedly. *)
+let transmit ?faults ?batch ~probe ~lossy ~socket ~peer message =
   (* The journal entry fires per protocol send, before the loss coin — the
      machine's counters account the send either way, and the events must
      agree with them exactly. *)
@@ -38,16 +41,34 @@ let transmit ?faults ~probe ~lossy ~socket ~peer message =
       | Udp.Sent -> ()
       | Udp.Send_failed _ -> Obs.Probe.drop probe `Tx
     in
+    let out data =
+      match batch with
+      | Some b -> Batch.push b ~peer ~on_outcome:put data
+      | None -> put (Udp.send_bytes socket peer data)
+    in
     match faults with
-    | None -> put (Udp.send_message socket peer message)
+    | None -> begin
+        match batch with
+        | Some b -> Batch.push_message b ~peer ~on_outcome:put message
+        | None -> put (Udp.send_message socket peer message)
+      end
     | Some netem ->
         List.iter
           (fun { Faults.Netem.delay_ns; data } ->
-            if delay_ns > 0 then Unix.sleepf (float_of_int delay_ns /. 1e9);
-            put (Udp.send_bytes socket peer data))
+            if delay_ns > 0 then begin
+              (* Everything ahead of the delayed datagram must hit the wire
+                 before we stall, or the delay would reorder the train. *)
+              (match batch with Some b -> ignore (Batch.flush b : Batch.report) | None -> ());
+              Unix.sleepf (float_of_int delay_ns /. 1e9)
+            end;
+            out data)
           (Faults.Netem.tx_bytes netem (Packet.Codec.encode message))
   end
   else Obs.Probe.drop probe `Tx
+
+let flush_batch = function
+  | Some b -> ignore (Batch.flush b : Batch.report)
+  | None -> ()
 
 let count_garbage = Flow.count_garbage
 
@@ -57,30 +78,31 @@ let count_garbage = Flow.count_garbage
    dies mid-transfer could block this loop on suites whose sender is waiting
    for an ack with no timer armed. (The receiver side no longer runs through
    here — it drives the sans-IO {!Flow} engine instead.) *)
-let run_machine ?faults ?(lossy = Lossy.perfect) ?rtt ?(pacing_ns = 0) ?idle_timeout_ns
-    ~buffer ~probe ~socket ~peer ~transfer_id ~(machine : Protocol.Machine.t) () =
+let run_machine ?faults ?batch ?(lossy = Lossy.perfect) ?rtt ?(pacing_ns = 0)
+    ?idle_timeout_ns ~clock ~buffer ~probe ~socket ~peer ~transfer_id
+    ~(machine : Protocol.Machine.t) () =
   let deadline = ref None in
-  let idle_deadline = ref (Option.map (fun ns -> Udp.now_ns () + ns) idle_timeout_ns) in
-  let reset_idle () =
-    idle_deadline := Option.map (fun ns -> Udp.now_ns () + ns) idle_timeout_ns
-  in
+  let idle_deadline = ref (Option.map (fun ns -> clock () + ns) idle_timeout_ns) in
+  let reset_idle () = idle_deadline := Option.map (fun ns -> clock () + ns) idle_timeout_ns in
   let last_send = ref None in
   let timed_out_since_send = ref false in
   let execute action =
     match action with
     | Protocol.Action.Send m ->
-        transmit ?faults ~probe ~lossy ~socket ~peer m;
+        transmit ?faults ?batch ~probe ~lossy ~socket ~peer m;
         (* Pacing: an unthrottled blast overruns the receiver's socket
            buffer exactly as the paper's 3-Com overran at full speed; a
            small inter-packet gap avoids the drops instead of repairing
-           them. *)
+           them. (Pacing and batching are mutually exclusive — the caller
+           passes no [batch] when pacing — since a train submitted in one
+           syscall has no inter-packet gaps.) *)
         if pacing_ns > 0 && m.Packet.Message.kind = Packet.Kind.Data then
           Unix.sleepf (float_of_int pacing_ns /. 1e9);
-        last_send := Some (Udp.now_ns ());
+        last_send := Some (clock ());
         timed_out_since_send := false
     | Protocol.Action.Arm_timer ns ->
         let ns = match rtt with Some r -> Protocol.Rtt.timeout_ns r | None -> ns in
-        deadline := Some (Udp.now_ns () + ns)
+        deadline := Some (clock () + ns)
     | Protocol.Action.Stop_timer -> deadline := None
     | Protocol.Action.Deliver { seq; _ } ->
         (* Sender machines do not deliver; keep the event for the journal. *)
@@ -100,20 +122,24 @@ let run_machine ?faults ?(lossy = Lossy.perfect) ?rtt ?(pacing_ns = 0) ?idle_tim
     | Some r, Protocol.Action.Message _ -> begin
         match !last_send with
         | Some sent when not !timed_out_since_send ->
-            let sample_ns = Udp.now_ns () - sent in
+            let sample_ns = clock () - sent in
             if sample_ns > 0 then Protocol.Rtt.observe r ~sample_ns
         | _ -> ()
       end
     | None, _ -> ());
     List.iter execute (machine.Protocol.Machine.handle event);
+    (* The whole action burst — a blast round, typically — goes out as one
+       train: this is the sender's sendmmsg hot path. *)
+    flush_batch batch;
     match event with
     | Protocol.Action.Message m -> Obs.Probe.handled probe m
     | Protocol.Action.Timeout -> ()
   in
   List.iter execute (machine.Protocol.Machine.start ());
+  flush_batch batch;
   let watchdog_fired = ref false in
   while (not (machine.Protocol.Machine.is_complete ())) && not !watchdog_fired do
-    let now = Udp.now_ns () in
+    let now = clock () in
     match !deadline with
     | Some d when d - now <= 0 ->
         deadline := None;
@@ -128,7 +154,7 @@ let run_machine ?faults ?(lossy = Lossy.perfect) ?rtt ?(pacing_ns = 0) ?idle_tim
         in
         match Udp.recv_message ?timeout_ns ~buffer socket with
         | `Timeout -> begin
-            let now = Udp.now_ns () in
+            let now = clock () in
             match !deadline with
             | Some d when d - now <= 0 ->
                 deadline := None;
@@ -163,22 +189,31 @@ let run_machine ?faults ?(lossy = Lossy.perfect) ?rtt ?(pacing_ns = 0) ?idle_tim
   end
   else `Completed
 
-let send ?faults ?(lossy = Lossy.perfect) ?(transfer_id = 1) ?(packet_bytes = 1024)
+let send ?ctx ?(lossy = Lossy.perfect) ?(transfer_id = 1) ?(packet_bytes = 1024)
     ?(retransmit_ns = 50_000_000) ?(max_attempts = 50) ?rtt ?pacing_ns ?idle_timeout_ns
-    ?recorder ?metrics ~socket ~peer ~suite ~data () =
+    ~socket ~peer ~suite ~data () =
   if String.length data = 0 then invalid_arg "Peer.send: empty data";
+  let ctx = match ctx with Some c -> c | None -> Io_ctx.default () in
+  let { Io_ctx.faults; recorder; metrics; clock; batch = batching } = ctx in
   let idle_timeout_ns =
     Option.value idle_timeout_ns ~default:(max_attempts * retransmit_ns)
   in
   let counters = Protocol.Counters.create () in
-  (* Journal timestamps are CLOCK_MONOTONIC on this transport. *)
-  Option.iter (fun r -> Obs.Recorder.set_clock r Udp.now_ns) recorder;
+  (* Journal timestamps come from the context clock on this transport. *)
+  Option.iter (fun r -> Obs.Recorder.set_clock r clock) recorder;
   let probe = Obs.Probe.create ?recorder ~lane:"sender" ~counters () in
   (match faults with
   | Some netem ->
       Faults.Netem.attach_counters netem counters;
       Faults.Netem.set_observer netem (Obs.Probe.fault probe)
   | None -> ());
+  (* Pacing wants an inter-packet gap, batching erases them: a paced sender
+     stays on the one-datagram path. *)
+  let batch =
+    if batching && Option.value pacing_ns ~default:0 = 0 then
+      Some (Batch.create ~socket ())
+    else None
+  in
   let buffer = Udp.rx_buffer () in
   let total_bytes = String.length data in
   let total_packets = (total_bytes + packet_bytes - 1) / packet_bytes in
@@ -197,7 +232,7 @@ let send ?faults ?(lossy = Lossy.perfect) ?(transfer_id = 1) ?(packet_bytes = 10
           ~total_bytes suite;
     }
   in
-  let started = Udp.now_ns () in
+  let started = clock () in
   let finish ~outcome ~elapsed_ns =
     Obs.Probe.complete probe outcome;
     (match outcome with
@@ -218,6 +253,8 @@ let send ?faults ?(lossy = Lossy.perfect) ?(transfer_id = 1) ?(packet_bytes = 10
           (float_of_int elapsed_ns /. 1e6));
     { outcome; elapsed_ns; counters }
   in
+  (* The handshake is strictly send-one-wait-one, so it gains nothing from a
+     train; it stays on the unbatched path. *)
   let rec handshake attempt =
     if attempt > max_attempts then `Unreachable
     else begin
@@ -248,24 +285,25 @@ let send ?faults ?(lossy = Lossy.perfect) ?(transfer_id = 1) ?(packet_bytes = 10
   match handshake 1 with
   | `Unreachable ->
       Log.info (fun f -> f "handshake exhausted %d attempts; peer unreachable" max_attempts);
-      finish ~outcome:Protocol.Action.Peer_unreachable ~elapsed_ns:(Udp.now_ns () - started)
+      finish ~outcome:Protocol.Action.Peer_unreachable ~elapsed_ns:(clock () - started)
   | `Rejected ->
       Log.info (fun f -> f "transfer %d rejected: server at capacity" transfer_id);
-      finish ~outcome:Protocol.Action.Rejected ~elapsed_ns:(Udp.now_ns () - started)
+      finish ~outcome:Protocol.Action.Rejected ~elapsed_ns:(clock () - started)
   | `Acknowledged ->
       let payload seq =
         let offset = seq * packet_bytes in
         String.sub data offset (min packet_bytes (total_bytes - offset))
       in
       let machine = Protocol.Suite.sender suite ~counters config ~payload in
-      let started = Udp.now_ns () in
+      let started = clock () in
       let status =
-        run_machine ?faults ~lossy ?rtt ?pacing_ns ~idle_timeout_ns ~buffer ~probe ~socket
-          ~peer ~transfer_id ~machine ()
+        run_machine ?faults ?batch ~lossy ?rtt ?pacing_ns ~idle_timeout_ns ~clock ~buffer
+          ~probe ~socket ~peer ~transfer_id ~machine ()
       in
       (match faults with
       | Some netem -> ignore (Faults.Netem.flush netem : Faults.Netem.emission list)
       | None -> ());
+      flush_batch batch;
       let outcome =
         match status with
         | `Peer_idle -> Protocol.Action.Peer_unreachable
@@ -274,19 +312,22 @@ let send ?faults ?(lossy = Lossy.perfect) ?(transfer_id = 1) ?(packet_bytes = 10
             | Some outcome -> outcome
             | None -> Protocol.Action.Peer_unreachable)
       in
-      finish ~outcome ~elapsed_ns:(Udp.now_ns () - started)
+      finish ~outcome ~elapsed_ns:(clock () - started)
 
-let serve_one ?faults ?(lossy = Lossy.perfect) ?(retransmit_ns = 50_000_000)
-    ?(max_attempts = 50) ?linger_ns ?idle_timeout_ns ?accept_timeout_ns ?recorder ?metrics
-    ?suite ~socket () =
+let serve_one ?ctx ?(lossy = Lossy.perfect) ?(retransmit_ns = 50_000_000)
+    ?(max_attempts = 50) ?linger_ns ?idle_timeout_ns ?accept_timeout_ns ?suite ~socket ()
+    =
+  let ctx = match ctx with Some c -> c | None -> Io_ctx.default () in
+  let { Io_ctx.faults; recorder; metrics; clock; batch = batching } = ctx in
   let counters = Protocol.Counters.create () in
-  Option.iter (fun r -> Obs.Recorder.set_clock r Udp.now_ns) recorder;
+  Option.iter (fun r -> Obs.Recorder.set_clock r clock) recorder;
   let probe = Obs.Probe.create ?recorder ~lane:"receiver" ~counters () in
   (match faults with
   | Some netem ->
       Faults.Netem.attach_counters netem counters;
       Faults.Netem.set_observer netem (Obs.Probe.fault probe)
   | None -> ());
+  let batch = if batching then Some (Batch.create ~socket ()) else None in
   let buffer = Udp.rx_buffer () in
   let publish_metrics () =
     match metrics with
@@ -310,9 +351,9 @@ let serve_one ?faults ?(lossy = Lossy.perfect) ?(retransmit_ns = 50_000_000)
      initial wait when the caller needs a guaranteed return. The sans-IO
      {!Flow} engine takes over from the REQ onwards; this loop only owns the
      socket, the clock, and the loss coin. *)
-  let accept_deadline = Option.map (fun ns -> Udp.now_ns () + ns) accept_timeout_ns in
+  let accept_deadline = Option.map (fun ns -> clock () + ns) accept_timeout_ns in
   let rec await_flow () =
-    let timeout_ns = Option.map (fun d -> d - Udp.now_ns ()) accept_deadline in
+    let timeout_ns = Option.map (fun d -> d - clock ()) accept_deadline in
     match timeout_ns with
     | Some remaining when remaining <= 0 -> `Gone
     | _ -> begin
@@ -329,7 +370,7 @@ let serve_one ?faults ?(lossy = Lossy.perfect) ?(retransmit_ns = 50_000_000)
             else
               match
                 Flow.create ?fallback_suite:suite ~retransmit_ns ~max_attempts
-                  ?idle_timeout_ns ?linger_ns ~probe ~counters ~now:(Udp.now_ns ()) m
+                  ?idle_timeout_ns ?linger_ns ~probe ~counters ~now:(clock ()) m
               with
               | Ok (flow, actions) -> `Flow (flow, actions, from)
               | Error (`Not_a_req | `Bad_geometry) -> await_flow ()
@@ -353,15 +394,16 @@ let serve_one ?faults ?(lossy = Lossy.perfect) ?(retransmit_ns = 50_000_000)
       let execute actions =
         List.iter
           (fun (Flow.Transmit m) ->
-            transmit ?faults ~probe ~lossy ~socket ~peer:sender_address m)
-          actions
+            transmit ?faults ?batch ~probe ~lossy ~socket ~peer:sender_address m)
+          actions;
+        flush_batch batch
       in
       execute actions;
       let rec drive () =
         match Flow.status flow with
         | `Done completion -> completion
         | `Running | `Lingering -> begin
-            let now = Udp.now_ns () in
+            let now = clock () in
             (* A live flow always has a deadline (watchdog or linger). *)
             let deadline = Option.value (Flow.next_deadline flow) ~default:now in
             if deadline - now <= 0 then begin
@@ -370,12 +412,12 @@ let serve_one ?faults ?(lossy = Lossy.perfect) ?(retransmit_ns = 50_000_000)
             end
             else begin
               (match Udp.recv_message ~timeout_ns:(deadline - now) ~buffer socket with
-              | `Timeout -> execute (Flow.on_tick flow ~now:(Udp.now_ns ()))
-              | `Garbage reason -> Flow.on_garbage flow ~now:(Udp.now_ns ()) reason
+              | `Timeout -> execute (Flow.on_tick flow ~now:(clock ()))
+              | `Garbage reason -> Flow.on_garbage flow ~now:(clock ()) reason
               | `Message (m, _) ->
                   if Lossy.pass_rx lossy then begin
                     if m.Packet.Message.transfer_id = Flow.transfer_id flow then
-                      execute (Flow.on_message flow ~now:(Udp.now_ns ()) m)
+                      execute (Flow.on_message flow ~now:(clock ()) m)
                   end
                   else Obs.Probe.drop probe `Rx);
               drive ()
@@ -386,4 +428,5 @@ let serve_one ?faults ?(lossy = Lossy.perfect) ?(retransmit_ns = 50_000_000)
       (match faults with
       | Some netem -> ignore (Faults.Netem.flush netem : Faults.Netem.emission list)
       | None -> ());
+      flush_batch batch;
       result_of_completion completion

@@ -7,10 +7,20 @@
     geometry — the V kernel's buffers-before-transfer contract — and then
     both sides run their machines.
 
-    Loopback never drops datagrams, so faults are injected at the endpoints:
-    {!Lossy} for plain iid loss, or a {!Faults.Netem} (via [?faults]) for the
-    full adversarial pipeline — bursts, duplication, reordering, bit flips,
+    Fault injection, telemetry, the clock and the batching switch all travel
+    in one {!Io_ctx.t} ([?ctx]); by default the context is empty with the
+    monotonic clock and batching per the [LANREPRO_BATCH] knob. Loopback
+    never drops datagrams, so faults are injected at the endpoints: {!Lossy}
+    for plain iid loss, or a {!Faults.Netem} (via [ctx.faults]) for the full
+    adversarial pipeline — bursts, duplication, reordering, bit flips,
     truncation, delay.
+
+    {b Batched I/O.} With [ctx.batch] (the default), each burst of protocol
+    sends — a blast round — goes out as one packet train through
+    {!Batch.flush} ([sendmmsg]) instead of one syscall per datagram; partial
+    kernel acceptance degrades to per-datagram loss accounting, never an
+    exception. A paced sender ([pacing_ns > 0]) stays on the one-datagram
+    path, since a train has no inter-packet gaps to sleep in.
 
     {b No-hang guarantee.} Every entry point is bounded: the handshake gives
     up after [max_attempts]; the machine loop carries an idle watchdog
@@ -41,7 +51,7 @@ type receive_result = {
 }
 
 val send :
-  ?faults:Faults.Netem.t ->
+  ?ctx:Io_ctx.t ->
   ?lossy:Lossy.t ->
   ?transfer_id:int ->
   ?packet_bytes:int ->
@@ -50,8 +60,6 @@ val send :
   ?rtt:Protocol.Rtt.t ->
   ?pacing_ns:int ->
   ?idle_timeout_ns:int ->
-  ?recorder:Obs.Recorder.t ->
-  ?metrics:Obs.Metrics.t ->
   socket:Unix.file_descr ->
   peer:Unix.sockaddr ->
   suite:Protocol.Suite.t ->
@@ -63,26 +71,24 @@ val send :
     attempts returns [Peer_unreachable] (it no longer raises). With [rtt],
     timeouts adapt to measured round trips instead of the fixed interval;
     [pacing_ns] sleeps after each data datagram so an unthrottled blast does
-    not overrun the receiver's socket buffer. [faults] runs every outgoing
-    datagram through a Netem pipeline (its injection count is surfaced in
-    [counters.faults_injected]).
+    not overrun the receiver's socket buffer (and disables batching).
 
-    [recorder] journals the sender's datagram events on lane ["sender"]
-    (timestamps from the monotonic clock, normalized to the first event) and
-    is dumped automatically on a non-[Success] outcome. [metrics] receives
+    [ctx.faults] runs every outgoing datagram through a Netem pipeline (its
+    injection count is surfaced in [counters.faults_injected]).
+    [ctx.recorder] journals the sender's datagram events on lane ["sender"]
+    (timestamps from [ctx.clock], normalized to the first event) and is
+    dumped automatically on a non-[Success] outcome. [ctx.metrics] receives
     the counter record and an elapsed-time gauge, labelled
     [side=sender, transport=udp]. *)
 
 val serve_one :
-  ?faults:Faults.Netem.t ->
+  ?ctx:Io_ctx.t ->
   ?lossy:Lossy.t ->
   ?retransmit_ns:int ->
   ?max_attempts:int ->
   ?linger_ns:int ->
   ?idle_timeout_ns:int ->
   ?accept_timeout_ns:int ->
-  ?recorder:Obs.Recorder.t ->
-  ?metrics:Obs.Metrics.t ->
   ?suite:Protocol.Suite.t ->
   socket:Unix.file_descr ->
   unit ->
@@ -100,8 +106,8 @@ val serve_one :
     returns with [receive_outcome = Peer_unreachable] — [serve_one] can no
     longer block indefinitely on a dead sender.
 
-    [recorder] journals the receiver's datagram events on lane ["receiver"];
-    sharing one recorder between [send] and [serve_one] (the chaos soak does)
-    is safe — it is thread-safe and the clock installation is idempotent.
-    [metrics] receives the counter record labelled
+    [ctx.recorder] journals the receiver's datagram events on lane
+    ["receiver"]; sharing one recorder between [send] and [serve_one] (the
+    chaos soak does) is safe — it is thread-safe and the clock installation
+    is idempotent. [ctx.metrics] receives the counter record labelled
     [side=receiver, transport=udp]. *)

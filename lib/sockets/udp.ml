@@ -13,6 +13,15 @@ let now_ns () = Int64.to_int (monotonic_ns ())
 
 type send_outcome = Sent | Send_failed of Unix.error
 
+(* The one EINTR retry budget for every send path. EINTR past the budget is
+   still caught by the transient-error classification below, so a signal
+   storm degrades to a counted loss, never an exception. *)
+let eintr_retry_budget = 8
+
+let rec retry_eintr budget f =
+  try f ()
+  with Unix.Unix_error (Unix.EINTR, _, _) when budget > 0 -> retry_eintr (budget - 1) f
+
 (* Transient conditions a datagram protocol already recovers from: treat them
    exactly like a packet the network dropped. ECONNREFUSED is loopback's ICMP
    port-unreachable bounce (the peer closed its socket) and used to raise out
@@ -20,24 +29,20 @@ type send_outcome = Sent | Send_failed of Unix.error
    every other flow down with it. *)
 let send_bytes socket peer datagram =
   let len = Bytes.length datagram in
-  let rec attempt retries =
-    match Unix.sendto socket datagram 0 len [] peer with
-    | sent when sent = len -> Sent
-    | _ ->
-        (* A datagram socket transmits atomically; a short count would mean
-           the kernel truncated the datagram. Surface it as a loss. *)
-        Send_failed Unix.EMSGSIZE
-    | exception Unix.Unix_error (Unix.EINTR, _, _) when retries > 0 -> attempt (retries - 1)
-    | exception
-        Unix.Unix_error
-          ( (( Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.ENOBUFS | Unix.ENOMEM
-             | Unix.ECONNREFUSED | Unix.EHOSTUNREACH | Unix.ENETUNREACH | Unix.ENETDOWN
-             | Unix.EMSGSIZE | Unix.EINTR ) as error),
-            _,
-            _ ) ->
-        Send_failed error
-  in
-  attempt 8
+  match retry_eintr eintr_retry_budget (fun () -> Unix.sendto socket datagram 0 len [] peer) with
+  | sent when sent = len -> Sent
+  | _ ->
+      (* A datagram socket transmits atomically; a short count would mean
+         the kernel truncated the datagram. Surface it as a loss. *)
+      Send_failed Unix.EMSGSIZE
+  | exception
+      Unix.Unix_error
+        ( (( Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.ENOBUFS | Unix.ENOMEM
+           | Unix.ECONNREFUSED | Unix.EHOSTUNREACH | Unix.ENETUNREACH | Unix.ENETDOWN
+           | Unix.EMSGSIZE | Unix.EINTR ) as error),
+          _,
+          _ ) ->
+      Send_failed error
 
 let send_message socket peer message = send_bytes socket peer (Packet.Codec.encode message)
 

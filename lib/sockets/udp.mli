@@ -28,7 +28,8 @@ type send_outcome =
 
 val send_message : Unix.file_descr -> Unix.sockaddr -> Packet.Message.t -> send_outcome
 (** Encodes and transmits one datagram. [EINTR] is retried a bounded number
-    of times before being surfaced. *)
+    of times — one shared budget for both send paths — before being
+    surfaced as a loss. *)
 
 val send_bytes : Unix.file_descr -> Unix.sockaddr -> bytes -> send_outcome
 (** Transmits raw bytes as one datagram — the fault-injection path, where the
@@ -53,5 +54,8 @@ val recv_message :
     [`Garbage] is a datagram that failed to decode, with the codec's reason —
     checksum rejections are corruption caught in flight and are counted
     separately from alien traffic by the peer loop. [buffer] (from
-    {!rx_buffer}) is scratch space reused across calls; without it each call
-    allocates its own. *)
+    {!rx_buffer}) is scratch space reused across calls — the default path
+    for every hot loop in this library, enforced by the bench's [rx_alloc]
+    regression assertion (≤ 4 KB allocated per datagram). Omitting it
+    allocates a fresh 64 KiB buffer per call and is only acceptable for
+    one-shot callers. *)

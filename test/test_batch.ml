@@ -1,0 +1,315 @@
+(* The sendmmsg/recvmmsg packet-train fast path: wire-level round trips,
+   per-datagram outcome accounting across partial sends, the ENOSYS/env
+   fallback, fault injection upstream of the batch, and a batched swarm
+   soak. Every test also passes with LANREPRO_BATCH=fallback (the CI matrix
+   runs the whole suite both ways). *)
+
+let payload_of i = Bytes.of_string (Printf.sprintf "datagram-%04d" i)
+
+let make_pair () =
+  let rx_socket, address = Sockets.Udp.create_socket () in
+  Unix.set_nonblock rx_socket;
+  let tx_socket, _ = Sockets.Udp.create_socket () in
+  (tx_socket, rx_socket, address)
+
+let close_pair tx_socket rx_socket =
+  Sockets.Udp.close tx_socket;
+  Sockets.Udp.close rx_socket
+
+(* Drain [expected] datagrams from [rx], waiting (bounded) for loopback
+   delivery, and return the payload strings in arrival order. *)
+let drain_payloads rx rx_socket ~expected =
+  let got = ref [] and count = ref 0 in
+  let deadline = Unix.gettimeofday () +. 2.0 in
+  while !count < expected && Unix.gettimeofday () < deadline do
+    let n = Sockets.Batch.recv rx ~limit:expected in
+    if n = 0 then ignore (Unix.select [ rx_socket ] [] [] 0.05)
+    else
+      for i = 0 to n - 1 do
+        let buf, len, _from = Sockets.Batch.get rx i in
+        got := Bytes.sub_string buf 0 len :: !got;
+        incr count
+      done
+  done;
+  List.rev !got
+
+let check_round_trip ~force_fallback () =
+  let tx_socket, rx_socket, address = make_pair () in
+  Fun.protect
+    ~finally:(fun () -> close_pair tx_socket rx_socket)
+    (fun () ->
+      let batch = Sockets.Batch.create ~force_fallback ~socket:tx_socket () in
+      let rx = Sockets.Batch.create_rx ~force_fallback ~socket:rx_socket () in
+      let n = 64 in
+      for i = 0 to n - 1 do
+        Sockets.Batch.push batch ~peer:address (payload_of i)
+      done;
+      Alcotest.(check int) "queued" n (Sockets.Batch.length batch);
+      let report = Sockets.Batch.flush batch in
+      Alcotest.(check int) "submitted" n report.Sockets.Batch.submitted;
+      Alcotest.(check int) "sent" n report.Sockets.Batch.sent;
+      Alcotest.(check int) "failed" 0 report.Sockets.Batch.failed;
+      (if force_fallback || not (Sockets.Batch.kernel_support ()) then
+         Alcotest.(check int) "fallback: one syscall per datagram" n
+           report.Sockets.Batch.syscalls
+       else
+         Alcotest.(check bool) "fast path: far fewer syscalls than datagrams" true
+           (report.Sockets.Batch.syscalls <= 1 + (n / 8)));
+      let payloads = drain_payloads rx rx_socket ~expected:n in
+      Alcotest.(check int) "all delivered" n (List.length payloads);
+      (* Loopback preserves order, so arrival order is push order. *)
+      List.iteri
+        (fun i got ->
+          Alcotest.(check string) "payload intact" (Bytes.to_string (payload_of i)) got)
+        payloads;
+      Alcotest.(check int) "rx counted" n (Sockets.Batch.rx_received rx);
+      if not (force_fallback || not (Sockets.Batch.kernel_support ())) then
+        Alcotest.(check bool) "rx fast path: fewer syscalls than datagrams" true
+          (Sockets.Batch.rx_syscalls rx < n))
+
+let test_round_trip_fast () = check_round_trip ~force_fallback:false ()
+let test_round_trip_fallback () = check_round_trip ~force_fallback:true ()
+
+(* An oversized datagram in the middle of a train: the kernel stops the
+   sendmmsg short, the batch resolves exactly that entry through the
+   one-datagram path (Send_failed EMSGSIZE), and the rest of the train still
+   goes out. Outcome callbacks fire once per datagram with the same verdicts
+   the unbatched transport would have produced. *)
+let check_partial_send ~force_fallback () =
+  let tx_socket, rx_socket, address = make_pair () in
+  Fun.protect
+    ~finally:(fun () -> close_pair tx_socket rx_socket)
+    (fun () ->
+      let batch = Sockets.Batch.create ~force_fallback ~socket:tx_socket () in
+      let rx = Sockets.Batch.create_rx ~force_fallback ~socket:rx_socket () in
+      let oversized = 3 in
+      let n = 7 in
+      let outcomes = Array.make n None in
+      for i = 0 to n - 1 do
+        let data =
+          if i = oversized then Bytes.make 70_000 '!' (* > the 65507 B UDP maximum *)
+          else payload_of i
+        in
+        Sockets.Batch.push batch ~peer:address
+          ~on_outcome:(fun o -> outcomes.(i) <- Some o)
+          data
+      done;
+      let report = Sockets.Batch.flush batch in
+      Alcotest.(check int) "submitted" n report.Sockets.Batch.submitted;
+      Alcotest.(check int) "sent" (n - 1) report.Sockets.Batch.sent;
+      Alcotest.(check int) "failed" 1 report.Sockets.Batch.failed;
+      Array.iteri
+        (fun i outcome ->
+          match outcome with
+          | None -> Alcotest.failf "no outcome fired for datagram %d" i
+          | Some Sockets.Udp.Sent ->
+              Alcotest.(check bool) "only the oversized entry fails" true (i <> oversized)
+          | Some (Sockets.Udp.Send_failed error) ->
+              Alcotest.(check int) "oversized entry" oversized i;
+              Alcotest.(check string) "classified as EMSGSIZE" "EMSGSIZE"
+                (match error with Unix.EMSGSIZE -> "EMSGSIZE" | e -> Unix.error_message e))
+        outcomes;
+      let payloads = drain_payloads rx rx_socket ~expected:(n - 1) in
+      let expected =
+        List.filter_map
+          (fun i -> if i = oversized then None else Some (Bytes.to_string (payload_of i)))
+          (List.init n Fun.id)
+      in
+      Alcotest.(check (list string)) "survivors delivered in order" expected payloads)
+
+let test_partial_send_fast () = check_partial_send ~force_fallback:false ()
+let test_partial_send_fallback () = check_partial_send ~force_fallback:true ()
+
+(* The LANREPRO_BATCH knob: "0"/"off"/"false" disable batching at the
+   Io_ctx layer, "fallback"/"emulate" keep the train API but take the
+   one-datagram path — and a batch created under the knob really does. *)
+let test_env_knob () =
+  let original = Sys.getenv_opt "LANREPRO_BATCH" in
+  let restore () =
+    Unix.putenv "LANREPRO_BATCH" (match original with Some v -> v | None -> "")
+  in
+  Fun.protect ~finally:restore (fun () ->
+      List.iter
+        (fun (value, enabled, fallback) ->
+          Unix.putenv "LANREPRO_BATCH" value;
+          Alcotest.(check bool) (value ^ " enabled") enabled (Sockets.Batch.env_enabled ());
+          Alcotest.(check bool)
+            (value ^ " forces fallback")
+            fallback
+            (Sockets.Batch.env_force_fallback ());
+          Alcotest.(check bool)
+            (value ^ " reflected in Io_ctx")
+            enabled
+            (Sockets.Io_ctx.default ()).Sockets.Io_ctx.batch)
+        [
+          ("0", false, false);
+          ("off", false, false);
+          ("false", false, false);
+          ("1", true, false);
+          ("fallback", true, true);
+          ("emulate", true, true);
+        ];
+      (* A batch created under the fallback knob takes the one-datagram
+         path end to end — the ENOSYS posture, forced from the outside. *)
+      Unix.putenv "LANREPRO_BATCH" "fallback";
+      let tx_socket, rx_socket, address = make_pair () in
+      Fun.protect
+        ~finally:(fun () -> close_pair tx_socket rx_socket)
+        (fun () ->
+          let batch = Sockets.Batch.create ~socket:tx_socket () in
+          Alcotest.(check bool) "fallback honoured" true (Sockets.Batch.using_fallback batch);
+          for i = 0 to 9 do
+            Sockets.Batch.push batch ~peer:address (payload_of i)
+          done;
+          let report = Sockets.Batch.flush batch in
+          Alcotest.(check int) "one syscall per datagram" 10 report.Sockets.Batch.syscalls;
+          Alcotest.(check int) "all sent" 10 report.Sockets.Batch.sent;
+          let rx = Sockets.Batch.create_rx ~socket:rx_socket () in
+          Alcotest.(check int) "all delivered" 10
+            (List.length (drain_payloads rx rx_socket ~expected:10))))
+
+(* Fault injection happens upstream of the batch, per datagram, so the same
+   seeded netem drops the same datagrams whether the survivors then go out
+   through sendmmsg trains or one sendto at a time. *)
+let test_netem_drop_parity () =
+  let scenario = Faults.Scenario.make ~name:"half" [ Faults.Scenario.Drop_iid 0.5 ] in
+  let n = 100 in
+  let survivors ~batched =
+    let tx_socket, rx_socket, address = make_pair () in
+    Fun.protect
+      ~finally:(fun () -> close_pair tx_socket rx_socket)
+      (fun () ->
+        let netem = Faults.Netem.create ~seed:77 scenario in
+        let batch =
+          if batched then Some (Sockets.Batch.create ~socket:tx_socket ()) else None
+        in
+        let out data =
+          match batch with
+          | Some b -> Sockets.Batch.push b ~peer:address data
+          | None ->
+              ignore (Sockets.Udp.send_bytes tx_socket address data : Sockets.Udp.send_outcome)
+        in
+        for i = 0 to n - 1 do
+          List.iter
+            (fun { Faults.Netem.delay_ns = _; data } -> out data)
+            (Faults.Netem.tx_bytes netem (payload_of i))
+        done;
+        let emitted =
+          match batch with
+          | Some b ->
+              let report = Sockets.Batch.flush b in
+              report.Sockets.Batch.sent
+          | None -> n - (Faults.Netem.stats netem).Faults.Netem.dropped
+        in
+        let rx = Sockets.Batch.create_rx ~socket:rx_socket () in
+        let payloads = drain_payloads rx rx_socket ~expected:emitted in
+        Alcotest.(check bool) "netem actually dropped some" true
+          ((Faults.Netem.stats netem).Faults.Netem.dropped > 0);
+        payloads)
+  in
+  let batched = survivors ~batched:true in
+  let unbatched = survivors ~batched:false in
+  Alcotest.(check (list string)) "same datagrams survive either path" unbatched batched
+
+(* End-to-end transfer with batching on at both peers: the protocol result
+   and the whole-segment CRC must come out exactly as they do unbatched. *)
+let test_peer_transfer_batched () =
+  let rng = Stats.Rng.create ~seed:21 in
+  let data = String.init 100_000 (fun _ -> Char.chr (Stats.Rng.int rng 256)) in
+  let ctx = Sockets.Io_ctx.make ~batch:true () in
+  let receiver_socket, receiver_address = Sockets.Udp.create_socket () in
+  let sender_socket, _ = Sockets.Udp.create_socket () in
+  let received = ref None in
+  let thread =
+    Thread.create
+      (fun () -> received := Some (Sockets.Peer.serve_one ~ctx ~socket:receiver_socket ()))
+      ()
+  in
+  let result =
+    Sockets.Peer.send ~ctx ~socket:sender_socket ~peer:receiver_address
+      ~suite:(Protocol.Suite.Blast Protocol.Blast.Go_back_n) ~data ()
+  in
+  Thread.join thread;
+  Sockets.Udp.close receiver_socket;
+  Sockets.Udp.close sender_socket;
+  Alcotest.(check bool) "success" true (result.Sockets.Peer.outcome = Protocol.Action.Success);
+  match !received with
+  | Some r ->
+      Alcotest.(check bool) "data intact" true (String.equal r.Sockets.Peer.data data);
+      Alcotest.(check bool) "CRC verified" true (r.Sockets.Peer.integrity = Sockets.Peer.Verified)
+  | None -> Alcotest.fail "nothing received"
+
+(* Same transfer under a seeded drop scenario with batching on: the faults
+   bite (drops and retransmissions both happen) and the protocol still
+   recovers a byte-perfect, CRC-verified segment. *)
+let test_peer_transfer_batched_lossy () =
+  let rng = Stats.Rng.create ~seed:22 in
+  let data = String.init 60_000 (fun _ -> Char.chr (Stats.Rng.int rng 256)) in
+  let scenario = Faults.Scenario.make ~name:"drop15" [ Faults.Scenario.Drop_iid 0.15 ] in
+  let netem = Faults.Netem.create ~seed:5 scenario in
+  let ctx = Sockets.Io_ctx.make ~faults:netem ~batch:true () in
+  let receiver_socket, receiver_address = Sockets.Udp.create_socket () in
+  let sender_socket, _ = Sockets.Udp.create_socket () in
+  let received = ref None in
+  let thread =
+    Thread.create
+      (fun () ->
+        received :=
+          Some
+            (Sockets.Peer.serve_one
+               ~ctx:(Sockets.Io_ctx.make ~batch:true ())
+               ~socket:receiver_socket ()))
+      ()
+  in
+  let result =
+    Sockets.Peer.send ~ctx ~retransmit_ns:20_000_000 ~socket:sender_socket
+      ~peer:receiver_address
+      ~suite:(Protocol.Suite.Blast Protocol.Blast.Selective)
+      ~data ()
+  in
+  Thread.join thread;
+  Sockets.Udp.close receiver_socket;
+  Sockets.Udp.close sender_socket;
+  Alcotest.(check bool) "success" true (result.Sockets.Peer.outcome = Protocol.Action.Success);
+  Alcotest.(check bool) "netem dropped datagrams" true
+    ((Faults.Netem.stats netem).Faults.Netem.dropped > 0);
+  Alcotest.(check bool) "retransmissions happened" true
+    (result.Sockets.Peer.counters.Protocol.Counters.retransmitted_data > 0);
+  match !received with
+  | Some r ->
+      Alcotest.(check bool) "data intact" true (String.equal r.Sockets.Peer.data data);
+      Alcotest.(check bool) "CRC verified" true (r.Sockets.Peer.integrity = Sockets.Peer.Verified)
+  | None -> Alcotest.fail "nothing received"
+
+(* Concurrent soak: a batched engine serving batched senders, every flow
+   CRC-verified server-side. *)
+let test_swarm_batched () =
+  let ctx = Sockets.Io_ctx.make ~batch:true () in
+  let report = Server.Swarm.run ~bytes:16_384 ~seed:11 ~ctx ~flows:8 () in
+  Alcotest.(check int) "all completed" 8 report.Server.Swarm.completed;
+  Alcotest.(check int) "none failed" 0 report.Server.Swarm.failed;
+  Alcotest.(check int) "server verified every flow" 8 (Server.Swarm.server_verified report)
+
+let () =
+  Alcotest.run "batch"
+    [
+      ( "round-trip",
+        [
+          Alcotest.test_case "fast path" `Quick test_round_trip_fast;
+          Alcotest.test_case "forced fallback" `Quick test_round_trip_fallback;
+        ] );
+      ( "partial-send",
+        [
+          Alcotest.test_case "fast path" `Quick test_partial_send_fast;
+          Alcotest.test_case "forced fallback" `Quick test_partial_send_fallback;
+        ] );
+      ("env-knob", [ Alcotest.test_case "LANREPRO_BATCH" `Quick test_env_knob ]);
+      ("netem", [ Alcotest.test_case "drop parity over batch" `Quick test_netem_drop_parity ]);
+      ( "peer",
+        [
+          Alcotest.test_case "batched transfer CRC-verified" `Quick test_peer_transfer_batched;
+          Alcotest.test_case "batched lossy transfer recovers" `Quick
+            test_peer_transfer_batched_lossy;
+        ] );
+      ("swarm", [ Alcotest.test_case "batched 8-sender soak" `Quick test_swarm_batched ]);
+    ]

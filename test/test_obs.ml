@@ -265,7 +265,9 @@ let test_udp_chaos_events_match_counters () =
   in
   let recorder = Obs.Recorder.create () in
   let run =
-    Sockets.Chaos.run_one ~recorder ~seed:3
+    Sockets.Chaos.run_one
+      ~ctx:(Sockets.Io_ctx.make ~recorder ())
+      ~seed:3
       ~suite:(Protocol.Suite.Blast Protocol.Blast.Go_back_n)
       ~scenario ()
   in
