@@ -295,6 +295,78 @@ let batched_io_rows () =
         [ true; false ])
     [ 1; 8; 32; 128 ]
 
+(* Simulation rate of the whole-system deterministic trials, measured over a
+   seed sweep so per-trial setup cost amortises the way it does in a real CI
+   soak. Two rates: horizon virtual s per wall s (what a seed sweep costs —
+   the harness floor is 1000, and idle virtual time is free to simulate) and
+   active virtual s per wall s (event-dense time only, the honest measure of
+   the event loop itself). *)
+let dst_sweep_seeds = 10
+
+let dst_rows () =
+  List.map
+    (fun (label, churn, faults) ->
+      let cfg =
+        {
+          (Dst.Harness.default_config ~seed:1) with
+          Dst.Harness.churn;
+          faults;
+          senders = 8;
+          transfers = 2;
+        }
+      in
+      let seeds = List.init dst_sweep_seeds (fun i -> i + 1) in
+      let trials, wall = wall_ns (fun () -> Dst.Harness.run_seeds ~jobs:1 cfg ~seeds) in
+      let virtual_ns =
+        List.fold_left (fun acc t -> acc + t.Dst.Harness.virtual_ns) 0 trials
+      in
+      let events = List.fold_left (fun acc t -> acc + t.Dst.Harness.events) 0 trials in
+      let attempted =
+        List.fold_left (fun acc t -> acc + t.Dst.Harness.attempted) 0 trials
+      in
+      let completed =
+        List.fold_left (fun acc t -> acc + t.Dst.Harness.completed) 0 trials
+      in
+      let violations =
+        List.fold_left (fun acc t -> acc + List.length t.Dst.Harness.violations) 0 trials
+      in
+      let horizon_ns = dst_sweep_seeds * cfg.Dst.Harness.horizon_ns in
+      let active_per_wall =
+        if wall <= 0 then 0.0 else float_of_int virtual_ns /. float_of_int wall
+      in
+      let horizon_per_wall =
+        if wall <= 0 then 0.0 else float_of_int horizon_ns /. float_of_int wall
+      in
+      Printf.printf
+        "dst: %-12s %d seeds, %.0f virtual s (%.1f active) in %6.1f wall ms (%6.0f \
+         horizon / %4.0f active virtual s per wall s, %d events, %d/%d completed)\n\
+         %!"
+        label dst_sweep_seeds
+        (float_of_int horizon_ns /. 1e9)
+        (float_of_int virtual_ns /. 1e9)
+        (float_of_int wall /. 1e6)
+        horizon_per_wall active_per_wall events completed attempted;
+      Obs.Json.Obj
+        [
+          ("scenario", Obs.Json.String label);
+          ("churn", Obs.Json.String (Dst.Harness.churn_name churn));
+          ("senders", Obs.Json.Int cfg.Dst.Harness.senders);
+          ("seeds", Obs.Json.Int dst_sweep_seeds);
+          ("attempted", Obs.Json.Int attempted);
+          ("completed", Obs.Json.Int completed);
+          ("events", Obs.Json.Int events);
+          ("active_virtual_ns", Obs.Json.Int virtual_ns);
+          ("horizon_virtual_ns", Obs.Json.Int horizon_ns);
+          ("wall_ns", Obs.Json.Int wall);
+          ("horizon_virtual_s_per_wall_s", Obs.Json.Float horizon_per_wall);
+          ("active_virtual_s_per_wall_s", Obs.Json.Float active_per_wall);
+          ("violations", Obs.Json.Int violations);
+        ])
+    [
+      ("clean-steady", Dst.Harness.Steady, None);
+      ("chaos-mixed", Dst.Harness.Mixed, Some Faults.Scenario.chaos);
+    ]
+
 (* Aggregate service capacity of the concurrent server at increasing fan-in:
    N simultaneous senders against one socket, small payloads so the smoke
    run stays fast. *)
@@ -379,7 +451,7 @@ let write_bench_json ~jobs () =
   let json =
     Obs.Json.Obj
       [
-        ("schema", Obs.Json.String "lanrepro-bench/4");
+        ("schema", Obs.Json.String "lanrepro-bench/5");
         ("packets", Obs.Json.Int packets);
         (* Context for mc_parallel: speedup > 1 is only possible when the
            host actually has cores to spread the domains over. *)
@@ -389,6 +461,7 @@ let write_bench_json ~jobs () =
         ("mc_parallel", Obs.Json.List (mc_parallel_rows jobs));
         ("batched_io", Obs.Json.List (batched_io_rows ()));
         ("serve_concurrency", Obs.Json.List (serve_concurrency_rows ()));
+        ("dst", Obs.Json.List (dst_rows ()));
         ( "rx_alloc",
           Obs.Json.Obj
             [

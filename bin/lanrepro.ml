@@ -813,8 +813,9 @@ let serve_cmd =
         | Sockets.Flow.Not_carried -> "not carried")
         (float_of_int (e.Server.Engine.finished_ns - e.Server.Engine.started_ns) /. 1e6)
     in
+    let transport = Sockets.Transport.udp ~batch:ctx.Sockets.Io_ctx.batch ~socket () in
     let engine =
-      Server.Engine.create ~max_flows ?scenario ~seed ~ctx ~on_complete ~socket ()
+      Server.Engine.create ~max_flows ?scenario ~seed ~ctx ~on_complete ~transport ()
     in
     (* Ctrl-C stops the loop instead of killing the process, so the totals
        line and any requested telemetry still get written. *)
@@ -884,6 +885,145 @@ let swarm_cmd =
       $ scenario_name "server-scenario" ~doc:"Server-side fault scenario (independent per flow)."
       $ seed $ batch_flag $ trace_out $ metrics_out)
 
+(* ------------------------------------------------- deterministic simulation *)
+
+let dst_cmd =
+  let run seed seeds churn fault_name senders transfers max_flows until_virtual_s jobs
+      journal_dir =
+    let churn =
+      match Dst.Harness.churn_of_string churn with
+      | Some c -> c
+      | None ->
+          Printf.eprintf "unknown churn scenario %S (known: %s)\n" churn
+            (String.concat ", " (List.map Dst.Harness.churn_name Dst.Harness.all_churns));
+          exit 2
+    in
+    let faults = resolve_scenario (Some fault_name) in
+    let base = Dst.Harness.default_config ~seed in
+    let cfg =
+      {
+        base with
+        Dst.Harness.churn;
+        faults;
+        senders;
+        transfers;
+        max_flows;
+        horizon_ns = int_of_float (until_virtual_s *. 1e9);
+      }
+    in
+    let seed_list = List.init seeds (fun i -> seed + i) in
+    let started = Unix.gettimeofday () in
+    let trials = Dst.Harness.run_seeds ?jobs cfg ~seeds:seed_list in
+    let wall_s = Unix.gettimeofday () -. started in
+    List.iter (fun t -> Format.printf "%a@." Dst.Harness.pp_trial t) trials;
+    let active_s =
+      List.fold_left (fun acc t -> acc +. (float_of_int t.Dst.Harness.virtual_ns /. 1e9)) 0.0
+        trials
+    in
+    (* Each trial simulates its full horizon: the clock runs to the horizon
+       even when every sender resolves early (idle virtual time is free —
+       that is the point of discrete-event time). The active span is how much
+       of it contained traffic. *)
+    let simulated_s = float_of_int (List.length trials) *. until_virtual_s in
+    Printf.printf
+      "%d trial(s): %.0f virtual s simulated (%.1f s active) in %.2f wall s (%.0f virtual \
+       s per wall s, %d jobs)\n"
+      (List.length trials) simulated_s active_s wall_s
+      (if wall_s > 0.0 then simulated_s /. wall_s else 0.0)
+      (effective_jobs jobs);
+    let failing =
+      List.filter (fun t -> t.Dst.Harness.violations <> []) trials
+    in
+    List.iter
+      (fun (t : Dst.Harness.trial) ->
+        List.iter
+          (fun v -> Printf.printf "seed %d: %s\n" t.Dst.Harness.seed v)
+          t.Dst.Harness.violations)
+      failing;
+    (* Any failing seed must replay bit-for-bit: re-run it and compare the
+       journal fingerprints, and keep the journal for offline debugging. *)
+    let diverged = ref false in
+    List.iter
+      (fun (t : Dst.Harness.trial) ->
+        let seed = t.Dst.Harness.seed in
+        (match journal_dir with
+        | None -> ()
+        | Some dir ->
+            let file = Filename.concat dir (Printf.sprintf "dst-seed-%d.journal" seed) in
+            let oc = open_out file in
+            output_string oc t.Dst.Harness.journal;
+            close_out oc;
+            Printf.printf "seed %d: journal written to %s\n" seed file);
+        let again = Dst.Harness.run { cfg with Dst.Harness.seed } in
+        let identical = again.Dst.Harness.digest = t.Dst.Harness.digest in
+        if not identical then diverged := true;
+        Printf.printf "seed %d: replay %s (digest %s)\n" seed
+          (if identical then "identical" else "DIVERGED")
+          t.Dst.Harness.digest)
+      failing;
+    if !diverged then exit 2;
+    if failing <> [] then exit 1
+  in
+  let seeds =
+    Arg.(
+      value & opt int 1
+      & info [ "seeds" ] ~docv:"N" ~doc:"Sweep N consecutive seeds starting at --seed.")
+  in
+  let churn =
+    Arg.(
+      value & opt string "mixed"
+      & info [ "scenario" ] ~docv:"NAME"
+          ~doc:
+            "Churn scenario: steady (none), kill (senders die mid-transfer), reuse \
+             (killed senders' ports rebound with colliding transfer ids), restart \
+             (engine stop/restart with lingering flows), or mixed.")
+  in
+  let fault_name =
+    Arg.(
+      value & opt string "chaos"
+      & info [ "faults" ] ~docv:"NAME"
+          ~doc:"Wire fault scenario applied per memnet endpoint (clean disables).")
+  in
+  let senders =
+    Arg.(
+      value & opt int 16
+      & info [ "senders" ] ~docv:"N" ~doc:"Concurrent simulated senders.")
+  in
+  let transfers =
+    Arg.(
+      value & opt int 3
+      & info [ "transfers" ] ~docv:"N" ~doc:"Transfers each sender attempts.")
+  in
+  let max_flows =
+    Arg.(
+      value & opt int 12
+      & info [ "max-flows" ] ~docv:"N"
+          ~doc:"Engine admission cap; below --senders exercises REJ under pressure.")
+  in
+  let until_virtual_s =
+    Arg.(
+      value & opt float 60.0
+      & info [ "until-virtual-s" ] ~docv:"SECONDS"
+          ~doc:"Virtual-time budget per trial (the hang backstop).")
+  in
+  let journal_dir =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "journal-dir" ] ~docv:"DIR"
+          ~doc:"Write each failing seed's event journal to DIR (CI artifact hook).")
+  in
+  Cmd.v
+    (Cmd.info "dst"
+       ~doc:
+         "Whole-system deterministic simulation: the concurrent server plus a sender \
+          swarm under virtual time with seeded faults and churn; every trial asserts \
+          verified-delivery-or-clean-failure and engine invariants, any failing seed \
+          replays bit-for-bit, and thousands of virtual seconds run per wall second")
+    Term.(
+      const run $ seed $ seeds $ churn $ fault_name $ senders $ transfers $ max_flows
+      $ until_virtual_s $ jobs $ journal_dir)
+
 let () =
   let default = Term.(ret (const (`Help (`Pager, None)))) in
   exit
@@ -906,4 +1046,5 @@ let () =
             chaos_cmd;
             serve_cmd;
             swarm_cmd;
+            dst_cmd;
           ]))

@@ -1,0 +1,78 @@
+(** An in-memory datagram network under {!Eventsim} virtual time.
+
+    The second interpreter of {!Sockets.Transport.t}: per-port mailboxes
+    standing in for UDP sockets, with propagation latency and a per-endpoint
+    seeded {!Faults.Netem} pipeline standing in for the wire. Protocol loops
+    written against the transport — {!Sockets.Peer.send_via},
+    [Server.Engine] — run here unchanged, as simulated processes, with every
+    timeout and fault decision on the virtual clock. Everything is
+    deterministic: one root seed fixes all fault streams, and the
+    single-threaded event queue fixes all interleavings, so a whole-system
+    run replays bit-for-bit from the seed.
+
+    Addresses are ordinary [Unix.ADDR_INET (loopback, port)] values used as
+    pure data — never passed to the OS — so the engine's
+    [(sockaddr, transfer_id)] flow keys work unmodified.
+
+    Delivery model (datagram semantics, loopback-flavoured): a sent datagram
+    is scheduled [latency_ns] (plus any injected delay) into the virtual
+    future and the destination port is resolved at {e delivery} time — a
+    port closed and rebound while datagrams are in flight receives them,
+    exactly the address-reuse hazard the churn scenarios probe. Datagrams to
+    an unbound port vanish; a full mailbox drops the newcomer (receiver
+    overrun). Closing an endpoint wakes its parked reader with {!Closed} —
+    how the simulation kills a process mid-transfer. *)
+
+exception Closed of int
+(** Raised by a transport operation on an endpoint that has been closed —
+    the simulated process's cue that it has been killed. The payload is the
+    endpoint's port. *)
+
+type t
+type endpoint
+
+type stats = {
+  mutable delivered : int;
+  mutable dropped_unbound : int;  (** destination port not bound at delivery *)
+  mutable dropped_overrun : int;  (** destination mailbox full *)
+}
+
+val create :
+  sim:Eventsim.Sim.t ->
+  ?latency_ns:int ->
+  ?capacity:int ->
+  ?scenario:Faults.Scenario.t ->
+  seed:int ->
+  unit ->
+  t
+(** A network on [sim]'s clock. [latency_ns] (default 50 µs, a loopback-ish
+    figure) is the base propagation delay of every datagram; [capacity]
+    (default 256) bounds each endpoint's mailbox; [scenario] is the default
+    egress fault pipeline for endpoints that do not override it (a clean
+    scenario means none). [seed] roots every endpoint's fault stream via
+    [Stats.Rng.derive] on its port number, so streams are independent and
+    the whole network replays from one integer. *)
+
+val bind : ?port:int -> ?scenario:Faults.Scenario.t -> t -> endpoint
+(** A fresh endpoint — ephemeral port by default, or exactly [port] (how a
+    churn scenario rebinds a predecessor's address). Raises
+    [Invalid_argument] if [port] is already bound. [scenario] overrides the
+    network default for this endpoint's egress. *)
+
+val address : endpoint -> Unix.sockaddr
+val port : endpoint -> int
+
+val close : endpoint -> unit
+(** Unbinds the port and wakes a parked reader with {!Closed}; queued and
+    in-flight datagrams to the port are dropped at delivery unless the port
+    has been rebound by then. Idempotent. *)
+
+val transport : endpoint -> Sockets.Transport.t
+(** The endpoint as a {!Sockets.Transport.t}. Must be driven from inside an
+    [Eventsim.Proc] process: [recv] parks the process until a datagram,
+    timeout, or {!close}; [sleep_ns] sleeps in virtual time; [flush] is a
+    no-op (there is no syscall boundary to amortize). Single-owner, like a
+    socket: one reading process per endpoint. *)
+
+val stats : t -> stats
+(** Network-wide delivery accounting (shared by all endpoints). *)

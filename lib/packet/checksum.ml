@@ -15,14 +15,16 @@ let internet ?(initial = 0) buf ~pos ~len =
   done;
   lnot !folded land 0xFFFF
 
+(* The table and the running CRC live in native ints (the polynomial fits in
+   63 bits with room to spare): boxed [Int32] arithmetic in the per-byte loop
+   allocates on every step, and this is the hottest loop in the simulated
+   data path. Only the final result is boxed. *)
 let crc_table =
   lazy
     (Array.init 256 (fun n ->
-         let c = ref (Int32.of_int n) in
+         let c = ref n in
          for _ = 0 to 7 do
-           if Int32.logand !c 1l <> 0l then
-             c := Int32.logxor 0xEDB88320l (Int32.shift_right_logical !c 1)
-           else c := Int32.shift_right_logical !c 1
+           if !c land 1 <> 0 then c := 0xEDB88320 lxor (!c lsr 1) else c := !c lsr 1
          done;
          !c))
 
@@ -30,11 +32,11 @@ let crc32 buf ~pos ~len =
   if pos < 0 || len < 0 || pos + len > Bytes.length buf then
     invalid_arg "Checksum.crc32: range out of bounds";
   let table = Lazy.force crc_table in
-  let crc = ref 0xFFFFFFFFl in
+  let crc = ref 0xFFFFFFFF in
   for i = pos to pos + len - 1 do
-    let index = Int32.to_int (Int32.logand (Int32.logxor !crc (Int32.of_int (Char.code (Bytes.get buf i)))) 0xFFl) in
-    crc := Int32.logxor table.(index) (Int32.shift_right_logical !crc 8)
+    let index = (!crc lxor Char.code (Bytes.unsafe_get buf i)) land 0xFF in
+    crc := Array.unsafe_get table index lxor (!crc lsr 8)
   done;
-  Int32.logxor !crc 0xFFFFFFFFl
+  Int32.of_int (!crc lxor 0xFFFFFFFF)
 
 let crc32_string s = crc32 (Bytes.unsafe_of_string s) ~pos:0 ~len:(String.length s)

@@ -35,22 +35,28 @@ let sender ?(counters = Counters.create ()) ~strategy (config : Config.t) ~paylo
     outcome := Some Too_many_attempts;
     [ Stop_timer; Complete Too_many_attempts ]
   in
-  let range lo hi = List.init (hi - lo + 1) (fun i -> lo + i) in
+  let range lo hi = List.init (max 0 (hi - lo + 1)) (fun i -> lo + i) in
   let start () = blast (range 0 last) in
+  (* Acks and nacks echo the geometry we declared in the REQ. A mismatched
+     [total] is a straggler from a different transfer that happens to share
+     this address and id — an earlier incarnation on a reused ephemeral
+     port — and acting on it would complete or repair against progress this
+     transfer never made. *)
+  let ours m = m.Packet.Message.total = total in
   let handle event =
     if !outcome <> None then []
     else
       match event with
-      | Message m when m.Packet.Message.kind = Packet.Kind.Ack ->
+      | Message m when m.Packet.Message.kind = Packet.Kind.Ack && ours m ->
           if m.Packet.Message.seq >= total then begin
             outcome := Some Success;
             [ Stop_timer; Complete Success ]
           end
           else []
-      | Message m when m.Packet.Message.kind = Packet.Kind.Nack ->
+      | Message m when m.Packet.Message.kind = Packet.Kind.Nack && ours m ->
           if !rounds >= config.Config.max_attempts then give_up ()
           else begin
-            let first_missing = m.Packet.Message.seq in
+            let first_missing = max 0 (min m.Packet.Message.seq last) in
             match strategy with
             | Full_retransmit ->
                 (* This variant never solicits NACKs; treat a stray one as a
@@ -125,7 +131,10 @@ let receiver ?(counters = Counters.create ()) ~strategy (config : Config.t) =
   let handle = function
     | Message m when m.Packet.Message.kind = Packet.Kind.Data ->
         let seq = m.Packet.Message.seq in
-        if seq >= total then []
+        (* A data packet whose [total] disagrees with the handshake belongs
+           to a different transfer on a reused address; accepting it would
+           assemble foreign bytes into this segment. *)
+        if m.Packet.Message.total <> total || seq >= total then []
         else begin
           let fresh = not (Packet.Bitset.mem received seq) in
           let deliver =

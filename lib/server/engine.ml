@@ -7,6 +7,7 @@ type totals = {
   mutable completed : int;
   mutable aborted : int;
   mutable rejected : int;
+  mutable superseded : int;
   mutable stray_datagrams : int;
   mutable garbage : int;
   mutable send_failures : int;
@@ -18,6 +19,7 @@ let create_totals () =
     completed = 0;
     aborted = 0;
     rejected = 0;
+    superseded = 0;
     stray_datagrams = 0;
     garbage = 0;
     send_failures = 0;
@@ -25,8 +27,9 @@ let create_totals () =
 
 let pp_totals ppf t =
   Format.fprintf ppf
-    "accepted %d, completed %d, aborted %d, rejected %d, stray %d, garbage %d, send failures %d"
-    t.accepted t.completed t.aborted t.rejected t.stray_datagrams t.garbage t.send_failures
+    "accepted %d, completed %d, aborted %d, rejected %d, superseded %d, stray %d, garbage %d, send failures %d"
+    t.accepted t.completed t.aborted t.rejected t.superseded t.stray_datagrams t.garbage
+    t.send_failures
 
 type completion_event = {
   peer : Unix.sockaddr;
@@ -55,7 +58,7 @@ type flow_state = {
 }
 
 type t = {
-  socket : Unix.file_descr;
+  transport : Sockets.Transport.t;
   max_flows : int;
   retransmit_ns : int;
   max_attempts : int;
@@ -75,33 +78,22 @@ type t = {
   settled : Protocol.Counters.t;  (** merged counters of finished flows *)
   server_counters : Protocol.Counters.t;  (** pre-admission garbage accounting *)
   server_probe : Obs.Probe.t;
-  buffer : Bytes.t;
-  tx_batch : Sockets.Batch.t option;
-      (** pending outgoing train; flushed once per loop round *)
-  rx_batch : Sockets.Batch.rx option;
-      (** drain ring: one [recvmmsg] per select round instead of one
-          [recvfrom] per datagram *)
   stopped : bool Atomic.t;
   mutable next_index : int;
 }
 
 let create ?(max_flows = 64) ?(retransmit_ns = 50_000_000) ?(max_attempts = 50)
     ?idle_timeout_ns ?linger_ns ?fallback_suite ?scenario ?(seed = 1)
-    ?(drain_budget = 64) ?ctx ?(on_complete = fun _ -> ()) ~socket () =
+    ?(drain_budget = 64) ?ctx ?(on_complete = fun _ -> ()) ~transport () =
   if max_flows < 0 then invalid_arg "Engine.create: negative max_flows";
   if drain_budget <= 0 then invalid_arg "Engine.create: drain_budget must be positive";
   let ctx = match ctx with Some c -> c | None -> Sockets.Io_ctx.default () in
-  let { Sockets.Io_ctx.recorder; metrics; clock; batch; faults = _ } = ctx in
-  (* A blast sender can land dozens of datagrams between two select rounds;
-     headroom in the kernel buffer is what keeps that from becoming loss for
-     every other flow. Best effort: the kernel may clamp it. *)
-  (try Unix.setsockopt_int socket Unix.SO_RCVBUF (4 * 1024 * 1024)
-   with Unix.Unix_error _ -> ());
+  let { Sockets.Io_ctx.recorder; metrics; clock; batch = _; faults = _ } = ctx in
   Option.iter (fun r -> Obs.Recorder.set_clock r clock) recorder;
   let server_counters = Protocol.Counters.create () in
   let server_probe = Obs.Probe.create ?recorder ~lane:"server" ~counters:server_counters () in
   {
-    socket;
+    transport;
     max_flows;
     retransmit_ns;
     max_attempts;
@@ -121,12 +113,6 @@ let create ?(max_flows = 64) ?(retransmit_ns = 50_000_000) ?(max_attempts = 50)
     settled = Protocol.Counters.create ();
     server_counters;
     server_probe;
-    buffer = Sockets.Udp.rx_buffer ();
-    tx_batch = (if batch then Some (Sockets.Batch.create ~socket ()) else None);
-    rx_batch =
-      (if batch then
-         Some (Sockets.Batch.create_rx ~capacity:(min drain_budget 256) ~socket ())
-       else None);
     stopped = Atomic.make false;
     next_index = 0;
   }
@@ -160,18 +146,11 @@ let put t = function
   | Sockets.Udp.Sent -> ()
   | Sockets.Udp.Send_failed _ -> t.totals.send_failures <- t.totals.send_failures + 1
 
-(* One datagram out — joining the pending train when batching, in its own
-   syscall otherwise. The outcome callback fires per datagram either way, so
-   the send-failure accounting is identical batched or not. *)
-let send_now t ~on_outcome peer data =
-  match t.tx_batch with
-  | Some b -> Sockets.Batch.push b ~peer ~on_outcome data
-  | None -> on_outcome (Sockets.Udp.send_bytes t.socket peer data)
-
-let flush_tx t =
-  match t.tx_batch with
-  | None -> ()
-  | Some b -> ignore (Sockets.Batch.flush b : Sockets.Batch.report)
+(* One datagram out — joining the pending train when the transport batches,
+   in its own syscall otherwise. The outcome callback fires per datagram
+   either way, so the send-failure accounting is identical batched or not. *)
+let send_now t ~on_outcome peer data = t.transport.Sockets.Transport.send ~peer ~on_outcome data
+let flush_tx t = t.transport.Sockets.Transport.flush ()
 
 (* Per-flow transmit: the probe's tx event fires per protocol send (before
    fault injection, agreeing with the machine's counters); delayed netem
@@ -303,6 +282,22 @@ let admit t ~now ~from message =
         reschedule t key fs
   end
 
+(* The sender's address and transfer id have been reused by a *different*
+   transfer — a restarted process landed on the same ephemeral port while the
+   old flow lingers in the table. Feeding the new REQ into the old machine
+   would ack progress the new sender never made, so the old flow settles now
+   (its typed completion fires as usual) and the REQ is admitted fresh. *)
+let supersede t key fs ~now ~from message =
+  t.totals.superseded <- t.totals.superseded + 1;
+  bump t "flows_superseded";
+  Log.debug (fun f ->
+      f "transfer %d: address reuse with different geometry — superseding stale flow"
+        message.Packet.Message.transfer_id);
+  Obs.Probe.timeout (Sockets.Flow.probe fs.flow) ~detail:"superseded" ();
+  let completion = Sockets.Flow.force_done fs.flow ~now in
+  finalize t key fs completion ~now;
+  admit t ~now ~from message
+
 let handle_datagram t ~buf ~from ~len =
   let now = t.clock () in
   match Packet.Codec.decode_sub buf ~pos:0 ~len with
@@ -314,9 +309,15 @@ let handle_datagram t ~buf ~from ~len =
       let key = (from, message.Packet.Message.transfer_id) in
       match Hashtbl.find_opt t.flows key with
       | Some fs ->
-          execute t fs (Sockets.Flow.on_message fs.flow ~now message);
-          settle_if_done t key fs ~now;
-          reschedule t key fs
+          if
+            message.Packet.Message.kind = Packet.Kind.Req
+            && not (Sockets.Flow.same_request fs.flow message)
+          then supersede t key fs ~now ~from message
+          else begin
+            execute t fs (Sockets.Flow.on_message fs.flow ~now message);
+            settle_if_done t key fs ~now;
+            reschedule t key fs
+          end
       | None ->
           if message.Packet.Message.kind = Packet.Kind.Req then admit t ~now ~from message
           else
@@ -349,40 +350,21 @@ let rec service_timers t ~now =
 
 (* Drain at most [budget] datagrams, then return to timer service: the
    budget is the fairness knob — one blast sender saturating the socket
-   cannot starve the other flows' retransmission timers. With an rx batch
-   the whole budget drains in one or two [recvmmsg] calls instead of one
-   [recvfrom] per datagram. *)
+   cannot starve the other flows' retransmission timers. A batching
+   transport serves the whole budget out of one or two [recvmmsg] rings. *)
 let rec drain t budget =
   if budget > 0 then
-    match t.rx_batch with
-    | Some rx ->
-        let n = Sockets.Batch.recv rx ~limit:budget in
-        if n > 0 then begin
-          for i = 0 to n - 1 do
-            let buf, len, from = Sockets.Batch.get rx i in
-            handle_datagram t ~buf ~from ~len
-          done;
-          drain t (budget - n)
-        end
-    | None -> (
-        match Unix.recvfrom t.socket t.buffer 0 (Bytes.length t.buffer) [] with
-        | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _)
-          ->
-            ()
-        | exception Unix.Unix_error (Unix.ECONNREFUSED, _, _) ->
-            (* Linux surfaces a pending ICMP port-unreachable (a sender that
-               already closed) on the next recvfrom; it consumes no datagram. *)
-            drain t budget
-        | len, from ->
-            handle_datagram t ~buf:t.buffer ~from ~len;
-            drain t (budget - 1))
+    match t.transport.Sockets.Transport.poll () with
+    | `Empty -> ()
+    | `Datagram { Sockets.Transport.buf; len; from } ->
+        handle_datagram t ~buf ~from ~len;
+        drain t (budget - 1)
 
-(* Cap each select so [stop] from another thread is honoured promptly even
-   when the socket is silent and no timer is due. *)
+(* Cap each wait so [stop] from another thread is honoured promptly even
+   when the transport is silent and no timer is due. *)
 let max_select_ns = 50_000_000
 
 let run ?max_transfers t =
-  Unix.set_nonblock t.socket;
   let served () = t.totals.completed + t.totals.aborted in
   let finished () =
     match max_transfers with
@@ -401,10 +383,11 @@ let run ?max_transfers t =
       | None -> max_select_ns
       | Some deadline -> max 0 (min (deadline - now) max_select_ns)
     in
-    (match Unix.select [ t.socket ] [] [] (float_of_int timeout_ns /. 1e9) with
-    | [], _, _ -> ()
-    | _ :: _, _, _ -> drain t t.drain_budget
-    | exception Unix.Unix_error (Unix.EINTR, _, _) -> ());
+    (match t.transport.Sockets.Transport.recv ~timeout_ns:(Some timeout_ns) with
+    | `Timeout -> ()
+    | `Datagram { Sockets.Transport.buf; len; from } ->
+        handle_datagram t ~buf ~from ~len;
+        drain t (t.drain_budget - 1));
     flush_tx t
   done;
   (* Shutdown settles every live flow to a typed result — nothing is left
@@ -424,3 +407,43 @@ let run ?max_transfers t =
   Log.info (fun f -> f "server loop exits: %a" pp_totals t.totals)
 
 let stop t = Atomic.set t.stopped true
+
+(* Structural invariants the event loop maintains between rounds; the
+   deterministic-simulation harness calls this after every scheduler step.
+   Empty list = healthy. *)
+let invariant_violations t =
+  let violations = ref [] in
+  let fail fmt = Format.kasprintf (fun s -> violations := s :: !violations) fmt in
+  if Hashtbl.length t.flows > t.max_flows then
+    fail "flow table holds %d flows, cap is %d" (Hashtbl.length t.flows) t.max_flows;
+  (* Earliest live heap entry per flow key: lazy invalidation means extra,
+     later entries are fine, but a live flow's next deadline must always be
+     covered by an entry at or before it, or the loop could sleep past it. *)
+  let heap_min : (key, int) Hashtbl.t = Hashtbl.create 16 in
+  Timers.iter t.timers (fun ~deadline -> function
+    | Delayed_send _ -> ()
+    | Flow_tick key -> (
+        match Hashtbl.find_opt heap_min key with
+        | Some d when d <= deadline -> ()
+        | _ -> Hashtbl.replace heap_min key deadline));
+  Hashtbl.iter
+    (fun key fs ->
+      let id = Sockets.Flow.transfer_id fs.flow in
+      match Sockets.Flow.status fs.flow with
+      | `Done _ -> fail "flow %d is closed but still in the table" id
+      | `Running | `Lingering -> (
+          match Sockets.Flow.next_deadline fs.flow with
+          | None -> fail "live flow %d has no deadline (watchdog unarmed)" id
+          | Some deadline -> (
+              match Hashtbl.find_opt heap_min key with
+              | Some h when h <= deadline -> ()
+              | Some h ->
+                  fail "flow %d: earliest heap entry %d is after its deadline %d" id h
+                    deadline
+              | None -> fail "flow %d: deadline %d has no timer-heap entry" id deadline)))
+    t.flows;
+  let a = t.totals in
+  if a.accepted <> a.completed + a.aborted + Hashtbl.length t.flows then
+    fail "totals drift: accepted %d <> completed %d + aborted %d + active %d" a.accepted
+      a.completed a.aborted (Hashtbl.length t.flows);
+  List.rev !violations

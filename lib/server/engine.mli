@@ -26,6 +26,9 @@ type totals = {
   mutable completed : int;  (** flows settled with [Success] *)
   mutable aborted : int;  (** flows settled with any other outcome *)
   mutable rejected : int;  (** REQs refused with a REJ (admission cap) *)
+  mutable superseded : int;
+      (** stale flows settled because their sender's address and transfer id
+          were reused by a REQ describing a different transfer *)
   mutable stray_datagrams : int;
       (** well-formed datagrams matching no flow — late packets of settled
           transfers, retries of rejected handshakes *)
@@ -57,21 +60,23 @@ val create :
   ?drain_budget:int ->
   ?ctx:Sockets.Io_ctx.t ->
   ?on_complete:(completion_event -> unit) ->
-  socket:Unix.file_descr ->
+  transport:Sockets.Transport.t ->
   unit ->
   t
-(** The engine serves on [socket] (caller keeps ownership; the engine sets it
-    non-blocking and bumps [SO_RCVBUF] best-effort). Defaults: 64 concurrent
-    flows, 50 ms retransmission interval, 50 attempts, drain budget 64.
-    [scenario] injects faults independently per flow, seeded from [seed] and
-    the flow's admission index ([Stats.Rng.derive]), so a run replays
-    exactly — [ctx.faults] is ignored here, since one shared pipeline would
-    entangle the flows' randomness; per-flow [scenario] supersedes it.
+(** The engine serves on [transport] — {!Sockets.Transport.udp} over a real
+    socket, or a memnet endpoint under virtual time; the loop cannot tell.
+    Defaults: 64 concurrent flows, 50 ms retransmission interval, 50
+    attempts, drain budget 64. [scenario] injects faults independently per
+    flow, seeded from [seed] and the flow's admission index
+    ([Stats.Rng.derive]), so a run replays exactly — [ctx.faults] is ignored
+    here, since one shared pipeline would entangle the flows' randomness;
+    per-flow [scenario] supersedes it.
 
-    [ctx] otherwise carries the loop's telemetry, clock and batching: with
-    [ctx.batch] (the default) each select round drains its budget through
-    one [recvmmsg] and flushes every queued ack/REJ/delayed emission as one
-    [sendmmsg] train, instead of one syscall per datagram. [ctx.metrics]
+    [ctx] otherwise carries the loop's telemetry and clock, which must be
+    the transport's notion of time ([ctx.batch] is ignored — the transport
+    already decided how it sends; a batching UDP transport drains each round
+    through one [recvmmsg] and flushes every queued ack/REJ/delayed emission
+    as one [sendmmsg] train). [ctx.metrics]
     carries an [active_flows] gauge, admission counters and, at shutdown,
     the merged counter roll-up, all labelled [side=server]. [on_complete]
     fires once per settled flow, from the serving thread. Raises
@@ -93,3 +98,13 @@ val active_flows : t -> int
 val rollup : t -> Protocol.Counters.t
 (** Field-wise merge ({!Protocol.Counters.merge}) of every flow's counters —
     settled and live — plus the server's pre-admission garbage accounting. *)
+
+val invariant_violations : t -> string list
+(** Structural invariants the event loop maintains between rounds, as
+    human-readable violations (empty = healthy): the flow table respects
+    [max_flows] and holds no closed flow, every live flow's next deadline is
+    covered by a timer-heap entry at or before it (lazy invalidation may
+    leave extra later entries, never a missing earlier one), and the
+    admission totals balance. The deterministic-simulation harness calls
+    this after every scheduler step; it is also safe to call from the
+    serving thread between [run] rounds. *)

@@ -58,9 +58,10 @@ let run ?max_flows ?jobs ?(bytes = 64 * 1024) ?(packet_bytes = 1024)
   let socket, server_address = Sockets.Udp.create_socket () in
   let completions = ref [] in
   let on_complete event = completions := event :: !completions in
+  let transport = Sockets.Transport.udp ~batch:ctx.Sockets.Io_ctx.batch ~socket () in
   let engine =
     Engine.create ?max_flows ~retransmit_ns ~max_attempts ?idle_timeout_ns
-      ?scenario:server_scenario ~seed:(seed + 1) ~ctx ~on_complete ~socket ()
+      ?scenario:server_scenario ~seed:(seed + 1) ~ctx ~on_complete ~transport ()
   in
   (* The engine gets its own domain: the pool below keeps every other domain
      (including this one) busy running senders, and the server must keep
@@ -97,9 +98,12 @@ let run ?max_flows ?jobs ?(bytes = 64 * 1024) ?(packet_bytes = 1024)
           bytes;
         })
   in
-  let started = Sockets.Udp.now_ns () in
+  (* Elapsed time from the context clock — the same source every timeout in
+     the run uses, and the hook a virtual-time harness overrides. *)
+  let clock = ctx.Sockets.Io_ctx.clock in
+  let started = clock () in
   let senders = Exec.Pool.map ~jobs ~f:one (List.init flows Fun.id) in
-  let elapsed_ns = Sockets.Udp.now_ns () - started in
+  let elapsed_ns = clock () - started in
   Engine.stop engine;
   Domain.join server_domain;
   Sockets.Udp.close socket;

@@ -58,6 +58,12 @@ let pop t =
     Some (deadline, payload)
   end
 
+let iter t f =
+  for i = 0 to t.size - 1 do
+    let deadline, payload = t.heap.(i) in
+    f ~deadline payload
+  done
+
 let pop_due t ~now =
   match peek_deadline t with
   | Some deadline when deadline - now <= 0 -> (

@@ -22,3 +22,7 @@ val pop : 'a t -> (int * 'a) option
 val pop_due : 'a t -> now:int -> 'a option
 (** [pop] restricted to entries with [deadline <= now]; [None] when the
     earliest entry is still in the future. *)
+
+val iter : 'a t -> (deadline:int -> 'a -> unit) -> unit
+(** Visits every pending entry, stale ones included, in unspecified order —
+    the invariant checker's window into the heap. *)

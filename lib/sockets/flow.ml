@@ -209,6 +209,22 @@ let create ?fallback_suite ?(retransmit_ns = 50_000_000) ?(max_attempts = 50)
           Ok (t, (Transmit t.handshake_ack :: actions))
         end
 
+(* Does this REQ describe the transfer this flow is already receiving? A
+   retransmitted handshake carries the same geometry and whole-segment CRC;
+   a REQ from a restarted process that happened to reuse the ephemeral port
+   and transfer id almost surely differs in one of them. (A restarted sender
+   pushing the *identical* segment is indistinguishable from a duplicate —
+   and harmless, since re-deliveries blit identical bytes.) *)
+let same_request t req =
+  req.Packet.Message.kind = Packet.Kind.Req
+  &&
+  match Suite_codec.decode req.Packet.Message.payload with
+  | None -> false
+  | Some info ->
+      info.Suite_codec.packet_bytes = t.packet_bytes
+      && info.Suite_codec.total_bytes = t.total_bytes
+      && info.Suite_codec.data_crc = t.data_crc
+
 let on_message t ~now message =
   if message.Packet.Message.transfer_id <> t.transfer_id then []
   else

@@ -75,6 +75,14 @@ val on_message : t -> now:int -> Packet.Message.t -> action list
     else goes to the machine. While lingering, duplicates are re-answered
     without extending the linger window. *)
 
+val same_request : t -> Packet.Message.t -> bool
+(** Is this REQ a retransmission of the handshake this flow answered — same
+    geometry, same whole-segment CRC? [false] means the sender's address and
+    transfer id have been reused by a different transfer (a restarted
+    process landing on the same ephemeral port): the multiplexed server must
+    settle this flow and admit the REQ fresh rather than feed it into a
+    machine mid-way through someone else's transfer. *)
+
 val on_garbage : t -> now:int -> Packet.Codec.error -> unit
 (** An undecodable datagram attributed to this flow: counted (corruption
     vs. alien traffic, per the codec reason) and, while running, the idle

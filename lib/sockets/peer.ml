@@ -22,15 +22,15 @@ type receive_result = {
           idle watchdog aborted because the sender went silent *)
 }
 
-(* One outgoing message through the loss coin and the fault pipeline. With a
-   [batch] the datagram joins the current train instead of going out in its
-   own syscall; the caller flushes at the end of each action burst. Delayed
-   emissions are realized inline (the train so far is flushed, then the
-   datagram, and everything behind it, goes out late) — head-of-line delay
-   rather than per-datagram jitter, which is what a slow link does to a
-   single UDP flow anyway. Scenario validation caps delays at one second so
-   a faulted sender can never stall unboundedly. *)
-let transmit ?faults ?batch ~probe ~lossy ~socket ~peer message =
+(* One outgoing message through the loss coin and the fault pipeline. The
+   datagram goes out through the transport — queued into the current train
+   when the transport batches; the caller flushes at the end of each action
+   burst. Delayed emissions are realized inline (the train so far is flushed,
+   then the datagram, and everything behind it, goes out late) —
+   head-of-line delay rather than per-datagram jitter, which is what a slow
+   link does to a single UDP flow anyway. Scenario validation caps delays at
+   one second so a faulted sender can never stall unboundedly. *)
+let transmit ?faults ~probe ~lossy ~(transport : Transport.t) ~peer message =
   (* The journal entry fires per protocol send, before the loss coin — the
      machine's counters account the send either way, and the events must
      agree with them exactly. *)
@@ -41,45 +41,32 @@ let transmit ?faults ?batch ~probe ~lossy ~socket ~peer message =
       | Udp.Sent -> ()
       | Udp.Send_failed _ -> Obs.Probe.drop probe `Tx
     in
-    let out data =
-      match batch with
-      | Some b -> Batch.push b ~peer ~on_outcome:put data
-      | None -> put (Udp.send_bytes socket peer data)
-    in
     match faults with
-    | None -> begin
-        match batch with
-        | Some b -> Batch.push_message b ~peer ~on_outcome:put message
-        | None -> put (Udp.send_message socket peer message)
-      end
+    | None -> transport.Transport.send ~peer ~on_outcome:put (Packet.Codec.encode message)
     | Some netem ->
         List.iter
           (fun { Faults.Netem.delay_ns; data } ->
             if delay_ns > 0 then begin
               (* Everything ahead of the delayed datagram must hit the wire
                  before we stall, or the delay would reorder the train. *)
-              (match batch with Some b -> ignore (Batch.flush b : Batch.report) | None -> ());
-              Unix.sleepf (float_of_int delay_ns /. 1e9)
+              transport.Transport.flush ();
+              transport.Transport.sleep_ns delay_ns
             end;
-            out data)
+            transport.Transport.send ~peer ~on_outcome:put data)
           (Faults.Netem.tx_bytes netem (Packet.Codec.encode message))
   end
   else Obs.Probe.drop probe `Tx
 
-let flush_batch = function
-  | Some b -> ignore (Batch.flush b : Batch.report)
-  | None -> ()
-
 let count_garbage = Flow.count_garbage
 
-(* Runs a sender machine over the socket until it completes or the idle
+(* Runs a sender machine over the transport until it completes or the idle
    watchdog trips. [idle_timeout_ns] bounds the wait for the next datagram
    independently of the protocol timer: without the watchdog a receiver that
    dies mid-transfer could block this loop on suites whose sender is waiting
    for an ack with no timer armed. (The receiver side no longer runs through
    here — it drives the sans-IO {!Flow} engine instead.) *)
-let run_machine ?faults ?batch ?(lossy = Lossy.perfect) ?rtt ?(pacing_ns = 0)
-    ?idle_timeout_ns ~clock ~buffer ~probe ~socket ~peer ~transfer_id
+let run_machine ?faults ?(lossy = Lossy.perfect) ?rtt ?(pacing_ns = 0) ?idle_timeout_ns
+    ~clock ~probe ~(transport : Transport.t) ~peer ~transfer_id
     ~(machine : Protocol.Machine.t) () =
   let deadline = ref None in
   let idle_deadline = ref (Option.map (fun ns -> clock () + ns) idle_timeout_ns) in
@@ -89,15 +76,15 @@ let run_machine ?faults ?batch ?(lossy = Lossy.perfect) ?rtt ?(pacing_ns = 0)
   let execute action =
     match action with
     | Protocol.Action.Send m ->
-        transmit ?faults ?batch ~probe ~lossy ~socket ~peer m;
+        transmit ?faults ~probe ~lossy ~transport ~peer m;
         (* Pacing: an unthrottled blast overruns the receiver's socket
            buffer exactly as the paper's 3-Com overran at full speed; a
            small inter-packet gap avoids the drops instead of repairing
            them. (Pacing and batching are mutually exclusive — the caller
-           passes no [batch] when pacing — since a train submitted in one
-           syscall has no inter-packet gaps.) *)
+           builds an unbatched transport when pacing — since a train
+           submitted in one syscall has no inter-packet gaps.) *)
         if pacing_ns > 0 && m.Packet.Message.kind = Packet.Kind.Data then
-          Unix.sleepf (float_of_int pacing_ns /. 1e9);
+          transport.Transport.sleep_ns pacing_ns;
         last_send := Some (clock ());
         timed_out_since_send := false
     | Protocol.Action.Arm_timer ns ->
@@ -130,13 +117,13 @@ let run_machine ?faults ?batch ?(lossy = Lossy.perfect) ?rtt ?(pacing_ns = 0)
     List.iter execute (machine.Protocol.Machine.handle event);
     (* The whole action burst — a blast round, typically — goes out as one
        train: this is the sender's sendmmsg hot path. *)
-    flush_batch batch;
+    transport.Transport.flush ();
     match event with
     | Protocol.Action.Message m -> Obs.Probe.handled probe m
     | Protocol.Action.Timeout -> ()
   in
   List.iter execute (machine.Protocol.Machine.start ());
-  flush_batch batch;
+  transport.Transport.flush ();
   let watchdog_fired = ref false in
   while (not (machine.Protocol.Machine.is_complete ())) && not !watchdog_fired do
     let now = clock () in
@@ -152,7 +139,7 @@ let run_machine ?faults ?batch ?(lossy = Lossy.perfect) ?rtt ?(pacing_ns = 0)
           | (Some _ as t), None | None, (Some _ as t) -> t
           | Some a, Some b -> Some (min a b)
         in
-        match Udp.recv_message ?timeout_ns ~buffer socket with
+        match Transport.recv_message transport ?timeout_ns () with
         | `Timeout -> begin
             let now = clock () in
             match !deadline with
@@ -189,12 +176,12 @@ let run_machine ?faults ?batch ?(lossy = Lossy.perfect) ?rtt ?(pacing_ns = 0)
   end
   else `Completed
 
-let send ?ctx ?(lossy = Lossy.perfect) ?(transfer_id = 1) ?(packet_bytes = 1024)
+let send_via ?ctx ?(lossy = Lossy.perfect) ?(transfer_id = 1) ?(packet_bytes = 1024)
     ?(retransmit_ns = 50_000_000) ?(max_attempts = 50) ?rtt ?pacing_ns ?idle_timeout_ns
-    ~socket ~peer ~suite ~data () =
+    ~transport ~peer ~suite ~data () =
   if String.length data = 0 then invalid_arg "Peer.send: empty data";
   let ctx = match ctx with Some c -> c | None -> Io_ctx.default () in
-  let { Io_ctx.faults; recorder; metrics; clock; batch = batching } = ctx in
+  let { Io_ctx.faults; recorder; metrics; clock; batch = _ } = ctx in
   let idle_timeout_ns =
     Option.value idle_timeout_ns ~default:(max_attempts * retransmit_ns)
   in
@@ -207,14 +194,6 @@ let send ?ctx ?(lossy = Lossy.perfect) ?(transfer_id = 1) ?(packet_bytes = 1024)
       Faults.Netem.attach_counters netem counters;
       Faults.Netem.set_observer netem (Obs.Probe.fault probe)
   | None -> ());
-  (* Pacing wants an inter-packet gap, batching erases them: a paced sender
-     stays on the one-datagram path. *)
-  let batch =
-    if batching && Option.value pacing_ns ~default:0 = 0 then
-      Some (Batch.create ~socket ())
-    else None
-  in
-  let buffer = Udp.rx_buffer () in
   let total_bytes = String.length data in
   let total_packets = (total_bytes + packet_bytes - 1) / packet_bytes in
   let config =
@@ -254,12 +233,13 @@ let send ?ctx ?(lossy = Lossy.perfect) ?(transfer_id = 1) ?(packet_bytes = 1024)
     { outcome; elapsed_ns; counters }
   in
   (* The handshake is strictly send-one-wait-one, so it gains nothing from a
-     train; it stays on the unbatched path. *)
+     train; each REQ is flushed out on its own. *)
   let rec handshake attempt =
     if attempt > max_attempts then `Unreachable
     else begin
-      transmit ?faults ~probe ~lossy ~socket ~peer req;
-      match Udp.recv_message ~timeout_ns:retransmit_ns ~buffer socket with
+      transmit ?faults ~probe ~lossy ~transport ~peer req;
+      transport.Transport.flush ();
+      match Transport.recv_message transport ~timeout_ns:retransmit_ns () with
       | `Timeout ->
           Obs.Probe.timeout probe ~detail:"handshake" ();
           handshake (attempt + 1)
@@ -297,13 +277,13 @@ let send ?ctx ?(lossy = Lossy.perfect) ?(transfer_id = 1) ?(packet_bytes = 1024)
       let machine = Protocol.Suite.sender suite ~counters config ~payload in
       let started = clock () in
       let status =
-        run_machine ?faults ?batch ~lossy ?rtt ?pacing_ns ~idle_timeout_ns ~clock ~buffer
-          ~probe ~socket ~peer ~transfer_id ~machine ()
+        run_machine ?faults ~lossy ?rtt ?pacing_ns ~idle_timeout_ns ~clock ~probe
+          ~transport ~peer ~transfer_id ~machine ()
       in
       (match faults with
       | Some netem -> ignore (Faults.Netem.flush netem : Faults.Netem.emission list)
       | None -> ());
-      flush_batch batch;
+      transport.Transport.flush ();
       let outcome =
         match status with
         | `Peer_idle -> Protocol.Action.Peer_unreachable
@@ -314,11 +294,21 @@ let send ?ctx ?(lossy = Lossy.perfect) ?(transfer_id = 1) ?(packet_bytes = 1024)
       in
       finish ~outcome ~elapsed_ns:(clock () - started)
 
-let serve_one ?ctx ?(lossy = Lossy.perfect) ?(retransmit_ns = 50_000_000)
-    ?(max_attempts = 50) ?linger_ns ?idle_timeout_ns ?accept_timeout_ns ?suite ~socket ()
-    =
+let send ?ctx ?lossy ?transfer_id ?packet_bytes ?retransmit_ns ?max_attempts ?rtt
+    ?pacing_ns ?idle_timeout_ns ~socket ~peer ~suite ~data () =
   let ctx = match ctx with Some c -> c | None -> Io_ctx.default () in
-  let { Io_ctx.faults; recorder; metrics; clock; batch = batching } = ctx in
+  (* Pacing wants an inter-packet gap, batching erases them: a paced sender
+     stays on the one-datagram path. *)
+  let batch = ctx.Io_ctx.batch && Option.value pacing_ns ~default:0 = 0 in
+  let transport = Transport.udp ~batch ~socket () in
+  send_via ~ctx ?lossy ?transfer_id ?packet_bytes ?retransmit_ns ?max_attempts ?rtt
+    ?pacing_ns ?idle_timeout_ns ~transport ~peer ~suite ~data ()
+
+let serve_one_via ?ctx ?(lossy = Lossy.perfect) ?(retransmit_ns = 50_000_000)
+    ?(max_attempts = 50) ?linger_ns ?idle_timeout_ns ?accept_timeout_ns ?suite
+    ~(transport : Transport.t) () =
+  let ctx = match ctx with Some c -> c | None -> Io_ctx.default () in
+  let { Io_ctx.faults; recorder; metrics; clock; batch = _ } = ctx in
   let counters = Protocol.Counters.create () in
   Option.iter (fun r -> Obs.Recorder.set_clock r clock) recorder;
   let probe = Obs.Probe.create ?recorder ~lane:"receiver" ~counters () in
@@ -327,8 +317,6 @@ let serve_one ?ctx ?(lossy = Lossy.perfect) ?(retransmit_ns = 50_000_000)
       Faults.Netem.attach_counters netem counters;
       Faults.Netem.set_observer netem (Obs.Probe.fault probe)
   | None -> ());
-  let batch = if batching then Some (Batch.create ~socket ()) else None in
-  let buffer = Udp.rx_buffer () in
   let publish_metrics () =
     match metrics with
     | None -> ()
@@ -350,14 +338,14 @@ let serve_one ?ctx ?(lossy = Lossy.perfect) ?(retransmit_ns = 50_000_000)
   (* Wait for a geometry-carrying REQ; [accept_timeout_ns] bounds even this
      initial wait when the caller needs a guaranteed return. The sans-IO
      {!Flow} engine takes over from the REQ onwards; this loop only owns the
-     socket, the clock, and the loss coin. *)
+     transport, the clock, and the loss coin. *)
   let accept_deadline = Option.map (fun ns -> clock () + ns) accept_timeout_ns in
   let rec await_flow () =
     let timeout_ns = Option.map (fun d -> d - clock ()) accept_deadline in
     match timeout_ns with
     | Some remaining when remaining <= 0 -> `Gone
     | _ -> begin
-        match Udp.recv_message ?timeout_ns ~buffer socket with
+        match Transport.recv_message transport ?timeout_ns () with
         | `Timeout -> if accept_deadline = None then await_flow () else `Gone
         | `Garbage reason ->
             count_garbage ~probe counters reason;
@@ -394,9 +382,9 @@ let serve_one ?ctx ?(lossy = Lossy.perfect) ?(retransmit_ns = 50_000_000)
       let execute actions =
         List.iter
           (fun (Flow.Transmit m) ->
-            transmit ?faults ?batch ~probe ~lossy ~socket ~peer:sender_address m)
+            transmit ?faults ~probe ~lossy ~transport ~peer:sender_address m)
           actions;
-        flush_batch batch
+        transport.Transport.flush ()
       in
       execute actions;
       let rec drive () =
@@ -411,7 +399,7 @@ let serve_one ?ctx ?(lossy = Lossy.perfect) ?(retransmit_ns = 50_000_000)
               drive ()
             end
             else begin
-              (match Udp.recv_message ~timeout_ns:(deadline - now) ~buffer socket with
+              (match Transport.recv_message transport ~timeout_ns:(deadline - now) () with
               | `Timeout -> execute (Flow.on_tick flow ~now:(clock ()))
               | `Garbage reason -> Flow.on_garbage flow ~now:(clock ()) reason
               | `Message (m, _) ->
@@ -428,5 +416,12 @@ let serve_one ?ctx ?(lossy = Lossy.perfect) ?(retransmit_ns = 50_000_000)
       (match faults with
       | Some netem -> ignore (Faults.Netem.flush netem : Faults.Netem.emission list)
       | None -> ());
-      flush_batch batch;
+      transport.Transport.flush ();
       result_of_completion completion
+
+let serve_one ?ctx ?lossy ?retransmit_ns ?max_attempts ?linger_ns ?idle_timeout_ns
+    ?accept_timeout_ns ?suite ~socket () =
+  let ctx = match ctx with Some c -> c | None -> Io_ctx.default () in
+  let transport = Transport.udp ~batch:ctx.Io_ctx.batch ~socket () in
+  serve_one_via ~ctx ?lossy ?retransmit_ns ?max_attempts ?linger_ns ?idle_timeout_ns
+    ?accept_timeout_ns ?suite ~transport ()

@@ -50,6 +50,29 @@ type receive_result = {
           idle watchdog (or accept timeout) aborted the wait *)
 }
 
+val send_via :
+  ?ctx:Io_ctx.t ->
+  ?lossy:Lossy.t ->
+  ?transfer_id:int ->
+  ?packet_bytes:int ->
+  ?retransmit_ns:int ->
+  ?max_attempts:int ->
+  ?rtt:Protocol.Rtt.t ->
+  ?pacing_ns:int ->
+  ?idle_timeout_ns:int ->
+  transport:Transport.t ->
+  peer:Unix.sockaddr ->
+  suite:Protocol.Suite.t ->
+  data:string ->
+  unit ->
+  send_result
+(** The sender path against an abstract {!Transport.t}: handshake, machine
+    loop, watchdog, telemetry — everything in {!send} except the socket.
+    [ctx.clock] must be the transport's notion of time (virtual time for a
+    memnet transport); [ctx.batch] is ignored, the transport already decided
+    how it sends. This is the entry point the deterministic-simulation
+    harness drives over an in-memory network. *)
+
 val send :
   ?ctx:Io_ctx.t ->
   ?lossy:Lossy.t ->
@@ -80,6 +103,22 @@ val send :
     dumped automatically on a non-[Success] outcome. [ctx.metrics] receives
     the counter record and an elapsed-time gauge, labelled
     [side=sender, transport=udp]. *)
+
+val serve_one_via :
+  ?ctx:Io_ctx.t ->
+  ?lossy:Lossy.t ->
+  ?retransmit_ns:int ->
+  ?max_attempts:int ->
+  ?linger_ns:int ->
+  ?idle_timeout_ns:int ->
+  ?accept_timeout_ns:int ->
+  ?suite:Protocol.Suite.t ->
+  transport:Transport.t ->
+  unit ->
+  receive_result
+(** {!serve_one} against an abstract {!Transport.t} — the single-flow
+    receiver the simulation harness can host on a memnet endpoint. Same
+    clock caveat as {!send_via}. *)
 
 val serve_one :
   ?ctx:Io_ctx.t ->

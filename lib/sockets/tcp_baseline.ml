@@ -39,17 +39,17 @@ let serve_one ~socket () =
       really_write connection (Bytes.make 1 '\001') 0 1;
       Bytes.to_string data)
 
-let send ~peer ~data () =
+let send ?(clock = Udp.now_ns) ~peer ~data () =
   let socket = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
   Fun.protect
     ~finally:(fun () -> try Unix.close socket with Unix.Unix_error _ -> ())
     (fun () ->
       Unix.connect socket peer;
-      let started = Udp.now_ns () in
+      let started = clock () in
       let header = Bytes.create 8 in
       Bytes.set_int64_be header 0 (Int64.of_int (String.length data));
       really_write socket header 0 8;
       really_write socket (Bytes.of_string data) 0 (String.length data);
       let ack = Bytes.create 1 in
       really_read socket ack 0 1;
-      Udp.now_ns () - started)
+      clock () - started)

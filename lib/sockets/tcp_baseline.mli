@@ -14,6 +14,8 @@ val listen : ?address:string -> unit -> Unix.file_descr * Unix.sockaddr
 val serve_one : socket:Unix.file_descr -> unit -> string
 (** Accepts one connection and returns the transferred data. *)
 
-val send : peer:Unix.sockaddr -> data:string -> unit -> int
+val send : ?clock:(unit -> int) -> peer:Unix.sockaddr -> data:string -> unit -> int
 (** Connects, transfers, waits for the application ack; returns the elapsed
-    nanoseconds. *)
+    nanoseconds. [clock] (default the monotonic {!Udp.now_ns}) is the same
+    injectable timestamp source as [Io_ctx.clock], so benchmark timing comes
+    from one place. *)

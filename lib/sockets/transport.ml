@@ -1,0 +1,93 @@
+type view = { buf : Bytes.t; len : int; from : Unix.sockaddr }
+
+type t = {
+  send : peer:Unix.sockaddr -> on_outcome:(Udp.send_outcome -> unit) -> bytes -> unit;
+  flush : unit -> unit;
+  recv : timeout_ns:int option -> [ `Timeout | `Datagram of view ];
+  poll : unit -> [ `Empty | `Datagram of view ];
+  sleep_ns : int -> unit;
+}
+
+let udp ?batch ?(rx_capacity = 64) ~socket () =
+  let batch = match batch with Some b -> b | None -> Batch.env_enabled () in
+  (* A blast sender can land dozens of datagrams between two wake-ups;
+     headroom in the kernel buffer is what keeps that from becoming loss.
+     Best effort: the kernel may clamp it. *)
+  (try Unix.setsockopt_int socket Unix.SO_RCVBUF (4 * 1024 * 1024)
+   with Unix.Unix_error _ -> ());
+  Unix.set_nonblock socket;
+  let tx = if batch then Some (Batch.create ~socket ()) else None in
+  let rx = if batch then Some (Batch.create_rx ~capacity:rx_capacity ~socket ()) else None in
+  let buffer = Udp.rx_buffer () in
+  let send ~peer ~on_outcome data =
+    match tx with
+    | Some b -> Batch.push b ~peer ~on_outcome data
+    | None -> on_outcome (Udp.send_bytes socket peer data)
+  in
+  let flush () =
+    match tx with None -> () | Some b -> ignore (Batch.flush b : Batch.report)
+  in
+  (* Ring state for the recvmmsg drain: [poll] serves leftovers of the last
+     kernel crossing before asking for another. *)
+  let rx_count = ref 0 in
+  let rx_next = ref 0 in
+  let rec poll_socket () =
+    match Unix.recvfrom socket buffer 0 (Bytes.length buffer) [] with
+    | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _) ->
+        `Empty
+    | exception Unix.Unix_error (Unix.ECONNREFUSED, _, _) ->
+        (* Linux surfaces a pending ICMP port-unreachable (a peer that
+           already closed) on the next receive; it consumes no datagram. *)
+        poll_socket ()
+    | len, from -> `Datagram { buf = buffer; len; from }
+  in
+  let poll () =
+    match rx with
+    | None -> poll_socket ()
+    | Some ring ->
+        if !rx_next >= !rx_count then begin
+          rx_count := Batch.recv ring ~limit:(Batch.rx_capacity ring);
+          rx_next := 0
+        end;
+        if !rx_next >= !rx_count then `Empty
+        else begin
+          let buf, len, from = Batch.get ring !rx_next in
+          incr rx_next;
+          `Datagram { buf; len; from }
+        end
+  in
+  let recv ~timeout_ns =
+    (* Leftovers from the last drain come first, or a datagram queued behind
+       them would be served out of order. *)
+    match poll () with
+    | `Datagram d -> `Datagram d
+    | `Empty ->
+        let deadline = Option.map (fun ns -> Udp.now_ns () + ns) timeout_ns in
+        let rec wait () =
+          let timeout =
+            match deadline with
+            | None -> -1.0
+            | Some d -> Float.max 0.0 (float_of_int (d - Udp.now_ns ()) /. 1e9)
+          in
+          match Unix.select [ socket ] [] [] timeout with
+          | [], _, _ -> `Timeout
+          | exception Unix.Unix_error (Unix.EINTR, _, _) -> again ()
+          | _ :: _, _, _ -> ( match poll () with `Datagram d -> `Datagram d | `Empty -> again ())
+        and again () =
+          (* Spurious wake (signal, consumed ICMP error, checksum-dropped
+             datagram): wait out the rest of the window. *)
+          match deadline with
+          | Some d when d - Udp.now_ns () <= 0 -> `Timeout
+          | _ -> wait ()
+        in
+        wait ()
+  in
+  { send; flush; recv; poll; sleep_ns = (fun ns -> Unix.sleepf (float_of_int ns /. 1e9)) }
+
+let recv_message t ?timeout_ns () =
+  match t.recv ~timeout_ns with
+  | `Timeout -> `Timeout
+  | `Datagram { buf; len; from } -> (
+      match Packet.Codec.decode_sub buf ~pos:0 ~len with
+      | Ok message -> `Message (message, from)
+      | Error reason -> `Garbage reason)

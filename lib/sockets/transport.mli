@@ -1,0 +1,56 @@
+(** The datagram transport interface: one record of operations that every
+    protocol loop — the sender path in {!Peer}, the single-flow receiver,
+    and the multiplexed [Server.Engine] — programs against.
+
+    Two interpreters exist: {!udp} wraps a real socket (with optional
+    [sendmmsg]/[recvmmsg] batching, exactly the former hard-wired fast
+    path), and [Memnet.Net.transport] runs the same loops over an in-memory
+    network under [Eventsim] virtual time. Protocol code cannot tell them
+    apart, which is what makes whole-system deterministic simulation
+    possible: the code that serves real traffic is the code under test.
+
+    A transport is single-owner: one loop calls [recv]/[poll] at a time,
+    exactly as a socket had one reading loop before. *)
+
+type view = {
+  buf : Bytes.t;  (** valid only until the next [recv]/[poll] call *)
+  len : int;
+  from : Unix.sockaddr;
+}
+
+type t = {
+  send : peer:Unix.sockaddr -> on_outcome:(Udp.send_outcome -> unit) -> bytes -> unit;
+      (** queue or emit one datagram; [on_outcome] fires exactly once, at
+          the latest by the next [flush] *)
+  flush : unit -> unit;
+      (** submit everything queued (a batched train); no-op otherwise *)
+  recv : timeout_ns:int option -> [ `Timeout | `Datagram of view ];
+      (** wait for the next datagram, at most [timeout_ns] ([None] waits
+          forever). Blocking here is interpreter-defined: a thread blocks on
+          [select], a simulated process suspends in virtual time. *)
+  poll : unit -> [ `Empty | `Datagram of view ];
+      (** non-blocking [recv] — the server drain loop *)
+  sleep_ns : int -> unit;
+      (** pacing and injected-delay sleeps, in the transport's notion of
+          time *)
+}
+
+val udp : ?batch:bool -> ?rx_capacity:int -> socket:Unix.file_descr -> unit -> t
+(** The real-socket interpreter. Sets the socket non-blocking and bumps
+    [SO_RCVBUF] best-effort (the multiplexed server's headroom against blast
+    bursts). With [batch] (default {!Batch.env_enabled}) sends queue into a
+    {!Batch} train flushed by [flush], and [poll] drains through a
+    [recvmmsg] ring of [rx_capacity] slots (default 64, clamped to the stub
+    maximum); otherwise every operation is one syscall. Transient receive
+    errors are absorbed: a pending ICMP port-unreachable is consumed and the
+    wait continues. *)
+
+val recv_message :
+  t ->
+  ?timeout_ns:int ->
+  unit ->
+  [ `Timeout
+  | `Message of Packet.Message.t * Unix.sockaddr
+  | `Garbage of Packet.Codec.error ]
+(** [recv] plus the codec: the one decode step every loop performed by
+    hand. *)

@@ -1,0 +1,261 @@
+(* Deterministic whole-system simulation: the memnet wire, and the full
+   engine + swarm harness under virtual time.
+
+   The memnet tests pin the wire semantics the DST harness depends on:
+   latency-delayed delivery, close waking a parked reader, and in-flight
+   datagrams landing on a rebound port (the address-reuse collision fuel).
+   The harness tests run the entire system — a real [Server.Engine] and real
+   [Sockets.Peer] senders — and assert the replay contract: same seed, same
+   journal, bit for bit, at any parallelism. *)
+
+module Sim = Eventsim.Sim
+module Proc = Eventsim.Proc
+module Time = Eventsim.Time
+module Net = Memnet.Net
+
+let default_latency_ns = 50_000
+
+let in_sim ?(until = 1_000_000_000) f =
+  let sim = Sim.create () in
+  Proc.spawn (Proc.env sim) (fun () -> f sim);
+  Sim.run ~until:(Time.of_ns until) sim;
+  sim
+
+(* ----------------------------------------------------------------- memnet *)
+
+let test_memnet_delivery () =
+  let got = ref None in
+  ignore
+    (in_sim (fun sim ->
+         let net = Net.create ~sim ~seed:1 () in
+         let a = Net.bind net and b = Net.bind net in
+         (Net.transport a).Sockets.Transport.send ~peer:(Net.address b)
+           ~on_outcome:ignore (Bytes.of_string "ping");
+         match (Net.transport b).Sockets.Transport.recv ~timeout_ns:(Some 1_000_000) with
+         | `Datagram { Sockets.Transport.buf; len; from } ->
+             got := Some (Bytes.sub_string buf 0 len, from, Time.to_ns (Sim.now sim))
+         | `Timeout -> ()));
+  match !got with
+  | None -> Alcotest.fail "datagram never delivered"
+  | Some (payload, from, arrived_ns) ->
+      Alcotest.(check string) "payload" "ping" payload;
+      Alcotest.(check bool) "from sender's address" true (from = Unix.ADDR_INET (Unix.inet_addr_loopback, 40_000));
+      Alcotest.(check int) "arrives after one propagation delay" default_latency_ns arrived_ns
+
+let test_memnet_recv_timeout () =
+  let result = ref None in
+  ignore
+    (in_sim (fun sim ->
+         let net = Net.create ~sim ~seed:1 () in
+         let a = Net.bind net in
+         (match (Net.transport a).Sockets.Transport.recv ~timeout_ns:(Some 3_000_000) with
+         | `Timeout -> result := Some (Time.to_ns (Sim.now sim))
+         | `Datagram _ -> ())));
+  match !result with
+  | None -> Alcotest.fail "recv neither timed out nor returned"
+  | Some ns -> Alcotest.(check int) "times out at the deadline" 3_000_000 ns
+
+let test_memnet_close_wakes_reader () =
+  let outcome = ref "pending" in
+  ignore
+    (in_sim (fun sim ->
+         let net = Net.create ~sim ~seed:1 () in
+         let victim = Net.bind net in
+         ignore
+           (Sim.schedule_at sim (Time.of_ns 2_000_000) (fun () -> Net.close victim)
+             : Sim.handle);
+         try
+           match (Net.transport victim).Sockets.Transport.recv ~timeout_ns:None with
+           | `Timeout -> outcome := "timeout"
+           | `Datagram _ -> outcome := "datagram"
+         with Net.Closed port -> outcome := Printf.sprintf "closed:%d" (port land 0xFFFF)));
+  Alcotest.(check string) "parked reader raises Closed" "closed:40000" !outcome
+
+let test_memnet_port_reuse_receives_in_flight () =
+  (* A datagram launched at the old binding lands on whoever holds the port
+     when it arrives — the ambiguity the churn reuse scenario feeds on. *)
+  let got = ref None in
+  ignore
+    (in_sim (fun sim ->
+         let net = Net.create ~sim ~seed:1 () in
+         let a = Net.bind net in
+         let victim = Net.bind net in
+         let port = Net.port victim in
+         (Net.transport a).Sockets.Transport.send ~peer:(Net.address victim)
+           ~on_outcome:ignore (Bytes.of_string "stale");
+         Net.close victim;
+         let replacement = Net.bind ~port net in
+         match
+           (Net.transport replacement).Sockets.Transport.recv
+             ~timeout_ns:(Some 1_000_000)
+         with
+         | `Datagram { Sockets.Transport.buf; len; _ } ->
+             got := Some (Bytes.sub_string buf 0 len)
+         | `Timeout -> ()));
+  Alcotest.(check (option string)) "rebound port receives it" (Some "stale") !got
+
+(* ---------------------------------------------------- engine over memnet *)
+
+let req_message ~transfer_id ~packet_bytes ~total_bytes ~data_crc =
+  let total_packets = (total_bytes + packet_bytes - 1) / packet_bytes in
+  {
+    (Packet.Message.req ~transfer_id ~total:total_packets) with
+    Packet.Message.payload =
+      Sockets.Suite_codec.encode ~data_crc ~packet_bytes ~total_bytes
+        (Protocol.Suite.Blast Protocol.Blast.Go_back_n);
+  }
+
+(* Address reuse at the engine: a second REQ on the same (address, id) with
+   different geometry supersedes the stale flow; an identical duplicate REQ
+   only re-acks. *)
+let test_engine_supersede_on_address_reuse () =
+  let sim = Sim.create () in
+  let net = Net.create ~sim ~seed:3 () in
+  let server_ep = Net.bind ~port:7_000 net in
+  let clock () = Time.to_ns (Sim.now sim) in
+  let engine =
+    Server.Engine.create ~max_flows:4 ~retransmit_ns:5_000_000 ~max_attempts:3
+      ~ctx:(Sockets.Io_ctx.make ~clock ())
+      ~transport:(Net.transport server_ep) ()
+  in
+  let env = Proc.env sim in
+  Proc.spawn env (fun () -> Server.Engine.run engine);
+  Proc.spawn env (fun () ->
+      let ep = Net.bind ~port:6_000 net in
+      let send m =
+        (Net.transport ep).Sockets.Transport.send ~peer:(Net.address server_ep)
+          ~on_outcome:ignore
+          (Packet.Codec.encode m)
+      in
+      let original = req_message ~transfer_id:1 ~packet_bytes:512 ~total_bytes:2_048 ~data_crc:11l in
+      send original;
+      Proc.sleep (Time.span_ns 1_000_000);
+      (* The same REQ again: a retransmitted handshake, not a new sender. *)
+      send original;
+      Proc.sleep (Time.span_ns 1_000_000);
+      (* Same address, same id, different payload: a new process on the
+         reused port. *)
+      send (req_message ~transfer_id:1 ~packet_bytes:512 ~total_bytes:4_096 ~data_crc:99l);
+      Proc.sleep (Time.span_ns 5_000_000);
+      Alcotest.(check (list string))
+        "engine invariants hold mid-churn" []
+        (Server.Engine.invariant_violations engine);
+      Server.Engine.stop engine);
+  Sim.run ~until:(Time.of_ns 1_000_000_000) sim;
+  let t = Server.Engine.totals engine in
+  Alcotest.(check int) "duplicate REQ does not supersede; new geometry does" 1
+    t.Server.Engine.superseded;
+  Alcotest.(check int) "both incarnations admitted" 2 t.Server.Engine.accepted;
+  Alcotest.(check int) "both settled as aborts" 2 t.Server.Engine.aborted;
+  Alcotest.(check (list string))
+    "engine invariants hold after shutdown" []
+    (Server.Engine.invariant_violations engine)
+
+(* ------------------------------------------------------------ whole system *)
+
+let config ~seed ~churn ~faults ~senders ~transfers =
+  {
+    (Dst.Harness.default_config ~seed) with
+    Dst.Harness.churn;
+    faults;
+    senders;
+    transfers;
+  }
+
+let test_dst_clean_steady () =
+  let cfg = config ~seed:41 ~churn:Dst.Harness.Steady ~faults:None ~senders:4 ~transfers:2 in
+  let t = Dst.Harness.run cfg in
+  Alcotest.(check (list string)) "no violations" [] t.Dst.Harness.violations;
+  Alcotest.(check int) "every transfer attempted" 8 t.Dst.Harness.attempted;
+  Alcotest.(check int) "every transfer completed" 8 t.Dst.Harness.completed;
+  Alcotest.(check int) "server agrees" 8 t.Dst.Harness.server_completed
+
+let test_dst_all_churns_uphold_invariants () =
+  List.iter
+    (fun churn ->
+      let cfg =
+        config ~seed:17 ~churn ~faults:(Some Faults.Scenario.chaos) ~senders:8 ~transfers:2
+      in
+      let t = Dst.Harness.run cfg in
+      Alcotest.(check (list string))
+        (Printf.sprintf "no violations under %s churn" (Dst.Harness.churn_name churn))
+        [] t.Dst.Harness.violations)
+    Dst.Harness.all_churns
+
+let test_dst_full_scale_chaos () =
+  let cfg =
+    config ~seed:7 ~churn:Dst.Harness.Mixed ~faults:(Some Faults.Scenario.chaos) ~senders:16
+      ~transfers:3
+  in
+  let t = Dst.Harness.run cfg in
+  Alcotest.(check (list string)) "no violations" [] t.Dst.Harness.violations;
+  Alcotest.(check bool) "most transfers complete" true
+    (t.Dst.Harness.completed * 2 > t.Dst.Harness.attempted)
+
+let test_dst_replay_bit_for_bit () =
+  let cfg =
+    config ~seed:23 ~churn:Dst.Harness.Mixed ~faults:(Some Faults.Scenario.chaos) ~senders:8
+      ~transfers:2
+  in
+  let a = Dst.Harness.run cfg and b = Dst.Harness.run cfg in
+  Alcotest.(check string) "identical journals" a.Dst.Harness.journal b.Dst.Harness.journal;
+  Alcotest.(check string) "identical digests" a.Dst.Harness.digest b.Dst.Harness.digest
+
+let test_dst_jobs_invariant () =
+  let cfg =
+    config ~seed:1 ~churn:Dst.Harness.Mixed ~faults:(Some Faults.Scenario.chaos) ~senders:6
+      ~transfers:2
+  in
+  let seeds = [ 1; 2; 3; 4 ] in
+  let digests jobs =
+    List.map
+      (fun (t : Dst.Harness.trial) -> t.Dst.Harness.digest)
+      (Dst.Harness.run_seeds ~jobs cfg ~seeds)
+  in
+  Alcotest.(check (list string)) "same digests at jobs=1 and jobs=4" (digests 1) (digests 4)
+
+let test_dst_reuse_exercises_supersede () =
+  (* Across a handful of seeds the reuse schedule must hit the engine's
+     supersede path at least once — otherwise the scenario is dead weight. *)
+  let total =
+    List.fold_left
+      (fun acc seed ->
+        let cfg =
+          config ~seed ~churn:Dst.Harness.Reuse ~faults:(Some Faults.Scenario.chaos)
+            ~senders:8 ~transfers:2
+        in
+        let t = Dst.Harness.run cfg in
+        Alcotest.(check (list string)) "no violations" [] t.Dst.Harness.violations;
+        acc + t.Dst.Harness.superseded)
+      0
+      [ 1; 2; 3; 4; 5; 6; 7; 8 ]
+  in
+  Alcotest.(check bool) "supersede path exercised" true (total > 0)
+
+let () =
+  Alcotest.run "dst"
+    [
+      ( "memnet",
+        [
+          Alcotest.test_case "latency-delayed delivery" `Quick test_memnet_delivery;
+          Alcotest.test_case "recv timeout" `Quick test_memnet_recv_timeout;
+          Alcotest.test_case "close wakes parked reader" `Quick test_memnet_close_wakes_reader;
+          Alcotest.test_case "rebound port receives in-flight" `Quick
+            test_memnet_port_reuse_receives_in_flight;
+        ] );
+      ( "engine",
+        [
+          Alcotest.test_case "supersede on address reuse" `Quick
+            test_engine_supersede_on_address_reuse;
+        ] );
+      ( "whole-system",
+        [
+          Alcotest.test_case "clean steady run" `Quick test_dst_clean_steady;
+          Alcotest.test_case "every churn scenario" `Quick test_dst_all_churns_uphold_invariants;
+          Alcotest.test_case "16 senders under mixed chaos" `Quick test_dst_full_scale_chaos;
+          Alcotest.test_case "replay is bit-for-bit" `Quick test_dst_replay_bit_for_bit;
+          Alcotest.test_case "digests invariant under jobs" `Quick test_dst_jobs_invariant;
+          Alcotest.test_case "reuse churn hits supersede" `Quick
+            test_dst_reuse_exercises_supersede;
+        ] );
+    ]

