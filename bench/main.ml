@@ -371,25 +371,37 @@ let dst_rows () =
    N simultaneous senders against one socket, small payloads so the smoke
    run stays fast. *)
 let serve_concurrency_rows () =
-  List.map
-    (fun flows ->
-      let report = Server.Swarm.run ~flows ~bytes:16384 ~packet_bytes:1024 ~seed:1 () in
-      Obs.Json.Obj
-        [
-          ("flows", Obs.Json.Int flows);
-          ("jobs", Obs.Json.Int report.Server.Swarm.jobs);
-          ("bytes_per_flow", Obs.Json.Int report.Server.Swarm.bytes_per_flow);
-          ("completed", Obs.Json.Int report.Server.Swarm.completed);
-          ("rejected", Obs.Json.Int report.Server.Swarm.rejected);
-          ("failed", Obs.Json.Int report.Server.Swarm.failed);
-          ("wall_ns", Obs.Json.Int report.Server.Swarm.elapsed_ns);
-          ("aggregate_mbit_s", Obs.Json.Float report.Server.Swarm.aggregate_mbit_s);
-          ( "latency_ms_mean",
-            Obs.Json.Float (Stats.Summary.mean report.Server.Swarm.latency_ms) );
-          ( "latency_ms_max",
-            Obs.Json.Float (Stats.Summary.max report.Server.Swarm.latency_ms) );
-        ])
-    [ 1; 8; 32 ]
+  (* The widest fan-in run doubles as the loop-health sample: its engine
+     snapshot (taken after the loop exited) carries the tick-duration and
+     heap-depth histograms for the bench's [engine_health] section. *)
+  let health = ref Obs.Json.Null in
+  let rows =
+    List.map
+      (fun flows ->
+        let report = Server.Swarm.run ~flows ~bytes:16384 ~packet_bytes:1024 ~seed:1 () in
+        (match Obs.Json.member "health" report.Server.Swarm.engine_snapshot with
+        | Some h -> health := Obs.Json.Obj [ ("flows", Obs.Json.Int flows); ("health", h) ]
+        | None -> ());
+        let lat = Obs.Hist.snapshot report.Server.Swarm.latency_ms in
+        Obs.Json.Obj
+          [
+            ("flows", Obs.Json.Int flows);
+            ("jobs", Obs.Json.Int report.Server.Swarm.jobs);
+            ("bytes_per_flow", Obs.Json.Int report.Server.Swarm.bytes_per_flow);
+            ("completed", Obs.Json.Int report.Server.Swarm.completed);
+            ("rejected", Obs.Json.Int report.Server.Swarm.rejected);
+            ("failed", Obs.Json.Int report.Server.Swarm.failed);
+            ("wall_ns", Obs.Json.Int report.Server.Swarm.elapsed_ns);
+            ("aggregate_mbit_s", Obs.Json.Float report.Server.Swarm.aggregate_mbit_s);
+            ("latency_ms_mean", Obs.Json.Float lat.Obs.Hist.mean);
+            ("latency_ms_p50", Obs.Json.Float lat.Obs.Hist.p50);
+            ("latency_ms_p90", Obs.Json.Float lat.Obs.Hist.p90);
+            ("latency_ms_p99", Obs.Json.Float lat.Obs.Hist.p99);
+            ("latency_ms_max", Obs.Json.Float lat.Obs.Hist.max);
+          ])
+      [ 1; 8; 32 ]
+  in
+  (rows, !health)
 
 let write_bench_json ~jobs () =
   let packets = 64 in
@@ -448,10 +460,11 @@ let write_bench_json ~jobs () =
       reused_alloc;
     exit 1
   end;
+  let serve_rows, engine_health = serve_concurrency_rows () in
   let json =
     Obs.Json.Obj
       [
-        ("schema", Obs.Json.String "lanrepro-bench/5");
+        ("schema", Obs.Json.String "lanrepro-bench/6");
         ("packets", Obs.Json.Int packets);
         (* Context for mc_parallel: speedup > 1 is only possible when the
            host actually has cores to spread the domains over. *)
@@ -460,7 +473,8 @@ let write_bench_json ~jobs () =
         ("mc_kernels", Obs.Json.List mc_rows);
         ("mc_parallel", Obs.Json.List (mc_parallel_rows jobs));
         ("batched_io", Obs.Json.List (batched_io_rows ()));
-        ("serve_concurrency", Obs.Json.List (serve_concurrency_rows ()));
+        ("serve_concurrency", Obs.Json.List serve_rows);
+        ("engine_health", engine_health);
         ("dst", Obs.Json.List (dst_rows ()));
         ( "rx_alloc",
           Obs.Json.Obj

@@ -791,15 +791,68 @@ let max_flows =
     & info [ "max-flows" ] ~docv:"N"
         ~doc:"Admission cap: concurrent transfers beyond this are answered with REJ.")
 
+let admin_port =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "admin-port" ] ~docv:"PORT"
+        ~doc:
+          "Bind a stat socket on 127.0.0.1:$(docv), answered from the serving loop's \
+           idle point — query it live with $(b,lanrepro stat) or $(b,lanrepro top).")
+
+let stats_interval =
+  Arg.(
+    value
+    & opt (some float) None
+    & info [ "stats-interval" ] ~docv:"SECONDS"
+        ~doc:
+          "Write one JSON stats snapshot every $(docv) seconds (one object per line; \
+           see $(b,--stats-out)).")
+
+let stats_out =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "stats-out" ] ~docv:"PATH"
+        ~doc:"Destination for $(b,--stats-interval) snapshots (default stdout).")
+
+(* The periodic-snapshot sink: a JSONL writer plus its close hook. *)
+let stats_writer stats_interval stats_out =
+  match stats_interval with
+  | None -> (None, (fun _ -> ()), fun () -> ())
+  | Some seconds ->
+      let interval_ns = Some (int_of_float (seconds *. 1e9)) in
+      (match stats_out with
+      | None ->
+          (interval_ns, (fun json -> print_endline (Obs.Json.to_string json)), fun () -> ())
+      | Some path ->
+          let oc = open_out path in
+          ( interval_ns,
+            (fun json ->
+              output_string oc (Obs.Json.to_string json);
+              output_char oc '\n';
+              Stdlib.flush oc),
+            fun () ->
+              close_out oc;
+              Printf.printf "wrote stats to %s\n" path ))
+
+(* A flowtrace rides along whenever a trace file was requested: its lifecycle
+   spans land in the same Perfetto export as the datagram events. *)
+let flowtrace_for trace_out = Option.map (fun _ -> Obs.Flowtrace.create ()) trace_out
+
 let scenario_name option_name ~doc =
   Arg.(value & opt (some string) None & info [ option_name ] ~docv:"NAME" ~doc)
 
 let serve_cmd =
-  let run port max_flows scenario_name seed max_transfers batch trace_out metrics_out =
+  let run port max_flows scenario_name seed max_transfers batch trace_out metrics_out
+      admin_port stats_interval stats_out =
     let scenario = resolve_scenario scenario_name in
     let socket, address = Sockets.Udp.create_socket ~address:"0.0.0.0" ~port () in
     let recorder, metrics, flush = telemetry trace_out metrics_out in
     let ctx = make_ctx ?recorder ?metrics batch in
+    let flowtrace = flowtrace_for trace_out in
+    let admin = Option.map (fun p -> Server.Admin.create ~port:p ()) admin_port in
+    let stats_interval_ns, on_snapshot, close_stats = stats_writer stats_interval stats_out in
     let on_complete (e : Server.Engine.completion_event) =
       let c = e.Server.Engine.completion in
       Printf.printf "  flow %d from %s: %s, %d bytes, crc %s, %.1f ms\n%!"
@@ -815,7 +868,8 @@ let serve_cmd =
     in
     let transport = Sockets.Transport.udp ~batch:ctx.Sockets.Io_ctx.batch ~socket () in
     let engine =
-      Server.Engine.create ~max_flows ?scenario ~seed ~ctx ~on_complete ~transport ()
+      Server.Engine.create ~max_flows ?scenario ~seed ~ctx ~on_complete ?flowtrace ?admin
+        ?stats_interval_ns ~on_snapshot ~transport ()
     in
     (* Ctrl-C stops the loop instead of killing the process, so the totals
        line and any requested telemetry still get written. *)
@@ -824,10 +878,17 @@ let serve_cmd =
     Printf.printf "serving on UDP %s (max %d concurrent flows%s)...\n%!"
       (string_of_sockaddr address) max_flows
       (match scenario_name with Some s -> ", scenario " ^ s | None -> "");
+    Option.iter
+      (fun a -> Printf.printf "stat socket on 127.0.0.1:%d\n%!" (Server.Admin.port a))
+      admin;
     Server.Engine.run ?max_transfers engine;
     Sockets.Udp.close socket;
+    Option.iter Server.Admin.close admin;
+    close_stats ();
     Format.printf "server: %a@." Server.Engine.pp_totals (Server.Engine.totals engine);
-    flush ()
+    flush
+      ~spans:(match flowtrace with Some ft -> Obs.Flowtrace.spans ft | None -> [])
+      ()
   in
   let max_transfers =
     Arg.(
@@ -844,24 +905,31 @@ let serve_cmd =
     Term.(
       const run $ port $ max_flows
       $ scenario_name "scenario" ~doc:"Server-side fault scenario applied independently per flow."
-      $ seed $ max_transfers $ batch_flag $ trace_out $ metrics_out)
+      $ seed $ max_transfers $ batch_flag $ trace_out $ metrics_out $ admin_port
+      $ stats_interval $ stats_out)
 
 let swarm_cmd =
   let run flows max_flows jobs size packet_bytes protocol scenario_name server_scenario_name
-      seed batch trace_out metrics_out =
+      seed batch trace_out metrics_out admin_port stats_interval stats_out =
     let scenario = resolve_scenario scenario_name in
     let server_scenario = resolve_scenario server_scenario_name in
     let recorder, metrics, flush = telemetry trace_out metrics_out in
     let ctx = make_ctx ?recorder ?metrics batch in
+    let flowtrace = flowtrace_for trace_out in
+    let stats_interval_ns, on_snapshot, close_stats = stats_writer stats_interval stats_out in
     let report =
       Server.Swarm.run ~max_flows ?jobs ~bytes:size ~packet_bytes ~suite:protocol ?scenario
-        ?server_scenario ~seed ~ctx ~flows ()
+        ?server_scenario ~seed ~ctx ?flowtrace ?admin_port ?stats_interval_ns ~on_snapshot
+        ~flows ()
     in
+    close_stats ();
     Format.printf "%a@." Server.Swarm.pp_report report;
     Printf.printf "server-verified transfers: %d/%d\n"
       (Server.Swarm.server_verified report)
       report.Server.Swarm.completed;
-    flush ();
+    flush
+      ~spans:(match flowtrace with Some ft -> Obs.Flowtrace.spans ft | None -> [])
+      ();
     if report.Server.Swarm.failed > 0 then exit 1
   in
   let flows =
@@ -883,7 +951,8 @@ let swarm_cmd =
       const run $ flows $ max_flows $ jobs $ size $ packet_bytes $ protocol
       $ scenario_name "scenario" ~doc:"Sender-side fault scenario (independent per sender)."
       $ scenario_name "server-scenario" ~doc:"Server-side fault scenario (independent per flow)."
-      $ seed $ batch_flag $ trace_out $ metrics_out)
+      $ seed $ batch_flag $ trace_out $ metrics_out $ admin_port $ stats_interval
+      $ stats_out)
 
 (* ------------------------------------------------- deterministic simulation *)
 
@@ -949,11 +1018,16 @@ let dst_cmd =
         (match journal_dir with
         | None -> ()
         | Some dir ->
-            let file = Filename.concat dir (Printf.sprintf "dst-seed-%d.journal" seed) in
-            let oc = open_out file in
-            output_string oc t.Dst.Harness.journal;
-            close_out oc;
-            Printf.printf "seed %d: journal written to %s\n" seed file);
+            let write name contents =
+              let file = Filename.concat dir (Printf.sprintf "dst-seed-%d.%s" seed name) in
+              let oc = open_out file in
+              output_string oc contents;
+              close_out oc;
+              Printf.printf "seed %d: %s written to %s\n" seed name file
+            in
+            write "journal" t.Dst.Harness.journal;
+            write "flowtrace.jsonl" t.Dst.Harness.flowtrace;
+            if t.Dst.Harness.flight <> "" then write "flight.jsonl" t.Dst.Harness.flight);
         let again = Dst.Harness.run { cfg with Dst.Harness.seed } in
         let identical = again.Dst.Harness.digest = t.Dst.Harness.digest in
         if not identical then diverged := true;
@@ -1011,7 +1085,9 @@ let dst_cmd =
       value
       & opt (some string) None
       & info [ "journal-dir" ] ~docv:"DIR"
-          ~doc:"Write each failing seed's event journal to DIR (CI artifact hook).")
+          ~doc:
+            "Write each failing seed's event journal, flowtrace, and engine flight \
+             ring to DIR (CI artifact hook).")
   in
   Cmd.v
     (Cmd.info "dst"
@@ -1023,6 +1099,163 @@ let dst_cmd =
     Term.(
       const run $ seed $ seeds $ churn $ fault_name $ senders $ transfers $ max_flows
       $ until_virtual_s $ jobs $ journal_dir)
+
+(* --------------------------------------------------------- live stats plane *)
+
+let stat_addr =
+  Arg.(
+    required
+    & pos 0 (some string) None
+    & info [] ~docv:"ADDR"
+        ~doc:"Stat socket address, HOST:PORT or just PORT (host defaults to 127.0.0.1).")
+
+let stat_timeout_ms =
+  Arg.(
+    value & opt int 1000
+    & info [ "timeout-ms" ] ~docv:"MS" ~doc:"Per-attempt reply timeout.")
+
+let stat_retries =
+  Arg.(
+    value & opt int 3
+    & info [ "retries" ] ~docv:"N" ~doc:"Query attempts before giving up (UDP, so lossy).")
+
+(* Path lookup into a parsed snapshot; every accessor is total so a truncated
+   or foreign reply degrades to "-" cells instead of an exception. *)
+let json_path path json =
+  List.fold_left (fun acc key -> Option.bind acc (Obs.Json.member key)) (Some json) path
+
+let json_int path json = Option.bind (json_path path json) Obs.Json.to_int
+let json_float path json = Option.bind (json_path path json) Obs.Json.to_float
+let json_str path json = Option.bind (json_path path json) Obs.Json.to_str
+
+let fetch_snapshot addr timeout_ms retries =
+  match Server.Admin.parse_address addr with
+  | Error e ->
+      Printf.eprintf "stat: %s\n" e;
+      exit 2
+  | Ok sockaddr -> (
+      match Server.Admin.query ~timeout_ms ~retries sockaddr with
+      | Error e -> Error e
+      | Ok json -> (
+          match json_str [ "schema" ] json with
+          | Some "lanrepro-stat/1" -> Ok json
+          | Some other -> Error (Printf.sprintf "unexpected snapshot schema %S" other)
+          | None -> Error "reply is not a lanrepro stat snapshot (no schema field)"))
+
+let stat_cmd =
+  let run addr timeout_ms retries =
+    match fetch_snapshot addr timeout_ms retries with
+    | Error e ->
+        Printf.eprintf "stat: %s\n" e;
+        exit 1
+    | Ok json -> print_endline (Obs.Json.to_string json)
+  in
+  Cmd.v
+    (Cmd.info "stat"
+       ~doc:
+         "Query a running server's stat socket (serve/swarm --admin-port) once and \
+          print the JSON snapshot: per-flow states, loop-health quantiles, and \
+          engine counters")
+    Term.(const run $ stat_addr $ stat_timeout_ms $ stat_retries)
+
+let render_snapshot buf addr json =
+  let cell = function Some f -> Printf.sprintf "%10.1f" f | None -> "         -" in
+  let int_or d path = Option.value ~default:d (json_int path json) in
+  let uptime_s = float_of_int (int_or 0 [ "uptime_ns" ]) /. 1e9 in
+  Buffer.add_string buf
+    (Printf.sprintf "lanrepro top — %s    uptime %.1f s\n\n" addr uptime_s);
+  Buffer.add_string buf
+    (Printf.sprintf
+       "flows %d/%d active (%d omitted)   accepted %d  completed %d  aborted %d  \
+        rejected %d  superseded %d\n"
+       (int_or 0 [ "active_flows" ])
+       (int_or 0 [ "max_flows" ])
+       (int_or 0 [ "flows_omitted" ])
+       (int_or 0 [ "totals"; "accepted" ])
+       (int_or 0 [ "totals"; "completed" ])
+       (int_or 0 [ "totals"; "aborted" ])
+       (int_or 0 [ "totals"; "rejected" ])
+       (int_or 0 [ "totals"; "superseded" ]));
+  Buffer.add_string buf
+    (Printf.sprintf "ticks %d  drain-exhausted %d  timer-heap %d\n\n"
+       (int_or 0 [ "health"; "ticks" ])
+       (int_or 0 [ "health"; "drain_exhausted" ])
+       (int_or 0 [ "health"; "timer_heap" ]));
+  Buffer.add_string buf
+    (Printf.sprintf "%-22s %10s %10s %10s\n" "loop health" "p50" "p99" "max");
+  let hist_row label key scale =
+    let q name = Option.map (fun v -> v *. scale) (json_float [ "health"; key; name ] json) in
+    Buffer.add_string buf
+      (Printf.sprintf "  %-20s %s %s %s\n" label (cell (q "p50")) (cell (q "p99"))
+         (cell (q "max")))
+  in
+  hist_row "tick duration (us)" "tick_duration_ns" 1e-3;
+  hist_row "recv drain (pkts)" "recv_drained" 1.0;
+  hist_row "flush train (pkts)" "flush_train" 1.0;
+  hist_row "timer heap depth" "timer_heap_depth" 1.0;
+  Buffer.add_char buf '\n';
+  Buffer.add_string buf
+    (Printf.sprintf "%-34s %-9s %-9s %13s %7s %8s\n" "flow" "status" "phase" "pkts"
+       "rounds" "age");
+  let flows =
+    Option.value ~default:[]
+      (Option.bind (json_path [ "flows" ] json) Obs.Json.to_list)
+  in
+  List.iter
+    (fun flow ->
+      let str_or d path = Option.value ~default:d (json_str path flow) in
+      let fint_or d path = Option.value ~default:d (json_int path flow) in
+      Buffer.add_string buf
+        (Printf.sprintf "%-34s %-9s %-9s %6d/%6d %7d %6.1f s\n"
+           (str_or "?" [ "flow" ])
+           (str_or "?" [ "status" ])
+           (str_or "?" [ "phase" ])
+           (fint_or 0 [ "delivered" ])
+           (fint_or 0 [ "total_packets" ])
+           (fint_or 0 [ "rounds" ])
+           (float_of_int (fint_or 0 [ "age_ns" ]) /. 1e9)))
+    flows;
+  if flows = [] then Buffer.add_string buf "  (no active flows)\n"
+
+let top_cmd =
+  let run addr timeout_ms retries interval count =
+    let remaining = ref count in
+    let misses = ref 0 in
+    while !remaining <> 0 && !misses < retries + 2 do
+      (match fetch_snapshot addr timeout_ms retries with
+      | Error e ->
+          incr misses;
+          Printf.printf "\027[2J\027[Hlanrepro top — %s: %s (attempt %d)\n%!" addr e !misses
+      | Ok json ->
+          misses := 0;
+          let buf = Buffer.create 1024 in
+          render_snapshot buf addr json;
+          (* Clear + home, then one write, so the refresh does not flicker. *)
+          print_string "\027[2J\027[H";
+          print_string (Buffer.contents buf);
+          Stdlib.flush Stdlib.stdout);
+      if !remaining > 0 then decr remaining;
+      if !remaining <> 0 then Unix.sleepf interval
+    done;
+    if !misses > 0 then exit 1
+  in
+  let interval =
+    Arg.(
+      value & opt float 1.0
+      & info [ "interval" ] ~docv:"SECONDS" ~doc:"Seconds between refreshes.")
+  in
+  let count =
+    Arg.(
+      value & opt int 0
+      & info [ "count" ] ~docv:"N"
+          ~doc:"Stop after N refreshes (default 0: run until interrupted).")
+  in
+  Cmd.v
+    (Cmd.info "top"
+       ~doc:
+         "Live terminal view of a running server's stat socket: summary line, \
+          loop-health quantiles, and a per-flow table, refreshed in place")
+    Term.(const run $ stat_addr $ stat_timeout_ms $ stat_retries $ interval $ count)
 
 let () =
   let default = Term.(ret (const (`Help (`Pager, None)))) in
@@ -1047,4 +1280,6 @@ let () =
             serve_cmd;
             swarm_cmd;
             dst_cmd;
+            stat_cmd;
+            top_cmd;
           ]))

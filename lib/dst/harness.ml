@@ -74,6 +74,10 @@ type trial = {
   violations : string list;
   journal : string;
   digest : string;
+  flowtrace : string;
+      (** per-flow lifecycle export (JSONL), virtual-time stamped — the
+          byte-comparable replay artifact *)
+  flight : string;  (** engine flight-ring JSONL; [""] unless the trial failed *)
 }
 
 (* One participant — an initial sender or a churn-spawned replacement. The
@@ -93,6 +97,8 @@ type harness = {
   sim : Sim.t;
   net : Net.t;
   journal : Buffer.t;
+  flowtrace : Obs.Flowtrace.t;  (** shared across engine incarnations *)
+  recorder : Obs.Recorder.t;  (** engine flight ring, virtual-time stamped *)
   violations : string list ref;
   engine : Server.Engine.t option ref;  (** current incarnation, [None] mid-outage *)
   slots : slot list ref;  (** insertion order — the churn picker's stable index *)
@@ -188,8 +194,9 @@ let engine_proc h () =
     let engine =
       Server.Engine.create ~max_flows:h.cfg.max_flows ~retransmit_ns:h.cfg.retransmit_ns
         ~max_attempts:h.cfg.max_attempts
-        ~ctx:(Sockets.Io_ctx.make ~clock:(clock_of h) ())
-        ~on_complete:(on_complete h) ~transport ()
+        ~ctx:(Sockets.Io_ctx.make ~clock:(clock_of h) ~recorder:h.recorder ())
+        ~on_complete:(on_complete h) ~flowtrace:h.flowtrace ~trace_epoch:gen
+        ~transport ()
     in
     h.engine := Some engine;
     line h "engine up gen=%d" gen;
@@ -444,6 +451,8 @@ let run cfg =
       sim;
       net;
       journal = Buffer.create 4096;
+      flowtrace = Obs.Flowtrace.create ();
+      recorder = Obs.Recorder.create ();
       violations = ref [];
       engine = ref None;
       slots = ref [];
@@ -515,7 +524,14 @@ let run cfg =
       List.iter
         (fun v -> violation h ("engine invariant at horizon: " ^ v))
         (Server.Engine.invariant_violations engine)
-  | None -> ());
+  | None ->
+      (* The engine wound down, so every admitted flow was settled: the
+         lifecycle grammar must hold — exactly one terminal per flow, nothing
+         recorded past it. (With the engine still up at the horizon live
+         flows legitimately lack terminals; the hang checks own that case.) *)
+      List.iter
+        (fun p -> violation h ("flowtrace: " ^ p))
+        (Obs.Flowtrace.validate h.flowtrace));
   let stats = Net.stats net in
   line h "net delivered=%d unbound=%d overrun=%d" stats.Net.delivered
     stats.Net.dropped_unbound stats.Net.dropped_overrun;
@@ -525,6 +541,7 @@ let run cfg =
     h.attempted h.completed h.rejected h.failed h.killed h.restarts h.superseded
     h.server_completed h.server_aborted;
   let journal = Buffer.contents h.journal in
+  let violations = List.rev !(h.violations) in
   let trial =
     {
       seed = cfg.seed;
@@ -541,9 +558,15 @@ let run cfg =
       server_aborted = h.server_aborted;
       virtual_ns = active_ns;
       events = List.length (String.split_on_char '\n' journal) - 1;
-      violations = List.rev !(h.violations);
+      violations;
       journal;
       digest = Digest.to_hex (Digest.string journal);
+      flowtrace = Obs.Flowtrace.to_jsonl h.flowtrace;
+      flight =
+        (* Materialized only for failing trials: "what were the last N
+           datagrams doing" next to the journal. *)
+        (if violations = [] then ""
+         else Obs.Export.jsonl_of_events (Obs.Recorder.events h.recorder));
     }
   in
   Log.info (fun f ->

@@ -72,6 +72,14 @@ type trial = {
   violations : string list;  (** empty = the run upheld every property *)
   journal : string;  (** the full event journal; bit-for-bit replayable *)
   digest : string;  (** MD5 hex of [journal] — the replay fingerprint *)
+  flowtrace : string;
+      (** {!Obs.Flowtrace} lifecycle export (JSONL), virtual-time stamped
+          and shared across engine incarnations ([trace_epoch] = generation)
+          — replays bit-for-bit at any [jobs], and once the engine wound
+          down its lifecycle grammar is asserted as part of [violations] *)
+  flight : string;
+      (** the engine's {!Obs.Recorder} flight ring as JSONL; [""] unless
+          the trial has violations *)
 }
 
 val run : config -> trial

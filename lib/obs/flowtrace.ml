@@ -1,0 +1,140 @@
+type terminal = Done | Failed | Rejected | Superseded
+
+type event =
+  | Admitted
+  | First_data
+  | Round
+  | Verify
+  | Terminal of terminal
+
+type record = { flow : string; event : event; ts_ns : int }
+type t = { mutable rev : record list; lock : Mutex.t }
+
+let create () = { rev = []; lock = Mutex.create () }
+
+let record t ~flow event ~now =
+  Mutex.lock t.lock;
+  t.rev <- { flow; event; ts_ns = now } :: t.rev;
+  Mutex.unlock t.lock
+
+let records t =
+  Mutex.lock t.lock;
+  let r = t.rev in
+  Mutex.unlock t.lock;
+  List.rev r
+
+let terminal_name = function
+  | Done -> "done"
+  | Failed -> "failed"
+  | Rejected -> "rejected"
+  | Superseded -> "superseded"
+
+let event_name = function
+  | Admitted -> "admitted"
+  | First_data -> "first-data"
+  | Round -> "round"
+  | Verify -> "verify"
+  | Terminal t -> terminal_name t
+
+(* Group records by flow, preserving first-appearance order of flows and
+   recording order within each flow. *)
+let by_flow t =
+  let tbl = Hashtbl.create 64 in
+  let order = ref [] in
+  List.iter
+    (fun r ->
+      match Hashtbl.find_opt tbl r.flow with
+      | Some rev -> Hashtbl.replace tbl r.flow (r :: rev)
+      | None ->
+          Hashtbl.add tbl r.flow [ r ];
+          order := r.flow :: !order)
+    (records t);
+  List.rev_map (fun flow -> (flow, List.rev (Hashtbl.find tbl flow))) !order
+  |> List.rev
+
+let spans t =
+  let span lane kind start_ns end_ns =
+    { Span.lane; kind; start_ns; dur_ns = max 0 (end_ns - start_ns) }
+  in
+  let instant lane kind ts = span lane kind ts ts in
+  List.concat_map
+    (fun (flow, recs) ->
+      let ts_of ev =
+        List.find_map
+          (fun r -> if r.event = ev then Some r.ts_ns else None)
+          recs
+      in
+      let first = (List.hd recs).ts_ns in
+      let last = (List.nth recs (List.length recs - 1)).ts_ns in
+      let outer = span flow "flow" first last in
+      let phases =
+        match (ts_of Admitted, ts_of First_data) with
+        | Some adm, Some fd ->
+            [ span flow "handshake" adm fd; span flow "blast" fd last ]
+        | Some adm, None -> [ span flow "handshake" adm last ]
+        | None, _ -> []
+      in
+      let instants =
+        List.filter_map
+          (fun r ->
+            match r.event with
+            | Admitted | First_data -> None
+            | (Round | Verify | Terminal _) as ev ->
+                Some (instant flow (event_name ev) r.ts_ns))
+          recs
+      in
+      (outer :: phases) @ instants)
+    (by_flow t)
+
+let validate t =
+  let problems = ref [] in
+  let problem fmt = Printf.ksprintf (fun s -> problems := s :: !problems) fmt in
+  List.iter
+    (fun (flow, recs) ->
+      let terminals =
+        List.filter (fun r -> match r.event with Terminal _ -> true | _ -> false) recs
+      in
+      (match terminals with
+      | [] -> problem "flow %s has no terminal state" flow
+      | [ _ ] -> ()
+      | many -> problem "flow %s has %d terminal states" flow (List.length many));
+      (match recs with
+      | { event = Admitted; _ } :: _ -> ()
+      | [ { event = Terminal Rejected; _ } ] -> ()
+      | _ -> problem "flow %s does not start with admitted" flow);
+      let rec check_order prev_ts terminated = function
+        | [] -> ()
+        | r :: rest ->
+            if terminated then
+              problem "flow %s has %s after a terminal state" flow
+                (event_name r.event);
+            if r.ts_ns < prev_ts then
+              problem "flow %s timestamps go backwards at %s" flow
+                (event_name r.event);
+            let terminated =
+              terminated || match r.event with Terminal _ -> true | _ -> false
+            in
+            check_order r.ts_ns terminated rest
+      in
+      check_order min_int false recs)
+    (by_flow t);
+  List.rev !problems
+
+let record_to_json r =
+  Json.Obj
+    [
+      ("flow", Json.String r.flow);
+      ("ev", Json.String (event_name r.event));
+      ("ts", Json.Int r.ts_ns);
+    ]
+
+let to_jsonl t =
+  let buf = Buffer.create 1024 in
+  List.iter
+    (fun r ->
+      Json.to_buffer buf (record_to_json r);
+      Buffer.add_char buf '\n')
+    (records t);
+  Buffer.contents buf
+
+let to_json t = Json.List (List.map record_to_json (records t))

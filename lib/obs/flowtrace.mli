@@ -1,0 +1,59 @@
+(** Per-flow lifecycle tracing for the multiplexed serve path.
+
+    A flowtrace records the coarse lifecycle of every flow the engine
+    touches — admitted → first-data → blast rounds → verify → exactly one
+    terminal state — as timestamped events keyed by an opaque flow label
+    (the engine formats ["host:port#id/epoch.index"] from its
+    [(sockaddr, transfer_id)] key; this module deliberately has no [Unix]
+    dependency). Timestamps come from whatever clock the caller reads
+    ({!Sockets.Io_ctx.clock}), so the same engine produces byte-identical
+    traces over real UDP and under DST virtual time.
+
+    {!spans} renders the lifecycle as well-nested {!Span.t} lanes for the
+    existing Perfetto export path; {!validate} checks the lifecycle
+    grammar and is the substance of the lifecycle-ordering tests. *)
+
+type terminal = Done | Failed | Rejected | Superseded
+
+type event =
+  | Admitted
+  | First_data  (** first DATA datagram accepted by the flow *)
+  | Round  (** the flow's rounds counter advanced (retransmission round) *)
+  | Verify  (** payload integrity verified (precedes [Terminal Done]) *)
+  | Terminal of terminal
+
+type record = { flow : string; event : event; ts_ns : int }
+
+type t
+
+val create : unit -> t
+(** Thread-safe; events may arrive from any domain. *)
+
+val record : t -> flow:string -> event -> now:int -> unit
+val records : t -> record list
+(** In recording order. *)
+
+val event_name : event -> string
+(** [admitted | first-data | round | verify | done | failed | rejected |
+    superseded]. *)
+
+val spans : t -> Span.t list
+(** One lane per flow label. Each flow gets an outer [flow] span covering
+    its whole lifetime, a [handshake] span from admission to first data (or
+    to the terminal event when no data arrived), a [blast] span from first
+    data to verify/terminal, and zero-length instants for rounds, verify
+    and the terminal state — all nested inside the outer span. *)
+
+val validate : t -> string list
+(** Lifecycle grammar violations, empty when clean: every flow ends in
+    exactly one terminal state; nothing follows a terminal event; any flow
+    that progressed past admission started with [Admitted] (a lone
+    [Terminal Rejected] is the legal admission-refused shape); timestamps
+    are non-decreasing per flow. *)
+
+val to_jsonl : t -> string
+(** One [{"flow":…,"ev":…,"ts":…}] object per line, recording order —
+    the canonical byte-comparable export for DST replay-invariance. *)
+
+val to_json : t -> Json.t
+(** The same records as a JSON list. *)

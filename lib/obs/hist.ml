@@ -1,0 +1,169 @@
+type t = {
+  lo : float;
+  hi : float;
+  bins : int;
+  log_lo : float;
+  log_span : float; (* log (hi /. lo) *)
+  counts : int array;
+  mutable underflow : int;
+  mutable overflow : int;
+  mutable total : int;
+  mutable min_v : float;
+  mutable max_v : float;
+  mutable sum_v : float;
+  lock : Mutex.t;
+}
+
+let create ?(lo = 100.) ?(hi = 1e12) ?(bins = 240) () =
+  if not (lo > 0. && hi > lo) then invalid_arg "Hist.create: need 0 < lo < hi";
+  if bins <= 0 then invalid_arg "Hist.create: bins must be positive";
+  {
+    lo;
+    hi;
+    bins;
+    log_lo = log lo;
+    log_span = log (hi /. lo);
+    counts = Array.make bins 0;
+    underflow = 0;
+    overflow = 0;
+    total = 0;
+    min_v = infinity;
+    max_v = neg_infinity;
+    sum_v = 0.;
+    lock = Mutex.create ();
+  }
+
+let locked t f =
+  Mutex.lock t.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
+
+let bucket_index t v =
+  let i =
+    int_of_float (float_of_int t.bins *. ((log v -. t.log_lo) /. t.log_span))
+  in
+  if i < 0 then 0 else if i >= t.bins then t.bins - 1 else i
+
+(* Upper edge of bucket [i]; bucket [i] covers [edge (i-1), edge i). *)
+let bucket_edge t i = t.lo *. exp (t.log_span *. (float_of_int (i + 1) /. float_of_int t.bins))
+
+let add t v =
+  if not (Float.is_nan v) then
+    locked t (fun () ->
+        t.total <- t.total + 1;
+        t.sum_v <- t.sum_v +. v;
+        if v < t.min_v then t.min_v <- v;
+        if v > t.max_v then t.max_v <- v;
+        if v < t.lo then t.underflow <- t.underflow + 1
+        else if v >= t.hi then t.overflow <- t.overflow + 1
+        else
+          let i = bucket_index t v in
+          t.counts.(i) <- t.counts.(i) + 1)
+
+let count t = locked t (fun () -> t.total)
+let min_value t = locked t (fun () -> if t.total = 0 then nan else t.min_v)
+let max_value t = locked t (fun () -> if t.total = 0 then nan else t.max_v)
+let sum t = locked t (fun () -> t.sum_v)
+
+let mean t =
+  locked t (fun () ->
+      if t.total = 0 then nan else t.sum_v /. float_of_int t.total)
+
+(* Caller holds the lock. Walk the cumulative distribution — underflow,
+   then the geometric grid, then overflow — and interpolate inside the
+   target bucket; clamp to the exact observed extremes so p0/p100 (and any
+   quantile that lands in the under/overflow buckets) stay honest. *)
+let quantile_locked t q =
+  if t.total = 0 then nan
+  else
+    let clamp v = Float.max t.min_v (Float.min t.max_v v) in
+    let target = q *. float_of_int t.total in
+    let acc = ref (float_of_int t.underflow) in
+    if !acc >= target then clamp t.lo
+    else begin
+      let result = ref nan in
+      (try
+         for i = 0 to t.bins - 1 do
+           let c = float_of_int t.counts.(i) in
+           if c > 0. && !acc +. c >= target then begin
+             let lo_edge = if i = 0 then t.lo else bucket_edge t (i - 1) in
+             let hi_edge = bucket_edge t i in
+             let frac = (target -. !acc) /. c in
+             result := lo_edge +. ((hi_edge -. lo_edge) *. frac);
+             raise Exit
+           end;
+           acc := !acc +. c
+         done;
+         (* Landed in the overflow bucket. *)
+         result := t.max_v
+       with Exit -> ());
+      clamp !result
+    end
+
+let quantile t q =
+  if not (q >= 0. && q <= 1.) then invalid_arg "Hist.quantile: q outside [0,1]";
+  locked t (fun () -> quantile_locked t q)
+
+let merge ~into src =
+  if into == src then invalid_arg "Hist.merge: into == src";
+  if not (into.lo = src.lo && into.hi = src.hi && into.bins = src.bins) then
+    invalid_arg "Hist.merge: mismatched bucket geometry";
+  (* Snapshot the source under its own lock first, then apply under the
+     destination lock — never hold both at once, so concurrent merges in
+     either direction cannot deadlock. *)
+  let counts, underflow, overflow, total, min_v, max_v, sum_v =
+    locked src (fun () ->
+        ( Array.copy src.counts,
+          src.underflow,
+          src.overflow,
+          src.total,
+          src.min_v,
+          src.max_v,
+          src.sum_v ))
+  in
+  locked into (fun () ->
+      Array.iteri (fun i c -> into.counts.(i) <- into.counts.(i) + c) counts;
+      into.underflow <- into.underflow + underflow;
+      into.overflow <- into.overflow + overflow;
+      into.total <- into.total + total;
+      into.sum_v <- into.sum_v +. sum_v;
+      if min_v < into.min_v then into.min_v <- min_v;
+      if max_v > into.max_v then into.max_v <- max_v)
+
+type summary = {
+  count : int;
+  p50 : float;
+  p90 : float;
+  p99 : float;
+  max : float;
+  mean : float;
+}
+
+let snapshot t =
+  locked t (fun () ->
+      let empty = t.total = 0 in
+      {
+        count = t.total;
+        p50 = quantile_locked t 0.5;
+        p90 = quantile_locked t 0.9;
+        p99 = quantile_locked t 0.99;
+        max = (if empty then nan else t.max_v);
+        mean = (if empty then nan else t.sum_v /. float_of_int t.total);
+      })
+
+let summary_to_json s =
+  Json.Obj
+    [
+      ("count", Json.Int s.count);
+      ("p50", Json.Float s.p50);
+      ("p90", Json.Float s.p90);
+      ("p99", Json.Float s.p99);
+      ("max", Json.Float s.max);
+      ("mean", Json.Float s.mean);
+    ]
+
+let to_json t = summary_to_json (snapshot t)
+
+let pp fmt t =
+  let s = snapshot t in
+  Format.fprintf fmt "n=%d p50=%.1f p90=%.1f p99=%.1f max=%.1f" s.count s.p50
+    s.p90 s.p99 s.max

@@ -38,6 +38,30 @@ type completion_event = {
   finished_ns : int;
 }
 
+(* Loop health: where the serving thread's time goes, observed from inside
+   the loop itself. Tick duration deliberately excludes the blocking wait —
+   it measures work, not idleness — so its p99 is the number that degrades
+   when the single-domain loop saturates. *)
+type health = {
+  tick_duration_ns : Obs.Hist.t;
+  recv_drained : Obs.Hist.t;  (** datagrams consumed per wakeup that had any *)
+  flush_train : Obs.Hist.t;  (** datagrams sent per non-empty flush point *)
+  timer_heap_depth : Obs.Hist.t;
+  mutable ticks : int;
+  mutable drain_exhausted : int;
+      (** wakeups that consumed the whole drain budget — backlog evidence *)
+}
+
+let create_health () =
+  {
+    tick_duration_ns = Obs.Hist.create ();
+    recv_drained = Obs.Hist.create ~lo:1. ~hi:1e6 ~bins:120 ();
+    flush_train = Obs.Hist.create ~lo:1. ~hi:1e6 ~bins:120 ();
+    timer_heap_depth = Obs.Hist.create ~lo:1. ~hi:1e6 ~bins:120 ();
+    ticks = 0;
+    drain_exhausted = 0;
+  }
+
 (* A flow is keyed by who is talking and which transfer they mean: two
    transfers from the same source port never collide (distinct ids), and two
    senders reusing id 1 never collide either (distinct sockaddrs). *)
@@ -54,6 +78,11 @@ type flow_state = {
   peer : Unix.sockaddr;
   faults : Faults.Netem.t option;
   started_ns : int;
+  label : string;  (** flowtrace lane / snapshot key, unique per incarnation *)
+  mutable saw_data : bool;  (** first DATA datagram reached the flow *)
+  mutable seen_rounds : int;
+      (** ack+nack response high-water — the receiver-side round marker
+          behind the flowtrace [Round] events *)
   mutable scheduled_at : int;  (** earliest heap entry for this flow; [max_int] = none *)
 }
 
@@ -72,6 +101,13 @@ type t = {
   metrics : Obs.Metrics.t option;
   clock : unit -> int;
   on_complete : completion_event -> unit;
+  flowtrace : Obs.Flowtrace.t option;
+  admin : Admin.t option;
+  stats_interval_ns : int option;
+  on_snapshot : Obs.Json.t -> unit;
+  trace_epoch : int;
+  created_ns : int;
+  health : health;
   flows : (key, flow_state) Hashtbl.t;
   timers : timer_payload Timers.t;
   totals : totals;
@@ -80,11 +116,17 @@ type t = {
   server_probe : Obs.Probe.t;
   stopped : bool Atomic.t;
   mutable next_index : int;
+  mutable next_reject : int;  (** uniquifier for rejected-REQ trace lanes *)
+  mutable flight_dumped : bool;  (** one automatic postmortem per engine *)
+  mutable next_stats_ns : int;
+  mutable tx_queued : int;  (** sends since the last flush point *)
 }
 
 let create ?(max_flows = 64) ?(retransmit_ns = 50_000_000) ?(max_attempts = 50)
     ?idle_timeout_ns ?linger_ns ?fallback_suite ?scenario ?(seed = 1)
-    ?(drain_budget = 64) ?ctx ?(on_complete = fun _ -> ()) ~transport () =
+    ?(drain_budget = 64) ?ctx ?(on_complete = fun _ -> ()) ?flowtrace ?admin
+    ?stats_interval_ns ?(on_snapshot = fun _ -> ()) ?(trace_epoch = 0) ~transport
+    () =
   if max_flows < 0 then invalid_arg "Engine.create: negative max_flows";
   if drain_budget <= 0 then invalid_arg "Engine.create: drain_budget must be positive";
   let ctx = match ctx with Some c -> c | None -> Sockets.Io_ctx.default () in
@@ -92,6 +134,7 @@ let create ?(max_flows = 64) ?(retransmit_ns = 50_000_000) ?(max_attempts = 50)
   Option.iter (fun r -> Obs.Recorder.set_clock r clock) recorder;
   let server_counters = Protocol.Counters.create () in
   let server_probe = Obs.Probe.create ?recorder ~lane:"server" ~counters:server_counters () in
+  let created_ns = clock () in
   {
     transport;
     max_flows;
@@ -107,6 +150,13 @@ let create ?(max_flows = 64) ?(retransmit_ns = 50_000_000) ?(max_attempts = 50)
     metrics;
     clock;
     on_complete;
+    flowtrace;
+    admin;
+    stats_interval_ns;
+    on_snapshot;
+    trace_epoch;
+    created_ns;
+    health = create_health ();
     flows = Hashtbl.create 64;
     timers = Timers.create ();
     totals = create_totals ();
@@ -115,10 +165,28 @@ let create ?(max_flows = 64) ?(retransmit_ns = 50_000_000) ?(max_attempts = 50)
     server_probe;
     stopped = Atomic.make false;
     next_index = 0;
+    next_reject = 0;
+    flight_dumped = false;
+    next_stats_ns =
+      (match stats_interval_ns with
+      | None -> max_int
+      | Some interval -> created_ns + interval);
+    tx_queued = 0;
   }
 
 let totals t = t.totals
 let active_flows t = Hashtbl.length t.flows
+let health t = t.health
+
+let string_of_sockaddr = function
+  | Unix.ADDR_UNIX path -> path
+  | Unix.ADDR_INET (addr, port) ->
+      Printf.sprintf "%s:%d" (Unix.string_of_inet_addr addr) port
+
+let trace t event ~flow ~now =
+  match t.flowtrace with
+  | None -> ()
+  | Some ft -> Obs.Flowtrace.record ft ~flow event ~now
 
 let rollup t =
   let total = Protocol.Counters.create () in
@@ -149,8 +217,19 @@ let put t = function
 (* One datagram out — joining the pending train when the transport batches,
    in its own syscall otherwise. The outcome callback fires per datagram
    either way, so the send-failure accounting is identical batched or not. *)
-let send_now t ~on_outcome peer data = t.transport.Sockets.Transport.send ~peer ~on_outcome data
-let flush_tx t = t.transport.Sockets.Transport.flush ()
+let send_now t ~on_outcome peer data =
+  t.tx_queued <- t.tx_queued + 1;
+  t.transport.Sockets.Transport.send ~peer ~on_outcome data
+
+(* Flush points bracket every burst, so the queued count at flush time is
+   the train a batching transport submits as one sendmmsg — and a useful
+   proxy for burst size even on the per-datagram path. *)
+let flush_tx t =
+  if t.tx_queued > 0 then begin
+    Obs.Hist.add t.health.flush_train (float_of_int t.tx_queued);
+    t.tx_queued <- 0
+  end;
+  t.transport.Sockets.Transport.flush ()
 
 (* Per-flow transmit: the probe's tx event fires per protocol send (before
    fault injection, agreeing with the machine's counters); delayed netem
@@ -189,8 +268,24 @@ let reschedule t key fs =
           fs.scheduled_at <- deadline
         end
 
-let finalize t key fs (completion : Sockets.Flow.completion) ~now =
+let finalize ?(superseded = false) t key fs (completion : Sockets.Flow.completion)
+    ~now =
   Hashtbl.remove t.flows key;
+  (* Exactly one terminal trace event per admitted flow, whatever path
+     settles it: normal completion, shutdown force-settle, or supersede. *)
+  (match t.flowtrace with
+  | None -> ()
+  | Some _ ->
+      let state =
+        if superseded then Obs.Flowtrace.Superseded
+        else
+          match completion.Sockets.Flow.outcome with
+          | Protocol.Action.Success -> Obs.Flowtrace.Done
+          | _ -> Obs.Flowtrace.Failed
+      in
+      if completion.Sockets.Flow.integrity = Sockets.Flow.Verified then
+        trace t Obs.Flowtrace.Verify ~flow:fs.label ~now;
+      trace t (Obs.Flowtrace.Terminal state) ~flow:fs.label ~now);
   (match fs.faults with
   | None -> ()
   | Some netem ->
@@ -223,9 +318,21 @@ let settle_if_done t key fs ~now =
   | `Done completion -> finalize t key fs completion ~now
   | `Running | `Lingering -> ()
 
-let reject t ~from ~transfer_id =
+let reject t ~now ~from ~transfer_id =
   t.totals.rejected <- t.totals.rejected + 1;
   bump t "flows_rejected";
+  (match t.flowtrace with
+  | None -> ()
+  | Some _ ->
+      (* A refused REQ never owned a flow; a lone terminal on its own lane
+         is its whole lifecycle. Each retry is its own lane — one REQ, one
+         REJ, one trace record. *)
+      let flow =
+        Printf.sprintf "%s#%d/%d.r%d" (string_of_sockaddr from) transfer_id
+          t.trace_epoch t.next_reject
+      in
+      t.next_reject <- t.next_reject + 1;
+      trace t (Obs.Flowtrace.Terminal Obs.Flowtrace.Rejected) ~flow ~now);
   Log.debug (fun f ->
       f "rejecting transfer %d: %d/%d flows busy" transfer_id (Hashtbl.length t.flows)
         t.max_flows);
@@ -233,7 +340,7 @@ let reject t ~from ~transfer_id =
 
 let admit t ~now ~from message =
   if Hashtbl.length t.flows >= t.max_flows then
-    reject t ~from ~transfer_id:message.Packet.Message.transfer_id
+    reject t ~now ~from ~transfer_id:message.Packet.Message.transfer_id
   else begin
     let index = t.next_index in
     let counters = Protocol.Counters.create () in
@@ -271,8 +378,29 @@ let admit t ~now ~from message =
         t.totals.accepted <- t.totals.accepted + 1;
         bump t "flows_accepted";
         let key = (from, message.Packet.Message.transfer_id) in
-        let fs = { flow; peer = from; faults; started_ns = now; scheduled_at = max_int } in
+        let label =
+          (* Unique per incarnation: the epoch distinguishes engine restarts
+             (DST) and the admission index distinguishes supersede reuses of
+             the same (address, transfer id). *)
+          Printf.sprintf "%s#%d/%d.%d" (string_of_sockaddr from)
+            message.Packet.Message.transfer_id t.trace_epoch index
+        in
+        let fs =
+          {
+            flow;
+            peer = from;
+            faults;
+            started_ns = now;
+            label;
+            saw_data = false;
+            seen_rounds =
+              counters.Protocol.Counters.acks_sent
+              + counters.Protocol.Counters.nacks_sent;
+            scheduled_at = max_int;
+          }
+        in
         Hashtbl.replace t.flows key fs;
+        trace t Obs.Flowtrace.Admitted ~flow:label ~now;
         publish_gauges t;
         Log.debug (fun f ->
             f "admitted flow %d (transfer %d); %d active" index
@@ -295,8 +423,25 @@ let supersede t key fs ~now ~from message =
         message.Packet.Message.transfer_id);
   Obs.Probe.timeout (Sockets.Flow.probe fs.flow) ~detail:"superseded" ();
   let completion = Sockets.Flow.force_done fs.flow ~now in
-  finalize t key fs completion ~now;
+  finalize ~superseded:true t key fs completion ~now;
   admit t ~now ~from message
+
+(* One blast round, seen from the receiving side: the flow answering with
+   an ACK or NACK. [Counters.rounds] itself only advances on the sender, so
+   the response counters are the engine's per-round signal — the same
+   per-flow rhythm the 1985 paper's diagnosis method watches. *)
+let observe_rounds t fs ~now =
+  match t.flowtrace with
+  | None -> ()
+  | Some _ ->
+      let c = Sockets.Flow.counters fs.flow in
+      let responses =
+        c.Protocol.Counters.acks_sent + c.Protocol.Counters.nacks_sent
+      in
+      if responses > fs.seen_rounds then begin
+        fs.seen_rounds <- responses;
+        trace t Obs.Flowtrace.Round ~flow:fs.label ~now
+      end
 
 let handle_datagram t ~buf ~from ~len =
   let now = t.clock () in
@@ -314,7 +459,13 @@ let handle_datagram t ~buf ~from ~len =
             && not (Sockets.Flow.same_request fs.flow message)
           then supersede t key fs ~now ~from message
           else begin
+            if message.Packet.Message.kind = Packet.Kind.Data && not fs.saw_data
+            then begin
+              fs.saw_data <- true;
+              trace t Obs.Flowtrace.First_data ~flow:fs.label ~now
+            end;
             execute t fs (Sockets.Flow.on_message fs.flow ~now message);
+            observe_rounds t fs ~now;
             settle_if_done t key fs ~now;
             reschedule t key fs
           end
@@ -343,6 +494,7 @@ let rec service_timers t ~now =
           (match Sockets.Flow.next_deadline fs.flow with
           | Some deadline when deadline - now <= 0 ->
               execute t fs (Sockets.Flow.on_tick fs.flow ~now);
+              observe_rounds t fs ~now;
               settle_if_done t key fs ~now
           | _ -> ());
           reschedule t key fs);
@@ -351,14 +503,119 @@ let rec service_timers t ~now =
 (* Drain at most [budget] datagrams, then return to timer service: the
    budget is the fairness knob — one blast sender saturating the socket
    cannot starve the other flows' retransmission timers. A batching
-   transport serves the whole budget out of one or two [recvmmsg] rings. *)
+   transport serves the whole budget out of one or two [recvmmsg] rings.
+   Returns how many datagrams it consumed. *)
 let rec drain t budget =
-  if budget > 0 then
+  if budget <= 0 then 0
+  else
     match t.transport.Sockets.Transport.poll () with
-    | `Empty -> ()
+    | `Empty -> 0
     | `Datagram { Sockets.Transport.buf; len; from } ->
         handle_datagram t ~buf ~from ~len;
-        drain t (budget - 1)
+        1 + drain t (budget - 1)
+
+let counters_json (c : Protocol.Counters.t) =
+  Obs.Json.Obj
+    [
+      ("data_sent", Obs.Json.Int c.data_sent);
+      ("retransmitted_data", Obs.Json.Int c.retransmitted_data);
+      ("acks_sent", Obs.Json.Int c.acks_sent);
+      ("nacks_sent", Obs.Json.Int c.nacks_sent);
+      ("rounds", Obs.Json.Int c.rounds);
+      ("timeouts", Obs.Json.Int c.timeouts);
+      ("duplicates_received", Obs.Json.Int c.duplicates_received);
+      ("delivered", Obs.Json.Int c.delivered);
+      ("faults_injected", Obs.Json.Int c.faults_injected);
+      ("corrupt_detected", Obs.Json.Int c.corrupt_detected);
+      ("garbage_received", Obs.Json.Int c.garbage_received);
+    ]
+
+let totals_json (a : totals) =
+  Obs.Json.Obj
+    [
+      ("accepted", Obs.Json.Int a.accepted);
+      ("completed", Obs.Json.Int a.completed);
+      ("aborted", Obs.Json.Int a.aborted);
+      ("rejected", Obs.Json.Int a.rejected);
+      ("superseded", Obs.Json.Int a.superseded);
+      ("stray_datagrams", Obs.Json.Int a.stray_datagrams);
+      ("garbage", Obs.Json.Int a.garbage);
+      ("send_failures", Obs.Json.Int a.send_failures);
+    ]
+
+let health_json t =
+  let h = t.health in
+  Obs.Json.Obj
+    [
+      ("ticks", Obs.Json.Int h.ticks);
+      ("drain_exhausted", Obs.Json.Int h.drain_exhausted);
+      ("timer_heap", Obs.Json.Int (Timers.length t.timers));
+      ("tick_duration_ns", Obs.Hist.to_json h.tick_duration_ns);
+      ("recv_drained", Obs.Hist.to_json h.recv_drained);
+      ("flush_train", Obs.Hist.to_json h.flush_train);
+      ("timer_heap_depth", Obs.Hist.to_json h.timer_heap_depth);
+    ]
+
+(* One UDP datagram bounds the admin reply, so the per-flow listing is
+   capped; [flows_omitted] says how many a loaded server held back. *)
+let snapshot_flow_cap = 128
+
+let flow_json ~now fs =
+  let c = Sockets.Flow.counters fs.flow in
+  Obs.Json.Obj
+    [
+      ("flow", Obs.Json.String fs.label);
+      ("peer", Obs.Json.String (string_of_sockaddr fs.peer));
+      ("id", Obs.Json.Int (Sockets.Flow.transfer_id fs.flow));
+      ( "status",
+        Obs.Json.String
+          (match Sockets.Flow.status fs.flow with
+          | `Running -> "running"
+          | `Lingering -> "lingering"
+          | `Done _ -> "done") );
+      ( "phase",
+        Obs.Json.String (if fs.saw_data then "blast" else "handshake") );
+      ("delivered", Obs.Json.Int c.Protocol.Counters.delivered);
+      ("total_packets", Obs.Json.Int (Sockets.Flow.total_packets fs.flow));
+      ("total_bytes", Obs.Json.Int (Sockets.Flow.total_bytes fs.flow));
+      ("rounds", Obs.Json.Int c.Protocol.Counters.rounds);
+      ("age_ns", Obs.Json.Int (now - fs.started_ns));
+      ( "deadline_in_ns",
+        match Sockets.Flow.next_deadline fs.flow with
+        | None -> Obs.Json.Null
+        | Some d -> Obs.Json.Int (d - now) );
+    ]
+
+(* Not thread-safe: reads the live flow table, so it must run on the serving
+   thread (the loop's own admin poll / stats tick) or after [run] returned. *)
+let snapshot t =
+  let now = t.clock () in
+  let flows = Hashtbl.fold (fun _ fs acc -> fs :: acc) t.flows [] in
+  let flows = List.sort (fun a b -> compare a.label b.label) flows in
+  let shown = List.filteri (fun i _ -> i < snapshot_flow_cap) flows in
+  Obs.Json.Obj
+    [
+      ("schema", Obs.Json.String "lanrepro-stat/1");
+      ("now_ns", Obs.Json.Int now);
+      ("uptime_ns", Obs.Json.Int (now - t.created_ns));
+      ("max_flows", Obs.Json.Int t.max_flows);
+      ("active_flows", Obs.Json.Int (Hashtbl.length t.flows));
+      ( "flows_omitted",
+        Obs.Json.Int (max 0 (List.length flows - snapshot_flow_cap)) );
+      ("totals", totals_json t.totals);
+      ("flows", Obs.Json.List (List.map (flow_json ~now) shown));
+      ("health", health_json t);
+      ("counters", counters_json (rollup t));
+    ]
+
+let maybe_emit_stats t ~now =
+  match t.stats_interval_ns with
+  | None -> ()
+  | Some interval ->
+      if now >= t.next_stats_ns then begin
+        t.on_snapshot (snapshot t);
+        t.next_stats_ns <- now + interval
+      end
 
 (* Cap each wait so [stop] from another thread is honoured promptly even
    when the transport is silent and no timer is due. *)
@@ -378,17 +635,35 @@ let run ?max_transfers t =
     (* Everything the timers and the previous drain queued goes out as one
        train; acks never wait longer than one loop round. *)
     flush_tx t;
+    (* Stats plane, serviced at the loop's idle point: never between a
+       datagram and its ack, never blocking. *)
+    Option.iter (fun a -> Admin.poll a ~snapshot:(fun () -> snapshot t)) t.admin;
+    maybe_emit_stats t ~now;
+    Obs.Hist.add t.health.timer_heap_depth (float_of_int (Timers.length t.timers));
     let timeout_ns =
       match Timers.peek_deadline t.timers with
       | None -> max_select_ns
       | Some deadline -> max 0 (min (deadline - now) max_select_ns)
     in
-    (match t.transport.Sockets.Transport.recv ~timeout_ns:(Some timeout_ns) with
-    | `Timeout -> ()
-    | `Datagram { Sockets.Transport.buf; len; from } ->
-        handle_datagram t ~buf ~from ~len;
-        drain t (t.drain_budget - 1));
-    flush_tx t
+    let pre_wait = t.clock () in
+    let resumed, drained =
+      match t.transport.Sockets.Transport.recv ~timeout_ns:(Some timeout_ns) with
+      | `Timeout -> (t.clock (), 0)
+      | `Datagram { Sockets.Transport.buf; len; from } ->
+          let resumed = t.clock () in
+          handle_datagram t ~buf ~from ~len;
+          (resumed, 1 + drain t (t.drain_budget - 1))
+    in
+    flush_tx t;
+    t.health.ticks <- t.health.ticks + 1;
+    if drained > 0 then
+      Obs.Hist.add t.health.recv_drained (float_of_int drained);
+    if drained >= t.drain_budget then
+      t.health.drain_exhausted <- t.health.drain_exhausted + 1;
+    (* Work time only — the blocking wait between [pre_wait] and [resumed]
+       is idleness, not load, and would drown the signal at 50 ms a tick. *)
+    Obs.Hist.add t.health.tick_duration_ns
+      (float_of_int (pre_wait - now + (t.clock () - resumed)))
   done;
   (* Shutdown settles every live flow to a typed result — nothing is left
      dangling, and the caller's on_complete sees each one exactly once. *)
@@ -446,4 +721,14 @@ let invariant_violations t =
   if a.accepted <> a.completed + a.aborted + Hashtbl.length t.flows then
     fail "totals drift: accepted %d <> completed %d + aborted %d + active %d" a.accepted
       a.completed a.aborted (Hashtbl.length t.flows);
-  List.rev !violations
+  let violations = List.rev !violations in
+  (* A broken invariant is exactly the moment "what were the last N
+     datagrams doing" matters: dump the flight ring alongside the report. *)
+  (match (violations, t.recorder) with
+  | first :: _, Some recorder when not t.flight_dumped ->
+      t.flight_dumped <- true;
+      ignore
+        (Obs.Recorder.postmortem recorder
+           ~reason:("engine invariant violated: " ^ first))
+  | _ -> ());
+  violations

@@ -46,6 +46,22 @@ type completion_event = {
   finished_ns : int;  (** monotonic, flow settled *)
 }
 
+(** Loop health, observed from inside the serving loop. [tick_duration_ns]
+    measures work per wakeup {e excluding} the blocking wait, so its p99
+    rises exactly when the single-domain loop saturates; [recv_drained] is
+    datagrams consumed per wakeup that had any; [flush_train] is datagrams
+    per non-empty flush point (the sendmmsg train size under a batching
+    transport); [drain_exhausted] counts wakeups that consumed the whole
+    drain budget — standing-backlog evidence. *)
+type health = {
+  tick_duration_ns : Obs.Hist.t;
+  recv_drained : Obs.Hist.t;
+  flush_train : Obs.Hist.t;
+  timer_heap_depth : Obs.Hist.t;
+  mutable ticks : int;
+  mutable drain_exhausted : int;
+}
+
 type t
 
 val create :
@@ -60,6 +76,11 @@ val create :
   ?drain_budget:int ->
   ?ctx:Sockets.Io_ctx.t ->
   ?on_complete:(completion_event -> unit) ->
+  ?flowtrace:Obs.Flowtrace.t ->
+  ?admin:Admin.t ->
+  ?stats_interval_ns:int ->
+  ?on_snapshot:(Obs.Json.t -> unit) ->
+  ?trace_epoch:int ->
   transport:Sockets.Transport.t ->
   unit ->
   t
@@ -82,7 +103,17 @@ val create :
     fires once per settled flow, from the serving thread. Raises
     [Invalid_argument] on a negative [max_flows] or non-positive
     [drain_budget]; [max_flows = 0] refuses everything — the admission
-    test's degenerate case. *)
+    test's degenerate case.
+
+    [flowtrace] records every flow's lifecycle (admitted → first-data →
+    rounds → verify → exactly one of done/failed/rejected/superseded),
+    timestamped from [ctx.clock] so real-UDP and DST runs trace
+    identically; [trace_epoch] namespaces the lanes of successive engine
+    incarnations sharing one flowtrace (DST restarts). [admin] is polled
+    once per loop round at the idle point — a stat query costs the data
+    path nothing. [stats_interval_ns] calls [on_snapshot] with
+    {!snapshot}'s JSON at that period (resolution bounded by the ~50 ms
+    loop wait), from the serving thread. *)
 
 val run : ?max_transfers:int -> t -> unit
 (** Serves until {!stop}, or — with [max_transfers] — until that many flows
@@ -94,10 +125,21 @@ val stop : t -> unit
 
 val totals : t -> totals
 val active_flows : t -> int
+val health : t -> health
 
 val rollup : t -> Protocol.Counters.t
 (** Field-wise merge ({!Protocol.Counters.merge}) of every flow's counters —
     settled and live — plus the server's pre-admission garbage accounting. *)
+
+val snapshot : t -> Obs.Json.t
+(** The live-introspection snapshot ([{"schema":"lanrepro-stat/1",…}]):
+    uptime, admission totals, a sorted per-flow listing (status, phase,
+    delivered/total progress, rounds, age, next deadline; capped at 128
+    entries with [flows_omitted] counting the rest), loop-health histogram
+    summaries, and the same counter roll-up {!rollup} returns — the
+    snapshot's [counters] reconcile with the final roll-up by
+    construction. {b Not thread-safe}: call from the serving thread (the
+    admin poll and stats timer do) or after {!run} has returned. *)
 
 val invariant_violations : t -> string list
 (** Structural invariants the event loop maintains between rounds, as
@@ -107,4 +149,7 @@ val invariant_violations : t -> string list
     leave extra later entries, never a missing earlier one), and the
     admission totals balance. The deterministic-simulation harness calls
     this after every scheduler step; it is also safe to call from the
-    serving thread between [run] rounds. *)
+    serving thread between [run] rounds. When violations are found and the
+    engine has a recorder, the flight ring is dumped automatically
+    ({!Obs.Recorder.postmortem}) so the last datagrams before the breakage
+    survive. *)

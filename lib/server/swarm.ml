@@ -18,12 +18,14 @@ type report = {
   failed : int;
   elapsed_ns : int;
   aggregate_mbit_s : float;
-  latency_ms : Stats.Summary.t;
+  latency_ms : Obs.Hist.t;
   senders : sender_report list;
   completions : Engine.completion_event list;
       (** server-side view of every settled flow, in settlement order *)
   server : Engine.totals;
   rollup : Protocol.Counters.t;
+  engine_snapshot : Obs.Json.t;
+  invariants : string list;
 }
 
 let server_verified report =
@@ -34,14 +36,14 @@ let server_verified report =
        report.completions)
 
 let pp_report ppf r =
+  let lat = Obs.Hist.snapshot r.latency_ms in
   Format.fprintf ppf
     "%d flows over %d jobs: %d completed, %d rejected, %d failed in %.1f ms (%.2f Mbit/s \
-     aggregate; latency mean %.2f ms); server: %a"
+     aggregate; latency p50 %.2f / p90 %.2f / p99 %.2f / max %.2f ms); server: %a"
     r.flows r.jobs r.completed r.rejected r.failed
     (float_of_int r.elapsed_ns /. 1e6)
-    r.aggregate_mbit_s
-    (Stats.Summary.mean r.latency_ms)
-    Engine.pp_totals r.server
+    r.aggregate_mbit_s lat.Obs.Hist.p50 lat.Obs.Hist.p90 lat.Obs.Hist.p99
+    lat.Obs.Hist.max Engine.pp_totals r.server
 
 (* Deterministic per-sender payload: reproducible from (seed, index) alone,
    byte-varied so misdelivery between flows cannot go unnoticed by the CRC. *)
@@ -50,7 +52,7 @@ let payload_for rng bytes = String.init bytes (fun _ -> Char.chr (Stats.Rng.int 
 let run ?max_flows ?jobs ?(bytes = 64 * 1024) ?(packet_bytes = 1024)
     ?(retransmit_ns = 20_000_000) ?(max_attempts = 50) ?idle_timeout_ns
     ?(suite = Protocol.Suite.Blast Protocol.Blast.Go_back_n) ?scenario ?server_scenario
-    ?(seed = 42) ?ctx ~flows () =
+    ?(seed = 42) ?ctx ?flowtrace ?admin_port ?stats_interval_ns ?on_snapshot ~flows () =
   if flows <= 0 then invalid_arg "Swarm.run: flows must be positive";
   if bytes <= 0 then invalid_arg "Swarm.run: bytes must be positive";
   let ctx = match ctx with Some c -> c | None -> Sockets.Io_ctx.default () in
@@ -59,9 +61,11 @@ let run ?max_flows ?jobs ?(bytes = 64 * 1024) ?(packet_bytes = 1024)
   let completions = ref [] in
   let on_complete event = completions := event :: !completions in
   let transport = Sockets.Transport.udp ~batch:ctx.Sockets.Io_ctx.batch ~socket () in
+  let admin = Option.map (fun port -> Admin.create ~port ()) admin_port in
   let engine =
     Engine.create ?max_flows ~retransmit_ns ~max_attempts ?idle_timeout_ns
-      ?scenario:server_scenario ~seed:(seed + 1) ~ctx ~on_complete ~transport ()
+      ?scenario:server_scenario ~seed:(seed + 1) ~ctx ~on_complete ?flowtrace ?admin
+      ?stats_interval_ns ?on_snapshot ~transport ()
   in
   (* The engine gets its own domain: the pool below keeps every other domain
      (including this one) busy running senders, and the server must keep
@@ -106,6 +110,12 @@ let run ?max_flows ?jobs ?(bytes = 64 * 1024) ?(packet_bytes = 1024)
   let elapsed_ns = clock () - started in
   Engine.stop engine;
   Domain.join server_domain;
+  (* Read the engine only after its domain exited: snapshot and the
+     invariant check walk the live flow table. A violated invariant also
+     dumps the flight ring from inside [invariant_violations]. *)
+  let engine_snapshot = Engine.snapshot engine in
+  let invariants = Engine.invariant_violations engine in
+  Option.iter Admin.close admin;
   Sockets.Udp.close socket;
   let count outcome =
     List.length (List.filter (fun s -> s.outcome = outcome) senders)
@@ -113,11 +123,12 @@ let run ?max_flows ?jobs ?(bytes = 64 * 1024) ?(packet_bytes = 1024)
   let completed = count Protocol.Action.Success in
   let rejected = count Protocol.Action.Rejected in
   let failed = flows - completed - rejected in
-  let latency_ms = Stats.Summary.create () in
+  (* Millisecond latencies: 1 µs … 1000 s at ~24 buckets per decade. *)
+  let latency_ms = Obs.Hist.create ~lo:1e-3 ~hi:1e6 ~bins:216 () in
   List.iter
     (fun s ->
       if s.outcome = Protocol.Action.Success then
-        Stats.Summary.add latency_ms (float_of_int s.elapsed_ns /. 1e6))
+        Obs.Hist.add latency_ms (float_of_int s.elapsed_ns /. 1e6))
     senders;
   let aggregate_mbit_s =
     if elapsed_ns <= 0 then 0.0
@@ -130,7 +141,12 @@ let run ?max_flows ?jobs ?(bytes = 64 * 1024) ?(packet_bytes = 1024)
       Obs.Metrics.set_gauge (Obs.Metrics.gauge m ~labels "aggregate_mbit_s") aggregate_mbit_s;
       Obs.Metrics.set_gauge
         (Obs.Metrics.gauge m ~labels "completed")
-        (float_of_int completed));
+        (float_of_int completed);
+      let lat = Obs.Hist.snapshot latency_ms in
+      if lat.Obs.Hist.count > 0 then begin
+        Obs.Metrics.set_gauge (Obs.Metrics.gauge m ~labels "latency_ms_p50") lat.Obs.Hist.p50;
+        Obs.Metrics.set_gauge (Obs.Metrics.gauge m ~labels "latency_ms_p99") lat.Obs.Hist.p99
+      end);
   let report =
     {
       flows;
@@ -146,7 +162,12 @@ let run ?max_flows ?jobs ?(bytes = 64 * 1024) ?(packet_bytes = 1024)
       completions = List.rev !completions;
       server = Engine.totals engine;
       rollup = Engine.rollup engine;
+      engine_snapshot;
+      invariants;
     }
   in
+  if invariants <> [] then
+    Log.warn (fun f ->
+        f "engine invariants violated: %s" (String.concat "; " invariants));
   Log.info (fun f -> f "%a" pp_report report);
   report

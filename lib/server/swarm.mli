@@ -29,12 +29,18 @@ type report = {
   failed : int;  (** any other outcome *)
   elapsed_ns : int;  (** wall clock over the whole swarm *)
   aggregate_mbit_s : float;  (** successful payload bits over the wall clock *)
-  latency_ms : Stats.Summary.t;  (** per-transfer latency of successful flows *)
+  latency_ms : Obs.Hist.t;
+      (** per-transfer latency of successful flows; report p50/p90/p99/max
+          via {!Obs.Hist.snapshot} *)
   senders : sender_report list;  (** in flow-index order *)
   completions : Engine.completion_event list;
       (** server-side view of every settled flow, in settlement order *)
   server : Engine.totals;
   rollup : Protocol.Counters.t;
+  engine_snapshot : Obs.Json.t;
+      (** {!Engine.snapshot} taken after the engine loop exited — its
+          [health] section is the loop-health record of the whole run *)
+  invariants : string list;  (** {!Engine.invariant_violations} at the end *)
 }
 
 val server_verified : report -> int
@@ -55,6 +61,10 @@ val run :
   ?server_scenario:Faults.Scenario.t ->
   ?seed:int ->
   ?ctx:Sockets.Io_ctx.t ->
+  ?flowtrace:Obs.Flowtrace.t ->
+  ?admin_port:int ->
+  ?stats_interval_ns:int ->
+  ?on_snapshot:(Obs.Json.t -> unit) ->
   flows:int ->
   unit ->
   report
@@ -70,4 +80,12 @@ val run :
     engine ([flow-N] lanes, [side=server] metrics) plus swarm-level
     aggregate gauges; [ctx.batch] turns sendmmsg/recvmmsg trains on for the
     engine loop and each sender's blast bursts. Not re-entrant from inside
-    an [Exec.Pool] task (the pool contract forbids nested batches). *)
+    an [Exec.Pool] task (the pool contract forbids nested batches).
+
+    [flowtrace], [stats_interval_ns] and [on_snapshot] pass through to
+    {!Engine.create}. [admin_port] binds a stat socket ({!Admin}) on
+    127.0.0.1 for the engine to answer while the swarm runs — query it
+    with [lanrepro stat] — and closes it when the run ends. If the engine
+    finishes with invariant violations they are returned in the report,
+    logged, and the flight ring (when [ctx.recorder] is set) is dumped
+    automatically. *)

@@ -52,6 +52,10 @@ let count_garbage ~probe (counters : Protocol.Counters.t) reason =
 let transfer_id t = t.transfer_id
 let counters t = t.counters
 let probe t = t.probe
+let total_bytes t = t.total_bytes
+
+let total_packets t =
+  (t.total_bytes + t.packet_bytes - 1) / t.packet_bytes
 
 let status t =
   match t.state with

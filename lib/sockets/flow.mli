@@ -68,6 +68,14 @@ val counters : t -> Protocol.Counters.t
 val probe : t -> Obs.Probe.t
 val status : t -> status
 
+val total_bytes : t -> int
+(** Transfer size the handshake REQ declared. *)
+
+val total_packets : t -> int
+(** Expected distinct data packets ([ceil (total_bytes / packet_bytes)]) —
+    with [counters.delivered] this gives a live progress fraction for the
+    server's stats plane. *)
+
 val on_message : t -> now:int -> Packet.Message.t -> action list
 (** Feed one decoded datagram (driver has already applied its loss coin and
     routed by transfer id; mismatched ids are ignored). Resets the idle
