@@ -368,39 +368,92 @@ let dst_rows () =
     ]
 
 (* Aggregate service capacity of the concurrent server at increasing fan-in:
-   N simultaneous senders against one socket, small payloads so the smoke
-   run stays fast. *)
+   N simultaneous senders against one port, small payloads so the smoke run
+   stays fast — at shards=1 (the single-engine loop, the ceiling this bench
+   historically measured) and shards=4 (the SO_REUSEPORT fleet). Every row
+   records the shard/jobs count it actually ran with and what the host could
+   have offered ([recommended_domains]): a 1-core CI box runs the same
+   matrix, it just cannot honestly pass the scaling gates there. *)
 let serve_concurrency_rows () =
   (* The widest fan-in run doubles as the loop-health sample: its engine
      snapshot (taken after the loop exited) carries the tick-duration and
      heap-depth histograms for the bench's [engine_health] section. *)
   let health = ref Obs.Json.Null in
+  let domains = Domain.recommended_domain_count () in
+  let goodput = Hashtbl.create 16 in
   let rows =
-    List.map
-      (fun flows ->
-        let report = Server.Swarm.run ~flows ~bytes:16384 ~packet_bytes:1024 ~seed:1 () in
-        (match Obs.Json.member "health" report.Server.Swarm.engine_snapshot with
-        | Some h -> health := Obs.Json.Obj [ ("flows", Obs.Json.Int flows); ("health", h) ]
-        | None -> ());
-        let lat = Obs.Hist.snapshot report.Server.Swarm.latency_ms in
-        Obs.Json.Obj
-          [
-            ("flows", Obs.Json.Int flows);
-            ("jobs", Obs.Json.Int report.Server.Swarm.jobs);
-            ("bytes_per_flow", Obs.Json.Int report.Server.Swarm.bytes_per_flow);
-            ("completed", Obs.Json.Int report.Server.Swarm.completed);
-            ("rejected", Obs.Json.Int report.Server.Swarm.rejected);
-            ("failed", Obs.Json.Int report.Server.Swarm.failed);
-            ("wall_ns", Obs.Json.Int report.Server.Swarm.elapsed_ns);
-            ("aggregate_mbit_s", Obs.Json.Float report.Server.Swarm.aggregate_mbit_s);
-            ("latency_ms_mean", Obs.Json.Float lat.Obs.Hist.mean);
-            ("latency_ms_p50", Obs.Json.Float lat.Obs.Hist.p50);
-            ("latency_ms_p90", Obs.Json.Float lat.Obs.Hist.p90);
-            ("latency_ms_p99", Obs.Json.Float lat.Obs.Hist.p99);
-            ("latency_ms_max", Obs.Json.Float lat.Obs.Hist.max);
-          ])
-      [ 1; 8; 32 ]
+    List.concat_map
+      (fun shards ->
+        List.map
+          (fun flows ->
+            let report =
+              Server.Swarm.run ~flows ~bytes:16384 ~packet_bytes:1024 ~seed:1 ~shards ()
+            in
+            Hashtbl.replace goodput (shards, flows) report.Server.Swarm.aggregate_mbit_s;
+            (match Obs.Json.member "health" report.Server.Swarm.engine_snapshot with
+            | Some h ->
+                health :=
+                  Obs.Json.Obj
+                    [
+                      ("flows", Obs.Json.Int flows);
+                      ("shards", Obs.Json.Int shards);
+                      ("health", h);
+                    ]
+            | None -> ());
+            let lat = Obs.Hist.snapshot report.Server.Swarm.latency_ms in
+            Obs.Json.Obj
+              [
+                ("flows", Obs.Json.Int flows);
+                ("shards", Obs.Json.Int report.Server.Swarm.shards);
+                ("jobs", Obs.Json.Int report.Server.Swarm.jobs);
+                ("recommended_domains", Obs.Json.Int domains);
+                ("bytes_per_flow", Obs.Json.Int report.Server.Swarm.bytes_per_flow);
+                ("completed", Obs.Json.Int report.Server.Swarm.completed);
+                ("rejected", Obs.Json.Int report.Server.Swarm.rejected);
+                ("failed", Obs.Json.Int report.Server.Swarm.failed);
+                ("wall_ns", Obs.Json.Int report.Server.Swarm.elapsed_ns);
+                ("aggregate_mbit_s", Obs.Json.Float report.Server.Swarm.aggregate_mbit_s);
+                ("latency_ms_mean", Obs.Json.Float lat.Obs.Hist.mean);
+                ("latency_ms_p50", Obs.Json.Float lat.Obs.Hist.p50);
+                ("latency_ms_p90", Obs.Json.Float lat.Obs.Hist.p90);
+                ("latency_ms_p99", Obs.Json.Float lat.Obs.Hist.p99);
+                ("latency_ms_max", Obs.Json.Float lat.Obs.Hist.max);
+              ])
+          [ 1; 8; 32; 64; 256 ])
+      [ 1; 4 ]
   in
+  (* Scaling gates — skipped honestly, never faked, on hosts without the
+     cores to run a real fleet (the skip is printed and the per-row
+     [recommended_domains] records why). *)
+  let g shards flows = Hashtbl.find_opt goodput (shards, flows) in
+  if domains >= 4 then begin
+    (match (g 1 32, g 4 32) with
+    | Some single, Some sharded when single > 0.0 ->
+        if sharded < 2.0 *. single then begin
+          Printf.eprintf
+            "bench: FAIL serve_concurrency scaling — shards=4 at 32 flows is %.2fx \
+             shards=1 (%.2f vs %.2f Mbit/s; need >= 2x)\n"
+            (sharded /. single) sharded single;
+          exit 1
+        end
+    | _ -> ());
+    match (g 4 1, g 4 64, g 4 256) with
+    | Some g1, Some g64, Some g256 ->
+        if g64 < g1 && g256 < g64 then begin
+          Printf.eprintf
+            "bench: FAIL serve_concurrency collapse — sharded goodput falls \
+             monotonically 1 -> 64 -> 256 flows (%.2f -> %.2f -> %.2f Mbit/s)\n"
+            g1 g64 g256;
+          exit 1
+        end
+    | _ -> ()
+  end
+  else
+    Printf.printf
+      "serve_concurrency: SKIP scaling gates (host recommends %d domain(s); a shard \
+       fleet needs >= 4)\n\
+       %!"
+      domains;
   (rows, !health)
 
 let write_bench_json ~jobs () =
@@ -464,7 +517,7 @@ let write_bench_json ~jobs () =
   let json =
     Obs.Json.Obj
       [
-        ("schema", Obs.Json.String "lanrepro-bench/6");
+        ("schema", Obs.Json.String "lanrepro-bench/7");
         ("packets", Obs.Json.Int packets);
         (* Context for mc_parallel: speedup > 1 is only possible when the
            host actually has cores to spread the domains over. *)

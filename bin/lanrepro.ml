@@ -816,6 +816,18 @@ let stats_out =
     & info [ "stats-out" ] ~docv:"PATH"
         ~doc:"Destination for $(b,--stats-interval) snapshots (default stdout).")
 
+let shards_arg =
+  Arg.(
+    value
+    & opt int 1
+    & info [ "shards" ] ~docv:"N"
+        ~doc:
+          "Server shard count: $(docv) engines, each on its own domain with its own \
+           SO_REUSEPORT socket on the shared port; the kernel's 4-tuple hash spreads \
+           flows across them and observability (stat socket, totals, counters, \
+           loop-health histograms) is merged across the fleet. 1 (default) keeps the \
+           classic single engine.")
+
 (* The periodic-snapshot sink: a JSONL writer plus its close hook. *)
 let stats_writer stats_interval stats_out =
   match stats_interval with
@@ -845,13 +857,15 @@ let scenario_name option_name ~doc =
 
 let serve_cmd =
   let run port max_flows scenario_name seed max_transfers batch trace_out metrics_out
-      admin_port stats_interval stats_out =
+      admin_port stats_interval stats_out shards =
+    if shards <= 0 then begin
+      Printf.eprintf "serve: --shards must be positive\n";
+      exit 2
+    end;
     let scenario = resolve_scenario scenario_name in
-    let socket, address = Sockets.Udp.create_socket ~address:"0.0.0.0" ~port () in
     let recorder, metrics, flush = telemetry trace_out metrics_out in
     let ctx = make_ctx ?recorder ?metrics batch in
     let flowtrace = flowtrace_for trace_out in
-    let admin = Option.map (fun p -> Server.Admin.create ~port:p ()) admin_port in
     let stats_interval_ns, on_snapshot, close_stats = stats_writer stats_interval stats_out in
     let on_complete (e : Server.Engine.completion_event) =
       let c = e.Server.Engine.completion in
@@ -866,26 +880,70 @@ let serve_cmd =
         | Sockets.Flow.Not_carried -> "not carried")
         (float_of_int (e.Server.Engine.finished_ns - e.Server.Engine.started_ns) /. 1e6)
     in
-    let transport = Sockets.Transport.udp ~batch:ctx.Sockets.Io_ctx.batch ~socket () in
-    let engine =
-      Server.Engine.create ~max_flows ?scenario ~seed ~ctx ~on_complete ?flowtrace ?admin
-        ?stats_interval_ns ~on_snapshot ~transport ()
+    let scenario_suffix =
+      match scenario_name with Some s -> ", scenario " ^ s | None -> ""
     in
-    (* Ctrl-C stops the loop instead of killing the process, so the totals
-       line and any requested telemetry still get written. *)
-    Sys.set_signal Sys.sigint
-      (Sys.Signal_handle (fun _ -> Server.Engine.stop engine));
-    Printf.printf "serving on UDP %s (max %d concurrent flows%s)...\n%!"
-      (string_of_sockaddr address) max_flows
-      (match scenario_name with Some s -> ", scenario " ^ s | None -> "");
-    Option.iter
-      (fun a -> Printf.printf "stat socket on 127.0.0.1:%d\n%!" (Server.Admin.port a))
-      admin;
-    Server.Engine.run ?max_transfers engine;
-    Sockets.Udp.close socket;
-    Option.iter Server.Admin.close admin;
+    (if shards = 1 then begin
+       let socket, address = Sockets.Udp.create_socket ~address:"0.0.0.0" ~port () in
+       let poller = Sockets.Poller.create () in
+       let admin = Option.map (fun p -> Server.Admin.create ~port:p ()) admin_port in
+       let transport =
+         Sockets.Transport.udp ~batch:ctx.Sockets.Io_ctx.batch ~poller ~socket ()
+       in
+       let engine =
+         Server.Engine.create ~max_flows ?scenario ~seed ~ctx ~on_complete ?flowtrace
+           ?admin ?stats_interval_ns ~on_snapshot ~transport ()
+       in
+       (* Ctrl-C stops the loop instead of killing the process, so the totals
+          line and any requested telemetry still get written. *)
+       Sys.set_signal Sys.sigint
+         (Sys.Signal_handle (fun _ -> Server.Engine.stop engine));
+       Printf.printf "serving on UDP %s (max %d concurrent flows%s)...\n%!"
+         (string_of_sockaddr address) max_flows scenario_suffix;
+       Option.iter
+         (fun a -> Printf.printf "stat socket on 127.0.0.1:%d\n%!" (Server.Admin.port a))
+         admin;
+       Server.Engine.run ?max_transfers engine;
+       Sockets.Poller.close poller;
+       Sockets.Udp.close socket;
+       Option.iter Server.Admin.close admin;
+       Format.printf "server: %a@." Server.Engine.pp_totals (Server.Engine.totals engine)
+     end
+     else begin
+       (* Sharded service: [max_transfers] counts settlements fleet-wide —
+          the group's completion callback is serialized, so a plain counter
+          is race-free; reaching the target stops every shard. *)
+       let group_cell = ref None in
+       let settled = ref 0 in
+       let on_complete e =
+         on_complete e;
+         incr settled;
+         match max_transfers with
+         | Some n when !settled >= n ->
+             Option.iter Server.Shard_group.stop !group_cell
+         | _ -> ()
+       in
+       let group =
+         Server.Shard_group.create ~address:"0.0.0.0" ~port ~max_flows ?scenario ~seed
+           ~ctx ~on_complete ?flowtrace ?admin_port ?stats_interval_ns ~on_snapshot
+           ~shards ()
+       in
+       group_cell := Some group;
+       Sys.set_signal Sys.sigint
+         (Sys.Signal_handle (fun _ -> Server.Shard_group.stop group));
+       Printf.printf
+         "serving on UDP %s across %d shards (max %d concurrent flows per shard%s)...\n%!"
+         (string_of_sockaddr (Server.Shard_group.address group))
+         shards max_flows scenario_suffix;
+       Option.iter
+         (fun p -> Printf.printf "stat socket on 127.0.0.1:%d (aggregated)\n%!" p)
+         (Server.Shard_group.admin_port group);
+       Server.Shard_group.start group;
+       Server.Shard_group.join group;
+       Format.printf "server: %a@." Server.Engine.pp_totals
+         (Server.Shard_group.totals group)
+     end);
     close_stats ();
-    Format.printf "server: %a@." Server.Engine.pp_totals (Server.Engine.totals engine);
     flush
       ~spans:(match flowtrace with Some ft -> Obs.Flowtrace.spans ft | None -> [])
       ()
@@ -906,11 +964,11 @@ let serve_cmd =
       const run $ port $ max_flows
       $ scenario_name "scenario" ~doc:"Server-side fault scenario applied independently per flow."
       $ seed $ max_transfers $ batch_flag $ trace_out $ metrics_out $ admin_port
-      $ stats_interval $ stats_out)
+      $ stats_interval $ stats_out $ shards_arg)
 
 let swarm_cmd =
   let run flows max_flows jobs size packet_bytes protocol scenario_name server_scenario_name
-      seed batch trace_out metrics_out admin_port stats_interval stats_out =
+      seed batch trace_out metrics_out admin_port stats_interval stats_out shards =
     let scenario = resolve_scenario scenario_name in
     let server_scenario = resolve_scenario server_scenario_name in
     let recorder, metrics, flush = telemetry trace_out metrics_out in
@@ -920,7 +978,7 @@ let swarm_cmd =
     let report =
       Server.Swarm.run ~max_flows ?jobs ~bytes:size ~packet_bytes ~suite:protocol ?scenario
         ?server_scenario ~seed ~ctx ?flowtrace ?admin_port ?stats_interval_ns ~on_snapshot
-        ~flows ()
+        ~shards ~flows ()
     in
     close_stats ();
     Format.printf "%a@." Server.Swarm.pp_report report;
@@ -952,13 +1010,13 @@ let swarm_cmd =
       $ scenario_name "scenario" ~doc:"Sender-side fault scenario (independent per sender)."
       $ scenario_name "server-scenario" ~doc:"Server-side fault scenario (independent per flow)."
       $ seed $ batch_flag $ trace_out $ metrics_out $ admin_port $ stats_interval
-      $ stats_out)
+      $ stats_out $ shards_arg)
 
 (* ------------------------------------------------- deterministic simulation *)
 
 let dst_cmd =
-  let run seed seeds churn fault_name senders transfers max_flows until_virtual_s jobs
-      journal_dir =
+  let run seed seeds churn fault_name senders transfers max_flows shards until_virtual_s
+      jobs journal_dir =
     let churn =
       match Dst.Harness.churn_of_string churn with
       | Some c -> c
@@ -977,6 +1035,7 @@ let dst_cmd =
         senders;
         transfers;
         max_flows;
+        shards;
         horizon_ns = int_of_float (until_virtual_s *. 1e9);
       }
     in
@@ -1074,6 +1133,15 @@ let dst_cmd =
       & info [ "max-flows" ] ~docv:"N"
           ~doc:"Engine admission cap; below --senders exercises REJ under pressure.")
   in
+  let shards =
+    Arg.(
+      value & opt int 1
+      & info [ "shards" ] ~docv:"N"
+          ~doc:
+            "Engine shard count: N engine processes as members of one memnet \
+             REUSEPORT-style group, with datagrams steered by a pure seeded hash of \
+             the source address — a sharded trial replays bit-for-bit like any other.")
+  in
   let until_virtual_s =
     Arg.(
       value & opt float 60.0
@@ -1098,7 +1166,7 @@ let dst_cmd =
           replays bit-for-bit, and thousands of virtual seconds run per wall second")
     Term.(
       const run $ seed $ seeds $ churn $ fault_name $ senders $ transfers $ max_flows
-      $ until_virtual_s $ jobs $ journal_dir)
+      $ shards $ until_virtual_s $ jobs $ journal_dir)
 
 (* --------------------------------------------------------- live stats plane *)
 
@@ -1162,8 +1230,15 @@ let render_snapshot buf addr json =
   let cell = function Some f -> Printf.sprintf "%10.1f" f | None -> "         -" in
   let int_or d path = Option.value ~default:d (json_int path json) in
   let uptime_s = float_of_int (int_or 0 [ "uptime_ns" ]) /. 1e9 in
+  let shard_count = int_or 1 [ "shards" ] in
+  let unresponsive = int_or 0 [ "shards_unresponsive" ] in
   Buffer.add_string buf
-    (Printf.sprintf "lanrepro top — %s    uptime %.1f s\n\n" addr uptime_s);
+    (Printf.sprintf "lanrepro top — %s    uptime %.1f s%s\n\n" addr uptime_s
+       (if shard_count > 1 then
+          Printf.sprintf "    %d shards%s" shard_count
+            (if unresponsive > 0 then Printf.sprintf " (%d unresponsive)" unresponsive
+             else "")
+        else ""));
   Buffer.add_string buf
     (Printf.sprintf
        "flows %d/%d active (%d omitted)   accepted %d  completed %d  aborted %d  \
@@ -1177,10 +1252,39 @@ let render_snapshot buf addr json =
        (int_or 0 [ "totals"; "rejected" ])
        (int_or 0 [ "totals"; "superseded" ]));
   Buffer.add_string buf
-    (Printf.sprintf "ticks %d  drain-exhausted %d  timer-heap %d\n\n"
+    (Printf.sprintf "ticks %d  drain-exhausted %d  spurious %d  timer-heap %d\n\n"
        (int_or 0 [ "health"; "ticks" ])
        (int_or 0 [ "health"; "drain_exhausted" ])
+       (int_or 0 [ "health"; "spurious_wakeups" ])
        (int_or 0 [ "health"; "timer_heap" ]));
+  (* Per-shard lanes: one row per shard from the aggregated snapshot's
+     [per_shard] breakdown (absent on a single-engine server). *)
+  (match Option.bind (json_path [ "per_shard" ] json) Obs.Json.to_list with
+  | Some (_ :: _ as per_shard) when shard_count > 1 ->
+      Buffer.add_string buf
+        (Printf.sprintf "%-6s %8s %9s %10s %8s %8s %10s %11s\n" "shard" "active"
+           "accepted" "completed" "rejected" "ticks" "spurious" "timer-heap");
+      List.iter
+        (fun row ->
+          let rint_or d path = Option.value ~default:d (json_int path row) in
+          match json_path [ "unresponsive" ] row with
+          | Some (Obs.Json.Bool true) ->
+              Buffer.add_string buf
+                (Printf.sprintf "  s%-4d (unresponsive)\n" (rint_or 0 [ "shard" ]))
+          | _ ->
+              Buffer.add_string buf
+                (Printf.sprintf "  s%-4d %8d %9d %10d %8d %8d %10d %11d\n"
+                   (rint_or 0 [ "shard" ])
+                   (rint_or 0 [ "active_flows" ])
+                   (rint_or 0 [ "totals"; "accepted" ])
+                   (rint_or 0 [ "totals"; "completed" ])
+                   (rint_or 0 [ "totals"; "rejected" ])
+                   (rint_or 0 [ "health"; "ticks" ])
+                   (rint_or 0 [ "health"; "spurious_wakeups" ])
+                   (rint_or 0 [ "health"; "timer_heap" ])))
+        per_shard;
+      Buffer.add_char buf '\n'
+  | _ -> ());
   Buffer.add_string buf
     (Printf.sprintf "%-22s %10s %10s %10s\n" "loop health" "p50" "p99" "max");
   let hist_row label key scale =

@@ -26,6 +26,7 @@ type config = {
   senders : int;
   transfers : int;
   max_flows : int;
+  shards : int;
   bytes_min : int;
   bytes_max : int;
   think_min_ns : int;
@@ -45,6 +46,7 @@ let default_config ~seed =
     senders = 16;
     transfers = 3;
     max_flows = 12;
+    shards = 1;
     bytes_min = 2 * 1024;
     bytes_max = 32 * 1024;
     think_min_ns = 200_000_000;
@@ -100,7 +102,9 @@ type harness = {
   flowtrace : Obs.Flowtrace.t;  (** shared across engine incarnations *)
   recorder : Obs.Recorder.t;  (** engine flight ring, virtual-time stamped *)
   violations : string list ref;
-  engine : Server.Engine.t option ref;  (** current incarnation, [None] mid-outage *)
+  engines : Server.Engine.t option array;
+      (** current incarnation per shard, [None] mid-outage; length
+          [cfg.shards] (1 = the classic single engine) *)
   slots : slot list ref;  (** insertion order — the churn picker's stable index *)
   remaining : int ref;  (** non-terminal participants *)
   shutdown : bool ref;  (** final stop requested; no restarts past this *)
@@ -156,7 +160,7 @@ let clock_of h () = now_ns h
 let all_done h =
   h.shutdown := true;
   line h "all senders resolved; stopping engine";
-  match !(h.engine) with Some e -> Server.Engine.stop e | None -> ()
+  Array.iter (function Some e -> Server.Engine.stop e | None -> ()) h.engines
 
 let finish h slot =
   if not slot.terminal then begin
@@ -187,28 +191,53 @@ let on_complete h (e : Server.Engine.completion_event) =
     c.Sockets.Flow.transfer_id (outcome_str c.Sockets.Flow.outcome)
     (String.length c.Sockets.Flow.data)
 
-let engine_proc h () =
+(* Shard steering as a pure, seeded function of the source address — the
+   kernel's REUSEPORT 4-tuple hash made explicit. The sender's port is the
+   only varying part of the 4-tuple here; multiplicative mixing with the
+   root seed decorrelates placement across seeds so a shard sweep is not
+   always the same partition of senders. Memnet reduces the result
+   [mod shards]. *)
+let shard_of_source (cfg : config) addr =
+  let port = port_of addr in
+  let mixed = (port * 0x9E3779B1) lxor (cfg.seed * 0x85EBCA77) in
+  (mixed lsr 11) land 0x3FFF_FFFF
+
+(* Tags for journal lines and lanes: a single-shard run keeps the classic,
+   untagged journal shape. *)
+let engine_tag h index = if h.cfg.shards = 1 then "engine" else Printf.sprintf "engine s%d" index
+
+let engine_proc h index () =
+  let bind () =
+    if h.cfg.shards = 1 then Net.bind ~port:server_port h.net
+    else
+      Net.bind_shard h.net ~port:server_port ~shards:h.cfg.shards ~index
+        ~shard_of:(shard_of_source h.cfg)
+  in
   let rec incarnation gen =
-    let ep = Net.bind ~port:server_port h.net in
+    let ep = bind () in
     let transport = Net.transport ep in
     let engine =
       Server.Engine.create ~max_flows:h.cfg.max_flows ~retransmit_ns:h.cfg.retransmit_ns
         ~max_attempts:h.cfg.max_attempts
         ~ctx:(Sockets.Io_ctx.make ~clock:(clock_of h) ~recorder:h.recorder ())
         ~on_complete:(on_complete h) ~flowtrace:h.flowtrace ~trace_epoch:gen
+        ?shard:(if h.cfg.shards = 1 then None else Some index)
         ~transport ()
     in
-    h.engine := Some engine;
-    line h "engine up gen=%d" gen;
+    h.engines.(index) <- Some engine;
+    line h "%s up gen=%d" (engine_tag h index) gen;
     (try Server.Engine.run engine
      with exn ->
-       violation h (Printf.sprintf "engine gen %d raised %s" gen (Printexc.to_string exn)));
-    h.engine := None;
+       violation h
+         (Printf.sprintf "%s gen %d raised %s" (engine_tag h index) gen
+            (Printexc.to_string exn)));
+    h.engines.(index) <- None;
     let t = Server.Engine.totals engine in
     h.server_completed <- h.server_completed + t.Server.Engine.completed;
     h.server_aborted <- h.server_aborted + t.Server.Engine.aborted;
     h.superseded <- h.superseded + t.Server.Engine.superseded;
-    line h "engine down gen=%d %s" gen (Format.asprintf "%a" Server.Engine.pp_totals t);
+    line h "%s down gen=%d %s" (engine_tag h index) gen
+      (Format.asprintf "%a" Server.Engine.pp_totals t);
     Net.close ep;
     (* An outage window before the same port comes back: mid-transfer
        senders blast into the void, then into a server that has never heard
@@ -386,12 +415,28 @@ let churn_controller h =
         end
   in
   let restart () =
-    match !(h.engine) with
-    | Some engine when !restarts_asked < 2 ->
-        incr restarts_asked;
-        line h "churn restart engine";
-        Server.Engine.stop engine
-    | _ -> ()
+    if !restarts_asked < 2 then begin
+      (* Pick among live incarnations; a shard mid-outage is not a
+         candidate. The extra RNG draw happens only when there is a real
+         choice, so single-shard runs keep their classic event stream. *)
+      let live = ref [] in
+      Array.iteri
+        (fun i e -> match e with Some engine -> live := (i, engine) :: !live | None -> ())
+        h.engines;
+      match List.rev !live with
+      | [] -> ()
+      | [ (index, engine) ] ->
+          incr restarts_asked;
+          line h "churn restart %s" (engine_tag h index);
+          Server.Engine.stop engine
+      | candidates ->
+          let index, engine =
+            List.nth candidates (Stats.Rng.int rng (List.length candidates))
+          in
+          incr restarts_asked;
+          line h "churn restart %s" (engine_tag h index);
+          Server.Engine.stop engine
+    end
   in
   let act () =
     match h.cfg.churn with
@@ -424,12 +469,15 @@ let churn_controller h =
 
 let invariant_watch h =
   let rec tick () =
-    (match !(h.engine) with
-    | Some engine ->
-        List.iter
-          (fun v -> violation h ("engine invariant: " ^ v))
-          (Server.Engine.invariant_violations engine)
-    | None -> ());
+    Array.iteri
+      (fun index e ->
+        match e with
+        | Some engine ->
+            List.iter
+              (fun v -> violation h (engine_tag h index ^ " invariant: " ^ v))
+              (Server.Engine.invariant_violations engine)
+        | None -> ())
+      h.engines;
     if not !(h.shutdown) then
       ignore (Sim.schedule_after h.sim (Time.span_ns 25_000_000) tick : Sim.handle)
   in
@@ -443,6 +491,7 @@ let run cfg =
   if cfg.bytes_min <= 0 || cfg.bytes_max < cfg.bytes_min then
     invalid_arg "Dst: bad transfer size range";
   if cfg.horizon_ns <= 0 then invalid_arg "Dst: horizon must be positive";
+  if cfg.shards <= 0 then invalid_arg "Dst: shards must be positive";
   let sim = Sim.create () in
   let net = Net.create ~sim ~latency_ns:cfg.latency_ns ?scenario:cfg.faults ~seed:cfg.seed () in
   let h =
@@ -454,7 +503,7 @@ let run cfg =
       flowtrace = Obs.Flowtrace.create ();
       recorder = Obs.Recorder.create ();
       violations = ref [];
-      engine = ref None;
+      engines = Array.make cfg.shards None;
       slots = ref [];
       remaining = ref 0;
       shutdown = ref false;
@@ -472,12 +521,16 @@ let run cfg =
       server_aborted = 0;
     }
   in
-  line h "dst seed=%d churn=%s faults=%s senders=%d transfers=%d max_flows=%d" cfg.seed
-    (churn_name cfg.churn)
+  line h "dst seed=%d churn=%s faults=%s senders=%d transfers=%d max_flows=%d shards=%d"
+    cfg.seed (churn_name cfg.churn)
     (match cfg.faults with Some s -> Faults.Scenario.name s | None -> "clean")
-    cfg.senders cfg.transfers cfg.max_flows;
+    cfg.senders cfg.transfers cfg.max_flows cfg.shards;
   let env = Proc.env sim in
-  Proc.spawn env ~name:"engine" (engine_proc h);
+  for index = 0 to cfg.shards - 1 do
+    Proc.spawn env
+      ~name:(if cfg.shards = 1 then "engine" else Printf.sprintf "engine-s%d" index)
+      (engine_proc h index)
+  done;
   for index = 0 to cfg.senders - 1 do
     let _slot, body =
       spawn_slot h (Printf.sprintf "sender%d" index) (fun slot -> sender_proc h slot index)
@@ -519,19 +572,24 @@ let run cfg =
              "sender success without verified server delivery: port=%d id=%d crc=%08lx (%d vs %d)"
              port id crc sent served))
     h.sent_ok;
-  (match !(h.engine) with
-  | Some engine ->
-      List.iter
-        (fun v -> violation h ("engine invariant at horizon: " ^ v))
-        (Server.Engine.invariant_violations engine)
-  | None ->
-      (* The engine wound down, so every admitted flow was settled: the
-         lifecycle grammar must hold — exactly one terminal per flow, nothing
-         recorded past it. (With the engine still up at the horizon live
-         flows legitimately lack terminals; the hang checks own that case.) *)
-      List.iter
-        (fun p -> violation h ("flowtrace: " ^ p))
-        (Obs.Flowtrace.validate h.flowtrace));
+  let any_engine_up = Array.exists Option.is_some h.engines in
+  Array.iteri
+    (fun index e ->
+      match e with
+      | Some engine ->
+          List.iter
+            (fun v -> violation h (engine_tag h index ^ " invariant at horizon: " ^ v))
+            (Server.Engine.invariant_violations engine)
+      | None -> ())
+    h.engines;
+  if not any_engine_up then
+    (* Every engine wound down, so every admitted flow was settled: the
+       lifecycle grammar must hold — exactly one terminal per flow, nothing
+       recorded past it. (With an engine still up at the horizon live flows
+       legitimately lack terminals; the hang checks own that case.) *)
+    List.iter
+      (fun p -> violation h ("flowtrace: " ^ p))
+      (Obs.Flowtrace.validate h.flowtrace);
   let stats = Net.stats net in
   line h "net delivered=%d unbound=%d overrun=%d" stats.Net.delivered
     stats.Net.dropped_unbound stats.Net.dropped_overrun;

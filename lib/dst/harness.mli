@@ -39,6 +39,15 @@ type config = {
   senders : int;
   transfers : int;  (** transfers each sender attempts *)
   max_flows : int;  (** engine admission cap; below [senders] exercises REJ *)
+  shards : int;
+      (** engine shard count (default 1 — the classic single engine).
+          [N > 1] runs N engine processes as members of one
+          {!Memnet.Net.bind_shard} group on the server port: datagrams are
+          steered by a pure, seeded hash of the source address — the
+          REUSEPORT placement made explicit — so a sharded run is exactly
+          as replayable as a single-engine one. Churn's [Restart] picks its
+          victim shard from the seeded stream, and each shard restarts into
+          its own slot. *)
   bytes_min : int;
   bytes_max : int;
   think_min_ns : int;
@@ -52,7 +61,8 @@ type config = {
 
 val default_config : seed:int -> config
 (** 16 senders x 3 transfers of 2..32 KiB with 0.2..2 s think time, engine
-    capped at 12 flows, chaos faults, mixed churn, 60 virtual seconds. *)
+    capped at 12 flows (per shard), chaos faults, mixed churn, one shard,
+    60 virtual seconds. *)
 
 type trial = {
   seed : int;

@@ -23,7 +23,20 @@ type endpoint = {
           to whichever peer the releasing send was addressed to *)
   mutable reader : (unit -> unit) option;  (** parked [recv]'s wake-up, one-shot *)
   mutable closed : bool;
+  mutable wake_requested : bool;
+      (** transport [wake] latch: the next [recv] returns [`Timeout] *)
+  shard_slot : int option;  (** index in a sharded port's member array *)
 }
+
+and target =
+  | Single of endpoint
+  | Sharded of group
+      (** memnet's stand-in for [SO_REUSEPORT]: one port, N member
+          endpoints, steering explicit and seeded — the kernel's 4-tuple
+          hash replaced by a deterministic function of the source address
+          so trials replay bit-for-bit *)
+
+and group = { shard_of : Unix.sockaddr -> int; members : endpoint option array }
 
 and t = {
   sim : Sim.t;
@@ -31,7 +44,7 @@ and t = {
   capacity : int;
   default_scenario : Faults.Scenario.t option;
   seed : int;
-  endpoints : (int, endpoint) Hashtbl.t;
+  endpoints : (int, target) Hashtbl.t;
   stats : stats;
   mutable next_port : int;
 }
@@ -55,6 +68,25 @@ let stats t = t.stats
 let address ep = ep.address
 let port ep = ep.port
 
+let resolve_scenario net scenario =
+  match scenario with
+  | Some s -> if Faults.Scenario.is_clean s then None else Some s
+  | None -> net.default_scenario
+
+let make_endpoint ?shard_slot net ~port scenario =
+  {
+    net;
+    port;
+    address = Unix.ADDR_INET (Unix.inet_addr_loopback, port);
+    queue = Queue.create ();
+    scenario;
+    links = Hashtbl.create 8;
+    reader = None;
+    closed = false;
+    wake_requested = false;
+    shard_slot;
+  }
+
 let bind ?port ?scenario net =
   let port =
     match port with
@@ -70,24 +102,35 @@ let bind ?port ?scenario net =
         net.next_port <- net.next_port + 1;
         p
   in
-  let scenario =
-    match scenario with
-    | Some s -> if Faults.Scenario.is_clean s then None else Some s
-    | None -> net.default_scenario
+  let ep = make_endpoint net ~port (resolve_scenario net scenario) in
+  Hashtbl.replace net.endpoints port (Single ep);
+  ep
+
+(* A sharded port keeps its group entry (and therefore its steering
+   function) alive across member close/rebind cycles: a member that dies
+   and comes back — the DST engine-restart churn — lands back in the same
+   slot and keeps receiving exactly the flows the hash steered to it. *)
+let bind_shard ?scenario net ~port ~shards ~index ~shard_of =
+  if shards <= 0 then invalid_arg "Net.bind_shard: shards must be positive";
+  if index < 0 || index >= shards then invalid_arg "Net.bind_shard: index out of range";
+  let group =
+    match Hashtbl.find_opt net.endpoints port with
+    | None ->
+        let g = { shard_of; members = Array.make shards None } in
+        Hashtbl.replace net.endpoints port (Sharded g);
+        g
+    | Some (Sharded g) when Array.length g.members = shards -> g
+    | Some (Sharded _) ->
+        invalid_arg (Printf.sprintf "Net.bind_shard: port %d has a different shard count" port)
+    | Some (Single _) ->
+        invalid_arg (Printf.sprintf "Net.bind_shard: port %d already bound unsharded" port)
   in
-  let ep =
-    {
-      net;
-      port;
-      address = Unix.ADDR_INET (Unix.inet_addr_loopback, port);
-      queue = Queue.create ();
-      scenario;
-      links = Hashtbl.create 8;
-      reader = None;
-      closed = false;
-    }
-  in
-  Hashtbl.replace net.endpoints port ep;
+  (match group.members.(index) with
+  | Some _ ->
+      invalid_arg (Printf.sprintf "Net.bind_shard: port %d shard %d already bound" port index)
+  | None -> ());
+  let ep = make_endpoint ~shard_slot:index net ~port (resolve_scenario net scenario) in
+  group.members.(index) <- Some ep;
   ep
 
 let wake_reader ep =
@@ -98,7 +141,14 @@ let wake_reader ep =
 let close ep =
   if not ep.closed then begin
     ep.closed <- true;
-    Hashtbl.remove ep.net.endpoints ep.port;
+    (match (ep.shard_slot, Hashtbl.find_opt ep.net.endpoints ep.port) with
+    | Some i, Some (Sharded g)
+      when (match g.members.(i) with Some e -> e == ep | None -> false) ->
+        (* Vacate the slot but keep the group: steering survives member
+           churn, and datagrams for the gap count as dropped_unbound. *)
+        g.members.(i) <- None
+    | None, Some (Single e) when e == ep -> Hashtbl.remove ep.net.endpoints ep.port
+    | _ -> ());
     Queue.clear ep.queue;
     Hashtbl.reset ep.links;
     (* Held-back (reordered) egress datagrams die with the process; in-flight
@@ -114,7 +164,18 @@ let dst_port_of = function
    closed and rebound while the datagram was in flight receives it — the
    address-reuse collision the churn scenarios depend on. *)
 let deliver net ~dst_port ~from data =
-  match Hashtbl.find_opt net.endpoints dst_port with
+  let member =
+    match Hashtbl.find_opt net.endpoints dst_port with
+    | None -> None
+    | Some (Single ep) -> Some ep
+    | Some (Sharded g) ->
+        (* Steered at delivery time by the source address alone — the
+           memnet analogue of the kernel's REUSEPORT 4-tuple hash (each
+           sender keeps one socket, so source fixes the shard). *)
+        let n = Array.length g.members in
+        g.members.(((g.shard_of from mod n) + n) mod n)
+  in
+  match member with
   | None -> net.stats.dropped_unbound <- net.stats.dropped_unbound + 1
   | Some ep ->
       if Queue.length ep.queue >= net.capacity then
@@ -179,6 +240,11 @@ let recv ep ~timeout_ns =
     | Some d -> `Datagram (view d)
     | None ->
         if ep.closed then raise (Closed ep.port);
+        if ep.wake_requested then begin
+          ep.wake_requested <- false;
+          `Timeout
+        end
+        else
         let now = Time.to_ns (Sim.now ep.net.sim) in
         let expired = match deadline with Some d -> d - now <= 0 | None -> false in
         if expired then `Timeout
@@ -214,4 +280,11 @@ let transport ep =
     recv = (fun ~timeout_ns -> recv ep ~timeout_ns);
     poll = poll ep;
     sleep_ns = (fun ns -> Proc.sleep (Time.span_ns ns));
+    wake =
+      Some
+        (fun () ->
+          if not ep.closed then begin
+            ep.wake_requested <- true;
+            wake_reader ep
+          end);
   }

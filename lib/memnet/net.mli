@@ -59,6 +59,27 @@ val bind : ?port:int -> ?scenario:Faults.Scenario.t -> t -> endpoint
     [Invalid_argument] if [port] is already bound. [scenario] overrides the
     network default for this endpoint's egress. *)
 
+val bind_shard :
+  ?scenario:Faults.Scenario.t ->
+  t ->
+  port:int ->
+  shards:int ->
+  index:int ->
+  shard_of:(Unix.sockaddr -> int) ->
+  endpoint
+(** Member [index] of a sharded port — memnet's stand-in for
+    [SO_REUSEPORT]. All members share [port]; a datagram is steered at
+    delivery time to member [shard_of source mod shards], so steering is a
+    deterministic, replayable function of the source address (the kernel's
+    4-tuple hash made explicit — each sender keeps one socket, so the
+    source fixes the shard). The first [bind_shard] on a port fixes the
+    group's [shards] and [shard_of]; later calls must agree on [shards]
+    and their [shard_of] is ignored. Closing a member vacates its slot but
+    keeps the group (datagrams steered to the gap drop as
+    [dropped_unbound]) so a restarted shard rebinds into the same slot.
+    Raises [Invalid_argument] on a slot already bound, a shard-count
+    mismatch, or a port already bound unsharded. *)
+
 val address : endpoint -> Unix.sockaddr
 val port : endpoint -> int
 
@@ -72,7 +93,10 @@ val transport : endpoint -> Sockets.Transport.t
     [Eventsim.Proc] process: [recv] parks the process until a datagram,
     timeout, or {!close}; [sleep_ns] sleeps in virtual time; [flush] is a
     no-op (there is no syscall boundary to amortize). Single-owner, like a
-    socket: one reading process per endpoint. *)
+    socket: one reading process per endpoint. [wake] is provided: it latches
+    a flag and resumes a parked reader, making the next (or current) [recv]
+    return [`Timeout] — deterministic, since callers are themselves
+    simulation events. *)
 
 val stats : t -> stats
 (** Network-wide delivery accounting (shared by all endpoints). *)

@@ -50,6 +50,10 @@ type health = {
   mutable ticks : int;
   mutable drain_exhausted : int;
       (** wakeups that consumed the whole drain budget — backlog evidence *)
+  mutable spurious_wakeups : int;
+      (** wakeups that found nothing: no datagram, no due timer, no stats
+          emission, no admin socket to poll — the waste the derived wait
+          eliminates (legacy capped waits show up here at ~20/s idle) *)
 }
 
 let create_health () =
@@ -60,7 +64,19 @@ let create_health () =
     timer_heap_depth = Obs.Hist.create ~lo:1. ~hi:1e6 ~bins:120 ();
     ticks = 0;
     drain_exhausted = 0;
+    spurious_wakeups = 0;
   }
+
+(* Shard roll-up: histograms merge under their own locks (safe while the
+   source engine is still serving), plain counters add. *)
+let merge_health ~into src =
+  Obs.Hist.merge ~into:into.tick_duration_ns src.tick_duration_ns;
+  Obs.Hist.merge ~into:into.recv_drained src.recv_drained;
+  Obs.Hist.merge ~into:into.flush_train src.flush_train;
+  Obs.Hist.merge ~into:into.timer_heap_depth src.timer_heap_depth;
+  into.ticks <- into.ticks + src.ticks;
+  into.drain_exhausted <- into.drain_exhausted + src.drain_exhausted;
+  into.spurious_wakeups <- into.spurious_wakeups + src.spurious_wakeups
 
 (* A flow is keyed by who is talking and which transfer they mean: two
    transfers from the same source port never collide (distinct ids), and two
@@ -105,7 +121,10 @@ type t = {
   admin : Admin.t option;
   stats_interval_ns : int option;
   on_snapshot : Obs.Json.t -> unit;
+  on_idle : unit -> unit;
   trace_epoch : int;
+  shard : int option;
+  label_prefix : string;  (** shard tag on every trace lane; "" unsharded *)
   created_ns : int;
   health : health;
   flows : (key, flow_state) Hashtbl.t;
@@ -125,15 +144,21 @@ type t = {
 let create ?(max_flows = 64) ?(retransmit_ns = 50_000_000) ?(max_attempts = 50)
     ?idle_timeout_ns ?linger_ns ?fallback_suite ?scenario ?(seed = 1)
     ?(drain_budget = 64) ?ctx ?(on_complete = fun _ -> ()) ?flowtrace ?admin
-    ?stats_interval_ns ?(on_snapshot = fun _ -> ()) ?(trace_epoch = 0) ~transport
-    () =
+    ?stats_interval_ns ?(on_snapshot = fun _ -> ()) ?(on_idle = fun () -> ())
+    ?(trace_epoch = 0) ?shard ~transport () =
   if max_flows < 0 then invalid_arg "Engine.create: negative max_flows";
   if drain_budget <= 0 then invalid_arg "Engine.create: drain_budget must be positive";
   let ctx = match ctx with Some c -> c | None -> Sockets.Io_ctx.default () in
   let { Sockets.Io_ctx.recorder; metrics; clock; batch = _; faults = _ } = ctx in
   Option.iter (fun r -> Obs.Recorder.set_clock r clock) recorder;
+  let label_prefix =
+    match shard with None -> "" | Some i -> Printf.sprintf "s%d:" i
+  in
   let server_counters = Protocol.Counters.create () in
-  let server_probe = Obs.Probe.create ?recorder ~lane:"server" ~counters:server_counters () in
+  let server_probe =
+    Obs.Probe.create ?recorder ~lane:(label_prefix ^ "server")
+      ~counters:server_counters ()
+  in
   let created_ns = clock () in
   {
     transport;
@@ -154,7 +179,10 @@ let create ?(max_flows = 64) ?(retransmit_ns = 50_000_000) ?(max_attempts = 50)
     admin;
     stats_interval_ns;
     on_snapshot;
+    on_idle;
     trace_epoch;
+    shard;
+    label_prefix;
     created_ns;
     health = create_health ();
     flows = Hashtbl.create 64;
@@ -328,8 +356,8 @@ let reject t ~now ~from ~transfer_id =
          is its whole lifecycle. Each retry is its own lane — one REQ, one
          REJ, one trace record. *)
       let flow =
-        Printf.sprintf "%s#%d/%d.r%d" (string_of_sockaddr from) transfer_id
-          t.trace_epoch t.next_reject
+        Printf.sprintf "%s%s#%d/%d.r%d" t.label_prefix (string_of_sockaddr from)
+          transfer_id t.trace_epoch t.next_reject
       in
       t.next_reject <- t.next_reject + 1;
       trace t (Obs.Flowtrace.Terminal Obs.Flowtrace.Rejected) ~flow ~now);
@@ -346,7 +374,7 @@ let admit t ~now ~from message =
     let counters = Protocol.Counters.create () in
     let probe =
       Obs.Probe.create ?recorder:t.recorder
-        ~lane:(Printf.sprintf "flow-%d" index)
+        ~lane:(Printf.sprintf "%sflow-%d" t.label_prefix index)
         ~counters ()
     in
     let faults =
@@ -382,7 +410,7 @@ let admit t ~now ~from message =
           (* Unique per incarnation: the epoch distinguishes engine restarts
              (DST) and the admission index distinguishes supersede reuses of
              the same (address, transfer id). *)
-          Printf.sprintf "%s#%d/%d.%d" (string_of_sockaddr from)
+          Printf.sprintf "%s%s#%d/%d.%d" t.label_prefix (string_of_sockaddr from)
             message.Packet.Message.transfer_id t.trace_epoch index
         in
         let fs =
@@ -549,6 +577,7 @@ let health_json t =
     [
       ("ticks", Obs.Json.Int h.ticks);
       ("drain_exhausted", Obs.Json.Int h.drain_exhausted);
+      ("spurious_wakeups", Obs.Json.Int h.spurious_wakeups);
       ("timer_heap", Obs.Json.Int (Timers.length t.timers));
       ("tick_duration_ns", Obs.Hist.to_json h.tick_duration_ns);
       ("recv_drained", Obs.Hist.to_json h.recv_drained);
@@ -594,7 +623,10 @@ let snapshot t =
   let flows = List.sort (fun a b -> compare a.label b.label) flows in
   let shown = List.filteri (fun i _ -> i < snapshot_flow_cap) flows in
   Obs.Json.Obj
-    [
+    ((match t.shard with
+     | None -> []
+     | Some i -> [ ("shard", Obs.Json.Int i) ])
+    @ [
       ("schema", Obs.Json.String "lanrepro-stat/1");
       ("now_ns", Obs.Json.Int now);
       ("uptime_ns", Obs.Json.Int (now - t.created_ns));
@@ -606,7 +638,7 @@ let snapshot t =
       ("flows", Obs.Json.List (List.map (flow_json ~now) shown));
       ("health", health_json t);
       ("counters", counters_json (rollup t));
-    ]
+    ])
 
 let maybe_emit_stats t ~now =
   match t.stats_interval_ns with
@@ -617,9 +649,12 @@ let maybe_emit_stats t ~now =
         t.next_stats_ns <- now + interval
       end
 
-(* Cap each wait so [stop] from another thread is honoured promptly even
-   when the transport is silent and no timer is due. *)
-let max_select_ns = 50_000_000
+(* Bounded service cap, used only when something outside the transport
+   needs periodic attention: an admin socket (its requests arrive on a fd
+   the transport cannot see, so it is polled), or a transport without a
+   [wake] capability (where a cross-thread [stop] can only be noticed by
+   waking up). An engine with neither blocks indefinitely when idle. *)
+let service_cap_ns = 50_000_000
 
 let run ?max_transfers t =
   let served () = t.totals.completed + t.totals.aborted in
@@ -638,16 +673,39 @@ let run ?max_transfers t =
     (* Stats plane, serviced at the loop's idle point: never between a
        datagram and its ack, never blocking. *)
     Option.iter (fun a -> Admin.poll a ~snapshot:(fun () -> snapshot t)) t.admin;
+    t.on_idle ();
     maybe_emit_stats t ~now;
     Obs.Hist.add t.health.timer_heap_depth (float_of_int (Timers.length t.timers));
+    (* The wait is derived purely from pending work: the earliest timer
+       deadline, the next stats emission, and (when present) the admin
+       service cap. With a wakeable transport and none of those, the wait
+       is unbounded — an idle engine sleeps until traffic, a wake, or
+       stop, instead of ticking 20x a second. *)
     let timeout_ns =
-      match Timers.peek_deadline t.timers with
-      | None -> max_select_ns
-      | Some deadline -> max 0 (min (deadline - now) max_select_ns)
+      let bound = max_int in
+      let bound =
+        match Timers.peek_deadline t.timers with
+        | None -> bound
+        | Some deadline -> min bound (max 0 (deadline - now))
+      in
+      let bound =
+        match t.stats_interval_ns with
+        | None -> bound
+        | Some _ -> min bound (max 0 (t.next_stats_ns - now))
+      in
+      let bound =
+        if Option.is_some t.admin then min bound service_cap_ns else bound
+      in
+      let bound =
+        if Option.is_none t.transport.Sockets.Transport.wake then
+          min bound service_cap_ns
+        else bound
+      in
+      if bound = max_int then None else Some bound
     in
     let pre_wait = t.clock () in
     let resumed, drained =
-      match t.transport.Sockets.Transport.recv ~timeout_ns:(Some timeout_ns) with
+      match t.transport.Sockets.Transport.recv ~timeout_ns with
       | `Timeout -> (t.clock (), 0)
       | `Datagram { Sockets.Transport.buf; len; from } ->
           let resumed = t.clock () in
@@ -660,6 +718,26 @@ let run ?max_transfers t =
       Obs.Hist.add t.health.recv_drained (float_of_int drained);
     if drained >= t.drain_budget then
       t.health.drain_exhausted <- t.health.drain_exhausted + 1;
+    (* A wakeup that found no datagram, no due timer, no stats emission,
+       and has no admin socket to service did nothing at all. *)
+    if drained = 0 then begin
+      let now' = t.clock () in
+      let timer_due =
+        match Timers.peek_deadline t.timers with
+        | Some d -> d - now' <= 0
+        | None -> false
+      in
+      let stats_due =
+        match t.stats_interval_ns with
+        | Some _ -> now' >= t.next_stats_ns
+        | None -> false
+      in
+      if
+        (not timer_due) && (not stats_due)
+        && Option.is_none t.admin
+        && not (Atomic.get t.stopped)
+      then t.health.spurious_wakeups <- t.health.spurious_wakeups + 1
+    end;
     (* Work time only — the blocking wait between [pre_wait] and [resumed]
        is idleness, not load, and would drown the signal at 50 ms a tick. *)
     Obs.Hist.add t.health.tick_duration_ns
@@ -681,7 +759,17 @@ let run ?max_transfers t =
   | Some m -> Obs.Metrics.bridge_counters m ~labels:[ ("side", "server") ] (rollup t));
   Log.info (fun f -> f "server loop exits: %a" pp_totals t.totals)
 
-let stop t = Atomic.set t.stopped true
+(* Nudge a blocked serving loop: its next [recv] returns promptly. Safe
+   from any thread (the transport's wake is); a no-op on transports
+   without the capability, whose waits stay capped instead. *)
+let wake t =
+  match t.transport.Sockets.Transport.wake with
+  | None -> ()
+  | Some w -> w ()
+
+let stop t =
+  Atomic.set t.stopped true;
+  wake t
 
 (* Structural invariants the event loop maintains between rounds; the
    deterministic-simulation harness calls this after every scheduler step.

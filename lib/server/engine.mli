@@ -1,6 +1,7 @@
 (** Concurrent transfer server: many flows multiplexed over one UDP socket.
 
-    A single event loop ([Unix.select] plus a timer heap) demultiplexes
+    A single event loop (the transport's readiness wait — epoll-backed via
+    {!Sockets.Poller} on a real socket — plus a timer heap) demultiplexes
     datagrams by [(peer address, transfer id)] into a table of sans-IO
     {!Sockets.Flow} instances — the same engine {!Sockets.Peer.serve_one}
     drives single-flow. Each admitted flow gets its own counters, probe lane
@@ -18,8 +19,16 @@
     other flows' retransmission or watchdog timers.
 
     {b No-hang guarantee.} Every flow's idle watchdog runs off the shared
-    heap; [stop] is honoured within ~50 ms; shutdown force-settles every
-    live flow to a typed completion. *)
+    heap; [stop] wakes a blocked loop through the transport's wake
+    capability (or, on a transport without one, is honoured within the
+    ~50 ms service cap); shutdown force-settles every live flow to a typed
+    completion.
+
+    {b Idle cost.} The wait is derived from pending work alone — earliest
+    timer deadline, next stats emission, admin service cap. An idle engine
+    on a wakeable transport with no admin socket blocks indefinitely
+    instead of ticking 20x a second; wakeups that turn out to have nothing
+    to do are counted in [health.spurious_wakeups]. *)
 
 type totals = {
   mutable accepted : int;  (** REQs admitted into the flow table *)
@@ -52,7 +61,8 @@ type completion_event = {
     datagrams consumed per wakeup that had any; [flush_train] is datagrams
     per non-empty flush point (the sendmmsg train size under a batching
     transport); [drain_exhausted] counts wakeups that consumed the whole
-    drain budget — standing-backlog evidence. *)
+    drain budget — standing-backlog evidence; [spurious_wakeups] counts
+    wakeups that found nothing to do at all. *)
 type health = {
   tick_duration_ns : Obs.Hist.t;
   recv_drained : Obs.Hist.t;
@@ -60,7 +70,17 @@ type health = {
   timer_heap_depth : Obs.Hist.t;
   mutable ticks : int;
   mutable drain_exhausted : int;
+  mutable spurious_wakeups : int;
 }
+
+val create_health : unit -> health
+(** A fresh, empty health record with the engine's histogram geometries —
+    the identity element of {!merge_health}. *)
+
+val merge_health : into:health -> health -> unit
+(** Shard roll-up: histograms via {!Obs.Hist.merge} (safe while the source
+    engine is still serving — each histogram merges under its own lock),
+    plain counters by addition. *)
 
 type t
 
@@ -80,7 +100,9 @@ val create :
   ?admin:Admin.t ->
   ?stats_interval_ns:int ->
   ?on_snapshot:(Obs.Json.t -> unit) ->
+  ?on_idle:(unit -> unit) ->
   ?trace_epoch:int ->
+  ?shard:int ->
   transport:Sockets.Transport.t ->
   unit ->
   t
@@ -111,9 +133,16 @@ val create :
     identically; [trace_epoch] namespaces the lanes of successive engine
     incarnations sharing one flowtrace (DST restarts). [admin] is polled
     once per loop round at the idle point — a stat query costs the data
-    path nothing. [stats_interval_ns] calls [on_snapshot] with
-    {!snapshot}'s JSON at that period (resolution bounded by the ~50 ms
-    loop wait), from the serving thread. *)
+    path nothing (and keeps the loop's wait bounded by the ~50 ms service
+    cap, since admin requests arrive on a fd the transport cannot watch).
+    [stats_interval_ns] calls [on_snapshot] with {!snapshot}'s JSON at
+    that period, from the serving thread; the wait derivation honours the
+    emission instant exactly. [on_idle] also runs once per round at the
+    idle point, on the serving thread — {!Shard_group} uses it to answer
+    cross-thread snapshot requests; pair it with {!wake} to bound its
+    latency. [shard] tags the engine as member [i] of a shard group: every
+    trace lane and snapshot label is prefixed ["s<i>:"] and the snapshot
+    gains a [shard] field, so merged observability stays attributable. *)
 
 val run : ?max_transfers:int -> t -> unit
 (** Serves until {!stop}, or — with [max_transfers] — until that many flows
@@ -121,7 +150,15 @@ val run : ?max_transfers:int -> t -> unit
     shutdown force-settles any flow still live. *)
 
 val stop : t -> unit
-(** Thread-safe; [run] returns within ~50 ms. *)
+(** Thread-safe. Sets the stop flag and {!wake}s the loop, so [run]
+    returns promptly even from an unbounded idle wait (on a transport
+    without wake, within the ~50 ms service cap). *)
+
+val wake : t -> unit
+(** Nudge a blocked serving loop from any thread: its current [recv]
+    returns promptly and the loop passes its idle point (admin poll,
+    [on_idle], stats) again. Spurious wakes are counted, never harmful. A
+    no-op on transports without the wake capability. *)
 
 val totals : t -> totals
 val active_flows : t -> int

@@ -1,0 +1,382 @@
+(* N engines, one port: an SO_REUSEPORT shard fleet with merged
+   observability. See the interface for the design contract. *)
+
+type shard = {
+  index : int;
+  socket : Unix.file_descr;
+  poller : Sockets.Poller.t;
+  engine : Engine.t;
+  want_snapshot : bool Atomic.t;
+      (** request flag read by the engine's idle hook *)
+  snap_cell : Obs.Json.t option Atomic.t;  (** the idle hook's answer slot *)
+  finished : bool Atomic.t;  (** set after [Engine.run] returned *)
+  mutable domain : unit Domain.t option;
+}
+
+type t = {
+  shards : shard array;
+  address : Unix.sockaddr;
+  clock : unit -> int;
+  admin : Admin.t option;
+  stats_interval_ns : int option;
+  on_snapshot : Obs.Json.t -> unit;
+  admin_stop : bool Atomic.t;
+  mutable admin_thread : Thread.t option;
+  created_ns : int;
+}
+
+let shards t = Array.length t.shards
+let address t = t.address
+
+let port t =
+  match t.address with Unix.ADDR_INET (_, p) -> p | Unix.ADDR_UNIX _ -> 0
+
+let create ?(address = "127.0.0.1") ?(port = 0) ?max_flows ?retransmit_ns
+    ?max_attempts ?idle_timeout_ns ?linger_ns ?fallback_suite ?scenario
+    ?(seed = 1) ?drain_budget ?ctx ?(on_complete = fun _ -> ()) ?flowtrace
+    ?admin_port ?stats_interval_ns ?(on_snapshot = fun _ -> ()) ~shards () =
+  if shards <= 0 then invalid_arg "Shard_group.create: shards must be positive";
+  let ctx = match ctx with Some c -> c | None -> Sockets.Io_ctx.default () in
+  let clock = ctx.Sockets.Io_ctx.clock in
+  (* The first socket fixes the port (it may be ephemeral); the rest join
+     it. All carry SO_REUSEPORT — also when shards = 1, so a group of one
+     is the same object, just narrower. *)
+  let socket0, bound = Sockets.Udp.create_socket ~address ~port ~reuseport:true () in
+  let bound_port =
+    match bound with Unix.ADDR_INET (_, p) -> p | Unix.ADDR_UNIX _ -> port
+  in
+  let sockets =
+    Array.init shards (fun i ->
+        if i = 0 then socket0
+        else
+          fst (Sockets.Udp.create_socket ~address ~port:bound_port ~reuseport:true ()))
+  in
+  (* Settlement callbacks arrive on N serving domains; serialize them so
+     the caller's accounting needs no locking of its own. *)
+  let complete_lock = Mutex.create () in
+  let on_complete event =
+    Mutex.lock complete_lock;
+    Fun.protect
+      ~finally:(fun () -> Mutex.unlock complete_lock)
+      (fun () -> on_complete event)
+  in
+  let make_shard index socket =
+    let poller = Sockets.Poller.create () in
+    let transport =
+      Sockets.Transport.udp ~batch:ctx.Sockets.Io_ctx.batch ~poller ~socket ()
+    in
+    let want_snapshot = Atomic.make false in
+    let snap_cell = Atomic.make None in
+    (* The idle hook runs on the shard's serving thread, where a live
+       [Engine.snapshot] is legal; the engine value exists only after
+       [create], hence the ref. *)
+    let engine_ref = ref None in
+    let on_idle () =
+      if Atomic.get want_snapshot then
+        match !engine_ref with
+        | None -> ()
+        | Some engine ->
+            Atomic.set snap_cell (Some (Engine.snapshot engine));
+            Atomic.set want_snapshot false
+    in
+    let engine =
+      Engine.create ?max_flows ?retransmit_ns ?max_attempts ?idle_timeout_ns
+        ?linger_ns ?fallback_suite ?scenario
+        ~seed:(seed + (7919 * index))
+        ?drain_budget ~ctx ~on_complete ?flowtrace ~on_idle ~shard:index
+        ~transport ()
+    in
+    engine_ref := Some engine;
+    {
+      index;
+      socket;
+      poller;
+      engine;
+      want_snapshot;
+      snap_cell;
+      finished = Atomic.make false;
+      domain = None;
+    }
+  in
+  let admin = Option.map (fun port -> Admin.create ~port ()) admin_port in
+  {
+    shards = Array.mapi make_shard sockets;
+    address = bound;
+    clock;
+    admin;
+    stats_interval_ns;
+    on_snapshot;
+    admin_stop = Atomic.make false;
+    admin_thread = None;
+    created_ns = clock ();
+  }
+
+let engines t = Array.to_list (Array.map (fun s -> s.engine) t.shards)
+let admin_port t = Option.map Admin.port t.admin
+
+(* ---- Snapshot aggregation -------------------------------------------- *)
+
+let get path json =
+  List.fold_left
+    (fun acc key -> Option.bind acc (Obs.Json.member key))
+    (Some json) path
+
+let get_int path json =
+  match get path json with Some j -> Option.value ~default:0 (Obs.Json.to_int j) | None -> 0
+
+let totals_keys =
+  [
+    "accepted"; "completed"; "aborted"; "rejected"; "superseded";
+    "stray_datagrams"; "garbage"; "send_failures";
+  ]
+
+let counters_keys =
+  [
+    "data_sent"; "retransmitted_data"; "acks_sent"; "nacks_sent"; "rounds";
+    "timeouts"; "duplicates_received"; "delivered"; "faults_injected";
+    "corrupt_detected"; "garbage_received";
+  ]
+
+let sum_section section keys snaps =
+  Obs.Json.Obj
+    (List.map
+       (fun key ->
+         ( key,
+           Obs.Json.Int
+             (List.fold_left (fun acc s -> acc + get_int [ section; key ] s) 0 snaps) ))
+       keys)
+
+let snapshot_flow_cap = 128
+
+(* One shard's answer, fetched without touching its flow table from this
+   thread: a running engine serves the request at its next idle point (the
+   wake bounds how long that takes); an engine that is not running — not
+   yet started, or already stopped — is snapshotted directly, which is the
+   documented safe case. [None] only if a running shard failed to answer
+   within the budget. *)
+let fetch_snapshot s =
+  let running =
+    match s.domain with Some _ -> not (Atomic.get s.finished) | None -> false
+  in
+  if not running then Some (Engine.snapshot s.engine)
+  else begin
+    Atomic.set s.snap_cell None;
+    Atomic.set s.want_snapshot true;
+    Engine.wake s.engine;
+    let deadline = Unix.gettimeofday () +. 0.25 in
+    let rec spin () =
+      match Atomic.get s.snap_cell with
+      | Some json -> Some json
+      | None ->
+          if Atomic.get s.finished then Some (Engine.snapshot s.engine)
+          else if Unix.gettimeofday () > deadline then None
+          else begin
+            Thread.delay 0.0005;
+            spin ()
+          end
+    in
+    spin ()
+  end
+
+let shard_snapshots t =
+  Array.to_list (Array.map (fun s -> fetch_snapshot s) t.shards)
+
+(* The per-shard breakdown rides inside the aggregate; flow listings stay
+   out of it (they are in the merged [flows] list, shard-prefixed) so the
+   reply fits one datagram at sensible shard counts. *)
+let per_shard_json snaps =
+  Obs.Json.List
+    (List.filter_map
+       (fun (s, snap) ->
+         match snap with
+         | None ->
+             Some
+               (Obs.Json.Obj
+                  [
+                    ("shard", Obs.Json.Int s.index);
+                    ("unresponsive", Obs.Json.Bool true);
+                  ])
+         | Some snap ->
+             Some
+               (Obs.Json.Obj
+                  [
+                    ("shard", Obs.Json.Int s.index);
+                    ("active_flows", Obs.Json.Int (get_int [ "active_flows" ] snap));
+                    ("uptime_ns", Obs.Json.Int (get_int [ "uptime_ns" ] snap));
+                    ( "totals",
+                      Option.value ~default:Obs.Json.Null (get [ "totals" ] snap) );
+                    ( "health",
+                      Obs.Json.Obj
+                        [
+                          ("ticks", Obs.Json.Int (get_int [ "health"; "ticks" ] snap));
+                          ( "drain_exhausted",
+                            Obs.Json.Int (get_int [ "health"; "drain_exhausted" ] snap) );
+                          ( "spurious_wakeups",
+                            Obs.Json.Int (get_int [ "health"; "spurious_wakeups" ] snap) );
+                          ( "timer_heap",
+                            Obs.Json.Int (get_int [ "health"; "timer_heap" ] snap) );
+                        ] );
+                  ]))
+       snaps)
+
+let merged_health_json t snaps =
+  let merged = Engine.create_health () in
+  Array.iter (fun s -> Engine.merge_health ~into:merged (Engine.health s.engine)) t.shards;
+  Obs.Json.Obj
+    [
+      ("ticks", Obs.Json.Int merged.Engine.ticks);
+      ("drain_exhausted", Obs.Json.Int merged.Engine.drain_exhausted);
+      ("spurious_wakeups", Obs.Json.Int merged.Engine.spurious_wakeups);
+      ( "timer_heap",
+        Obs.Json.Int
+          (List.fold_left (fun acc s -> acc + get_int [ "health"; "timer_heap" ] s) 0 snaps) );
+      ("tick_duration_ns", Obs.Hist.to_json merged.Engine.tick_duration_ns);
+      ("recv_drained", Obs.Hist.to_json merged.Engine.recv_drained);
+      ("flush_train", Obs.Hist.to_json merged.Engine.flush_train);
+      ("timer_heap_depth", Obs.Hist.to_json merged.Engine.timer_heap_depth);
+    ]
+
+let snapshot t =
+  let now = t.clock () in
+  let tagged = Array.to_list (Array.map (fun s -> (s, fetch_snapshot s)) t.shards) in
+  let answered = List.filter_map snd tagged in
+  let unresponsive = List.length tagged - List.length answered in
+  let flows =
+    List.concat_map
+      (fun s -> match get [ "flows" ] s with
+        | Some (Obs.Json.List l) -> l
+        | _ -> [])
+      answered
+  in
+  let flow_label j =
+    match Obs.Json.member "flow" j with
+    | Some (Obs.Json.String l) -> l
+    | _ -> ""
+  in
+  let flows = List.sort (fun a b -> compare (flow_label a) (flow_label b)) flows in
+  let shown = List.filteri (fun i _ -> i < snapshot_flow_cap) flows in
+  let omitted =
+    List.fold_left (fun acc s -> acc + get_int [ "flows_omitted" ] s) 0 answered
+    + max 0 (List.length flows - snapshot_flow_cap)
+  in
+  let uptime =
+    List.fold_left (fun acc s -> max acc (get_int [ "uptime_ns" ] s)) 0 answered
+  in
+  Obs.Json.Obj
+    [
+      ("schema", Obs.Json.String "lanrepro-stat/1");
+      ("now_ns", Obs.Json.Int now);
+      ("uptime_ns", Obs.Json.Int uptime);
+      ("shards", Obs.Json.Int (Array.length t.shards));
+      ("shards_unresponsive", Obs.Json.Int unresponsive);
+      ( "max_flows",
+        Obs.Json.Int (List.fold_left (fun acc s -> acc + get_int [ "max_flows" ] s) 0 answered) );
+      ( "active_flows",
+        Obs.Json.Int
+          (List.fold_left (fun acc s -> acc + get_int [ "active_flows" ] s) 0 answered) );
+      ("flows_omitted", Obs.Json.Int omitted);
+      ("totals", sum_section "totals" totals_keys answered);
+      ("flows", Obs.Json.List shown);
+      ("health", merged_health_json t answered);
+      ("counters", sum_section "counters" counters_keys answered);
+      ("per_shard", per_shard_json tagged);
+    ]
+
+(* ---- Lifecycle ------------------------------------------------------- *)
+
+let start t =
+  Array.iter
+    (fun s ->
+      match s.domain with
+      | Some _ -> invalid_arg "Shard_group.start: already started"
+      | None ->
+          s.domain <-
+            Some
+              (Domain.spawn (fun () ->
+                   Engine.run s.engine;
+                   Atomic.set s.finished true)))
+    t.shards;
+  if Option.is_some t.admin || Option.is_some t.stats_interval_ns then
+    (* The group's stat socket and stats emitter run on their own thread —
+       shard engines never see them, so their waits stay purely
+       work-derived. [Admin.poll] is non-blocking; the delay is the service
+       cadence. *)
+    t.admin_thread <-
+      Some
+        (Thread.create
+           (fun () ->
+             let next_stats =
+               ref
+                 (match t.stats_interval_ns with
+                 | Some interval -> t.clock () + interval
+                 | None -> max_int)
+             in
+             while not (Atomic.get t.admin_stop) do
+               Option.iter
+                 (fun admin -> Admin.poll admin ~snapshot:(fun () -> snapshot t))
+                 t.admin;
+               (match t.stats_interval_ns with
+               | Some interval when t.clock () >= !next_stats ->
+                   t.on_snapshot (snapshot t);
+                   next_stats := t.clock () + interval
+               | _ -> ());
+               Thread.delay 0.02
+             done)
+           ())
+
+let stop t = Array.iter (fun s -> Engine.stop s.engine) t.shards
+
+let join t =
+  Array.iter
+    (fun s ->
+      match s.domain with
+      | None -> ()
+      | Some d ->
+          Domain.join d;
+          s.domain <- None;
+          Atomic.set s.finished true)
+    t.shards;
+  Atomic.set t.admin_stop true;
+  (match t.admin_thread with
+  | None -> ()
+  | Some th ->
+      Thread.join th;
+      t.admin_thread <- None);
+  Option.iter Admin.close t.admin;
+  Array.iter
+    (fun s ->
+      Sockets.Poller.close s.poller;
+      Sockets.Udp.close s.socket)
+    t.shards
+
+(* ---- Post-run roll-ups ----------------------------------------------- *)
+
+let totals t =
+  let sum = Engine.create_totals () in
+  Array.iter
+    (fun s ->
+      let a = Engine.totals s.engine in
+      sum.Engine.accepted <- sum.Engine.accepted + a.Engine.accepted;
+      sum.Engine.completed <- sum.Engine.completed + a.Engine.completed;
+      sum.Engine.aborted <- sum.Engine.aborted + a.Engine.aborted;
+      sum.Engine.rejected <- sum.Engine.rejected + a.Engine.rejected;
+      sum.Engine.superseded <- sum.Engine.superseded + a.Engine.superseded;
+      sum.Engine.stray_datagrams <- sum.Engine.stray_datagrams + a.Engine.stray_datagrams;
+      sum.Engine.garbage <- sum.Engine.garbage + a.Engine.garbage;
+      sum.Engine.send_failures <- sum.Engine.send_failures + a.Engine.send_failures)
+    t.shards;
+  sum
+
+let rollup t =
+  let total = Protocol.Counters.create () in
+  Array.iter
+    (fun s -> Protocol.Counters.merge ~into:total (Engine.rollup s.engine))
+    t.shards;
+  total
+
+let invariant_violations t =
+  Array.to_list t.shards
+  |> List.concat_map (fun s ->
+         List.map
+           (fun v -> Printf.sprintf "shard %d: %s" s.index v)
+           (Engine.invariant_violations s.engine))

@@ -1,0 +1,115 @@
+(** A shard fleet: N {!Engine}s, each on its own [Domain.t] with its own
+    [SO_REUSEPORT] socket on one shared port, with merged observability.
+
+    The single-domain engine loop is the concurrency ceiling the
+    [serve_concurrency] bench measures; a shard group raises it the way
+    scalable receivers do — by letting the kernel's REUSEPORT 4-tuple hash
+    spread {e flows} (not datagrams) across shards. A sender keeps one
+    socket for a whole transfer, so its 4-tuple is stable and every
+    datagram of a flow lands on the same shard: per-flow state never
+    migrates and the engines share nothing on the data path. (Memnet has
+    no kernel to hash for it; {!Memnet.Net.bind_shard} makes the same
+    steering explicit and seeded for DST runs, which drive engines as
+    simulation processes rather than through this module.)
+
+    Observability rolls up without stopping anything: totals and counters
+    via {!Protocol.Counters.merge}, loop-health histograms via
+    {!Obs.Hist.merge}, and one aggregated [lanrepro-stat/1] snapshot — sum
+    of the per-shard snapshots, plus a [per_shard] breakdown and the
+    merged, shard-prefixed ([s<i>:]) flow listing — served on a group
+    {!Admin} socket from the group's own thread. Live per-shard snapshots
+    are fetched through each engine's idle hook (a request flag plus
+    {!Engine.wake}), because [Engine.snapshot] is only legal on the
+    serving thread. *)
+
+type t
+
+val create :
+  ?address:string ->
+  ?port:int ->
+  ?max_flows:int ->
+  ?retransmit_ns:int ->
+  ?max_attempts:int ->
+  ?idle_timeout_ns:int ->
+  ?linger_ns:int ->
+  ?fallback_suite:Protocol.Suite.t ->
+  ?scenario:Faults.Scenario.t ->
+  ?seed:int ->
+  ?drain_budget:int ->
+  ?ctx:Sockets.Io_ctx.t ->
+  ?on_complete:(Engine.completion_event -> unit) ->
+  ?flowtrace:Obs.Flowtrace.t ->
+  ?admin_port:int ->
+  ?stats_interval_ns:int ->
+  ?on_snapshot:(Obs.Json.t -> unit) ->
+  shards:int ->
+  unit ->
+  t
+(** [shards] sockets bound to one port (the first fixes it; [port = 0]
+    picks an ephemeral one), each wrapped in an epoll-backed transport and
+    an engine tagged [~shard:i]. Engine options mean what they do on
+    {!Engine.create}, per shard ([max_flows] is the {e per-shard}
+    admission cap); [seed] is decorrelated per shard. [on_complete] is
+    serialized under a group lock, so one callback serves all shards
+    without its own locking. [flowtrace] may be shared — it is
+    mutex-guarded and lanes are shard-prefixed. [admin_port] opens one
+    group stat socket answering the {e aggregated} snapshot.
+    [stats_interval_ns] calls [on_snapshot] with that same aggregated
+    snapshot at roughly that period, from the group's service thread (not
+    a serving domain). Raises [Invalid_argument] on [shards <= 0]. *)
+
+val start : t -> unit
+(** Spawn one domain per shard running [Engine.run], plus the group
+    service thread when an admin port or stats interval was given. *)
+
+val stop : t -> unit
+(** {!Engine.stop} every shard (each is woken out of its idle wait).
+    Thread-safe. *)
+
+val join : t -> unit
+(** Wait for every shard's [run] to return, then stop the admin thread and
+    release sockets and pollers. After [join], the post-run accessors read
+    quiescent engines. *)
+
+val shards : t -> int
+
+val address : t -> Unix.sockaddr
+(** The shared bound address (resolved: a requested port 0 shows the
+    actual port). *)
+
+val port : t -> int
+
+val admin_port : t -> int option
+(** The group stat socket's resolved port (an [admin_port] of 0 binds an
+    ephemeral one), if one was requested. *)
+
+val engines : t -> Engine.t list
+(** The member engines, in shard order — for per-shard inspection after
+    {!join} (live use must respect {!Engine.snapshot}'s threading rule). *)
+
+val snapshot : t -> Obs.Json.t
+(** The aggregated [lanrepro-stat/1] snapshot: summed [totals], [counters],
+    [active_flows] and [max_flows]; merged health histograms; the merged
+    flow listing (shard-prefixed labels, capped at 128 with [flows_omitted]
+    counting the rest); [shards]/[shards_unresponsive]; and a [per_shard]
+    breakdown. Safe while shards serve: running engines answer through
+    their idle hook, engines not running are read directly; a running shard
+    that fails to answer within ~250 ms is reported unresponsive rather
+    than blocking the stats plane. *)
+
+val shard_snapshots : t -> Obs.Json.t option list
+(** Each shard's own snapshot, in shard order ([None] = unresponsive) —
+    what [per_shard] and the reconciliation tests are built from. *)
+
+val totals : t -> Engine.totals
+(** Field-wise sum of the per-shard totals. Quiescent reads (post-{!join})
+    are exact; live reads are a best-effort racy sum. *)
+
+val rollup : t -> Protocol.Counters.t
+(** {!Protocol.Counters.merge} over every shard's {!Engine.rollup}.
+    Post-{!join}. *)
+
+val invariant_violations : t -> string list
+(** Every shard's {!Engine.invariant_violations}, each prefixed
+    ["shard N: "]. Post-{!join} (the underlying check walks live flow
+    tables). *)

@@ -12,6 +12,7 @@ type sender_report = {
 type report = {
   flows : int;
   jobs : int;
+  shards : int;
   bytes_per_flow : int;
   completed : int;
   rejected : int;
@@ -38,9 +39,11 @@ let server_verified report =
 let pp_report ppf r =
   let lat = Obs.Hist.snapshot r.latency_ms in
   Format.fprintf ppf
-    "%d flows over %d jobs: %d completed, %d rejected, %d failed in %.1f ms (%.2f Mbit/s \
-     aggregate; latency p50 %.2f / p90 %.2f / p99 %.2f / max %.2f ms); server: %a"
-    r.flows r.jobs r.completed r.rejected r.failed
+    "%d flows over %d jobs to %d shard%s: %d completed, %d rejected, %d failed in %.1f ms \
+     (%.2f Mbit/s aggregate; latency p50 %.2f / p90 %.2f / p99 %.2f / max %.2f ms); server: %a"
+    r.flows r.jobs r.shards
+    (if r.shards = 1 then "" else "s")
+    r.completed r.rejected r.failed
     (float_of_int r.elapsed_ns /. 1e6)
     r.aggregate_mbit_s lat.Obs.Hist.p50 lat.Obs.Hist.p90 lat.Obs.Hist.p99
     lat.Obs.Hist.max Engine.pp_totals r.server
@@ -52,25 +55,53 @@ let payload_for rng bytes = String.init bytes (fun _ -> Char.chr (Stats.Rng.int 
 let run ?max_flows ?jobs ?(bytes = 64 * 1024) ?(packet_bytes = 1024)
     ?(retransmit_ns = 20_000_000) ?(max_attempts = 50) ?idle_timeout_ns
     ?(suite = Protocol.Suite.Blast Protocol.Blast.Go_back_n) ?scenario ?server_scenario
-    ?(seed = 42) ?ctx ?flowtrace ?admin_port ?stats_interval_ns ?on_snapshot ~flows () =
+    ?(seed = 42) ?ctx ?flowtrace ?admin_port ?stats_interval_ns ?on_snapshot
+    ?(shards = 1) ~flows () =
   if flows <= 0 then invalid_arg "Swarm.run: flows must be positive";
   if bytes <= 0 then invalid_arg "Swarm.run: bytes must be positive";
+  if shards <= 0 then invalid_arg "Swarm.run: shards must be positive";
   let ctx = match ctx with Some c -> c | None -> Sockets.Io_ctx.default () in
   let metrics = ctx.Sockets.Io_ctx.metrics in
-  let socket, server_address = Sockets.Udp.create_socket () in
   let completions = ref [] in
   let on_complete event = completions := event :: !completions in
-  let transport = Sockets.Transport.udp ~batch:ctx.Sockets.Io_ctx.batch ~socket () in
-  let admin = Option.map (fun port -> Admin.create ~port ()) admin_port in
-  let engine =
-    Engine.create ?max_flows ~retransmit_ns ~max_attempts ?idle_timeout_ns
-      ?scenario:server_scenario ~seed:(seed + 1) ~ctx ~on_complete ?flowtrace ?admin
-      ?stats_interval_ns ?on_snapshot ~transport ()
+  (* The server side gets its own domain(s): the pool below keeps every
+     other domain (including this one) busy running senders, and the server
+     must keep ticking its timers while they all blast at it. A swarm at
+     [shards = 1] keeps the single-engine shape (direct admin/stat wiring,
+     no REUSEPORT) so the default path stays byte-identical to before;
+     [shards > 1] serves through a {!Shard_group}, whose REUSEPORT hash
+     spreads the senders' flows across shard engines. *)
+  let server =
+    if shards = 1 then begin
+      let socket, server_address = Sockets.Udp.create_socket () in
+      let poller = Sockets.Poller.create () in
+      let transport =
+        Sockets.Transport.udp ~batch:ctx.Sockets.Io_ctx.batch ~poller ~socket ()
+      in
+      let admin = Option.map (fun port -> Admin.create ~port ()) admin_port in
+      let engine =
+        Engine.create ?max_flows ~retransmit_ns ~max_attempts ?idle_timeout_ns
+          ?scenario:server_scenario ~seed:(seed + 1) ~ctx ~on_complete ?flowtrace ?admin
+          ?stats_interval_ns ?on_snapshot ~transport ()
+      in
+      let server_domain = Domain.spawn (fun () -> Engine.run engine) in
+      `Single (socket, poller, admin, engine, server_domain, server_address)
+    end
+    else begin
+      let group =
+        Shard_group.create ?max_flows ~retransmit_ns ~max_attempts ?idle_timeout_ns
+          ?scenario:server_scenario ~seed:(seed + 1) ~ctx ~on_complete ?flowtrace
+          ?admin_port ?stats_interval_ns ?on_snapshot ~shards ()
+      in
+      Shard_group.start group;
+      `Group group
+    end
   in
-  (* The engine gets its own domain: the pool below keeps every other domain
-     (including this one) busy running senders, and the server must keep
-     ticking its timers while they all blast at it. *)
-  let server_domain = Domain.spawn (fun () -> Engine.run engine) in
+  let server_address =
+    match server with
+    | `Single (_, _, _, _, _, addr) -> addr
+    | `Group group -> Shard_group.address group
+  in
   let jobs = match jobs with Some j -> j | None -> flows in
   let one index =
     let rng = Stats.Rng.derive ~root:seed ~index in
@@ -108,15 +139,28 @@ let run ?max_flows ?jobs ?(bytes = 64 * 1024) ?(packet_bytes = 1024)
   let started = clock () in
   let senders = Exec.Pool.map ~jobs ~f:one (List.init flows Fun.id) in
   let elapsed_ns = clock () - started in
-  Engine.stop engine;
-  Domain.join server_domain;
-  (* Read the engine only after its domain exited: snapshot and the
-     invariant check walk the live flow table. A violated invariant also
-     dumps the flight ring from inside [invariant_violations]. *)
-  let engine_snapshot = Engine.snapshot engine in
-  let invariants = Engine.invariant_violations engine in
-  Option.iter Admin.close admin;
-  Sockets.Udp.close socket;
+  (* Read the server side only after its domain(s) exited: snapshot and the
+     invariant check walk live flow tables. A violated invariant also dumps
+     the flight ring from inside [invariant_violations]. *)
+  let engine_snapshot, invariants, server_totals, server_rollup =
+    match server with
+    | `Single (socket, poller, admin, engine, server_domain, _) ->
+        Engine.stop engine;
+        Domain.join server_domain;
+        let snap = Engine.snapshot engine in
+        let invariants = Engine.invariant_violations engine in
+        Option.iter Admin.close admin;
+        Sockets.Poller.close poller;
+        Sockets.Udp.close socket;
+        (snap, invariants, Engine.totals engine, Engine.rollup engine)
+    | `Group group ->
+        Shard_group.stop group;
+        Shard_group.join group;
+        ( Shard_group.snapshot group,
+          Shard_group.invariant_violations group,
+          Shard_group.totals group,
+          Shard_group.rollup group )
+  in
   let count outcome =
     List.length (List.filter (fun s -> s.outcome = outcome) senders)
   in
@@ -151,6 +195,7 @@ let run ?max_flows ?jobs ?(bytes = 64 * 1024) ?(packet_bytes = 1024)
     {
       flows;
       jobs = Stdlib.min 64 (Stdlib.max 1 jobs);
+      shards;
       bytes_per_flow = bytes;
       completed;
       rejected;
@@ -160,8 +205,8 @@ let run ?max_flows ?jobs ?(bytes = 64 * 1024) ?(packet_bytes = 1024)
       latency_ms;
       senders;
       completions = List.rev !completions;
-      server = Engine.totals engine;
-      rollup = Engine.rollup engine;
+      server = server_totals;
+      rollup = server_rollup;
       engine_snapshot;
       invariants;
     }

@@ -23,6 +23,7 @@ type sender_report = {
 type report = {
   flows : int;
   jobs : int;  (** effective pool parallelism (after the pool's clamp) *)
+  shards : int;  (** server-side shard count (1 = single engine) *)
   bytes_per_flow : int;
   completed : int;  (** senders that finished [Success] *)
   rejected : int;  (** senders refused by admission control *)
@@ -65,6 +66,7 @@ val run :
   ?admin_port:int ->
   ?stats_interval_ns:int ->
   ?on_snapshot:(Obs.Json.t -> unit) ->
+  ?shards:int ->
   flows:int ->
   unit ->
   report
@@ -88,4 +90,13 @@ val run :
     with [lanrepro stat] — and closes it when the run ends. If the engine
     finishes with invariant violations they are returned in the report,
     logged, and the flight ring (when [ctx.recorder] is set) is dumped
-    automatically. *)
+    automatically.
+
+    [shards] (default 1) picks the server shape: 1 keeps the single engine
+    on one domain; N > 1 serves through a {!Shard_group} — N engines on N
+    domains sharing the port via [SO_REUSEPORT], with [admin_port],
+    [stats_interval_ns]/[on_snapshot], totals, roll-up, snapshot and
+    invariants all aggregated across the fleet. The report's [server],
+    [rollup], [engine_snapshot] and [invariants] are then the merged
+    views; [engine_snapshot] additionally carries the [per_shard]
+    breakdown. *)

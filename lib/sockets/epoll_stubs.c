@@ -1,0 +1,150 @@
+/* Edge-triggered readiness: epoll_create1(2) / epoll_ctl(2) / epoll_wait(2),
+   plus an eventfd(2) wakeup channel.
+
+   The engine loop used to sleep in Unix.select with a hard 50 ms cap — the
+   modern analogue of the paper's fixed-tick receiver. These stubs let the
+   loop block exactly until the next datagram, the next timer deadline, or
+   an explicit cross-thread wake, whichever comes first.
+
+   Portability contract (the OCaml side, Poller, enforces the fallback):
+   - compile-time: Linux-only, gated on __linux__; other platforms get
+     stubs that report "unsupported";
+   - run-time: a Linux build on a kernel without the syscalls gets ENOSYS,
+     surfaced as the same "unsupported" code (-2), never an exception.
+
+   Unlike the mmsg stubs, epoll_wait with a nonzero timeout BLOCKS, so the
+   wait stub must release the OCaml runtime lock around the syscall. That in
+   turn means no OCaml heap pointer may be live across it: every argument is
+   unboxed to a C scalar before the lock is released.
+
+   Return conventions (negative codes, never an exception):
+     epoll_create:  fd >= 0, -1 error, -2 unsupported
+     epoll_add/del: 0 ok, -1 error, -2 unsupported
+     epoll_wait:    bitmask of ready tags (bit k set = a registration made
+                    with tag k fired), 0 timeout, -1 interrupted (EINTR),
+                    -2 unsupported, -3 genuine error
+     eventfd:       fd >= 0, -1 unsupported or error (caller falls back to
+                    a self-pipe)
+
+   Registrations are EPOLLIN | EPOLLET with the caller's small integer tag
+   as user data; the OCaml side uses tag 0 for data sockets and tag 1 for
+   the wakeup fd, so one word carries the whole wait verdict. */
+
+#define _GNU_SOURCE
+
+#include <caml/mlvalues.h>
+#include <caml/alloc.h>
+#include <caml/memory.h>
+#include <caml/threads.h>
+
+#include <errno.h>
+
+#ifdef __linux__
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
+#include <unistd.h>
+#endif
+
+/* More slots than distinct tags; one wait call drains every ready
+   registration into the bitmask. */
+#define LANREPRO_EPOLL_EVENTS 8
+
+CAMLprim value lanrepro_epoll_supported(value unit)
+{
+#ifdef __linux__
+  (void)unit;
+  return Val_true;
+#else
+  (void)unit;
+  return Val_false;
+#endif
+}
+
+CAMLprim value lanrepro_epoll_create(value unit)
+{
+#ifdef __linux__
+  int fd;
+  (void)unit;
+  fd = epoll_create1(EPOLL_CLOEXEC);
+  if (fd >= 0) return Val_int(fd);
+  return Val_int(errno == ENOSYS ? -2 : -1);
+#else
+  (void)unit;
+  return Val_int(-2);
+#endif
+}
+
+/* (epfd, fd, tag) -> 0 / -1 / -2. Registers EPOLLIN | EPOLLET. */
+CAMLprim value lanrepro_epoll_add(value vepfd, value vfd, value vtag)
+{
+#ifdef __linux__
+  struct epoll_event ev;
+  ev.events = EPOLLIN | EPOLLET;
+  ev.data.u64 = (uint64_t)Long_val(vtag);
+  if (epoll_ctl(Int_val(vepfd), EPOLL_CTL_ADD, Int_val(vfd), &ev) == 0)
+    return Val_int(0);
+  return Val_int(errno == ENOSYS ? -2 : -1);
+#else
+  (void)vepfd; (void)vfd; (void)vtag;
+  return Val_int(-2);
+#endif
+}
+
+CAMLprim value lanrepro_epoll_del(value vepfd, value vfd)
+{
+#ifdef __linux__
+  struct epoll_event ev = {0};
+  if (epoll_ctl(Int_val(vepfd), EPOLL_CTL_DEL, Int_val(vfd), &ev) == 0)
+    return Val_int(0);
+  return Val_int(errno == ENOSYS ? -2 : -1);
+#else
+  (void)vepfd; (void)vfd;
+  return Val_int(-2);
+#endif
+}
+
+/* (epfd, timeout_ms) -> ready-tag bitmask / 0 / -1 / -2 / -3.
+   timeout_ms = -1 blocks until an event or a wake. */
+CAMLprim value lanrepro_epoll_wait(value vepfd, value vtimeout_ms)
+{
+#ifdef __linux__
+  struct epoll_event events[LANREPRO_EPOLL_EVENTS];
+  int epfd = Int_val(vepfd);
+  int timeout_ms = Int_val(vtimeout_ms);
+  int n, i, mask;
+
+  caml_release_runtime_system();
+  n = epoll_wait(epfd, events, LANREPRO_EPOLL_EVENTS, timeout_ms);
+  caml_acquire_runtime_system();
+
+  if (n < 0) {
+    if (errno == EINTR) return Val_int(-1);
+    if (errno == ENOSYS) return Val_int(-2);
+    return Val_int(-3);
+  }
+  mask = 0;
+  for (i = 0; i < n; i++) {
+    uint64_t tag = events[i].data.u64;
+    if (tag < 30) mask |= 1 << (int)tag;
+  }
+  return Val_int(mask);
+#else
+  (void)vepfd; (void)vtimeout_ms;
+  return Val_int(-2);
+#endif
+}
+
+/* Nonblocking eventfd for the wakeup channel; the same fd is both the read
+   and the write end. -1 = unsupported or error; caller uses a self-pipe. */
+CAMLprim value lanrepro_eventfd(value unit)
+{
+#ifdef __linux__
+  int fd;
+  (void)unit;
+  fd = eventfd(0, EFD_CLOEXEC | EFD_NONBLOCK);
+  return Val_int(fd >= 0 ? fd : -1);
+#else
+  (void)unit;
+  return Val_int(-1);
+#endif
+}

@@ -1,0 +1,181 @@
+(* Edge-triggered readiness with an explicit wakeup channel, and a portable
+   select fallback latched at runtime. See the interface for the contract. *)
+
+external epoll_supported : unit -> bool = "lanrepro_epoll_supported"
+external raw_epoll_create : unit -> int = "lanrepro_epoll_create"
+external raw_epoll_add : int -> Unix.file_descr -> int -> int = "lanrepro_epoll_add"
+external raw_epoll_del : int -> Unix.file_descr -> int = "lanrepro_epoll_del"
+external raw_epoll_wait : int -> int -> int = "lanrepro_epoll_wait"
+external raw_eventfd : unit -> int = "lanrepro_eventfd"
+
+(* Stubs traffic in raw fds so no OCaml heap pointer is live while the wait
+   stub has the runtime lock released; on Unix a file_descr is the fd. *)
+external fd_of_int : int -> Unix.file_descr = "%identity"
+
+(* A Linux build on a kernel without epoll discovers ENOSYS on the first
+   create; remember it process-wide so every later poller goes straight to
+   the select fallback. *)
+let runtime_enosys = ref false
+
+let kernel_support () = epoll_supported () && not !runtime_enosys
+
+let env_enabled () =
+  match Sys.getenv_opt "LANREPRO_EPOLL" with
+  | Some ("0" | "off" | "false" | "fallback" | "select") -> false
+  | Some _ | None -> true
+
+(* Registration tags: one bit each in the wait stub's verdict. *)
+let data_tag = 0
+let wake_tag = 1
+
+type backend =
+  | Epoll of { epfd : int; wake_rd : Unix.file_descr; wake_wr : Unix.file_descr }
+  | Select of { pipe_rd : Unix.file_descr; pipe_wr : Unix.file_descr }
+
+type t = {
+  be : backend;
+  mutable fds : Unix.file_descr list;  (* registered data fds *)
+  mutable closed : bool;
+}
+
+let backend t = match t.be with Epoll _ -> `Epoll | Select _ -> `Select
+
+let close_quiet fd = try Unix.close fd with Unix.Unix_error _ -> ()
+
+(* The wakeup channel under epoll: an eventfd when the kernel has one (a
+   single fd, both ends), else a nonblocking self-pipe. *)
+let make_wake_channel () =
+  match raw_eventfd () with
+  | fd when fd >= 0 ->
+      let fd = fd_of_int fd in
+      (fd, fd)
+  | _ ->
+      let rd, wr = Unix.pipe ~cloexec:true () in
+      Unix.set_nonblock rd;
+      Unix.set_nonblock wr;
+      (rd, wr)
+
+let make_select () =
+  let rd, wr = Unix.pipe ~cloexec:true () in
+  Unix.set_nonblock rd;
+  Unix.set_nonblock wr;
+  Select { pipe_rd = rd; pipe_wr = wr }
+
+let create () =
+  let be =
+    if not (env_enabled () && kernel_support ()) then make_select ()
+    else
+      match raw_epoll_create () with
+      | epfd when epfd >= 0 -> (
+          let wake_rd, wake_wr = make_wake_channel () in
+          match raw_epoll_add epfd wake_rd wake_tag with
+          | 0 -> Epoll { epfd; wake_rd; wake_wr }
+          | code ->
+              close_quiet (fd_of_int epfd);
+              close_quiet wake_rd;
+              if wake_rd != wake_wr then close_quiet wake_wr;
+              if code = -2 then runtime_enosys := true;
+              make_select ())
+      | -2 ->
+          runtime_enosys := true;
+          make_select ()
+      | _ -> make_select ()
+  in
+  { be; fds = []; closed = false }
+
+let add t fd =
+  if t.closed then invalid_arg "Poller.add: closed";
+  if not (List.memq fd t.fds) then begin
+    (match t.be with
+    | Epoll { epfd; _ } ->
+        if raw_epoll_add epfd fd data_tag <> 0 then
+          raise (Unix.Unix_error (Unix.EINVAL, "epoll_ctl", "add"))
+    | Select _ -> ());
+    t.fds <- fd :: t.fds
+  end
+
+let remove t fd =
+  if not t.closed then begin
+    (match t.be with
+    | Epoll { epfd; _ } -> ignore (raw_epoll_del epfd fd : int)
+    | Select _ -> ());
+    t.fds <- List.filter (fun f -> f != fd) t.fds
+  end
+
+(* Drain the wakeup channel so a coalesced burst of wakes costs one
+   spurious return, not one per wake. *)
+let drain_wake fd =
+  let buf = Bytes.create 64 in
+  let rec loop () =
+    match Unix.read fd buf 0 (Bytes.length buf) with
+    | n when n > 0 -> loop ()
+    | _ -> ()
+    | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) -> ()
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> loop ()
+    | exception Unix.Unix_error (_, _, _) -> ()
+  in
+  loop ()
+
+let timeout_ms_of_ns = function
+  | None -> -1
+  | Some ns when ns <= 0 -> 0
+  | Some ns -> (ns + 999_999) / 1_000_000 (* round up: never spin before a deadline *)
+
+let wait t ~timeout_ns =
+  if t.closed then invalid_arg "Poller.wait: closed";
+  match t.be with
+  | Epoll { epfd; wake_rd; _ } -> (
+      match raw_epoll_wait epfd (timeout_ms_of_ns timeout_ns) with
+      | 0 -> `Timeout
+      | -1 -> `Ready (* EINTR: the caller polls, finds nothing, and re-waits *)
+      | mask when mask > 0 ->
+          if mask land (1 lsl wake_tag) <> 0 then begin
+            drain_wake wake_rd;
+            `Woken
+          end
+          else `Ready
+      | -2 | -3 | _ -> invalid_arg "Poller.wait: epoll_wait failed")
+  | Select { pipe_rd; _ } -> (
+      let timeout =
+        match timeout_ns with
+        | None -> -1.0
+        | Some ns -> Float.max 0.0 (float_of_int ns /. 1e9)
+      in
+      match Unix.select (pipe_rd :: t.fds) [] [] timeout with
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> `Ready
+      | [], _, _ -> `Timeout
+      | ready, _, _ ->
+          if List.memq pipe_rd ready then begin
+            drain_wake pipe_rd;
+            `Woken
+          end
+          else `Ready)
+
+let wake t =
+  if not t.closed then begin
+    let wr =
+      match t.be with
+      | Epoll { wake_wr; _ } -> wake_wr
+      | Select { pipe_wr; _ } -> pipe_wr
+    in
+    (* An eventfd write is an 8-byte counter increment; a pipe takes any
+       byte. 8 bytes satisfies both. A full pipe already guarantees a
+       pending wake, so EAGAIN is success; a racing close is benign. *)
+    let one = Bytes.make 8 '\000' in
+    Bytes.set one 7 '\001';
+    try ignore (Unix.write wr one 0 8) with Unix.Unix_error _ -> ()
+  end
+
+let close t =
+  if not t.closed then begin
+    t.closed <- true;
+    t.fds <- [];
+    match t.be with
+    | Epoll { epfd; wake_rd; wake_wr } ->
+        close_quiet (fd_of_int epfd);
+        close_quiet wake_rd;
+        if wake_rd != wake_wr then close_quiet wake_wr
+    | Select { pipe_rd; pipe_wr } ->
+        close_quiet pipe_rd;
+        close_quiet pipe_wr
+  end

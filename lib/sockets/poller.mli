@@ -1,0 +1,58 @@
+(** Edge-triggered readiness with an explicit cross-thread wakeup.
+
+    The engine's serving loop used to sleep in [Unix.select] with a hard
+    50 ms cap — twenty wakeups a second whether or not anything happened.
+    A poller lets the loop block exactly until the next datagram, the next
+    timer deadline, or an explicit {!wake}, whichever comes first.
+
+    The fast path is Linux [epoll] ([epoll_create1]/[epoll_ctl]/
+    [epoll_wait], registrations [EPOLLIN | EPOLLET]) with an [eventfd]
+    wakeup channel. Like {!Batch} does for [sendmmsg], the fallback is
+    latched at runtime: a non-Linux build, a kernel that returns [ENOSYS],
+    or [LANREPRO_EPOLL=0] in the environment all land on a portable
+    [Unix.select] + self-pipe backend with identical semantics.
+
+    Edge-triggered safety is the caller's contract: after {!wait} returns
+    [`Ready], the caller must drain the registered fds to [EAGAIN] before
+    waiting again, or a level that never re-edges is lost. The transport's
+    poll-first [recv] upholds exactly this.
+
+    {!wake} is safe from any thread and coalesces: many wakes before the
+    next wait cost one [`Woken] return. Spurious [`Woken]/[`Ready] returns
+    are allowed; callers re-check their own state. *)
+
+type t
+
+val create : unit -> t
+(** A fresh poller with its wakeup channel armed. Falls back to the select
+    backend (and, on [ENOSYS], latches the fallback process-wide) rather
+    than raising. *)
+
+val kernel_support : unit -> bool
+(** [true] when the epoll stubs are compiled in and no runtime [ENOSYS]
+    has been latched; the environment switch is separate. *)
+
+val backend : t -> [ `Epoll | `Select ]
+(** Which backend this poller landed on — observability, not behavior. *)
+
+val add : t -> Unix.file_descr -> unit
+(** Register a data fd for read readiness (edge-triggered under epoll).
+    Idempotent per fd. *)
+
+val remove : t -> Unix.file_descr -> unit
+(** Unregister; required before closing a registered fd. *)
+
+val wait : t -> timeout_ns:int option -> [ `Ready | `Timeout | `Woken ]
+(** Block until a registered fd edges readable ([`Ready]), the timeout
+    elapses ([`Timeout]; [None] waits forever), or {!wake} fires
+    ([`Woken], wakeup channel drained). [EINTR] and other spurious returns
+    surface as [`Ready] — the caller polls, finds nothing, and re-waits
+    against its own deadline. *)
+
+val wake : t -> unit
+(** Make the current (or next) {!wait} return [`Woken] promptly. Safe from
+    any thread and from signal-adjacent contexts; never blocks. *)
+
+val close : t -> unit
+(** Release the poller's fds (not the registered data fds). Further
+    {!wait}/{!add} calls are errors; a racing {!wake} is a no-op. *)

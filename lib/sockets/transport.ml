@@ -6,9 +6,10 @@ type t = {
   recv : timeout_ns:int option -> [ `Timeout | `Datagram of view ];
   poll : unit -> [ `Empty | `Datagram of view ];
   sleep_ns : int -> unit;
+  wake : (unit -> unit) option;
 }
 
-let udp ?batch ?(rx_capacity = 64) ~socket () =
+let udp ?batch ?(rx_capacity = 64) ?poller ~socket () =
   let batch = match batch with Some b -> b | None -> Batch.env_enabled () in
   (* A blast sender can land dozens of datagrams between two wake-ups;
      headroom in the kernel buffer is what keeps that from becoming loss.
@@ -56,6 +57,36 @@ let udp ?batch ?(rx_capacity = 64) ~socket () =
           `Datagram { buf; len; from }
         end
   in
+  (* The blocking wait. With a poller the socket is registered for
+     edge-triggered readiness — safe because this wait only runs after
+     [poll] drained the socket to EAGAIN, so every future datagram is a
+     fresh edge — and an explicit [Poller.wake] surfaces as [`Timeout]
+     (the caller re-checks its own state, e.g. a stop flag). Without a
+     poller the wait is the classic one-socket select and [wake] is
+     absent. *)
+  Option.iter (fun p -> Poller.add p socket) poller;
+  let wait_ready =
+    match poller with
+    | Some p ->
+        fun deadline ->
+          let timeout_ns =
+            Option.map (fun d -> max 0 (d - Udp.now_ns ())) deadline
+          in
+          (match Poller.wait p ~timeout_ns with
+          | `Timeout | `Woken -> `Expired
+          | `Ready -> `Check)
+    | None -> (
+        fun deadline ->
+          let timeout =
+            match deadline with
+            | None -> -1.0
+            | Some d -> Float.max 0.0 (float_of_int (d - Udp.now_ns ()) /. 1e9)
+          in
+          match Unix.select [ socket ] [] [] timeout with
+          | [], _, _ -> `Expired
+          | exception Unix.Unix_error (Unix.EINTR, _, _) -> `Check
+          | _ :: _, _, _ -> `Check)
+  in
   let recv ~timeout_ns =
     (* Leftovers from the last drain come first, or a datagram queued behind
        them would be served out of order. *)
@@ -64,15 +95,9 @@ let udp ?batch ?(rx_capacity = 64) ~socket () =
     | `Empty ->
         let deadline = Option.map (fun ns -> Udp.now_ns () + ns) timeout_ns in
         let rec wait () =
-          let timeout =
-            match deadline with
-            | None -> -1.0
-            | Some d -> Float.max 0.0 (float_of_int (d - Udp.now_ns ()) /. 1e9)
-          in
-          match Unix.select [ socket ] [] [] timeout with
-          | [], _, _ -> `Timeout
-          | exception Unix.Unix_error (Unix.EINTR, _, _) -> again ()
-          | _ :: _, _, _ -> ( match poll () with `Datagram d -> `Datagram d | `Empty -> again ())
+          match wait_ready deadline with
+          | `Expired -> `Timeout
+          | `Check -> ( match poll () with `Datagram d -> `Datagram d | `Empty -> again ())
         and again () =
           (* Spurious wake (signal, consumed ICMP error, checksum-dropped
              datagram): wait out the rest of the window. *)
@@ -82,7 +107,14 @@ let udp ?batch ?(rx_capacity = 64) ~socket () =
         in
         wait ()
   in
-  { send; flush; recv; poll; sleep_ns = (fun ns -> Unix.sleepf (float_of_int ns /. 1e9)) }
+  {
+    send;
+    flush;
+    recv;
+    poll;
+    sleep_ns = (fun ns -> Unix.sleepf (float_of_int ns /. 1e9));
+    wake = Option.map (fun p () -> Poller.wake p) poller;
+  }
 
 let recv_message t ?timeout_ns () =
   match t.recv ~timeout_ns with

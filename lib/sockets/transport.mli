@@ -33,9 +33,22 @@ type t = {
   sleep_ns : int -> unit;
       (** pacing and injected-delay sleeps, in the transport's notion of
           time *)
+  wake : (unit -> unit) option;
+      (** [Some w]: [w ()] makes a blocked [recv] return [`Timeout]
+          promptly — callable from any thread, spurious wakes allowed. The
+          capability is what lets a serving loop block indefinitely when
+          idle and still honor a cross-thread stop. [None]: the transport
+          cannot be woken, so loops that must remain stoppable keep a
+          bounded wait. *)
 }
 
-val udp : ?batch:bool -> ?rx_capacity:int -> socket:Unix.file_descr -> unit -> t
+val udp :
+  ?batch:bool ->
+  ?rx_capacity:int ->
+  ?poller:Poller.t ->
+  socket:Unix.file_descr ->
+  unit ->
+  t
 (** The real-socket interpreter. Sets the socket non-blocking and bumps
     [SO_RCVBUF] best-effort (the multiplexed server's headroom against blast
     bursts). With [batch] (default {!Batch.env_enabled}) sends queue into a
@@ -43,7 +56,14 @@ val udp : ?batch:bool -> ?rx_capacity:int -> socket:Unix.file_descr -> unit -> t
     [recvmmsg] ring of [rx_capacity] slots (default 64, clamped to the stub
     maximum); otherwise every operation is one syscall. Transient receive
     errors are absorbed: a pending ICMP port-unreachable is consumed and the
-    wait continues. *)
+    wait continues.
+
+    With [poller] the socket is registered on it for edge-triggered
+    readiness, the blocking wait runs through {!Poller.wait} instead of
+    [Unix.select], and [wake] is provided via {!Poller.wake}. The caller
+    owns the poller and closes it after the transport's last use. Without
+    [poller], behavior is the historical select wait and [wake] is
+    [None]. *)
 
 val recv_message :
   t ->

@@ -1,7 +1,8 @@
 external monotonic_ns : unit -> int64 = "lanrepro_monotonic_ns"
 
-let create_socket ?(address = "127.0.0.1") ?(port = 0) () =
+let create_socket ?(address = "127.0.0.1") ?(port = 0) ?(reuseport = false) () =
   let socket = Unix.socket Unix.PF_INET Unix.SOCK_DGRAM 0 in
+  if reuseport then Unix.setsockopt socket Unix.SO_REUSEPORT true;
   Unix.bind socket (Unix.ADDR_INET (Unix.inet_addr_of_string address, port));
   (socket, Unix.getsockname socket)
 

@@ -1,9 +1,17 @@
 (** Thin UDP socket helpers (IPv4 loopback by default). *)
 
-val create_socket : ?address:string -> ?port:int -> unit -> Unix.file_descr * Unix.sockaddr
+val create_socket :
+  ?address:string ->
+  ?port:int ->
+  ?reuseport:bool ->
+  unit ->
+  Unix.file_descr * Unix.sockaddr
 (** Binds a fresh datagram socket on [address] (default "127.0.0.1") at
     [port] (default 0 — an ephemeral port); returns the socket and its
-    bound address. *)
+    bound address. With [reuseport] (default false) the socket is created
+    with [SO_REUSEPORT] before binding, so several sockets — one per
+    engine shard — can share one port and let the kernel's 4-tuple hash
+    spread flows across them. *)
 
 val close : Unix.file_descr -> unit
 (** Idempotent close. *)
