@@ -456,6 +456,78 @@ let serve_concurrency_rows () =
       domains;
   (rows, !health)
 
+(* Striped replicated ring transfers: wall-clock completion of a
+   write-quorum put against a real-UDP fleet, as stripe width grows, on a
+   clean wire and under loss. Striping only pays when the host has domains
+   to run the fan-out in parallel, so the width gate arms on >= 4
+   recommended domains and is otherwise printed as a SKIP (the per-row
+   [recommended_domains] records why). *)
+let ring_stripe_rows () =
+  let domains = Domain.recommended_domain_count () in
+  let bytes = 262_144 and servers = 4 and replicas = 2 and quorum = 2 in
+  let data = String.init bytes (fun i -> Char.chr (i land 0xff)) in
+  let clean_ns = Hashtbl.create 8 in
+  let rows =
+    List.concat_map
+      (fun scenario ->
+        let clean = Faults.Scenario.is_clean scenario in
+        List.map
+          (fun stripes ->
+            let fleet =
+              Ring.Fleet.create
+                ?scenario:(if clean then None else Some scenario)
+                ~seed:1 ~servers ()
+            in
+            Ring.Fleet.start fleet;
+            Fun.protect
+              ~finally:(fun () ->
+                Ring.Fleet.stop fleet;
+                Ring.Fleet.join fleet)
+              (fun () ->
+                let put =
+                  Ring.Client.put ~retransmit_ns:20_000_000 ~max_attempts:20
+                    ~placement:(Ring.Fleet.placement ~seed:1 fleet)
+                    ~peer_of:(Ring.Fleet.peer_of fleet)
+                    ~object_id:1 ~stripes ~replicas ~quorum ~data ()
+                in
+                if clean then Hashtbl.replace clean_ns stripes put.Ring.Client.elapsed_ns;
+                Obs.Json.Obj
+                  [
+                    ("scenario", Obs.Json.String (Faults.Scenario.name scenario));
+                    ("stripes", Obs.Json.Int stripes);
+                    ("replicas", Obs.Json.Int replicas);
+                    ("quorum", Obs.Json.Int quorum);
+                    ("servers", Obs.Json.Int servers);
+                    ("recommended_domains", Obs.Json.Int domains);
+                    ("bytes", Obs.Json.Int bytes);
+                    ("quorum_met", Obs.Json.Bool put.Ring.Client.quorum_met);
+                    ("wall_ns", Obs.Json.Int put.Ring.Client.elapsed_ns);
+                  ]))
+          [ 1; 4; 16 ])
+      [ Faults.Scenario.clean; Faults.Scenario.lossy2 ]
+  in
+  if domains >= 4 then begin
+    match (Hashtbl.find_opt clean_ns 1, Hashtbl.find_opt clean_ns 4) with
+    | Some w1, Some w4 when w1 > 0 ->
+        (* Width 4 must not lose to the single path on a host that can
+           actually parallelize it; 25% slack absorbs wall-clock noise. *)
+        if float_of_int w4 > 1.25 *. float_of_int w1 then begin
+          Printf.eprintf
+            "bench: FAIL ring_stripe width — stripes=4 put took %.1f ms vs %.1f ms at \
+             stripes=1 (need <= 1.25x)\n"
+            (float_of_int w4 /. 1e6) (float_of_int w1 /. 1e6);
+          exit 1
+        end
+    | _ -> ()
+  end
+  else
+    Printf.printf
+      "ring_stripe: SKIP width gate (host recommends %d domain(s); the striped fan-out \
+       needs >= 4)\n\
+       %!"
+      domains;
+  rows
+
 let write_bench_json ~jobs () =
   let packets = 64 in
   let sim_rows =
@@ -517,7 +589,7 @@ let write_bench_json ~jobs () =
   let json =
     Obs.Json.Obj
       [
-        ("schema", Obs.Json.String "lanrepro-bench/7");
+        ("schema", Obs.Json.String "lanrepro-bench/8");
         ("packets", Obs.Json.Int packets);
         (* Context for mc_parallel: speedup > 1 is only possible when the
            host actually has cores to spread the domains over. *)
@@ -529,6 +601,7 @@ let write_bench_json ~jobs () =
         ("serve_concurrency", Obs.Json.List serve_rows);
         ("engine_health", engine_health);
         ("dst", Obs.Json.List (dst_rows ()));
+        ("ring_stripe", Obs.Json.List (ring_stripe_rows ()));
         ( "rx_alloc",
           Obs.Json.Obj
             [

@@ -1168,6 +1168,348 @@ let dst_cmd =
       const run $ seed $ seeds $ churn $ fault_name $ senders $ transfers $ max_flows
       $ shards $ until_virtual_s $ jobs $ journal_dir)
 
+(* ------------------------------------------------------------ ring transfers *)
+
+(* Both the put and a later repair pass (possibly another process) derive
+   the object bytes from the seed alone, so a repair never needs the
+   original invocation's buffer shipped to it. *)
+let ring_payload ~seed bytes =
+  String.init bytes (fun i -> Char.chr (Stats.Hash.mix2 ~seed i 1 land 0xff))
+
+let ring_servers =
+  Arg.(value & opt int 3 & info [ "servers" ] ~docv:"N" ~doc:"Ring members.")
+
+let ring_stripes =
+  Arg.(value & opt int 8 & info [ "stripes" ] ~docv:"N" ~doc:"Stripes the object splits into.")
+
+let ring_replicas =
+  Arg.(value & opt int 2 & info [ "replicas" ] ~docv:"R" ~doc:"Replicas per stripe.")
+
+let ring_quorum =
+  Arg.(value & opt int 2 & info [ "quorum" ] ~docv:"W" ~doc:"Write quorum per stripe.")
+
+let ring_bytes =
+  Arg.(value & opt int 262144 & info [ "bytes" ] ~docv:"BYTES" ~doc:"Object size.")
+
+let ring_object_id =
+  Arg.(value & opt int 1 & info [ "object-id" ] ~docv:"ID" ~doc:"Object identifier.")
+
+let ring_base_port =
+  Arg.(
+    value & opt int 0
+    & info [ "base-port" ] ~docv:"PORT"
+        ~doc:"Member i binds PORT+i (0: ephemeral ports, printed at startup).")
+
+let ring_validate ~servers ~stripes ~replicas ~quorum ~bytes =
+  let fail fmt = Printf.ksprintf (fun m -> Printf.eprintf "ring: %s\n" m; exit 2) fmt in
+  if servers < 1 then fail "need at least one server";
+  if not (0 < replicas && replicas <= servers) then
+    fail "need 0 < replicas (%d) <= servers (%d)" replicas servers;
+  if not (0 < quorum && quorum <= replicas) then
+    fail "need 0 < quorum (%d) <= replicas (%d)" quorum replicas;
+  if stripes < 1 then fail "need at least one stripe";
+  if bytes < stripes then fail "need bytes (%d) >= stripes (%d)" bytes stripes
+
+let pp_replication counts =
+  String.concat " " (Array.to_list (Array.map string_of_int counts))
+
+let print_repair_report (report : Ring.Repair.report) =
+  Printf.printf "survey: %d answered%s\n"
+    (List.length report.Ring.Repair.answered)
+    (match report.Ring.Repair.unresponsive with
+    | [] -> ""
+    | dead ->
+        Printf.sprintf ", unresponsive [%s]"
+          (String.concat " " (List.map string_of_int dead)));
+  Printf.printf "replication before repair [%s]\n"
+    (pp_replication report.Ring.Repair.before);
+  List.iter
+    (fun ((a : Ring.Repair.action), outcome) ->
+      Format.printf "  re-blast stripe %d -> server %d: %a@." a.Ring.Repair.stripe
+        a.Ring.Repair.server Protocol.Action.pp_outcome outcome)
+    report.Ring.Repair.actions;
+  Printf.printf "replication after repair  [%s]\n"
+    (pp_replication report.Ring.Repair.after);
+  Printf.printf "repair: %s in %.1f ms\n"
+    (if report.Ring.Repair.fully_replicated then "fully replicated"
+     else "UNDER-REPLICATED")
+    (float_of_int report.Ring.Repair.elapsed_ns /. 1e6)
+
+let ring_put_cmd =
+  let run servers stripes replicas quorum bytes packet_bytes retransmit_ms max_attempts
+      base_port object_id seed kill no_repair hold_s admin_port jobs =
+    ring_validate ~servers ~stripes ~replicas ~quorum ~bytes;
+    if kill && servers < 2 then begin
+      Printf.eprintf "ring: --kill needs at least two servers\n";
+      exit 2
+    end;
+    let fleet = Ring.Fleet.create ~base_port ~seed ?admin_port ~servers () in
+    Ring.Fleet.start fleet;
+    Fun.protect
+      ~finally:(fun () ->
+        Ring.Fleet.stop fleet;
+        Ring.Fleet.join fleet)
+      (fun () ->
+        Printf.printf "ring: %d servers on ports [%s]\n%!" servers
+          (String.concat " "
+             (Array.to_list (Array.map string_of_int (Ring.Fleet.ports fleet))));
+        let placement = Ring.Fleet.placement ~seed fleet in
+        let peer_of = Ring.Fleet.peer_of fleet in
+        let data = ring_payload ~seed bytes in
+        (* The kill lands while the fan-out is in flight: the put must
+           still reach its write quorum from the survivors. *)
+        let killer =
+          if not kill then None
+          else begin
+            let victim = Stats.Hash.mix2 ~seed object_id 2 mod servers in
+            Some
+              (Thread.create
+                 (fun () ->
+                   Thread.delay 0.002;
+                   Ring.Fleet.kill fleet victim;
+                   Printf.printf "killed server %d mid-transfer\n%!" victim)
+                 ())
+          end
+        in
+        let retransmit_ns = retransmit_ms * 1_000_000 in
+        let put =
+          Ring.Client.put ?jobs ~packet_bytes ~retransmit_ns ~max_attempts ~placement
+            ~peer_of ~object_id ~stripes ~replicas ~quorum ~data ()
+        in
+        Option.iter Thread.join killer;
+        Printf.printf
+          "put object %d: %d bytes, %d stripes x %d replicas; acks [%s]; quorum %s in \
+           %.1f ms\n"
+          object_id bytes stripes replicas
+          (pp_replication put.Ring.Client.acked)
+          (if put.Ring.Client.quorum_met then "MET" else "UNMET")
+          (float_of_int put.Ring.Client.elapsed_ns /. 1e6);
+        (* With a kill, W = R puts can be unable to reach quorum for the dead
+           member's stripes; the verdict that matters is the ring's own
+           post-repair survey, so that is what the exit code reports. *)
+        let ok =
+          if no_repair then put.Ring.Client.quorum_met
+          else begin
+            let live = Ring.Fleet.live_placement ~seed fleet in
+            let report =
+              Ring.Repair.run ?jobs ~packet_bytes ~retransmit_ns ~max_attempts
+                ~placement:live ~peer_of ~object_id ~stripes ~replicas ~data ()
+            in
+            print_repair_report report;
+            report.Ring.Repair.fully_replicated
+            && Array.for_all (fun c -> c >= quorum) report.Ring.Repair.after
+          end
+        in
+        let snap = Ring.Fleet.snapshot fleet in
+        Printf.printf "fleet: %d/%d alive, %d stripe replicas held\n"
+          (List.length (Ring.Fleet.alive fleet))
+          servers
+          (Option.value ~default:0
+             (Option.bind (Obs.Json.member "manifest_stripes" snap) Obs.Json.to_int));
+        if hold_s > 0.0 then begin
+          Printf.printf "holding the ring for %.1f s (repair it from another shell: \
+                         lanrepro ring-repair --base-port %d ...)\n%!"
+            hold_s (Ring.Fleet.port fleet 0);
+          Unix.sleepf hold_s
+        end;
+        if not ok then exit 1)
+  in
+  let packet_bytes =
+    Arg.(value & opt int 1024 & info [ "packet-bytes" ] ~docv:"BYTES" ~doc:"Payload bytes per data packet.")
+  in
+  let retransmit_ms =
+    Arg.(
+      value & opt int 20
+      & info [ "retransmit-ms" ] ~docv:"MS"
+          ~doc:"Per-flow retransmit timer; with --max-attempts this bounds how long a \
+                blast at a dead member keeps trying.")
+  in
+  let max_attempts =
+    Arg.(value & opt int 15 & info [ "max-attempts" ] ~docv:"N" ~doc:"Retries before a flow gives up.")
+  in
+  let kill =
+    Arg.(
+      value & flag
+      & info [ "kill" ]
+          ~doc:"Kill one (seeded-random) server mid-transfer, permanently; the put must \
+                reach quorum from the survivors and repair re-homes the dead member's \
+                stripes.")
+  in
+  let no_repair =
+    Arg.(value & flag & info [ "no-repair" ] ~doc:"Skip the read-repair pass after the put.")
+  in
+  let hold_s =
+    Arg.(
+      value & opt float 0.0
+      & info [ "hold-s" ] ~docv:"SECONDS"
+          ~doc:"Keep the ring serving after the put, so another invocation (ring-repair, \
+                stat) can reach it.")
+  in
+  Cmd.v
+    (Cmd.info "ring-put"
+       ~doc:
+         "Striped, replicated blast across an in-process server ring: split the object \
+          into stripes, blast each to its consistent-hash replicas as ordinary \
+          sub-transfers, report the write quorum, then read-repair; with --kill one \
+          member dies mid-transfer and the object must survive. Exits non-zero if the \
+          quorum or repair fails")
+    Term.(
+      const run $ ring_servers $ ring_stripes $ ring_replicas $ ring_quorum $ ring_bytes
+      $ packet_bytes $ retransmit_ms $ max_attempts $ ring_base_port $ ring_object_id
+      $ seed $ kill $ no_repair $ hold_s $ admin_port $ jobs)
+
+let ring_repair_cmd =
+  let run servers base_port dead bytes stripes replicas object_id seed jobs =
+    ring_validate ~servers ~stripes ~replicas ~quorum:replicas ~bytes;
+    if base_port <= 0 then begin
+      Printf.eprintf "ring-repair: --base-port is required (the ring's first port)\n";
+      exit 2
+    end;
+    let dead =
+      match dead with
+      | "" -> []
+      | s -> List.map int_of_string (String.split_on_char ',' s)
+    in
+    let live = List.filter (fun i -> not (List.mem i dead)) (List.init servers Fun.id) in
+    if live = [] then begin
+      Printf.eprintf "ring-repair: every member is marked dead\n";
+      exit 2
+    end;
+    let placement = Ring.Placement.create ~seed live in
+    let peer_of i = Unix.ADDR_INET (Unix.inet_addr_loopback, base_port + i) in
+    let data = ring_payload ~seed bytes in
+    let report =
+      Ring.Repair.run ?jobs ~placement ~peer_of ~object_id ~stripes ~replicas ~data ()
+    in
+    print_repair_report report;
+    if not report.Ring.Repair.fully_replicated then exit 1
+  in
+  let base_port =
+    Arg.(
+      value & opt int 0
+      & info [ "base-port" ] ~docv:"PORT" ~doc:"Member i listens on PORT+i.")
+  in
+  let dead =
+    Arg.(
+      value & opt string ""
+      & info [ "dead" ] ~docv:"I,J"
+          ~doc:"Member indices known dead; repair plans around them on the live ring.")
+  in
+  Cmd.v
+    (Cmd.info "ring-repair"
+       ~doc:
+         "Read-repair an object on a running ring (e.g. ring-put --hold-s): survey every \
+          live member's stripe manifest over MREQ/MREP, re-blast under-replicated \
+          stripes to their live successors, and re-survey. Exits non-zero unless every \
+          stripe ends fully replicated")
+    Term.(
+      const run $ ring_servers $ base_port $ dead $ ring_bytes $ ring_stripes
+      $ ring_replicas $ ring_object_id $ seed $ jobs)
+
+let ring_dst_cmd =
+  let run seed seeds servers stripes replicas quorum fault_name no_kill object_bytes
+      until_virtual_s jobs journal_dir =
+    ring_validate ~servers ~stripes ~replicas ~quorum ~bytes:object_bytes;
+    let faults = resolve_scenario (Some fault_name) in
+    let base = Dst.Ring_sim.default_config ~seed in
+    let cfg =
+      {
+        base with
+        Dst.Ring_sim.servers;
+        stripes;
+        replicas;
+        quorum;
+        kill_one = not no_kill;
+        faults;
+        object_bytes;
+        horizon_ns = int_of_float (until_virtual_s *. 1e9);
+      }
+    in
+    let seed_list = List.init seeds (fun i -> seed + i) in
+    let started = Unix.gettimeofday () in
+    let trials = Dst.Ring_sim.run_seeds ?jobs cfg ~seeds:seed_list in
+    let wall_s = Unix.gettimeofday () -. started in
+    List.iter (fun t -> Format.printf "%a@." Dst.Ring_sim.pp_trial t) trials;
+    Printf.printf "%d trial(s) in %.2f wall s (%d jobs)\n" (List.length trials) wall_s
+      (effective_jobs jobs);
+    let failing = List.filter (fun t -> t.Dst.Ring_sim.violations <> []) trials in
+    List.iter
+      (fun (t : Dst.Ring_sim.trial) ->
+        List.iter
+          (fun v -> Printf.printf "seed %d: %s\n" t.Dst.Ring_sim.seed v)
+          t.Dst.Ring_sim.violations)
+      failing;
+    (* A failing seed must replay bit-for-bit; keep its journal for offline
+       debugging, exactly like the dst subcommand. *)
+    let diverged = ref false in
+    List.iter
+      (fun (t : Dst.Ring_sim.trial) ->
+        let seed = t.Dst.Ring_sim.seed in
+        (match journal_dir with
+        | None -> ()
+        | Some dir ->
+            let file = Filename.concat dir (Printf.sprintf "ring-dst-seed-%d.journal" seed) in
+            let oc = open_out file in
+            output_string oc t.Dst.Ring_sim.journal;
+            close_out oc;
+            Printf.printf "seed %d: journal written to %s\n" seed file);
+        let again = Dst.Ring_sim.run { cfg with Dst.Ring_sim.seed } in
+        let identical = again.Dst.Ring_sim.digest = t.Dst.Ring_sim.digest in
+        if not identical then diverged := true;
+        Printf.printf "seed %d: replay %s (digest %s)\n" seed
+          (if identical then "identical" else "DIVERGED")
+          t.Dst.Ring_sim.digest)
+      failing;
+    if !diverged then exit 2;
+    if failing <> [] then exit 1
+  in
+  let seeds =
+    Arg.(
+      value & opt int 1
+      & info [ "seeds" ] ~docv:"N" ~doc:"Sweep N consecutive seeds starting at --seed.")
+  in
+  let servers =
+    Arg.(value & opt int 5 & info [ "servers" ] ~docv:"N" ~doc:"Ring members.")
+  in
+  let replicas =
+    Arg.(value & opt int 3 & info [ "replicas" ] ~docv:"R" ~doc:"Replicas per stripe.")
+  in
+  let fault_name =
+    Arg.(
+      value & opt string "clean"
+      & info [ "faults" ] ~docv:"NAME"
+          ~doc:"Wire fault scenario applied per memnet endpoint (clean disables).")
+  in
+  let no_kill =
+    Arg.(value & flag & info [ "no-kill" ] ~doc:"Skip the mid-transfer server kill.")
+  in
+  let object_bytes =
+    Arg.(value & opt int 65536 & info [ "bytes" ] ~docv:"BYTES" ~doc:"Object size.")
+  in
+  let until_virtual_s =
+    Arg.(
+      value & opt float 60.0
+      & info [ "until-virtual-s" ] ~docv:"SECONDS"
+          ~doc:"Virtual-time budget per trial (the hang backstop).")
+  in
+  let journal_dir =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "journal-dir" ] ~docv:"DIR"
+          ~doc:"Write each failing seed's event journal to DIR (CI artifact hook).")
+  in
+  Cmd.v
+    (Cmd.info "ring-dst"
+       ~doc:
+         "Deterministic simulation of a ring transfer: N engines under virtual time, a \
+          striped replicated put with one server killed mid-transfer, then read-repair; \
+          every trial asserts the write quorum survives the death and repair restores \
+          full replication, and any failing seed replays bit-for-bit")
+    Term.(
+      const run $ seed $ seeds $ servers $ ring_stripes $ replicas $ ring_quorum
+      $ fault_name $ no_kill $ object_bytes $ until_virtual_s $ jobs $ journal_dir)
+
 (* --------------------------------------------------------- live stats plane *)
 
 let stat_addr =
@@ -1285,6 +1627,38 @@ let render_snapshot buf addr json =
         per_shard;
       Buffer.add_char buf '\n'
   | _ -> ());
+  (* Ring fleets answer with a [per_server] breakdown instead: one row per
+     member, manifest size included, dead members marked. *)
+  (match Option.bind (json_path [ "per_server" ] json) Obs.Json.to_list with
+  | Some (_ :: _ as per_server) ->
+      Buffer.add_string buf
+        (Printf.sprintf "%-6s %6s %6s %8s %9s %10s %9s %8s\n" "server" "port" "alive"
+           "active" "accepted" "completed" "stripes" "ticks");
+      List.iter
+        (fun row ->
+          let rint_or d path = Option.value ~default:d (json_int path row) in
+          match json_path [ "unresponsive" ] row with
+          | Some (Obs.Json.Bool true) ->
+              Buffer.add_string buf
+                (Printf.sprintf "  r%-4d %6d (unresponsive)\n"
+                   (rint_or 0 [ "server" ])
+                   (rint_or 0 [ "port" ]))
+          | _ ->
+              Buffer.add_string buf
+                (Printf.sprintf "  r%-4d %6d %6s %8d %9d %10d %9d %8d\n"
+                   (rint_or 0 [ "server" ])
+                   (rint_or 0 [ "port" ])
+                   (match json_path [ "alive" ] row with
+                   | Some (Obs.Json.Bool false) -> "dead"
+                   | _ -> "yes")
+                   (rint_or 0 [ "active_flows" ])
+                   (rint_or 0 [ "totals"; "accepted" ])
+                   (rint_or 0 [ "totals"; "completed" ])
+                   (rint_or 0 [ "manifest_stripes" ])
+                   (rint_or 0 [ "health"; "ticks" ])))
+        per_server;
+      Buffer.add_char buf '\n'
+  | _ -> ());
   Buffer.add_string buf
     (Printf.sprintf "%-22s %10s %10s %10s\n" "loop health" "p50" "p99" "max");
   let hist_row label key scale =
@@ -1384,6 +1758,9 @@ let () =
             serve_cmd;
             swarm_cmd;
             dst_cmd;
+            ring_put_cmd;
+            ring_repair_cmd;
+            ring_dst_cmd;
             stat_cmd;
             top_cmd;
           ]))

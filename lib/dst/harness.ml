@@ -191,17 +191,6 @@ let on_complete h (e : Server.Engine.completion_event) =
     c.Sockets.Flow.transfer_id (outcome_str c.Sockets.Flow.outcome)
     (String.length c.Sockets.Flow.data)
 
-(* Shard steering as a pure, seeded function of the source address — the
-   kernel's REUSEPORT 4-tuple hash made explicit. The sender's port is the
-   only varying part of the 4-tuple here; multiplicative mixing with the
-   root seed decorrelates placement across seeds so a shard sweep is not
-   always the same partition of senders. Memnet reduces the result
-   [mod shards]. *)
-let shard_of_source (cfg : config) addr =
-  let port = port_of addr in
-  let mixed = (port * 0x9E3779B1) lxor (cfg.seed * 0x85EBCA77) in
-  (mixed lsr 11) land 0x3FFF_FFFF
-
 (* Tags for journal lines and lanes: a single-shard run keeps the classic,
    untagged journal shape. *)
 let engine_tag h index = if h.cfg.shards = 1 then "engine" else Printf.sprintf "engine s%d" index
@@ -210,8 +199,10 @@ let engine_proc h index () =
   let bind () =
     if h.cfg.shards = 1 then Net.bind ~port:server_port h.net
     else
+      (* Steering is memnet's default: {!Stats.Hash.steer} of the source
+         port under the network seed — the kernel's REUSEPORT 4-tuple hash
+         made explicit, shared with ring placement. *)
       Net.bind_shard h.net ~port:server_port ~shards:h.cfg.shards ~index
-        ~shard_of:(shard_of_source h.cfg)
   in
   let rec incarnation gen =
     let ep = bind () in

@@ -20,7 +20,7 @@
       stuck longer than the protocol's worst-case bound is a violation, as
       is a drained event queue with unresolved senders (a lost wake-up).
 
-    Churn mirrors nomadfs's churn tests: {!Kill} closes sender endpoints
+    Churn schedules: {!Kill} closes sender endpoints
     mid-transfer; {!Reuse} rebinds the victim's port immediately and throws
     a colliding [(address, transfer id)] REQ at the engine's flow table;
     {!Restart} stops the engine with flows in the table and rebinds its

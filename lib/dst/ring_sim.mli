@@ -1,0 +1,73 @@
+(** Deterministic simulation of a ring transfer: striped, replicated
+    blast across N engine processes under virtual time, with one server
+    killed mid-transfer and a read-repair pass restoring full
+    replication.
+
+    The whole system — N real [Server.Engine]s on their own memnet ports,
+    one {!Sockets.Peer.send_via} process per stripe replica, the
+    [MREQ]/[MREP] surveys and the re-blasts of {!Ring.Repair} — runs as
+    {!Eventsim} processes over one seeded {!Memnet} wire. One integer
+    replays the identical trial bit-for-bit at any [--jobs].
+
+    Each trial asserts:
+    - every server-side success carries a verified CRC;
+    - no {e false durability claim}: whenever the put's own outcomes
+      reached the write quorum for every stripe, the post-kill survey
+      confirms it (under a hostile enough wire a blast at a live server
+      may exhaust its attempts and fail cleanly — then the put already
+      reported the object not durable, and no claim was made);
+    - the repair pass converges — every stripe back at full replication
+      {e on the live ring}, as judged by a fresh survey, within three
+      rounds;
+    - engine structural invariants on a periodic virtual tick, and the
+      client finishing within the horizon. *)
+
+type config = {
+  seed : int;
+  servers : int;
+  stripes : int;
+  replicas : int;
+  quorum : int;  (** write quorum; must survive one death when [kill_one] *)
+  kill_one : bool;  (** kill a seeded-random server mid-fan-out, for good *)
+  faults : Faults.Scenario.t option;  (** wire pipeline; [None] = clean *)
+  object_bytes : int;
+  packet_bytes : int;
+  vnodes : int;  (** placement virtual nodes per server *)
+  max_flows : int;
+  retransmit_ns : int;
+  max_attempts : int;
+  latency_ns : int;
+  horizon_ns : int;
+}
+
+val default_config : seed:int -> config
+(** 5 servers, 8 stripes x 3 replicas with quorum 2, one mid-transfer
+    kill, a 64 KiB object in 1 KiB packets, clean wire, 60 virtual
+    seconds. *)
+
+type trial = {
+  seed : int;
+  fault_name : string;
+  killed : int option;  (** the victim, when [kill_one] fired *)
+  blasts : int;  (** put sub-transfers attempted (excl. repair) *)
+  blast_ok : int;  (** sub-transfers settled [Success], repair included *)
+  blast_failed : int;
+  quorum_met : bool;  (** surveyed before repair *)
+  repair_actions : int;
+  repair_rounds : int;
+  fully_replicated : bool;  (** surveyed after repair, live ring *)
+  violations : string list;  (** empty = the run upheld every property *)
+  virtual_ns : int;
+  events : int;  (** journal lines *)
+  journal : string;  (** bit-for-bit replayable *)
+  digest : string;  (** MD5 hex of [journal] *)
+}
+
+val run : config -> trial
+(** One trial; a pure function of [config], journal bytes included. *)
+
+val run_seeds : ?jobs:int -> config -> seeds:int list -> trial list
+(** One trial per seed over an [Exec.Pool]; results in [seeds] order, so
+    the output is identical at any [jobs]. *)
+
+val pp_trial : Format.formatter -> trial -> unit

@@ -68,6 +68,10 @@ let stats t = t.stats
 let address ep = ep.address
 let port ep = ep.port
 
+let dst_port_of = function
+  | Unix.ADDR_INET (_, port) -> port
+  | Unix.ADDR_UNIX _ -> invalid_arg "Net: ADDR_UNIX has no port"
+
 let resolve_scenario net scenario =
   match scenario with
   | Some s -> if Faults.Scenario.is_clean s then None else Some s
@@ -110,9 +114,13 @@ let bind ?port ?scenario net =
    function) alive across member close/rebind cycles: a member that dies
    and comes back — the DST engine-restart churn — lands back in the same
    slot and keeps receiving exactly the flows the hash steered to it. *)
-let bind_shard ?scenario net ~port ~shards ~index ~shard_of =
+let default_shard_of net source =
+  Stats.Hash.steer ~seed:net.seed (dst_port_of source)
+
+let bind_shard ?scenario ?shard_of net ~port ~shards ~index =
   if shards <= 0 then invalid_arg "Net.bind_shard: shards must be positive";
   if index < 0 || index >= shards then invalid_arg "Net.bind_shard: index out of range";
+  let shard_of = match shard_of with Some f -> f | None -> default_shard_of net in
   let group =
     match Hashtbl.find_opt net.endpoints port with
     | None ->
@@ -155,10 +163,6 @@ let close ep =
        scheduled deliveries do not — they resolve the port when they land. *)
     wake_reader ep
   end
-
-let dst_port_of = function
-  | Unix.ADDR_INET (_, port) -> port
-  | Unix.ADDR_UNIX _ -> invalid_arg "Net: ADDR_UNIX has no port"
 
 (* Destination resolved now, at delivery time, not at send time: a port
    closed and rebound while the datagram was in flight receives it — the

@@ -61,18 +61,20 @@ val bind : ?port:int -> ?scenario:Faults.Scenario.t -> t -> endpoint
 
 val bind_shard :
   ?scenario:Faults.Scenario.t ->
+  ?shard_of:(Unix.sockaddr -> int) ->
   t ->
   port:int ->
   shards:int ->
   index:int ->
-  shard_of:(Unix.sockaddr -> int) ->
   endpoint
 (** Member [index] of a sharded port — memnet's stand-in for
     [SO_REUSEPORT]. All members share [port]; a datagram is steered at
     delivery time to member [shard_of source mod shards], so steering is a
     deterministic, replayable function of the source address (the kernel's
     4-tuple hash made explicit — each sender keeps one socket, so the
-    source fixes the shard). The first [bind_shard] on a port fixes the
+    source fixes the shard). [shard_of] defaults to {!Stats.Hash.steer}
+    of the source port under the network seed — the shared steering hash
+    ring placement uses too. The first [bind_shard] on a port fixes the
     group's [shards] and [shard_of]; later calls must agree on [shards]
     and their [shard_of] is ignored. Closing a member vacates its slot but
     keeps the group (datagrams steered to the gap drop as

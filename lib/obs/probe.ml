@@ -32,6 +32,8 @@ let kind_name (m : Packet.Message.t) =
   | Packet.Kind.Ack -> "ack"
   | Packet.Kind.Nack -> "nack"
   | Packet.Kind.Rej -> "rej"
+  | Packet.Kind.Mreq -> "mreq"
+  | Packet.Kind.Mrep -> "mrep"
 
 let tx t (m : Packet.Message.t) =
   match t.recorder with

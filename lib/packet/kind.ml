@@ -1,6 +1,13 @@
-type t = Req | Data | Ack | Nack | Rej
+type t = Req | Data | Ack | Nack | Rej | Mreq | Mrep
 
-let to_byte = function Req -> 1 | Data -> 2 | Ack -> 3 | Nack -> 4 | Rej -> 5
+let to_byte = function
+  | Req -> 1
+  | Data -> 2
+  | Ack -> 3
+  | Nack -> 4
+  | Rej -> 5
+  | Mreq -> 6
+  | Mrep -> 7
 
 let of_byte = function
   | 1 -> Some Req
@@ -8,12 +15,21 @@ let of_byte = function
   | 3 -> Some Ack
   | 4 -> Some Nack
   | 5 -> Some Rej
+  | 6 -> Some Mreq
+  | 7 -> Some Mrep
   | _ -> None
 
 let equal a b = a = b
 
 let pp ppf t =
   Format.pp_print_string ppf
-    (match t with Req -> "REQ" | Data -> "DATA" | Ack -> "ACK" | Nack -> "NACK" | Rej -> "REJ")
+    (match t with
+    | Req -> "REQ"
+    | Data -> "DATA"
+    | Ack -> "ACK"
+    | Nack -> "NACK"
+    | Rej -> "REJ"
+    | Mreq -> "MREQ"
+    | Mrep -> "MREP")
 
-let all = [ Req; Data; Ack; Nack; Rej ]
+let all = [ Req; Data; Ack; Nack; Rej; Mreq; Mrep ]

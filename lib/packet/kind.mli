@@ -11,6 +11,13 @@ type t =
       (** transfer refused at admission: a busy server answers a [Req] with
           this instead of the handshake [Ack], and the sender gives up
           immediately with a clean outcome instead of retrying the REQ *)
+  | Mreq
+      (** manifest query: which stripes of object [transfer_id] does this
+          server hold? Rides the data path — unlike the admin stat socket
+          it exists under memnet too, so ring repair is DST-testable *)
+  | Mrep
+      (** manifest reply: the server's verified stripe holdings for the
+          queried object, payload encoded by {!Stripe.encode_manifest} *)
 
 val to_byte : t -> int
 val of_byte : int -> t option

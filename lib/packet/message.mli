@@ -19,6 +19,10 @@ type t = {
           encoded {!Bitset} of received packets; otherwise empty *)
 }
 
+val make : Kind.t -> transfer_id:int -> seq:int -> total:int -> payload:string -> t
+(** The general constructor behind the shorthands below; validates the
+    u32 fields and the payload cap. *)
+
 val req : transfer_id:int -> total:int -> t
 
 val req_with_geometry : transfer_id:int -> packet_bytes:int -> total_bytes:int -> t

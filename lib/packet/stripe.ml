@@ -1,0 +1,105 @@
+(* Stripe framing for ring transfers. A striped sub-transfer is an ordinary
+   blast flow whose REQ payload carries, after the geometry/suite/CRC block,
+   a fixed 12-byte extension naming which slice of which object it is. The
+   manifest codec is the wire form of a server's verified holdings for one
+   object, carried in MREP replies on the same data path. *)
+
+type t = { object_id : int; index : int; count : int }
+
+let ext_bytes = 12
+
+let check { object_id; index; count } =
+  if object_id < 0 || object_id > 0xFFFFFFFF then
+    invalid_arg "Stripe: object_id out of u32 range";
+  if count <= 0 || count > 0xFFFF then invalid_arg "Stripe: count out of range";
+  if index < 0 || index >= count then invalid_arg "Stripe: index out of range"
+
+(* u32 object_id | u16 index | u16 count | u32 magic. The magic ("RS01")
+   keeps a truncated or foreign payload from parsing as a stripe. *)
+let ext_magic = 0x52533031l
+
+let encode_ext stripe =
+  check stripe;
+  let buf = Bytes.create ext_bytes in
+  Bytes.set_int32_be buf 0 (Int32.of_int stripe.object_id);
+  Bytes.set_uint16_be buf 4 stripe.index;
+  Bytes.set_uint16_be buf 6 stripe.count;
+  Bytes.set_int32_be buf 8 ext_magic;
+  Bytes.unsafe_to_string buf
+
+let decode_ext s =
+  if String.length s <> ext_bytes then None
+  else
+    let buf = Bytes.unsafe_of_string s in
+    if Bytes.get_int32_be buf 8 <> ext_magic then None
+    else
+      let object_id = Int32.to_int (Bytes.get_int32_be buf 0) land 0xFFFFFFFF in
+      let index = Bytes.get_uint16_be buf 4 in
+      let count = Bytes.get_uint16_be buf 6 in
+      if count <= 0 || index >= count then None
+      else Some { object_id; index; count }
+
+let equal a b = a.object_id = b.object_id && a.index = b.index && a.count = b.count
+
+let pp ppf { object_id; index; count } =
+  Format.fprintf ppf "obj %d stripe %d/%d" object_id index count
+
+(* ---- Manifest wire form ---------------------------------------------- *)
+
+type entry = { stripe : t; bytes : int; crc : int32 }
+
+let entry_bytes = ext_bytes + 8
+
+(* One UDP datagram bounds the reply; at 20 bytes per entry this caps a
+   manifest reply at ~3200 stripes, far above any sane stripe count. *)
+let max_entries = (0xFFFF - 2) / entry_bytes
+
+let encode_manifest entries =
+  let entries =
+    if List.length entries > max_entries then invalid_arg "Stripe.encode_manifest: too many entries"
+    else entries
+  in
+  let n = List.length entries in
+  let buf = Bytes.create (2 + (n * entry_bytes)) in
+  Bytes.set_uint16_be buf 0 n;
+  List.iteri
+    (fun i { stripe; bytes; crc } ->
+      check stripe;
+      if bytes < 0 || bytes > 0xFFFFFFFF then
+        invalid_arg "Stripe.encode_manifest: bytes out of u32 range";
+      let off = 2 + (i * entry_bytes) in
+      Bytes.blit_string (encode_ext stripe) 0 buf off ext_bytes;
+      Bytes.set_int32_be buf (off + ext_bytes) (Int32.of_int bytes);
+      Bytes.set_int32_be buf (off + ext_bytes + 4) crc)
+    entries;
+  Bytes.unsafe_to_string buf
+
+let decode_manifest s =
+  let len = String.length s in
+  if len < 2 then None
+  else
+    let buf = Bytes.unsafe_of_string s in
+    let n = Bytes.get_uint16_be buf 0 in
+    if len <> 2 + (n * entry_bytes) then None
+    else
+      let rec entries i acc =
+        if i = n then Some (List.rev acc)
+        else
+          let off = 2 + (i * entry_bytes) in
+          match decode_ext (String.sub s off ext_bytes) with
+          | None -> None
+          | Some stripe ->
+              let bytes = Int32.to_int (Bytes.get_int32_be buf (off + ext_bytes)) land 0xFFFFFFFF in
+              let crc = Bytes.get_int32_be buf (off + ext_bytes + 4) in
+              entries (i + 1) ({ stripe; bytes; crc } :: acc)
+      in
+      entries 0 []
+
+(* ---- Messages -------------------------------------------------------- *)
+
+let manifest_query ~object_id =
+  Message.make Kind.Mreq ~transfer_id:object_id ~seq:0 ~total:0 ~payload:""
+
+let manifest_reply ~object_id entries =
+  Message.make Kind.Mrep ~transfer_id:object_id ~seq:0 ~total:(List.length entries)
+    ~payload:(encode_manifest entries)

@@ -1,0 +1,39 @@
+(** Stripe framing and manifest wire form for ring transfers.
+
+    A striped sub-transfer is an ordinary blast flow whose REQ payload
+    carries a fixed extension naming which slice of which object it is;
+    servers that verify such a flow record it in a manifest table, and
+    answer [Mreq] queries with the encoded holdings. Everything here is
+    transport-agnostic, so ring repair behaves identically over real UDP
+    and memnet virtual time. *)
+
+type t = {
+  object_id : int;  (** the large object; 32-bit, equals the transfer id *)
+  index : int;  (** which stripe of the object, from 0 *)
+  count : int;  (** total stripes of the object *)
+}
+
+val ext_bytes : int
+(** Size of the REQ-payload extension (12). *)
+
+val encode_ext : t -> string
+(** Raises [Invalid_argument] on out-of-range fields. *)
+
+val decode_ext : string -> t option
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit
+
+(** One verified holding: a stripe this server CRC-checked end to end. *)
+type entry = { stripe : t; bytes : int; crc : int32 }
+
+val entry_bytes : int
+val max_entries : int
+
+val encode_manifest : entry list -> string
+val decode_manifest : string -> entry list option
+
+val manifest_query : object_id:int -> Message.t
+(** The [Mreq] datagram: which stripes of [object_id] do you hold? *)
+
+val manifest_reply : object_id:int -> entry list -> Message.t
+(** The [Mrep] answer carrying {!encode_manifest} of the holdings. *)

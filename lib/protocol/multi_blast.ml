@@ -88,7 +88,9 @@ let sender ?(counters = Counters.create ()) ~strategy ~chunk_packets (config : C
               match m.Packet.Message.kind with
               | Packet.Kind.Ack -> seq > offset && seq <= offset + len
               | Packet.Kind.Nack -> seq >= offset && seq < offset + len
-              | Packet.Kind.Data | Packet.Kind.Req | Packet.Kind.Rej -> false
+              | Packet.Kind.Data | Packet.Kind.Req | Packet.Kind.Rej
+              | Packet.Kind.Mreq | Packet.Kind.Mrep ->
+                  false
             in
             if belongs then Some (Message (to_local ~offset ~len m)) else None
         | Timeout -> Some Timeout

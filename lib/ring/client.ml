@@ -1,0 +1,104 @@
+(* Striped, replicated put: one large object becomes stripes x replicas
+   ordinary blast sub-transfers, fanned out over an Exec.Pool. *)
+
+type job = { stripe : int; replica : int; server : int; offset : int; bytes : int }
+
+let pp_job ppf j =
+  Format.fprintf ppf "stripe %d replica %d -> server %d [%d+%d]" j.stripe j.replica
+    j.server j.offset j.bytes
+
+(* Even split, remainder spread over the first stripes — every stripe is
+   within one byte of the others, and offsets are a pure function of
+   (total, stripes), so sender and repair agree on bounds forever. *)
+let stripe_bounds ~total ~stripes ~index =
+  if stripes <= 0 then invalid_arg "Client.stripe_bounds: stripes must be positive";
+  if total < stripes then
+    invalid_arg "Client.stripe_bounds: fewer bytes than stripes";
+  if index < 0 || index >= stripes then invalid_arg "Client.stripe_bounds: index out of range";
+  let base = total / stripes and rem = total mod stripes in
+  let offset = (index * base) + min index rem in
+  let len = base + if index < rem then 1 else 0 in
+  (offset, len)
+
+let stripe_slice ~data ~stripes ~index =
+  let offset, len = stripe_bounds ~total:(String.length data) ~stripes ~index in
+  String.sub data offset len
+
+let stripe_crcs ~data ~stripes =
+  Array.init stripes (fun index ->
+      Packet.Checksum.crc32_string (stripe_slice ~data ~stripes ~index))
+
+let plan placement ~object_id ~total ~stripes ~replicas =
+  List.concat
+    (List.init stripes (fun stripe ->
+         let offset, bytes = stripe_bounds ~total ~stripes ~index:stripe in
+         Placement.replicas placement ~object_id ~stripe ~r:replicas
+         |> List.mapi (fun replica server -> { stripe; replica; server; offset; bytes })))
+
+(* ---- Real-UDP driver --------------------------------------------------- *)
+
+type blast_result = {
+  job : job;
+  outcome : Protocol.Action.outcome;
+  elapsed_ns : int;
+}
+
+type put_result = {
+  results : blast_result list;  (** plan order: stripe-major, then replica *)
+  acked : int array;  (** per stripe, replicas that settled [Success] *)
+  quorum_met : bool;
+  elapsed_ns : int;
+}
+
+(* One stripe replica to one server, as an ordinary blast flow on its own
+   ephemeral socket: distinct source ports keep the engine's (address,
+   transfer id) flow keys distinct even though every sub-transfer shares
+   the object id. *)
+let blast ?ctx ?packet_bytes ?retransmit_ns ?max_attempts
+    ?(suite = Protocol.Suite.Blast Protocol.Blast.Go_back_n) ~peer_of ~object_id
+    ~stripes ~data job =
+  let socket, _ = Sockets.Udp.create_socket () in
+  Fun.protect
+    ~finally:(fun () -> Sockets.Udp.close socket)
+    (fun () ->
+      let stripe =
+        { Packet.Stripe.object_id; index = job.stripe; count = stripes }
+      in
+      let result =
+        Sockets.Peer.send ?ctx ?packet_bytes ?retransmit_ns ?max_attempts
+          ~transfer_id:object_id ~stripe ~socket ~peer:(peer_of job.server) ~suite
+          ~data:(String.sub data job.offset job.bytes) ()
+      in
+      {
+        job;
+        outcome = result.Sockets.Peer.outcome;
+        elapsed_ns = result.Sockets.Peer.elapsed_ns;
+      })
+
+let put ?pool ?jobs ?ctx ?packet_bytes ?retransmit_ns ?max_attempts
+    ?(suite = Protocol.Suite.Blast Protocol.Blast.Go_back_n) ~placement ~peer_of
+    ~object_id ~stripes ~replicas ~quorum ~data () =
+  if quorum <= 0 || quorum > replicas then
+    invalid_arg "Client.put: need 0 < quorum <= replicas";
+  let started = Sockets.Udp.now_ns () in
+  let work =
+    plan placement ~object_id ~total:(String.length data) ~stripes ~replicas
+  in
+  let results =
+    Exec.Pool.map ?pool ?jobs
+      ~f:(blast ?ctx ?packet_bytes ?retransmit_ns ?max_attempts ~suite ~peer_of
+            ~object_id ~stripes ~data)
+      work
+  in
+  let acked = Array.make stripes 0 in
+  List.iter
+    (fun r ->
+      if r.outcome = Protocol.Action.Success then
+        acked.(r.job.stripe) <- acked.(r.job.stripe) + 1)
+    results;
+  {
+    results;
+    acked;
+    quorum_met = Array.for_all (fun n -> n >= quorum) acked;
+    elapsed_ns = Sockets.Udp.now_ns () - started;
+  }

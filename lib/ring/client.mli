@@ -1,0 +1,92 @@
+(** The striped sender: one object in, [stripes x replicas] ordinary blast
+    sub-transfers out.
+
+    Each stripe is an even slice of the object (remainder bytes spread
+    over the first stripes), blasted to the [r] servers
+    {!Placement.replicas} names for [(object_id, stripe index)]. Every
+    sub-transfer is a completely ordinary flow — REQ carrying the
+    {!Packet.Stripe} framing plus the slice's CRC, then the blast protocol
+    as usual — on its own ephemeral socket, so the receiving engines need
+    nothing ring-specific on the data path. The object is durable under
+    the write-quorum rule: every stripe settled [Success] (hence
+    CRC-verified, {!Sockets.Flow.integrity}) on at least [quorum]
+    replicas. *)
+
+type job = {
+  stripe : int;
+  replica : int;  (** 0 = primary *)
+  server : int;
+  offset : int;
+  bytes : int;
+}
+
+val pp_job : Format.formatter -> job -> unit
+
+val stripe_bounds : total:int -> stripes:int -> index:int -> int * int
+(** [(offset, length)] of one stripe. Pure; sender and repair agree by
+    construction. Raises [Invalid_argument] when [total < stripes], on a
+    non-positive stripe count, or an out-of-range index. *)
+
+val stripe_slice : data:string -> stripes:int -> index:int -> string
+val stripe_crcs : data:string -> stripes:int -> int32 array
+(** Per-stripe CRC-32 of the slices — the validity reference every
+    manifest answer is checked against. *)
+
+val plan :
+  Placement.t -> object_id:int -> total:int -> stripes:int -> replicas:int -> job list
+(** The full fan-out, stripe-major then replica order: deterministic given
+    the placement, so a DST trial and a real run blast identical plans. *)
+
+type blast_result = {
+  job : job;
+  outcome : Protocol.Action.outcome;
+  elapsed_ns : int;
+}
+
+val blast :
+  ?ctx:Sockets.Io_ctx.t ->
+  ?packet_bytes:int ->
+  ?retransmit_ns:int ->
+  ?max_attempts:int ->
+  ?suite:Protocol.Suite.t ->
+  peer_of:(int -> Unix.sockaddr) ->
+  object_id:int ->
+  stripes:int ->
+  data:string ->
+  job ->
+  blast_result
+(** One stripe replica to one server, as an ordinary blast flow on its own
+    ephemeral socket — the unit {!put} fans out and {!Repair.run}
+    re-drives at replacement holders. *)
+
+type put_result = {
+  results : blast_result list;  (** plan order *)
+  acked : int array;  (** per stripe, replicas settled [Success] *)
+  quorum_met : bool;  (** every stripe acked by >= quorum replicas *)
+  elapsed_ns : int;  (** wall clock around the whole fan-out *)
+}
+
+val put :
+  ?pool:Exec.Pool.t ->
+  ?jobs:int ->
+  ?ctx:Sockets.Io_ctx.t ->
+  ?packet_bytes:int ->
+  ?retransmit_ns:int ->
+  ?max_attempts:int ->
+  ?suite:Protocol.Suite.t ->
+  placement:Placement.t ->
+  peer_of:(int -> Unix.sockaddr) ->
+  object_id:int ->
+  stripes:int ->
+  replicas:int ->
+  quorum:int ->
+  data:string ->
+  unit ->
+  put_result
+(** Blast the whole plan over real UDP, [jobs] sub-transfers in flight at
+    once (an {!Exec.Pool} — default the shared pool's width). [peer_of]
+    maps a ring server id to its datagram address. A dead server costs its
+    jobs a clean [Peer_unreachable] after the handshake gives up; the put
+    still reports [quorum_met] honestly from the survivors. Default suite
+    go-back-N blast. Raises [Invalid_argument] unless
+    [0 < quorum <= replicas]. *)

@@ -1,0 +1,415 @@
+(* N independent engines, one per ring member, each on its own UDP port
+   and serving domain — the process-per-server shape of a real deployment,
+   with merged observability in the Shard_group style. *)
+
+type server = {
+  index : int;
+  port : int;
+  socket : Unix.file_descr;
+  poller : Sockets.Poller.t;
+  engine : Server.Engine.t;
+  want_snapshot : bool Atomic.t;
+  snap_cell : Obs.Json.t option Atomic.t;
+  finished : bool Atomic.t;
+  mutable domain : unit Domain.t option;
+  mutable killed : bool;
+}
+
+type t = {
+  servers : server array;
+  address : string;
+  clock : unit -> int;
+  admin : Server.Admin.t option;
+  stats_interval_ns : int option;
+  on_snapshot : Obs.Json.t -> unit;
+  admin_stop : bool Atomic.t;
+  mutable admin_thread : Thread.t option;
+}
+
+let servers t = Array.length t.servers
+let ports t = Array.map (fun s -> s.port) t.servers
+let port t index = t.servers.(index).port
+let engines t = Array.map (fun s -> s.engine) t.servers
+
+let peer_of t index =
+  Unix.ADDR_INET (Unix.inet_addr_of_string t.address, t.servers.(index).port)
+
+let alive t =
+  Array.to_list t.servers
+  |> List.filter_map (fun s -> if s.killed then None else Some s.index)
+
+let placement ?vnodes ~seed t =
+  Placement.create ?vnodes ~seed (List.init (servers t) Fun.id)
+
+let live_placement ?vnodes ~seed t =
+  Placement.create ?vnodes ~seed (alive t)
+
+let create ?(address = "127.0.0.1") ?(base_port = 0) ?max_flows ?retransmit_ns
+    ?max_attempts ?idle_timeout_ns ?linger_ns ?fallback_suite ?scenario
+    ?(seed = 1) ?drain_budget ?ctx ?(on_complete = fun _ _ -> ()) ?flowtrace
+    ?admin_port ?stats_interval_ns ?(on_snapshot = fun _ -> ()) ~servers () =
+  if servers <= 0 then invalid_arg "Fleet.create: servers must be positive";
+  let ctx = match ctx with Some c -> c | None -> Sockets.Io_ctx.default () in
+  let clock = ctx.Sockets.Io_ctx.clock in
+  (* Settlements arrive on N serving domains; serialize them so the
+     caller's accounting needs no locking of its own. *)
+  let complete_lock = Mutex.create () in
+  let on_complete index event =
+    Mutex.lock complete_lock;
+    Fun.protect
+      ~finally:(fun () -> Mutex.unlock complete_lock)
+      (fun () -> on_complete index event)
+  in
+  let make_server index =
+    let port = if base_port = 0 then 0 else base_port + index in
+    let socket, bound = Sockets.Udp.create_socket ~address ~port () in
+    let port =
+      match bound with Unix.ADDR_INET (_, p) -> p | Unix.ADDR_UNIX _ -> port
+    in
+    let poller = Sockets.Poller.create () in
+    let transport =
+      Sockets.Transport.udp ~batch:ctx.Sockets.Io_ctx.batch ~poller ~socket ()
+    in
+    let want_snapshot = Atomic.make false in
+    let snap_cell = Atomic.make None in
+    let engine_ref = ref None in
+    (* Runs on the member's serving thread, where a live snapshot is
+       legal; the engine value exists only after [create], hence the ref. *)
+    let on_idle () =
+      if Atomic.get want_snapshot then
+        match !engine_ref with
+        | None -> ()
+        | Some engine ->
+            Atomic.set snap_cell (Some (Server.Engine.snapshot engine));
+            Atomic.set want_snapshot false
+    in
+    let engine =
+      Server.Engine.create ?max_flows ?retransmit_ns ?max_attempts
+        ?idle_timeout_ns ?linger_ns ?fallback_suite ?scenario
+        ~seed:(seed + (7919 * index))
+        ?drain_budget ~ctx ~on_complete:(on_complete index) ?flowtrace ~on_idle
+        ~lane_prefix:(Printf.sprintf "r%d:" index)
+        ~transport ()
+    in
+    engine_ref := Some engine;
+    {
+      index;
+      port;
+      socket;
+      poller;
+      engine;
+      want_snapshot;
+      snap_cell;
+      finished = Atomic.make false;
+      domain = None;
+      killed = false;
+    }
+  in
+  let admin = Option.map (fun port -> Server.Admin.create ~port ()) admin_port in
+  {
+    servers = Array.init servers make_server;
+    address;
+    clock;
+    admin;
+    stats_interval_ns;
+    on_snapshot;
+    admin_stop = Atomic.make false;
+    admin_thread = None;
+  }
+
+let admin_port t = Option.map Server.Admin.port t.admin
+
+(* ---- Snapshot aggregation -------------------------------------------- *)
+
+let get path json =
+  List.fold_left
+    (fun acc key -> Option.bind acc (Obs.Json.member key))
+    (Some json) path
+
+let get_int path json =
+  match get path json with
+  | Some j -> Option.value ~default:0 (Obs.Json.to_int j)
+  | None -> 0
+
+let totals_keys =
+  [
+    "accepted"; "completed"; "aborted"; "rejected"; "superseded";
+    "stray_datagrams"; "garbage"; "send_failures";
+  ]
+
+let counters_keys =
+  [
+    "data_sent"; "retransmitted_data"; "acks_sent"; "nacks_sent"; "rounds";
+    "timeouts"; "duplicates_received"; "delivered"; "faults_injected";
+    "corrupt_detected"; "garbage_received";
+  ]
+
+let sum_section section keys snaps =
+  Obs.Json.Obj
+    (List.map
+       (fun key ->
+         ( key,
+           Obs.Json.Int
+             (List.fold_left (fun acc s -> acc + get_int [ section; key ] s) 0 snaps) ))
+       keys)
+
+let snapshot_flow_cap = 128
+
+(* One member's answer without touching its flow table from this thread: a
+   running engine serves the request at its next idle point; a member that
+   is not running — never started, killed, or wound down — is snapshotted
+   directly, the documented safe case. *)
+let fetch_snapshot s =
+  let running =
+    match s.domain with Some _ -> not (Atomic.get s.finished) | None -> false
+  in
+  if not running then Some (Server.Engine.snapshot s.engine)
+  else begin
+    Atomic.set s.snap_cell None;
+    Atomic.set s.want_snapshot true;
+    Server.Engine.wake s.engine;
+    let deadline = Unix.gettimeofday () +. 0.25 in
+    let rec spin () =
+      match Atomic.get s.snap_cell with
+      | Some json -> Some json
+      | None ->
+          if Atomic.get s.finished then Some (Server.Engine.snapshot s.engine)
+          else if Unix.gettimeofday () > deadline then None
+          else begin
+            Thread.delay 0.0005;
+            spin ()
+          end
+    in
+    spin ()
+  end
+
+(* The per-server breakdown rides inside the aggregate — satellite
+   observability for `lanrepro stat` against a ring: every member's
+   admission totals, manifest size and loop health, attributable because
+   the merged flow listing keeps the "r<i>:" lane prefixes. *)
+let per_server_json servers snaps =
+  Obs.Json.List
+    (List.map2
+       (fun (s : server) snap ->
+         match snap with
+         | None ->
+             Obs.Json.Obj
+               [
+                 ("server", Obs.Json.Int s.index);
+                 ("port", Obs.Json.Int s.port);
+                 ("unresponsive", Obs.Json.Bool true);
+               ]
+         | Some snap ->
+             Obs.Json.Obj
+               [
+                 ("server", Obs.Json.Int s.index);
+                 ("port", Obs.Json.Int s.port);
+                 ("alive", Obs.Json.Bool (not s.killed));
+                 ("active_flows", Obs.Json.Int (get_int [ "active_flows" ] snap));
+                 ( "manifest_stripes",
+                   Obs.Json.Int (get_int [ "manifest_stripes" ] snap) );
+                 ( "totals",
+                   Option.value ~default:Obs.Json.Null (get [ "totals" ] snap) );
+                 ( "health",
+                   Obs.Json.Obj
+                     [
+                       ("ticks", Obs.Json.Int (get_int [ "health"; "ticks" ] snap));
+                       ( "drain_exhausted",
+                         Obs.Json.Int (get_int [ "health"; "drain_exhausted" ] snap) );
+                       ( "spurious_wakeups",
+                         Obs.Json.Int (get_int [ "health"; "spurious_wakeups" ] snap) );
+                       ( "timer_heap",
+                         Obs.Json.Int (get_int [ "health"; "timer_heap" ] snap) );
+                     ] );
+               ])
+       (Array.to_list servers) snaps)
+
+let merged_health_json t snaps =
+  let merged = Server.Engine.create_health () in
+  Array.iter
+    (fun s -> Server.Engine.merge_health ~into:merged (Server.Engine.health s.engine))
+    t.servers;
+  Obs.Json.Obj
+    [
+      ("ticks", Obs.Json.Int merged.Server.Engine.ticks);
+      ("drain_exhausted", Obs.Json.Int merged.Server.Engine.drain_exhausted);
+      ("spurious_wakeups", Obs.Json.Int merged.Server.Engine.spurious_wakeups);
+      ( "timer_heap",
+        Obs.Json.Int
+          (List.fold_left (fun acc s -> acc + get_int [ "health"; "timer_heap" ] s) 0 snaps) );
+      ("tick_duration_ns", Obs.Hist.to_json merged.Server.Engine.tick_duration_ns);
+      ("recv_drained", Obs.Hist.to_json merged.Server.Engine.recv_drained);
+      ("flush_train", Obs.Hist.to_json merged.Server.Engine.flush_train);
+      ("timer_heap_depth", Obs.Hist.to_json merged.Server.Engine.timer_heap_depth);
+    ]
+
+let snapshot t =
+  let now = t.clock () in
+  let snaps = Array.to_list (Array.map fetch_snapshot t.servers) in
+  let answered = List.filter_map Fun.id snaps in
+  let unresponsive = List.length snaps - List.length answered in
+  let flows =
+    List.concat_map
+      (fun s ->
+        match get [ "flows" ] s with Some (Obs.Json.List l) -> l | _ -> [])
+      answered
+  in
+  let flow_label j =
+    match Obs.Json.member "flow" j with Some (Obs.Json.String l) -> l | _ -> ""
+  in
+  let flows = List.sort (fun a b -> compare (flow_label a) (flow_label b)) flows in
+  let shown = List.filteri (fun i _ -> i < snapshot_flow_cap) flows in
+  let omitted =
+    List.fold_left (fun acc s -> acc + get_int [ "flows_omitted" ] s) 0 answered
+    + max 0 (List.length flows - snapshot_flow_cap)
+  in
+  let uptime =
+    List.fold_left (fun acc s -> max acc (get_int [ "uptime_ns" ] s)) 0 answered
+  in
+  Obs.Json.Obj
+    [
+      ("schema", Obs.Json.String "lanrepro-stat/1");
+      ("now_ns", Obs.Json.Int now);
+      ("uptime_ns", Obs.Json.Int uptime);
+      ("servers", Obs.Json.Int (Array.length t.servers));
+      ("servers_alive", Obs.Json.Int (List.length (alive t)));
+      ("servers_unresponsive", Obs.Json.Int unresponsive);
+      ( "max_flows",
+        Obs.Json.Int
+          (List.fold_left (fun acc s -> acc + get_int [ "max_flows" ] s) 0 answered) );
+      ( "active_flows",
+        Obs.Json.Int
+          (List.fold_left (fun acc s -> acc + get_int [ "active_flows" ] s) 0 answered) );
+      ( "manifest_stripes",
+        Obs.Json.Int
+          (List.fold_left
+             (fun acc s -> acc + get_int [ "manifest_stripes" ] s)
+             0 answered) );
+      ("flows_omitted", Obs.Json.Int omitted);
+      ("totals", sum_section "totals" totals_keys answered);
+      ("flows", Obs.Json.List shown);
+      ("health", merged_health_json t answered);
+      ("counters", sum_section "counters" counters_keys answered);
+      ("per_server", per_server_json t.servers snaps);
+    ]
+
+(* ---- Lifecycle ------------------------------------------------------- *)
+
+let start t =
+  Array.iter
+    (fun s ->
+      match s.domain with
+      | Some _ -> invalid_arg "Fleet.start: already started"
+      | None ->
+          s.domain <-
+            Some
+              (Domain.spawn (fun () ->
+                   Server.Engine.run s.engine;
+                   Atomic.set s.finished true)))
+    t.servers;
+  if Option.is_some t.admin || Option.is_some t.stats_interval_ns then
+    t.admin_thread <-
+      Some
+        (Thread.create
+           (fun () ->
+             let next_stats =
+               ref
+                 (match t.stats_interval_ns with
+                 | Some interval -> t.clock () + interval
+                 | None -> max_int)
+             in
+             while not (Atomic.get t.admin_stop) do
+               Option.iter
+                 (fun admin ->
+                   Server.Admin.poll admin ~snapshot:(fun () -> snapshot t))
+                 t.admin;
+               (match t.stats_interval_ns with
+               | Some interval when t.clock () >= !next_stats ->
+                   t.on_snapshot (snapshot t);
+                   next_stats := t.clock () + interval
+               | _ -> ());
+               Thread.delay 0.02
+             done)
+           ())
+
+(* A killed member is dead for good: engine stopped, domain joined, socket
+   closed — from here on its port answers nothing, blasts at it fail the
+   handshake cleanly, and manifest surveys time out. Exactly the failure
+   the write quorum absorbs and the repair pass routes around. *)
+let kill t index =
+  let s = t.servers.(index) in
+  if not s.killed then begin
+    s.killed <- true;
+    Server.Engine.stop s.engine;
+    (match s.domain with
+    | None -> ()
+    | Some d ->
+        Domain.join d;
+        s.domain <- None;
+        Atomic.set s.finished true);
+    Sockets.Poller.close s.poller;
+    Sockets.Udp.close s.socket
+  end
+
+let stop t =
+  Array.iter (fun s -> if not s.killed then Server.Engine.stop s.engine) t.servers
+
+let join t =
+  Array.iter
+    (fun s ->
+      match s.domain with
+      | None -> ()
+      | Some d ->
+          Domain.join d;
+          s.domain <- None;
+          Atomic.set s.finished true)
+    t.servers;
+  Atomic.set t.admin_stop true;
+  (match t.admin_thread with
+  | None -> ()
+  | Some th ->
+      Thread.join th;
+      t.admin_thread <- None);
+  Option.iter Server.Admin.close t.admin;
+  Array.iter
+    (fun s ->
+      if not s.killed then begin
+        Sockets.Poller.close s.poller;
+        Sockets.Udp.close s.socket
+      end)
+    t.servers
+
+(* ---- Post-run roll-ups ----------------------------------------------- *)
+
+let totals t =
+  let sum = Server.Engine.create_totals () in
+  Array.iter
+    (fun s ->
+      let a = Server.Engine.totals s.engine in
+      sum.Server.Engine.accepted <- sum.Server.Engine.accepted + a.Server.Engine.accepted;
+      sum.Server.Engine.completed <- sum.Server.Engine.completed + a.Server.Engine.completed;
+      sum.Server.Engine.aborted <- sum.Server.Engine.aborted + a.Server.Engine.aborted;
+      sum.Server.Engine.rejected <- sum.Server.Engine.rejected + a.Server.Engine.rejected;
+      sum.Server.Engine.superseded <-
+        sum.Server.Engine.superseded + a.Server.Engine.superseded;
+      sum.Server.Engine.stray_datagrams <-
+        sum.Server.Engine.stray_datagrams + a.Server.Engine.stray_datagrams;
+      sum.Server.Engine.garbage <- sum.Server.Engine.garbage + a.Server.Engine.garbage;
+      sum.Server.Engine.send_failures <-
+        sum.Server.Engine.send_failures + a.Server.Engine.send_failures)
+    t.servers;
+  sum
+
+let rollup t =
+  let total = Protocol.Counters.create () in
+  Array.iter
+    (fun s -> Protocol.Counters.merge ~into:total (Server.Engine.rollup s.engine))
+    t.servers;
+  total
+
+let invariant_violations t =
+  Array.to_list t.servers
+  |> List.concat_map (fun s ->
+         List.map
+           (fun v -> Printf.sprintf "server %d: %s" s.index v)
+           (Server.Engine.invariant_violations s.engine))

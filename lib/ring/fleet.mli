@@ -1,0 +1,97 @@
+(** A ring of N transfer servers over real UDP: one {!Server.Engine} per
+    member, each on its own port and serving domain — the
+    process-per-server shape of a deployment, as one value.
+
+    Observability merges the {!Server.Shard_group} way: every member's
+    trace lanes and snapshot labels carry its ["r<i>:"] prefix (the
+    engine's [lane_prefix]), and {!snapshot} aggregates the fleet into one
+    [lanrepro-stat/1] document with summed totals/counters, merged
+    loop-health histograms ({!Obs.Hist.merge} roll-up) and a [per_server]
+    breakdown — admission totals, manifest size and loop health per
+    member, which is what `lanrepro stat` renders for a ring.
+
+    {!kill} is the fault the ring subsystem exists to absorb: the member
+    stops for good, its port goes dark, and in-flight blasts at it fail
+    with clean typed outcomes while the write quorum decides whether the
+    object survived. *)
+
+type t
+
+val create :
+  ?address:string ->
+  ?base_port:int ->
+  ?max_flows:int ->
+  ?retransmit_ns:int ->
+  ?max_attempts:int ->
+  ?idle_timeout_ns:int ->
+  ?linger_ns:int ->
+  ?fallback_suite:Protocol.Suite.t ->
+  ?scenario:Faults.Scenario.t ->
+  ?seed:int ->
+  ?drain_budget:int ->
+  ?ctx:Sockets.Io_ctx.t ->
+  ?on_complete:(int -> Server.Engine.completion_event -> unit) ->
+  ?flowtrace:Obs.Flowtrace.t ->
+  ?admin_port:int ->
+  ?stats_interval_ns:int ->
+  ?on_snapshot:(Obs.Json.t -> unit) ->
+  servers:int ->
+  unit ->
+  t
+(** N members on [address] (default loopback). With [base_port] member [i]
+    binds [base_port + i]; default 0 gives every member an ephemeral port
+    (read them back with {!ports} / {!peer_of}). Engine knobs apply to
+    every member; member [i] seeds its fault streams from
+    [seed + 7919 * i], so a ring under a scenario is as replayable as a
+    single engine. [on_complete] receives the member index alongside the
+    event, serialized across domains. [admin_port] opens one fleet-wide
+    stat socket answering with the merged {!snapshot}. *)
+
+val start : t -> unit
+(** Spawn one serving domain per member (plus the admin/stats thread when
+    configured). *)
+
+val stop : t -> unit
+(** Ask every live member to stop. *)
+
+val join : t -> unit
+(** Wait for every serving domain, then close the admin socket and every
+    remaining socket. *)
+
+val kill : t -> int -> unit
+(** Permanently remove member [i], mid-traffic by design: stop its
+    engine, join its domain, close its socket. Idempotent. The member
+    stays dead — there is no resurrection; repair re-homes its stripes
+    onto survivors instead. *)
+
+val servers : t -> int
+val alive : t -> int list
+(** Indices not yet {!kill}ed, ascending. *)
+
+val ports : t -> int array
+val port : t -> int -> int
+val peer_of : t -> int -> Unix.sockaddr
+(** Member [i]'s datagram address — the [peer_of] a {!Client.put} against
+    this fleet wants. *)
+
+val placement : ?vnodes:int -> seed:int -> t -> Placement.t
+(** The full ring [0..servers-1] as a {!Placement}. *)
+
+val live_placement : ?vnodes:int -> seed:int -> t -> Placement.t
+(** The ring restricted to {!alive} members — what a repair pass plans
+    against. Raises [Invalid_argument] if every member is dead. *)
+
+val engines : t -> Server.Engine.t array
+val admin_port : t -> int option
+
+val snapshot : t -> Obs.Json.t
+(** Merged fleet snapshot ([lanrepro-stat/1]): summed admission totals and
+    protocol counters, the union of per-flow listings (lane-prefixed,
+    capped at 128 with [flows_omitted]), merged health histograms, fleet
+    manifest size, and the [per_server] breakdown. Running members answer
+    at their next idle point (bounded by a wake); members marked
+    [unresponsive] failed to answer within the budget. Thread-safe. *)
+
+val totals : t -> Server.Engine.totals
+val rollup : t -> Protocol.Counters.t
+val invariant_violations : t -> string list

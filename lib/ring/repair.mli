@@ -1,0 +1,88 @@
+(** Read-repair: reconcile what the ring actually holds with what the
+    write quorum promised, and re-blast the difference.
+
+    The pass is writer-driven — the client still holding the object
+    surveys every live server with an [MREQ] datagram, folds the answers
+    into a {!Manifest}, and re-blasts each under-replicated stripe to the
+    next live servers in its {!Placement.successors} order (the live ring,
+    with dead members {!Placement.remove}d). Because validity is the
+    stripe CRC, a server that answered with stale or torn bytes is simply
+    re-blasted over, and because the re-blast is an ordinary sub-transfer,
+    convergence is verified the same way the original put was: the flow
+    settles [Success] only on a verified CRC. *)
+
+type action = { stripe : int; server : int }
+
+val pp_action : Format.formatter -> action -> unit
+
+val plan :
+  placement:Placement.t ->
+  object_id:int ->
+  replicas:int ->
+  crcs:int32 array ->
+  Manifest.t ->
+  action list
+(** Pure repair plan against the {e live} placement: for every stripe with
+    fewer than [replicas] valid holders, the missing count of successor
+    servers not already holding it, in stripe order. Empty when fully
+    replicated. *)
+
+val query_via :
+  ?attempts:int ->
+  ?timeout_ns:int ->
+  clock:(unit -> int) ->
+  transport:Sockets.Transport.t ->
+  peer:Unix.sockaddr ->
+  object_id:int ->
+  unit ->
+  Packet.Stripe.entry list option
+(** One manifest interrogation over an abstract transport: [MREQ] out,
+    wait [timeout_ns] (default 200 ms) for the matching [MREP], retry up
+    to [attempts] (default 5) times; [None] means the server never
+    answered — dead, or partitioned. [clock] must be the transport's
+    notion of time. The DST ring scenario drives exactly this function
+    under virtual time. *)
+
+val query :
+  ?attempts:int ->
+  ?timeout_ns:int ->
+  peer:Unix.sockaddr ->
+  object_id:int ->
+  unit ->
+  Packet.Stripe.entry list option
+(** {!query_via} over a fresh ephemeral UDP socket. *)
+
+type report = {
+  answered : (int * int) list;  (** (server, entry count) that answered *)
+  unresponsive : int list;  (** servers that never answered the survey *)
+  before : int array;  (** per-stripe valid replicas found by the survey *)
+  actions : (action * Protocol.Action.outcome) list;  (** re-blasts and their outcomes *)
+  after : int array;  (** per-stripe valid replicas on the closing survey *)
+  fully_replicated : bool;  (** every stripe at [replicas] on re-survey *)
+  elapsed_ns : int;
+}
+
+val run :
+  ?pool:Exec.Pool.t ->
+  ?jobs:int ->
+  ?ctx:Sockets.Io_ctx.t ->
+  ?packet_bytes:int ->
+  ?retransmit_ns:int ->
+  ?max_attempts:int ->
+  ?suite:Protocol.Suite.t ->
+  ?attempts:int ->
+  ?timeout_ns:int ->
+  placement:Placement.t ->
+  peer_of:(int -> Unix.sockaddr) ->
+  object_id:int ->
+  stripes:int ->
+  replicas:int ->
+  data:string ->
+  unit ->
+  report
+(** The whole pass over real UDP: survey every member of [placement],
+    plan, re-blast concurrently over the {!Exec.Pool}, then survey again —
+    the verdict ([after], [fully_replicated]) comes from the ring's own
+    answers, never from the blasts' view of themselves. [placement] should
+    be the live ring: pass the full ring {!Placement.remove}d of known-dead
+    members so successors skip them. *)

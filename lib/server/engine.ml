@@ -128,6 +128,9 @@ type t = {
   created_ns : int;
   health : health;
   flows : (key, flow_state) Hashtbl.t;
+  manifests : (int * int, Packet.Stripe.entry) Hashtbl.t;
+      (** stripes this server holds, keyed [(object_id, stripe index)] —
+          recorded only for CRC-verified successes, answered over MREQ *)
   timers : timer_payload Timers.t;
   totals : totals;
   settled : Protocol.Counters.t;  (** merged counters of finished flows *)
@@ -145,14 +148,17 @@ let create ?(max_flows = 64) ?(retransmit_ns = 50_000_000) ?(max_attempts = 50)
     ?idle_timeout_ns ?linger_ns ?fallback_suite ?scenario ?(seed = 1)
     ?(drain_budget = 64) ?ctx ?(on_complete = fun _ -> ()) ?flowtrace ?admin
     ?stats_interval_ns ?(on_snapshot = fun _ -> ()) ?(on_idle = fun () -> ())
-    ?(trace_epoch = 0) ?shard ~transport () =
+    ?(trace_epoch = 0) ?shard ?lane_prefix ~transport () =
   if max_flows < 0 then invalid_arg "Engine.create: negative max_flows";
   if drain_budget <= 0 then invalid_arg "Engine.create: drain_budget must be positive";
   let ctx = match ctx with Some c -> c | None -> Sockets.Io_ctx.default () in
   let { Sockets.Io_ctx.recorder; metrics; clock; batch = _; faults = _ } = ctx in
   Option.iter (fun r -> Obs.Recorder.set_clock r clock) recorder;
   let label_prefix =
-    match shard with None -> "" | Some i -> Printf.sprintf "s%d:" i
+    match (lane_prefix, shard) with
+    | Some p, _ -> p
+    | None, Some i -> Printf.sprintf "s%d:" i
+    | None, None -> ""
   in
   let server_counters = Protocol.Counters.create () in
   let server_probe =
@@ -186,6 +192,7 @@ let create ?(max_flows = 64) ?(retransmit_ns = 50_000_000) ?(max_attempts = 50)
     created_ns;
     health = create_health ();
     flows = Hashtbl.create 64;
+    manifests = Hashtbl.create 16;
     timers = Timers.create ();
     totals = create_totals ();
     settled = Protocol.Counters.create ();
@@ -205,6 +212,47 @@ let create ?(max_flows = 64) ?(retransmit_ns = 50_000_000) ?(max_attempts = 50)
 let totals t = t.totals
 let active_flows t = Hashtbl.length t.flows
 let health t = t.health
+let manifest_size t =
+  let keys = Hashtbl.create 16 in
+  Hashtbl.iter (fun k _ -> Hashtbl.replace keys k ()) t.manifests;
+  Hashtbl.iter
+    (fun _ fs ->
+      match (Sockets.Flow.completed fs.flow, Sockets.Flow.stripe fs.flow) with
+      | Some c, Some s
+        when c.Sockets.Flow.outcome = Protocol.Action.Success
+             && c.Sockets.Flow.integrity = Sockets.Flow.Verified ->
+          Hashtbl.replace keys (s.Packet.Stripe.object_id, s.Packet.Stripe.index) ()
+      | _ -> ())
+    t.flows;
+  Hashtbl.length keys
+
+let manifest t ~object_id =
+  (* Settled stripes, plus flows whose machine already completed but are
+     still in their linger grace period: their bytes are final, and a
+     repair survey racing the tail of a blast must count them. *)
+  let best = Hashtbl.create 8 in
+  Hashtbl.iter
+    (fun (oid, idx) entry -> if oid = object_id then Hashtbl.replace best idx entry)
+    t.manifests;
+  Hashtbl.iter
+    (fun _ fs ->
+      match (Sockets.Flow.completed fs.flow, Sockets.Flow.stripe fs.flow) with
+      | Some c, Some stripe
+        when c.Sockets.Flow.outcome = Protocol.Action.Success
+             && c.Sockets.Flow.integrity = Sockets.Flow.Verified
+             && stripe.Packet.Stripe.object_id = object_id ->
+          Hashtbl.replace best stripe.Packet.Stripe.index
+            {
+              Packet.Stripe.stripe;
+              bytes = String.length c.Sockets.Flow.data;
+              crc = Packet.Checksum.crc32_string c.Sockets.Flow.data;
+            }
+      | _ -> ())
+    t.flows;
+  Hashtbl.fold (fun _ entry acc -> entry :: acc) best []
+  |> List.sort (fun a b ->
+         compare a.Packet.Stripe.stripe.Packet.Stripe.index
+           b.Packet.Stripe.stripe.Packet.Stripe.index)
 
 let string_of_sockaddr = function
   | Unix.ADDR_UNIX path -> path
@@ -327,6 +375,20 @@ let finalize ?(superseded = false) t key fs (completion : Sockets.Flow.completio
               (Delayed_send { peer = fs.peer; data }))
         (Faults.Netem.flush netem));
   Protocol.Counters.merge ~into:t.settled completion.Sockets.Flow.counters;
+  (* A CRC-verified striped success makes this server a durable replica of
+     that stripe: record it, so MREQ queries (and the repair pass behind
+     them) see exactly what would survive a re-read. *)
+  (match (completion.Sockets.Flow.outcome, Sockets.Flow.stripe fs.flow) with
+  | Protocol.Action.Success, Some stripe
+    when completion.Sockets.Flow.integrity = Sockets.Flow.Verified ->
+      Hashtbl.replace t.manifests
+        (stripe.Packet.Stripe.object_id, stripe.Packet.Stripe.index)
+        {
+          Packet.Stripe.stripe;
+          bytes = String.length completion.Sockets.Flow.data;
+          crc = Packet.Checksum.crc32_string completion.Sockets.Flow.data;
+        }
+  | _ -> ());
   (match completion.Sockets.Flow.outcome with
   | Protocol.Action.Success ->
       t.totals.completed <- t.totals.completed + 1;
@@ -478,6 +540,22 @@ let handle_datagram t ~buf ~from ~len =
       (* No trustworthy header, so no flow to attribute it to. *)
       t.totals.garbage <- t.totals.garbage + 1;
       Sockets.Flow.count_garbage ~probe:t.server_probe t.server_counters reason
+  | Ok message when message.Packet.Message.kind = Packet.Kind.Mreq ->
+      (* Manifest query: which stripes of this object does the server hold?
+         Flow-less, like REJ — the reply is one datagram built from the
+         manifest table, so a repair pass can interrogate a loaded server
+         without consuming a flow slot. *)
+      let object_id = message.Packet.Message.transfer_id in
+      let entries =
+        manifest t ~object_id
+        |> List.filteri (fun i _ -> i < Packet.Stripe.max_entries)
+      in
+      send_now t ~on_outcome:(put t) from
+        (Packet.Codec.encode (Packet.Stripe.manifest_reply ~object_id entries))
+  | Ok message when message.Packet.Message.kind = Packet.Kind.Mrep ->
+      (* Servers answer manifests, they never ask: a reply arriving here is
+         a misdelivery, absorbed like any other stray. *)
+      t.totals.stray_datagrams <- t.totals.stray_datagrams + 1
   | Ok message -> (
       let key = (from, message.Packet.Message.transfer_id) in
       match Hashtbl.find_opt t.flows key with
@@ -635,6 +713,7 @@ let snapshot t =
       ( "flows_omitted",
         Obs.Json.Int (max 0 (List.length flows - snapshot_flow_cap)) );
       ("totals", totals_json t.totals);
+      ("manifest_stripes", Obs.Json.Int (manifest_size t));
       ("flows", Obs.Json.List (List.map (flow_json ~now) shown));
       ("health", health_json t);
       ("counters", counters_json (rollup t));

@@ -103,6 +103,7 @@ val create :
   ?on_idle:(unit -> unit) ->
   ?trace_epoch:int ->
   ?shard:int ->
+  ?lane_prefix:string ->
   transport:Sockets.Transport.t ->
   unit ->
   t
@@ -142,7 +143,10 @@ val create :
     cross-thread snapshot requests; pair it with {!wake} to bound its
     latency. [shard] tags the engine as member [i] of a shard group: every
     trace lane and snapshot label is prefixed ["s<i>:"] and the snapshot
-    gains a [shard] field, so merged observability stays attributable. *)
+    gains a [shard] field, so merged observability stays attributable.
+    [lane_prefix] overrides that derived prefix verbatim — a ring fleet
+    tags member [i]'s lanes ["r<i>:"] so replica flows of one striped
+    object stay attributable after the per-server roll-up merges. *)
 
 val run : ?max_transfers:int -> t -> unit
 (** Serves until {!stop}, or — with [max_transfers] — until that many flows
@@ -163,6 +167,18 @@ val wake : t -> unit
 val totals : t -> totals
 val active_flows : t -> int
 val health : t -> health
+
+val manifest : t -> object_id:int -> Packet.Stripe.entry list
+(** The stripes of [object_id] this server durably holds, sorted by stripe
+    index — exactly the records an [MREQ] datagram is answered with. A
+    stripe enters the manifest only when its flow settles [Success] with
+    the whole-segment CRC verified, so every entry re-reads correctly by
+    construction. Not thread-safe; call from the serving thread or after
+    {!run} returns. *)
+
+val manifest_size : t -> int
+(** Total manifest entries across all objects (snapshot field
+    [manifest_stripes]). *)
 
 val rollup : t -> Protocol.Counters.t
 (** Field-wise merge ({!Protocol.Counters.merge}) of every flow's counters —

@@ -8,9 +8,9 @@ type t = {
 let frame_bytes (params : Netmodel.Params.t) (m : Packet.Message.t) =
   match m.Packet.Message.kind with
   | Packet.Kind.Data -> params.Netmodel.Params.data_packet_bytes
-  | Packet.Kind.Req | Packet.Kind.Ack | Packet.Kind.Rej ->
+  | Packet.Kind.Req | Packet.Kind.Ack | Packet.Kind.Rej | Packet.Kind.Mreq ->
       params.Netmodel.Params.ack_packet_bytes
-  | Packet.Kind.Nack ->
+  | Packet.Kind.Nack | Packet.Kind.Mrep ->
       params.Netmodel.Params.ack_packet_bytes + String.length m.Packet.Message.payload
 
 let create ?faults ?on_undecodable ?probe ?rtt ?(pacing = Time.span_zero) ~sim ~params

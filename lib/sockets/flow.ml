@@ -31,6 +31,7 @@ type t = {
   packet_bytes : int;
   total_bytes : int;
   data_crc : int32 option;
+  stripe : Packet.Stripe.t option;  (** ring framing carried by the REQ *)
   idle_timeout_ns : int;
   linger_ns : int;
   mutable machine_deadline : int option;  (** armed by the machine's [Arm_timer] *)
@@ -53,9 +54,13 @@ let transfer_id t = t.transfer_id
 let counters t = t.counters
 let probe t = t.probe
 let total_bytes t = t.total_bytes
+let stripe t = t.stripe
 
 let total_packets t =
   (t.total_bytes + t.packet_bytes - 1) / t.packet_bytes
+
+let completed t =
+  match t.state with Lingering c | Closed c -> Some c | Running -> None
 
 let status t =
   match t.state with
@@ -200,6 +205,7 @@ let create ?fallback_suite ?(retransmit_ns = 50_000_000) ?(max_attempts = 50)
               packet_bytes;
               total_bytes;
               data_crc = info.Suite_codec.data_crc;
+              stripe = info.Suite_codec.stripe;
               idle_timeout_ns;
               linger_ns;
               machine_deadline = None;

@@ -68,8 +68,19 @@ val counters : t -> Protocol.Counters.t
 val probe : t -> Obs.Probe.t
 val status : t -> status
 
+val completed : t -> completion option
+(** The completion as soon as the machine has settled it, including during
+    the linger grace period — when a flow is [`Lingering] its bytes are
+    final even though {!status} has not reached [`Done]. [None] while
+    still running. Lets a manifest query count a stripe the moment its
+    last packet lands rather than a linger later. *)
+
 val total_bytes : t -> int
 (** Transfer size the handshake REQ declared. *)
+
+val stripe : t -> Packet.Stripe.t option
+(** Ring framing the handshake REQ carried: which slice of which object
+    this flow is, [None] for an ordinary (unstriped) transfer. *)
 
 val total_packets : t -> int
 (** Expected distinct data packets ([ceil (total_bytes / packet_bytes)]) —

@@ -178,7 +178,7 @@ let run_machine ?faults ?(lossy = Lossy.perfect) ?rtt ?(pacing_ns = 0) ?idle_tim
 
 let send_via ?ctx ?(lossy = Lossy.perfect) ?(transfer_id = 1) ?(packet_bytes = 1024)
     ?(retransmit_ns = 50_000_000) ?(max_attempts = 50) ?rtt ?pacing_ns ?idle_timeout_ns
-    ~transport ~peer ~suite ~data () =
+    ?stripe ~transport ~peer ~suite ~data () =
   if String.length data = 0 then invalid_arg "Peer.send: empty data";
   let ctx = match ctx with Some c -> c | None -> Io_ctx.default () in
   let { Io_ctx.faults; recorder; metrics; clock; batch = _ } = ctx in
@@ -207,8 +207,8 @@ let send_via ?ctx ?(lossy = Lossy.perfect) ?(transfer_id = 1) ?(packet_bytes = 1
     {
       (Packet.Message.req ~transfer_id ~total:total_packets) with
       Packet.Message.payload =
-        Suite_codec.encode ~data_crc:(Packet.Checksum.crc32_string data) ~packet_bytes
-          ~total_bytes suite;
+        Suite_codec.encode ~data_crc:(Packet.Checksum.crc32_string data) ?stripe
+          ~packet_bytes ~total_bytes suite;
     }
   in
   let started = clock () in
@@ -295,14 +295,14 @@ let send_via ?ctx ?(lossy = Lossy.perfect) ?(transfer_id = 1) ?(packet_bytes = 1
       finish ~outcome ~elapsed_ns:(clock () - started)
 
 let send ?ctx ?lossy ?transfer_id ?packet_bytes ?retransmit_ns ?max_attempts ?rtt
-    ?pacing_ns ?idle_timeout_ns ~socket ~peer ~suite ~data () =
+    ?pacing_ns ?idle_timeout_ns ?stripe ~socket ~peer ~suite ~data () =
   let ctx = match ctx with Some c -> c | None -> Io_ctx.default () in
   (* Pacing wants an inter-packet gap, batching erases them: a paced sender
      stays on the one-datagram path. *)
   let batch = ctx.Io_ctx.batch && Option.value pacing_ns ~default:0 = 0 in
   let transport = Transport.udp ~batch ~socket () in
   send_via ~ctx ?lossy ?transfer_id ?packet_bytes ?retransmit_ns ?max_attempts ?rtt
-    ?pacing_ns ?idle_timeout_ns ~transport ~peer ~suite ~data ()
+    ?pacing_ns ?idle_timeout_ns ?stripe ~transport ~peer ~suite ~data ()
 
 let serve_one_via ?ctx ?(lossy = Lossy.perfect) ?(retransmit_ns = 50_000_000)
     ?(max_attempts = 50) ?linger_ns ?idle_timeout_ns ?accept_timeout_ns ?suite

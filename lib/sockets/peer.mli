@@ -60,6 +60,7 @@ val send_via :
   ?rtt:Protocol.Rtt.t ->
   ?pacing_ns:int ->
   ?idle_timeout_ns:int ->
+  ?stripe:Packet.Stripe.t ->
   transport:Transport.t ->
   peer:Unix.sockaddr ->
   suite:Protocol.Suite.t ->
@@ -83,13 +84,15 @@ val send :
   ?rtt:Protocol.Rtt.t ->
   ?pacing_ns:int ->
   ?idle_timeout_ns:int ->
+  ?stripe:Packet.Stripe.t ->
   socket:Unix.file_descr ->
   peer:Unix.sockaddr ->
   suite:Protocol.Suite.t ->
   data:string ->
   unit ->
   send_result
-(** Pushes [data] to [peer]. Defaults: 1024-byte packets, 50 ms
+(** Pushes [data] to [peer] — with [stripe], as a ring sub-transfer whose
+    REQ carries the {!Packet.Stripe} framing. Defaults: 1024-byte packets, 50 ms
     retransmission interval, 50 attempts. A handshake that exhausts its
     attempts returns [Peer_unreachable] (it no longer raises). With [rtt],
     timeouts adapt to measured round trips instead of the fixed interval;

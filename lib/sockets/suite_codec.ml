@@ -16,13 +16,25 @@ type info = {
   total_bytes : int;
   suite : Protocol.Suite.t option;
   data_crc : int32 option;
+  stripe : Packet.Stripe.t option;
 }
 
 (* Layout: u32 packet_bytes | u32 total_bytes | u8 kind | u8 strategy |
    u32 argument (window or chunk size; 0xFFFFFFFF encodes max_int)
-   [| u32 data CRC]. *)
-let encode ?data_crc ~packet_bytes ~total_bytes suite =
-  let buf = Bytes.create (match data_crc with Some _ -> 18 | None -> 14) in
+   [| u32 data CRC [| 12-byte stripe extension]]. The stripe extension
+   requires the CRC form: a striped sub-transfer without an end-to-end
+   CRC could never be manifest-verified, so the wire rules it out. *)
+let encode ?data_crc ?stripe ~packet_bytes ~total_bytes suite =
+  (match (stripe, data_crc) with
+  | Some _, None -> invalid_arg "Suite_codec.encode: a stripe requires data_crc"
+  | _ -> ());
+  let buf =
+    Bytes.create
+      (match (data_crc, stripe) with
+      | Some _, Some _ -> 18 + Packet.Stripe.ext_bytes
+      | Some _, None -> 18
+      | None, _ -> 14)
+  in
   Bytes.set_int32_be buf 0 (Int32.of_int packet_bytes);
   Bytes.set_int32_be buf 4 (Int32.of_int total_bytes);
   let kind, strategy, argument =
@@ -38,17 +50,23 @@ let encode ?data_crc ~packet_bytes ~total_bytes suite =
   Bytes.set_uint8 buf 9 strategy;
   Bytes.set_int32_be buf 10 (Int32.of_int argument);
   (match data_crc with Some crc -> Bytes.set_int32_be buf 14 crc | None -> ());
+  (match stripe with
+  | Some s ->
+      Bytes.blit_string (Packet.Stripe.encode_ext s) 0 buf 18 Packet.Stripe.ext_bytes
+  | None -> ());
   Bytes.to_string buf
 
 let decode payload =
   let len = String.length payload in
-  if len <> 8 && len <> 14 && len <> 18 then None
+  let striped = 18 + Packet.Stripe.ext_bytes in
+  if len <> 8 && len <> 14 && len <> 18 && len <> striped then None
   else begin
     let buf = Bytes.of_string payload in
     let u32 pos = Int32.to_int (Bytes.get_int32_be buf pos) land 0xFFFFFFFF in
     let packet_bytes = u32 0 and total_bytes = u32 4 in
     if packet_bytes <= 0 || total_bytes <= 0 then None
-    else if len = 8 then Some { packet_bytes; total_bytes; suite = None; data_crc = None }
+    else if len = 8 then
+      Some { packet_bytes; total_bytes; suite = None; data_crc = None; stripe = None }
     else begin
       let argument = u32 10 in
       let suite =
@@ -63,9 +81,19 @@ let decode payload =
             Some (Protocol.Suite.Multi_blast { strategy; chunk_packets = argument })
         | _ -> None
       in
-      let data_crc = if len = 18 then Some (Bytes.get_int32_be buf 14) else None in
-      match suite with
-      | Some suite -> Some { packet_bytes; total_bytes; suite = Some suite; data_crc }
-      | None -> None
+      let data_crc = if len >= 18 then Some (Bytes.get_int32_be buf 14) else None in
+      let stripe =
+        if len = striped then
+          Packet.Stripe.decode_ext (String.sub payload 18 Packet.Stripe.ext_bytes)
+        else None
+      in
+      (* A striped-length payload whose extension does not parse is
+         malformed, not merely unstriped: reject it whole. *)
+      if len = striped && stripe = None then None
+      else
+        match suite with
+        | Some suite ->
+            Some { packet_bytes; total_bytes; suite = Some suite; data_crc; stripe }
+        | None -> None
     end
   end

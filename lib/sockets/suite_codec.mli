@@ -13,12 +13,22 @@ type info = {
   total_bytes : int;
   suite : Protocol.Suite.t option;
   data_crc : int32 option;  (** CRC-32 of the entire data segment *)
+  stripe : Packet.Stripe.t option;
+      (** ring transfers: which slice of which object this flow carries *)
 }
 
 val encode :
-  ?data_crc:int32 -> packet_bytes:int -> total_bytes:int -> Protocol.Suite.t -> string
+  ?data_crc:int32 ->
+  ?stripe:Packet.Stripe.t ->
+  packet_bytes:int ->
+  total_bytes:int ->
+  Protocol.Suite.t ->
+  string
+(** Raises [Invalid_argument] if [stripe] is given without [data_crc]: a
+    striped sub-transfer must be CRC-verifiable end to end. *)
 
 val decode : string -> info option
 (** Accepts the bare 8-byte geometry (an older or foreign sender), the
-    14-byte geometry+suite form, and the full 18-byte form with the data
-    CRC; [None] on malformed input. *)
+    14-byte geometry+suite form, the full 18-byte form with the data CRC,
+    and the 30-byte striped form appending {!Packet.Stripe.encode_ext};
+    [None] on malformed input. *)

@@ -1,0 +1,31 @@
+(* One seeded integer hash for every deterministic placement decision in
+   the tree: memnet's shard steering (the stand-in for the kernel's
+   SO_REUSEPORT 4-tuple hash) and the ring's consistent-hash point space.
+   Both need the same properties — seeded, stable across runs and
+   platforms, cheap, well-mixed — so they share one implementation
+   instead of each growing a private formula. *)
+
+(* splitmix64's finalizer, run in Int64 (the constants exceed the native
+   63-bit range) and truncated back; the final mask keeps results
+   non-negative so callers can [mod] freely. *)
+let mix x =
+  let open Int64 in
+  let x = of_int x in
+  let x = logxor x (shift_right_logical x 30) in
+  let x = mul x 0xBF58476D1CE4E5B9L in
+  let x = logxor x (shift_right_logical x 27) in
+  let x = mul x 0x94D049BB133111EBL in
+  let x = logxor x (shift_right_logical x 31) in
+  to_int x land Stdlib.max_int
+
+(* Seeded avalanche of two ints. The golden-ratio odd constants separate
+   the argument lanes before mixing, so (a, b) and (b, a) land apart. *)
+let mix2 ~seed a b = mix (seed lxor (a * 0x9E3779B1) lxor (mix (b * 0x85EBCA77)))
+
+(* The shard-steering hash: which member of a sharded memnet port a source
+   lands on. The formula is the historical DST one — multiplicative mix of
+   the source port against the trial seed, high bits kept — preserved
+   verbatim so existing sharded DST journals replay unchanged. *)
+let steer ~seed port =
+  let mixed = (port * 0x9E3779B1) lxor (seed * 0x85EBCA77) in
+  (mixed lsr 11) land 0x3FFF_FFFF

@@ -1,0 +1,17 @@
+(** Seeded integer hashing shared by deterministic placement decisions:
+    memnet's shard steering and the ring's consistent-hash point space.
+
+    All results are non-negative and depend only on the arguments — no
+    global state, no wall clock — so any placement derived from them
+    replays bit-for-bit. *)
+
+val mix : int -> int
+(** splitmix64-style avalanche of one int; non-negative. *)
+
+val mix2 : seed:int -> int -> int -> int
+(** Seeded avalanche of an (a, b) pair; order-sensitive, non-negative. *)
+
+val steer : seed:int -> int -> int
+(** [steer ~seed port] — the shard-steering hash: the deterministic
+    stand-in for the kernel's SO_REUSEPORT 4-tuple hash, applied to a
+    source port under a trial seed. Callers reduce it [mod shards]. *)

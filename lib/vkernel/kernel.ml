@@ -256,7 +256,8 @@ let create ?(suite = Protocol.Suite.Blast Protocol.Blast.Go_back_n)
         let m = frame.Netmodel.Wire.payload in
         match m.Packet.Message.kind with
         | Packet.Kind.Req -> handle_req t m ~src:frame.Netmodel.Wire.src
-        | Packet.Kind.Data | Packet.Kind.Ack | Packet.Kind.Nack | Packet.Kind.Rej -> begin
+        | Packet.Kind.Data | Packet.Kind.Ack | Packet.Kind.Nack | Packet.Kind.Rej
+        | Packet.Kind.Mreq | Packet.Kind.Mrep -> begin
             match Hashtbl.find_opt t.bindings m.Packet.Message.transfer_id with
             | Some binding -> binding.on_message m
             | None -> () (* stale packet of an unknown transfer *)

@@ -240,6 +240,21 @@ let gen_message =
         return (Packet.Message.nack ~transfer_id ~first_missing ~total ~received ())
       end
       else return (Packet.Message.nack ~transfer_id ~first_missing ~total ())
+  | Packet.Kind.Mreq -> return (Packet.Stripe.manifest_query ~object_id:transfer_id)
+  | Packet.Kind.Mrep ->
+      let* entries =
+        list_size (int_range 0 8)
+          (let* index = int_range 0 15 in
+           let* bytes = int_range 0 100_000 in
+           let* crc = int_range 0 0xFFFFFF in
+           return
+             {
+               Packet.Stripe.stripe = { object_id = transfer_id; index; count = 16 };
+               bytes;
+               crc = Int32.of_int crc;
+             })
+      in
+      return (Packet.Stripe.manifest_reply ~object_id:transfer_id entries)
 
 let prop_codec_roundtrip =
   QCheck.Test.make ~name:"codec roundtrip for arbitrary messages" ~count:300

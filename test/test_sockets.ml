@@ -217,6 +217,7 @@ let test_suite_codec_roundtrip () =
             total_bytes = 9999;
             suite = Some decoded;
             data_crc = Some 0xDEADBEEFl;
+            stripe = None;
           } ->
           Alcotest.(check string) "same suite" (Protocol.Suite.name suite)
             (Protocol.Suite.name decoded)
@@ -240,7 +241,7 @@ let test_suite_codec_roundtrip () =
   Bytes.set_int32_be bare 0 1024l;
   Bytes.set_int32_be bare 4 4096l;
   (match Sockets.Suite_codec.decode (Bytes.to_string bare) with
-  | Some { Sockets.Suite_codec.packet_bytes = 1024; total_bytes = 4096; suite = None; data_crc = None } -> ()
+  | Some { Sockets.Suite_codec.packet_bytes = 1024; total_bytes = 4096; suite = None; data_crc = None; stripe = None } -> ()
   | _ -> Alcotest.fail "bare geometry rejected");
   Alcotest.(check bool) "garbage rejected" true (Sockets.Suite_codec.decode "xyz" = None)
 
