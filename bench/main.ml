@@ -485,7 +485,8 @@ let ring_stripe_rows () =
                 Ring.Fleet.join fleet)
               (fun () ->
                 let put =
-                  Ring.Client.put ~retransmit_ns:20_000_000 ~max_attempts:20
+                  Ring.Client.put
+          ~tuning:(Protocol.Tuning.fixed ~retransmit_ns:20_000_000 ~max_attempts:20 ())
                     ~placement:(Ring.Fleet.placement ~seed:1 fleet)
                     ~peer_of:(Ring.Fleet.peer_of fleet)
                     ~object_id:1 ~stripes ~replicas ~quorum ~data ()
@@ -527,6 +528,173 @@ let ring_stripe_rows () =
        %!"
       domains;
   rows
+
+(* Adaptive trains vs the fixed ladder. Two legs, one geometry each:
+
+   - simnet: a 256-packet transfer over the simulated LAN per netem
+     scenario, fixed trains as Multi_blast chunks of 1/8/32/128 vs the
+     AIMD-controlled adaptive blast. Virtual-time elapsed, so the rows are
+     deterministic.
+   - UDP swarm: the concurrent server under real sockets, same ladder,
+     goodput from the swarm report's wall clock.
+
+   Gate (both legs, per scenario): adaptive must reach at least 0.9x the
+   best fixed train — the point of the controller is to find the geometry,
+   not to be handed it. *)
+let adaptive_gate = 0.9
+
+let adaptive_fixed_trains = [ 1; 8; 32; 128 ]
+
+let adaptive_scenarios = [ Faults.Scenario.clean; Faults.Scenario.lossy2 ]
+
+let adaptive_sim_packets = 256
+
+let adaptive_blast_rows () =
+  let failures = ref [] in
+  let sim_rows =
+    List.concat_map
+      (fun scenario ->
+        let faults seed =
+          if Faults.Scenario.is_clean scenario then None
+          else Some (Faults.Netem.create ~seed scenario)
+        in
+        let goodput config suite =
+          let result =
+            Simnet.Driver.run ?sender_faults:(faults 11) ?receiver_faults:(faults 12)
+              ~suite ~config ()
+          in
+          let elapsed_ms = Simnet.Driver.elapsed_ms result in
+          if result.Simnet.Driver.outcome <> Protocol.Action.Success || elapsed_ms <= 0.0
+          then 0.0
+          else float_of_int (adaptive_sim_packets * 1024 * 8) /. (elapsed_ms /. 1e3) /. 1e6
+        in
+        let row ~train ~goodput:g =
+          Obs.Json.Obj
+            [
+              ("scenario", Obs.Json.String (Faults.Scenario.name scenario));
+              ("train", Obs.Json.String train);
+              ("goodput_mbit_s", Obs.Json.Float g);
+            ]
+        in
+        let fixed_rows =
+          List.map
+            (fun chunk ->
+              let config =
+                Protocol.Config.make
+                  ~tuning:(Protocol.Tuning.fixed ~max_attempts:400 ())
+                  ~total_packets:adaptive_sim_packets ()
+              in
+              let g =
+                goodput config
+                  (Protocol.Suite.Multi_blast
+                     { strategy = Protocol.Blast.Selective; chunk_packets = chunk })
+              in
+              (chunk, g))
+            adaptive_fixed_trains
+        in
+        let adaptive_goodput =
+          let config =
+            Protocol.Config.make
+              ~tuning:(Protocol.Tuning.adaptive ~max_attempts:400 ())
+              ~total_packets:adaptive_sim_packets ()
+          in
+          goodput config (Protocol.Suite.Blast Protocol.Blast.Selective)
+        in
+        let best_fixed = List.fold_left (fun acc (_, g) -> max acc g) 0.0 fixed_rows in
+        Printf.printf
+          "adaptive_blast sim: %-8s adaptive %7.1f Mbit/s vs best fixed %7.1f (%s)\n%!"
+          (Faults.Scenario.name scenario)
+          adaptive_goodput best_fixed
+          (String.concat ", "
+             (List.map (fun (c, g) -> Printf.sprintf "%d: %.1f" c g) fixed_rows));
+        if adaptive_goodput < adaptive_gate *. best_fixed then
+          failures :=
+            Printf.sprintf "sim/%s: adaptive %.1f < %.1fx best fixed %.1f Mbit/s"
+              (Faults.Scenario.name scenario)
+              adaptive_goodput adaptive_gate best_fixed
+            :: !failures;
+        List.map (fun (c, g) -> row ~train:(string_of_int c) ~goodput:g) fixed_rows
+        @ [ row ~train:"adaptive" ~goodput:adaptive_goodput ])
+      adaptive_scenarios
+  in
+  let swarm_flows = 8 in
+  let swarm_rows =
+    List.concat_map
+      (fun scenario ->
+        let scenario_args =
+          if Faults.Scenario.is_clean scenario then None else Some scenario
+        in
+        (* Real sockets and wall clocks: one swarm run on a loaded CI host
+           can easily swing 30%, so each cell is the best of three — the
+           gate compares achievable goodput, not scheduler luck. *)
+        let goodput ~tuning ~suite =
+          let one () =
+            let report =
+              Server.Swarm.run ~flows:swarm_flows ~bytes:65_536 ~packet_bytes:1024
+                ~tuning ?scenario:scenario_args ?server_scenario:scenario_args ~seed:7
+                ~suite ()
+            in
+            if report.Server.Swarm.completed < swarm_flows then 0.0
+            else report.Server.Swarm.aggregate_mbit_s
+          in
+          List.fold_left (fun acc _ -> Float.max acc (one ())) 0.0 [ (); (); () ]
+        in
+        let row ~train ~goodput:g =
+          Obs.Json.Obj
+            [
+              ("scenario", Obs.Json.String (Faults.Scenario.name scenario));
+              ("train", Obs.Json.String train);
+              ("flows", Obs.Json.Int swarm_flows);
+              ("goodput_mbit_s", Obs.Json.Float g);
+            ]
+        in
+        let fixed_rows =
+          List.map
+            (fun chunk ->
+              let g =
+                goodput
+                  ~tuning:
+                    (Protocol.Tuning.fixed ~retransmit_ns:20_000_000 ~max_attempts:100 ())
+                  ~suite:
+                    (Protocol.Suite.Multi_blast
+                       { strategy = Protocol.Blast.Selective; chunk_packets = chunk })
+              in
+              (chunk, g))
+            adaptive_fixed_trains
+        in
+        let adaptive_goodput =
+          goodput
+            ~tuning:
+              (Protocol.Tuning.adaptive ~retransmit_ns:20_000_000 ~max_attempts:100 ())
+            ~suite:(Protocol.Suite.Blast Protocol.Blast.Selective)
+        in
+        let best_fixed = List.fold_left (fun acc (_, g) -> max acc g) 0.0 fixed_rows in
+        Printf.printf
+          "adaptive_blast udp: %-8s adaptive %7.1f Mbit/s vs best fixed %7.1f (%s)\n%!"
+          (Faults.Scenario.name scenario)
+          adaptive_goodput best_fixed
+          (String.concat ", "
+             (List.map (fun (c, g) -> Printf.sprintf "%d: %.1f" c g) fixed_rows));
+        if adaptive_goodput < adaptive_gate *. best_fixed then
+          failures :=
+            Printf.sprintf "udp/%s: adaptive %.1f < %.1fx best fixed %.1f Mbit/s"
+              (Faults.Scenario.name scenario)
+              adaptive_goodput adaptive_gate best_fixed
+            :: !failures;
+        List.map (fun (c, g) -> row ~train:(string_of_int c) ~goodput:g) fixed_rows
+        @ [ row ~train:"adaptive" ~goodput:adaptive_goodput ])
+      adaptive_scenarios
+  in
+  List.iter
+    (fun msg -> Printf.eprintf "bench: FAIL adaptive_blast gate — %s\n" msg)
+    !failures;
+  if !failures <> [] then exit 1;
+  Obs.Json.Obj
+    [
+      ("gate", Obs.Json.Float adaptive_gate);
+      ("sim", Obs.Json.List sim_rows);
+      ("udp_swarm", Obs.Json.List swarm_rows);
+    ]
 
 let write_bench_json ~jobs () =
   let packets = 64 in
@@ -589,7 +757,7 @@ let write_bench_json ~jobs () =
   let json =
     Obs.Json.Obj
       [
-        ("schema", Obs.Json.String "lanrepro-bench/8");
+        ("schema", Obs.Json.String "lanrepro-bench/9");
         ("packets", Obs.Json.Int packets);
         (* Context for mc_parallel: speedup > 1 is only possible when the
            host actually has cores to spread the domains over. *)
@@ -602,6 +770,7 @@ let write_bench_json ~jobs () =
         ("engine_health", engine_health);
         ("dst", Obs.Json.List (dst_rows ()));
         ("ring_stripe", Obs.Json.List (ring_stripe_rows ()));
+        ("adaptive_blast", adaptive_blast_rows ());
         ( "rx_alloc",
           Obs.Json.Obj
             [

@@ -138,7 +138,63 @@ let batch_flag =
           (Some false, info [ "no-batch" ] ~doc:"One syscall per datagram.");
         ])
 
-let make_ctx ?recorder ?metrics batch = Sockets.Io_ctx.make ?recorder ?metrics ?batch ()
+let make_ctx ?recorder ?metrics ?tuning batch =
+  Sockets.Io_ctx.make ?recorder ?metrics ?batch ?tuning ()
+
+(* ---------------------------------------------------------------- tuning *)
+
+(* The shared [--tuning]/[--pacing] pair. Commands resolve them against
+   their own calibrated default profile: the retransmission timer and
+   attempt budget stay whatever the command chose, only the train policy
+   (and optionally the pacing) switches. *)
+let tuning_flags =
+  let mode =
+    Arg.(
+      value
+      & opt (some (enum [ ("fixed", `Fixed); ("adaptive", `Adaptive) ])) None
+      & info [ "tuning" ] ~docv:"PROFILE"
+          ~doc:
+            "Train tuning profile: $(b,fixed) keeps the paper's a-priori train \
+             geometry; $(b,adaptive) runs the AIMD controller — train length tracks \
+             per-round loss and the receiver-advertised budget (wire v2), pacing can \
+             spread each train over one smoothed RTT.")
+  in
+  let pacing =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "pacing" ] ~docv:"GAP"
+          ~doc:
+            "Data-packet pacing: $(b,none), $(b,rtt) (spread each train across one \
+             smoothed RTT), or a fixed inter-packet gap in nanoseconds.")
+  in
+  Term.(const (fun mode pacing -> (mode, pacing)) $ mode $ pacing)
+
+let resolve_tuning ~default (mode, pacing) =
+  let pacing =
+    match pacing with
+    | None -> None
+    | Some "none" -> Some Protocol.Tuning.No_pacing
+    | Some "rtt" -> Some Protocol.Tuning.Rtt_spread
+    | Some s -> (
+        match int_of_string_opt s with
+        | Some ns when ns > 0 -> Some (Protocol.Tuning.Fixed_gap ns)
+        | _ ->
+            Printf.eprintf "unknown --pacing %S (expected none, rtt, or a gap in ns)\n" s;
+            exit 2)
+  in
+  let base =
+    match mode with
+    | None -> default
+    | Some profile -> (
+        let retransmit_ns = Protocol.Tuning.retransmit_ns default in
+        let max_attempts = Protocol.Tuning.max_attempts default in
+        let pacing = Protocol.Tuning.pacing default in
+        match profile with
+        | `Adaptive -> Protocol.Tuning.adaptive ~retransmit_ns ~max_attempts ~pacing ()
+        | `Fixed -> Protocol.Tuning.fixed ~retransmit_ns ~max_attempts ~pacing ())
+  in
+  match pacing with None -> base | Some p -> Protocol.Tuning.with_pacing base p
 
 (* --------------------------------------------------------------- simulate *)
 
@@ -487,7 +543,7 @@ let tx_loss =
   Arg.(value & opt float 0.0 & info [ "inject-loss" ] ~doc:"Probability of dropping each outgoing datagram (testing aid).")
 
 let send_cmd =
-  let run protocol host port file size loss seed adaptive batch trace_out metrics_out =
+  let run protocol host port file size loss seed adaptive batch tuning trace_out metrics_out =
     let data =
       match file with
       | Some path ->
@@ -506,8 +562,9 @@ let send_cmd =
       else Sockets.Lossy.perfect
     in
     let rtt = if adaptive then Some (Protocol.Rtt.create ~initial_ns:50_000_000 ()) else None in
+    let tuning = resolve_tuning ~default:Protocol.Tuning.wire_default tuning in
     let recorder, metrics, flush = telemetry trace_out metrics_out in
-    let ctx = make_ctx ?recorder ?metrics batch in
+    let ctx = make_ctx ?recorder ?metrics ~tuning batch in
     let result = Sockets.Peer.send ~ctx ~lossy ?rtt ~socket ~peer ~suite:protocol ~data () in
     Unix.close socket;
     Printf.printf "%s: %d bytes in %.1f ms (%d packets, %d retransmitted)\n"
@@ -532,10 +589,10 @@ let send_cmd =
     (Cmd.info "send" ~doc:"Send a bulk transfer to a lanrepro recv peer over UDP")
     Term.(
       const run $ protocol $ host $ port $ file $ size $ tx_loss $ seed $ adaptive
-      $ batch_flag $ trace_out $ metrics_out)
+      $ batch_flag $ tuning_flags $ trace_out $ metrics_out)
 
 let recv_cmd =
-  let run protocol port out loss seed trace_out metrics_out =
+  let run protocol port out loss seed tuning trace_out metrics_out =
     let socket = Unix.socket Unix.PF_INET Unix.SOCK_DGRAM 0 in
     Unix.bind socket (Unix.ADDR_INET (Unix.inet_addr_of_string "0.0.0.0", port));
     Printf.printf "listening on UDP port %d...\n%!" port;
@@ -543,8 +600,9 @@ let recv_cmd =
       if loss > 0.0 then Sockets.Lossy.create ~seed ~tx_loss:loss ~rx_loss:0.0
       else Sockets.Lossy.perfect
     in
+    let tuning = resolve_tuning ~default:Protocol.Tuning.wire_default tuning in
     let recorder, metrics, flush = telemetry trace_out metrics_out in
-    let ctx = make_ctx ?recorder ?metrics None in
+    let ctx = make_ctx ?recorder ?metrics ~tuning None in
     let result = Sockets.Peer.serve_one ~ctx ~lossy ~socket ~suite:protocol () in
     Unix.close socket;
     Printf.printf "received %d bytes (transfer %d)\n"
@@ -565,7 +623,9 @@ let recv_cmd =
   in
   Cmd.v
     (Cmd.info "recv" ~doc:"Receive one bulk transfer over UDP")
-    Term.(const run $ protocol $ port $ out $ tx_loss $ seed $ trace_out $ metrics_out)
+    Term.(
+      const run $ protocol $ port $ out $ tx_loss $ seed $ tuning_flags $ trace_out
+      $ metrics_out)
 
 (* ----------------------------------------------------------- dump/restore *)
 
@@ -856,15 +916,16 @@ let scenario_name option_name ~doc =
   Arg.(value & opt (some string) None & info [ option_name ] ~docv:"NAME" ~doc)
 
 let serve_cmd =
-  let run port max_flows scenario_name seed max_transfers batch trace_out metrics_out
-      admin_port stats_interval stats_out shards =
+  let run port max_flows scenario_name seed max_transfers batch tuning trace_out
+      metrics_out admin_port stats_interval stats_out shards =
     if shards <= 0 then begin
       Printf.eprintf "serve: --shards must be positive\n";
       exit 2
     end;
     let scenario = resolve_scenario scenario_name in
+    let tuning = resolve_tuning ~default:Protocol.Tuning.wire_default tuning in
     let recorder, metrics, flush = telemetry trace_out metrics_out in
-    let ctx = make_ctx ?recorder ?metrics batch in
+    let ctx = make_ctx ?recorder ?metrics ~tuning batch in
     let flowtrace = flowtrace_for trace_out in
     let stats_interval_ns, on_snapshot, close_stats = stats_writer stats_interval stats_out in
     let on_complete (e : Server.Engine.completion_event) =
@@ -963,22 +1024,25 @@ let serve_cmd =
     Term.(
       const run $ port $ max_flows
       $ scenario_name "scenario" ~doc:"Server-side fault scenario applied independently per flow."
-      $ seed $ max_transfers $ batch_flag $ trace_out $ metrics_out $ admin_port
-      $ stats_interval $ stats_out $ shards_arg)
+      $ seed $ max_transfers $ batch_flag $ tuning_flags $ trace_out $ metrics_out
+      $ admin_port $ stats_interval $ stats_out $ shards_arg)
 
 let swarm_cmd =
   let run flows max_flows jobs size packet_bytes protocol scenario_name server_scenario_name
-      seed batch trace_out metrics_out admin_port stats_interval stats_out shards =
+      seed batch tuning trace_out metrics_out admin_port stats_interval stats_out shards =
     let scenario = resolve_scenario scenario_name in
     let server_scenario = resolve_scenario server_scenario_name in
+    let tuning =
+      resolve_tuning ~default:(Protocol.Tuning.fixed ~retransmit_ns:20_000_000 ()) tuning
+    in
     let recorder, metrics, flush = telemetry trace_out metrics_out in
     let ctx = make_ctx ?recorder ?metrics batch in
     let flowtrace = flowtrace_for trace_out in
     let stats_interval_ns, on_snapshot, close_stats = stats_writer stats_interval stats_out in
     let report =
-      Server.Swarm.run ~max_flows ?jobs ~bytes:size ~packet_bytes ~suite:protocol ?scenario
-        ?server_scenario ~seed ~ctx ?flowtrace ?admin_port ?stats_interval_ns ~on_snapshot
-        ~shards ~flows ()
+      Server.Swarm.run ~max_flows ?jobs ~bytes:size ~packet_bytes ~suite:protocol ~tuning
+        ?scenario ?server_scenario ~seed ~ctx ?flowtrace ?admin_port ?stats_interval_ns
+        ~on_snapshot ~shards ~flows ()
     in
     close_stats ();
     Format.printf "%a@." Server.Swarm.pp_report report;
@@ -1009,14 +1073,14 @@ let swarm_cmd =
       const run $ flows $ max_flows $ jobs $ size $ packet_bytes $ protocol
       $ scenario_name "scenario" ~doc:"Sender-side fault scenario (independent per sender)."
       $ scenario_name "server-scenario" ~doc:"Server-side fault scenario (independent per flow)."
-      $ seed $ batch_flag $ trace_out $ metrics_out $ admin_port $ stats_interval
-      $ stats_out $ shards_arg)
+      $ seed $ batch_flag $ tuning_flags $ trace_out $ metrics_out $ admin_port
+      $ stats_interval $ stats_out $ shards_arg)
 
 (* ------------------------------------------------- deterministic simulation *)
 
 let dst_cmd =
   let run seed seeds churn fault_name senders transfers max_flows shards until_virtual_s
-      jobs journal_dir =
+      jobs tuning journal_dir =
     let churn =
       match Dst.Harness.churn_of_string churn with
       | Some c -> c
@@ -1037,6 +1101,7 @@ let dst_cmd =
         max_flows;
         shards;
         horizon_ns = int_of_float (until_virtual_s *. 1e9);
+        tuning = resolve_tuning ~default:base.Dst.Harness.tuning tuning;
       }
     in
     let seed_list = List.init seeds (fun i -> seed + i) in
@@ -1166,7 +1231,7 @@ let dst_cmd =
           replays bit-for-bit, and thousands of virtual seconds run per wall second")
     Term.(
       const run $ seed $ seeds $ churn $ fault_name $ senders $ transfers $ max_flows
-      $ shards $ until_virtual_s $ jobs $ journal_dir)
+      $ shards $ until_virtual_s $ jobs $ tuning_flags $ journal_dir)
 
 (* ------------------------------------------------------------ ring transfers *)
 
@@ -1271,9 +1336,12 @@ let ring_put_cmd =
                  ())
           end
         in
-        let retransmit_ns = retransmit_ms * 1_000_000 in
+        let tuning =
+          Protocol.Tuning.fixed ~retransmit_ns:(retransmit_ms * 1_000_000)
+            ~max_attempts ()
+        in
         let put =
-          Ring.Client.put ?jobs ~packet_bytes ~retransmit_ns ~max_attempts ~placement
+          Ring.Client.put ?jobs ~packet_bytes ~tuning ~placement
             ~peer_of ~object_id ~stripes ~replicas ~quorum ~data ()
         in
         Option.iter Thread.join killer;
@@ -1292,7 +1360,7 @@ let ring_put_cmd =
           else begin
             let live = Ring.Fleet.live_placement ~seed fleet in
             let report =
-              Ring.Repair.run ?jobs ~packet_bytes ~retransmit_ns ~max_attempts
+              Ring.Repair.run ?jobs ~packet_bytes ~tuning
                 ~placement:live ~peer_of ~object_id ~stripes ~replicas ~data ()
             in
             print_repair_report report;

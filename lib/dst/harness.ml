@@ -32,8 +32,7 @@ type config = {
   think_min_ns : int;
   think_max_ns : int;
   packet_bytes : int;
-  retransmit_ns : int;
-  max_attempts : int;
+  tuning : Protocol.Tuning.t;
   latency_ns : int;
   horizon_ns : int;
 }
@@ -52,8 +51,7 @@ let default_config ~seed =
     think_min_ns = 200_000_000;
     think_max_ns = 2_000_000_000;
     packet_bytes = 1024;
-    retransmit_ns = 20_000_000;
-    max_attempts = 20;
+    tuning = Protocol.Tuning.fixed ~retransmit_ns:20_000_000 ~max_attempts:20 ();
     latency_ns = 50_000;
     horizon_ns = 60_000_000_000;
   }
@@ -153,7 +151,9 @@ let outcome_str o = Format.asprintf "%a" Protocol.Action.pp_outcome o
    cap (scenario validation bounds injected delays at one second) and a
    margin. A transfer unresolved longer than this has hung. *)
 let worst_case_ns cfg =
-  (2 * cfg.max_attempts * cfg.retransmit_ns) + (3 * cfg.retransmit_ns) + 2_000_000_000
+  let retransmit_ns = Protocol.Tuning.retransmit_ns cfg.tuning in
+  let max_attempts = Protocol.Tuning.max_attempts cfg.tuning in
+  (2 * max_attempts * retransmit_ns) + (3 * retransmit_ns) + 2_000_000_000
 
 let clock_of h () = now_ns h
 
@@ -208,9 +208,10 @@ let engine_proc h index () =
     let ep = bind () in
     let transport = Net.transport ep in
     let engine =
-      Server.Engine.create ~max_flows:h.cfg.max_flows ~retransmit_ns:h.cfg.retransmit_ns
-        ~max_attempts:h.cfg.max_attempts
-        ~ctx:(Sockets.Io_ctx.make ~clock:(clock_of h) ~recorder:h.recorder ())
+      Server.Engine.create ~max_flows:h.cfg.max_flows
+        ~ctx:
+          (Sockets.Io_ctx.make ~clock:(clock_of h) ~recorder:h.recorder
+             ~tuning:h.cfg.tuning ())
         ~on_complete:(on_complete h) ~flowtrace:h.flowtrace ~trace_epoch:gen
         ?shard:(if h.cfg.shards = 1 then None else Some index)
         ~transport ()
@@ -291,9 +292,8 @@ let one_transfer h slot ~transport ~rng ~transfer_id ~port ?(avoid_total = 0) ()
   line h "%s start id=%d bytes=%d crc=%08lx" slot.label transfer_id bytes crc;
   let result =
     Sockets.Peer.send_via
-      ~ctx:(Sockets.Io_ctx.make ~clock:(clock_of h) ())
-      ~transfer_id ~packet_bytes:h.cfg.packet_bytes ~retransmit_ns:h.cfg.retransmit_ns
-      ~max_attempts:h.cfg.max_attempts ~transport ~peer:server_address
+      ~ctx:(Sockets.Io_ctx.make ~clock:(clock_of h) ~tuning:h.cfg.tuning ())
+      ~transfer_id ~packet_bytes:h.cfg.packet_bytes ~transport ~peer:server_address
       ~suite:(Protocol.Suite.Blast Protocol.Blast.Go_back_n) ~data ()
   in
   let outcome = result.Sockets.Peer.outcome in
@@ -512,10 +512,12 @@ let run cfg =
       server_aborted = 0;
     }
   in
-  line h "dst seed=%d churn=%s faults=%s senders=%d transfers=%d max_flows=%d shards=%d"
+  line h
+    "dst seed=%d churn=%s faults=%s senders=%d transfers=%d max_flows=%d shards=%d tuning=%s"
     cfg.seed (churn_name cfg.churn)
     (match cfg.faults with Some s -> Faults.Scenario.name s | None -> "clean")
-    cfg.senders cfg.transfers cfg.max_flows cfg.shards;
+    cfg.senders cfg.transfers cfg.max_flows cfg.shards
+    (Protocol.Tuning.to_string cfg.tuning);
   let env = Proc.env sim in
   for index = 0 to cfg.shards - 1 do
     Proc.spawn env

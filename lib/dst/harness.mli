@@ -53,8 +53,10 @@ type config = {
   think_min_ns : int;
   think_max_ns : int;  (** seeded idle gap between a sender's transfers *)
   packet_bytes : int;
-  retransmit_ns : int;
-  max_attempts : int;
+  tuning : Protocol.Tuning.t;
+      (** one regime for every endpoint — engines advertise budgets from it,
+          senders run fixed or adaptive trains per its variant; printed into
+          the journal header so a trial is self-describing *)
   latency_ns : int;  (** memnet propagation delay *)
   horizon_ns : int;  (** virtual-time budget; the hang backstop *)
 }

@@ -20,8 +20,7 @@ type config = {
   packet_bytes : int;
   vnodes : int;
   max_flows : int;
-  retransmit_ns : int;
-  max_attempts : int;
+  tuning : Protocol.Tuning.t;
   latency_ns : int;
   horizon_ns : int;
 }
@@ -39,8 +38,7 @@ let default_config ~seed =
     packet_bytes = 1024;
     vnodes = 32;
     max_flows = 64;
-    retransmit_ns = 20_000_000;
-    max_attempts = 20;
+    tuning = Protocol.Tuning.fixed ~retransmit_ns:20_000_000 ~max_attempts:20 ();
     latency_ns = 50_000;
     horizon_ns = 60_000_000_000;
   }
@@ -146,9 +144,8 @@ let server_proc h index () =
   let ep = Net.bind ~port:(base_port + index) h.net in
   let transport = Net.transport ep in
   let engine =
-    Server.Engine.create ~max_flows:h.cfg.max_flows ~retransmit_ns:h.cfg.retransmit_ns
-      ~max_attempts:h.cfg.max_attempts
-      ~ctx:(Sockets.Io_ctx.make ~clock:(clock_of h) ())
+    Server.Engine.create ~max_flows:h.cfg.max_flows
+      ~ctx:(Sockets.Io_ctx.make ~clock:(clock_of h) ~tuning:h.cfg.tuning ())
       ~on_complete:(on_complete h index)
       ~lane_prefix:(Printf.sprintf "r%d:" index)
       ~transport ()
@@ -181,10 +178,8 @@ let blast_proc h ~data ~results (job : Ring.Client.job) () =
   in
   let result =
     Sockets.Peer.send_via
-      ~ctx:(Sockets.Io_ctx.make ~clock:(clock_of h) ())
-      ~transfer_id:object_id ~packet_bytes:h.cfg.packet_bytes
-      ~retransmit_ns:h.cfg.retransmit_ns ~max_attempts:h.cfg.max_attempts ~stripe
-      ~transport
+      ~ctx:(Sockets.Io_ctx.make ~clock:(clock_of h) ~tuning:h.cfg.tuning ())
+      ~transfer_id:object_id ~packet_bytes:h.cfg.packet_bytes ~stripe ~transport
       ~peer:(addr_of job.Ring.Client.server)
       ~suite:(Protocol.Suite.Blast Protocol.Blast.Go_back_n)
       ~data:(String.sub data job.Ring.Client.offset job.Ring.Client.bytes)
@@ -233,7 +228,8 @@ let survey h =
         let transport = Net.transport ep in
         (match
            Ring.Repair.query_via ~attempts:5
-             ~timeout_ns:(4 * h.cfg.retransmit_ns) ~clock:(clock_of h)
+             ~timeout_ns:(4 * Protocol.Tuning.retransmit_ns h.cfg.tuning)
+             ~clock:(clock_of h)
              ~transport ~peer:(addr_of server) ~object_id ()
          with
         | Some entries ->

@@ -34,8 +34,7 @@ type config = {
   packet_bytes : int;
   vnodes : int;  (** placement virtual nodes per server *)
   max_flows : int;
-  retransmit_ns : int;
-  max_attempts : int;
+  tuning : Protocol.Tuning.t;
   latency_ns : int;
   horizon_ns : int;
 }

@@ -550,7 +550,10 @@ let ablation_rtt ppf =
       let result =
         Simnet.Driver.run ~params:Netmodel.Params.vkernel ~network_error ?rtt
           ~suite:(Protocol.Suite.Blast Protocol.Blast.Full_retransmit)
-          ~config:(Protocol.Config.make ~retransmit_ns ~total_packets:64 ())
+          ~config:
+            (Protocol.Config.make
+               ~tuning:(Protocol.Tuning.fixed ~retransmit_ns ())
+               ~total_packets:64 ())
           ()
       in
       Stats.Summary.add summary (Simnet.Driver.elapsed_ms result)
@@ -647,7 +650,10 @@ let ablation_overrun ppf =
     in
     let result =
       Simnet.Driver.run ~params ~suite:blast
-        ~config:(Protocol.Config.make ~retransmit_ns:20_000_000 ~total_packets:64 ())
+        ~config:
+          (Protocol.Config.make
+             ~tuning:(Protocol.Tuning.fixed ~retransmit_ns:20_000_000 ())
+             ~total_packets:64 ())
         ()
     in
     (result, Simnet.Driver.elapsed_ms result)
@@ -691,7 +697,10 @@ let ablation_pacing ppf =
       if pacing_ms > 0.0 then Some (Eventsim.Time.span_ms pacing_ms) else None
     in
     Simnet.Driver.run ~params:(slow_params extra_ms) ?pacing ~suite:blast
-      ~config:(Protocol.Config.make ~retransmit_ns:20_000_000 ~total_packets:64 ())
+      ~config:
+        (Protocol.Config.make
+           ~tuning:(Protocol.Tuning.fixed ~retransmit_ns:20_000_000 ())
+           ~total_packets:64 ())
       ()
   in
   let extra = 1.5 *. t_ms in
@@ -726,6 +735,18 @@ let udp ppf =
   let rng = Stats.Rng.create ~seed:99 in
   let data = String.init 262_144 (fun _ -> Char.chr (Stats.Rng.int rng 256)) in
   let run ?pacing_ns name suite loss =
+    let pacing =
+      match pacing_ns with
+      | Some ns -> Protocol.Tuning.Fixed_gap ns
+      | None -> Protocol.Tuning.No_pacing
+    in
+    let ctx =
+      {
+        (Sockets.Io_ctx.default ()) with
+        Sockets.Io_ctx.tuning =
+          Protocol.Tuning.fixed ~retransmit_ns:20_000_000 ~pacing ();
+      }
+    in
     let receiver_socket, receiver_address = Sockets.Udp.create_socket () in
     let sender_socket, _ = Sockets.Udp.create_socket () in
     let received = ref None in
@@ -734,16 +755,15 @@ let udp ppf =
         (fun () ->
           received :=
             Some
-              (Sockets.Peer.serve_one
+              (Sockets.Peer.serve_one ~ctx
                  ~lossy:(Sockets.Lossy.create ~seed:3 ~tx_loss:loss ~rx_loss:0.0)
-                 ~retransmit_ns:20_000_000 ~socket:receiver_socket ~suite ()))
+                 ~socket:receiver_socket ~suite ()))
         ()
     in
     let result =
-      Sockets.Peer.send
+      Sockets.Peer.send ~ctx
         ~lossy:(Sockets.Lossy.create ~seed:4 ~tx_loss:loss ~rx_loss:0.0)
-        ?pacing_ns ~retransmit_ns:20_000_000 ~socket:sender_socket ~peer:receiver_address
-        ~suite ~data ()
+        ~socket:sender_socket ~peer:receiver_address ~suite ~data ()
     in
     Thread.join thread;
     Sockets.Udp.close receiver_socket;

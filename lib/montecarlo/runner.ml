@@ -25,7 +25,10 @@ let saw_timing (k : Analysis.Costs.t) ~tr =
 let error_free_time timing ~packets = (float_of_int packets *. timing.per_packet) +. timing.response
 
 let run_transfer ?(max_attempts = 10_000) ~drops ~timing ~suite ~packets () =
-  let config = Protocol.Config.make ~total_packets:packets ~max_attempts () in
+  let config =
+    Protocol.Config.make ~transfer_id:1 ~total_packets:packets
+      ~tuning:(Protocol.Tuning.fixed ~max_attempts ()) ()
+  in
   let sender = Protocol.Suite.sender suite config ~payload:(fun _ -> "") in
   let receiver = Protocol.Suite.receiver suite config in
   let elapsed = ref 0.0 in

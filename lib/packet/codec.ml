@@ -17,13 +17,24 @@ let pp_error ppf = function
   | Length_mismatch { declared; actual } ->
       Format.fprintf ppf "declared payload %d bytes, got %d" declared actual
 
+(* v1 is the original 24-byte header. v2 appends a u32 receiver budget at
+   offset 24 (payload then starts at 28) and is emitted only for messages
+   that carry one, so a fixed-tuning peer never sees bytes it cannot parse
+   unless the other end explicitly negotiated adaptive trains. *)
 let header_bytes = 24
+let header_bytes_v2 = 28
 let magic = 0xB1A5
 let version = 1
+let version_v2 = 2
 
 let encode (m : Message.t) =
   let payload_len = String.length m.Message.payload in
-  let buf = Bytes.create (header_bytes + payload_len) in
+  let header, version, budget =
+    match m.Message.budget with
+    | None -> (header_bytes, version, 0)
+    | Some b -> (header_bytes_v2, version_v2, b)
+  in
+  let buf = Bytes.create (header + payload_len) in
   Bytes.set_uint16_be buf 0 magic;
   Bytes.set_uint8 buf 2 version;
   Bytes.set_uint8 buf 3 (Kind.to_byte m.Message.kind);
@@ -32,9 +43,10 @@ let encode (m : Message.t) =
   Bytes.set_int32_be buf 12 (Int32.of_int m.Message.total);
   Bytes.set_uint16_be buf 16 payload_len;
   Bytes.set_uint16_be buf 18 0;
-  Bytes.blit_string m.Message.payload 0 buf header_bytes payload_len;
-  Bytes.set_int32_be buf 20 (Checksum.crc32 buf ~pos:header_bytes ~len:payload_len);
-  let sum = Checksum.internet buf ~pos:0 ~len:header_bytes in
+  if header > header_bytes then Bytes.set_int32_be buf 24 (Int32.of_int budget);
+  Bytes.blit_string m.Message.payload 0 buf header payload_len;
+  Bytes.set_int32_be buf 20 (Checksum.crc32 buf ~pos:header ~len:payload_len);
+  let sum = Checksum.internet buf ~pos:0 ~len:header in
   Bytes.set_uint16_be buf 18 sum;
   buf
 
@@ -50,32 +62,37 @@ let decode_sub buf ~pos ~len =
     if Bytes.get_uint16_be view 0 <> magic then Error Bad_magic
     else begin
       let v = Bytes.get_uint8 view 2 in
-      if v <> version then Error (Bad_version v)
+      if v <> version && v <> version_v2 then Error (Bad_version v)
       else begin
-        let declared = Bytes.get_uint16_be view 16 in
-        let actual = len - header_bytes in
-        if declared <> actual then Error (Length_mismatch { declared; actual })
+        let header = if v = version then header_bytes else header_bytes_v2 in
+        if len < header then Error Too_short
         else begin
-          let stored_sum = Bytes.get_uint16_be view 18 in
-          Bytes.set_uint16_be view 18 0;
-          let computed = Checksum.internet view ~pos:0 ~len:header_bytes in
-          if stored_sum <> computed then Error Bad_header_checksum
+          let declared = Bytes.get_uint16_be view 16 in
+          let actual = len - header in
+          if declared <> actual then Error (Length_mismatch { declared; actual })
           else begin
-            match Kind.of_byte (Bytes.get_uint8 view 3) with
-            | None -> Error (Bad_kind (Bytes.get_uint8 view 3))
-            | Some kind ->
-                let stored_crc = Bytes.get_int32_be view 20 in
-                let crc = Checksum.crc32 view ~pos:header_bytes ~len:actual in
-                if stored_crc <> crc then Error Bad_payload_checksum
-                else
-                  Ok
-                    {
-                      Message.kind;
-                      transfer_id = u32 view 4;
-                      seq = u32 view 8;
-                      total = u32 view 12;
-                      payload = Bytes.sub_string view header_bytes actual;
-                    }
+            let stored_sum = Bytes.get_uint16_be view 18 in
+            Bytes.set_uint16_be view 18 0;
+            let computed = Checksum.internet view ~pos:0 ~len:header in
+            if stored_sum <> computed then Error Bad_header_checksum
+            else begin
+              match Kind.of_byte (Bytes.get_uint8 view 3) with
+              | None -> Error (Bad_kind (Bytes.get_uint8 view 3))
+              | Some kind ->
+                  let stored_crc = Bytes.get_int32_be view 20 in
+                  let crc = Checksum.crc32 view ~pos:header ~len:actual in
+                  if stored_crc <> crc then Error Bad_payload_checksum
+                  else
+                    Ok
+                      {
+                        Message.kind;
+                        transfer_id = u32 view 4;
+                        seq = u32 view 8;
+                        total = u32 view 12;
+                        payload = Bytes.sub_string view header actual;
+                        budget = (if v = version then None else Some (u32 view 24));
+                      }
+            end
           end
         end
       end

@@ -3,7 +3,7 @@
     Layout (all integers big-endian):
     {v
       0  magic      0xB1A5                    (2 bytes)
-      2  version    1                         (1)
+      2  version    1 | 2                     (1)
       3  kind                                 (1)
       4  transfer_id                          (4)
       8  seq                                  (4)
@@ -11,8 +11,14 @@
       16 payload length                       (2)
       18 header checksum (Internet, field 0)  (2)
       20 payload CRC-32                       (4)
-      24 payload ...
-    v} *)
+      24 payload ...                          (v1)
+      24 receiver budget                      (4, v2 only)
+      28 payload ...                          (v2)
+    v}
+
+    A message with [budget = None] encodes as v1 — byte-identical to the
+    pre-budget wire format — so old peers interoperate until both ends have
+    opted into adaptive trains. [decode] accepts both versions. *)
 
 type error =
   | Too_short
@@ -26,6 +32,9 @@ type error =
 val pp_error : Format.formatter -> error -> unit
 
 val header_bytes : int
+(** v1 header size; also the minimum decodable datagram. *)
+
+val header_bytes_v2 : int
 
 val encode : Message.t -> bytes
 

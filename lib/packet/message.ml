@@ -1,14 +1,22 @@
-type t = { kind : Kind.t; transfer_id : int; seq : int; total : int; payload : string }
+type t = {
+  kind : Kind.t;
+  transfer_id : int;
+  seq : int;
+  total : int;
+  payload : string;
+  budget : int option;
+}
 
 let check_u32 name v =
   if v < 0 || v > 0xFFFFFFFF then invalid_arg ("Message: " ^ name ^ " outside u32")
 
-let make kind ~transfer_id ~seq ~total ~payload =
+let make ?budget kind ~transfer_id ~seq ~total ~payload =
   check_u32 "transfer_id" transfer_id;
   check_u32 "seq" seq;
   check_u32 "total" total;
+  (match budget with Some b -> check_u32 "budget" b | None -> ());
   if String.length payload > 0xFFFF then invalid_arg "Message: payload too large";
-  { kind; transfer_id; seq; total; payload }
+  { kind; transfer_id; seq; total; payload; budget }
 
 let req ~transfer_id ~total = make Kind.Req ~transfer_id ~seq:0 ~total ~payload:""
 
@@ -50,14 +58,26 @@ let received_set t =
   if t.kind <> Kind.Nack || String.length t.payload = 0 then None
   else Bitset.of_bytes (Bytes.of_string t.payload)
 
+let with_budget t budget =
+  check_u32 "budget" budget;
+  { t with budget = Some budget }
+
+let budget t = t.budget
+
 let header_bytes = 24
-let wire_bytes t = header_bytes + String.length t.payload
+let header_bytes_v2 = 28
+let wire_bytes t =
+  (match t.budget with None -> header_bytes | Some _ -> header_bytes_v2)
+  + String.length t.payload
 
 let equal a b =
   Kind.equal a.kind b.kind && a.transfer_id = b.transfer_id && a.seq = b.seq
   && a.total = b.total
   && String.equal a.payload b.payload
+  && a.budget = b.budget
 
 let pp ppf t =
-  Format.fprintf ppf "%a#%d seq=%d/%d (%d B payload)" Kind.pp t.kind t.transfer_id t.seq
+  Format.fprintf ppf "%a#%d seq=%d/%d (%d B payload)%a" Kind.pp t.kind t.transfer_id t.seq
     t.total (String.length t.payload)
+    (fun ppf -> function None -> () | Some b -> Format.fprintf ppf " budget=%d" b)
+    t.budget

@@ -17,9 +17,16 @@ type t = {
   payload : string;
       (** [Data]: the data bytes; [Nack] with selective information: an
           encoded {!Bitset} of received packets; otherwise empty *)
+  budget : int option;
+      (** Receiver-advertised train budget (adaptive flow control). [None]
+          travels as wire v1 — byte-identical to the pre-budget format — so
+          fixed-tuning peers interoperate unchanged; [Some _] travels as
+          wire v2. On a REQ, [Some 0] announces the sender speaks v2 and
+          wants adaptive trains; on an ACK/NACK it caps the next train. *)
 }
 
-val make : Kind.t -> transfer_id:int -> seq:int -> total:int -> payload:string -> t
+val make :
+  ?budget:int -> Kind.t -> transfer_id:int -> seq:int -> total:int -> payload:string -> t
 (** The general constructor behind the shorthands below; validates the
     u32 fields and the payload cap. *)
 
@@ -44,6 +51,11 @@ val nack : transfer_id:int -> first_missing:int -> total:int -> ?received:Bitset
 
 val received_set : t -> Bitset.t option
 (** Decodes the bitmap a selective NACK carries. *)
+
+val with_budget : t -> int -> t
+(** Stamps a receiver-advertised budget onto a message (forces wire v2). *)
+
+val budget : t -> int option
 
 val wire_bytes : t -> int
 (** Size of the message on the wire (header + payload), for timing models. *)

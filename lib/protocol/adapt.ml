@@ -1,0 +1,308 @@
+open Action
+
+(* AIMD controller over the blast train length.
+
+   The classic additive-increase / multiplicative-decrease shape: a clean
+   round (every packet of the train accounted for) grows the next train by a
+   fixed step; any loss in the round multiplies it down. The receiver's
+   advertised budget — carried in the v2 ACK/NACK wire format — is a hard
+   cap layered on top, so an overloaded engine sheds load through the
+   protocol instead of through drops. Everything here is integer/float
+   arithmetic on explicit inputs: no clocks, no randomness — the controller
+   is exactly as deterministic as its event stream, which is what lets DST
+   journal it bit-for-bit. *)
+
+type t = {
+  params : Tuning.aimd;
+  mutable train : int;
+  mutable budget : int option;  (** latest receiver-advertised cap *)
+  mutable rounds : int;  (** rounds observed (loss or clean) *)
+  mutable loss_rounds : int;
+}
+
+let create (params : Tuning.aimd) =
+  { params; train = params.init_train; budget = None; rounds = 0; loss_rounds = 0 }
+
+let params t = t.params
+
+let clamp t v =
+  let ceiling =
+    match t.budget with
+    | Some b -> min t.params.Tuning.max_train (max b 0)
+    | None -> t.params.Tuning.max_train
+  in
+  (* The floor wins over the budget: a receiver advertising 0 throttles us
+     to min_train, it cannot stall the transfer entirely. *)
+  max t.params.Tuning.min_train (min ceiling v)
+
+let train t = clamp t t.train
+
+let on_budget t ~budget =
+  t.budget <- Some budget;
+  t.train <- clamp t t.train
+
+let decrease t ~factor =
+  t.loss_rounds <- t.loss_rounds + 1;
+  t.train <- clamp t (int_of_float (floor (float_of_int t.train *. factor)))
+
+let on_round t ~sent ~lost =
+  if sent > 0 then begin
+    t.rounds <- t.rounds + 1;
+    if lost > 0 then begin
+      (* Proportional backoff (the DCTCP shape): a fully lost train backs
+         off by the configured factor, one loss in a long train barely
+         nudges it. Mild iid wire loss — the LAN regime this repo models —
+         must not starve the pipe the way blind halving does. *)
+      let frac = float_of_int (min lost sent) /. float_of_int sent in
+      decrease t ~factor:(1.0 -. ((1.0 -. t.params.Tuning.decrease) *. frac))
+    end
+    else t.train <- clamp t (t.train + t.params.Tuning.increase)
+  end
+
+(* A retransmission timeout is the strongest congestion signal we get —
+   the whole tail of the train (solicit included) vanished. Full backoff. *)
+let on_timeout t =
+  t.rounds <- t.rounds + 1;
+  decrease t ~factor:t.params.Tuning.decrease
+
+let open_train t ~train = t.train <- clamp t (max t.train train)
+
+let loss_rounds t = t.loss_rounds
+let rounds t = t.rounds
+
+(* Spread one train across one smoothed RTT. Before the first RTT sample
+   (or under [No_pacing]) the gap is 0 — blast back-to-back, as the paper
+   does. *)
+let pacing_gap_ns t ~srtt_ns =
+  match t.params.Tuning.pacing with
+  | Tuning.No_pacing -> 0
+  | Tuning.Fixed_gap ns -> ns
+  | Tuning.Rtt_spread -> (
+      match srtt_ns with
+      | Some srtt when srtt > 0 -> srtt / max 1 (train t)
+      | Some _ | None -> 0)
+
+let pp ppf t =
+  Format.fprintf ppf "train=%d budget=%s rounds=%d loss-rounds=%d" (train t)
+    (match t.budget with None -> "-" | Some b -> string_of_int b)
+    t.rounds t.loss_rounds
+
+(* ------------------------------------------------------------------ *)
+(* The adaptive blast machine pair.
+
+   Coordinates stay global (no chunk translation): each round the sender
+   blasts the first [train] still-missing packets and marks the last one as
+   the solicit by stamping a budget field onto it (any v2 DATA is a solicit
+   — the value itself is unused sender->receiver). The receiver answers
+   every solicit with either a cumulative ACK (transfer complete) or a
+   selective NACK carrying its full received bitmap, both stamped with its
+   advertised budget. The sender folds the bitmap into its view, feeds the
+   controller, and blasts the next train. *)
+
+let aimd_of (config : Config.t) =
+  match Tuning.aimd config.Config.tuning with
+  | Some a -> a
+  | None ->
+      invalid_arg "Adapt: config carries fixed tuning; use a blast machine instead"
+
+let sender ?(counters = Counters.create ()) ?ctrl (config : Config.t) ~payload =
+  let params = aimd_of config in
+  let ctrl = match ctrl with Some c -> c | None -> create params in
+  let total = config.Config.total_packets in
+  let outcome = ref None in
+  let acked = Packet.Bitset.create total in
+  let sent_before = Array.make total false in
+  let attempts = ref 0 in  (* consecutive rounds without fresh progress *)
+  let budget_opened = ref false in
+  let flight = ref [] in  (* seqs of the train in flight *)
+  let solicit = ref 0 in  (* last seq of the current train *)
+  let send_one ~last seq =
+    counters.Counters.data_sent <- counters.Counters.data_sent + 1;
+    if sent_before.(seq) then
+      counters.Counters.retransmitted_data <- counters.Counters.retransmitted_data + 1;
+    sent_before.(seq) <- true;
+    let m =
+      Packet.Message.data ~transfer_id:config.Config.transfer_id ~seq ~total
+        ~payload:(payload seq)
+    in
+    Send (if last then Packet.Message.with_budget m 0 else m)
+  in
+  let rec mark_last acc = function
+    | [] -> List.rev acc
+    | [ seq ] -> List.rev (send_one ~last:true seq :: acc)
+    | seq :: rest -> mark_last (send_one ~last:false seq :: acc) rest
+  in
+  let take n l =
+    let rec go acc n = function
+      | x :: rest when n > 0 -> go (x :: acc) (n - 1) rest
+      | _ -> List.rev acc
+    in
+    go [] n l
+  in
+  (* The timer of the round being answered is still ticking when feedback
+     arrives, and a long train can take longer than the timeout to serialize
+     onto the wire — so retire it *before* the sends, not after. Leaving it
+     armed fires a stale timeout mid-blast, duplicates the solicit, and the
+     duplicate's NACK then mis-reports the next round's in-flight packets as
+     lost. *)
+  let blast () =
+    counters.Counters.rounds <- counters.Counters.rounds + 1;
+    let missing = Packet.Bitset.missing acked in
+    let seqs = take (train ctrl) missing in
+    let seqs = if seqs = [] then [ total - 1 ] else seqs in
+    flight := seqs;
+    solicit := List.nth seqs (List.length seqs - 1);
+    (Stop_timer :: mark_last [] seqs) @ [ Arm_timer params.Tuning.retransmit_ns ]
+  in
+  let give_up () =
+    outcome := Some Too_many_attempts;
+    [ Stop_timer; Complete Too_many_attempts ]
+  in
+  let resend_solicit () =
+    counters.Counters.rounds <- counters.Counters.rounds + 1;
+    flight := [ !solicit ];
+    (Stop_timer :: mark_last [] [ !solicit ]) @ [ Arm_timer params.Tuning.retransmit_ns ]
+  in
+  let ours m = m.Packet.Message.total = total in
+  let handle event =
+    if !outcome <> None then []
+    else
+      match event with
+      | Message m when m.Packet.Message.kind = Packet.Kind.Ack && ours m ->
+          if m.Packet.Message.seq >= total then begin
+            (match Packet.Message.budget m with
+            | Some b -> on_budget ctrl ~budget:b
+            | None -> ());
+            on_round ctrl ~sent:(List.length !flight) ~lost:0;
+            outcome := Some Success;
+            [ Stop_timer; Complete Success ]
+          end
+          else []
+      | Message m when m.Packet.Message.kind = Packet.Kind.Nack && ours m -> begin
+          match Packet.Message.received_set m with
+          | Some received when Packet.Bitset.length received = total ->
+              let before = Packet.Bitset.count acked in
+              List.iter
+                (fun seq ->
+                  if Packet.Bitset.mem received seq then Packet.Bitset.set acked seq)
+                (Packet.Bitset.missing acked);
+              let after = Packet.Bitset.count acked in
+              (match Packet.Message.budget m with
+              | Some b ->
+                  on_budget ctrl ~budget:b;
+                  (* The first advertisement doubles as the opening window
+                     (the UDP peer gets the same signal on its handshake
+                     ACK): flow control said this much fits, so jump there
+                     instead of paying the additive ramp — the round's loss
+                     feedback below still scales it straight back down. *)
+                  if not !budget_opened then begin
+                    budget_opened := true;
+                    open_train ctrl ~train:b
+                  end
+              | None -> ());
+              if not (Packet.Bitset.mem received !solicit) then
+                (* A response generated before the current solicit reached
+                   the receiver — the echo of a duplicated solicit, or one
+                   delayed past a retransmission. Its bitmap predates the
+                   round in flight, so scoring the round against it would
+                   count every in-flight packet as lost and re-blast them
+                   all. Keep the bitmap (it only adds information), skip the
+                   controller, and let the real response — or the timer
+                   still armed for it — drive the next train. *)
+                []
+              else begin
+                let lost =
+                  List.length
+                    (List.filter (fun seq -> not (Packet.Bitset.mem received seq)) !flight)
+                in
+                on_round ctrl ~sent:(List.length !flight) ~lost;
+                if after > before then attempts := 0 else incr attempts;
+                if !attempts >= params.Tuning.max_attempts then give_up () else blast ()
+              end
+          | Some _ | None ->
+              (* Malformed or foreign bitmap: count a no-progress round and
+                 repeat the solicit rather than guessing a repair train. *)
+              incr attempts;
+              if !attempts >= params.Tuning.max_attempts then give_up ()
+              else resend_solicit ()
+        end
+      | Message _ -> []
+      | Timeout ->
+          counters.Counters.timeouts <- counters.Counters.timeouts + 1;
+          incr attempts;
+          if !attempts >= params.Tuning.max_attempts then give_up ()
+          else begin
+            on_timeout ctrl;
+            (* Only the solicit is repeated: its NACK tells us exactly what
+               else the round lost, and a vanished train usually means the
+               path wants fewer packets, not a full re-blast. *)
+            resend_solicit ()
+          end
+  in
+  Machine.make ~name:"adaptive blast sender" ~start:blast ~handle
+    ~is_complete:(fun () -> !outcome <> None)
+    ~outcome:(fun () -> !outcome)
+    ~counters
+
+let receiver ?(counters = Counters.create ()) ?budget (config : Config.t) =
+  let total = config.Config.total_packets in
+  let default_budget =
+    match Tuning.aimd config.Config.tuning with
+    | Some a -> a.Tuning.max_train
+    | None -> 0xFFFF
+  in
+  let budget = match budget with Some f -> f | None -> fun () -> default_budget in
+  let received = Packet.Bitset.create total in
+  let respond () =
+    let b = max 0 (budget ()) in
+    if Packet.Bitset.is_full received then begin
+      counters.Counters.acks_sent <- counters.Counters.acks_sent + 1;
+      [
+        Send
+          (Packet.Message.with_budget
+             (Packet.Message.ack ~transfer_id:config.Config.transfer_id ~seq:total ~total)
+             b);
+      ]
+    end
+    else begin
+      let first_missing = Option.get (Packet.Bitset.first_missing received) in
+      counters.Counters.nacks_sent <- counters.Counters.nacks_sent + 1;
+      [
+        Send
+          (Packet.Message.with_budget
+             (Packet.Message.nack ~transfer_id:config.Config.transfer_id ~first_missing
+                ~total ~received ())
+             b);
+      ]
+    end
+  in
+  let handle = function
+    | Message m when m.Packet.Message.kind = Packet.Kind.Data ->
+        let seq = m.Packet.Message.seq in
+        if m.Packet.Message.total <> total || seq >= total then []
+        else begin
+          let fresh = not (Packet.Bitset.mem received seq) in
+          let deliver =
+            if fresh then begin
+              Packet.Bitset.set received seq;
+              counters.Counters.delivered <- counters.Counters.delivered + 1;
+              [ Deliver { seq; payload = m.Packet.Message.payload } ]
+            end
+            else begin
+              counters.Counters.duplicates_received <-
+                counters.Counters.duplicates_received + 1;
+              []
+            end
+          in
+          (* Budget presence marks the train solicit; it always gets a
+             response, duplicate or not, exactly like the blast terminator. *)
+          if Packet.Message.budget m <> None then deliver @ respond () else deliver
+        end
+    | Message _ | Timeout -> []
+  in
+  Machine.make ~name:"adaptive blast receiver"
+    ~start:(fun () -> [])
+    ~handle
+    ~is_complete:(fun () -> Packet.Bitset.is_full received)
+    ~outcome:(fun () -> if Packet.Bitset.is_full received then Some Success else None)
+    ~counters

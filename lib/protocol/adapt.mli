@@ -1,0 +1,66 @@
+(** AIMD train-length controller and the adaptive blast machine pair.
+
+    The controller is pure bookkeeping over explicit inputs — per-round
+    loss, timeouts, and the receiver-advertised budget from the v2 wire
+    format — so it is exactly as deterministic as its event stream (the
+    property DST asserts bit-for-bit).
+
+    The machines speak the same global coordinates as {!Blast} but in
+    variable-length trains: the last packet of each train is a {e solicit}
+    (marked by carrying a wire-v2 budget field), answered by a cumulative
+    ACK on completion or a selective NACK with the receiver's full bitmap,
+    both stamped with the receiver's advertised budget. *)
+
+type t
+(** Controller state: current train length, latest budget, round counts. *)
+
+val create : Tuning.aimd -> t
+val params : t -> Tuning.aimd
+
+val train : t -> int
+(** Train length for the next round, clamped to
+    [[min_train, min max_train budget]]. The floor wins over the budget: a
+    receiver advertising 0 throttles the sender to [min_train], it cannot
+    stall the transfer. *)
+
+val on_round : t -> sent:int -> lost:int -> unit
+(** Account one solicited round: additive increase when [lost = 0],
+    multiplicative decrease otherwise — scaled by the round's loss fraction
+    (the DCTCP shape), so a fully lost train backs off by the tuning's
+    [decrease] factor while a single loss in a long train barely nudges it.
+    [sent <= 0] is ignored. *)
+
+val on_timeout : t -> unit
+(** A retransmission timeout: full multiplicative decrease (the whole train
+    tail vanished — the strongest congestion signal available). *)
+
+val open_train : t -> train:int -> unit
+(** Jump-start the train to the receiver's opening advertisement (the
+    budget on the handshake ACK), clamped like everything else. Never
+    shrinks the current train — a cap is [on_budget]'s job. *)
+
+val on_budget : t -> budget:int -> unit
+(** Record the receiver's advertised cap and re-clamp. *)
+
+val pacing_gap_ns : t -> srtt_ns:int option -> int
+(** Inter-packet gap for the tuning's pacing mode: 0 for [No_pacing] (and
+    for [Rtt_spread] before the first RTT sample), the configured gap for
+    [Fixed_gap], or [srtt / train] for [Rtt_spread]. *)
+
+val rounds : t -> int
+val loss_rounds : t -> int
+val pp : Format.formatter -> t -> unit
+
+val sender :
+  ?counters:Counters.t -> ?ctrl:t -> Config.t -> payload:(int -> string) -> Machine.t
+(** Adaptive blast sender. The config's tuning must be [Adaptive] (raises
+    [Invalid_argument] otherwise). Pass [?ctrl] to observe the controller
+    from outside (the UDP peer does, to derive pacing gaps); one is created
+    internally when omitted. The first receiver advertisement opens the
+    train ({!open_train}); after that the controller governs. Gives up
+    after [max_attempts] consecutive rounds without fresh progress. *)
+
+val receiver : ?counters:Counters.t -> ?budget:(unit -> int) -> Config.t -> Machine.t
+(** Adaptive blast receiver. [budget] is sampled at every solicit response
+    and stamped onto the ACK/NACK — the server flow passes a closure over
+    engine health; the default advertises the tuning's [max_train]. *)

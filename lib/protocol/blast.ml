@@ -29,7 +29,7 @@ let sender ?(counters = Counters.create ()) ~strategy (config : Config.t) ~paylo
   let blast seqs =
     incr rounds;
     counters.Counters.rounds <- counters.Counters.rounds + 1;
-    List.map send_one seqs @ [ Arm_timer config.Config.retransmit_ns ]
+    List.map send_one seqs @ [ Arm_timer (Config.retransmit_ns config) ]
   in
   let give_up () =
     outcome := Some Too_many_attempts;
@@ -54,7 +54,7 @@ let sender ?(counters = Counters.create ()) ~strategy (config : Config.t) ~paylo
           end
           else []
       | Message m when m.Packet.Message.kind = Packet.Kind.Nack && ours m ->
-          if !rounds >= config.Config.max_attempts then give_up ()
+          if !rounds >= (Config.max_attempts config) then give_up ()
           else begin
             let first_missing = max 0 (min m.Packet.Message.seq last) in
             match strategy with
@@ -68,6 +68,16 @@ let sender ?(counters = Counters.create ()) ~strategy (config : Config.t) ~paylo
                 match Packet.Message.received_set m with
                 | Some received when Packet.Bitset.length received = total ->
                     let missing = Packet.Bitset.missing received in
+                    (* A budget-stamped NACK (wire v2) caps the repair train;
+                       later holes wait for the next round's NACK. The
+                       terminator stays in the train so a response is always
+                       solicited. *)
+                    let missing =
+                      match Packet.Message.budget m with
+                      | Some b when b > 0 && List.length missing > b ->
+                          List.filteri (fun i _ -> i < b) missing
+                      | Some _ | None -> missing
+                    in
                     let train =
                       if List.mem last missing then missing else missing @ [ last ]
                     in
@@ -80,7 +90,7 @@ let sender ?(counters = Counters.create ()) ~strategy (config : Config.t) ~paylo
       | Message _ -> []
       | Timeout ->
           counters.Counters.timeouts <- counters.Counters.timeouts + 1;
-          if !rounds >= config.Config.max_attempts then give_up ()
+          if !rounds >= (Config.max_attempts config) then give_up ()
           else begin
             match strategy with
             | Full_retransmit | Full_retransmit_nack -> blast (range 0 last)

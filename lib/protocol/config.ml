@@ -2,16 +2,33 @@ type t = {
   transfer_id : int;
   total_packets : int;
   packet_bytes : int;
-  retransmit_ns : int;
-  max_attempts : int;
+  tuning : Tuning.t;
 }
 
-let make ?(transfer_id = 0) ?(packet_bytes = 1024) ?(retransmit_ns = 200_000_000)
-    ?(max_attempts = 50) ~total_packets () =
+(* Fresh-id source for callers that do not pick one: a colliding default
+   (the old 0) let two concurrent CLI sends land on the same engine
+   [(sockaddr, transfer_id)] key. In-process uniqueness is enough — distinct
+   processes already differ by source address. 0 is skipped so "unspecified"
+   can never collide with the old explicit default. *)
+let next_id = Atomic.make 1
+
+let fresh_transfer_id () =
+  let rec draw () =
+    let id = Atomic.fetch_and_add next_id 1 land 0xFFFFFFFF in
+    if id = 0 then draw () else id
+  in
+  draw ()
+
+let make ?transfer_id ?(packet_bytes = 1024) ?(tuning = Tuning.default) ~total_packets () =
   if total_packets <= 0 then invalid_arg "Config.make: total_packets must be positive";
   if packet_bytes <= 0 then invalid_arg "Config.make: packet_bytes must be positive";
-  if retransmit_ns <= 0 then invalid_arg "Config.make: retransmit_ns must be positive";
-  if max_attempts <= 0 then invalid_arg "Config.make: max_attempts must be positive";
-  { transfer_id; total_packets; packet_bytes; retransmit_ns; max_attempts }
+  let transfer_id =
+    match transfer_id with Some id -> id | None -> fresh_transfer_id ()
+  in
+  { transfer_id; total_packets; packet_bytes; tuning }
 
 let byte_size t = t.total_packets * t.packet_bytes
+let tuning t = t.tuning
+let retransmit_ns t = Tuning.retransmit_ns t.tuning
+let max_attempts t = Tuning.max_attempts t.tuning
+let with_tuning t tuning = { t with tuning }

@@ -1,25 +1,35 @@
 (** Per-transfer protocol configuration, agreed by both ends before the
     transfer starts (the paper's recipient has its buffers — and hence the
-    transfer geometry — established in advance). *)
+    transfer geometry — established in advance). Timer and train behaviour
+    live in the carried {!Tuning.t}. *)
 
 type t = {
   transfer_id : int;
   total_packets : int;  (** D: number of data packets; must be positive *)
   packet_bytes : int;  (** data payload bytes per packet *)
-  retransmit_ns : int;  (** T_r: retransmission interval *)
-  max_attempts : int;  (** give up after this many transmission rounds *)
+  tuning : Tuning.t;  (** timers, attempts, train adaptation, pacing *)
 }
 
 val make :
   ?transfer_id:int ->
   ?packet_bytes:int ->
-  ?retransmit_ns:int ->
-  ?max_attempts:int ->
+  ?tuning:Tuning.t ->
   total_packets:int ->
   unit ->
   t
-(** Defaults: id 0, 1024-byte packets, 200 ms interval, 50 attempts.
+(** Defaults: 1024-byte packets, {!Tuning.default} (fixed trains, 200 ms
+    timer, 50 attempts). When [transfer_id] is omitted a fresh process-unique
+    id is derived — two concurrent senders that both leave it unspecified can
+    no longer collide on a server's [(sockaddr, transfer_id)] key.
     Raises [Invalid_argument] on non-positive [total_packets]. *)
+
+val fresh_transfer_id : unit -> int
+(** Next process-unique non-zero u32 transfer id. *)
 
 val byte_size : t -> int
 (** Total transfer size implied by the geometry. *)
+
+val tuning : t -> Tuning.t
+val retransmit_ns : t -> int
+val max_attempts : t -> int
+val with_tuning : t -> Tuning.t -> t

@@ -28,7 +28,7 @@ let sender ?(counters = Counters.create ()) ~window (config : Config.t) ~payload
   in
   let start () =
     counters.Counters.rounds <- counters.Counters.rounds + 1;
-    fill_window () @ [ Arm_timer config.Config.retransmit_ns ]
+    fill_window () @ [ Arm_timer (Config.retransmit_ns config) ]
   in
   let handle = function
     | Message m when m.Packet.Message.kind = Packet.Kind.Ack ->
@@ -42,7 +42,7 @@ let sender ?(counters = Counters.create ()) ~window (config : Config.t) ~payload
           end
           else begin
             let opened = fill_window () in
-            opened @ [ Arm_timer config.Config.retransmit_ns ]
+            opened @ [ Arm_timer (Config.retransmit_ns config) ]
           end
         end
         else []
@@ -52,7 +52,7 @@ let sender ?(counters = Counters.create ()) ~window (config : Config.t) ~payload
         else begin
           counters.Counters.timeouts <- counters.Counters.timeouts + 1;
           incr attempts;
-          if !attempts >= config.Config.max_attempts then begin
+          if !attempts >= (Config.max_attempts config) then begin
             outcome := Some Too_many_attempts;
             [ Stop_timer; Complete Too_many_attempts ]
           end
@@ -63,7 +63,7 @@ let sender ?(counters = Counters.create ()) ~window (config : Config.t) ~payload
             for seq = !next - 1 downto !base do
               resend := send_one ~retransmission:true seq :: !resend
             done;
-            !resend @ [ Arm_timer config.Config.retransmit_ns ]
+            !resend @ [ Arm_timer (Config.retransmit_ns config) ]
           end
         end
   in

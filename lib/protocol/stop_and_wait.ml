@@ -16,7 +16,7 @@ let sender ?(counters = Counters.create ()) (config : Config.t) ~payload =
       Send
         (Packet.Message.data ~transfer_id:config.Config.transfer_id ~seq:!base
            ~total:config.Config.total_packets ~payload:(payload !base));
-      Arm_timer config.Config.retransmit_ns;
+      Arm_timer (Config.retransmit_ns config);
     ]
   in
   let start () = send_current ~retransmission:false in
@@ -38,7 +38,7 @@ let sender ?(counters = Counters.create ()) (config : Config.t) ~payload =
         if !outcome <> None then []
         else begin
           counters.Counters.timeouts <- counters.Counters.timeouts + 1;
-          if !attempts >= config.Config.max_attempts then begin
+          if !attempts >= (Config.max_attempts config) then begin
             outcome := Some Too_many_attempts;
             [ Stop_timer; Complete Too_many_attempts ]
           end

@@ -22,19 +22,30 @@ let all_blast_strategies = List.map (fun s -> Blast s) Blast.all_strategies
 let effective_window window (config : Config.t) =
   if window = max_int then config.Config.total_packets else window
 
-let sender t ?counters config ~payload =
+(* Adaptive tuning replaces the blast-family machines wholesale: train
+   length is the controller's to choose, so the a-priori strategy/chunking
+   carried by the suite only matters as the negotiated-down fallback.
+   Stop-and-wait and sliding-window have no trains to adapt; they use the
+   tuning's timers and otherwise ignore the AIMD parameters. *)
+let adaptive (config : Config.t) = Tuning.is_adaptive config.Config.tuning
+
+let sender t ?counters ?ctrl config ~payload =
   match t with
   | Stop_and_wait -> Stop_and_wait.sender ?counters config ~payload
   | Sliding_window { window } ->
       Sliding_window.sender ?counters ~window:(effective_window window config) config ~payload
+  | (Blast _ | Multi_blast _) when adaptive config ->
+      Adapt.sender ?counters ?ctrl config ~payload
   | Blast strategy -> Blast.sender ?counters ~strategy config ~payload
   | Multi_blast { strategy; chunk_packets } ->
       Multi_blast.sender ?counters ~strategy ~chunk_packets config ~payload
 
-let receiver t ?counters config =
+let receiver t ?counters ?budget config =
   match t with
   | Stop_and_wait -> Stop_and_wait.receiver ?counters config
   | Sliding_window _ -> Sliding_window.receiver ?counters config
+  | (Blast _ | Multi_blast _) when adaptive config ->
+      Adapt.receiver ?counters ?budget config
   | Blast strategy -> Blast.receiver ?counters ~strategy config
   | Multi_blast { strategy; chunk_packets } ->
       Multi_blast.receiver ?counters ~strategy ~chunk_packets config

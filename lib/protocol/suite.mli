@@ -16,5 +16,18 @@ val error_free_trio : t list
 
 val all_blast_strategies : t list
 
-val sender : t -> ?counters:Counters.t -> Config.t -> payload:(int -> string) -> Machine.t
-val receiver : t -> ?counters:Counters.t -> Config.t -> Machine.t
+val sender :
+  t ->
+  ?counters:Counters.t ->
+  ?ctrl:Adapt.t ->
+  Config.t ->
+  payload:(int -> string) ->
+  Machine.t
+(** When the config's tuning is [Adaptive], blast-family suites dispatch to
+    {!Adapt.sender} — the carried strategy/chunking only matters as the
+    negotiated-down fallback. [?ctrl] exposes the AIMD controller to the
+    caller (for pacing); ignored by non-adaptive machines. *)
+
+val receiver : t -> ?counters:Counters.t -> ?budget:(unit -> int) -> Config.t -> Machine.t
+(** [?budget] is the receiver's advertised-budget source, sampled per
+    solicit by {!Adapt.receiver}; ignored by fixed-tuning machines. *)

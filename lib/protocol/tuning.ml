@@ -1,0 +1,117 @@
+type pacing = No_pacing | Fixed_gap of int | Rtt_spread
+
+let pacing_name = function
+  | No_pacing -> "none"
+  | Fixed_gap ns -> Printf.sprintf "gap=%dns" ns
+  | Rtt_spread -> "rtt-spread"
+
+let pp_pacing ppf p = Format.pp_print_string ppf (pacing_name p)
+
+type fixed = { retransmit_ns : int; max_attempts : int; pacing : pacing }
+
+type aimd = {
+  init_train : int;
+  min_train : int;
+  max_train : int;
+  increase : int;
+  decrease : float;
+  retransmit_ns : int;
+  max_attempts : int;
+  pacing : pacing;
+}
+
+type t = Fixed of fixed | Adaptive of aimd
+
+let check_pacing = function
+  | Fixed_gap ns when ns <= 0 -> invalid_arg "Tuning: pacing gap must be positive"
+  | No_pacing | Fixed_gap _ | Rtt_spread -> ()
+
+let check_timers ~retransmit_ns ~max_attempts =
+  if retransmit_ns <= 0 then invalid_arg "Tuning: retransmit_ns must be positive";
+  if max_attempts <= 0 then invalid_arg "Tuning: max_attempts must be positive"
+
+let fixed ?(retransmit_ns = 200_000_000) ?(max_attempts = 50) ?(pacing = No_pacing) () =
+  check_timers ~retransmit_ns ~max_attempts;
+  check_pacing pacing;
+  Fixed { retransmit_ns; max_attempts; pacing }
+
+let adaptive ?(init_train = 8) ?(min_train = 1) ?(max_train = 128) ?(increase = 4)
+    ?(decrease = 0.5) ?(retransmit_ns = 200_000_000) ?(max_attempts = 50)
+    ?(pacing = No_pacing) () =
+  check_timers ~retransmit_ns ~max_attempts;
+  check_pacing pacing;
+  if min_train <= 0 then invalid_arg "Tuning.adaptive: min_train must be positive";
+  if max_train < min_train then invalid_arg "Tuning.adaptive: max_train below min_train";
+  if init_train < min_train || init_train > max_train then
+    invalid_arg "Tuning.adaptive: init_train outside [min_train, max_train]";
+  if increase <= 0 then invalid_arg "Tuning.adaptive: increase must be positive";
+  if not (decrease > 0.0 && decrease < 1.0) then
+    invalid_arg "Tuning.adaptive: decrease must lie in (0, 1)";
+  Adaptive
+    { init_train; min_train; max_train; increase; decrease; retransmit_ns; max_attempts;
+      pacing }
+
+(* The paper's a-priori geometry: fixed trains, 200 ms timer (what
+   [Config.make] always defaulted to). *)
+let default = fixed ()
+
+(* The transport layers historically defaulted to a 50 ms timer — loopback
+   and LAN RTTs make the paper's 200 ms needlessly slow there. *)
+let wire_default = fixed ~retransmit_ns:50_000_000 ()
+
+let retransmit_ns = function
+  | Fixed { retransmit_ns; _ } | Adaptive { retransmit_ns; _ } -> retransmit_ns
+
+let max_attempts = function
+  | Fixed { max_attempts; _ } | Adaptive { max_attempts; _ } -> max_attempts
+
+let pacing = function Fixed { pacing; _ } | Adaptive { pacing; _ } -> pacing
+
+let is_adaptive = function Adaptive _ -> true | Fixed _ -> false
+let aimd = function Adaptive a -> Some a | Fixed _ -> None
+
+let with_retransmit_ns t retransmit_ns =
+  check_timers ~retransmit_ns ~max_attempts:(max_attempts t);
+  match t with
+  | Fixed f -> Fixed { f with retransmit_ns }
+  | Adaptive a -> Adaptive { a with retransmit_ns }
+
+let with_max_attempts t max_attempts =
+  check_timers ~retransmit_ns:(retransmit_ns t) ~max_attempts;
+  match t with
+  | Fixed f -> Fixed { f with max_attempts }
+  | Adaptive a -> Adaptive { a with max_attempts }
+
+let with_pacing t pacing =
+  check_pacing pacing;
+  match t with
+  | Fixed f -> Fixed { f with pacing }
+  | Adaptive a -> Adaptive { a with pacing }
+
+(* An adaptive sender that discovers a fixed-only (or pre-budget) peer
+   falls back to this: same timers, same pacing, trains pinned at the
+   controller's initial length. *)
+let negotiate_down = function
+  | Fixed _ as t -> t
+  | Adaptive a ->
+      Fixed
+        { retransmit_ns = a.retransmit_ns; max_attempts = a.max_attempts;
+          pacing = a.pacing }
+
+let name = function Fixed _ -> "fixed" | Adaptive _ -> "adaptive"
+
+(* One self-describing line for bench / DST journal headers: every field
+   that shapes a run, stable under reformatting. *)
+let to_string = function
+  | Fixed { retransmit_ns; max_attempts; pacing } ->
+      Printf.sprintf "fixed{retransmit_ns=%d;max_attempts=%d;pacing=%s}" retransmit_ns
+        max_attempts (pacing_name pacing)
+  | Adaptive a ->
+      Printf.sprintf
+        "adaptive{train=%d..%d(init %d);+%d;x%.3f;retransmit_ns=%d;max_attempts=%d;pacing=%s}"
+        a.min_train a.max_train a.init_train a.increase a.decrease a.retransmit_ns
+        a.max_attempts (pacing_name a.pacing)
+
+let pp ppf t = Format.pp_print_string ppf (to_string t)
+
+let equal (a : t) (b : t) = a = b

@@ -1,0 +1,87 @@
+(** Transfer tuning, constructed once and carried everywhere a knob used to
+    be a scattered optional argument.
+
+    [Fixed] is the paper's regime: train length and retransmission timer
+    chosen a priori. [Adaptive] layers an AIMD controller (see {!Adapt})
+    over the blast train length, driven by per-round loss and the
+    receiver-advertised budget in the wire format's v2 ACK/NACK. *)
+
+type pacing =
+  | No_pacing  (** blast back-to-back (the paper's behaviour) *)
+  | Fixed_gap of int  (** sleep this many ns between data packets *)
+  | Rtt_spread
+      (** derive the gap from the smoothed RTT: one train spread across one
+          RTT, so the wire sees a steady stream instead of bursts *)
+
+val pacing_name : pacing -> string
+val pp_pacing : Format.formatter -> pacing -> unit
+
+type fixed = { retransmit_ns : int; max_attempts : int; pacing : pacing }
+
+type aimd = {
+  init_train : int;  (** train length for the first round *)
+  min_train : int;  (** floor; the controller never goes below *)
+  max_train : int;  (** ceiling, further capped by the receiver's budget *)
+  increase : int;  (** additive growth per clean round *)
+  decrease : float;
+      (** multiplicative backoff for a fully lost round, in (0, 1); partial
+          loss scales the backoff by the round's loss fraction *)
+  retransmit_ns : int;
+  max_attempts : int;  (** give up after this many rounds without progress *)
+  pacing : pacing;
+}
+
+type t = Fixed of fixed | Adaptive of aimd
+
+val fixed : ?retransmit_ns:int -> ?max_attempts:int -> ?pacing:pacing -> unit -> t
+(** Defaults: 200 ms timer, 50 attempts, no pacing — the values
+    [Config.make] always defaulted to. Raises [Invalid_argument] on
+    non-positive knobs. *)
+
+val adaptive :
+  ?init_train:int ->
+  ?min_train:int ->
+  ?max_train:int ->
+  ?increase:int ->
+  ?decrease:float ->
+  ?retransmit_ns:int ->
+  ?max_attempts:int ->
+  ?pacing:pacing ->
+  unit ->
+  t
+(** Defaults: trains 1..128 starting at 8, +4 per clean round, halve on
+    loss, 200 ms timer, 50 no-progress rounds, no pacing. Validates the
+    train bounds and backoff factor. *)
+
+val default : t
+(** [fixed ()] — the paper's a-priori geometry. *)
+
+val wire_default : t
+(** [fixed ~retransmit_ns:50_000_000 ()] — the timer the UDP transport
+    layers have always defaulted to (LAN RTTs make 200 ms needlessly slow). *)
+
+val retransmit_ns : t -> int
+val max_attempts : t -> int
+val pacing : t -> pacing
+val is_adaptive : t -> bool
+
+val aimd : t -> aimd option
+(** The controller parameters of an [Adaptive] tuning. *)
+
+val with_retransmit_ns : t -> int -> t
+val with_max_attempts : t -> int -> t
+val with_pacing : t -> pacing -> t
+
+val negotiate_down : t -> t
+(** What an adaptive sender runs against a peer that cannot (old wire
+    version) or will not (fixed-tuned receiver) advertise budgets: same
+    timers and pacing, fixed trains. Identity on [Fixed]. *)
+
+val name : t -> string
+(** ["fixed"] or ["adaptive"]. *)
+
+val to_string : t -> string
+(** Self-describing one-liner for bench and DST journal headers. *)
+
+val pp : Format.formatter -> t -> unit
+val equal : t -> t -> bool

@@ -54,9 +54,18 @@ type put_result = {
    ephemeral socket: distinct source ports keep the engine's (address,
    transfer id) flow keys distinct even though every sub-transfer shares
    the object id. *)
-let blast ?ctx ?packet_bytes ?retransmit_ns ?max_attempts
+let blast ?ctx ?packet_bytes ?tuning
     ?(suite = Protocol.Suite.Blast Protocol.Blast.Go_back_n) ~peer_of ~object_id
     ~stripes ~data job =
+  (* [tuning] supersedes whatever the shared context carries — every
+     sub-transfer of one put must run the same regime. *)
+  let ctx =
+    match tuning with
+    | None -> ctx
+    | Some tuning ->
+        let base = match ctx with Some c -> c | None -> Sockets.Io_ctx.default () in
+        Some { base with Sockets.Io_ctx.tuning }
+  in
   let socket, _ = Sockets.Udp.create_socket () in
   Fun.protect
     ~finally:(fun () -> Sockets.Udp.close socket)
@@ -65,7 +74,7 @@ let blast ?ctx ?packet_bytes ?retransmit_ns ?max_attempts
         { Packet.Stripe.object_id; index = job.stripe; count = stripes }
       in
       let result =
-        Sockets.Peer.send ?ctx ?packet_bytes ?retransmit_ns ?max_attempts
+        Sockets.Peer.send ?ctx ?packet_bytes
           ~transfer_id:object_id ~stripe ~socket ~peer:(peer_of job.server) ~suite
           ~data:(String.sub data job.offset job.bytes) ()
       in
@@ -75,7 +84,7 @@ let blast ?ctx ?packet_bytes ?retransmit_ns ?max_attempts
         elapsed_ns = result.Sockets.Peer.elapsed_ns;
       })
 
-let put ?pool ?jobs ?ctx ?packet_bytes ?retransmit_ns ?max_attempts
+let put ?pool ?jobs ?ctx ?packet_bytes ?tuning
     ?(suite = Protocol.Suite.Blast Protocol.Blast.Go_back_n) ~placement ~peer_of
     ~object_id ~stripes ~replicas ~quorum ~data () =
   if quorum <= 0 || quorum > replicas then
@@ -86,7 +95,7 @@ let put ?pool ?jobs ?ctx ?packet_bytes ?retransmit_ns ?max_attempts
   in
   let results =
     Exec.Pool.map ?pool ?jobs
-      ~f:(blast ?ctx ?packet_bytes ?retransmit_ns ?max_attempts ~suite ~peer_of
+      ~f:(blast ?ctx ?packet_bytes ?tuning ~suite ~peer_of
             ~object_id ~stripes ~data)
       work
   in

@@ -46,8 +46,7 @@ type blast_result = {
 val blast :
   ?ctx:Sockets.Io_ctx.t ->
   ?packet_bytes:int ->
-  ?retransmit_ns:int ->
-  ?max_attempts:int ->
+  ?tuning:Protocol.Tuning.t ->
   ?suite:Protocol.Suite.t ->
   peer_of:(int -> Unix.sockaddr) ->
   object_id:int ->
@@ -71,8 +70,7 @@ val put :
   ?jobs:int ->
   ?ctx:Sockets.Io_ctx.t ->
   ?packet_bytes:int ->
-  ?retransmit_ns:int ->
-  ?max_attempts:int ->
+  ?tuning:Protocol.Tuning.t ->
   ?suite:Protocol.Suite.t ->
   placement:Placement.t ->
   peer_of:(int -> Unix.sockaddr) ->

@@ -44,8 +44,8 @@ let placement ?vnodes ~seed t =
 let live_placement ?vnodes ~seed t =
   Placement.create ?vnodes ~seed (alive t)
 
-let create ?(address = "127.0.0.1") ?(base_port = 0) ?max_flows ?retransmit_ns
-    ?max_attempts ?idle_timeout_ns ?linger_ns ?fallback_suite ?scenario
+let create ?(address = "127.0.0.1") ?(base_port = 0) ?max_flows
+    ?idle_timeout_ns ?linger_ns ?fallback_suite ?scenario
     ?(seed = 1) ?drain_budget ?ctx ?(on_complete = fun _ _ -> ()) ?flowtrace
     ?admin_port ?stats_interval_ns ?(on_snapshot = fun _ -> ()) ~servers () =
   if servers <= 0 then invalid_arg "Fleet.create: servers must be positive";
@@ -84,7 +84,7 @@ let create ?(address = "127.0.0.1") ?(base_port = 0) ?max_flows ?retransmit_ns
             Atomic.set want_snapshot false
     in
     let engine =
-      Server.Engine.create ?max_flows ?retransmit_ns ?max_attempts
+      Server.Engine.create ?max_flows
         ?idle_timeout_ns ?linger_ns ?fallback_suite ?scenario
         ~seed:(seed + (7919 * index))
         ?drain_budget ~ctx ~on_complete:(on_complete index) ?flowtrace ~on_idle

@@ -91,7 +91,7 @@ let survey ?attempts ?timeout_ns ~peer_of ~object_id ~stripes servers =
     servers;
   (manifest, List.rev !answered, List.rev !unresponsive)
 
-let run ?pool ?jobs ?ctx ?packet_bytes ?retransmit_ns ?max_attempts ?suite
+let run ?pool ?jobs ?ctx ?packet_bytes ?tuning ?suite
     ?attempts ?timeout_ns ~placement ~peer_of ~object_id ~stripes ~replicas ~data
     () =
   let started = Sockets.Udp.now_ns () in
@@ -112,7 +112,7 @@ let run ?pool ?jobs ?ctx ?packet_bytes ?retransmit_ns ?max_attempts ?suite
           { Client.stripe = a.stripe; replica = -1; server = a.server; offset; bytes }
         in
         let r =
-          Client.blast ?ctx ?packet_bytes ?retransmit_ns ?max_attempts ?suite
+          Client.blast ?ctx ?packet_bytes ?tuning ?suite
             ~peer_of ~object_id ~stripes ~data job
         in
         (a, r.Client.outcome))

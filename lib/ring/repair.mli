@@ -67,8 +67,7 @@ val run :
   ?jobs:int ->
   ?ctx:Sockets.Io_ctx.t ->
   ?packet_bytes:int ->
-  ?retransmit_ns:int ->
-  ?max_attempts:int ->
+  ?tuning:Protocol.Tuning.t ->
   ?suite:Protocol.Suite.t ->
   ?attempts:int ->
   ?timeout_ns:int ->

@@ -50,6 +50,9 @@ type health = {
   mutable ticks : int;
   mutable drain_exhausted : int;
       (** wakeups that consumed the whole drain budget — backlog evidence *)
+  mutable last_drain_exhausted : int;
+      (** [drain_exhausted] at the previous budget advert — a fresh
+          exhaustion since then reads as live socket pressure *)
   mutable spurious_wakeups : int;
       (** wakeups that found nothing: no datagram, no due timer, no stats
           emission, no admin socket to poll — the waste the derived wait
@@ -64,6 +67,7 @@ let create_health () =
     timer_heap_depth = Obs.Hist.create ~lo:1. ~hi:1e6 ~bins:120 ();
     ticks = 0;
     drain_exhausted = 0;
+    last_drain_exhausted = 0;
     spurious_wakeups = 0;
   }
 
@@ -105,8 +109,7 @@ type flow_state = {
 type t = {
   transport : Sockets.Transport.t;
   max_flows : int;
-  retransmit_ns : int;
-  max_attempts : int;
+  tuning : Protocol.Tuning.t;
   idle_timeout_ns : int option;
   linger_ns : int option;
   fallback_suite : Protocol.Suite.t option;
@@ -144,7 +147,7 @@ type t = {
   mutable tx_queued : int;  (** sends since the last flush point *)
 }
 
-let create ?(max_flows = 64) ?(retransmit_ns = 50_000_000) ?(max_attempts = 50)
+let create ?(max_flows = 64)
     ?idle_timeout_ns ?linger_ns ?fallback_suite ?scenario ?(seed = 1)
     ?(drain_budget = 64) ?ctx ?(on_complete = fun _ -> ()) ?flowtrace ?admin
     ?stats_interval_ns ?(on_snapshot = fun _ -> ()) ?(on_idle = fun () -> ())
@@ -152,7 +155,7 @@ let create ?(max_flows = 64) ?(retransmit_ns = 50_000_000) ?(max_attempts = 50)
   if max_flows < 0 then invalid_arg "Engine.create: negative max_flows";
   if drain_budget <= 0 then invalid_arg "Engine.create: drain_budget must be positive";
   let ctx = match ctx with Some c -> c | None -> Sockets.Io_ctx.default () in
-  let { Sockets.Io_ctx.recorder; metrics; clock; batch = _; faults = _ } = ctx in
+  let { Sockets.Io_ctx.recorder; metrics; clock; batch = _; faults = _; tuning } = ctx in
   Option.iter (fun r -> Obs.Recorder.set_clock r clock) recorder;
   let label_prefix =
     match (lane_prefix, shard) with
@@ -169,8 +172,7 @@ let create ?(max_flows = 64) ?(retransmit_ns = 50_000_000) ?(max_attempts = 50)
   {
     transport;
     max_flows;
-    retransmit_ns;
-    max_attempts;
+    tuning;
     idle_timeout_ns;
     linger_ns;
     fallback_suite;
@@ -428,6 +430,33 @@ let reject t ~now ~from ~transfer_id =
         t.max_flows);
   send_now t ~on_outcome:(put t) from (Packet.Codec.encode (Packet.Message.rej ~transfer_id))
 
+(* Receiver-advertised train budget, recomputed at every solicit. The pool
+   an adaptive sender may fill is the tuning's [max_train] (or the nominal
+   128 when the engine itself runs fixed tuning), shared fairly across the
+   flows currently multiplexed on this engine; when the drain loop has been
+   hitting its budget (socket pressure) or the timer heap is backed up
+   relative to the flow count, the advert is halved. Every input — flow
+   count, heap depth, drain-exhaustion count — is a deterministic function
+   of the event stream, so the advert is reproducible under DST virtual
+   time. *)
+let advertised_budget t =
+  let pool =
+    match Protocol.Tuning.aimd t.tuning with
+    | Some aimd -> aimd.Protocol.Tuning.max_train
+    | None -> 128
+  in
+  let active = max 1 (Hashtbl.length t.flows) in
+  (* Fair share, floored at half the drain budget: the socket buffer absorbs
+     a train-sized burst per flow and every wakeup retires [drain_budget]
+     datagrams, so capping each of N flows to a 1/N sliver of the pool just
+     idles the engine between wakeups. Genuine pressure still halves the
+     advert below the floor. *)
+  let share = max 1 (max (min pool (t.drain_budget / 2)) (pool / active)) in
+  let heap_backlog = Timers.length t.timers > 2 * active in
+  let drain_pressure = t.health.drain_exhausted > t.health.last_drain_exhausted in
+  t.health.last_drain_exhausted <- t.health.drain_exhausted;
+  if heap_backlog || drain_pressure then max 1 (share / 2) else share
+
 let admit t ~now ~from message =
   if Hashtbl.length t.flows >= t.max_flows then
     reject t ~now ~from ~transfer_id:message.Packet.Message.transfer_id
@@ -453,9 +482,10 @@ let admit t ~now ~from message =
           Some netem
     in
     match
-      Sockets.Flow.create ?fallback_suite:t.fallback_suite ~retransmit_ns:t.retransmit_ns
-        ~max_attempts:t.max_attempts ?idle_timeout_ns:t.idle_timeout_ns
-        ?linger_ns:t.linger_ns ~probe ~counters ~now message
+      Sockets.Flow.create ?fallback_suite:t.fallback_suite ~tuning:t.tuning
+        ~budget:(fun () -> advertised_budget t)
+        ?idle_timeout_ns:t.idle_timeout_ns ?linger_ns:t.linger_ns ~probe ~counters ~now
+        message
     with
     | Error (`Not_a_req | `Bad_geometry) ->
         (* A REQ whose geometry does not decode is indistinguishable from

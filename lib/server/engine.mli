@@ -70,6 +70,7 @@ type health = {
   timer_heap_depth : Obs.Hist.t;
   mutable ticks : int;
   mutable drain_exhausted : int;
+  mutable last_drain_exhausted : int;
   mutable spurious_wakeups : int;
 }
 
@@ -86,8 +87,6 @@ type t
 
 val create :
   ?max_flows:int ->
-  ?retransmit_ns:int ->
-  ?max_attempts:int ->
   ?idle_timeout_ns:int ->
   ?linger_ns:int ->
   ?fallback_suite:Protocol.Suite.t ->
@@ -109,8 +108,13 @@ val create :
   t
 (** The engine serves on [transport] — {!Sockets.Transport.udp} over a real
     socket, or a memnet endpoint under virtual time; the loop cannot tell.
-    Defaults: 64 concurrent flows, 50 ms retransmission interval, 50
-    attempts, drain budget 64. [scenario] injects faults independently per
+    Defaults: 64 concurrent flows, drain budget 64; timers and attempts come
+    from [ctx.tuning] (default {!Protocol.Tuning.wire_default} — 50 ms
+    retransmission interval, 50 attempts). Every admitted flow advertises a
+    train budget to adaptive senders: a fair share of the tuning's
+    [max_train] across active flows, halved while the drain loop is
+    exhausting its budget or the timer heap runs deep — engine health as
+    flow control. [scenario] injects faults independently per
     flow, seeded from [seed] and the flow's admission index
     ([Stats.Rng.derive]), so a run replays exactly — [ctx.faults] is ignored
     here, since one shared pipeline would entangle the flows' randomness;

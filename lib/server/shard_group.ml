@@ -31,8 +31,8 @@ let address t = t.address
 let port t =
   match t.address with Unix.ADDR_INET (_, p) -> p | Unix.ADDR_UNIX _ -> 0
 
-let create ?(address = "127.0.0.1") ?(port = 0) ?max_flows ?retransmit_ns
-    ?max_attempts ?idle_timeout_ns ?linger_ns ?fallback_suite ?scenario
+let create ?(address = "127.0.0.1") ?(port = 0) ?max_flows
+    ?idle_timeout_ns ?linger_ns ?fallback_suite ?scenario
     ?(seed = 1) ?drain_budget ?ctx ?(on_complete = fun _ -> ()) ?flowtrace
     ?admin_port ?stats_interval_ns ?(on_snapshot = fun _ -> ()) ~shards () =
   if shards <= 0 then invalid_arg "Shard_group.create: shards must be positive";
@@ -80,7 +80,7 @@ let create ?(address = "127.0.0.1") ?(port = 0) ?max_flows ?retransmit_ns
             Atomic.set want_snapshot false
     in
     let engine =
-      Engine.create ?max_flows ?retransmit_ns ?max_attempts ?idle_timeout_ns
+      Engine.create ?max_flows ?idle_timeout_ns
         ?linger_ns ?fallback_suite ?scenario
         ~seed:(seed + (7919 * index))
         ?drain_budget ~ctx ~on_complete ?flowtrace ~on_idle ~shard:index

@@ -28,8 +28,6 @@ val create :
   ?address:string ->
   ?port:int ->
   ?max_flows:int ->
-  ?retransmit_ns:int ->
-  ?max_attempts:int ->
   ?idle_timeout_ns:int ->
   ?linger_ns:int ->
   ?fallback_suite:Protocol.Suite.t ->

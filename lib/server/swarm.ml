@@ -53,7 +53,7 @@ let pp_report ppf r =
 let payload_for rng bytes = String.init bytes (fun _ -> Char.chr (Stats.Rng.int rng 256))
 
 let run ?max_flows ?jobs ?(bytes = 64 * 1024) ?(packet_bytes = 1024)
-    ?(retransmit_ns = 20_000_000) ?(max_attempts = 50) ?idle_timeout_ns
+    ?(tuning = Protocol.Tuning.fixed ~retransmit_ns:20_000_000 ()) ?idle_timeout_ns
     ?(suite = Protocol.Suite.Blast Protocol.Blast.Go_back_n) ?scenario ?server_scenario
     ?(seed = 42) ?ctx ?flowtrace ?admin_port ?stats_interval_ns ?on_snapshot
     ?(shards = 1) ~flows () =
@@ -61,6 +61,9 @@ let run ?max_flows ?jobs ?(bytes = 64 * 1024) ?(packet_bytes = 1024)
   if bytes <= 0 then invalid_arg "Swarm.run: bytes must be positive";
   if shards <= 0 then invalid_arg "Swarm.run: shards must be positive";
   let ctx = match ctx with Some c -> c | None -> Sockets.Io_ctx.default () in
+  (* One tuning for the whole swarm: the engines read it from their context,
+     the senders from theirs. *)
+  let ctx = { ctx with Sockets.Io_ctx.tuning } in
   let metrics = ctx.Sockets.Io_ctx.metrics in
   let completions = ref [] in
   let on_complete event = completions := event :: !completions in
@@ -80,7 +83,7 @@ let run ?max_flows ?jobs ?(bytes = 64 * 1024) ?(packet_bytes = 1024)
       in
       let admin = Option.map (fun port -> Admin.create ~port ()) admin_port in
       let engine =
-        Engine.create ?max_flows ~retransmit_ns ~max_attempts ?idle_timeout_ns
+        Engine.create ?max_flows ?idle_timeout_ns
           ?scenario:server_scenario ~seed:(seed + 1) ~ctx ~on_complete ?flowtrace ?admin
           ?stats_interval_ns ?on_snapshot ~transport ()
       in
@@ -89,7 +92,7 @@ let run ?max_flows ?jobs ?(bytes = 64 * 1024) ?(packet_bytes = 1024)
     end
     else begin
       let group =
-        Shard_group.create ?max_flows ~retransmit_ns ~max_attempts ?idle_timeout_ns
+        Shard_group.create ?max_flows ?idle_timeout_ns
           ?scenario:server_scenario ~seed:(seed + 1) ~ctx ~on_complete ?flowtrace
           ?admin_port ?stats_interval_ns ?on_snapshot ~shards ()
       in
@@ -123,8 +126,7 @@ let run ?max_flows ?jobs ?(bytes = 64 * 1024) ?(packet_bytes = 1024)
       (fun () ->
         let result =
           Sockets.Peer.send ~ctx:sender_ctx ~transfer_id:(index + 1) ~packet_bytes
-            ~retransmit_ns ~max_attempts ?idle_timeout_ns ~socket:sender_socket
-            ~peer:server_address ~suite ~data ()
+            ?idle_timeout_ns ~socket:sender_socket ~peer:server_address ~suite ~data ()
         in
         {
           index;

@@ -54,8 +54,7 @@ val run :
   ?jobs:int ->
   ?bytes:int ->
   ?packet_bytes:int ->
-  ?retransmit_ns:int ->
-  ?max_attempts:int ->
+  ?tuning:Protocol.Tuning.t ->
   ?idle_timeout_ns:int ->
   ?suite:Protocol.Suite.t ->
   ?scenario:Faults.Scenario.t ->
@@ -70,8 +69,9 @@ val run :
   flows:int ->
   unit ->
   report
-(** Defaults: 64 KiB per flow, 1 KiB packets, 20 ms retransmission interval,
-    50 attempts, go-back-N blast, seed 42, [jobs = flows] (the pool clamps
+(** Defaults: 64 KiB per flow, 1 KiB packets, fixed tuning with a 20 ms
+    retransmission interval and 50 attempts, go-back-N blast, seed 42,
+    [jobs = flows] (the pool clamps
     to at most 64 — true concurrency for any [flows] the engine's default
     cap admits). [scenario] faults the senders, [server_scenario] the
     server; both are per-flow independent and seeded from [seed] —

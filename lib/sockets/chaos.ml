@@ -50,17 +50,24 @@ let check_invariant ~data ~max_attempts ~total_packets send received =
                construction: both threads returned). *)
             None)
 
-let run_one ?(packet_bytes = 512) ?(retransmit_ns = 8_000_000) ?(max_attempts = 30)
-    ?(bytes = 6_000) ?ctx ~seed ~suite ~scenario () =
+(* The soak's fast-loopback timers: short enough that a campaign cell with
+   an adversarial pipeline still finishes in tens of milliseconds. *)
+let default_tuning = Protocol.Tuning.fixed ~retransmit_ns:8_000_000 ~max_attempts:30 ()
+
+let run_one ?(packet_bytes = 512) ?tuning ?(bytes = 6_000) ?ctx ~seed ~suite ~scenario ()
+    =
   let ctx = match ctx with Some c -> c | None -> Io_ctx.default () in
+  let tuning = match tuning with Some t -> t | None -> default_tuning in
+  let retransmit_ns = Protocol.Tuning.retransmit_ns tuning in
+  let max_attempts = Protocol.Tuning.max_attempts tuning in
   let data = random_data (Stats.Rng.create ~seed:(seed * 11 + 5)) bytes in
   let sender_netem = Faults.Netem.create ~seed:((seed * 2) + 1) scenario in
   let receiver_netem = Faults.Netem.create ~seed:((seed * 2) + 2) scenario in
   (* Each endpoint gets the shared telemetry context with its own netem in
      the faults slot; a caller-supplied ctx.faults is superseded — the whole
      point of a chaos run is its seeded per-endpoint pipelines. *)
-  let sender_ctx = { ctx with Io_ctx.faults = Some sender_netem } in
-  let receiver_ctx = { ctx with Io_ctx.faults = Some receiver_netem } in
+  let sender_ctx = { ctx with Io_ctx.faults = Some sender_netem; tuning } in
+  let receiver_ctx = { ctx with Io_ctx.faults = Some receiver_netem; tuning } in
   let receiver_socket, receiver_address = Udp.create_socket () in
   let sender_socket, _ = Udp.create_socket () in
   let idle_timeout_ns = max_attempts * retransmit_ns in
@@ -74,16 +81,16 @@ let run_one ?(packet_bytes = 512) ?(retransmit_ns = 8_000_000) ?(max_attempts = 
         try
           received :=
             Some
-              (Peer.serve_one ~ctx:receiver_ctx ~retransmit_ns ~max_attempts
-                 ~idle_timeout_ns ~accept_timeout_ns ~socket:receiver_socket ())
+              (Peer.serve_one ~ctx:receiver_ctx ~idle_timeout_ns ~accept_timeout_ns
+                 ~socket:receiver_socket ())
         with _ -> ())
       ()
   in
   let send =
     try
       Some
-        (Peer.send ~ctx:sender_ctx ~packet_bytes ~retransmit_ns ~max_attempts
-           ~idle_timeout_ns ~socket:sender_socket ~peer:receiver_address ~suite ~data ())
+        (Peer.send ~ctx:sender_ctx ~packet_bytes ~idle_timeout_ns ~socket:sender_socket
+           ~peer:receiver_address ~suite ~data ())
     with _ -> None
   in
   Thread.join receiver_thread;
@@ -119,9 +126,9 @@ let all_suites =
     Protocol.Suite.Multi_blast { strategy = Protocol.Blast.Go_back_n; chunk_packets = 4 };
   ]
 
-let run_campaign ?packet_bytes ?retransmit_ns ?max_attempts ?bytes ?ctx
-    ?(suites = all_suites) ?(scenarios = Faults.Scenario.all) ?(iters = 1) ?(seed = 1)
-    ?(progress = fun _ -> ()) ?pool ?jobs () =
+let run_campaign ?packet_bytes ?tuning ?bytes ?ctx ?(suites = all_suites)
+    ?(scenarios = Faults.Scenario.all) ?(iters = 1) ?(seed = 1) ?(progress = fun _ -> ())
+    ?pool ?jobs () =
   (* Flatten the suite x scenario x iter nest into an explicit cell list so
      the cells can run on a domain pool. Each cell's seed is a function of
      its position only, so the runs are the same whatever the parallelism;
@@ -146,8 +153,7 @@ let run_campaign ?packet_bytes ?retransmit_ns ?max_attempts ?bytes ?ctx
   let progress_lock = Mutex.create () in
   Exec.Pool.map ?pool ?jobs cells ~f:(fun (suite, scenario, seed) ->
       let run =
-        run_one ?packet_bytes ?retransmit_ns ?max_attempts ?bytes ?ctx ~seed ~suite
-          ~scenario ()
+        run_one ?packet_bytes ?tuning ?bytes ?ctx ~seed ~suite ~scenario ()
       in
       Mutex.lock progress_lock;
       Fun.protect ~finally:(fun () -> Mutex.unlock progress_lock) (fun () -> progress run);

@@ -32,8 +32,7 @@ val outcome_name : run -> string
 
 val run_one :
   ?packet_bytes:int ->
-  ?retransmit_ns:int ->
-  ?max_attempts:int ->
+  ?tuning:Protocol.Tuning.t ->
   ?bytes:int ->
   ?ctx:Io_ctx.t ->
   seed:int ->
@@ -42,8 +41,10 @@ val run_one :
   unit ->
   run
 (** One transfer, fully deterministic in [seed] modulo scheduling noise.
-    Defaults are sized for a fast soak: 6000 bytes in 512-byte packets, 8 ms
-    retransmission interval, 30 attempts.
+    Defaults are sized for a fast soak: 6000 bytes in 512-byte packets,
+    fixed tuning with an 8 ms retransmission interval and 30 attempts
+    ([tuning] supersedes any tuning already in [ctx] — both endpoints must
+    share it).
 
     [ctx] carries the shared telemetry sinks and the batching switch; each
     endpoint gets a derived context with its own seeded Netem in the faults
@@ -60,8 +61,7 @@ val all_suites : Protocol.Suite.t list
 
 val run_campaign :
   ?packet_bytes:int ->
-  ?retransmit_ns:int ->
-  ?max_attempts:int ->
+  ?tuning:Protocol.Tuning.t ->
   ?bytes:int ->
   ?ctx:Io_ctx.t ->
   ?suites:Protocol.Suite.t list ->

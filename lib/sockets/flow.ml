@@ -164,7 +164,7 @@ let abort t ~outcome =
 
 let default_max_transfer_bytes = 256 * 1024 * 1024
 
-let create ?fallback_suite ?(retransmit_ns = 50_000_000) ?(max_attempts = 50)
+let create ?fallback_suite ?(tuning = Protocol.Tuning.wire_default) ?budget
     ?idle_timeout_ns ?linger_ns ?(max_transfer_bytes = default_max_transfer_bytes) ~probe
     ~counters ~now req =
   if req.Packet.Message.kind <> Packet.Kind.Req then Error `Not_a_req
@@ -184,23 +184,49 @@ let create ?fallback_suite ?(retransmit_ns = 50_000_000) ?(max_attempts = 50)
             | None, Some fallback -> fallback
             | None, None -> Protocol.Suite.Blast Protocol.Blast.Go_back_n
           in
+          (* A budget-stamped (wire v2) REQ asks for adaptive trains, and
+             the receiver always obliges — answering with budget-stamped
+             ACK/NACKs is how it sheds load through the protocol. A plain
+             v1 REQ pins the flow to the fixed regime whatever this server
+             prefers: the sender cannot parse budgets it never asked for. *)
+          let adaptive_req = Packet.Message.budget req <> None in
+          let retransmit_ns = Protocol.Tuning.retransmit_ns tuning in
+          let max_attempts = Protocol.Tuning.max_attempts tuning in
+          let tuning =
+            if adaptive_req then
+              if Protocol.Tuning.is_adaptive tuning then tuning
+              else Protocol.Tuning.adaptive ~retransmit_ns ~max_attempts ()
+            else Protocol.Tuning.negotiate_down tuning
+          in
           let total_packets = (total_bytes + packet_bytes - 1) / packet_bytes in
           let config =
-            Protocol.Config.make ~transfer_id ~packet_bytes ~retransmit_ns ~max_attempts
-              ~total_packets ()
+            Protocol.Config.make ~transfer_id ~packet_bytes ~tuning ~total_packets ()
           in
-          let machine = Protocol.Suite.receiver suite ~counters config in
+          let budget_now () =
+            match budget with
+            | Some f -> f ()
+            | None -> (
+                match Protocol.Tuning.aimd tuning with
+                | Some a -> a.Protocol.Tuning.max_train
+                | None -> 0xFFFF)
+          in
+          let machine = Protocol.Suite.receiver suite ~counters ~budget:budget_now config in
           let idle_timeout_ns =
             Option.value idle_timeout_ns ~default:(max_attempts * retransmit_ns)
           in
           let linger_ns = Option.value linger_ns ~default:(3 * retransmit_ns) in
+          let handshake_ack =
+            let ack = Packet.Message.ack ~transfer_id ~seq:0 ~total:total_packets in
+            if adaptive_req then Packet.Message.with_budget ack (max 0 (budget_now ()))
+            else ack
+          in
           let t =
             {
               transfer_id;
               machine;
               counters;
               probe;
-              handshake_ack = Packet.Message.ack ~transfer_id ~seq:0 ~total:total_packets;
+              handshake_ack;
               buffer = Bytes.create total_bytes;
               packet_bytes;
               total_bytes;

@@ -42,8 +42,8 @@ type t
 
 val create :
   ?fallback_suite:Protocol.Suite.t ->
-  ?retransmit_ns:int ->
-  ?max_attempts:int ->
+  ?tuning:Protocol.Tuning.t ->
+  ?budget:(unit -> int) ->
   ?idle_timeout_ns:int ->
   ?linger_ns:int ->
   ?max_transfer_bytes:int ->
@@ -57,11 +57,20 @@ val create :
     [`Bad_geometry] when its payload does not decode, describes a
     non-positive size, or claims more than [max_transfer_bytes] (default
     256 MiB — a server must not let one unauthenticated datagram size an
-    arbitrary allocation). Defaults: 50 ms retransmission interval, 50
-    attempts, idle watchdog [max_attempts * retransmit_ns], linger
-    [3 * retransmit_ns]. The probe's [rx] fires for the REQ here; the suite
-    normally travels in the REQ and [fallback_suite] only covers senders
-    that omit it. *)
+    arbitrary allocation).
+
+    [tuning] (default {!Protocol.Tuning.wire_default}) supplies the timers:
+    idle watchdog defaults to [max_attempts * retransmit_ns], linger to
+    [3 * retransmit_ns]. A budget-stamped (wire v2) REQ makes the flow
+    adaptive regardless of the tuning's regime — its ACK/NACKs carry the
+    receiver-advertised budget, sampled from [budget] at every solicit (the
+    multiplexed server passes a closure over engine health; the default
+    advertises the tuning's [max_train]). A plain v1 REQ pins the flow to
+    fixed trains even under adaptive tuning: the sender cannot parse budgets
+    it never asked for.
+
+    The probe's [rx] fires for the REQ here; the suite normally travels in
+    the REQ and [fallback_suite] only covers senders that omit it. *)
 
 val transfer_id : t -> int
 val counters : t -> Protocol.Counters.t

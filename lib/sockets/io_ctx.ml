@@ -4,10 +4,12 @@ type t = {
   metrics : Obs.Metrics.t option;
   clock : unit -> int;
   batch : bool;
+  tuning : Protocol.Tuning.t;
 }
 
-let make ?faults ?recorder ?metrics ?(clock = Udp.now_ns) ?batch () =
+let make ?faults ?recorder ?metrics ?(clock = Udp.now_ns) ?batch
+    ?(tuning = Protocol.Tuning.wire_default) () =
   let batch = match batch with Some b -> b | None -> Batch.env_enabled () in
-  { faults; recorder; metrics; clock; batch }
+  { faults; recorder; metrics; clock; batch; tuning }
 
 let default () = make ()

@@ -20,6 +20,10 @@ type t = {
   batch : bool;
       (** submit packet trains through {!Batch} ([sendmmsg]/[recvmmsg])
           instead of one syscall per datagram *)
+  tuning : Protocol.Tuning.t;
+      (** timers, attempts, train adaptation and pacing for every transfer
+          this endpoint runs — the layered replacement for the old
+          [?retransmit_ns]/[?max_attempts]/[?pacing_ns] argument sprawl *)
 }
 
 val make :
@@ -28,11 +32,13 @@ val make :
   ?metrics:Obs.Metrics.t ->
   ?clock:(unit -> int) ->
   ?batch:bool ->
+  ?tuning:Protocol.Tuning.t ->
   unit ->
   t
 (** [batch] defaults to {!Batch.env_enabled} — i.e. on, unless
     [LANREPRO_BATCH] says otherwise — so the CLI knob reaches every loop
-    that defaults its context. *)
+    that defaults its context. [tuning] defaults to
+    {!Protocol.Tuning.wire_default} (fixed trains, 50 ms timer). *)
 
 val default : unit -> t
 (** [make ()], evaluated at call time so the [LANREPRO_BATCH] knob is read

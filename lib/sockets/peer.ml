@@ -6,6 +6,7 @@ type send_result = {
   outcome : Protocol.Action.outcome;
   elapsed_ns : int;
   counters : Protocol.Counters.t;
+  adaptive : bool;
 }
 
 type integrity = Flow.integrity = Verified | Mismatch | Not_carried
@@ -64,9 +65,12 @@ let count_garbage = Flow.count_garbage
    independently of the protocol timer: without the watchdog a receiver that
    dies mid-transfer could block this loop on suites whose sender is waiting
    for an ack with no timer armed. (The receiver side no longer runs through
-   here — it drives the sans-IO {!Flow} engine instead.) *)
-let run_machine ?faults ?(lossy = Lossy.perfect) ?rtt ?(pacing_ns = 0) ?idle_timeout_ns
-    ~clock ~probe ~(transport : Transport.t) ~peer ~transfer_id
+   here — it drives the sans-IO {!Flow} engine instead.)
+
+   [pacing] is sampled per data packet, so an adaptive controller can steer
+   the gap round by round. *)
+let run_machine ?faults ?(lossy = Lossy.perfect) ?rtt ?(pacing = fun () -> 0)
+    ?idle_timeout_ns ~clock ~probe ~(transport : Transport.t) ~peer ~transfer_id
     ~(machine : Protocol.Machine.t) () =
   let deadline = ref None in
   let idle_deadline = ref (Option.map (fun ns -> clock () + ns) idle_timeout_ns) in
@@ -83,8 +87,9 @@ let run_machine ?faults ?(lossy = Lossy.perfect) ?rtt ?(pacing_ns = 0) ?idle_tim
            them. (Pacing and batching are mutually exclusive — the caller
            builds an unbatched transport when pacing — since a train
            submitted in one syscall has no inter-packet gaps.) *)
-        if pacing_ns > 0 && m.Packet.Message.kind = Packet.Kind.Data then
-          transport.Transport.sleep_ns pacing_ns;
+        (if m.Packet.Message.kind = Packet.Kind.Data then
+           let gap = pacing () in
+           if gap > 0 then transport.Transport.sleep_ns gap);
         last_send := Some (clock ());
         timed_out_since_send := false
     | Protocol.Action.Arm_timer ns ->
@@ -176,14 +181,39 @@ let run_machine ?faults ?(lossy = Lossy.perfect) ?rtt ?(pacing_ns = 0) ?idle_tim
   end
   else `Completed
 
-let send_via ?ctx ?(lossy = Lossy.perfect) ?(transfer_id = 1) ?(packet_bytes = 1024)
-    ?(retransmit_ns = 50_000_000) ?(max_attempts = 50) ?rtt ?pacing_ns ?idle_timeout_ns
-    ?stripe ~transport ~peer ~suite ~data () =
+(* Inter-packet gap for a fixed tuning. [Rtt_spread] without an adaptive
+   controller spreads a nominal 32-packet train across the smoothed RTT. *)
+let fixed_pacing ~tuning ~rtt () =
+  match Protocol.Tuning.pacing tuning with
+  | Protocol.Tuning.No_pacing -> 0
+  | Protocol.Tuning.Fixed_gap ns -> ns
+  | Protocol.Tuning.Rtt_spread -> (
+      match Option.bind rtt Protocol.Rtt.srtt_ns with
+      | Some srtt when srtt > 0 -> srtt / 32
+      | Some _ | None -> 0)
+
+let send_via ?ctx ?(lossy = Lossy.perfect) ?transfer_id ?(packet_bytes = 1024) ?rtt
+    ?idle_timeout_ns ?stripe ~transport ~peer ~suite ~data () =
   if String.length data = 0 then invalid_arg "Peer.send: empty data";
   let ctx = match ctx with Some c -> c | None -> Io_ctx.default () in
-  let { Io_ctx.faults; recorder; metrics; clock; batch = _ } = ctx in
+  let { Io_ctx.faults; recorder; metrics; clock; batch = _; tuning } = ctx in
+  let transfer_id =
+    match transfer_id with Some id -> id | None -> Protocol.Config.fresh_transfer_id ()
+  in
+  let retransmit_ns = Protocol.Tuning.retransmit_ns tuning in
+  let max_attempts = Protocol.Tuning.max_attempts tuning in
   let idle_timeout_ns =
     Option.value idle_timeout_ns ~default:(max_attempts * retransmit_ns)
+  in
+  (* RTT estimation is load-bearing for adaptive tuning (pacing and timeout
+     both derive from it), an opt-in refinement otherwise. *)
+  let rtt =
+    match rtt with
+    | Some _ as r -> r
+    | None ->
+        if Protocol.Tuning.is_adaptive tuning then
+          Some (Protocol.Rtt.create ~initial_ns:retransmit_ns ())
+        else None
   in
   let counters = Protocol.Counters.create () in
   (* Journal timestamps come from the context clock on this transport. *)
@@ -196,10 +226,6 @@ let send_via ?ctx ?(lossy = Lossy.perfect) ?(transfer_id = 1) ?(packet_bytes = 1
   | None -> ());
   let total_bytes = String.length data in
   let total_packets = (total_bytes + packet_bytes - 1) / packet_bytes in
-  let config =
-    Protocol.Config.make ~transfer_id ~packet_bytes ~retransmit_ns ~max_attempts
-      ~total_packets ()
-  in
   (* Reliable handshake: repeat REQ until ACK seq=0 comes back, then run the
      machine. A peer that never answers is a clean [Peer_unreachable], not an
      exception: chaos campaigns treat it as a bounded, reportable outcome. *)
@@ -211,8 +237,19 @@ let send_via ?ctx ?(lossy = Lossy.perfect) ?(transfer_id = 1) ?(packet_bytes = 1
           ~packet_bytes ~total_bytes suite;
     }
   in
+  (* An adaptive sender announces itself with a budget-stamped (wire v2)
+     REQ. An old receiver drops v2 as undecodable, so after two silent
+     attempts the sender starts alternating plain v1 REQs: whichever
+     version draws the ACK decides the regime — a budget on the handshake
+     ACK confirms adaptive trains, a bare ACK negotiates down to fixed. *)
+  let adaptive_wanted = Protocol.Tuning.is_adaptive tuning in
+  let req_for attempt =
+    if adaptive_wanted && (attempt <= 2 || attempt mod 2 = 1) then
+      Packet.Message.with_budget req 0
+    else req
+  in
   let started = clock () in
-  let finish ~outcome ~elapsed_ns =
+  let finish ~outcome ~elapsed_ns ~adaptive =
     Obs.Probe.complete probe outcome;
     (match outcome with
     | Protocol.Action.Success -> ()
@@ -230,14 +267,14 @@ let send_via ?ctx ?(lossy = Lossy.perfect) ?(transfer_id = 1) ?(packet_bytes = 1
         Obs.Metrics.set_gauge
           (Obs.Metrics.gauge m ~labels "elapsed_ms")
           (float_of_int elapsed_ns /. 1e6));
-    { outcome; elapsed_ns; counters }
+    { outcome; elapsed_ns; counters; adaptive }
   in
   (* The handshake is strictly send-one-wait-one, so it gains nothing from a
      train; each REQ is flushed out on its own. *)
   let rec handshake attempt =
     if attempt > max_attempts then `Unreachable
     else begin
-      transmit ?faults ~probe ~lossy ~transport ~peer req;
+      transmit ?faults ~probe ~lossy ~transport ~peer (req_for attempt);
       transport.Transport.flush ();
       match Transport.recv_message transport ~timeout_ns:retransmit_ns () with
       | `Timeout ->
@@ -251,7 +288,8 @@ let send_via ?ctx ?(lossy = Lossy.perfect) ?(transfer_id = 1) ?(packet_bytes = 1
             handshake (attempt + 1)
           else begin
             match m.Packet.Message.kind with
-            | Packet.Kind.Ack when m.Packet.Message.seq = 0 -> `Acknowledged
+            | Packet.Kind.Ack when m.Packet.Message.seq = 0 ->
+                `Acknowledged (Packet.Message.budget m)
             | Packet.Kind.Rej ->
                 (* Admission refusal from a saturated server: retrying into
                    it only adds load, so the sender gives up immediately
@@ -266,19 +304,49 @@ let send_via ?ctx ?(lossy = Lossy.perfect) ?(transfer_id = 1) ?(packet_bytes = 1
   | `Unreachable ->
       Log.info (fun f -> f "handshake exhausted %d attempts; peer unreachable" max_attempts);
       finish ~outcome:Protocol.Action.Peer_unreachable ~elapsed_ns:(clock () - started)
+        ~adaptive:false
   | `Rejected ->
       Log.info (fun f -> f "transfer %d rejected: server at capacity" transfer_id);
       finish ~outcome:Protocol.Action.Rejected ~elapsed_ns:(clock () - started)
-  | `Acknowledged ->
+        ~adaptive:false
+  | `Acknowledged handshake_budget ->
+      let adaptive = adaptive_wanted && handshake_budget <> None in
+      let tuning =
+        if adaptive then tuning else Protocol.Tuning.negotiate_down tuning
+      in
+      let config =
+        Protocol.Config.make ~transfer_id ~packet_bytes ~tuning ~total_packets ()
+      in
+      let ctrl =
+        if adaptive then
+          let c = Protocol.Adapt.create (Option.get (Protocol.Tuning.aimd tuning)) in
+          (match handshake_budget with
+          | Some b when b > 0 ->
+              Protocol.Adapt.on_budget c ~budget:b;
+              (* Open at the receiver's advertisement: flow control already
+                 said this train fits, so skip the additive ramp. *)
+              Protocol.Adapt.open_train c ~train:b
+          | _ -> ());
+          Some c
+        else None
+      in
+      let pacing =
+        match ctrl with
+        | Some c ->
+            fun () ->
+              Protocol.Adapt.pacing_gap_ns c
+                ~srtt_ns:(Option.bind rtt Protocol.Rtt.srtt_ns)
+        | None -> fixed_pacing ~tuning ~rtt
+      in
       let payload seq =
         let offset = seq * packet_bytes in
         String.sub data offset (min packet_bytes (total_bytes - offset))
       in
-      let machine = Protocol.Suite.sender suite ~counters config ~payload in
+      let machine = Protocol.Suite.sender suite ~counters ?ctrl config ~payload in
       let started = clock () in
       let status =
-        run_machine ?faults ~lossy ?rtt ?pacing_ns ~idle_timeout_ns ~clock ~probe
-          ~transport ~peer ~transfer_id ~machine ()
+        run_machine ?faults ~lossy ?rtt ~pacing ~idle_timeout_ns ~clock ~probe ~transport
+          ~peer ~transfer_id ~machine ()
       in
       (match faults with
       | Some netem -> ignore (Faults.Netem.flush netem : Faults.Netem.emission list)
@@ -292,23 +360,25 @@ let send_via ?ctx ?(lossy = Lossy.perfect) ?(transfer_id = 1) ?(packet_bytes = 1
             | Some outcome -> outcome
             | None -> Protocol.Action.Peer_unreachable)
       in
-      finish ~outcome ~elapsed_ns:(clock () - started)
+      finish ~outcome ~elapsed_ns:(clock () - started) ~adaptive
 
-let send ?ctx ?lossy ?transfer_id ?packet_bytes ?retransmit_ns ?max_attempts ?rtt
-    ?pacing_ns ?idle_timeout_ns ?stripe ~socket ~peer ~suite ~data () =
+let send ?ctx ?lossy ?transfer_id ?packet_bytes ?rtt ?idle_timeout_ns ?stripe ~socket
+    ~peer ~suite ~data () =
   let ctx = match ctx with Some c -> c | None -> Io_ctx.default () in
   (* Pacing wants an inter-packet gap, batching erases them: a paced sender
      stays on the one-datagram path. *)
-  let batch = ctx.Io_ctx.batch && Option.value pacing_ns ~default:0 = 0 in
+  let batch =
+    ctx.Io_ctx.batch
+    && Protocol.Tuning.pacing ctx.Io_ctx.tuning = Protocol.Tuning.No_pacing
+  in
   let transport = Transport.udp ~batch ~socket () in
-  send_via ~ctx ?lossy ?transfer_id ?packet_bytes ?retransmit_ns ?max_attempts ?rtt
-    ?pacing_ns ?idle_timeout_ns ?stripe ~transport ~peer ~suite ~data ()
+  send_via ~ctx ?lossy ?transfer_id ?packet_bytes ?rtt ?idle_timeout_ns ?stripe ~transport
+    ~peer ~suite ~data ()
 
-let serve_one_via ?ctx ?(lossy = Lossy.perfect) ?(retransmit_ns = 50_000_000)
-    ?(max_attempts = 50) ?linger_ns ?idle_timeout_ns ?accept_timeout_ns ?suite
-    ~(transport : Transport.t) () =
+let serve_one_via ?ctx ?(lossy = Lossy.perfect) ?linger_ns ?idle_timeout_ns
+    ?accept_timeout_ns ?suite ~(transport : Transport.t) () =
   let ctx = match ctx with Some c -> c | None -> Io_ctx.default () in
-  let { Io_ctx.faults; recorder; metrics; clock; batch = _ } = ctx in
+  let { Io_ctx.faults; recorder; metrics; clock; batch = _; tuning } = ctx in
   let counters = Protocol.Counters.create () in
   Option.iter (fun r -> Obs.Recorder.set_clock r clock) recorder;
   let probe = Obs.Probe.create ?recorder ~lane:"receiver" ~counters () in
@@ -357,8 +427,8 @@ let serve_one_via ?ctx ?(lossy = Lossy.perfect) ?(retransmit_ns = 50_000_000)
             end
             else
               match
-                Flow.create ?fallback_suite:suite ~retransmit_ns ~max_attempts
-                  ?idle_timeout_ns ?linger_ns ~probe ~counters ~now:(clock ()) m
+                Flow.create ?fallback_suite:suite ~tuning ?idle_timeout_ns ?linger_ns
+                  ~probe ~counters ~now:(clock ()) m
               with
               | Ok (flow, actions) -> `Flow (flow, actions, from)
               | Error (`Not_a_req | `Bad_geometry) -> await_flow ()
@@ -419,9 +489,9 @@ let serve_one_via ?ctx ?(lossy = Lossy.perfect) ?(retransmit_ns = 50_000_000)
       transport.Transport.flush ();
       result_of_completion completion
 
-let serve_one ?ctx ?lossy ?retransmit_ns ?max_attempts ?linger_ns ?idle_timeout_ns
-    ?accept_timeout_ns ?suite ~socket () =
+let serve_one ?ctx ?lossy ?linger_ns ?idle_timeout_ns ?accept_timeout_ns ?suite ~socket ()
+    =
   let ctx = match ctx with Some c -> c | None -> Io_ctx.default () in
   let transport = Transport.udp ~batch:ctx.Io_ctx.batch ~socket () in
-  serve_one_via ~ctx ?lossy ?retransmit_ns ?max_attempts ?linger_ns ?idle_timeout_ns
-    ?accept_timeout_ns ?suite ~transport ()
+  serve_one_via ~ctx ?lossy ?linger_ns ?idle_timeout_ns ?accept_timeout_ns ?suite
+    ~transport ()

@@ -7,25 +7,35 @@
     geometry — the V kernel's buffers-before-transfer contract — and then
     both sides run their machines.
 
-    Fault injection, telemetry, the clock and the batching switch all travel
-    in one {!Io_ctx.t} ([?ctx]); by default the context is empty with the
-    monotonic clock and batching per the [LANREPRO_BATCH] knob. Loopback
-    never drops datagrams, so faults are injected at the endpoints: {!Lossy}
-    for plain iid loss, or a {!Faults.Netem} (via [ctx.faults]) for the full
-    adversarial pipeline — bursts, duplication, reordering, bit flips,
-    truncation, delay.
+    Fault injection, telemetry, the clock, the batching switch and the
+    {!Protocol.Tuning.t} (timers, attempts, train adaptation, pacing) all
+    travel in one {!Io_ctx.t} ([?ctx]); by default the context is empty with
+    the monotonic clock, batching per the [LANREPRO_BATCH] knob, and
+    {!Protocol.Tuning.wire_default}. Loopback never drops datagrams, so
+    faults are injected at the endpoints: {!Lossy} for plain iid loss, or a
+    {!Faults.Netem} (via [ctx.faults]) for the full adversarial pipeline —
+    bursts, duplication, reordering, bit flips, truncation, delay.
+
+    {b Adaptive trains.} With [ctx.tuning = Adaptive _] the sender announces
+    itself by stamping a budget onto its REQ (wire v2). A budget on the
+    handshake ACK confirms the adaptive regime: the blast runs under the
+    {!Protocol.Adapt} AIMD controller, capped by the receiver-advertised
+    budget on every NACK, with pacing gaps derived from the smoothed RTT. An
+    old (v1-only) receiver never answers v2, so after two attempts the
+    handshake alternates plain v1 REQs and a bare ACK negotiates the
+    transfer down to fixed trains ({!Protocol.Tuning.negotiate_down}).
 
     {b Batched I/O.} With [ctx.batch] (the default), each burst of protocol
     sends — a blast round — goes out as one packet train through
     {!Batch.flush} ([sendmmsg]) instead of one syscall per datagram; partial
     kernel acceptance degrades to per-datagram loss accounting, never an
-    exception. A paced sender ([pacing_ns > 0]) stays on the one-datagram
-    path, since a train has no inter-packet gaps to sleep in.
+    exception. A paced sender (tuning pacing other than [No_pacing]) stays
+    on the one-datagram path, since a train has no inter-packet gaps.
 
     {b No-hang guarantee.} Every entry point is bounded: the handshake gives
-    up after [max_attempts]; the machine loop carries an idle watchdog
-    (default [max_attempts * retransmit_ns]) that trips when the far end
-    stops sending datagrams; and both sides then return the clean
+    up after the tuning's [max_attempts]; the machine loop carries an idle
+    watchdog (default [max_attempts * retransmit_ns]) that trips when the
+    far end stops sending datagrams; and both sides then return the clean
     [Peer_unreachable] outcome instead of blocking or raising. The only
     unbounded wait is [serve_one]'s initial listen for a REQ, and
     [accept_timeout_ns] bounds that too. *)
@@ -34,6 +44,11 @@ type send_result = {
   outcome : Protocol.Action.outcome;
   elapsed_ns : int;  (** handshake completion to transfer completion *)
   counters : Protocol.Counters.t;
+  adaptive : bool;
+      (** did the handshake settle on adaptive trains? [false] under fixed
+          tuning, and for adaptive tuning negotiated down by a budget-less
+          ACK — the signature of an old (v1-only) receiver. A live receiver
+          always obliges an adaptive REQ, whatever its own tuning. *)
 }
 
 type integrity = Flow.integrity = Verified | Mismatch | Not_carried
@@ -55,10 +70,7 @@ val send_via :
   ?lossy:Lossy.t ->
   ?transfer_id:int ->
   ?packet_bytes:int ->
-  ?retransmit_ns:int ->
-  ?max_attempts:int ->
   ?rtt:Protocol.Rtt.t ->
-  ?pacing_ns:int ->
   ?idle_timeout_ns:int ->
   ?stripe:Packet.Stripe.t ->
   transport:Transport.t ->
@@ -79,10 +91,7 @@ val send :
   ?lossy:Lossy.t ->
   ?transfer_id:int ->
   ?packet_bytes:int ->
-  ?retransmit_ns:int ->
-  ?max_attempts:int ->
   ?rtt:Protocol.Rtt.t ->
-  ?pacing_ns:int ->
   ?idle_timeout_ns:int ->
   ?stripe:Packet.Stripe.t ->
   socket:Unix.file_descr ->
@@ -92,12 +101,17 @@ val send :
   unit ->
   send_result
 (** Pushes [data] to [peer] — with [stripe], as a ring sub-transfer whose
-    REQ carries the {!Packet.Stripe} framing. Defaults: 1024-byte packets, 50 ms
-    retransmission interval, 50 attempts. A handshake that exhausts its
-    attempts returns [Peer_unreachable] (it no longer raises). With [rtt],
-    timeouts adapt to measured round trips instead of the fixed interval;
-    [pacing_ns] sleeps after each data datagram so an unthrottled blast does
-    not overrun the receiver's socket buffer (and disables batching).
+    REQ carries the {!Packet.Stripe} framing. Timers, attempts, train
+    adaptation and pacing come from [ctx.tuning]; packets default to 1024
+    bytes. When [transfer_id] is omitted a fresh process-unique id is drawn
+    ({!Protocol.Config.fresh_transfer_id}), so concurrent senders from one
+    process cannot collide on a server's [(sockaddr, transfer_id)] key. A
+    handshake that exhausts its attempts returns [Peer_unreachable] (it does
+    not raise). With [rtt], timeouts adapt to measured round trips instead
+    of the fixed interval (adaptive tuning creates an estimator
+    automatically); pacing sleeps after each data datagram so an unthrottled
+    blast does not overrun the receiver's socket buffer (and disables
+    batching).
 
     [ctx.faults] runs every outgoing datagram through a Netem pipeline (its
     injection count is surfaced in [counters.faults_injected]).
@@ -110,8 +124,6 @@ val send :
 val serve_one_via :
   ?ctx:Io_ctx.t ->
   ?lossy:Lossy.t ->
-  ?retransmit_ns:int ->
-  ?max_attempts:int ->
   ?linger_ns:int ->
   ?idle_timeout_ns:int ->
   ?accept_timeout_ns:int ->
@@ -126,8 +138,6 @@ val serve_one_via :
 val serve_one :
   ?ctx:Io_ctx.t ->
   ?lossy:Lossy.t ->
-  ?retransmit_ns:int ->
-  ?max_attempts:int ->
   ?linger_ns:int ->
   ?idle_timeout_ns:int ->
   ?accept_timeout_ns:int ->
@@ -135,12 +145,13 @@ val serve_one :
   socket:Unix.file_descr ->
   unit ->
   receive_result
-(** Accepts one incoming transfer and returns the reassembled data. After the
-    transfer completes the receiver lingers for [linger_ns] (default 3x the
-    retransmission interval) to re-acknowledge duplicate terminators from a
-    sender whose final ack was lost. The protocol suite normally travels in
-    the REQ, so both ends match automatically; [suite] is only a fallback for
-    senders that omit it.
+(** Accepts one incoming transfer and returns the reassembled data. Timers
+    come from [ctx.tuning]; after the transfer completes the receiver
+    lingers for [linger_ns] (default 3x the retransmission interval) to
+    re-acknowledge duplicate terminators from a sender whose final ack was
+    lost. The protocol suite normally travels in the REQ, so both ends match
+    automatically; [suite] is only a fallback for senders that omit it. An
+    adaptive (budget-stamped) REQ is always honoured — see {!Flow.create}.
 
     Blocks until a [REQ] arrives unless [accept_timeout_ns] is given. Once a
     transfer is underway, a sender that goes silent for [idle_timeout_ns]

@@ -117,7 +117,9 @@ let validate t (control : Control.t) =
 
 let config_of_control t ~transfer_id (control : Control.t) =
   Protocol.Config.make ~transfer_id ~packet_bytes:control.Control.packet_bytes
-    ~retransmit_ns:t.retransmit_ns ~max_attempts:t.max_attempts
+    ~tuning:
+      (Protocol.Tuning.fixed ~retransmit_ns:t.retransmit_ns
+         ~max_attempts:t.max_attempts ())
     ~total_packets:(Control.total_packets control) ()
 
 (* ---------------------------------------------- short-message IPC path *)

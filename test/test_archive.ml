@@ -129,8 +129,11 @@ let test_dump_over_udp_blast () =
           in
           let result =
             Sockets.Peer.send
+              ~ctx:
+                (Sockets.Io_ctx.make
+                   ~tuning:(Protocol.Tuning.fixed ~retransmit_ns:20_000_000 ()) ())
               ~lossy:(Sockets.Lossy.create ~seed:9 ~tx_loss:0.05 ~rx_loss:0.0)
-              ~retransmit_ns:20_000_000 ~socket:sender_socket ~peer:receiver_address
+              ~socket:sender_socket ~peer:receiver_address
               ~suite:(Protocol.Suite.Multi_blast
                         { strategy = Protocol.Blast.Go_back_n; chunk_packets = 4 })
               ~data ()

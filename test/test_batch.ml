@@ -247,7 +247,10 @@ let test_peer_transfer_batched_lossy () =
   let data = String.init 60_000 (fun _ -> Char.chr (Stats.Rng.int rng 256)) in
   let scenario = Faults.Scenario.make ~name:"drop15" [ Faults.Scenario.Drop_iid 0.15 ] in
   let netem = Faults.Netem.create ~seed:5 scenario in
-  let ctx = Sockets.Io_ctx.make ~faults:netem ~batch:true () in
+  let ctx =
+    Sockets.Io_ctx.make ~faults:netem ~batch:true
+      ~tuning:(Protocol.Tuning.fixed ~retransmit_ns:20_000_000 ()) ()
+  in
   let receiver_socket, receiver_address = Sockets.Udp.create_socket () in
   let sender_socket, _ = Sockets.Udp.create_socket () in
   let received = ref None in
@@ -262,7 +265,7 @@ let test_peer_transfer_batched_lossy () =
       ()
   in
   let result =
-    Sockets.Peer.send ~ctx ~retransmit_ns:20_000_000 ~socket:sender_socket
+    Sockets.Peer.send ~ctx ~socket:sender_socket
       ~peer:receiver_address
       ~suite:(Protocol.Suite.Blast Protocol.Blast.Selective)
       ~data ()

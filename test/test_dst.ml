@@ -114,8 +114,12 @@ let test_engine_supersede_on_address_reuse () =
   let server_ep = Net.bind ~port:7_000 net in
   let clock () = Time.to_ns (Sim.now sim) in
   let engine =
-    Server.Engine.create ~max_flows:4 ~retransmit_ns:5_000_000 ~max_attempts:3
-      ~ctx:(Sockets.Io_ctx.make ~clock ())
+    Server.Engine.create ~max_flows:4
+      ~ctx:
+        (Sockets.Io_ctx.make ~clock
+           ~tuning:
+             (Protocol.Tuning.fixed ~retransmit_ns:5_000_000 ~max_attempts:3 ())
+           ())
       ~transport:(Net.transport server_ep) ()
   in
   let env = Proc.env sim in
@@ -214,6 +218,31 @@ let test_dst_jobs_invariant () =
   in
   Alcotest.(check (list string)) "same digests at jobs=1 and jobs=4" (digests 1) (digests 4)
 
+let test_dst_adaptive_jobs_invariant () =
+  (* The AIMD controller is pure arithmetic over the event stream, so the
+     whole-system journal must stay bit-for-bit reproducible at any
+     parallelism with adaptive tuning too — budgets, train ramps, lossy
+     faults and all. *)
+  let cfg =
+    {
+      (config ~seed:11 ~churn:Dst.Harness.Mixed ~faults:(Some Faults.Scenario.lossy2)
+         ~senders:6 ~transfers:2)
+      with
+      Dst.Harness.tuning =
+        Protocol.Tuning.adaptive ~retransmit_ns:20_000_000 ~max_attempts:20 ();
+    }
+  in
+  let seeds = [ 11; 12; 13 ] in
+  let digests jobs =
+    List.map
+      (fun (t : Dst.Harness.trial) -> t.Dst.Harness.digest)
+      (Dst.Harness.run_seeds ~jobs cfg ~seeds)
+  in
+  Alcotest.(check (list string)) "same digests at jobs=1 and jobs=4" (digests 1) (digests 4);
+  let a = Dst.Harness.run cfg and b = Dst.Harness.run cfg in
+  Alcotest.(check string) "adaptive replay is bit-for-bit" a.Dst.Harness.journal
+    b.Dst.Harness.journal
+
 let test_dst_reuse_exercises_supersede () =
   (* Across a handful of seeds the reuse schedule must hit the engine's
      supersede path at least once — otherwise the scenario is dead weight. *)
@@ -255,6 +284,8 @@ let () =
           Alcotest.test_case "16 senders under mixed chaos" `Quick test_dst_full_scale_chaos;
           Alcotest.test_case "replay is bit-for-bit" `Quick test_dst_replay_bit_for_bit;
           Alcotest.test_case "digests invariant under jobs" `Quick test_dst_jobs_invariant;
+          Alcotest.test_case "adaptive tuning stays deterministic" `Quick
+            test_dst_adaptive_jobs_invariant;
           Alcotest.test_case "reuse churn hits supersede" `Quick
             test_dst_reuse_exercises_supersede;
         ] );

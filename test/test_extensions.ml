@@ -110,7 +110,9 @@ let test_adaptive_timeout_in_simulator () =
       Simnet.Driver.run ~params:Netmodel.Params.vkernel ~network_error ?rtt
         ~suite:(Protocol.Suite.Blast Protocol.Blast.Go_back_n)
         ~config:
-          (Protocol.Config.make ~retransmit_ns:(10 * t0_ns) ~total_packets:packets ())
+          (Protocol.Config.make
+             ~tuning:(Protocol.Tuning.fixed ~retransmit_ns:(10 * t0_ns) ())
+             ~total_packets:packets ())
         ()
     in
     Simnet.Driver.elapsed_ms result
@@ -220,7 +222,11 @@ let test_integrity_detects_mismatch () =
    cumulative machinery must still terminate. *)
 let run_with_reordering ~seed suite total =
   let rng = Stats.Rng.create ~seed in
-  let config = Protocol.Config.make ~packet_bytes:16 ~max_attempts:1000 ~total_packets:total () in
+  let config =
+    Protocol.Config.make ~packet_bytes:16
+      ~tuning:(Protocol.Tuning.fixed ~max_attempts:1000 ())
+      ~total_packets:total ()
+  in
   let payload = Protocol.Machine.constant_payload config in
   let sender = Protocol.Suite.sender suite config ~payload in
   let receiver = Protocol.Suite.receiver suite config in

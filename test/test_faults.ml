@@ -201,7 +201,11 @@ let test_simulator_scenarios () =
       List.iter
         (fun scenario ->
           let payload seq = Printf.sprintf "payload-%03d" seq in
-          let config = Protocol.Config.make ~total_packets:12 ~max_attempts:100 () in
+          let config =
+            Protocol.Config.make ~total_packets:12
+              ~tuning:(Protocol.Tuning.fixed ~max_attempts:100 ())
+              ()
+          in
           let result =
             Simnet.Driver.run
               ~sender_faults:(F.Netem.create ~seed:21 scenario)
@@ -273,8 +277,14 @@ let test_sender_unreachable () =
       Sockets.Udp.close sender_socket)
     (fun () ->
       let result =
-        Sockets.Peer.send ~retransmit_ns:2_000_000 ~max_attempts:3 ~socket:sender_socket
-          ~peer:dead_address ~suite:Protocol.Suite.Stop_and_wait ~data:"hello" ()
+        Sockets.Peer.send
+          ~ctx:
+            (Sockets.Io_ctx.make
+               ~tuning:
+                 (Protocol.Tuning.fixed ~retransmit_ns:2_000_000 ~max_attempts:3 ())
+               ())
+          ~socket:sender_socket ~peer:dead_address ~suite:Protocol.Suite.Stop_and_wait
+          ~data:"hello" ()
       in
       Alcotest.(check bool)
         "peer unreachable" true
@@ -292,7 +302,12 @@ let test_receiver_watchdog () =
       (fun () ->
         result :=
           Some
-            (Sockets.Peer.serve_one ~retransmit_ns:5_000_000 ~max_attempts:4
+            (Sockets.Peer.serve_one
+               ~ctx:
+                 (Sockets.Io_ctx.make
+                    ~tuning:
+                      (Protocol.Tuning.fixed ~retransmit_ns:5_000_000 ~max_attempts:4 ())
+                    ())
                ~idle_timeout_ns:30_000_000 ~accept_timeout_ns:2_000_000_000
                ~socket:receiver_socket ()))
       ()

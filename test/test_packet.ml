@@ -256,16 +256,24 @@ let gen_message =
       in
       return (Packet.Stripe.manifest_reply ~object_id:transfer_id entries)
 
+(* Optionally stamp a receiver budget onto a generated message: the v2 wire
+   format. [None] keeps the message on the v1 24-byte header. *)
+let gen_message_v2 =
+  let open QCheck.Gen in
+  let* m = gen_message in
+  let* b = opt (oneof [ return 0; int_range 1 0xFFFF; return 0xFFFFFFFF ]) in
+  return (match b with None -> m | Some b -> Packet.Message.with_budget m b)
+
 let prop_codec_roundtrip =
   QCheck.Test.make ~name:"codec roundtrip for arbitrary messages" ~count:300
-    (QCheck.make gen_message) (fun m ->
+    (QCheck.make gen_message_v2) (fun m ->
       match Packet.Codec.decode (Packet.Codec.encode m) with
       | Ok m' -> Packet.Message.equal m m'
       | Error _ -> false)
 
 let prop_codec_bitflip_detected =
   QCheck.Test.make ~name:"any single bit flip is rejected" ~count:300
-    QCheck.(pair (QCheck.make gen_message) (pair small_nat small_nat))
+    QCheck.(pair (QCheck.make gen_message_v2) (pair small_nat small_nat))
     (fun (m, (byte_pick, bit)) ->
       let buf = Packet.Codec.encode m in
       let pos = byte_pick mod Bytes.length buf in
@@ -277,6 +285,52 @@ let prop_codec_bitflip_detected =
           (* A flip inside the checksum fields themselves must not produce a
              *different* accepted message. *)
           Packet.Message.equal m m')
+
+let test_codec_budget_wire_compat () =
+  (* Budget-less messages stay on the v1 24-byte header: byte-for-byte what
+     an old peer emits and expects. *)
+  let ack = Packet.Message.ack ~transfer_id:7 ~seq:5 ~total:8 in
+  Alcotest.(check int) "v1 ack wire bytes" Packet.Codec.header_bytes
+    (Bytes.length (Packet.Codec.encode ack));
+  (match Packet.Codec.decode (Packet.Codec.encode ack) with
+  | Ok m ->
+      Alcotest.(check bool) "no budget on v1" true (Packet.Message.budget m = None);
+      Alcotest.(check bool) "v1 roundtrip equal" true (Packet.Message.equal ack m)
+  | Error _ -> Alcotest.fail "v1 ack failed to decode");
+  (* Stamping a budget grows the header by exactly the u32 field and the
+     value survives the roundtrip. *)
+  let acked = Packet.Message.with_budget ack 42 in
+  let buf = Packet.Codec.encode acked in
+  Alcotest.(check int) "v2 ack wire bytes" Packet.Codec.header_bytes_v2 (Bytes.length buf);
+  (match Packet.Codec.decode buf with
+  | Ok m ->
+      Alcotest.(check bool) "budget survives" true (Packet.Message.budget m = Some 42);
+      Alcotest.(check bool) "v2 roundtrip equal" true (Packet.Message.equal acked m)
+  | Error _ -> Alcotest.fail "v2 ack failed to decode");
+  (* budget = 0 is meaningful (handshake marker, solicit stamp, receiver
+     throttle) and must be distinguishable from "no budget". *)
+  let received = Packet.Bitset.create 8 in
+  Packet.Bitset.set received 3;
+  let nack =
+    Packet.Message.with_budget
+      (Packet.Message.nack ~transfer_id:7 ~first_missing:0 ~total:8 ~received ())
+      0
+  in
+  (match Packet.Codec.decode (Packet.Codec.encode nack) with
+  | Ok m ->
+      Alcotest.(check bool) "zero budget survives" true (Packet.Message.budget m = Some 0);
+      Alcotest.(check bool) "bitmap survives v2" true
+        (match Packet.Message.received_set m with
+        | Some set -> Packet.Bitset.mem set 3 && not (Packet.Bitset.mem set 0)
+        | None -> false)
+  | Error _ -> Alcotest.fail "v2 nack failed to decode");
+  (* Full u32 range. *)
+  let wide = Packet.Message.with_budget (Packet.Message.req ~transfer_id:1 ~total:4) 0xFFFFFFFF in
+  match Packet.Codec.decode (Packet.Codec.encode wide) with
+  | Ok m ->
+      Alcotest.(check bool) "u32 budget survives" true
+        (Packet.Message.budget m = Some 0xFFFFFFFF)
+  | Error _ -> Alcotest.fail "u32 budget failed to decode"
 
 (* -------------------------------------------------------------- Message *)
 
@@ -329,6 +383,7 @@ let () =
         :: Alcotest.test_case "rejects bad kind" `Quick test_codec_rejects_bad_kind
         :: Alcotest.test_case "decode_sub" `Quick test_codec_decode_sub
         :: Alcotest.test_case "decode_sub fuzz" `Quick test_codec_decode_sub_fuzz
+        :: Alcotest.test_case "budget wire compat" `Quick test_codec_budget_wire_compat
         :: qcheck [ prop_codec_roundtrip; prop_codec_bitflip_detected ] );
       ( "message",
         [

@@ -56,7 +56,9 @@ let run ?(max_steps = 100_000) ?(drop = fun ~dir:_ ~count:_ _ -> false)
   (Option.get !outcome, delivered)
 
 let config ?(total = 8) ?(max_attempts = 50) () =
-  P.Config.make ~packet_bytes:32 ~max_attempts ~total_packets:total ()
+  P.Config.make ~packet_bytes:32
+    ~tuning:(P.Tuning.fixed ~max_attempts ())
+    ~total_packets:total ()
 
 let payload_of config = P.Machine.constant_payload config
 
@@ -332,6 +334,224 @@ let test_multi_blast_counts_error_free () =
   Alcotest.(check int) "one ack per chunk" 3 cr.P.Counters.acks_sent;
   Alcotest.(check int) "data once" 10 cs.P.Counters.data_sent
 
+(* ----------------------------------------------------------- adaptive blast *)
+
+let adaptive_config ?(total = 40) ?(tuning = P.Tuning.adaptive ()) () =
+  P.Config.make ~packet_bytes:32 ~tuning ~total_packets:total ()
+
+let test_adaptive_error_free_opens_at_budget () =
+  let config = adaptive_config ~total:40 () in
+  let cs = P.Counters.create () and cr = P.Counters.create () in
+  let sender, receiver =
+    machines ~counters_s:cs ~counters_r:cr (P.Suite.Blast P.Blast.Selective) config
+  in
+  let outcome, delivered = run sender receiver in
+  Alcotest.(check bool) "success" true (outcome = P.Action.Success);
+  check_all_delivered config delivered;
+  (* Clean network: the first train is init_train = 8; the receiver's first
+     advertisement (max_train = 128 by default) opens the window, so the
+     remaining 32 packets travel in one second train. *)
+  Alcotest.(check int) "data once" 40 cs.P.Counters.data_sent;
+  Alcotest.(check int) "no retransmissions" 0 cs.P.Counters.retransmitted_data;
+  Alcotest.(check int) "two solicited rounds" 2 cs.P.Counters.rounds;
+  Alcotest.(check int) "one nack" 1 cr.P.Counters.nacks_sent;
+  Alcotest.(check int) "final ack" 1 cr.P.Counters.acks_sent
+
+let test_adaptive_capped_ramp () =
+  (* With the advertisement pinned to 8, opening cannot skip the ramp:
+     40 packets travel in ceil(40/8) = 5 trains of at most 8. *)
+  let config = adaptive_config ~total:40 () in
+  let cs = P.Counters.create () in
+  let sender =
+    P.Suite.sender (P.Suite.Blast P.Blast.Selective) ~counters:cs config
+      ~payload:(payload_of config)
+  in
+  let receiver =
+    P.Suite.receiver (P.Suite.Blast P.Blast.Selective) ~budget:(fun () -> 8) config
+  in
+  let outcome, delivered = run sender receiver in
+  Alcotest.(check bool) "success" true (outcome = P.Action.Success);
+  check_all_delivered config delivered;
+  Alcotest.(check int) "data once" 40 cs.P.Counters.data_sent;
+  Alcotest.(check int) "five solicited rounds" 5 cs.P.Counters.rounds
+
+let test_adaptive_loss_shrinks_train () =
+  let config = adaptive_config ~total:40 () in
+  let ctrl = P.Adapt.create (Option.get (P.Tuning.aimd config.P.Config.tuning)) in
+  let cs = P.Counters.create () in
+  let sender = P.Adapt.sender ~counters:cs ~ctrl config ~payload:(payload_of config) in
+  let receiver = P.Adapt.receiver config in
+  (* Drop a packet in the middle of the second train. *)
+  let outcome, delivered = run ~drop:(drop_nth_data 10) sender receiver in
+  Alcotest.(check bool) "success" true (outcome = P.Action.Success);
+  check_all_delivered config delivered;
+  Alcotest.(check int) "one loss round observed" 1 (P.Adapt.loss_rounds ctrl);
+  (* Selective repair: only the lost packet travels twice. *)
+  Alcotest.(check int) "selective retrain" 41 cs.P.Counters.data_sent
+
+let test_adaptive_budget_throttles () =
+  let config = adaptive_config ~total:24 () in
+  let cs = P.Counters.create () in
+  let sender = P.Suite.sender (P.Suite.Blast P.Blast.Selective) ~counters:cs config
+      ~payload:(payload_of config)
+  in
+  let receiver =
+    P.Suite.receiver (P.Suite.Blast P.Blast.Selective) ~budget:(fun () -> 2) config
+  in
+  let outcome, delivered = run sender receiver in
+  Alcotest.(check bool) "success" true (outcome = P.Action.Success);
+  check_all_delivered config delivered;
+  (* First train is init_train = 8; every later train is capped at the
+     advertised budget of 2: at least (24 - 8) / 2 further rounds. *)
+  Alcotest.(check bool) "budget caps the trains"
+    true
+    (cs.P.Counters.rounds >= 1 + ((24 - 8) / 2));
+  Alcotest.(check int) "data once despite throttle" 24 cs.P.Counters.data_sent
+
+let test_adaptive_stale_response_ignored () =
+  (* A response whose bitmap predates the current solicit — the echo of a
+     duplicated solicit after a spurious timeout, or one delayed past a
+     retransmission — must not be scored as the current round's feedback:
+     that would count every in-flight packet as lost and re-blast them all.
+     Its bitmap still folds in; the real response drives the next train. *)
+  let tuning = P.Tuning.adaptive ~init_train:4 ~increase:4 () in
+  let config = adaptive_config ~total:8 ~tuning () in
+  let ctrl = P.Adapt.create (Option.get (P.Tuning.aimd config.P.Config.tuning)) in
+  let cs = P.Counters.create () in
+  let sender = P.Adapt.sender ~counters:cs ~ctrl config ~payload:(payload_of config) in
+  (match sender.P.Machine.start () with
+  | P.Action.Stop_timer :: _ -> ()
+  | _ -> Alcotest.fail "a blast must retire the previous round's timer first");
+  (* Round 1 is seqs 0-3 with solicit 3. *)
+  let nack upto =
+    let received = Packet.Bitset.create 8 in
+    for i = 0 to upto do
+      Packet.Bitset.set received i
+    done;
+    P.Action.Message
+      (Packet.Message.with_budget
+         (Packet.Message.nack ~transfer_id:config.P.Config.transfer_id
+            ~first_missing:(upto + 1) ~total:8 ~received ())
+         8)
+  in
+  let actions = sender.P.Machine.handle (nack 1) in
+  Alcotest.(check bool) "stale response emits nothing" true (actions = []);
+  Alcotest.(check int) "stale response starts no round" 1 cs.P.Counters.rounds;
+  Alcotest.(check int) "no loss charged for in-flight packets" 0 (P.Adapt.loss_rounds ctrl);
+  let actions = sender.P.Machine.handle (nack 3) in
+  Alcotest.(check int) "the genuine response blasts round 2" 2 cs.P.Counters.rounds;
+  Alcotest.(check bool) "round 2 sends data" true
+    (List.exists
+       (function
+         | P.Action.Send m -> m.Packet.Message.kind = Packet.Kind.Data
+         | _ -> false)
+       actions);
+  Alcotest.(check int) "still no loss charged" 0 (P.Adapt.loss_rounds ctrl)
+
+let test_adaptive_zero_budget_cannot_stall () =
+  let config = adaptive_config ~total:12 () in
+  let sender =
+    P.Suite.sender (P.Suite.Blast P.Blast.Selective) config ~payload:(payload_of config)
+  in
+  let receiver =
+    P.Suite.receiver (P.Suite.Blast P.Blast.Selective) ~budget:(fun () -> 0) config
+  in
+  let outcome, delivered = run sender receiver in
+  (* The min_train floor wins over a zero budget: progress continues. *)
+  Alcotest.(check bool) "success" true (outcome = P.Action.Success);
+  check_all_delivered config delivered
+
+let gen_aimd =
+  let open QCheck.Gen in
+  let* min_train = int_range 1 8 in
+  let* max_train = int_range min_train (min_train + 120) in
+  let* init_train = int_range min_train max_train in
+  let* increase = int_range 1 8 in
+  let* decrease = float_range 0.1 0.9 in
+  return
+    (Option.get
+       (P.Tuning.aimd
+          (P.Tuning.adaptive ~init_train ~min_train ~max_train ~increase ~decrease ())))
+
+let prop_aimd_loss_monotone =
+  QCheck.Test.make ~name:"aimd: a loss round never grows the train" ~count:300
+    (QCheck.make QCheck.Gen.(pair gen_aimd (int_range 0 40)))
+    (fun (params, warmup) ->
+      let ctrl = P.Adapt.create params in
+      for _ = 1 to warmup do
+        P.Adapt.on_round ctrl ~sent:(P.Adapt.train ctrl) ~lost:0
+      done;
+      let ok = ref true in
+      for i = 1 to 20 do
+        let before = P.Adapt.train ctrl in
+        if i mod 2 = 0 then P.Adapt.on_timeout ctrl
+        else P.Adapt.on_round ctrl ~sent:before ~lost:1;
+        if P.Adapt.train ctrl > before then ok := false
+      done;
+      !ok)
+
+let prop_aimd_bounded_by_budget =
+  QCheck.Test.make
+    ~name:"aimd: train stays within [min_train, min (max_train, budget)]" ~count:300
+    (QCheck.make
+       QCheck.Gen.(pair gen_aimd (list_size (int_range 1 60) (int_range 0 400))))
+    (fun (params, events) ->
+      let ctrl = P.Adapt.create params in
+      let last_budget = ref None in
+      List.for_all
+        (fun ev ->
+          (match ev mod 4 with
+          | 0 -> P.Adapt.on_round ctrl ~sent:(P.Adapt.train ctrl) ~lost:0
+          | 1 -> P.Adapt.on_round ctrl ~sent:(P.Adapt.train ctrl) ~lost:(1 + (ev / 4))
+          | 2 -> P.Adapt.on_timeout ctrl
+          | _ ->
+              last_budget := Some (ev / 4);
+              P.Adapt.on_budget ctrl ~budget:(ev / 4));
+          let cap =
+            match !last_budget with
+            | Some b when b > 0 -> min params.P.Tuning.max_train b
+            | Some _ | None -> params.P.Tuning.max_train
+          in
+          let train = P.Adapt.train ctrl in
+          train >= params.P.Tuning.min_train
+          && train <= max params.P.Tuning.min_train cap)
+        events)
+
+let prop_aimd_converges_under_constant_loss =
+  QCheck.Test.make ~name:"aimd: constant loss converges to min_train" ~count:200
+    (QCheck.make gen_aimd)
+    (fun params ->
+      let ctrl = P.Adapt.create params in
+      (* decrease <= 0.9 shrinks any train <= 128 to the floor well inside
+         200 rounds; once there it must stay. *)
+      for _ = 1 to 200 do
+        P.Adapt.on_round ctrl ~sent:(P.Adapt.train ctrl) ~lost:1
+      done;
+      let at_floor = P.Adapt.train ctrl = params.P.Tuning.min_train in
+      P.Adapt.on_round ctrl ~sent:(P.Adapt.train ctrl) ~lost:1;
+      at_floor && P.Adapt.train ctrl = params.P.Tuning.min_train)
+
+let prop_adaptive_completes_under_random_loss =
+  QCheck.Test.make ~name:"adaptive blast completes under random loss" ~count:60
+    QCheck.(pair (int_range 1 40) (pair int (float_range 0.0 0.4)))
+    (fun (total, (seed, loss)) ->
+      let rng = Stats.Rng.create ~seed:(abs seed) in
+      let config =
+        P.Config.make ~packet_bytes:16
+          ~tuning:(P.Tuning.adaptive ~max_attempts:1000 ())
+          ~total_packets:total ()
+      in
+      let suite = P.Suite.Blast P.Blast.Selective in
+      let sender = P.Suite.sender suite config ~payload:(payload_of config) in
+      let receiver = P.Suite.receiver suite config in
+      let drop ~dir:_ ~count:_ _ = Stats.Rng.bernoulli rng ~p:loss in
+      let outcome, delivered = run ~max_steps:2_000_000 ~drop sender receiver in
+      outcome = P.Action.Success
+      && Hashtbl.length delivered = total
+      && List.for_all
+           (fun seq -> Hashtbl.find_opt delivered seq = Some (payload_of config seq))
+           (List.init total Fun.id))
+
 (* ------------------------------------------------------ random-loss qcheck *)
 
 let prop_completes_under_random_loss suite =
@@ -341,7 +561,11 @@ let prop_completes_under_random_loss suite =
     QCheck.(pair (int_range 1 20) (pair int (float_range 0.0 0.4)))
     (fun (total, (seed, loss)) ->
       let rng = Stats.Rng.create ~seed:(abs seed) in
-      let config = P.Config.make ~packet_bytes:16 ~max_attempts:1000 ~total_packets:total () in
+      let config =
+        P.Config.make ~packet_bytes:16
+          ~tuning:(P.Tuning.fixed ~max_attempts:1000 ())
+          ~total_packets:total ()
+      in
       let sender = P.Suite.sender suite config ~payload:(payload_of config) in
       let receiver = P.Suite.receiver suite config in
       let drop ~dir:_ ~count:_ _ = Stats.Rng.bernoulli rng ~p:loss in
@@ -359,7 +583,11 @@ let prop_counter_invariants suite =
     QCheck.(pair (int_range 1 16) (pair int (float_range 0.0 0.3)))
     (fun (total, (seed, loss)) ->
       let rng = Stats.Rng.create ~seed:(abs seed) in
-      let config = P.Config.make ~packet_bytes:16 ~max_attempts:1000 ~total_packets:total () in
+      let config =
+        P.Config.make ~packet_bytes:16
+          ~tuning:(P.Tuning.fixed ~max_attempts:1000 ())
+          ~total_packets:total ()
+      in
       let cs = P.Counters.create () and cr = P.Counters.create () in
       let sender = P.Suite.sender suite ~counters:cs config ~payload:(payload_of config) in
       let receiver = P.Suite.receiver suite ~counters:cr config in
@@ -427,6 +655,24 @@ let () =
                P.Suite.Blast P.Blast.Selective;
                P.Suite.Multi_blast { strategy = P.Blast.Selective; chunk_packets = 5 };
              ]) );
+      ( "adaptive",
+        Alcotest.test_case "error-free opens at budget" `Quick
+             test_adaptive_error_free_opens_at_budget
+        :: Alcotest.test_case "capped advertisement forces the ramp" `Quick
+             test_adaptive_capped_ramp
+        :: Alcotest.test_case "loss shrinks the train" `Quick test_adaptive_loss_shrinks_train
+        :: Alcotest.test_case "budget throttles the train" `Quick test_adaptive_budget_throttles
+        :: Alcotest.test_case "zero budget cannot stall" `Quick
+             test_adaptive_zero_budget_cannot_stall
+        :: Alcotest.test_case "stale response is not round feedback" `Quick
+             test_adaptive_stale_response_ignored
+        :: qcheck
+             [
+               prop_aimd_loss_monotone;
+               prop_aimd_bounded_by_budget;
+               prop_aimd_converges_under_constant_loss;
+               prop_adaptive_completes_under_random_loss;
+             ] );
       ( "invariants",
         qcheck
           (List.map prop_counter_invariants

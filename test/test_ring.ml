@@ -242,8 +242,12 @@ let test_engine_manifest_over_memnet () =
   let clock () = Time.to_ns (Sim.now sim) in
   let server_ep = Net.bind ~port:7_100 net in
   let engine =
-    Server.Engine.create ~retransmit_ns:5_000_000 ~max_attempts:10
-      ~ctx:(Sockets.Io_ctx.make ~clock ())
+    Server.Engine.create
+      ~ctx:
+        (Sockets.Io_ctx.make ~clock
+           ~tuning:
+             (Protocol.Tuning.fixed ~retransmit_ns:5_000_000 ~max_attempts:10 ())
+           ())
       ~lane_prefix:"r0:"
       ~transport:(Net.transport server_ep) ()
   in
@@ -256,9 +260,12 @@ let test_engine_manifest_over_memnet () =
       let ep = Net.bind net in
       let result =
         Sockets.Peer.send_via
-          ~ctx:(Sockets.Io_ctx.make ~clock ())
-          ~transfer_id:31 ~packet_bytes:512 ~retransmit_ns:5_000_000
-          ~max_attempts:10
+          ~ctx:
+            (Sockets.Io_ctx.make ~clock
+               ~tuning:
+                 (Protocol.Tuning.fixed ~retransmit_ns:5_000_000 ~max_attempts:10 ())
+               ())
+          ~transfer_id:31 ~packet_bytes:512
           ~stripe:{ Packet.Stripe.object_id = 31; index = 2; count = 5 }
           ~transport:(Net.transport ep) ~peer:(Net.address server_ep)
           ~suite:(Protocol.Suite.Blast Protocol.Blast.Go_back_n) ~data ()
@@ -351,7 +358,9 @@ let test_fleet_put_kill_repair () =
       let peer_of = Ring.Fleet.peer_of fleet in
       let data = String.init 16_384 (fun i -> Char.chr ((i * 131) land 0xff)) in
       let put =
-        Ring.Client.put ~retransmit_ns:10_000_000 ~max_attempts:20 ~placement
+        Ring.Client.put
+          ~tuning:(Protocol.Tuning.fixed ~retransmit_ns:10_000_000 ~max_attempts:20 ())
+          ~placement
           ~peer_of ~object_id:9 ~stripes:4 ~replicas:2 ~quorum:2 ~data ()
       in
       Alcotest.(check bool) "write quorum met" true put.Ring.Client.quorum_met;
@@ -368,7 +377,9 @@ let test_fleet_put_kill_repair () =
         (Ring.Fleet.alive fleet);
       let live = Ring.Fleet.live_placement ~seed fleet in
       let report =
-        Ring.Repair.run ~retransmit_ns:10_000_000 ~max_attempts:5 ~attempts:3
+        Ring.Repair.run
+          ~tuning:(Protocol.Tuning.fixed ~retransmit_ns:10_000_000 ~max_attempts:5 ())
+          ~attempts:3
           ~timeout_ns:100_000_000 ~placement:live ~peer_of ~object_id:9
           ~stripes:4 ~replicas:2 ~data ()
       in

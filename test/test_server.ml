@@ -159,7 +159,9 @@ let make_flow ?(transfer_id = 7) ?(packet_bytes = 256) ~data ~now () =
   let counters = Protocol.Counters.create () in
   let probe = Obs.Probe.create ~lane:"test" ~counters () in
   match
-    Sockets.Flow.create ~retransmit_ns:1_000_000 ~max_attempts:5 ~probe ~counters ~now
+    Sockets.Flow.create
+      ~tuning:(Protocol.Tuning.fixed ~retransmit_ns:1_000_000 ~max_attempts:5 ())
+      ~probe ~counters ~now
       (flow_req ~transfer_id ~data ~packet_bytes)
   with
   | Ok (flow, actions) -> (flow, actions)
@@ -308,7 +310,7 @@ let test_admission_sender_outcome () =
 let test_swarm_32_under_faults () =
   let report =
     Server.Swarm.run ~flows:32 ~jobs:32 ~bytes:4096 ~packet_bytes:512
-      ~retransmit_ns:8_000_000 ~max_attempts:40
+      ~tuning:(Protocol.Tuning.fixed ~retransmit_ns:8_000_000 ~max_attempts:40 ())
       ~scenario:(scenario "chaos") ~server_scenario:(scenario "chaos") ~seed:2026 ()
   in
   Alcotest.(check int) "all 32 senders returned" 32
@@ -348,7 +350,8 @@ let test_swarm_deterministic_totals () =
   let run () =
     let r =
       Server.Swarm.run ~flows:6 ~jobs:6 ~bytes:4096 ~packet_bytes:512
-        ~retransmit_ns:8_000_000 ~scenario:(scenario "lossy2")
+        ~tuning:(Protocol.Tuning.fixed ~retransmit_ns:8_000_000 ())
+        ~scenario:(scenario "lossy2")
         ~server_scenario:(scenario "lossy2") ~seed:99 ()
     in
     (r.Server.Swarm.completed, r.Server.Swarm.rejected, r.Server.Swarm.failed)

@@ -184,7 +184,11 @@ let test_lossy_network_all_protocols () =
     (fun suite ->
       let rng = Stats.Rng.create ~seed:7 in
       let network_error = Netmodel.Error_model.iid rng ~loss:0.02 in
-      let config = Protocol.Config.make ~total_packets:32 ~max_attempts:200 () in
+      let config =
+        Protocol.Config.make ~total_packets:32
+          ~tuning:(Protocol.Tuning.fixed ~max_attempts:200 ())
+          ()
+      in
       let result = Simnet.Driver.run ~network_error ~suite ~config () in
       Alcotest.(check bool)
         (Protocol.Suite.name suite ^ " succeeds at 2% loss")
@@ -209,7 +213,11 @@ let test_interface_loss_slows_blast () =
 let test_total_loss_gives_up () =
   let rng = Stats.Rng.create ~seed:13 in
   let network_error = Netmodel.Error_model.iid rng ~loss:1.0 in
-  let config = Protocol.Config.make ~total_packets:4 ~max_attempts:3 () in
+  let config =
+    Protocol.Config.make ~total_packets:4
+      ~tuning:(Protocol.Tuning.fixed ~max_attempts:3 ())
+      ()
+  in
   let result =
     Simnet.Driver.run ~network_error ~suite:(Protocol.Suite.Blast Protocol.Blast.Go_back_n)
       ~config ()
@@ -248,7 +256,10 @@ let test_pacing_cures_slow_receiver () =
   let run ?pacing () =
     Simnet.Driver.run ~params:slow ?pacing
       ~suite:(Protocol.Suite.Blast Protocol.Blast.Go_back_n)
-      ~config:(Protocol.Config.make ~retransmit_ns:20_000_000 ~total_packets:64 ())
+      ~config:
+        (Protocol.Config.make
+           ~tuning:(Protocol.Tuning.fixed ~retransmit_ns:20_000_000 ())
+           ~total_packets:64 ())
       ()
   in
   let thrashing = run () in

@@ -5,9 +5,19 @@
 let random_data rng n = String.init n (fun _ -> Char.chr (Stats.Rng.int rng 256))
 
 let transfer ?lossy_sender ?lossy_receiver ?(packet_bytes = 1024) ?(retransmit_ns = 20_000_000)
-    ~suite ~data () =
+    ?tuning ?receiver_tuning ~suite ~data () =
   let receiver_socket, receiver_address = Sockets.Udp.create_socket () in
   let sender_socket, _ = Sockets.Udp.create_socket () in
+  let sender_tuning =
+    match tuning with
+    | Some t -> t
+    | None -> Protocol.Tuning.fixed ~retransmit_ns ()
+  in
+  let receiver_tuning =
+    match receiver_tuning with Some t -> t | None -> sender_tuning
+  in
+  let ctx_of t = Sockets.Io_ctx.make ~tuning:t () in
+  let ctx = ctx_of sender_tuning in
   let received = ref None in
   let receiver_error = ref None in
   let thread =
@@ -16,8 +26,8 @@ let transfer ?lossy_sender ?lossy_receiver ?(packet_bytes = 1024) ?(retransmit_n
         try
           received :=
             Some
-              (Sockets.Peer.serve_one ?lossy:lossy_receiver ~retransmit_ns
-                 ~socket:receiver_socket ~suite ())
+              (Sockets.Peer.serve_one ~ctx:(ctx_of receiver_tuning)
+                 ?lossy:lossy_receiver ~socket:receiver_socket ~suite ())
         with exn -> receiver_error := Some exn)
       ()
   in
@@ -28,7 +38,7 @@ let transfer ?lossy_sender ?lossy_receiver ?(packet_bytes = 1024) ?(retransmit_n
         Sockets.Udp.close receiver_socket;
         Sockets.Udp.close sender_socket)
       (fun () ->
-        Sockets.Peer.send ?lossy:lossy_sender ~packet_bytes ~retransmit_ns
+        Sockets.Peer.send ~ctx ?lossy:lossy_sender ~packet_bytes
           ~socket:sender_socket ~peer:receiver_address ~suite ~data ())
   in
   (match !receiver_error with Some exn -> raise exn | None -> ());
@@ -305,7 +315,13 @@ let test_paced_send_roundtrip () =
       ()
   in
   let result =
-    Sockets.Peer.send ~pacing_ns:20_000 ~socket:sender_socket ~peer:receiver_address
+    Sockets.Peer.send
+      ~ctx:
+        (Sockets.Io_ctx.make
+           ~tuning:
+             (Protocol.Tuning.fixed ~pacing:(Protocol.Tuning.Fixed_gap 20_000) ())
+           ())
+      ~socket:sender_socket ~peer:receiver_address
       ~suite:(Protocol.Suite.Blast Protocol.Blast.Go_back_n) ~data ()
   in
   Thread.join thread;
@@ -318,6 +334,173 @@ let test_paced_send_roundtrip () =
   (* Pacing slows the blast to at least packets x gap. *)
   Alcotest.(check bool) "pacing actually slows the train" true
     (result.Sockets.Peer.elapsed_ns >= 59 * 20_000)
+
+(* ------------------------------------------------------- adaptive trains *)
+
+let test_adaptive_roundtrip () =
+  let rng = Stats.Rng.create ~seed:71 in
+  let data = random_data rng 120_000 in
+  let tuning = Protocol.Tuning.adaptive ~retransmit_ns:20_000_000 () in
+  let send_result, receive_result =
+    transfer ~tuning ~suite:(Protocol.Suite.Blast Protocol.Blast.Selective) ~data ()
+  in
+  Alcotest.(check bool) "success" true
+    (send_result.Sockets.Peer.outcome = Protocol.Action.Success);
+  Alcotest.(check bool) "handshake settled on adaptive" true
+    send_result.Sockets.Peer.adaptive;
+  Alcotest.(check bool) "data intact" true
+    (String.equal data receive_result.Sockets.Peer.data)
+
+let test_adaptive_lossy_roundtrip () =
+  let rng = Stats.Rng.create ~seed:72 in
+  let data = random_data rng 80_000 in
+  let tuning =
+    Protocol.Tuning.adaptive ~retransmit_ns:20_000_000
+      ~pacing:Protocol.Tuning.Rtt_spread ()
+  in
+  let lossy_sender = Sockets.Lossy.create ~seed:73 ~tx_loss:0.08 ~rx_loss:0.0 in
+  let send_result, receive_result =
+    transfer ~tuning ~lossy_sender
+      ~suite:(Protocol.Suite.Blast Protocol.Blast.Selective) ~data ()
+  in
+  Alcotest.(check bool) "success under loss" true
+    (send_result.Sockets.Peer.outcome = Protocol.Action.Success);
+  Alcotest.(check bool) "adaptive" true send_result.Sockets.Peer.adaptive;
+  Alcotest.(check bool) "data intact" true
+    (String.equal data receive_result.Sockets.Peer.data);
+  Alcotest.(check bool) "losses actually injected" true
+    (Sockets.Lossy.dropped lossy_sender > 0)
+
+let test_adaptive_honored_by_fixed_receiver () =
+  (* A receiver pinned to fixed tuning still obliges a budget-stamped REQ:
+     the wire wins, and the flow runs adaptive with budget-stamped ACKs. *)
+  let rng = Stats.Rng.create ~seed:74 in
+  let data = random_data rng 60_000 in
+  let send_result, receive_result =
+    transfer
+      ~tuning:(Protocol.Tuning.adaptive ~retransmit_ns:20_000_000 ())
+      ~receiver_tuning:(Protocol.Tuning.fixed ~retransmit_ns:20_000_000 ())
+      ~suite:(Protocol.Suite.Blast Protocol.Blast.Selective) ~data ()
+  in
+  Alcotest.(check bool) "success" true
+    (send_result.Sockets.Peer.outcome = Protocol.Action.Success);
+  Alcotest.(check bool) "receiver obliges the adaptive REQ" true
+    send_result.Sockets.Peer.adaptive;
+  Alcotest.(check bool) "data intact" true
+    (String.equal data receive_result.Sockets.Peer.data)
+
+(* A v1-only peer, emulated faithfully: every wire-v2 (budget-stamped)
+   datagram is dropped on the floor — an old decoder cannot parse the frame
+   — and the rest drive a fixed-tuned flow by hand. The adaptive sender's
+   handshake must fall back to a v1 REQ, read the bare ACK, and negotiate
+   the transfer down to fixed trains. *)
+let old_v1_receiver socket =
+  let clock = (Sockets.Io_ctx.default ()).Sockets.Io_ctx.clock in
+  Unix.setsockopt_float socket Unix.SO_RCVTIMEO 0.05;
+  let buf = Bytes.create 65_536 in
+  let flow = ref None in
+  let deadline = clock () + 10_000_000_000 in
+  let result = ref None in
+  while !result = None && clock () < deadline do
+    let incoming =
+      try
+        let len, from = Unix.recvfrom socket buf 0 (Bytes.length buf) [] in
+        Some (Bytes.sub buf 0 len, from)
+      with Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _) -> None
+    in
+    let actions, from =
+      match incoming with
+      | None -> (
+          match !flow with
+          | Some (f, from) -> (Sockets.Flow.on_tick f ~now:(clock ()), Some from)
+          | None -> ([], None))
+      | Some (datagram, from) -> (
+          match Packet.Codec.decode datagram with
+          | Error _ -> ([], None)
+          | Ok m when Packet.Message.budget m <> None ->
+              ([], None) (* v2 frame: undecodable for a v1-only binary *)
+          | Ok m -> (
+              match !flow with
+              | Some (f, _) -> (Sockets.Flow.on_message f ~now:(clock ()) m, Some from)
+              | None -> (
+                  let counters = Protocol.Counters.create () in
+                  match
+                    Sockets.Flow.create
+                      ~tuning:(Protocol.Tuning.fixed ~retransmit_ns:20_000_000 ())
+                      ~probe:(Obs.Probe.create ~lane:"v1-peer" ~counters ())
+                      ~counters ~now:(clock ()) m
+                  with
+                  | Ok (f, actions) ->
+                      flow := Some (f, from);
+                      (actions, Some from)
+                  | Error _ -> ([], None))))
+    in
+    (match from with
+    | Some from ->
+        List.iter
+          (fun (Sockets.Flow.Transmit m) ->
+            let encoded = Packet.Codec.encode m in
+            ignore (Unix.sendto socket encoded 0 (Bytes.length encoded) [] from))
+          actions
+    | None -> ());
+    match !flow with
+    | Some (f, _) -> (
+        match Sockets.Flow.status f with
+        | `Done completion -> result := Some completion
+        | `Running | `Lingering -> ())
+    | None -> ()
+  done;
+  !result
+
+let test_adaptive_negotiates_down_with_v1_peer () =
+  let rng = Stats.Rng.create ~seed:76 in
+  let data = random_data rng 40_000 in
+  let receiver_socket, receiver_address = Sockets.Udp.create_socket () in
+  let sender_socket, _ = Sockets.Udp.create_socket () in
+  let received = ref None in
+  let thread = Thread.create (fun () -> received := old_v1_receiver receiver_socket) () in
+  let result =
+    Fun.protect
+      ~finally:(fun () ->
+        Thread.join thread;
+        Sockets.Udp.close receiver_socket;
+        Sockets.Udp.close sender_socket)
+      (fun () ->
+        Sockets.Peer.send
+          ~ctx:
+            (Sockets.Io_ctx.make
+               ~tuning:(Protocol.Tuning.adaptive ~retransmit_ns:20_000_000 ())
+               ())
+          ~socket:sender_socket ~peer:receiver_address
+          ~suite:(Protocol.Suite.Blast Protocol.Blast.Selective) ~data ())
+  in
+  Alcotest.(check bool) "success against a v1-only peer" true
+    (result.Sockets.Peer.outcome = Protocol.Action.Success);
+  Alcotest.(check bool) "negotiated down to fixed trains" false
+    result.Sockets.Peer.adaptive;
+  match !received with
+  | Some completion ->
+      Alcotest.(check bool) "data intact at the v1 peer" true
+        (String.equal data completion.Sockets.Flow.data)
+  | None -> Alcotest.fail "the v1 peer never completed"
+
+let test_fixed_sender_against_adaptive_receiver () =
+  (* The other direction: a fixed-tuned (old-style) sender never stamps a
+     budget on its REQ, and the adaptive-capable receiver serves it plain
+     fixed blast. *)
+  let rng = Stats.Rng.create ~seed:75 in
+  let data = random_data rng 60_000 in
+  let send_result, receive_result =
+    transfer
+      ~tuning:(Protocol.Tuning.fixed ~retransmit_ns:20_000_000 ())
+      ~receiver_tuning:(Protocol.Tuning.adaptive ~retransmit_ns:20_000_000 ())
+      ~suite:(Protocol.Suite.Blast Protocol.Blast.Selective) ~data ()
+  in
+  Alcotest.(check bool) "success" true
+    (send_result.Sockets.Peer.outcome = Protocol.Action.Success);
+  Alcotest.(check bool) "stays fixed" false send_result.Sockets.Peer.adaptive;
+  Alcotest.(check bool) "data intact" true
+    (String.equal data receive_result.Sockets.Peer.data)
 
 let test_tcp_baseline_roundtrip () =
   let rng = Stats.Rng.create ~seed:88 in
@@ -346,6 +529,18 @@ let () =
           [ Alcotest.test_case "roundtrip" `Quick test_tcp_baseline_roundtrip ] );
         ( "pacing",
           [ Alcotest.test_case "paced send roundtrip" `Quick test_paced_send_roundtrip ] );
+        ( "adaptive",
+          [
+            Alcotest.test_case "adaptive roundtrip" `Quick test_adaptive_roundtrip;
+            Alcotest.test_case "adaptive under loss with rtt pacing" `Quick
+              test_adaptive_lossy_roundtrip;
+            Alcotest.test_case "fixed-tuned receiver obliges adaptive REQ" `Quick
+              test_adaptive_honored_by_fixed_receiver;
+            Alcotest.test_case "negotiates down with a v1-only peer" `Quick
+              test_adaptive_negotiates_down_with_v1_peer;
+            Alcotest.test_case "fixed sender, adaptive receiver" `Quick
+              test_fixed_sender_against_adaptive_receiver;
+          ] );
         ( "robustness",
           [
             Alcotest.test_case "survives garbage datagrams" `Quick
